@@ -1,0 +1,179 @@
+(* pmdb — command-line front end for the PMDebugger reproduction.
+
+     pmdb run -w b_tree -n 1000                 debug a workload
+     pmdb run -w memcached -d pmemcheck -n 500  with another detector
+     pmdb characterize -w hashmap_tx -n 1000    Fig. 2 metrics for one trace
+     pmdb bugs                                  run the 78-case dataset
+     pmdb list                                  available workloads *)
+
+open Cmdliner
+open Pmtrace
+module W = Workloads.Workload
+
+let detector_names = [ "pmdebugger"; "pmemcheck"; "pmtest"; "xfdetector"; "nulgrind" ]
+
+let sink_for name model config =
+  match name with
+  | "pmdebugger" -> Pmdebugger.Detector.sink (Pmdebugger.Detector.create ~model ~config ())
+  | "pmemcheck" -> Baselines.Pmemcheck.sink (Baselines.Pmemcheck.create ())
+  | "pmtest" -> Baselines.Pmtest.sink (Baselines.Pmtest.create ())
+  | "xfdetector" -> Baselines.Xfdetector.sink (Baselines.Xfdetector.create ~config ())
+  | "nulgrind" -> Baselines.Nulgrind.sink ()
+  | other -> failwith (Printf.sprintf "unknown detector %S (expected one of: %s)" other (String.concat ", " detector_names))
+
+let workload_arg =
+  let doc = "Workload to run (see `pmdb list`)." in
+  Arg.(value & opt string "b_tree" & info [ "w"; "workload" ] ~docv:"NAME" ~doc)
+
+let n_arg =
+  let doc = "Number of operations." in
+  Arg.(value & opt int 1000 & info [ "n"; "ops" ] ~docv:"N" ~doc)
+
+let detector_arg =
+  let doc = "Detector: pmdebugger, pmemcheck, pmtest, xfdetector or nulgrind." in
+  Arg.(value & opt string "pmdebugger" & info [ "d"; "detector" ] ~docv:"TOOL" ~doc)
+
+let config_arg =
+  let doc = "Persist-order configuration file (see Pmdebugger.Order_config)." in
+  Arg.(value & opt (some file) None & info [ "c"; "config" ] ~docv:"FILE" ~doc)
+
+let annotate_arg =
+  let doc = "Emit the PMTest-style annotations the workload carries." in
+  Arg.(value & flag & info [ "annotate" ] ~doc)
+
+let max_bugs_arg =
+  let doc = "Print at most this many findings." in
+  Arg.(value & opt int 25 & info [ "max-print" ] ~docv:"K" ~doc)
+
+let load_config = function
+  | None -> Pmdebugger.Order_config.empty
+  | Some path -> (
+      match Pmdebugger.Order_config.load path with
+      | Ok cfg -> cfg
+      | Error msg -> failwith ("config: " ^ msg))
+
+let run_cmd workload n detector config annotate max_print =
+  let spec = Workloads.Registry.find_exn workload in
+  let config = load_config config in
+  let engine = Engine.create () in
+  let sink = sink_for detector spec.W.model config in
+  Engine.attach engine sink;
+  let t0 = Unix.gettimeofday () in
+  spec.W.run (W.params ~annotate ~n ()) engine;
+  let dt = Unix.gettimeofday () -. t0 in
+  let report = sink.Sink.finish () in
+  Printf.printf "%s on %s (n=%d): %d event(s) in %.3fs\n" report.Bug.detector workload n report.Bug.events_processed dt;
+  let shown = ref 0 in
+  List.iter
+    (fun b ->
+      if !shown < max_print then begin
+        incr shown;
+        Format.printf "  %a@." Bug.pp b
+      end)
+    report.Bug.bugs;
+  let total = List.length report.Bug.bugs in
+  if total > max_print then Printf.printf "  ... and %d more\n" (total - max_print);
+  Printf.printf "%d finding(s); kinds: %s\n" total
+    (String.concat ", " (List.map Bug.kind_name (Bug.kinds_found report)));
+  List.iter (fun (k, v) -> Printf.printf "  stat %-28s %.2f\n" k v) report.Bug.stats
+
+let characterize_cmd workload n =
+  let spec = Workloads.Registry.find_exn workload in
+  let trace = Recorder.record (fun e -> spec.W.run (W.params ~n ()) e) in
+  let h = Charz.distance_histogram trace in
+  let c = Charz.writeback_classes trace in
+  let m = Charz.instruction_mix trace in
+  Printf.printf "%s (n=%d): %d events\n" workload n (Array.length trace);
+  Printf.printf "  stores %d, writebacks %d, fences %d (store share %.1f%%)\n" m.Charz.stores m.Charz.writebacks
+    m.Charz.fences
+    (100.0 *. Charz.store_fraction m);
+  Printf.printf "  store-to-fence distance: d=1 %.1f%%, d<=3 %.1f%%, never persisted %d\n"
+    (100.0 *. Charz.fraction_at_most h 1)
+    (100.0 *. Charz.fraction_at_most h 3)
+    h.Charz.never_persisted;
+  Printf.printf "  CLF intervals: %.1f%% collective (%d collective / %d dispersed)\n"
+    (100.0 *. Charz.collective_fraction c)
+    c.Charz.collective c.Charz.dispersed
+
+let bugs_cmd () =
+  List.iter
+    (fun r ->
+      Printf.printf "%-12s %d/%d detected, %d kinds, FN %.1f%%, false positives %d\n"
+        (Bugbench.Eval.tool_name r.Bugbench.Eval.tool)
+        r.Bugbench.Eval.detected_total r.Bugbench.Eval.case_total r.Bugbench.Eval.kinds_covered
+        (100.0 *. r.Bugbench.Eval.false_negative_rate)
+        (List.length r.Bugbench.Eval.false_positives))
+    (Bugbench.Eval.evaluate_all ())
+
+let record_cmd workload n annotate out =
+  let spec = Workloads.Registry.find_exn workload in
+  let trace = Recorder.record (fun e -> spec.W.run (W.params ~annotate ~n ()) e) in
+  Trace_io.save out trace;
+  Printf.printf "recorded %d event(s) from %s (n=%d) to %s\n" (Array.length trace) workload n out
+
+let replay_cmd file detector config max_print =
+  match Trace_io.load file with
+  | Error msg -> failwith msg
+  | Ok trace ->
+      let config = load_config config in
+      (* Replays have no live PM state: the model only gates rule
+         selection, so strict covers all shared rules. *)
+      let sink = sink_for detector Pmdebugger.Detector.Strict config in
+      let report = Recorder.replay trace sink in
+      Printf.printf "%s replayed %d event(s) from %s\n" report.Bug.detector report.Bug.events_processed file;
+      let shown = ref 0 in
+      List.iter
+        (fun b ->
+          if !shown < max_print then begin
+            incr shown;
+            Format.printf "  %a@." Bug.pp b
+          end)
+        report.Bug.bugs;
+      Printf.printf "%d finding(s); kinds: %s\n" (List.length report.Bug.bugs)
+        (String.concat ", " (List.map Bug.kind_name (Bug.kinds_found report)))
+
+let list_cmd () =
+  List.iter
+    (fun (spec : W.spec) ->
+      let model =
+        match spec.W.model with
+        | Pmdebugger.Detector.Strict -> "strict"
+        | Pmdebugger.Detector.Epoch -> "epoch"
+        | Pmdebugger.Detector.Strand -> "strand"
+      in
+      Printf.printf "%-16s %-7s %s\n" spec.W.name model spec.W.description)
+    Workloads.Registry.all
+
+let run_term = Term.(const run_cmd $ workload_arg $ n_arg $ detector_arg $ config_arg $ annotate_arg $ max_bugs_arg)
+
+let out_arg =
+  let doc = "Output trace file." in
+  Arg.(value & opt string "trace.pmt" & info [ "o"; "output" ] ~docv:"FILE" ~doc)
+
+let trace_file_arg =
+  let doc = "Trace file to replay (as produced by `pmdb record`)." in
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"TRACE" ~doc)
+
+let record_term = Term.(const record_cmd $ workload_arg $ n_arg $ annotate_arg $ out_arg)
+
+let replay_term = Term.(const replay_cmd $ trace_file_arg $ detector_arg $ config_arg $ max_bugs_arg)
+
+let characterize_term = Term.(const characterize_cmd $ workload_arg $ n_arg)
+
+let bugs_term = Term.(const bugs_cmd $ const ())
+
+let list_term = Term.(const list_cmd $ const ())
+
+let cmds =
+  [
+    Cmd.v (Cmd.info "run" ~doc:"Debug a workload with a detector") run_term;
+    Cmd.v (Cmd.info "characterize" ~doc:"Print the Sec. 3 pattern metrics for a workload trace") characterize_term;
+    Cmd.v (Cmd.info "bugs" ~doc:"Run the 78-case bug dataset against all four detectors") bugs_term;
+    Cmd.v (Cmd.info "record" ~doc:"Record a workload's event trace to a file") record_term;
+    Cmd.v (Cmd.info "replay" ~doc:"Replay a recorded trace into a detector") replay_term;
+    Cmd.v (Cmd.info "list" ~doc:"List available workloads") list_term;
+  ]
+
+let () =
+  let doc = "PMDebugger reproduction: crash-consistency bug detection for PM programs" in
+  exit (Cmd.eval (Cmd.group (Cmd.info "pmdb" ~version:"1.0" ~doc) cmds))

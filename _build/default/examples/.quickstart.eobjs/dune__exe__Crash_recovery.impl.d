@@ -1,0 +1,1 @@
+examples/crash_recovery.ml: Bug Engine Format Minipmdk Pmdebugger Pmem Pmtrace Pool Printf Tx

@@ -1,0 +1,1 @@
+examples/filesystem_check.ml: Bug Engine Format List Minipmfs Pmdebugger Pmtrace Printf Sink

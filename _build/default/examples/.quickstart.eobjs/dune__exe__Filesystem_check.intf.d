@@ -1,0 +1,1 @@
+examples/filesystem_check.mli:

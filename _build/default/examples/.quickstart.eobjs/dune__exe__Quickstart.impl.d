@@ -1,0 +1,1 @@
+examples/quickstart.ml: Bug Engine Format Pmdebugger Pmtrace

@@ -1,0 +1,1 @@
+examples/strand_ordering.ml: Baselines Bug Engine Format Pmdebugger Pmtrace Sink

@@ -1,0 +1,1 @@
+examples/strand_ordering.mli:

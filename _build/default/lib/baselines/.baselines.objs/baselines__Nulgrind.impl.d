@@ -1,0 +1,1 @@
+lib/baselines/nulgrind.ml: Pmtrace

@@ -1,0 +1,1 @@
+lib/baselines/nulgrind.mli: Pmtrace

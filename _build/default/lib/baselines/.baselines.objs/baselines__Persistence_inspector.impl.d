@@ -1,0 +1,1 @@
+lib/baselines/persistence_inspector.ml: Addr Bug Event Hashtbl List Pmem Pmtrace Sink

@@ -1,0 +1,1 @@
+lib/baselines/persistence_inspector.mli: Pmtrace

@@ -1,0 +1,1 @@
+lib/baselines/pmemcheck.ml: Addr Bug Event Hashtbl List Pmem Pmtrace Rangetree Sink

@@ -1,0 +1,1 @@
+lib/baselines/pmemcheck.mli: Pmtrace

@@ -1,0 +1,1 @@
+lib/baselines/pmtest.ml: Addr Bug Event Hashtbl List Pmem Pmtrace Sink

@@ -1,0 +1,1 @@
+lib/baselines/pmtest.mli: Pmtrace

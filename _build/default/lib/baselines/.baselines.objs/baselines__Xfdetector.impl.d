@@ -1,0 +1,1 @@
+lib/baselines/xfdetector.ml: Addr Array Bug Event Hashtbl Image List Pmdebugger Pmem Pmtrace Printf Rangetree Sink State

@@ -1,0 +1,1 @@
+lib/baselines/xfdetector.mli: Pmdebugger Pmem Pmtrace

@@ -1,0 +1,7 @@
+(** The Nulgrind model: instrumentation with no analysis.
+
+    Receives every event and does nothing but count — its replay time
+    is the pure instrumentation/dispatch overhead that Table 5
+    subtracts when reporting "W/O Instru." speedups. *)
+
+val sink : unit -> Pmtrace.Sink.t

@@ -1,0 +1,1 @@
+lib/bugbench/cases.ml: Bug Bytes Engine Event Int64 List Minipmdk Pmdebugger Pmem Pmtrace Pool Printf Tx

@@ -1,0 +1,1 @@
+lib/bugbench/cases.mli: Pmdebugger Pmem Pmtrace

@@ -1,0 +1,1 @@
+lib/bugbench/eval.ml: Baselines Bug Cases Engine List Pmdebugger Pmtrace Sink

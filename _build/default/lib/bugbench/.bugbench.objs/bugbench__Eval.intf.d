@@ -1,0 +1,1 @@
+lib/bugbench/eval.mli: Cases Pmtrace

@@ -1,0 +1,730 @@
+open Pmtrace
+open Minipmdk
+module D = Pmdebugger.Detector
+module OC = Pmdebugger.Order_config
+
+type t = {
+  id : string;
+  expected : Bug.kind option;
+  model : D.model;
+  config : OC.t;
+  recovery : (Pmem.Image.t -> bool) option;
+  run : Engine.t -> unit;
+}
+
+let pm_size = 1 lsl 16
+
+let reg e = Engine.register_pmem e ~base:0 ~size:pm_size
+
+let line = Pmem.Addr.cache_line_size
+
+let case ?(model = D.Strict) ?(config = OC.empty) ?recovery id expected run =
+  { id; expected = Some expected; model; config; recovery; run }
+
+let clean_case ?(model = D.Strict) ?(config = OC.empty) id run =
+  { id; expected = None; model; config; recovery = None; run }
+
+(* ------------------------------------------------------------------ *)
+(* No durability guarantee: 44 cases.                                  *)
+(* ------------------------------------------------------------------ *)
+
+type missing = Clf | Fence_only
+
+(* Grid axes: what is missing, how many locations, packed in one line or
+   strided across lines, and whether correctly persisted neighbours
+   surround the buggy accesses. 2 x 3 x 2 x 2 = 24 cases. *)
+let nodur_grid =
+  List.concat_map
+    (fun missing ->
+      List.concat_map
+        (fun nlocs ->
+          List.concat_map
+            (fun strided ->
+              List.map
+                (fun noise ->
+                  let id =
+                    Printf.sprintf "nodur_%s_n%d_%s%s"
+                      (match missing with Clf -> "noclf" | Fence_only -> "nofence")
+                      nlocs
+                      (if strided then "strided" else "packed")
+                      (if noise then "_noisy" else "")
+                  in
+                  let run e =
+                    reg e;
+                    (* Noise (correctly persisted neighbours) comes before
+                       the buggy stores: a later unrelated fence would
+                       otherwise drain a missing-fence case's writebacks
+                       and heal the bug. *)
+                    if noise then begin
+                      Engine.store_i64 e ~addr:4096 1L;
+                      Engine.persist e ~addr:4096 ~size:8;
+                      Engine.store_i64 e ~addr:8192 2L;
+                      Engine.persist e ~addr:8192 ~size:8
+                    end;
+                    let stride = if strided then line else 8 in
+                    let span = ((nlocs - 1) * stride) + 8 in
+                    for i = 0 to nlocs - 1 do
+                      Engine.store_i64 e ~addr:(256 + (i * stride)) (Int64.of_int i)
+                    done;
+                    (match missing with
+                    | Clf -> ()
+                    | Fence_only -> Engine.flush_range e ~addr:256 ~size:span);
+                    (* The annotation the PMTest suite adds for the
+                       durability check. *)
+                    Engine.annotate e (Event.Assert_durable { addr = 256; size = span })
+                  in
+                  case id Bug.No_durability run)
+                [ false; true ])
+            [ false; true ])
+        [ 1; 2; 4 ])
+    [ Clf; Fence_only ]
+
+(* Size variants for a single location: 1, 8, 48 and 128-byte stores,
+   missing either the writeback or the fence. 8 cases. *)
+let nodur_sizes =
+  List.concat_map
+    (fun missing ->
+      List.map
+        (fun size ->
+          let id =
+            Printf.sprintf "nodur_%s_size%d" (match missing with Clf -> "noclf" | Fence_only -> "nofence") size
+          in
+          let run e =
+            reg e;
+            Engine.store_bytes e ~addr:300 (Bytes.make size 'x');
+            (match missing with
+            | Clf -> ()
+            | Fence_only -> Engine.flush_range e ~addr:300 ~size);
+            Engine.annotate e (Event.Assert_durable { addr = 300; size })
+          in
+          case id Bug.No_durability run)
+        [ 1; 8; 48; 128 ])
+    [ Clf; Fence_only ]
+
+(* Structured cases: realistic code shapes with a durability hole.
+   12 cases. *)
+let nodur_structured =
+  [
+    case "nodur_unpersisted_pointee" Bug.No_durability (fun e ->
+        reg e;
+        (* Node written but never flushed; the pointer to it is. *)
+        Engine.store_i64 e ~addr:1024 99L;
+        Engine.store_int e ~addr:0 1024;
+        Engine.persist e ~addr:0 ~size:8;
+        Engine.annotate e (Event.Assert_durable { addr = 1024; size = 8 }));
+    case "nodur_unpersisted_pointer" Bug.No_durability (fun e ->
+        reg e;
+        Engine.store_i64 e ~addr:1024 99L;
+        Engine.persist e ~addr:1024 ~size:8;
+        Engine.store_int e ~addr:0 1024;
+        Engine.annotate e (Event.Assert_durable { addr = 0; size = 8 }));
+    case "nodur_update_after_persist" Bug.No_durability (fun e ->
+        reg e;
+        Engine.store_i64 e ~addr:512 1L;
+        Engine.persist e ~addr:512 ~size:8;
+        (* Counter bumped again; the second store is never written back. *)
+        Engine.store_i64 e ~addr:512 2L;
+        Engine.annotate e (Event.Assert_durable { addr = 512; size = 8 }));
+    case "nodur_flush_wrong_line" Bug.No_durability (fun e ->
+        reg e;
+        Engine.store_i64 e ~addr:512 7L;
+        Engine.clwb e ~addr:(512 + (4 * line));
+        Engine.sfence e;
+        Engine.annotate e (Event.Assert_durable { addr = 512; size = 8 }));
+    case "nodur_string_tail_line" Bug.No_durability (fun e ->
+        reg e;
+        (* 3-line string; only the first two lines are written back. *)
+        Engine.store_bytes e ~addr:1024 (Bytes.make (3 * line) 's');
+        Engine.clwb e ~addr:1024;
+        Engine.clwb e ~addr:(1024 + line);
+        Engine.sfence e;
+        Engine.annotate e (Event.Assert_durable { addr = 1024; size = 3 * line }));
+    case "nodur_trailing_clwb" Bug.No_durability (fun e ->
+        reg e;
+        Engine.store_i64 e ~addr:128 1L;
+        Engine.persist e ~addr:128 ~size:8;
+        Engine.store_i64 e ~addr:2048 2L;
+        Engine.clwb e ~addr:2048;
+        (* Program ends with the writeback still in flight: no fence. *)
+        Engine.annotate e (Event.Assert_durable { addr = 2048; size = 8 }));
+    case "nodur_double_buffer_flag" Bug.No_durability (fun e ->
+        reg e;
+        Engine.store_bytes e ~addr:1024 (Bytes.make 64 'a');
+        Engine.persist e ~addr:1024 ~size:64;
+        Engine.store_bytes e ~addr:2048 (Bytes.make 64 'b');
+        Engine.persist e ~addr:2048 ~size:64;
+        (* Active-buffer switch flag never persisted. *)
+        Engine.store_i64 e ~addr:64 1L;
+        Engine.annotate e (Event.Assert_durable { addr = 64; size = 8 }));
+    case "nodur_log_head_index" Bug.No_durability (fun e ->
+        reg e;
+        (* Circular-log append persists the entry but not the head. *)
+        Engine.store_bytes e ~addr:4096 (Bytes.make 32 'e');
+        Engine.persist e ~addr:4096 ~size:32;
+        Engine.store_i64 e ~addr:72 1L;
+        Engine.annotate e (Event.Assert_durable { addr = 72; size = 8 }));
+    case "nodur_partial_row_flush" Bug.No_durability (fun e ->
+        reg e;
+        (* 5-element row; the flush range covers only 4. *)
+        for i = 0 to 4 do
+          Engine.store_i64 e ~addr:(line * 8 * (i + 1)) (Int64.of_int i)
+        done;
+        for i = 0 to 3 do
+          Engine.clwb e ~addr:(line * 8 * (i + 1))
+        done;
+        Engine.sfence e;
+        Engine.annotate e (Event.Assert_durable { addr = line * 8 * 5; size = 8 }));
+    case "nodur_unpersisted_init" Bug.No_durability (fun e ->
+        reg e;
+        Engine.store_bytes e ~addr:1024 (Bytes.make 256 '\000');
+        Engine.store_i64 e ~addr:1024 42L;
+        Engine.persist e ~addr:1024 ~size:8;
+        (* Only the first field was persisted; the zeroing was not. *)
+        Engine.annotate e (Event.Assert_durable { addr = 1024; size = 256 }));
+    case "nodur_helper_function" Bug.No_durability (fun e ->
+        reg e;
+        Engine.call_marker e ~func:"update_header";
+        Engine.store_i64 e ~addr:160 5L;
+        Engine.call_marker e ~func:"main";
+        Engine.store_i64 e ~addr:4096 6L;
+        Engine.persist e ~addr:4096 ~size:8;
+        Engine.annotate e (Event.Assert_durable { addr = 160; size = 8 }));
+    case "nodur_final_store" Bug.No_durability (fun e ->
+        reg e;
+        Engine.store_i64 e ~addr:256 1L;
+        Engine.persist e ~addr:256 ~size:8;
+        Engine.annotate e (Event.Assert_durable { addr = 256; size = 8 });
+        (* The very last store of the program, unprotected. *)
+        Engine.store_i64 e ~addr:256 2L;
+        Engine.annotate e (Event.Assert_durable { addr = 256; size = 8 }))
+  ]
+
+let no_durability_cases = nodur_grid @ nodur_sizes @ nodur_structured
+
+(* ------------------------------------------------------------------ *)
+(* Multiple overwrites: 2 cases.                                       *)
+(* ------------------------------------------------------------------ *)
+
+let multiple_overwrite_cases =
+  [
+    case "multiw_same_word" Bug.Multiple_overwrites (fun e ->
+        reg e;
+        Engine.store_i64 e ~addr:512 1L;
+        Engine.annotate e (Event.Assert_fresh { addr = 512; size = 8 });
+        Engine.store_i64 e ~addr:512 2L;
+        Engine.persist e ~addr:512 ~size:8);
+    case "multiw_overlapping_ranges" Bug.Multiple_overwrites (fun e ->
+        reg e;
+        Engine.store_bytes e ~addr:512 (Bytes.make 16 'a');
+        Engine.annotate e (Event.Assert_fresh { addr = 520; size = 16 });
+        Engine.store_bytes e ~addr:520 (Bytes.make 16 'b');
+        Engine.persist e ~addr:512 ~size:24);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* No order guarantee: 4 cases.                                        *)
+(* ------------------------------------------------------------------ *)
+
+let order_config ?func () =
+  OC.add OC.empty (OC.order ?func ~first:"data" ~next:"valid" ())
+
+let no_order_cases =
+  [
+    case "noorder_valid_first"
+      ~config:(order_config ())
+      Bug.No_order_guarantee
+      (fun e ->
+        reg e;
+        Engine.register_var e ~name:"data" ~addr:1024 ~size:8;
+        Engine.register_var e ~name:"valid" ~addr:1088 ~size:8;
+        Engine.store_i64 e ~addr:1024 7L;
+        Engine.store_i64 e ~addr:1088 1L;
+        (* Only the valid flag is persisted first. *)
+        Engine.persist e ~addr:1088 ~size:8;
+        Engine.annotate e
+          (Event.Assert_ordered { first_addr = 1024; first_size = 8; then_addr = 1088; then_size = 8 });
+        Engine.persist e ~addr:1024 ~size:8);
+    case "noorder_data_never"
+      ~config:(order_config ())
+      Bug.No_order_guarantee
+      (fun e ->
+        reg e;
+        Engine.register_var e ~name:"data" ~addr:1024 ~size:8;
+        Engine.register_var e ~name:"valid" ~addr:1088 ~size:8;
+        Engine.store_i64 e ~addr:1024 7L;
+        Engine.store_i64 e ~addr:1088 1L;
+        Engine.persist e ~addr:1088 ~size:8;
+        Engine.annotate e
+          (Event.Assert_ordered { first_addr = 1024; first_size = 8; then_addr = 1088; then_size = 8 }));
+    case "noorder_in_function"
+      ~config:(order_config ~func:"commit_record" ())
+      Bug.No_order_guarantee
+      (fun e ->
+        reg e;
+        Engine.register_var e ~name:"data" ~addr:2048 ~size:16;
+        Engine.register_var e ~name:"valid" ~addr:2112 ~size:8;
+        Engine.call_marker e ~func:"commit_record";
+        Engine.store_bytes e ~addr:2048 (Bytes.make 16 'd');
+        Engine.store_i64 e ~addr:2112 1L;
+        Engine.persist e ~addr:2112 ~size:8;
+        Engine.annotate e
+          (Event.Assert_ordered { first_addr = 2048; first_size = 16; then_addr = 2112; then_size = 8 });
+        Engine.persist e ~addr:2048 ~size:16);
+    case "noorder_chain"
+      ~config:
+        (OC.add
+           (OC.add OC.empty (OC.order ~first:"a" ~next:"b" ()))
+           (OC.order ~first:"b" ~next:"c" ()))
+      Bug.No_order_guarantee
+      (fun e ->
+        reg e;
+        Engine.register_var e ~name:"a" ~addr:1024 ~size:8;
+        Engine.register_var e ~name:"b" ~addr:1088 ~size:8;
+        Engine.register_var e ~name:"c" ~addr:1152 ~size:8;
+        Engine.store_i64 e ~addr:1024 1L;
+        Engine.store_i64 e ~addr:1088 2L;
+        Engine.store_i64 e ~addr:1152 3L;
+        (* c persists first: both chain links are violated. *)
+        Engine.persist e ~addr:1152 ~size:8;
+        Engine.annotate e
+          (Event.Assert_ordered { first_addr = 1088; first_size = 8; then_addr = 1152; then_size = 8 });
+        Engine.persist e ~addr:1024 ~size:8;
+        Engine.persist e ~addr:1088 ~size:8);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Redundant flushes: 6 cases.                                         *)
+(* ------------------------------------------------------------------ *)
+
+let redundant_flush_cases =
+  [
+    case "redflush_twice" Bug.Redundant_flush (fun e ->
+        reg e;
+        Engine.store_i64 e ~addr:512 1L;
+        Engine.clwb e ~addr:512;
+        Engine.clwb e ~addr:512;
+        Engine.sfence e);
+    case "redflush_thrice" Bug.Redundant_flush (fun e ->
+        reg e;
+        Engine.store_i64 e ~addr:512 1L;
+        Engine.clwb e ~addr:512;
+        Engine.clwb e ~addr:512;
+        Engine.clwb e ~addr:512;
+        Engine.sfence e);
+    case "redflush_two_stores_one_line" Bug.Redundant_flush (fun e ->
+        reg e;
+        Engine.store_i64 e ~addr:512 1L;
+        Engine.store_i64 e ~addr:520 2L;
+        Engine.clwb e ~addr:512;
+        Engine.clwb e ~addr:520;
+        Engine.sfence e);
+    case "redflush_overlapping_ranges" Bug.Redundant_flush (fun e ->
+        reg e;
+        Engine.store_bytes e ~addr:512 (Bytes.make 128 'r');
+        Engine.flush_range e ~addr:512 ~size:128;
+        Engine.flush_range e ~addr:512 ~size:64;
+        Engine.sfence e);
+    case "redflush_mixed_kinds" Bug.Redundant_flush (fun e ->
+        reg e;
+        Engine.store_i64 e ~addr:512 1L;
+        Engine.clflushopt e ~addr:512;
+        Engine.clwb e ~addr:512;
+        Engine.sfence e);
+    case "redflush_loop" Bug.Redundant_flush (fun e ->
+        reg e;
+        Engine.store_i64 e ~addr:1024 9L;
+        for _ = 1 to 4 do
+          Engine.clwb e ~addr:1024
+        done;
+        Engine.sfence e);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Flush nothing: 3 cases.                                             *)
+(* ------------------------------------------------------------------ *)
+
+let flush_nothing_cases =
+  [
+    case "flushnothing_cold_line" Bug.Flush_nothing (fun e ->
+        reg e;
+        Engine.store_i64 e ~addr:512 1L;
+        Engine.persist e ~addr:512 ~size:8;
+        Engine.clwb e ~addr:(16 * line);
+        Engine.sfence e);
+    case "flushnothing_after_fence" Bug.Flush_nothing (fun e ->
+        reg e;
+        Engine.store_i64 e ~addr:512 1L;
+        Engine.persist e ~addr:512 ~size:8;
+        (* Same line again, but its store is already durable. *)
+        Engine.clwb e ~addr:512;
+        Engine.sfence e);
+    case "flushnothing_off_by_one_line" Bug.Flush_nothing (fun e ->
+        reg e;
+        Engine.store_i64 e ~addr:(8 * line) 1L;
+        Engine.clwb e ~addr:(9 * line);
+        Engine.clwb e ~addr:(8 * line);
+        Engine.sfence e);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Redundant logging: 5 cases (epoch model, mini-PMDK transactions).   *)
+(* ------------------------------------------------------------------ *)
+
+let with_pool run e =
+  let pool = Pool.create e ~size:(4 lsl 20) ~log_capacity:(1 lsl 16) in
+  run pool e
+
+let redundant_logging_cases =
+  [
+    case "redlog_exact_dup" ~model:D.Epoch Bug.Redundant_logging
+      (with_pool (fun pool e ->
+           let obj = Pool.alloc_raw pool ~size:16 in
+           Pool.persist_heap_top pool;
+           let tx = Tx.begin_tx pool in
+           Tx.add_range_unchecked tx ~addr:obj ~size:16;
+           Engine.store_i64 e ~addr:obj 1L;
+           Tx.add_range_unchecked tx ~addr:obj ~size:16;
+           Tx.commit tx));
+    case "redlog_overlapping" ~model:D.Epoch Bug.Redundant_logging
+      (with_pool (fun pool e ->
+           let obj = Pool.alloc_raw pool ~size:32 in
+           Pool.persist_heap_top pool;
+           let tx = Tx.begin_tx pool in
+           Tx.add_range_unchecked tx ~addr:obj ~size:24;
+           Engine.store_i64 e ~addr:obj 1L;
+           Tx.add_range_unchecked tx ~addr:(obj + 8) ~size:24;
+           Tx.commit tx));
+    case "redlog_nested_tx" ~model:D.Epoch Bug.Redundant_logging
+      (with_pool (fun pool e ->
+           let obj = Pool.alloc_raw pool ~size:16 in
+           Pool.persist_heap_top pool;
+           let tx = Tx.begin_tx pool in
+           Tx.add_range_unchecked tx ~addr:obj ~size:16;
+           Engine.store_i64 e ~addr:obj 1L;
+           (* A nested transaction logging the same object again. *)
+           let inner = Tx.begin_tx pool in
+           ignore inner;
+           Tx.add_range_unchecked tx ~addr:obj ~size:16;
+           Tx.commit inner;
+           Tx.commit tx));
+    case "redlog_one_of_two_objects" ~model:D.Epoch Bug.Redundant_logging
+      (with_pool (fun pool e ->
+           let a = Pool.alloc_raw pool ~size:16 in
+           let b = Pool.alloc_raw pool ~size:16 in
+           Pool.persist_heap_top pool;
+           let tx = Tx.begin_tx pool in
+           Tx.add_range_unchecked tx ~addr:a ~size:16;
+           Engine.store_i64 e ~addr:a 1L;
+           Tx.add_range_unchecked tx ~addr:b ~size:16;
+           Engine.store_i64 e ~addr:b 2L;
+           Tx.add_range_unchecked tx ~addr:b ~size:16;
+           Tx.commit tx));
+    case "redlog_triple" ~model:D.Epoch Bug.Redundant_logging
+      (with_pool (fun pool e ->
+           let obj = Pool.alloc_raw pool ~size:8 in
+           Pool.persist_heap_top pool;
+           let tx = Tx.begin_tx pool in
+           Tx.add_range_unchecked tx ~addr:obj ~size:8;
+           Engine.store_i64 e ~addr:obj 1L;
+           Tx.add_range_unchecked tx ~addr:obj ~size:8;
+           Tx.add_range_unchecked tx ~addr:obj ~size:8;
+           Tx.commit tx));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Lack durability in epoch: 4 cases. The stores are persisted after   *)
+(* the epoch ends, so only the epoch rule can see the violation.       *)
+(* ------------------------------------------------------------------ *)
+
+let lack_durability_epoch_cases =
+  [
+    case "epochdur_missing_clwb" ~model:D.Epoch Bug.Lack_durability_in_epoch (fun e ->
+        reg e;
+        Engine.epoch_begin e;
+        Engine.store_i64 e ~addr:512 1L;
+        Engine.store_i64 e ~addr:1024 2L;
+        Engine.clwb e ~addr:1024;
+        Engine.sfence e;
+        Engine.epoch_end e;
+        Engine.persist e ~addr:512 ~size:8);
+    case "epochdur_no_writebacks" ~model:D.Epoch Bug.Lack_durability_in_epoch (fun e ->
+        reg e;
+        Engine.epoch_begin e;
+        Engine.store_i64 e ~addr:512 1L;
+        Engine.sfence e;
+        Engine.epoch_end e;
+        Engine.persist e ~addr:512 ~size:8);
+    case "epochdur_nested" ~model:D.Epoch Bug.Lack_durability_in_epoch (fun e ->
+        reg e;
+        Engine.epoch_begin e;
+        Engine.epoch_begin e;
+        Engine.store_i64 e ~addr:2048 3L;
+        Engine.epoch_end e;
+        Engine.store_i64 e ~addr:2112 4L;
+        Engine.clwb e ~addr:2112;
+        Engine.sfence e;
+        Engine.epoch_end e;
+        Engine.persist e ~addr:2048 ~size:8);
+    case "epochdur_clwb_after_fence" ~model:D.Epoch Bug.Lack_durability_in_epoch (fun e ->
+        reg e;
+        Engine.epoch_begin e;
+        Engine.store_i64 e ~addr:512 1L;
+        Engine.sfence e;
+        (* Written back only after the barrier: still pending at the end
+           of the section. *)
+        Engine.clwb e ~addr:512;
+        Engine.epoch_end e;
+        Engine.sfence e);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Redundant epoch fence: 4 cases (Fig. 7a).                           *)
+(* ------------------------------------------------------------------ *)
+
+let redundant_epoch_fence_cases =
+  [
+    case "epochfence_two" ~model:D.Epoch Bug.Redundant_epoch_fence (fun e ->
+        reg e;
+        Engine.epoch_begin e;
+        Engine.store_i64 e ~addr:512 1L;
+        Engine.clwb e ~addr:512;
+        Engine.sfence e;
+        Engine.store_i64 e ~addr:1024 2L;
+        Engine.clwb e ~addr:1024;
+        Engine.sfence e;
+        Engine.epoch_end e);
+    case "epochfence_three" ~model:D.Epoch Bug.Redundant_epoch_fence (fun e ->
+        reg e;
+        Engine.epoch_begin e;
+        for i = 0 to 2 do
+          Engine.store_i64 e ~addr:(512 + (i * line)) (Int64.of_int i);
+          Engine.clwb e ~addr:(512 + (i * line));
+          Engine.sfence e
+        done;
+        Engine.epoch_end e);
+    case "epochfence_helper_persist" ~model:D.Epoch Bug.Redundant_epoch_fence (fun e ->
+        reg e;
+        Engine.epoch_begin e;
+        Engine.store_i64 e ~addr:512 1L;
+        Engine.call_marker e ~func:"pmemobj_persist";
+        Engine.persist e ~addr:512 ~size:8;
+        Engine.store_i64 e ~addr:1024 2L;
+        Engine.clwb e ~addr:1024;
+        Engine.sfence e;
+        Engine.epoch_end e);
+    case "epochfence_nested_inner" ~model:D.Epoch Bug.Redundant_epoch_fence (fun e ->
+        reg e;
+        Engine.epoch_begin e;
+        Engine.epoch_begin e;
+        Engine.store_i64 e ~addr:512 1L;
+        Engine.persist e ~addr:512 ~size:8;
+        Engine.epoch_end e;
+        Engine.store_i64 e ~addr:1024 2L;
+        Engine.persist e ~addr:1024 ~size:8;
+        Engine.epoch_end e);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Lack ordering in strands: 2 cases (Fig. 7b).                        *)
+(* ------------------------------------------------------------------ *)
+
+let strand_config = OC.add OC.empty (OC.strand_order ~first:"A" ~next:"B")
+
+let lack_ordering_strand_cases =
+  [
+    case "strand_persist_b_early" ~model:D.Strand ~config:strand_config Bug.Lack_ordering_in_strands (fun e ->
+        reg e;
+        Engine.register_var e ~name:"A" ~addr:512 ~size:8;
+        Engine.register_var e ~name:"B" ~addr:1024 ~size:8;
+        Engine.strand_begin e ~strand:0;
+        Engine.store_i64 e ~addr:512 1L;
+        Engine.store_i64 e ~addr:1024 2L;
+        Engine.clwb e ~addr:512;
+        Engine.strand_end e ~strand:0;
+        Engine.strand_begin e ~strand:1;
+        (* Strand 1 persists B before strand 0's barrier has made A
+           durable. *)
+        Engine.clwb e ~addr:1024;
+        Engine.sfence e;
+        Engine.strand_end e ~strand:1;
+        Engine.strand_begin e ~strand:0;
+        Engine.sfence e;
+        Engine.strand_end e ~strand:0;
+        Engine.join_strand e);
+    case "strand_three_way" ~model:D.Strand ~config:strand_config Bug.Lack_ordering_in_strands (fun e ->
+        reg e;
+        Engine.register_var e ~name:"A" ~addr:2048 ~size:8;
+        Engine.register_var e ~name:"B" ~addr:4096 ~size:8;
+        Engine.strand_begin e ~strand:0;
+        Engine.store_i64 e ~addr:2048 1L;
+        Engine.strand_end e ~strand:0;
+        Engine.strand_begin e ~strand:1;
+        Engine.store_i64 e ~addr:4096 2L;
+        Engine.clwb e ~addr:4096;
+        Engine.sfence e;
+        Engine.strand_end e ~strand:1;
+        Engine.strand_begin e ~strand:2;
+        Engine.store_i64 e ~addr:8192 3L;
+        Engine.persist e ~addr:8192 ~size:8;
+        Engine.strand_end e ~strand:2;
+        Engine.strand_begin e ~strand:0;
+        Engine.persist e ~addr:2048 ~size:8;
+        Engine.strand_end e ~strand:0;
+        Engine.join_strand e);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Cross-failure semantic bugs: 4 cases. Everything is durable by the  *)
+(* end, but at some failure point recovery would read inconsistent     *)
+(* data.                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let magic = 0xC0FFEEL
+
+(* Layout shared by the cross-failure cases: flag at 0, data at 64,
+   backup at 128, counter at 192. *)
+let xf_flag = 0
+let xf_data = 64
+let xf_backup = 128
+let xf_counter = 192
+
+let recovery_flag_data img =
+  let flag = Pmem.Image.get_i64 img xf_flag in
+  flag = 0L || Pmem.Image.get_i64 img xf_data = magic
+
+let recovery_counter_backup img =
+  Int64.compare (Pmem.Image.get_i64 img xf_counter) (Pmem.Image.get_i64 img xf_backup) <= 0
+
+let recovery_list_head img =
+  let head = Pmem.Image.get_int img xf_flag in
+  head = 0 || Pmem.Image.get_i64 img head = magic
+
+let recovery_size_array img =
+  let size = Pmem.Image.get_int img xf_flag in
+  let ok = ref true in
+  for i = 0 to size - 1 do
+    if Pmem.Image.get_i64 img (xf_data + (8 * i)) = 0L then ok := false
+  done;
+  !ok
+
+let cross_failure_cases =
+  [
+    case "xfail_flag_before_data" ~recovery:recovery_flag_data Bug.Cross_failure_semantic (fun e ->
+        reg e;
+        (* The valid flag is persisted before the data it guards. *)
+        Engine.store_i64 e ~addr:xf_flag 1L;
+        Engine.persist e ~addr:xf_flag ~size:8;
+        Engine.store_i64 e ~addr:xf_data magic;
+        Engine.persist e ~addr:xf_data ~size:8);
+    case "xfail_counter_before_backup" ~recovery:recovery_counter_backup Bug.Cross_failure_semantic (fun e ->
+        reg e;
+        Engine.store_i64 e ~addr:xf_backup 1L;
+        Engine.persist e ~addr:xf_backup ~size:8;
+        (* Counter runs ahead of its backup between the two persists. *)
+        Engine.store_i64 e ~addr:xf_counter 2L;
+        Engine.persist e ~addr:xf_counter ~size:8;
+        Engine.store_i64 e ~addr:xf_backup 2L;
+        Engine.persist e ~addr:xf_backup ~size:8);
+    case "xfail_head_before_node" ~recovery:recovery_list_head Bug.Cross_failure_semantic (fun e ->
+        reg e;
+        (* Head pointer persisted before the node contents. *)
+        Engine.store_int e ~addr:xf_flag 1024;
+        Engine.persist e ~addr:xf_flag ~size:8;
+        Engine.store_i64 e ~addr:1024 magic;
+        Engine.persist e ~addr:1024 ~size:8);
+    case "xfail_size_before_elems" ~recovery:recovery_size_array Bug.Cross_failure_semantic (fun e ->
+        reg e;
+        Engine.store_i64 e ~addr:(xf_data + 0) 1L;
+        Engine.persist e ~addr:xf_data ~size:8;
+        (* New size persisted before the new element. *)
+        Engine.store_int e ~addr:xf_flag 2;
+        Engine.persist e ~addr:xf_flag ~size:8;
+        Engine.store_i64 e ~addr:(xf_data + 8) 1L;
+        Engine.persist e ~addr:(xf_data + 8) ~size:8);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Clean controls.                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let clean =
+  [
+    clean_case "clean_store_persist" (fun e ->
+        reg e;
+        Engine.store_i64 e ~addr:512 1L;
+        Engine.persist e ~addr:512 ~size:8;
+        Engine.annotate e (Event.Assert_durable { addr = 512; size = 8 }));
+    clean_case "clean_multi_line" (fun e ->
+        reg e;
+        Engine.store_bytes e ~addr:1024 (Bytes.make 200 'c');
+        Engine.persist e ~addr:1024 ~size:200;
+        Engine.annotate e (Event.Assert_durable { addr = 1024; size = 200 }));
+    clean_case "clean_ordered"
+      ~config:(order_config ())
+      (fun e ->
+        reg e;
+        Engine.register_var e ~name:"data" ~addr:1024 ~size:8;
+        Engine.register_var e ~name:"valid" ~addr:1088 ~size:8;
+        Engine.store_i64 e ~addr:1024 7L;
+        Engine.persist e ~addr:1024 ~size:8;
+        Engine.annotate e
+          (Event.Assert_ordered { first_addr = 1024; first_size = 8; then_addr = 1088; then_size = 8 });
+        Engine.store_i64 e ~addr:1088 1L;
+        Engine.persist e ~addr:1088 ~size:8;
+        Engine.annotate e
+          (Event.Assert_ordered { first_addr = 1024; first_size = 8; then_addr = 1088; then_size = 8 }));
+    clean_case "clean_epoch" ~model:D.Epoch (fun e ->
+        reg e;
+        Engine.epoch_begin e;
+        Engine.store_i64 e ~addr:512 1L;
+        Engine.store_i64 e ~addr:1024 2L;
+        Engine.clwb e ~addr:512;
+        Engine.clwb e ~addr:1024;
+        Engine.sfence e;
+        Engine.epoch_end e);
+    clean_case "clean_tx" ~model:D.Epoch
+      (with_pool (fun pool _e ->
+           let obj = Pool.alloc_raw pool ~size:16 in
+           Pool.persist_heap_top pool;
+           let tx = Tx.begin_tx pool in
+           Tx.store_int tx ~addr:obj 11;
+           Tx.store_int tx ~addr:(obj + 8) 22;
+           Tx.commit tx));
+    clean_case "clean_strand" ~model:D.Strand ~config:strand_config (fun e ->
+        reg e;
+        Engine.register_var e ~name:"A" ~addr:512 ~size:8;
+        Engine.register_var e ~name:"B" ~addr:1024 ~size:8;
+        Engine.strand_begin e ~strand:0;
+        Engine.store_i64 e ~addr:512 1L;
+        Engine.persist e ~addr:512 ~size:8;
+        Engine.strand_end e ~strand:0;
+        Engine.strand_begin e ~strand:1;
+        Engine.store_i64 e ~addr:1024 2L;
+        Engine.persist e ~addr:1024 ~size:8;
+        Engine.strand_end e ~strand:1;
+        Engine.join_strand e);
+    clean_case "clean_rewrite_after_durable" (fun e ->
+        reg e;
+        Engine.store_i64 e ~addr:512 1L;
+        Engine.persist e ~addr:512 ~size:8;
+        Engine.store_i64 e ~addr:512 2L;
+        Engine.persist e ~addr:512 ~size:8);
+    clean_case "clean_interleaved_lines" (fun e ->
+        reg e;
+        for i = 0 to 7 do
+          Engine.store_i64 e ~addr:(1024 + (i * line)) (Int64.of_int i)
+        done;
+        for i = 0 to 7 do
+          Engine.clwb e ~addr:(1024 + (i * line))
+        done;
+        Engine.sfence e);
+  ]
+
+let buggy =
+  no_durability_cases @ multiple_overwrite_cases @ no_order_cases @ redundant_flush_cases @ flush_nothing_cases
+  @ redundant_logging_cases @ lack_durability_epoch_cases @ redundant_epoch_fence_cases @ lack_ordering_strand_cases
+  @ cross_failure_cases
+
+let all = buggy @ clean
+
+let count_by_kind kind = List.length (List.filter (fun c -> c.expected = Some kind) buggy)

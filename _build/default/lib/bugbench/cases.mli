@@ -1,0 +1,30 @@
+(** The bug-detection evaluation dataset (§7.3).
+
+    78 buggy cases across the ten Table 6 kinds, with the paper's exact
+    per-kind counts (44 / 2 / 4 / 6 / 3 / 5 / 4 / 4 / 2 / 4), plus
+    clean control cases used to verify the zero-false-positive claim.
+
+    Every case is a self-contained program against the instrumentation
+    engine. Cases carry the PMTest-style annotations their original
+    suites included (consumed only by the PMTest baseline), the order
+    configuration where the rule needs one, and — for cross-failure
+    cases — a recovery predicate over raw crash images. *)
+
+type t = {
+  id : string;
+  expected : Pmtrace.Bug.kind option;  (** [None] for clean controls *)
+  model : Pmdebugger.Detector.model;
+  config : Pmdebugger.Order_config.t;
+  recovery : (Pmem.Image.t -> bool) option;
+  run : Pmtrace.Engine.t -> unit;
+}
+
+val buggy : t list
+(** The 78 bug cases, grouped by kind in Table 6 column order. *)
+
+val clean : t list
+(** Clean controls: correct programs no tool may flag. *)
+
+val all : t list
+
+val count_by_kind : Pmtrace.Bug.kind -> int

@@ -1,0 +1,30 @@
+(** Runs the bug dataset against the four detectors and aggregates the
+    Table 6 matrix and the §7.3 false-negative / false-positive rates. *)
+
+type tool = PMDebugger | Pmemcheck | PMTest | XFDetector
+
+val all_tools : tool list
+
+val tool_name : tool -> string
+
+val run_case : tool -> Cases.t -> Pmtrace.Bug.report
+(** Executes the case live on a fresh engine with the tool attached
+    (cross-failure cases hand the tool the live PM state and the
+    recovery predicate, as §7.3 describes). *)
+
+val detected : Cases.t -> Pmtrace.Bug.report -> bool
+(** True when the report contains the case's expected bug kind. *)
+
+type result = {
+  tool : tool;
+  per_kind : (Pmtrace.Bug.kind * int * int) list;  (** kind, detected, total *)
+  detected_total : int;
+  case_total : int;
+  false_negative_rate : float;
+  false_positives : string list;  (** clean cases the tool flagged *)
+  kinds_covered : int;
+}
+
+val evaluate : tool -> result
+
+val evaluate_all : unit -> result list

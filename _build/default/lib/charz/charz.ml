@@ -1,0 +1,109 @@
+open Pmem
+open Pmtrace
+
+let max_tracked = 5
+
+type distance_histogram = { counts : int array; beyond : int; never_persisted : int; total : int }
+
+type record = {
+  mutable remaining : Addr.range list;  (** byte ranges not yet covered by a CLF *)
+  fences_at_store : int;
+}
+
+let distance_histogram trace =
+  let counts = Array.make max_tracked 0 in
+  let beyond = ref 0 and total = ref 0 in
+  let fences = ref 0 in
+  let live : (int, record) Hashtbl.t = Hashtbl.create 256 in
+  let next_id = ref 0 in
+  let flushed_waiting = ref [] in
+  Array.iter
+    (fun ev ->
+      match ev with
+      | Event.Store { addr; size; _ } ->
+          incr next_id;
+          Hashtbl.replace live !next_id { remaining = [ Addr.of_base_size addr size ]; fences_at_store = !fences }
+      | Event.Clf { addr; size; _ } ->
+          let flush = Addr.of_base_size addr size in
+          let done_ids = ref [] in
+          Hashtbl.iter
+            (fun id r ->
+              let remaining = List.concat_map (fun part -> Addr.diff part flush) r.remaining in
+              if remaining = [] then done_ids := (id, r) :: !done_ids else r.remaining <- remaining)
+            live;
+          List.iter
+            (fun (id, r) ->
+              Hashtbl.remove live id;
+              flushed_waiting := r :: !flushed_waiting)
+            !done_ids
+      | Event.Fence _ ->
+          incr fences;
+          List.iter
+            (fun r ->
+              let d = !fences - r.fences_at_store in
+              incr total;
+              if d >= 1 && d <= max_tracked then counts.(d - 1) <- counts.(d - 1) + 1 else incr beyond)
+            !flushed_waiting;
+          flushed_waiting := []
+      | _ -> ())
+    trace;
+  let never = Hashtbl.length live + List.length !flushed_waiting in
+  { counts; beyond = !beyond; never_persisted = never; total = !total }
+
+let fraction_at_most h d =
+  if h.total = 0 then 0.0
+  else begin
+    let upto = min d max_tracked in
+    let sum = ref 0 in
+    for i = 0 to upto - 1 do
+      sum := !sum + h.counts.(i)
+    done;
+    float_of_int !sum /. float_of_int h.total
+  end
+
+type writeback_classes = { collective : int; dispersed : int; empty : int }
+
+let writeback_classes trace =
+  let collective = ref 0 and dispersed = ref 0 and empty = ref 0 in
+  let lines = Hashtbl.create 16 in
+  let had_store = ref false in
+  let close_interval () =
+    if not !had_store then incr empty
+    else if Hashtbl.length lines <= 1 then incr collective
+    else incr dispersed;
+    Hashtbl.reset lines;
+    had_store := false
+  in
+  Array.iter
+    (fun ev ->
+      match ev with
+      | Event.Store { addr; size; _ } ->
+          had_store := true;
+          List.iter (fun line -> Hashtbl.replace lines line ()) (Addr.lines_of_range ~lo:addr ~hi:(addr + size))
+      | Event.Clf _ -> close_interval ()
+      | _ -> ())
+    trace;
+  close_interval ();
+  { collective = !collective; dispersed = !dispersed; empty = !empty }
+
+let collective_fraction c =
+  let n = c.collective + c.dispersed in
+  if n = 0 then 0.0 else float_of_int c.collective /. float_of_int n
+
+type instruction_mix = { stores : int; writebacks : int; fences : int }
+
+let instruction_mix trace =
+  let stores = ref 0 and writebacks = ref 0 and fences = ref 0 in
+  Array.iter
+    (fun ev ->
+      match ev with
+      | Event.Store _ -> incr stores
+      | Event.Clf _ -> incr writebacks
+      | Event.Fence _ -> incr fences
+      | _ -> ())
+    trace;
+  { stores = !stores; writebacks = !writebacks; fences = !fences }
+
+let store_fraction m =
+  let n = m.stores + m.writebacks + m.fences in
+  if n = 0 then 0.0 else float_of_int m.stores /. float_of_int n

@@ -1,0 +1,43 @@
+(** §3 characterization of PM program patterns, computed over recorded
+    traces.
+
+    - {!distance_histogram} — Fig. 2a: for every store, the number of
+      fences from the store to the fence that guarantees its
+      durability (the first fence following a CLF covering the store);
+      distance 1 means the nearest fence suffices. Stores never
+      persisted are excluded (they have no guaranteeing fence).
+    - {!writeback_classes} — Fig. 2b: each CLF interval (run of stores
+      between neighbouring CLFs) is {e collective} when a single CLF
+      persists every location updated in it, {e dispersed} when
+      multiple writebacks are needed.
+    - {!instruction_mix} — Fig. 2c: the store / writeback / fence
+      shares among those three instruction classes. *)
+
+type distance_histogram = {
+  counts : int array;  (** index d-1 holds the number of stores with distance d, up to {!max_tracked} *)
+  beyond : int;  (** stores with distance > {!max_tracked} *)
+  never_persisted : int;  (** stores excluded: durability never guaranteed *)
+  total : int;  (** stores with a guaranteeing fence *)
+}
+
+val max_tracked : int
+(** Histogram resolution (5, as in Fig. 2a's "Dist.>5" bucket). *)
+
+val distance_histogram : Pmtrace.Recorder.trace -> distance_histogram
+
+val fraction_at_most : distance_histogram -> int -> float
+(** Fraction of persisted stores with distance <= d. *)
+
+type writeback_classes = { collective : int; dispersed : int; empty : int }
+(** CLF-interval classification; [empty] intervals (no stores) are
+    reported separately and excluded from the Fig. 2b percentages. *)
+
+val writeback_classes : Pmtrace.Recorder.trace -> writeback_classes
+
+val collective_fraction : writeback_classes -> float
+
+type instruction_mix = { stores : int; writebacks : int; fences : int }
+
+val instruction_mix : Pmtrace.Recorder.trace -> instruction_mix
+
+val store_fraction : instruction_mix -> float

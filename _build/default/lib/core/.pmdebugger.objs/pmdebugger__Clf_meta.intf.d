@@ -1,0 +1,1 @@
+lib/core/clf_meta.mli: Format Pmem

@@ -1,0 +1,1 @@
+lib/core/crash_check.ml: List Pmem

@@ -1,0 +1,1 @@
+lib/core/crash_check.mli: Pmem

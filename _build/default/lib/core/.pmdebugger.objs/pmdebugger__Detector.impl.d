@@ -1,0 +1,1 @@
+lib/core/detector.ml: Addr Bug Crash_check Event Hashtbl Image List Order_config Pmem Pmtrace Printf Sink Space State

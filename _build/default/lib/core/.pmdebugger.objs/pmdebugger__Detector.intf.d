@@ -1,0 +1,1 @@
+lib/core/detector.mli: Order_config Pmem Pmtrace Space

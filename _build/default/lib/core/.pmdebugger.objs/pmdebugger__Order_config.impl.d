@@ -1,0 +1,1 @@
+lib/core/order_config.ml: List Printf String

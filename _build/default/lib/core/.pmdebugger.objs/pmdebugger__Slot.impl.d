@@ -1,0 +1,1 @@
+lib/core/slot.ml: Pmem

@@ -1,0 +1,1 @@
+lib/core/space.ml: Addr Array Clf_meta List Pmem Rangetree Slot

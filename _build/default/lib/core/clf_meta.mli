@@ -1,0 +1,33 @@
+(** Per-CLF-interval metadata (§4.1, Fig. 5).
+
+    A CLF interval is the run of store instructions between two
+    neighbouring CLF instructions. Its metadata records the array index
+    span of those stores, the covered address range, and a collective
+    flushing state so that CLF and fence processing can treat all the
+    interval's locations at once (Pattern 2). Metadata nodes form a
+    singly-linked list in interval order. *)
+
+type fstate = Not_flushed | Partially_flushed | All_flushed
+
+type t = {
+  mutable start_idx : int;  (** array index of the interval's first store *)
+  mutable end_idx : int;  (** array index of the last store; -1 if none *)
+  mutable min_addr : int;
+  mutable max_addr : int;  (** exclusive upper bound of the address range *)
+  mutable state : fstate;
+  mutable next : t option;
+}
+
+val make : start_idx:int -> t
+(** A fresh, empty interval starting at the given array index. *)
+
+val is_empty : t -> bool
+
+val note_store : t -> idx:int -> lo:int -> hi:int -> unit
+(** Extend the interval with a store recorded at array index [idx]
+    covering [\[lo,hi)]. *)
+
+val addr_range : t -> Pmem.Addr.range option
+(** Covered address range; [None] when the interval has no stores. *)
+
+val pp : Format.formatter -> t -> unit

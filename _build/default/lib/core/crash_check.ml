@@ -1,0 +1,5 @@
+let violations ~pm ~recovery ?(max_images = 64) () =
+  let images = Pmem.State.crash_images pm ~max_images () in
+  List.fold_left (fun acc img -> if recovery img then acc else acc + 1) 0 images
+
+let consistent ~pm ~recovery ?max_images () = violations ~pm ~recovery ?max_images () = 0

@@ -1,0 +1,12 @@
+(** Crash-image consistency checking.
+
+    Samples the possible post-crash PM images of a live {!Pmem.State}
+    and runs a user-supplied recovery predicate against each — the
+    mechanism behind the cross-failure-semantic rule (§7.3: Valgrind
+    cannot pause/resume threads, so the recovery program is called
+    manually; we call it on simulated crash images instead). *)
+
+val violations : pm:Pmem.State.t -> recovery:(Pmem.Image.t -> bool) -> ?max_images:int -> unit -> int
+(** Number of sampled crash images the recovery predicate rejects. *)
+
+val consistent : pm:Pmem.State.t -> recovery:(Pmem.Image.t -> bool) -> ?max_images:int -> unit -> bool

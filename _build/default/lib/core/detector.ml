@@ -1,0 +1,444 @@
+open Pmem
+open Pmtrace
+
+type model = Strict | Epoch | Strand
+
+type rule_set = {
+  no_durability : bool;
+  multiple_overwrites : bool;
+  no_order_guarantee : bool;
+  redundant_flush : bool;
+  flush_nothing : bool;
+  redundant_logging : bool;
+  lack_durability_in_epoch : bool;
+  redundant_epoch_fence : bool;
+  lack_ordering_in_strands : bool;
+  cross_failure : bool;
+}
+
+let default_rules = function
+  | Strict ->
+      {
+        no_durability = true;
+        multiple_overwrites = true;
+        no_order_guarantee = true;
+        redundant_flush = true;
+        flush_nothing = true;
+        redundant_logging = true;
+        lack_durability_in_epoch = false;
+        redundant_epoch_fence = false;
+        lack_ordering_in_strands = false;
+        cross_failure = true;
+      }
+  | Epoch ->
+      {
+        no_durability = true;
+        (* Overwriting before durability is legal under relaxed models. *)
+        multiple_overwrites = false;
+        no_order_guarantee = true;
+        redundant_flush = true;
+        flush_nothing = true;
+        redundant_logging = true;
+        lack_durability_in_epoch = true;
+        redundant_epoch_fence = true;
+        lack_ordering_in_strands = false;
+        cross_failure = true;
+      }
+  | Strand ->
+      {
+        no_durability = true;
+        multiple_overwrites = false;
+        no_order_guarantee = true;
+        redundant_flush = true;
+        flush_nothing = true;
+        redundant_logging = true;
+        lack_durability_in_epoch = true;
+        redundant_epoch_fence = true;
+        lack_ordering_in_strands = true;
+        cross_failure = true;
+      }
+
+let all_rules_off =
+  {
+    no_durability = false;
+    multiple_overwrites = false;
+    no_order_guarantee = false;
+    redundant_flush = false;
+    flush_nothing = false;
+    redundant_logging = false;
+    lack_durability_in_epoch = false;
+    redundant_epoch_fence = false;
+    lack_ordering_in_strands = false;
+    cross_failure = false;
+  }
+
+type var_state = { mutable stored : bool; mutable persisted : int option }
+
+type t = {
+  model : model;
+  rules : rule_set;
+  config : Order_config.t;
+  make_space : unit -> Space.t;
+  dspace : Space.t;
+  strand_spaces : (int, Space.t) Hashtbl.t;
+  cur_strand : (int, int) Hashtbl.t; (* tid -> active strand section *)
+  epoch_depth : (int, int) Hashtbl.t;
+  epoch_fences : (int, int) Hashtbl.t;
+  logged : (int, Addr.range list ref) Hashtbl.t; (* tid -> tx log ranges *)
+  mutable registered : Addr.range list;
+  mutable track_all : bool;
+  vars : (string, Addr.range) Hashtbl.t;
+  var_state : (string, var_state) Hashtbl.t;
+  funcs_called : (string, unit) Hashtbl.t;
+  bugs : (Bug.kind * int, Bug.t) Hashtbl.t;
+  mutable bug_keys : (Bug.kind * int) list; (* reverse insertion order *)
+  max_bugs_per_kind : int;
+  kind_counts : (Bug.kind, int) Hashtbl.t;
+  mutable events : int;
+  mutable seq : int;
+  pm : State.t option;
+  recovery : (Image.t -> bool) option;
+  crash_check_every_fence : bool;
+  mutable finished : bool;
+}
+
+let create ?(model = Strict) ?rules ?(config = Order_config.empty) ?array_capacity ?merge_threshold ?mode
+    ?interval_metadata ?pm ?recovery ?(crash_check_every_fence = false) ?(max_bugs_per_kind = 1000) () =
+  let rules = match rules with Some r -> r | None -> default_rules model in
+  let make_space () = Space.create ?array_capacity ?merge_threshold ?mode ?interval_metadata () in
+  {
+    model;
+    rules;
+    config;
+    make_space;
+    dspace = make_space ();
+    strand_spaces = Hashtbl.create 8;
+    cur_strand = Hashtbl.create 8;
+    epoch_depth = Hashtbl.create 8;
+    epoch_fences = Hashtbl.create 8;
+    logged = Hashtbl.create 8;
+    registered = [];
+    track_all = true;
+    vars = Hashtbl.create 8;
+    var_state = Hashtbl.create 8;
+    funcs_called = Hashtbl.create 8;
+    bugs = Hashtbl.create 64;
+    bug_keys = [];
+    max_bugs_per_kind;
+    kind_counts = Hashtbl.create 16;
+    events = 0;
+    seq = 0;
+    pm;
+    recovery;
+    crash_check_every_fence;
+    finished = false;
+  }
+
+let default_space t = t.dspace
+
+let all_spaces t = t.dspace :: Hashtbl.fold (fun _ s acc -> s :: acc) t.strand_spaces []
+
+let report_bug t kind ~addr ?(size = 0) ~detail () =
+  let key = (kind, addr) in
+  if not (Hashtbl.mem t.bugs key) then begin
+    let n = match Hashtbl.find_opt t.kind_counts kind with None -> 0 | Some n -> n in
+    if n < t.max_bugs_per_kind then begin
+      Hashtbl.replace t.kind_counts kind (n + 1);
+      Hashtbl.replace t.bugs key (Bug.make ~addr ~size ~seq:t.seq ~detail kind);
+      t.bug_keys <- key :: t.bug_keys
+    end
+  end
+
+let in_registered t ~lo ~hi =
+  t.track_all || List.exists (fun r -> Addr.overlaps r (Addr.range ~lo ~hi)) t.registered
+
+let space_for t tid =
+  match Hashtbl.find_opt t.cur_strand tid with
+  | None -> t.dspace
+  | Some strand -> (
+      match Hashtbl.find_opt t.strand_spaces strand with
+      | Some s -> s
+      | None ->
+          let s = t.make_space () in
+          Hashtbl.replace t.strand_spaces strand s;
+          s)
+
+let in_epoch t tid = match Hashtbl.find_opt t.epoch_depth tid with Some d when d > 0 -> true | _ -> false
+
+let var_name_for t addr =
+  Hashtbl.fold (fun name r acc -> if Addr.contains r addr then Some name else acc) t.vars None
+
+(* A variable is durable when it has been stored to and no space still
+   tracks an unpersisted location overlapping it. *)
+let update_var_persistence t =
+  let spaces = all_spaces t in
+  Hashtbl.iter
+    (fun name (r : Addr.range) ->
+      let st =
+        match Hashtbl.find_opt t.var_state name with
+        | Some st -> st
+        | None ->
+            let st = { stored = false; persisted = None } in
+            Hashtbl.replace t.var_state name st;
+            st
+      in
+      if st.stored && st.persisted = None then
+        if not (List.exists (fun s -> Space.has_pending_overlap s ~lo:r.Addr.lo ~hi:r.Addr.hi) spaces) then
+          st.persisted <- Some t.seq)
+    t.vars
+
+let var_persisted t name =
+  match Hashtbl.find_opt t.var_state name with Some { persisted = Some _; _ } -> true | _ -> false
+
+let var_addr t name = match Hashtbl.find_opt t.vars name with Some r -> r.Addr.lo | None -> -1
+
+let func_gate_open t = function None -> true | Some f -> Hashtbl.mem t.funcs_called f
+
+let check_order_constraints t =
+  List.iter
+    (fun (e : Order_config.entry) ->
+      let enabled =
+        match e.Order_config.kind with
+        | Order_config.Intra -> t.rules.no_order_guarantee && func_gate_open t e.Order_config.func
+        | Order_config.Cross_strand -> t.rules.lack_ordering_in_strands
+      in
+      if enabled && var_persisted t e.Order_config.next && not (var_persisted t e.Order_config.first) then begin
+        let kind =
+          match e.Order_config.kind with
+          | Order_config.Intra -> Bug.No_order_guarantee
+          | Order_config.Cross_strand -> Bug.Lack_ordering_in_strands
+        in
+        report_bug t kind ~addr:(var_addr t e.Order_config.next)
+          ~detail:(Printf.sprintf "%s persisted before %s" e.Order_config.next e.Order_config.first)
+          ()
+      end)
+    (Order_config.entries t.config)
+
+let note_var_store t ~lo ~hi =
+  if Hashtbl.length t.vars > 0 then
+    Hashtbl.iter
+      (fun name (r : Addr.range) ->
+        if Addr.overlaps r (Addr.range ~lo ~hi) then begin
+          match Hashtbl.find_opt t.var_state name with
+          | Some st ->
+              st.stored <- true;
+              (* A new store invalidates previous durability. *)
+              st.persisted <- None
+          | None -> Hashtbl.replace t.var_state name { stored = true; persisted = None }
+        end)
+      t.vars
+
+let run_crash_check t =
+  match (t.pm, t.recovery) with
+  | Some pm, Some recovery when t.rules.cross_failure ->
+      let violations = Crash_check.violations ~pm ~recovery () in
+      if violations > 0 then
+        report_bug t Bug.Cross_failure_semantic ~addr:(-1)
+          ~detail:(Printf.sprintf "%d inconsistent crash image(s)" violations)
+          ()
+  | _ -> ()
+
+let on_store t ~addr ~size ~tid =
+  if in_registered t ~lo:addr ~hi:(addr + size) then begin
+    let space = space_for t tid in
+    let strand = match Hashtbl.find_opt t.cur_strand tid with Some s -> s | None -> -1 in
+    let check_overlap = t.rules.multiple_overwrites && t.model = Strict in
+    let overlapped =
+      Space.process_store space ~check_overlap ~addr ~size ~epoch:(in_epoch t tid) ~seq:t.seq ~tid ~strand ()
+    in
+    if overlapped && check_overlap then
+      report_bug t Bug.Multiple_overwrites ~addr ~size ~detail:"overwrite before durability guaranteed" ();
+    note_var_store t ~lo:addr ~hi:(addr + size)
+  end
+
+(* §5.2, Fig. 7b: a CLF that persists a location with a cross-strand
+   ordering requirement violates it when the predecessor variable is
+   not yet durable (its barrier has not completed). *)
+let check_strand_order_at_clf t ~lo ~hi =
+  List.iter
+    (fun (e : Order_config.entry) ->
+      if e.Order_config.kind = Order_config.Cross_strand then
+        match Hashtbl.find_opt t.vars e.Order_config.next with
+        | Some r when Addr.overlaps r (Addr.range ~lo ~hi) ->
+            if not (var_persisted t e.Order_config.first) then
+              report_bug t Bug.Lack_ordering_in_strands ~addr:r.Addr.lo
+                ~detail:
+                  (Printf.sprintf "%s written back before %s is durable" e.Order_config.next e.Order_config.first)
+                ()
+        | _ -> ())
+    (Order_config.entries t.config)
+
+let on_clf t ~addr ~size ~tid =
+  if in_registered t ~lo:addr ~hi:(addr + size) then begin
+    let primary = space_for t tid in
+    let result = Space.process_clf primary ~lo:addr ~hi:(addr + size) in
+    (* A CLWB acts on the physical line: under the strand extension it
+       must also update any other strand's space tracking the line. *)
+    let result =
+      if Hashtbl.length t.strand_spaces = 0 then result
+      else
+        List.fold_left
+          (fun (acc : Space.clf_result) space ->
+            if space == primary || not (Space.has_pending_overlap space ~lo:addr ~hi:(addr + size)) then acc
+            else begin
+              let r = Space.process_clf space ~lo:addr ~hi:(addr + size) in
+              {
+                Space.matched = acc.Space.matched + r.Space.matched;
+                newly_flushed = acc.Space.newly_flushed + r.Space.newly_flushed;
+                redundant = acc.Space.redundant @ r.Space.redundant;
+              }
+            end)
+          result (all_spaces t)
+    in
+    if t.rules.flush_nothing && result.Space.matched = 0 then
+      report_bug t Bug.Flush_nothing ~addr ~size ~detail:"CLF persists no prior store" ();
+    (* A CLF is redundant only when it covers tracked locations yet
+       persists nothing new: a line writeback that also persists a fresh
+       store is useful, however many already-flushed neighbours share
+       the line. *)
+    if t.rules.redundant_flush && result.Space.matched > 0 && result.Space.newly_flushed = 0 then begin
+      let a, s = match result.Space.redundant with (a, s) :: _ -> (a, s) | [] -> (addr, size) in
+      report_bug t Bug.Redundant_flush ~addr:a ~size:s ~detail:"store flushed again before the fence" ()
+    end;
+    if t.rules.lack_ordering_in_strands && not (Order_config.is_empty t.config) then
+      check_strand_order_at_clf t ~lo:addr ~hi:(addr + size)
+  end
+
+let on_fence t ~tid =
+  let space = space_for t tid in
+  Space.note_fence_sample space;
+  Space.process_fence space;
+  if in_epoch t tid then begin
+    let n = match Hashtbl.find_opt t.epoch_fences tid with None -> 0 | Some n -> n in
+    Hashtbl.replace t.epoch_fences tid (n + 1)
+  end;
+  if not (Order_config.is_empty t.config) then begin
+    update_var_persistence t;
+    check_order_constraints t
+  end;
+  if t.crash_check_every_fence then run_crash_check t
+
+let on_epoch_begin t ~tid =
+  let d = match Hashtbl.find_opt t.epoch_depth tid with None -> 0 | Some d -> d in
+  (* Nested transactions collapse into the outermost one (§6). *)
+  if d = 0 then begin
+    Hashtbl.replace t.epoch_fences tid 0;
+    Hashtbl.replace t.logged tid (ref [])
+  end;
+  Hashtbl.replace t.epoch_depth tid (d + 1)
+
+let on_epoch_end t ~tid =
+  let d = match Hashtbl.find_opt t.epoch_depth tid with None -> 0 | Some d -> d in
+  if d <= 1 then begin
+    Hashtbl.replace t.epoch_depth tid 0;
+    (* Rules at the outermost epoch end (§5.2). *)
+    let fences = match Hashtbl.find_opt t.epoch_fences tid with None -> 0 | Some n -> n in
+    if t.rules.redundant_epoch_fence && fences > 1 then
+      report_bug t Bug.Redundant_epoch_fence ~addr:(-tid - 1)
+        ~detail:(Printf.sprintf "%d fences inside one epoch section" fences)
+        ();
+    if t.rules.lack_durability_in_epoch then begin
+      let space = space_for t tid in
+      if Space.exists_epoch_pending space then begin
+        (* Report each still-pending epoch location. *)
+        Space.iter_pending space (fun ~addr ~size ~flushed:_ ~epoch ~seq:_ ->
+            if epoch then
+              report_bug t Bug.Lack_durability_in_epoch ~addr ~size ~detail:"epoch ends with unpersisted store" ())
+      end
+    end;
+    Hashtbl.remove t.logged tid
+  end
+  else Hashtbl.replace t.epoch_depth tid (d - 1)
+
+let on_tx_log t ~obj_addr ~size ~tid =
+  if t.rules.redundant_logging then begin
+    let ranges =
+      match Hashtbl.find_opt t.logged tid with
+      | Some r -> r
+      | None ->
+          let r = ref [] in
+          Hashtbl.replace t.logged tid r;
+          r
+    in
+    let range = Addr.of_base_size obj_addr size in
+    if List.exists (fun r -> Addr.overlaps r range) !ranges then
+      report_bug t Bug.Redundant_logging ~addr:obj_addr ~size ~detail:"object logged more than once in one transaction" ()
+    else ranges := range :: !ranges
+  end
+
+let on_program_end t =
+  if not t.finished then begin
+    t.finished <- true;
+    if t.rules.no_durability then
+      List.iter
+        (fun space ->
+          Space.iter_pending space (fun ~addr ~size ~flushed ~epoch:_ ~seq:_ ->
+              let detail =
+                if flushed then "flushed but never fenced (missing fence)"
+                else "never flushed (missing CLF)"
+              in
+              let detail =
+                match var_name_for t addr with None -> detail | Some name -> name ^ ": " ^ detail
+              in
+              report_bug t Bug.No_durability ~addr ~size ~detail ()))
+        (all_spaces t);
+    (* Order constraints where the later var persisted but the earlier
+       one never did are caught here even without a closing fence. *)
+    if not (Order_config.is_empty t.config) then begin
+      update_var_persistence t;
+      check_order_constraints t
+    end;
+    run_crash_check t
+  end
+
+let on_event t ev =
+  t.events <- t.events + 1;
+  t.seq <- t.seq + 1;
+  match ev with
+  | Event.Store { addr; size; tid } -> on_store t ~addr ~size ~tid
+  | Event.Clf { addr; size; tid; kind = _ } -> on_clf t ~addr ~size ~tid
+  | Event.Fence { tid } -> on_fence t ~tid
+  | Event.Register_pmem { base; size } ->
+      t.track_all <- false;
+      t.registered <- Addr.of_base_size base size :: t.registered
+  | Event.Epoch_begin { tid } -> on_epoch_begin t ~tid
+  | Event.Epoch_end { tid } -> on_epoch_end t ~tid
+  | Event.Strand_begin { tid; strand } -> Hashtbl.replace t.cur_strand tid strand
+  | Event.Strand_end { tid; strand = _ } -> Hashtbl.remove t.cur_strand tid
+  | Event.Join_strand _ -> ()
+  | Event.Tx_log { obj_addr; size; tid } -> on_tx_log t ~obj_addr ~size ~tid
+  | Event.Register_var { name; addr; size } ->
+      Hashtbl.replace t.vars name (Addr.of_base_size addr size);
+      if not (Hashtbl.mem t.var_state name) then Hashtbl.replace t.var_state name { stored = false; persisted = None }
+  | Event.Call { func; tid = _ } -> Hashtbl.replace t.funcs_called func ()
+  | Event.Annotation _ -> () (* PMTest-style annotations are not needed *)
+  | Event.Program_end -> on_program_end t
+
+let bugs_in_order t = List.rev_map (fun key -> Hashtbl.find t.bugs key) t.bug_keys
+
+let stats t =
+  let spaces = all_spaces t in
+  let samples = List.fold_left (fun acc s -> acc +. List.assoc "avg_tree_nodes_per_fence" (Space.stats s)) 0.0 spaces in
+  ignore samples;
+  let tree_nodes = List.fold_left (fun acc s -> acc + Space.tree_size s) 0 spaces in
+  let reorgs = List.fold_left (fun acc s -> acc + Space.reorganizations s) 0 spaces in
+  [
+    ("tree_size", float_of_int tree_nodes);
+    ("reorganizations", float_of_int reorgs);
+    ("avg_tree_nodes_per_fence", Space.avg_tree_nodes_per_fence t.dspace);
+    ("spaces", float_of_int (List.length spaces));
+  ]
+
+let report t =
+  { Bug.detector = "pmdebugger"; bugs = bugs_in_order t; events_processed = t.events; stats = stats t }
+
+let avg_tree_nodes_per_fence t = Space.avg_tree_nodes_per_fence t.dspace
+
+let reorganizations t = List.fold_left (fun acc s -> acc + Space.reorganizations s) 0 (all_spaces t)
+
+let sink t =
+  Sink.make ~name:"pmdebugger"
+    ~on_event:(fun ev -> on_event t ev)
+    ~finish:(fun () ->
+      on_program_end t;
+      report t)

@@ -1,0 +1,58 @@
+(** PMDebugger — the paper's detector, assembled from the bookkeeping
+    space (§4), the nine generalized detection rules (§4.5, §5.2) and
+    the relaxed-model extensions (§5.1).
+
+    Construct with the target persistency model; the default rule set
+    follows the paper (e.g. multiple-overwrites is disabled under
+    relaxed models, where overwriting before durability is legal). The
+    detector is exposed as a {!Pmtrace.Sink.t} so it attaches to the
+    instrumentation engine or to a trace replay identically. *)
+
+type model = Strict | Epoch | Strand
+
+type rule_set = {
+  no_durability : bool;
+  multiple_overwrites : bool;
+  no_order_guarantee : bool;
+  redundant_flush : bool;
+  flush_nothing : bool;
+  redundant_logging : bool;
+  lack_durability_in_epoch : bool;
+  redundant_epoch_fence : bool;
+  lack_ordering_in_strands : bool;
+  cross_failure : bool;
+}
+
+val default_rules : model -> rule_set
+
+val all_rules_off : rule_set
+
+type t
+
+val create :
+  ?model:model (** default [Strict] *) ->
+  ?rules:rule_set (** default [default_rules model] *) ->
+  ?config:Order_config.t ->
+  ?array_capacity:int ->
+  ?merge_threshold:int ->
+  ?mode:Space.mode ->
+  ?interval_metadata:bool ->
+  ?pm:Pmem.State.t (** live PM state, required for cross-failure checks *) ->
+  ?recovery:(Pmem.Image.t -> bool) ->
+  ?crash_check_every_fence:bool (** default false: check at program end only *) ->
+  ?max_bugs_per_kind:int (** default 1000 *) ->
+  unit ->
+  t
+
+val sink : t -> Pmtrace.Sink.t
+
+val report : t -> Pmtrace.Bug.report
+(** Current report (also returned by the sink's [finish]). *)
+
+val default_space : t -> Space.t
+(** The non-strand bookkeeping space (for tests and stats). *)
+
+val avg_tree_nodes_per_fence : t -> float
+(** Fig. 11 metric, averaged over all spaces weighted by samples. *)
+
+val reorganizations : t -> int

@@ -1,0 +1,59 @@
+type constraint_kind = Intra | Cross_strand
+
+type entry = { kind : constraint_kind; first : string; next : string; func : string option }
+
+type t = entry list
+
+let empty = []
+
+let entries t = t
+
+let is_empty t = t = []
+
+let add t e = t @ [ e ]
+
+let order ?func ~first ~next () = { kind = Intra; first; next; func }
+
+let strand_order ~first ~next = { kind = Cross_strand; first; next; func = None }
+
+let parse_line lineno line =
+  let line = String.trim line in
+  if line = "" || line.[0] = '#' then Ok None
+  else begin
+    let words = String.split_on_char ' ' line |> List.filter (fun w -> w <> "") in
+    match words with
+    | [ "order"; first; "before"; next ] -> Ok (Some { kind = Intra; first; next; func = None })
+    | [ "order"; first; "before"; next; "at"; func ] -> Ok (Some { kind = Intra; first; next; func = Some func })
+    | [ "strand-order"; first; "before"; next ] -> Ok (Some { kind = Cross_strand; first; next; func = None })
+    | _ -> Error (Printf.sprintf "line %d: cannot parse %S" lineno line)
+  end
+
+let parse text =
+  let lines = String.split_on_char '\n' text in
+  let rec go acc lineno = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest -> (
+        match parse_line lineno line with
+        | Ok None -> go acc (lineno + 1) rest
+        | Ok (Some e) -> go (e :: acc) (lineno + 1) rest
+        | Error _ as err -> err)
+  in
+  go [] 1 lines
+
+let parse_exn text = match parse text with Ok t -> t | Error msg -> failwith ("Order_config.parse: " ^ msg)
+
+let load path =
+  try
+    let ic = open_in path in
+    let n = in_channel_length ic in
+    let body = really_input_string ic n in
+    close_in ic;
+    parse body
+  with Sys_error msg -> Error msg
+
+let entry_to_string e =
+  let keyword = match e.kind with Intra -> "order" | Cross_strand -> "strand-order" in
+  let base = Printf.sprintf "%s %s before %s" keyword e.first e.next in
+  match e.func with None -> base | Some f -> base ^ " at " ^ f
+
+let to_string t = String.concat "\n" (List.map entry_to_string t)

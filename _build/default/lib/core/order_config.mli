@@ -1,0 +1,51 @@
+(** Programmer-supplied persist-order configuration (§4.5, §8).
+
+    The "no order guarantee" rule needs to know which variable must be
+    persisted before which, and at which application function. The user
+    writes these constraints once in a configuration file; variables
+    are mapped to runtime addresses via [Register_var] events (symbol
+    table / intercepted allocations).
+
+    Syntax, one constraint per line:
+    {v
+      order  <first-var> before <then-var> [at <function>]
+      strand-order <first-var> before <then-var>
+      # comments and blank lines are ignored
+    v}
+
+    [strand-order] constraints feed the lack-ordering-in-strands rule
+    (§5.2); they are checked across strand sections without a function
+    gate. *)
+
+type constraint_kind = Intra  (** plain [order] *) | Cross_strand  (** [strand-order] *)
+
+type entry = {
+  kind : constraint_kind;
+  first : string;  (** variable that must persist first *)
+  next : string;  (** variable that must persist after *)
+  func : string option;  (** gate: only checked once this function ran *)
+}
+
+type t
+
+val empty : t
+
+val entries : t -> entry list
+
+val is_empty : t -> bool
+
+val add : t -> entry -> t
+
+val order : ?func:string -> first:string -> next:string -> unit -> entry
+
+val strand_order : first:string -> next:string -> entry
+
+val parse : string -> (t, string) result
+(** Parse configuration text. *)
+
+val parse_exn : string -> t
+
+val load : string -> (t, string) result
+(** Read and parse a file. *)
+
+val to_string : t -> string

@@ -1,0 +1,34 @@
+(** Information collected from one store instruction (§4.1, Fig. 5):
+    address, size and flushing state, extended with the epoch flag of
+    §5.1 and provenance (event sequence number, thread, strand). *)
+
+type t = {
+  mutable addr : int;
+  mutable size : int;
+  mutable flushed : bool;  (** a CLF covering it was issued since the store *)
+  mutable epoch : bool;  (** the store happened inside an epoch section *)
+  mutable seq : int;  (** event sequence number of the store *)
+  mutable tid : int;
+  mutable strand : int;  (** -1 outside any strand section *)
+  mutable valid : bool;
+}
+
+(** Payload stored in the AVL spill tree for a (possibly split) location. *)
+type payload = {
+  mutable p_flushed : bool;
+  p_epoch : bool;
+  p_seq : int;
+  p_tid : int;
+  p_strand : int;
+}
+
+val fresh : unit -> t
+(** An invalid slot, for array pre-allocation. *)
+
+val fill : t -> addr:int -> size:int -> epoch:bool -> seq:int -> tid:int -> strand:int -> unit
+(** Overwrite a slot in place for a new store (marks it valid and
+    not flushed). *)
+
+val payload_of : t -> payload
+
+val range : t -> Pmem.Addr.range

@@ -1,0 +1,370 @@
+open Pmem
+
+type mode = Hybrid | Array_only | Tree_only
+
+type t = {
+  mode : mode;
+  interval_metadata : bool;
+  capacity : int;
+  merge_threshold : int;
+  slots : Slot.t array;
+  mutable live : int;  (* number of appended slots in the current fence interval *)
+  mutable first_meta : Clf_meta.t;
+  mutable cur_meta : Clf_meta.t;
+  tree : Slot.payload Rangetree.t;
+  (* Tree nodes flushed by CLFs since the last fence: the fence removes
+     exactly these instead of sweeping the whole tree, so a large spill
+     tree of never-flushed locations costs fences nothing. *)
+  mutable tree_flushed_nodes : (int * int * Slot.payload) list;
+  mutable last_reorg_size : int;
+  (* Fig. 11 sampling *)
+  mutable fence_samples : int;
+  mutable tree_size_sum : int;
+}
+
+let create ?(array_capacity = 100_000) ?(merge_threshold = 500) ?(mode = Hybrid) ?(interval_metadata = true) () =
+  let capacity = match mode with Tree_only -> 0 | Hybrid | Array_only -> array_capacity in
+  let meta = Clf_meta.make ~start_idx:0 in
+  {
+    mode;
+    interval_metadata;
+    capacity;
+    merge_threshold;
+    slots = Array.init capacity (fun _ -> Slot.fresh ());
+    live = 0;
+    first_meta = meta;
+    cur_meta = meta;
+    tree = Rangetree.create ();
+    tree_flushed_nodes = [];
+    last_reorg_size = 0;
+    fence_samples = 0;
+    tree_size_sum = 0;
+  }
+
+let iter_metas t f =
+  let rec go m =
+    f m;
+    match m.Clf_meta.next with None -> () | Some n -> go n
+  in
+  go t.first_meta
+
+(* Effective flushing state of a slot, accounting for the collective
+   interval state (slots of an All_flushed interval are flushed even when
+   their individual flag was never touched). *)
+let slot_flushed t (m : Clf_meta.t) (s : Slot.t) =
+  ignore t;
+  s.Slot.flushed || m.Clf_meta.state = Clf_meta.All_flushed
+
+let tree_insert_payload t ~lo ~hi (p : Slot.payload) = Rangetree.insert t.tree ~lo ~hi p
+
+let tree_insert_slot t (s : Slot.t) = tree_insert_payload t ~lo:s.Slot.addr ~hi:(s.Slot.addr + s.Slot.size) (Slot.payload_of s)
+
+(* A store dirties its cache line again: any tracked overlapping
+   location that was flushed (but not yet fenced) loses its flushed
+   state, exactly as the hardware voids a CLWB that precedes a new
+   store. Returns whether any tracked location overlapped — the
+   observation the multiple-overwrites rule needs, collected here so the
+   store path scans the bookkeeping space once. *)
+let unflush_overlaps t ~need_overlap ~lo ~hi =
+  let probe = Addr.range ~lo ~hi in
+  let found = ref false in
+  let visit_meta (m : Clf_meta.t) =
+    (* Invariant: a Not_flushed interval holds no flushed slot, so when
+       the caller does not need the overlap observation (the
+       multiple-overwrites rule is off under relaxed models) those
+       intervals can be skipped wholesale — the Pattern 3 fast path. *)
+    if
+      (not (Clf_meta.is_empty m))
+      && (need_overlap || m.Clf_meta.state <> Clf_meta.Not_flushed)
+    then
+      match Clf_meta.addr_range m with
+      | Some r when Addr.overlaps r probe ->
+          (* Demote a collectively-flushed interval before touching
+             individual slots: the collective bit stands for every
+             slot's state. *)
+          if t.interval_metadata && m.Clf_meta.state = Clf_meta.All_flushed then begin
+            for i = m.Clf_meta.start_idx to m.Clf_meta.end_idx do
+              let s = t.slots.(i) in
+              if s.Slot.valid then s.Slot.flushed <- true
+            done;
+            m.Clf_meta.state <- Clf_meta.Partially_flushed
+          end;
+          for i = m.Clf_meta.start_idx to m.Clf_meta.end_idx do
+            let s = t.slots.(i) in
+            if s.Slot.valid && Addr.overlaps (Slot.range s) probe then begin
+              found := true;
+              (* A fully covered slot is superseded outright (the new
+                 store re-tracks the address); partial overlaps merely
+                 lose their flushed state. *)
+              if Addr.covers probe (Slot.range s) then s.Slot.valid <- false
+              else if s.Slot.flushed then s.Slot.flushed <- false
+            end
+          done
+      | _ -> ()
+  in
+  iter_metas t visit_meta;
+  (* Cheap emptiness probe before the allocating overlap pass. *)
+  if Rangetree.find_first_overlap t.tree ~lo ~hi = None then !found
+  else begin
+  (* Tree nodes: a fully covered node is superseded outright (the new
+     store re-tracks the address), preventing stale duplicates from
+     piling up under hot addresses; a partially covered flushed node
+     keeps only its non-overlapped parts flushed — marking the whole
+     region unflushed would orphan bytes whose lines are no longer
+     dirty. *)
+  let visited =
+    Rangetree.map_overlapping t.tree ~lo ~hi ~f:(fun r (p : Slot.payload) ->
+        if Addr.covers probe r then []
+        else if not p.Slot.p_flushed then [ (r, p) ]
+        else
+          List.map
+            (fun (piece : Addr.range) ->
+              let fp = { p with Slot.p_flushed = true } in
+              (* Register the replacement pieces so the next fence still
+                 drops them. *)
+              t.tree_flushed_nodes <- (piece.Addr.lo, piece.Addr.hi, fp) :: t.tree_flushed_nodes;
+              (piece, fp))
+            (Addr.diff r probe))
+  in
+  if visited > 0 then found := true;
+  !found
+  end
+
+let process_store t ?(check_overlap = true) ~addr ~size ~epoch ~seq ~tid ~strand () =
+  let overlapped = unflush_overlaps t ~need_overlap:check_overlap ~lo:addr ~hi:(addr + size) in
+  if t.mode = Tree_only || t.live >= t.capacity then
+    (* Rare overflow path (§4.1): spill straight to the tree. *)
+    tree_insert_payload t ~lo:addr ~hi:(addr + size)
+      { Slot.p_flushed = false; p_epoch = epoch; p_seq = seq; p_tid = tid; p_strand = strand }
+  else begin
+    let idx = t.live in
+    Slot.fill t.slots.(idx) ~addr ~size ~epoch ~seq ~tid ~strand;
+    t.live <- idx + 1;
+    Clf_meta.note_store t.cur_meta ~idx ~lo:addr ~hi:(addr + size)
+  end;
+  overlapped
+
+let find_overlap t ~lo ~hi =
+  let found = ref None in
+  let probe_range = Addr.range ~lo ~hi in
+  let check_meta (m : Clf_meta.t) =
+    if !found = None && not (Clf_meta.is_empty m) then
+      match Clf_meta.addr_range m with
+      | Some r when Addr.overlaps r probe_range ->
+          let i = ref m.Clf_meta.start_idx in
+          while !found = None && !i <= m.Clf_meta.end_idx do
+            let s = t.slots.(!i) in
+            if s.Slot.valid && Addr.overlaps (Slot.range s) probe_range then found := Some s.Slot.seq;
+            incr i
+          done
+      | _ -> ()
+  in
+  iter_metas t check_meta;
+  (if !found = None then
+     match Rangetree.find_first_overlap t.tree ~lo ~hi with
+     | Some (_, p) -> found := Some p.Slot.p_seq
+     | None -> ());
+  !found
+
+type clf_result = { matched : int; newly_flushed : int; redundant : (int * int) list }
+
+(* Split a partially covered slot (§4.3): the covered part stays in the
+   array (flushed); uncovered remainders go to the tree, not flushed. *)
+let split_slot t (s : Slot.t) ~(flush : Addr.range) =
+  let r = Slot.range s in
+  match Addr.inter r flush with
+  | None -> ()
+  | Some covered ->
+      let rest = Addr.diff r covered in
+      List.iter
+        (fun (part : Addr.range) ->
+          tree_insert_payload t ~lo:part.Addr.lo ~hi:part.Addr.hi
+            { Slot.p_flushed = false; p_epoch = s.Slot.epoch; p_seq = s.Slot.seq; p_tid = s.Slot.tid; p_strand = s.Slot.strand })
+        rest;
+      s.Slot.addr <- covered.Addr.lo;
+      s.Slot.size <- Addr.size covered;
+      s.Slot.flushed <- true
+
+let process_clf t ~lo ~hi =
+  let flush = Addr.range ~lo ~hi in
+  let matched = ref 0 in
+  let newly = ref 0 in
+  let redundant = ref [] in
+  let visit_slot (m : Clf_meta.t) (s : Slot.t) =
+    if s.Slot.valid && Addr.overlaps (Slot.range s) flush then begin
+      incr matched;
+      if slot_flushed t m s then redundant := (s.Slot.addr, s.Slot.size) :: !redundant
+      else if Addr.covers flush (Slot.range s) then begin
+        s.Slot.flushed <- true;
+        incr newly
+      end
+      else begin
+        split_slot t s ~flush;
+        incr newly
+      end
+    end
+  in
+  let visit_meta (m : Clf_meta.t) =
+    if not (Clf_meta.is_empty m) then begin
+      match Clf_meta.addr_range m with
+      | None -> ()
+      | Some r ->
+          if not (Addr.overlaps r flush) then ()
+          else if t.interval_metadata && Addr.covers flush r && m.Clf_meta.state = Clf_meta.Not_flushed then begin
+            (* Collective update (Pattern 2): one metadata write covers
+               every location of the interval. Slots are still visited for
+               rule observations but need no individual state change. *)
+            let n = m.Clf_meta.end_idx - m.Clf_meta.start_idx + 1 in
+            matched := !matched + n;
+            newly := !newly + n;
+            m.Clf_meta.state <- Clf_meta.All_flushed
+          end
+          else begin
+            for i = m.Clf_meta.start_idx to m.Clf_meta.end_idx do
+              visit_slot m t.slots.(i)
+            done;
+            if t.interval_metadata && m.Clf_meta.state = Clf_meta.Not_flushed then
+              m.Clf_meta.state <- Clf_meta.Partially_flushed
+          end
+    end
+  in
+  iter_metas t visit_meta;
+  (* Then the tree (§4.3): update flushing state of overlapping nodes,
+     splitting partially covered ones. *)
+  let visited =
+    Rangetree.map_overlapping t.tree ~lo ~hi ~f:(fun r (p : Slot.payload) ->
+        if p.Slot.p_flushed then begin
+          redundant := (r.Addr.lo, Addr.size r) :: !redundant;
+          [ (r, p) ]
+        end
+        else if Addr.covers flush r then begin
+          p.Slot.p_flushed <- true;
+          incr newly;
+          t.tree_flushed_nodes <- (r.Addr.lo, r.Addr.hi, p) :: t.tree_flushed_nodes;
+          [ (r, p) ]
+        end
+        else begin
+          match Addr.inter r flush with
+          | None -> [ (r, p) ]
+          | Some covered ->
+              incr newly;
+              let rest = Addr.diff r covered in
+              let fp = { p with Slot.p_flushed = true } in
+              t.tree_flushed_nodes <- (covered.Addr.lo, covered.Addr.hi, fp) :: t.tree_flushed_nodes;
+              (covered, fp) :: List.map (fun part -> (part, { p with Slot.p_flushed = false })) rest
+        end)
+  in
+  matched := !matched + visited;
+
+  (* Close the current CLF interval and open the next (§4.3). *)
+  if not (Clf_meta.is_empty t.cur_meta) then begin
+    let next = Clf_meta.make ~start_idx:t.live in
+    t.cur_meta.Clf_meta.next <- Some next;
+    t.cur_meta <- next
+  end;
+  { matched = !matched; newly_flushed = !newly; redundant = List.rev !redundant }
+
+let process_fence t =
+  (* Tree first (§4.4): drop the nodes this fence interval's CLFs
+     flushed (unless a later store un-flushed or superseded them). *)
+  List.iter
+    (fun (lo, hi, (p : Slot.payload)) ->
+      if p.Slot.p_flushed then ignore (Rangetree.remove_first t.tree ~lo ~hi (fun x -> x == p)))
+    t.tree_flushed_nodes;
+  t.tree_flushed_nodes <- [];
+  (* Array: per interval, All_flushed drops wholesale (metadata
+     invalidation only); otherwise flushed slots drop and unflushed
+     slots migrate to the tree. *)
+  let visit_meta (m : Clf_meta.t) =
+    if not (Clf_meta.is_empty m) then
+      if t.interval_metadata && m.Clf_meta.state = Clf_meta.All_flushed then ()
+      else
+        for i = m.Clf_meta.start_idx to m.Clf_meta.end_idx do
+          let s = t.slots.(i) in
+          if s.Slot.valid && not (slot_flushed t m s) then tree_insert_slot t s
+        done
+  in
+  iter_metas t visit_meta;
+  t.live <- 0;
+  let meta = Clf_meta.make ~start_idx:0 in
+  t.first_meta <- meta;
+  t.cur_meta <- meta;
+  (* Merge only past the threshold (§4.4) and only when the tree has
+     actually grown since the last pass — re-merging an unmergeable
+     tree at every fence would be quadratic. *)
+  if Rangetree.size t.tree > t.merge_threshold && Rangetree.size t.tree >= t.last_reorg_size + (t.merge_threshold / 2)
+  then begin
+    t.last_reorg_size <- Rangetree.size t.tree;
+    Rangetree.reorganize t.tree
+      ~eq:(fun (a : Slot.payload) b -> a.Slot.p_flushed = b.Slot.p_flushed && a.Slot.p_epoch = b.Slot.p_epoch && a.Slot.p_strand = b.Slot.p_strand)
+      ~merge:(fun a b -> if a.Slot.p_seq >= b.Slot.p_seq then a else b);
+    t.last_reorg_size <- Rangetree.size t.tree
+  end
+
+let fold_pending t ~init ~f =
+  let acc = ref init in
+  let visit_meta (m : Clf_meta.t) =
+    if not (Clf_meta.is_empty m) then
+      for i = m.Clf_meta.start_idx to m.Clf_meta.end_idx do
+        let s = t.slots.(i) in
+        if s.Slot.valid then
+          acc := f !acc ~addr:s.Slot.addr ~size:s.Slot.size ~flushed:(slot_flushed t m s) ~epoch:s.Slot.epoch ~seq:s.Slot.seq
+      done
+  in
+  iter_metas t visit_meta;
+  Rangetree.iter t.tree (fun r (p : Slot.payload) ->
+      acc := f !acc ~addr:r.Addr.lo ~size:(Addr.size r) ~flushed:p.Slot.p_flushed ~epoch:p.Slot.p_epoch ~seq:p.Slot.p_seq);
+  !acc
+
+let has_pending_overlap t ~lo ~hi = find_overlap t ~lo ~hi <> None
+
+exception Found
+
+let exists_epoch_pending t =
+  try
+    let visit_meta (m : Clf_meta.t) =
+      if not (Clf_meta.is_empty m) then
+        for i = m.Clf_meta.start_idx to m.Clf_meta.end_idx do
+          let s = t.slots.(i) in
+          if s.Slot.valid && s.Slot.epoch then raise Found
+        done
+    in
+    iter_metas t visit_meta;
+    Rangetree.iter t.tree (fun _ (p : Slot.payload) -> if p.Slot.p_epoch then raise Found);
+    false
+  with Found -> true
+
+let iter_pending t f =
+  fold_pending t ~init:() ~f:(fun () ~addr ~size ~flushed ~epoch ~seq -> f ~addr ~size ~flushed ~epoch ~seq)
+
+let pending_count t = fold_pending t ~init:0 ~f:(fun acc ~addr:_ ~size:_ ~flushed:_ ~epoch:_ ~seq:_ -> acc + 1)
+
+let clear t =
+  t.live <- 0;
+  let meta = Clf_meta.make ~start_idx:0 in
+  t.first_meta <- meta;
+  t.cur_meta <- meta;
+  Rangetree.clear t.tree
+
+let tree_size t = Rangetree.size t.tree
+
+let array_live t = t.live
+
+let note_fence_sample t =
+  t.fence_samples <- t.fence_samples + 1;
+  t.tree_size_sum <- t.tree_size_sum + Rangetree.size t.tree
+
+let avg_tree_nodes_per_fence t =
+  if t.fence_samples = 0 then 0.0 else float_of_int t.tree_size_sum /. float_of_int t.fence_samples
+
+let reorganizations t = (Rangetree.stats t.tree).Rangetree.reorganizations
+
+let stats t =
+  [
+    ("tree_size", float_of_int (tree_size t));
+    ("tree_max_size", float_of_int (Rangetree.stats t.tree).Rangetree.max_size);
+    ("array_live", float_of_int t.live);
+    ("avg_tree_nodes_per_fence", avg_tree_nodes_per_fence t);
+    ("reorganizations", float_of_int (reorganizations t));
+    ("rotations", float_of_int (Rangetree.stats t.tree).Rangetree.rotations);
+  ]

@@ -1,0 +1,89 @@
+(** One bookkeeping space: memory-location array + CLF-interval
+    metadata list + AVL spill tree (§4.1).
+
+    The space implements the three processing algorithms of §4.2–4.4 as
+    pure bookkeeping; it reports the observations the detection rules
+    need (overlaps found, redundant flushes, interval survivals) but
+    emits no bugs itself. A strict/epoch-model detector owns one space;
+    a strand-model detector owns one per strand section (§5.1).
+
+    Ablation knobs (see DESIGN.md): [mode] selects the hybrid design or
+    the degenerate array-only / tree-only variants, and
+    [interval_metadata] disables the collective per-interval state so
+    that every CLF and fence must visit slots individually. *)
+
+type mode = Hybrid | Array_only | Tree_only
+
+type t
+
+val create :
+  ?array_capacity:int (** default 100_000 (§4.1) *) ->
+  ?merge_threshold:int (** default 500 (§4.4) *) ->
+  ?mode:mode ->
+  ?interval_metadata:bool ->
+  unit ->
+  t
+
+(** {1 Processing} *)
+
+val process_store :
+  t -> ?check_overlap:bool -> addr:int -> size:int -> epoch:bool -> seq:int -> tid:int -> strand:int -> unit -> bool
+(** §4.2: append to the array (spilling to the tree when full) and
+    update the current CLF interval's metadata. Tracked overlapping
+    locations that were flushed but not fenced lose their flushed state
+    (the line is dirty again). Returns whether any tracked location
+    overlapped — the multiple-overwrites observation; pass
+    [~check_overlap:false] (when the overwrite rule is off) to let
+    stores skip intervals that cannot hold flushed slots. *)
+
+val find_overlap : t -> lo:int -> hi:int -> int option
+(** Sequence number of some tracked, still-unpersisted location
+    overlapping the range, if any. *)
+
+type clf_result = {
+  matched : int;  (** tracked locations the flush covered (fully or partly) *)
+  newly_flushed : int;  (** covered locations that were not already flushed *)
+  redundant : (int * int) list;  (** (addr, size) of already-flushed hits *)
+}
+
+val process_clf : t -> lo:int -> hi:int -> clf_result
+(** §4.3: update flushing states collectively via interval metadata,
+    split partially covered locations (unflushed remainder goes to the
+    tree), then update the tree; finally open a new CLF interval. *)
+
+val process_fence : t -> unit
+(** §4.4: tree first — drop persisted nodes; then the array — drop
+    flushed entries collectively per interval, migrate survivors to the
+    tree; reset the array and metadata; merge the tree when it exceeds
+    the threshold. *)
+
+(** {1 Queries for rules} *)
+
+val has_pending_overlap : t -> lo:int -> hi:int -> bool
+(** Any tracked (not yet durable) location overlapping the range? *)
+
+val exists_epoch_pending : t -> bool
+(** Any tracked location whose store came from an epoch section? *)
+
+val iter_pending : t -> (addr:int -> size:int -> flushed:bool -> epoch:bool -> seq:int -> unit) -> unit
+(** Every tracked location, with its current flushing state. *)
+
+val pending_count : t -> int
+
+val clear : t -> unit
+
+(** {1 Statistics} *)
+
+val tree_size : t -> int
+
+val array_live : t -> int
+
+val note_fence_sample : t -> unit
+(** Record the current tree size as one fence-interval sample
+    (Fig. 11). Called by the detector at each fence. *)
+
+val avg_tree_nodes_per_fence : t -> float
+
+val reorganizations : t -> int
+
+val stats : t -> (string * float) list

@@ -1,0 +1,1 @@
+lib/harness/table.ml: Array List Printf String

@@ -1,0 +1,1 @@
+lib/harness/timing.ml: List Pmtrace Unix

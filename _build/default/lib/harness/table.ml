@@ -1,0 +1,22 @@
+let print ~title ~header rows =
+  let all = header :: rows in
+  let ncols = List.fold_left (fun acc r -> max acc (List.length r)) 0 all in
+  let widths = Array.make ncols 0 in
+  List.iter
+    (fun row -> List.iteri (fun i cell -> if String.length cell > widths.(i) then widths.(i) <- String.length cell) row)
+    all;
+  let render row =
+    let cells = List.mapi (fun i cell -> Printf.sprintf "%-*s" widths.(i) cell) row in
+    "  " ^ String.concat "  " cells
+  in
+  Printf.printf "\n%s\n" title;
+  Printf.printf "%s\n" (render header);
+  Printf.printf "  %s\n" (String.make (List.fold_left (fun a w -> a + w + 2) 0 (Array.to_list widths)) '-');
+  List.iter (fun row -> Printf.printf "%s\n" (render row)) rows;
+  flush stdout
+
+let fmt_f v = Printf.sprintf "%.2f" v
+
+let fmt_x v = Printf.sprintf "%.1fx" v
+
+let fmt_pct v = Printf.sprintf "%.1f%%" (100.0 *. v)

@@ -1,0 +1,13 @@
+(** Plain-text table rendering for the bench and CLI output. *)
+
+val print : title:string -> header:string list -> string list list -> unit
+(** Renders an aligned table with a title line. *)
+
+val fmt_f : float -> string
+(** Two-decimal float. *)
+
+val fmt_x : float -> string
+(** Slowdown/speedup style: ["12.3x"]. *)
+
+val fmt_pct : float -> string
+(** Percentage with one decimal: ["84.5%"]. *)

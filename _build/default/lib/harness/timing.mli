@@ -1,0 +1,30 @@
+(** Wall-clock timing for the slowdown experiments.
+
+    The paper reports per-tool slowdown relative to the original
+    program with detectors disabled. Here the "original program" is the
+    workload run with instrumentation off; Nulgrind adds dispatch-only
+    instrumentation; each detector adds its bookkeeping on top. Times
+    are medians of repeated runs on a recorded trace. *)
+
+val time_once : (unit -> unit) -> float
+
+val median_of : ?repeats:int (** default 3 *) -> (unit -> unit) -> float
+
+type measurement = {
+  native_s : float;  (** uninstrumented workload run *)
+  nulgrind_s : float;  (** native + dispatch to a no-op sink *)
+  detector_s : (string * float) list;  (** native + dispatch + bookkeeping *)
+}
+
+val slowdown : measurement -> float -> float
+(** [slowdown m t] is [t /. m.native_s]. *)
+
+val measure :
+  ?repeats:int ->
+  run:(Pmtrace.Engine.t -> unit) ->
+  detectors:(string * (unit -> Pmtrace.Sink.t)) list ->
+  unit ->
+  measurement * Pmtrace.Recorder.trace
+(** Runs the workload natively (instrumentation off) for the baseline
+    time, records its trace once, then replays the trace into each
+    detector; detector total time = native + replay. *)

@@ -1,0 +1,1 @@
+lib/pmdk/atomic.ml: Engine Pmem Pmtrace Pool

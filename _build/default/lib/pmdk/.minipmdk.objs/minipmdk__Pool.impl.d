@@ -1,0 +1,1 @@
+lib/pmdk/pool.ml: Bytes Engine Pmem Pmtrace

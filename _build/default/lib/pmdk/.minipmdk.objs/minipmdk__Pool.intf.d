@@ -1,0 +1,1 @@
+lib/pmdk/pool.mli: Pmem Pmtrace

@@ -1,0 +1,1 @@
+lib/pmdk/tx.ml: Addr Bytes Engine Hashtbl Image List Pmem Pmtrace Pool

@@ -1,0 +1,17 @@
+open Pmtrace
+
+let alloc pool ~size ~init =
+  let engine = Pool.engine pool in
+  (* PMDK's allocator classes are cache-line aligned. *)
+  let off = Pool.alloc_raw ~align:Pmem.Addr.cache_line_size pool ~size in
+  (* Publish the frontier first (a frontier ahead of a dead object is
+     crash-safe), so the object-init interval stays single-line. *)
+  Pool.persist_heap_top pool;
+  init off;
+  Engine.persist engine ~addr:off ~size;
+  off
+
+let publish_int pool ~addr v =
+  let engine = Pool.engine pool in
+  Engine.store_int engine ~addr v;
+  Engine.persist engine ~addr ~size:8

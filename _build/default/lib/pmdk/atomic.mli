@@ -1,0 +1,16 @@
+(** Non-transactional (atomic-API) allocation and publication, the
+    POBJ_ALLOC style used by the paper's hashmap_atomic benchmark.
+
+    [alloc] bump-allocates, runs the constructor (whose stores target
+    the fresh object), persists the object and then the heap frontier —
+    two persist steps, each a flush + fence, exactly the instruction
+    pattern that makes hashmap_atomic's CLF intervals overwhelmingly
+    collective (Fig. 2b). *)
+
+val alloc : Pool.t -> size:int -> init:(int -> unit) -> int
+(** Returns the new object's offset. [init] receives the offset and
+    must write the object's initial contents through the engine. *)
+
+val publish_int : Pool.t -> addr:int -> int -> unit
+(** Store an int and persist it — the atomic pointer-publication
+    idiom. *)

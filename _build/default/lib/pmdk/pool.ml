@@ -1,0 +1,88 @@
+open Pmtrace
+
+type t = {
+  engine : Engine.t;
+  size : int;
+  log_capacity : int;
+  mutable tx_depth : int;
+  mutable tx_logged : Pmem.Addr.range list;
+  mutable tx_log_top : int;
+}
+
+let magic = 0x504d444b5f4f434cL (* "PMDK_OCL" *)
+
+let off_magic = 0
+let off_heap_top = 8
+let off_root_off = 16
+let off_root_size = 24
+let off_log_top = 32
+let log_area_off = 64
+
+let create ?(log_capacity = 1 lsl 20) engine ~size =
+  let t = { engine; size; log_capacity; tx_depth = 0; tx_logged = []; tx_log_top = 0 } in
+  Engine.register_pmem engine ~base:0 ~size;
+  Engine.store_i64 engine ~addr:off_magic magic;
+  Engine.store_int engine ~addr:off_heap_top (log_area_off + log_capacity);
+  Engine.store_int engine ~addr:off_root_off 0;
+  Engine.store_int engine ~addr:off_root_size 0;
+  Engine.store_int engine ~addr:off_log_top 0;
+  Engine.persist engine ~addr:0 ~size:40;
+  t
+
+let engine t = t.engine
+
+let size t = t.size
+
+let log_capacity t = t.log_capacity
+
+let heap_start t = log_area_off + t.log_capacity
+
+let heap_top t = Engine.load_int t.engine ~addr:off_heap_top
+
+let set_heap_top t v = Engine.store_int t.engine ~addr:off_heap_top v
+
+let persist_heap_top t = Engine.persist t.engine ~addr:off_heap_top ~size:8
+
+let align_up n align = (n + align - 1) land lnot (align - 1)
+
+let alloc_raw ?(align = 8) t ~size =
+  let top = align_up (heap_top t) align in
+  let next = top + align_up size 8 in
+  if next > t.size then failwith "Pool.alloc_raw: pool exhausted";
+  set_heap_top t next;
+  top
+
+let root t ~size =
+  let off = Engine.load_int t.engine ~addr:off_root_off in
+  if off <> 0 then off
+  else begin
+    let off = alloc_raw t ~size in
+    persist_heap_top t;
+    (* Zero the root object and persist it, like pmemobj_root. *)
+    Engine.store_bytes t.engine ~addr:off (Bytes.make size '\000');
+    Engine.persist t.engine ~addr:off ~size;
+    Engine.store_int t.engine ~addr:off_root_off off;
+    Engine.store_int t.engine ~addr:off_root_size size;
+    Engine.persist t.engine ~addr:off_root_off ~size:16;
+    off
+  end
+
+let in_tx t = t.tx_depth > 0
+
+let tx_depth t = t.tx_depth
+
+let set_tx_depth t d = t.tx_depth <- d
+
+let tx_logged t = t.tx_logged
+
+let set_tx_logged t l = t.tx_logged <- l
+
+let tx_log_top t = t.tx_log_top
+
+let set_tx_log_top t v = t.tx_log_top <- v
+
+let read_heap_top img = Pmem.Image.get_int img off_heap_top
+
+let read_root_off img = Pmem.Image.get_int img off_root_off
+
+let read_log_top img = Pmem.Image.get_int img off_log_top

@@ -1,0 +1,83 @@
+(** A persistent object pool — the libpmemobj subset the paper's
+    benchmarks use.
+
+    Layout (all fields little-endian int64):
+    {v
+      0   magic
+      8   heap_top    bump-allocation frontier (absolute offset)
+      16  root_off    offset of the root object (0 = none)
+      24  root_size
+      32  log_top     undo-log fill level (bytes used inside log area)
+      64  log area    (log_capacity bytes)
+      ... heap
+    v}
+
+    The pool registers itself with the instrumentation engine via
+    [Register_pmem], so detectors track exactly the pool's address
+    range — stores outside it model DRAM and are ignored, as with a
+    real DAX mapping. *)
+
+type t
+
+val magic : int64
+
+(** Field offsets, exposed for recovery code that must read a raw crash
+    image without a live pool. *)
+
+val off_magic : int
+val off_heap_top : int
+val off_root_off : int
+val off_root_size : int
+val off_log_top : int
+val log_area_off : int
+
+val create : ?log_capacity:int (** default 1 MiB *) -> Pmtrace.Engine.t -> size:int -> t
+(** Initialize a pool spanning [\[0, size)] of the engine's PM and
+    persist its header. *)
+
+val engine : t -> Pmtrace.Engine.t
+
+val size : t -> int
+
+val log_capacity : t -> int
+
+val heap_start : t -> int
+
+val heap_top : t -> int
+
+val set_heap_top : t -> int -> unit
+(** Store the new frontier (not persisted — the caller decides when,
+    so transactional and atomic allocation can differ). *)
+
+val persist_heap_top : t -> unit
+
+val alloc_raw : ?align:int (** default 8 *) -> t -> size:int -> int
+(** Bump-allocate [size] bytes at the requested alignment; updates
+    [heap_top] in PM but does {e not} persist it. Raises [Failure] on
+    exhaustion. *)
+
+val root : t -> size:int -> int
+(** Offset of the root object, allocating and persisting it (zeroed)
+    on first use. Subsequent calls return the same offset. *)
+
+val in_tx : t -> bool
+
+(** {1 Transaction state}
+
+    The active transaction's bookkeeping lives in the pool so that
+    nested [Tx.begin_tx] calls share one transaction (§6: nested
+    transactions collapse into the outermost one). These accessors are
+    for {!Tx}'s use. *)
+
+val tx_depth : t -> int
+val set_tx_depth : t -> int -> unit
+val tx_logged : t -> Pmem.Addr.range list
+val set_tx_logged : t -> Pmem.Addr.range list -> unit
+val tx_log_top : t -> int
+val set_tx_log_top : t -> int -> unit
+
+(** {1 Raw-image accessors for recovery predicates} *)
+
+val read_heap_top : Pmem.Image.t -> int
+val read_root_off : Pmem.Image.t -> int
+val read_log_top : Pmem.Image.t -> int

@@ -1,0 +1,165 @@
+open Pmem
+open Pmtrace
+
+(* The transaction's bookkeeping (depth, snapshotted ranges, log fill)
+   lives in the pool, so a nested [begin_tx] hands back a handle onto
+   the same transaction. *)
+type t = { pool : Pool.t }
+
+let begin_tx pool =
+  if Pool.tx_depth pool = 0 then begin
+    Pool.set_tx_depth pool 1;
+    Pool.set_tx_logged pool [];
+    Pool.set_tx_log_top pool 0;
+    Engine.epoch_begin (Pool.engine pool)
+  end
+  else Pool.set_tx_depth pool (Pool.tx_depth pool + 1);
+  { pool }
+
+let depth t = Pool.tx_depth t.pool
+
+let logged_ranges t = Pool.tx_logged t.pool
+
+let align8 n = (n + 7) land lnot 7
+
+let align_line n = (n + Addr.cache_line_size - 1) land lnot (Addr.cache_line_size - 1)
+
+(* Flush each still-dirty cache line of the snapshotted ranges exactly
+   once, the line-granularity coalescing real PMDK performs — repeated
+   or untouched lines would otherwise read as redundant-flush /
+   flush-nothing bugs on perfectly correct transactions. *)
+let flush_dirty_logged t ~skip =
+  let engine = Pool.engine t.pool in
+  let pm = Engine.pm engine in
+  let seen = Hashtbl.create 32 in
+  List.iter
+    (fun (r : Addr.range) ->
+      if not (List.exists (fun s -> Addr.overlaps s r) skip) then
+        List.iter
+          (fun line ->
+            if (not (Hashtbl.mem seen line)) && Pmem.State.line_state pm line = Pmem.State.Dirty then begin
+              Hashtbl.replace seen line ();
+              Engine.clwb engine ~addr:(line * Addr.cache_line_size)
+            end)
+          (Addr.lines_of_range ~lo:r.Addr.lo ~hi:r.Addr.hi))
+    (Pool.tx_logged t.pool)
+
+(* Append one undo entry: [addr][size][old bytes], cache-line aligned so
+   consecutive appends never re-flush a shared line. Entries are flushed
+   as they are written but only drained by the commit barrier; the
+   persistent fill level is published once, at commit. *)
+let append_log t ~addr ~size =
+  let engine = Pool.engine t.pool in
+  (* Eager writeback of the previously snapshotted ranges' dirty lines
+     (PMDK's per-range ulog teardown does the same): their stores are
+     complete by the time the next range is snapshotted, and flushing
+     them here keeps CLF intervals small and collective. Durability is
+     still gated by the commit barrier. *)
+  flush_dirty_logged t ~skip:[];
+  let entry_bytes = align_line (16 + align8 size) in
+  let log_top = Pool.tx_log_top t.pool in
+  if log_top + entry_bytes > Pool.log_capacity t.pool then failwith "Tx.add_range: undo log full";
+  let entry_addr = Pool.log_area_off + log_top in
+  let old = Engine.load_bytes engine ~addr ~len:size in
+  Engine.store_int engine ~addr:entry_addr addr;
+  Engine.store_int engine ~addr:(entry_addr + 8) size;
+  (* Copy the snapshot line by line, writing back each line as soon as
+     it is full (PMDK's ulog does the same): every chunk forms its own
+     single-line CLF interval. *)
+  let rec copy off =
+    if off < size then begin
+      let pos = entry_addr + 16 + off in
+      let len = min (size - off) (Addr.line_base pos + Addr.cache_line_size - pos) in
+      Engine.store_bytes engine ~addr:pos (Bytes.sub old off len);
+      Engine.clwb engine ~addr:pos;
+      copy (off + len)
+    end
+  in
+  if size > 0 then copy 0 else Engine.clwb engine ~addr:entry_addr;
+  Pool.set_tx_log_top t.pool (log_top + entry_bytes);
+  Engine.tx_log engine ~obj_addr:addr ~size;
+  Pool.set_tx_logged t.pool (Addr.of_base_size addr size :: Pool.tx_logged t.pool)
+
+let add_range t ~addr ~size =
+  let range = Addr.of_base_size addr size in
+  if not (List.exists (fun r -> Addr.covers r range) (Pool.tx_logged t.pool)) then append_log t ~addr ~size
+
+let add_range_unchecked t ~addr ~size = append_log t ~addr ~size
+
+let store_int t ~addr v =
+  add_range t ~addr ~size:8;
+  Engine.store_int (Pool.engine t.pool) ~addr v
+
+let truncate_log t =
+  let engine = Pool.engine t.pool in
+  Pool.set_tx_log_top t.pool 0;
+  Engine.store_int engine ~addr:Pool.off_log_top 0;
+  Engine.persist engine ~addr:Pool.off_log_top ~size:8
+
+let reset t =
+  Pool.set_tx_depth t.pool 0;
+  Pool.set_tx_logged t.pool [];
+  Pool.set_tx_log_top t.pool 0
+
+let commit ?(skip_flush_of = []) t =
+  if Pool.tx_depth t.pool > 1 then Pool.set_tx_depth t.pool (Pool.tx_depth t.pool - 1)
+  else begin
+    let engine = Pool.engine t.pool in
+    let log_top = Pool.tx_log_top t.pool in
+    (* Publish the log fill level so recovery sees the whole log iff the
+       commit barrier completed. *)
+    if log_top > 0 then begin
+      Engine.store_int engine ~addr:Pool.off_log_top log_top;
+      Engine.flush_range engine ~addr:Pool.off_log_top ~size:8
+    end;
+    flush_dirty_logged t ~skip:skip_flush_of;
+    Engine.sfence engine;
+    Engine.epoch_end engine;
+    (* The durable commit point: truncating the log (outside the epoch). *)
+    if log_top > 0 then truncate_log t;
+    reset t
+  end
+
+(* An abort rolls back and terminates the whole transaction, nesting
+   included (as PMDK's does). *)
+let abort t =
+  let engine = Pool.engine t.pool in
+  let entries = ref [] in
+  let off = ref 0 in
+  while !off < Pool.tx_log_top t.pool do
+    let entry_addr = Pool.log_area_off + !off in
+    let addr = Engine.load_int engine ~addr:entry_addr in
+    let size = Engine.load_int engine ~addr:(entry_addr + 8) in
+    entries := (addr, size, entry_addr + 16) :: !entries;
+    off := !off + align_line (16 + align8 size)
+  done;
+  List.iter
+    (fun (addr, size, data_addr) ->
+      let old = Engine.load_bytes engine ~addr:data_addr ~len:size in
+      Engine.store_bytes engine ~addr old)
+    !entries;
+  flush_dirty_logged t ~skip:[];
+  Engine.sfence engine;
+  Engine.epoch_end engine;
+  truncate_log t;
+  reset t
+
+let needs_recovery img = Pool.read_log_top img > 0
+
+let recover img =
+  let log_top = Pool.read_log_top img in
+  let entries = ref [] in
+  let off = ref 0 in
+  while !off < log_top do
+    let entry_addr = Pool.log_area_off + !off in
+    let addr = Image.get_int img entry_addr in
+    let size = Image.get_int img (entry_addr + 8) in
+    entries := (addr, size, entry_addr + 16) :: !entries;
+    off := !off + align_line (16 + align8 size)
+  done;
+  List.iter
+    (fun (addr, size, data_addr) ->
+      let old = Image.read img ~addr:data_addr ~len:size in
+      Image.write img ~addr old)
+    !entries;
+  Image.set_int img Pool.off_log_top 0

@@ -1,0 +1,1 @@
+lib/pmem/addr.ml: Format List Printf

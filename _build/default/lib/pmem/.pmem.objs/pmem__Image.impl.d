@@ -1,0 +1,1 @@
+lib/pmem/image.ml: Addr Bytes Char Int64

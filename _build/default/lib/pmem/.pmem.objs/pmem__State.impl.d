@@ -1,0 +1,1 @@
+lib/pmem/state.ml: Addr Bytes Hashtbl Image List

@@ -1,0 +1,49 @@
+let cache_line_size = 64
+
+let line_of addr = addr lsr 6
+
+let line_base addr = addr land lnot 63
+
+let lines_of_range ~lo ~hi =
+  if hi <= lo then []
+  else begin
+    let first = line_of lo and last = line_of (hi - 1) in
+    let rec build i acc = if i < first then acc else build (i - 1) (i :: acc) in
+    build last []
+  end
+
+type range = { lo : int; hi : int }
+
+let range ~lo ~hi =
+  if lo < 0 || hi < lo then
+    invalid_arg (Printf.sprintf "Addr.range: bad range [%d,%d)" lo hi);
+  { lo; hi }
+
+let of_base_size addr size = range ~lo:addr ~hi:(addr + size)
+
+let size r = r.hi - r.lo
+
+let is_empty r = r.hi <= r.lo
+
+let contains r a = r.lo <= a && a < r.hi
+
+let overlaps a b = a.lo < b.hi && b.lo < a.hi && not (is_empty a) && not (is_empty b)
+
+let covers outer inner = outer.lo <= inner.lo && inner.hi <= outer.hi
+
+let inter a b =
+  let lo = max a.lo b.lo and hi = min a.hi b.hi in
+  if hi <= lo then None else Some { lo; hi }
+
+let diff r cut =
+  let left = { lo = r.lo; hi = min r.hi cut.lo } in
+  let right = { lo = max r.lo cut.hi; hi = r.hi } in
+  List.filter (fun x -> not (is_empty x)) [ left; right ]
+
+let adjacent_or_overlapping a b = a.lo <= b.hi && b.lo <= a.hi
+
+let join a b = { lo = min a.lo b.lo; hi = max a.hi b.hi }
+
+let pp ppf r = Format.fprintf ppf "[%d,%d)" r.lo r.hi
+
+let to_string r = Format.asprintf "%a" pp r

@@ -1,0 +1,44 @@
+(** A growable byte image backing a simulated PM pool.
+
+    The image is the raw content store; persistency bookkeeping lives in
+    {!State}. Reads outside the written area return zero bytes, like a
+    freshly created DAX file. *)
+
+type t
+
+val create : ?initial_size:int -> unit -> t
+
+val capacity : t -> int
+(** Current backing capacity in bytes (grows on demand). *)
+
+val write : t -> addr:int -> bytes -> unit
+(** [write t ~addr b] copies all of [b] into the image at [addr]. *)
+
+val write_sub : t -> addr:int -> bytes -> off:int -> len:int -> unit
+
+val read : t -> addr:int -> len:int -> bytes
+
+val get_u8 : t -> int -> int
+val set_u8 : t -> int -> int -> unit
+
+val get_i64 : t -> int -> int64
+val set_i64 : t -> int -> int64 -> unit
+
+val get_int : t -> int -> int
+(** [get_int t addr] reads an [int64] at [addr] and truncates to [int]. *)
+
+val set_int : t -> int -> int -> unit
+
+val get_string : t -> addr:int -> len:int -> string
+val set_string : t -> addr:int -> string -> unit
+
+val copy : t -> t
+(** Deep copy (used to materialize crash images). *)
+
+val copy_range : src:t -> dst:t -> lo:int -> hi:int -> unit
+(** Copies bytes of [\[lo,hi)] from [src] into [dst]. *)
+
+val blit_line : src:t -> dst:t -> line:int -> unit
+(** Copies one whole cache line identified by its line index. *)
+
+val equal_range : t -> t -> lo:int -> hi:int -> bool

@@ -1,0 +1,113 @@
+type line_state = Clean | Dirty | Writeback_pending
+
+type t = {
+  vol : Image.t;
+  dur : Image.t;
+  lines : (int, line_state) Hashtbl.t;
+  mutable n_stores : int;
+  mutable n_clfs : int;
+  mutable n_fences : int;
+  mutable n_drained : int;
+}
+
+let create ?initial_size () =
+  {
+    vol = Image.create ?initial_size ();
+    dur = Image.create ?initial_size ();
+    lines = Hashtbl.create 1024;
+    n_stores = 0;
+    n_clfs = 0;
+    n_fences = 0;
+    n_drained = 0;
+  }
+
+let volatile t = t.vol
+
+let durable t = t.dur
+
+let line_state t line = match Hashtbl.find_opt t.lines line with None -> Clean | Some s -> s
+
+let set_line t line s =
+  match s with
+  | Clean -> Hashtbl.remove t.lines line
+  | Dirty | Writeback_pending -> Hashtbl.replace t.lines line s
+
+let store t ~addr b =
+  t.n_stores <- t.n_stores + 1;
+  Image.write t.vol ~addr b;
+  let hi = addr + Bytes.length b in
+  List.iter (fun line -> set_line t line Dirty) (Addr.lines_of_range ~lo:addr ~hi)
+
+let store_i64 t ~addr v =
+  let b = Bytes.create 8 in
+  Bytes.set_int64_le b 0 v;
+  store t ~addr b
+
+let clf t ~addr =
+  t.n_clfs <- t.n_clfs + 1;
+  let line = Addr.line_of addr in
+  match line_state t line with
+  | Dirty -> set_line t line Writeback_pending
+  | Clean | Writeback_pending -> ()
+
+let clf_range t ~lo ~hi =
+  List.iter (fun line -> clf t ~addr:(line * Addr.cache_line_size)) (Addr.lines_of_range ~lo ~hi)
+
+let fence t =
+  t.n_fences <- t.n_fences + 1;
+  let pending = Hashtbl.fold (fun line s acc -> if s = Writeback_pending then line :: acc else acc) t.lines [] in
+  List.iter
+    (fun line ->
+      Image.blit_line ~src:t.vol ~dst:t.dur ~line;
+      t.n_drained <- t.n_drained + 1;
+      set_line t line Clean)
+    pending
+
+let lines_in t state =
+  Hashtbl.fold (fun line s acc -> if s = state then line :: acc else acc) t.lines []
+  |> List.sort compare
+
+let dirty_lines t = lines_in t Dirty
+
+let pending_lines t = lines_in t Writeback_pending
+
+let is_durable_range t ~lo ~hi =
+  List.for_all (fun line -> line_state t line = Clean) (Addr.lines_of_range ~lo ~hi)
+
+(* Deterministic xorshift for crash-image sampling: reproducible runs. *)
+let xorshift seed =
+  let s = ref (if seed = 0 then 0x9E3779B9 else seed) in
+  fun () ->
+    let x = !s in
+    let x = x lxor (x lsl 13) in
+    let x = x lxor (x lsr 7) in
+    let x = x lxor (x lsl 17) in
+    s := x land max_int;
+    !s
+
+let crash_images t ?(max_images = 64) () =
+  let undrained =
+    Hashtbl.fold (fun line _ acc -> line :: acc) t.lines [] |> List.sort compare
+  in
+  let n = List.length undrained in
+  let image_of_mask mask =
+    let img = Image.copy t.dur in
+    List.iteri (fun i line -> if mask land (1 lsl i) <> 0 then Image.blit_line ~src:t.vol ~dst:img ~line) undrained;
+    img
+  in
+  if n = 0 then [ Image.copy t.dur ]
+  else if n <= 20 && 1 lsl n <= max_images then
+    List.init (1 lsl n) image_of_mask
+  else begin
+    let rand = xorshift (n * 2654435761) in
+    let sampled = List.init (max 0 (max_images - 2)) (fun _ -> image_of_mask (rand ())) in
+    image_of_mask 0 :: image_of_mask (-1) :: sampled
+  end
+
+let stats t =
+  [
+    ("stores", t.n_stores);
+    ("clfs", t.n_clfs);
+    ("fences", t.n_fences);
+    ("drained_lines", t.n_drained);
+  ]

@@ -1,0 +1,77 @@
+(** Simulated persistent-memory persistency state.
+
+    Models the x86 persistence semantics the paper reasons about:
+
+    - a {b store} makes the target cache line(s) dirty in the (volatile)
+      cache hierarchy;
+    - a {b cache-line writeback} (CLWB / CLFLUSH / CLFLUSHOPT) initiates
+      eviction of a line towards the persistence domain, but the write
+      is only {e guaranteed} durable once a subsequent {b fence}
+      (SFENCE) completes;
+    - a {b fence} drains pending writebacks, making them durable.
+
+    Two byte images are maintained: the {e volatile} image (what the
+    program reads) and the {e durable} image (the contents guaranteed to
+    survive a crash). Lines that are dirty or writeback-pending at a
+    crash may or may not have reached PM; {!crash_images} samples that
+    non-determinism to produce possible post-crash images. *)
+
+type line_state =
+  | Clean  (** Line contents are identical in cache and PM. *)
+  | Dirty  (** Stored to since last writeback; contents only in cache. *)
+  | Writeback_pending
+      (** A CLF was issued after the last store but no fence has drained
+          it yet; durability is not yet guaranteed. *)
+
+type t
+
+val create : ?initial_size:int -> unit -> t
+
+val volatile : t -> Image.t
+(** The program-visible image. *)
+
+val durable : t -> Image.t
+(** The guaranteed-durable image (contents as of the last drains). *)
+
+val line_state : t -> int -> line_state
+(** [line_state t line] for a cache-line index; [Clean] if untouched. *)
+
+val store : t -> addr:int -> bytes -> unit
+(** Write bytes at [addr] in the volatile image, dirtying touched lines. *)
+
+val store_i64 : t -> addr:int -> int64 -> unit
+
+val clf : t -> addr:int -> unit
+(** Writeback of the single cache line containing [addr]: [Dirty] ->
+    [Writeback_pending]. A CLF on a clean line is a no-op with respect
+    to state (the redundancy is a detector concern, not a semantics
+    one). *)
+
+val clf_range : t -> lo:int -> hi:int -> unit
+(** CLF every line touched by [\[lo,hi)]. *)
+
+val fence : t -> unit
+(** Drain: every [Writeback_pending] line becomes durable and [Clean].
+    [Dirty] lines are unaffected (their CLF has not been issued). *)
+
+val dirty_lines : t -> int list
+(** Lines currently [Dirty], ascending. *)
+
+val pending_lines : t -> int list
+(** Lines currently [Writeback_pending], ascending. *)
+
+val is_durable_range : t -> lo:int -> hi:int -> bool
+(** True iff every line of the range is [Clean], i.e. all stores to the
+    range have reached the persistence domain. *)
+
+val crash_images : t -> ?max_images:int -> unit -> Image.t list
+(** Possible post-crash PM contents. Each image starts from the durable
+    image; each dirty/pending line is independently either lost or
+    persisted. Enumerates exhaustively when there are at most
+    [log2 max_images] undrained lines, otherwise samples
+    deterministically (seeded) and always includes the two extremes
+    (nothing extra persisted / everything persisted). Default
+    [max_images] is 64. *)
+
+val stats : t -> (string * int) list
+(** Counters: stores, clfs, fences, drained lines. *)

@@ -1,0 +1,1 @@
+lib/pmfs/pmfs.ml: Array Bytes Engine Image Int64 List Pmem Pmtrace Printf String

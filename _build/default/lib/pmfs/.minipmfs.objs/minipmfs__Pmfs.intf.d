@@ -1,0 +1,1 @@
+lib/pmfs/pmfs.mli: Pmem Pmtrace

@@ -1,0 +1,1 @@
+lib/pmfs/yat.ml: Bug Event Hashtbl List Pmem Pmfs Pmtrace Printf Sink

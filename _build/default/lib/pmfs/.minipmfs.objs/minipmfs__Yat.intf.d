@@ -1,0 +1,1 @@
+lib/pmfs/yat.mli: Pmem Pmtrace

@@ -1,0 +1,425 @@
+open Pmtrace
+
+(* Superblock field offsets. *)
+let sb_magic = 0
+let sb_block_size = 8
+let sb_n_inodes = 16
+let sb_n_blocks = 24
+let sb_journal_off = 32
+let sb_journal_cap = 40
+let sb_itable_off = 48
+let sb_bitmap_off = 56
+let sb_data_off = 64
+let sb_journal_head = 72
+let sb_size = 128
+
+let magic = 0x504d46535f4f434cL (* "PMFS_OCL" *)
+
+(* Inode layout: type(0) size(8) nlink(16) blocks[6](24..71); 80 bytes. *)
+let inode_size = 80
+let i_type = 0
+let i_size = 8
+let i_nlink = 16
+let i_blocks = 24
+let direct_blocks = 6
+
+let t_free = 0
+let t_file = 1
+let t_dir = 2
+
+(* Directory entry: ino(0) name(8..31); 32 bytes. *)
+let dirent_size = 32
+let name_max = 23
+
+type t = {
+  engine : Engine.t;
+  n_inodes : int;
+  n_blocks : int;
+  block_size : int;
+  journal_off : int;
+  journal_cap : int;
+  itable_off : int;
+  bitmap_off : int;
+  data_off : int;
+  mutable journaling : bool;
+  mutable unsafe_unlink : bool;
+}
+
+let engine t = t.engine
+
+let set_journaling t b = t.journaling <- b
+
+let set_unsafe_unlink t b = t.unsafe_unlink <- b
+
+let load t addr = Engine.load_int t.engine ~addr
+
+let create engine ?(inodes = 128) ?(blocks = 1024) ?(block_size = 512) () =
+  let journal_off = sb_size in
+  let journal_cap = 1 lsl 14 in
+  let itable_off = journal_off + journal_cap in
+  let bitmap_off = itable_off + (inodes * inode_size) in
+  let data_off = bitmap_off + blocks in
+  let total = data_off + (blocks * block_size) in
+  Engine.register_pmem engine ~base:0 ~size:total;
+  let t =
+    {
+      engine;
+      n_inodes = inodes;
+      n_blocks = blocks;
+      block_size;
+      journal_off;
+      journal_cap;
+      itable_off;
+      bitmap_off;
+      data_off;
+      journaling = true;
+      unsafe_unlink = false;
+    }
+  in
+  Engine.store_int engine ~addr:sb_block_size block_size;
+  Engine.store_int engine ~addr:sb_n_inodes inodes;
+  Engine.store_int engine ~addr:sb_n_blocks blocks;
+  Engine.store_int engine ~addr:sb_journal_off journal_off;
+  Engine.store_int engine ~addr:sb_journal_cap journal_cap;
+  Engine.store_int engine ~addr:sb_itable_off itable_off;
+  Engine.store_int engine ~addr:sb_bitmap_off bitmap_off;
+  Engine.store_int engine ~addr:sb_data_off data_off;
+  Engine.store_int engine ~addr:sb_journal_head 0;
+  Engine.persist engine ~addr:0 ~size:sb_size;
+  (* Zero the inode table and bitmap, then persist. *)
+  Engine.store_bytes engine ~addr:itable_off (Bytes.make (inodes * inode_size) '\000');
+  Engine.persist engine ~addr:itable_off ~size:(inodes * inode_size);
+  Engine.store_bytes engine ~addr:bitmap_off (Bytes.make blocks '\000');
+  Engine.persist engine ~addr:bitmap_off ~size:blocks;
+  (* Root directory: inode 0, empty. *)
+  let root = itable_off in
+  Engine.store_int engine ~addr:(root + i_type) t_dir;
+  Engine.store_int engine ~addr:(root + i_size) 0;
+  Engine.store_int engine ~addr:(root + i_nlink) 1;
+  Engine.persist engine ~addr:root ~size:24;
+  (* The magic goes in last: a crash mid-format leaves a device fsck
+     recognises as unformatted rather than corrupt. *)
+  Engine.store_i64 engine ~addr:sb_magic magic;
+  Engine.persist engine ~addr:sb_magic ~size:8;
+  t
+
+let root_dir _t = 0
+
+let inode_addr t ino = t.itable_off + (ino * inode_size)
+
+let block_addr t b = t.data_off + (b * t.block_size)
+
+(* ---- redo journal ----------------------------------------------------- *)
+
+(* One journaled metadata update: write the redo record (state=1, target
+   address, length, new bytes), persist it, apply in place, persist the
+   target, then retire the journal (head back to zero). A crash after
+   the record persists but before retirement replays the redo. *)
+let journaled_write t ~addr (data : bytes) =
+  let e = t.engine in
+  let len = Bytes.length data in
+  if t.journaling then begin
+    let rec_addr = t.journal_off in
+    if 24 + len > t.journal_cap then failwith "Pmfs: journal record too large";
+    Engine.store_int e ~addr:(rec_addr + 8) addr;
+    Engine.store_int e ~addr:(rec_addr + 16) len;
+    Engine.store_bytes e ~addr:(rec_addr + 24) data;
+    Engine.persist e ~addr:(rec_addr + 8) ~size:(16 + len);
+    Engine.store_int e ~addr:rec_addr 1;
+    Engine.store_int e ~addr:sb_journal_head (24 + len);
+    Engine.persist e ~addr:rec_addr ~size:8;
+    Engine.persist e ~addr:sb_journal_head ~size:8
+  end;
+  Engine.store_bytes e ~addr data;
+  Engine.persist e ~addr ~size:len;
+  if t.journaling then begin
+    Engine.store_int e ~addr:sb_journal_head 0;
+    Engine.store_int e ~addr:t.journal_off 0;
+    Engine.persist e ~addr:sb_journal_head ~size:8;
+    Engine.persist e ~addr:t.journal_off ~size:8
+  end
+
+let int_bytes v =
+  let b = Bytes.create 8 in
+  Bytes.set_int64_le b 0 (Int64.of_int v);
+  b
+
+let journaled_set_int t ~addr v = journaled_write t ~addr (int_bytes v)
+
+(* ---- allocation -------------------------------------------------------- *)
+
+let alloc_inode t =
+  let rec scan ino =
+    if ino >= t.n_inodes then failwith "Pmfs: out of inodes"
+    else if load t (inode_addr t ino + i_type) = t_free then ino
+    else scan (ino + 1)
+  in
+  scan 0
+
+let alloc_block t =
+  let rec scan b =
+    if b >= t.n_blocks then failwith "Pmfs: out of blocks"
+    else if Engine.load_u8 t.engine ~addr:(t.bitmap_off + b) = 0 then b
+    else scan (b + 1)
+  in
+  let b = scan 0 in
+  journaled_write t ~addr:(t.bitmap_off + b) (Bytes.make 1 '\001');
+  b
+
+let free_block t b = journaled_write t ~addr:(t.bitmap_off + b) (Bytes.make 1 '\000')
+
+(* ---- inode / directory helpers ----------------------------------------- *)
+
+let inode_block t ino idx = load t (inode_addr t ino + i_blocks + (8 * idx))
+
+let set_inode_block t ino idx b = journaled_set_int t ~addr:(inode_addr t ino + i_blocks + (8 * idx)) b
+
+(* Block index holding file byte [off], allocating on demand. The slot
+   convention is block+1 so that 0 means "unallocated". *)
+let block_for t ino ~off ~allocate =
+  let idx = off / t.block_size in
+  if idx >= direct_blocks then failwith "Pmfs: file too large";
+  let slot = inode_block t ino idx in
+  if slot <> 0 then Some (slot - 1)
+  else if not allocate then None
+  else begin
+    let b = alloc_block t in
+    set_inode_block t ino idx (b + 1);
+    Some b
+  end
+
+let iter_dirents t ino f =
+  (* Directory data: entries packed into its blocks. *)
+  let size = load t (inode_addr t ino + i_size) in
+  let per_block = t.block_size / dirent_size in
+  let n = size / dirent_size in
+  let rec go i =
+    if i < n then begin
+      let idx = i / per_block and within = i mod per_block in
+      (match inode_block t ino idx with
+      | 0 -> ()
+      | slot ->
+          let addr = block_addr t (slot - 1) + (within * dirent_size) in
+          let entry_ino = load t addr in
+          let raw = Engine.load_string t.engine ~addr:(addr + 8) ~len:name_max in
+          let name = match String.index_opt raw '\000' with Some i -> String.sub raw 0 i | None -> raw in
+          f ~slot_addr:addr ~ino:entry_ino ~name);
+      go (i + 1)
+    end
+  in
+  go 0
+
+let dirent_bytes ~ino ~name =
+  let b = Bytes.make dirent_size '\000' in
+  Bytes.set_int64_le b 0 (Int64.of_int ino);
+  Bytes.blit_string name 0 b 8 (String.length name);
+  b
+
+(* Append a directory entry, allocating a block when the current one is
+   full. *)
+let add_dirent t ~dir ~ino ~name =
+  if String.length name > name_max then failwith "Pmfs: name too long";
+  if name = "" then failwith "Pmfs: empty name";
+  let size = load t (inode_addr t dir + i_size) in
+  let per_block = t.block_size / dirent_size in
+  let entry_no = size / dirent_size in
+  let idx = entry_no / per_block and within = entry_no mod per_block in
+  if idx >= direct_blocks then failwith "Pmfs: directory full";
+  let b =
+    match inode_block t dir idx with
+    | 0 ->
+        let b = alloc_block t in
+        set_inode_block t dir idx (b + 1);
+        b
+    | slot -> slot - 1
+  in
+  journaled_write t ~addr:(block_addr t b + (within * dirent_size)) (dirent_bytes ~ino ~name);
+  journaled_set_int t ~addr:(inode_addr t dir + i_size) (size + dirent_size)
+
+let lookup t ~parent ~name =
+  let found = ref None in
+  iter_dirents t parent (fun ~slot_addr:_ ~ino ~name:entry_name ->
+      if entry_name = name && ino <> -1 then found := Some ino);
+  !found
+
+let init_inode t ino ~kind =
+  let b = Bytes.make inode_size '\000' in
+  Bytes.set_int64_le b i_type (Int64.of_int kind);
+  Bytes.set_int64_le b i_nlink 1L;
+  journaled_write t ~addr:(inode_addr t ino) b
+
+let create_node t ~parent ~name ~kind =
+  if load t (inode_addr t parent + i_type) <> t_dir then failwith "Pmfs: parent is not a directory";
+  if lookup t ~parent ~name <> None then failwith (Printf.sprintf "Pmfs: %S exists" name);
+  let ino = alloc_inode t in
+  init_inode t ino ~kind;
+  add_dirent t ~dir:parent ~ino ~name;
+  ino
+
+let mkdir t ~parent ~name = create_node t ~parent ~name ~kind:t_dir
+
+let create_file t ~parent ~name = create_node t ~parent ~name ~kind:t_file
+
+let file_size t ~inode = load t (inode_addr t inode + i_size)
+
+let write_file t ~inode ~off data =
+  if load t (inode_addr t inode + i_type) <> t_file then failwith "Pmfs: not a file";
+  let e = t.engine in
+  let len = String.length data in
+  (* Data goes in place, persisted per touched block (PMFS style). *)
+  let rec copy pos =
+    if pos < len then begin
+      let file_off = off + pos in
+      let b =
+        match block_for t inode ~off:file_off ~allocate:true with
+        | Some b -> b
+        | None -> assert false
+      in
+      let within = file_off mod t.block_size in
+      let chunk = min (len - pos) (t.block_size - within) in
+      Engine.store_string e ~addr:(block_addr t b + within) (String.sub data pos chunk);
+      Engine.persist e ~addr:(block_addr t b + within) ~size:chunk;
+      copy (pos + chunk)
+    end
+  in
+  copy 0;
+  let new_size = max (file_size t ~inode) (off + len) in
+  if new_size <> file_size t ~inode then journaled_set_int t ~addr:(inode_addr t inode + i_size) new_size
+
+let read_file t ~inode ~off ~len =
+  let buf = Bytes.make len '\000' in
+  let rec copy pos =
+    if pos < len then begin
+      let file_off = off + pos in
+      let within = file_off mod t.block_size in
+      let chunk = min (len - pos) (t.block_size - within) in
+      (match block_for t inode ~off:file_off ~allocate:false with
+      | Some b ->
+          let s = Engine.load_string t.engine ~addr:(block_addr t b + within) ~len:chunk in
+          Bytes.blit_string s 0 buf pos chunk
+      | None -> ());
+      copy (pos + chunk)
+    end
+  in
+  copy 0;
+  Bytes.to_string buf
+
+let unlink t ~parent ~name =
+  match lookup t ~parent ~name with
+  | None -> failwith (Printf.sprintf "Pmfs: %S not found" name)
+  | Some ino ->
+      if load t (inode_addr t ino + i_type) = t_dir && file_size t ~inode:ino > 0 then
+        failwith "Pmfs: directory not empty";
+      let slots = List.init direct_blocks (fun idx -> inode_block t ino idx) in
+      let tombstone () =
+        iter_dirents t parent (fun ~slot_addr ~ino:entry_ino ~name:entry_name ->
+            if entry_name = name && entry_ino = ino then
+              journaled_write t ~addr:slot_addr (dirent_bytes ~ino:(-1) ~name:""))
+      in
+      let release () =
+        (* Clear the inode before freeing its blocks: a crash in between
+           leaks blocks (fsck reclaims leaks) instead of leaving a live
+           inode pointing at freed storage. *)
+        journaled_write t ~addr:(inode_addr t ino) (Bytes.make inode_size '\000');
+        List.iter (function 0 -> () | slot -> free_block t (slot - 1)) slots
+      in
+      if t.unsafe_unlink then begin
+        (* BUG (for the Yat demonstration): the inode dies while the
+           directory still references it. *)
+        release ();
+        tombstone ()
+      end
+      else begin
+        tombstone ();
+        release ()
+      end
+
+let readdir t ~inode =
+  let acc = ref [] in
+  iter_dirents t inode (fun ~slot_addr:_ ~ino ~name -> if ino <> -1 then acc := name :: !acc);
+  List.rev !acc
+
+(* ---- raw-image recovery and fsck --------------------------------------- *)
+
+let recover img =
+  let open Pmem in
+  let journal_off = Image.get_int img sb_journal_off in
+  let head = Image.get_int img sb_journal_head in
+  if head > 0 then begin
+    (* Replay the record only if its commit marker made it. *)
+    if Image.get_int img journal_off = 1 then begin
+      let addr = Image.get_int img (journal_off + 8) in
+      let len = Image.get_int img (journal_off + 16) in
+      Image.write img ~addr (Image.read img ~addr:(journal_off + 24) ~len)
+    end;
+    Image.set_int img sb_journal_head 0;
+    Image.set_int img journal_off 0
+  end
+
+let fsck_explain img =
+  let open Pmem in
+  try
+    (* No magic: the device was never (completely) formatted — nothing
+       to check. *)
+    if Image.get_i64 img sb_magic <> magic then raise Exit;
+    recover img;
+    let n_inodes = Image.get_int img sb_n_inodes in
+    let n_blocks = Image.get_int img sb_n_blocks in
+    let block_size = Image.get_int img sb_block_size in
+    let itable = Image.get_int img sb_itable_off in
+    let bitmap = Image.get_int img sb_bitmap_off in
+    let used = Array.make n_blocks false in
+    let inode_live ino =
+      ino >= 0 && ino < n_inodes && Image.get_int img (itable + (ino * inode_size) + i_type) <> t_free
+    in
+    (* Pass 1: every live inode's blocks are in range, allocated and
+       unshared; sizes are within the direct-block capacity. *)
+    for ino = 0 to n_inodes - 1 do
+      let base = itable + (ino * inode_size) in
+      let kind = Image.get_int img (base + i_type) in
+      if kind <> t_free then begin
+        if kind <> t_file && kind <> t_dir then failwith "bad inode type";
+        let size = Image.get_int img (base + i_size) in
+        if size < 0 || size > direct_blocks * block_size then failwith "bad size";
+        for idx = 0 to direct_blocks - 1 do
+          let slot = Image.get_int img (base + i_blocks + (8 * idx)) in
+          if slot <> 0 then begin
+            let b = slot - 1 in
+            if b < 0 || b >= n_blocks then failwith "block out of range";
+            if used.(b) then failwith "block double-used";
+            used.(b) <- true;
+            if Image.get_u8 img (bitmap + b) = 0 then failwith "block used but free in bitmap"
+          end
+        done
+      end
+    done;
+    (* Leaked bitmap bits (allocated blocks without an owner) are
+       reclaimable orphans, not corruption: a crash between the two
+       journal records of an allocation legitimately leaves one. *)
+    (* Pass 3: directory entries reference live inodes. *)
+    if not (inode_live 0) then failwith "no root";
+    if Image.get_int img (itable + i_type) <> t_dir then failwith "root not a directory";
+    for ino = 0 to n_inodes - 1 do
+      let base = itable + (ino * inode_size) in
+      if Image.get_int img (base + i_type) = t_dir then begin
+        let size = Image.get_int img (base + i_size) in
+        let per_block = block_size / dirent_size in
+        let data_off = Image.get_int img sb_data_off in
+        for entry = 0 to (size / dirent_size) - 1 do
+          let idx = entry / per_block and within = entry mod per_block in
+          let slot = Image.get_int img (base + i_blocks + (8 * idx)) in
+          if slot = 0 then failwith "directory entry beyond allocated blocks"
+          else begin
+            let addr = data_off + ((slot - 1) * block_size) + (within * dirent_size) in
+            let target = Image.get_int img addr in
+            if target <> -1 && not (inode_live target) then failwith "dangling directory entry"
+          end
+        done
+      end
+    done;
+    None
+  with
+  | Exit -> None
+  | Failure msg -> Some msg
+
+let fsck img = fsck_explain img = None

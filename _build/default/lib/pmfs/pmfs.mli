@@ -1,0 +1,92 @@
+(** Mini PMFS — a persistent-memory filesystem substrate.
+
+    Table 1 compares PMDebugger against Yat, Intel's validation
+    framework for PMFS (a kernel filesystem that keeps its metadata and
+    data directly in PM). This module provides the corresponding
+    substrate: a small journaling filesystem living entirely in the
+    simulated PM, driven through the instrumented engine so any
+    detector can watch it — the "kernel-space debugging" extension
+    §6 sketches, with [Register_pmem] covering the filesystem's memory.
+
+    Layout (all offsets relative to the superblock base):
+    {v
+      superblock   magic, block size, counts, roots, journal head
+      journal      redo records for metadata updates
+      inode table  fixed array of inodes
+      bitmap       block allocation bitmap
+      data blocks
+    v}
+
+    Metadata updates are journaled (write + persist the record, apply,
+    persist in place, then retire the record); file data is written in
+    place and persisted per block, as PMFS does. Directories are inodes
+    whose data blocks hold fixed-size entries. *)
+
+type t
+
+val create :
+  Pmtrace.Engine.t ->
+  ?inodes:int (** default 128 *) ->
+  ?blocks:int (** default 1024 *) ->
+  ?block_size:int (** default 512 *) ->
+  unit ->
+  t
+(** Format a fresh filesystem at the start of the engine's PM and
+    register the region for debugging. *)
+
+val root_dir : t -> int
+(** Inode number of the root directory (0). *)
+
+val engine : t -> Pmtrace.Engine.t
+
+val set_journaling : t -> bool -> unit
+(** With journaling off, metadata updates are applied in place without
+    a redo record — faster, but recovery loses the replay safety net
+    for multi-store updates. *)
+
+val set_unsafe_unlink : t -> bool -> unit
+(** Bug-injection knob: unlink releases the inode and its blocks before
+    removing the directory entry, so a crash in the window leaves a
+    dangling entry — the kind of ordering bug Yat's exhaustive testing
+    finds. *)
+
+(** {1 Operations} *)
+
+val mkdir : t -> parent:int -> name:string -> int
+(** Returns the new directory's inode number. Raises [Failure] on
+    duplicate names, full directories, or exhaustion. *)
+
+val create_file : t -> parent:int -> name:string -> int
+
+val lookup : t -> parent:int -> name:string -> int option
+
+val write_file : t -> inode:int -> off:int -> string -> unit
+(** Extends the file as needed (block-granular allocation). *)
+
+val read_file : t -> inode:int -> off:int -> len:int -> string
+
+val file_size : t -> inode:int -> int
+
+val unlink : t -> parent:int -> name:string -> unit
+(** Removes a file (or empty directory) and frees its blocks. *)
+
+val readdir : t -> inode:int -> string list
+
+(** {1 Consistency checking (the fsck Yat relies on)} *)
+
+val fsck : Pmem.Image.t -> bool
+(** Validates a raw PM image: journal either empty or fully-formed
+    records; every live inode's blocks in range, allocated and
+    unshared; directory entries referencing live inodes; size
+    invariants. Leaked blocks are treated as reclaimable orphans, and
+    an image without the superblock magic is an unformatted device —
+    vacuously consistent. Runs {!recover} internally first, like a
+    mount would. *)
+
+val recover : Pmem.Image.t -> unit
+(** Replay any committed journal records into the image and clear the
+    journal (crash recovery). *)
+
+val fsck_explain : Pmem.Image.t -> string option
+(** Like {!fsck} but returns the first violated invariant, for
+    diagnostics. *)

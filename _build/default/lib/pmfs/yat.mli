@@ -1,0 +1,26 @@
+(** Yat-style exhaustive crash-state validation (Table 1).
+
+    Yat validates PMFS by replaying memory-operation traces, simulating
+    crashes at reordering points, and running the filesystem checker
+    (fsck) on each resulting state. This detector does the same against
+    the mini-PMFS: at every fence (a bounded number of them) it samples
+    the possible crash images of the live PM state and runs {!Pmfs.fsck}
+    on each. Slow and domain-specific — exactly the Table 1 trade-off
+    ("Perf. overhead: High; Target domain: PMFS") — but thorough within
+    its domain. *)
+
+type t
+
+val create :
+  ?max_failure_points:int (** default 64 *) ->
+  ?images_per_point:int (** default 16 *) ->
+  pm:Pmem.State.t ->
+  unit ->
+  t
+
+val sink : t -> Pmtrace.Sink.t
+(** Inconsistent crash states are reported as
+    [Cross_failure_semantic] findings (the closest shared
+    vocabulary: recovery would observe a broken filesystem). *)
+
+val states_checked : t -> int

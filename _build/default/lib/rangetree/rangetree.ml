@@ -1,0 +1,324 @@
+open Pmem
+
+type 'a node = {
+  mutable lo : int;
+  mutable hi : int;
+  mutable data : 'a;
+  mutable left : 'a node option;
+  mutable right : 'a node option;
+  mutable height : int;
+  mutable max_hi : int;
+}
+
+type stats = {
+  mutable rotations : int;
+  mutable merges : int;
+  mutable reorganizations : int;
+  mutable max_size : int;
+}
+
+type 'a t = { mutable root : 'a node option; mutable count : int; st : stats }
+
+let create () =
+  { root = None; count = 0; st = { rotations = 0; merges = 0; reorganizations = 0; max_size = 0 } }
+
+let size t = t.count
+
+let is_empty t = t.count = 0
+
+let stats t = t.st
+
+let h = function None -> 0 | Some n -> n.height
+
+let mh = function None -> min_int | Some n -> n.max_hi
+
+let update n =
+  n.height <- 1 + max (h n.left) (h n.right);
+  n.max_hi <- max n.hi (max (mh n.left) (mh n.right))
+
+let height t = h t.root
+
+let balance_factor n = h n.left - h n.right
+
+(* Standard AVL rotations, mutating in place; stats count each rotation. *)
+let rotate_right t n =
+  match n.left with
+  | None -> n
+  | Some l ->
+      t.st.rotations <- t.st.rotations + 1;
+      n.left <- l.right;
+      l.right <- Some n;
+      update n;
+      update l;
+      l
+
+let rotate_left t n =
+  match n.right with
+  | None -> n
+  | Some r ->
+      t.st.rotations <- t.st.rotations + 1;
+      n.right <- r.left;
+      r.left <- Some n;
+      update n;
+      update r;
+      r
+
+let rebalance t n =
+  update n;
+  let bf = balance_factor n in
+  if bf > 1 then begin
+    (match n.left with
+    | Some l when h l.right > h l.left -> n.left <- Some (rotate_left t l)
+    | _ -> ());
+    rotate_right t n
+  end
+  else if bf < -1 then begin
+    (match n.right with
+    | Some r when h r.left > h r.right -> n.right <- Some (rotate_right t r)
+    | _ -> ());
+    rotate_left t n
+  end
+  else n
+
+let key_lt ~lo1 ~hi1 ~lo2 ~hi2 = lo1 < lo2 || (lo1 = lo2 && hi1 < hi2)
+
+let insert t ~lo ~hi data =
+  if hi > lo then begin
+    let rec ins = function
+      | None -> { lo; hi; data; left = None; right = None; height = 1; max_hi = hi }
+      | Some n ->
+          if key_lt ~lo1:lo ~hi1:hi ~lo2:n.lo ~hi2:n.hi then n.left <- Some (ins n.left)
+          else n.right <- Some (ins n.right);
+          rebalance t n
+    in
+    t.root <- Some (ins t.root);
+    t.count <- t.count + 1;
+    if t.count > t.st.max_size then t.st.max_size <- t.count
+  end
+
+let find_first_overlap t ~lo ~hi =
+  let rec go = function
+    | None -> None
+    | Some n ->
+        if n.max_hi <= lo then None
+        else begin
+          match go n.left with
+          | Some _ as r -> r
+          | None ->
+              if n.lo < hi && lo < n.hi then Some (Addr.range ~lo:n.lo ~hi:n.hi, n.data)
+              else if n.lo >= hi then None
+              else go n.right
+        end
+  in
+  go t.root
+
+let overlapping t ~lo ~hi =
+  let acc = ref [] in
+  let rec go = function
+    | None -> ()
+    | Some n ->
+        if n.max_hi > lo then begin
+          go n.left;
+          if n.lo < hi && lo < n.hi then acc := (Addr.range ~lo:n.lo ~hi:n.hi, n.data) :: !acc;
+          if n.lo < hi then go n.right
+        end
+  in
+  go t.root;
+  List.rev !acc
+
+let iter t f =
+  let rec go = function
+    | None -> ()
+    | Some n ->
+        go n.left;
+        f (Addr.range ~lo:n.lo ~hi:n.hi) n.data;
+        go n.right
+  in
+  go t.root
+
+let fold t ~init ~f =
+  let acc = ref init in
+  iter t (fun r d -> acc := f !acc r d);
+  !acc
+
+let to_list t = List.rev (fold t ~init:[] ~f:(fun acc r d -> (r, d) :: acc))
+
+let rec min_node n = match n.left with None -> n | Some l -> min_node l
+
+let remove_exact t ~lo ~hi =
+  let removed = ref false in
+  let rec del = function
+    | None -> None
+    | Some n ->
+        let node =
+          if (not !removed) && n.lo = lo && n.hi = hi then begin
+            removed := true;
+            match (n.left, n.right) with
+            | None, r -> r
+            | l, None -> l
+            | Some _, Some r ->
+                let succ = min_node r in
+                n.lo <- succ.lo;
+                n.hi <- succ.hi;
+                n.data <- succ.data;
+                (* remove successor from right subtree *)
+                let rec del_min = function
+                  | None -> None
+                  | Some m ->
+                      if m == succ then m.right
+                      else begin
+                        m.left <- del_min m.left;
+                        Some (rebalance t m)
+                      end
+                in
+                n.right <- del_min (Some r);
+                Some n
+          end
+          else if key_lt ~lo1:lo ~hi1:hi ~lo2:n.lo ~hi2:n.hi then begin
+            n.left <- del n.left;
+            Some n
+          end
+          else begin
+            n.right <- del n.right;
+            Some n
+          end
+        in
+        Option.map (rebalance t) node
+  in
+  t.root <- del t.root;
+  if !removed then t.count <- t.count - 1;
+  !removed
+
+(* Rebuild a perfectly balanced tree from a sorted (range, data) array. *)
+let rebuild t items =
+  let arr = Array.of_list items in
+  let rec build lo hi =
+    if lo >= hi then None
+    else begin
+      let mid = (lo + hi) / 2 in
+      let (r : Addr.range), d = arr.(mid) in
+      let left = build lo mid and right = build (mid + 1) hi in
+      let n = { lo = r.Addr.lo; hi = r.Addr.hi; data = d; left; right; height = 1; max_hi = r.Addr.hi } in
+      update n;
+      Some n
+    end
+  in
+  t.root <- build 0 (Array.length arr);
+  t.count <- Array.length arr;
+  if t.count > t.st.max_size then t.st.max_size <- t.count
+
+let filter_in_place t pred =
+  let kept = fold t ~init:[] ~f:(fun acc r d -> if pred r d then (r, d) :: acc else acc) in
+  let kept = List.rev kept in
+  let removed = t.count - List.length kept in
+  if removed > 0 then rebuild t kept;
+  removed
+
+let remove_first t ~lo ~hi pred =
+  let removed = ref false in
+  let rec del = function
+    | None -> None
+    | Some n ->
+        let node =
+          if (not !removed) && n.lo = lo && n.hi = hi && pred n.data then begin
+            removed := true;
+            match (n.left, n.right) with
+            | None, r -> r
+            | l, None -> l
+            | Some _, Some r ->
+                let succ = min_node r in
+                n.lo <- succ.lo;
+                n.hi <- succ.hi;
+                n.data <- succ.data;
+                let rec del_min = function
+                  | None -> None
+                  | Some m ->
+                      if m == succ then m.right
+                      else begin
+                        m.left <- del_min m.left;
+                        Some (rebalance t m)
+                      end
+                in
+                n.right <- del_min (Some r);
+                Some n
+          end
+          else if key_lt ~lo1:lo ~hi1:hi ~lo2:n.lo ~hi2:n.hi then begin
+            n.left <- del n.left;
+            Some n
+          end
+          else if n.lo = lo && n.hi = hi then begin
+            (* Duplicate keys may sit on either side after rotations;
+               search both subtrees. *)
+            n.left <- del n.left;
+            if not !removed then n.right <- del n.right;
+            Some n
+          end
+          else begin
+            n.right <- del n.right;
+            Some n
+          end
+        in
+        Option.map (rebalance t) node
+  in
+  t.root <- del t.root;
+  if !removed then t.count <- t.count - 1;
+  !removed
+
+let map_overlapping t ~lo ~hi ~f =
+  (* Targeted: collect only the overlapping nodes, then apply structural
+     changes node by node — O(k log n), never a whole-tree pass. *)
+  let hits = overlapping t ~lo ~hi in
+  let visited = ref 0 in
+  List.iter
+    (fun ((r : Addr.range), d) ->
+      incr visited;
+      match f r d with
+      | [ (r', d') ] when r' = r && d' == d -> () (* in-place payload mutation *)
+      | repl ->
+          ignore (remove_first t ~lo:r.Addr.lo ~hi:r.Addr.hi (fun x -> x == d));
+          List.iter (fun ((nr : Addr.range), nd) -> insert t ~lo:nr.Addr.lo ~hi:nr.Addr.hi nd) repl)
+    hits;
+  !visited
+
+let reorganize t ~eq ~merge =
+  t.st.reorganizations <- t.st.reorganizations + 1;
+  let items = to_list t in
+  let merged =
+    List.fold_left
+      (fun acc (r, d) ->
+        match acc with
+        | ((pr : Addr.range), pd) :: rest when Addr.adjacent_or_overlapping pr r && eq pd d ->
+            t.st.merges <- t.st.merges + 1;
+            (Addr.join pr r, merge pd d) :: rest
+        | _ -> (r, d) :: acc)
+      [] items
+  in
+  rebuild t (List.rev merged)
+
+let clear t =
+  t.root <- None;
+  t.count <- 0
+
+let check_invariants t =
+  let rec go = function
+    | None -> (0, min_int, None, None)
+    | Some n ->
+        let hl, ml, _, maxl = go n.left in
+        let hr, mr, minr, _ = go n.right in
+        if abs (hl - hr) > 1 then failwith "rangetree: unbalanced";
+        if n.height <> 1 + max hl hr then failwith "rangetree: bad height";
+        let expected_mh = max n.hi (max ml mr) in
+        if n.max_hi <> expected_mh then failwith "rangetree: bad max_hi";
+        (match maxl with
+        | Some (l, hh) when key_lt ~lo1:n.lo ~hi1:n.hi ~lo2:l ~hi2:hh -> failwith "rangetree: order (left)"
+        | _ -> ());
+        (match minr with
+        | Some (l, hh) when key_lt ~lo1:l ~hi1:hh ~lo2:n.lo ~hi2:n.hi -> failwith "rangetree: order (right)"
+        | _ -> ());
+        let mn = match go n.left with _, _, Some m, _ -> Some m | _ -> Some (n.lo, n.hi) in
+        let mx = match go n.right with _, _, _, Some m -> Some m | _ -> Some (n.lo, n.hi) in
+        (n.height, n.max_hi, mn, mx)
+  in
+  ignore (go t.root);
+  let rec count = function None -> 0 | Some n -> 1 + count n.left + count n.right in
+  if count t.root <> t.count then failwith "rangetree: bad count"

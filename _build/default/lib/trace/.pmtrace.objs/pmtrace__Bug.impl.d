@@ -1,0 +1,1 @@
+lib/trace/bug.ml: Format List

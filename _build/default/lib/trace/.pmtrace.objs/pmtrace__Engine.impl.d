@@ -1,0 +1,1 @@
+lib/trace/engine.ml: Bytes Char Event Int64 List Pmem Sink

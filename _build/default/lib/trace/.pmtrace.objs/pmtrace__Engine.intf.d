@@ -1,0 +1,1 @@
+lib/trace/engine.mli: Event Pmem Sink

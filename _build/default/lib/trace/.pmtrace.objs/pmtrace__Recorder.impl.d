@@ -1,0 +1,1 @@
+lib/trace/recorder.ml: Array Bug Engine Event List Sink Unix

@@ -1,0 +1,1 @@
+lib/trace/recorder.mli: Bug Engine Event Sink

@@ -1,0 +1,1 @@
+lib/trace/trace_io.mli: Event Recorder

@@ -1,0 +1,64 @@
+type kind =
+  | No_durability
+  | Multiple_overwrites
+  | No_order_guarantee
+  | Redundant_flush
+  | Flush_nothing
+  | Redundant_logging
+  | Lack_durability_in_epoch
+  | Redundant_epoch_fence
+  | Lack_ordering_in_strands
+  | Cross_failure_semantic
+
+let all_kinds =
+  [
+    No_durability;
+    Multiple_overwrites;
+    No_order_guarantee;
+    Redundant_flush;
+    Flush_nothing;
+    Redundant_logging;
+    Lack_durability_in_epoch;
+    Redundant_epoch_fence;
+    Lack_ordering_in_strands;
+    Cross_failure_semantic;
+  ]
+
+let kind_name = function
+  | No_durability -> "no-durability-guarantee"
+  | Multiple_overwrites -> "multiple-overwrites"
+  | No_order_guarantee -> "no-order-guarantee"
+  | Redundant_flush -> "redundant-flush"
+  | Flush_nothing -> "flush-nothing"
+  | Redundant_logging -> "redundant-logging"
+  | Lack_durability_in_epoch -> "lack-durability-in-epoch"
+  | Redundant_epoch_fence -> "redundant-epoch-fence"
+  | Lack_ordering_in_strands -> "lack-ordering-in-strands"
+  | Cross_failure_semantic -> "cross-failure-semantic"
+
+let pp_kind ppf k = Format.pp_print_string ppf (kind_name k)
+
+type t = { kind : kind; addr : int; size : int; seq : int; detail : string }
+
+let make ?(addr = -1) ?(size = 0) ?(seq = -1) ?(detail = "") kind = { kind; addr; size; seq; detail }
+
+let pp ppf b =
+  Format.fprintf ppf "%a" pp_kind b.kind;
+  if b.addr >= 0 then Format.fprintf ppf " @@%d+%d" b.addr b.size;
+  if b.seq >= 0 then Format.fprintf ppf " (seq %d)" b.seq;
+  if b.detail <> "" then Format.fprintf ppf ": %s" b.detail
+
+type report = { detector : string; bugs : t list; events_processed : int; stats : (string * float) list }
+
+let empty_report detector = { detector; bugs = []; events_processed = 0; stats = [] }
+
+let count_kind r k = List.length (List.filter (fun b -> b.kind = k) r.bugs)
+
+let has_kind r k = List.exists (fun b -> b.kind = k) r.bugs
+
+let kinds_found r = List.filter (has_kind r) all_kinds
+
+let pp_report ppf r =
+  Format.fprintf ppf "@[<v>%s: %d bug(s) in %d events@," r.detector (List.length r.bugs) r.events_processed;
+  List.iter (fun b -> Format.fprintf ppf "  %a@," pp b) r.bugs;
+  Format.fprintf ppf "@]"

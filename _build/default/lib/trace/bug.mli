@@ -1,0 +1,50 @@
+(** Bug vocabulary shared by every detector and by the ground-truth
+    dataset. The ten kinds are the columns of Table 6. *)
+
+type kind =
+  | No_durability  (** location not persisted after its last write *)
+  | Multiple_overwrites  (** overwrite before durability is guaranteed *)
+  | No_order_guarantee  (** configured persist order X-before-Y violated *)
+  | Redundant_flush  (** same store flushed more than once before fence *)
+  | Flush_nothing  (** CLF persisting no tracked prior store *)
+  | Redundant_logging  (** object logged multiple times, updated once *)
+  | Lack_durability_in_epoch  (** epoch ends with unpersisted stores *)
+  | Redundant_epoch_fence  (** more than one fence inside an epoch *)
+  | Lack_ordering_in_strands  (** cross-strand persist order violation *)
+  | Cross_failure_semantic  (** post-failure execution reads inconsistent data *)
+
+val all_kinds : kind list
+
+val kind_name : kind -> string
+
+val pp_kind : Format.formatter -> kind -> unit
+
+type t = {
+  kind : kind;
+  addr : int;  (** primary address involved, or -1 *)
+  size : int;
+  seq : int;  (** event sequence number at detection time *)
+  detail : string;
+}
+
+val make : ?addr:int -> ?size:int -> ?seq:int -> ?detail:string -> kind -> t
+
+val pp : Format.formatter -> t -> unit
+
+type report = {
+  detector : string;
+  bugs : t list;
+  events_processed : int;
+  stats : (string * float) list;
+      (** detector-specific counters, e.g. tree sizes, reorganizations *)
+}
+
+val empty_report : string -> report
+
+val count_kind : report -> kind -> int
+
+val has_kind : report -> kind -> bool
+
+val kinds_found : report -> kind list
+
+val pp_report : Format.formatter -> report -> unit

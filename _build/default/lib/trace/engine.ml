@@ -1,0 +1,131 @@
+type t = {
+  state : Pmem.State.t;
+  mutable sinks : Sink.t list;
+  mutable instrument : bool;
+  mutable tid : int;
+  mutable seq : int;
+  mutable n_stores : int;
+  mutable n_clfs : int;
+  mutable n_fences : int;
+  mutable n_other : int;
+}
+
+let create ?initial_size () =
+  {
+    state = Pmem.State.create ?initial_size ();
+    sinks = [];
+    instrument = true;
+    tid = 0;
+    seq = 0;
+    n_stores = 0;
+    n_clfs = 0;
+    n_fences = 0;
+    n_other = 0;
+  }
+
+let pm t = t.state
+
+let attach t sink = t.sinks <- t.sinks @ [ sink ]
+
+let detach_all t = t.sinks <- []
+
+let set_instrumentation t b = t.instrument <- b
+
+let seq t = t.seq
+
+let set_tid t tid = t.tid <- tid
+
+let dispatch t ev =
+  t.seq <- t.seq + 1;
+  (match ev with
+  | Event.Store _ -> t.n_stores <- t.n_stores + 1
+  | Event.Clf _ -> t.n_clfs <- t.n_clfs + 1
+  | Event.Fence _ -> t.n_fences <- t.n_fences + 1
+  | _ -> t.n_other <- t.n_other + 1);
+  if t.instrument then
+    match t.sinks with
+    | [] -> ()
+    | [ s ] -> s.Sink.on_event ev
+    | sinks -> List.iter (fun s -> s.Sink.on_event ev) sinks
+
+let emit = dispatch
+
+let store_bytes t ~addr b =
+  Pmem.State.store t.state ~addr b;
+  dispatch t (Event.Store { addr; size = Bytes.length b; tid = t.tid })
+
+let store_i64 t ~addr v =
+  Pmem.State.store_i64 t.state ~addr v;
+  dispatch t (Event.Store { addr; size = 8; tid = t.tid })
+
+let store_int t ~addr v = store_i64 t ~addr (Int64.of_int v)
+
+let store_u8 t ~addr v =
+  let b = Bytes.make 1 (Char.chr (v land 0xff)) in
+  store_bytes t ~addr b
+
+let store_string t ~addr s = store_bytes t ~addr (Bytes.of_string s)
+
+let clf_with t kind ~addr ~size =
+  Pmem.State.clf t.state ~addr;
+  dispatch t (Event.Clf { addr = Pmem.Addr.line_base addr; size; kind; tid = t.tid })
+
+let clwb t ~addr = clf_with t Event.Clwb ~addr ~size:Pmem.Addr.cache_line_size
+
+let clflush t ~addr = clf_with t Event.Clflush ~addr ~size:Pmem.Addr.cache_line_size
+
+let clflushopt t ~addr = clf_with t Event.Clflushopt ~addr ~size:Pmem.Addr.cache_line_size
+
+let flush_range t ~addr ~size =
+  List.iter
+    (fun line -> clwb t ~addr:(line * Pmem.Addr.cache_line_size))
+    (Pmem.Addr.lines_of_range ~lo:addr ~hi:(addr + size))
+
+let sfence t =
+  Pmem.State.fence t.state;
+  dispatch t (Event.Fence { tid = t.tid })
+
+let persist t ~addr ~size =
+  flush_range t ~addr ~size;
+  sfence t
+
+let load_i64 t ~addr = Pmem.Image.get_i64 (Pmem.State.volatile t.state) addr
+
+let load_int t ~addr = Pmem.Image.get_int (Pmem.State.volatile t.state) addr
+
+let load_u8 t ~addr = Pmem.Image.get_u8 (Pmem.State.volatile t.state) addr
+
+let load_string t ~addr ~len = Pmem.Image.get_string (Pmem.State.volatile t.state) ~addr ~len
+
+let load_bytes t ~addr ~len = Pmem.Image.read (Pmem.State.volatile t.state) ~addr ~len
+
+let register_pmem t ~base ~size = dispatch t (Event.Register_pmem { base; size })
+
+let epoch_begin t = dispatch t (Event.Epoch_begin { tid = t.tid })
+
+let epoch_end t = dispatch t (Event.Epoch_end { tid = t.tid })
+
+let strand_begin t ~strand = dispatch t (Event.Strand_begin { tid = t.tid; strand })
+
+let strand_end t ~strand = dispatch t (Event.Strand_end { tid = t.tid; strand })
+
+let join_strand t = dispatch t (Event.Join_strand { tid = t.tid })
+
+let tx_log t ~obj_addr ~size = dispatch t (Event.Tx_log { obj_addr; size; tid = t.tid })
+
+let register_var t ~name ~addr ~size = dispatch t (Event.Register_var { name; addr; size })
+
+let call_marker t ~func = dispatch t (Event.Call { func; tid = t.tid })
+
+let annotate t a = dispatch t (Event.Annotation a)
+
+let program_end t = dispatch t Event.Program_end
+
+let counts t =
+  [ ("stores", t.n_stores); ("clfs", t.n_clfs); ("fences", t.n_fences); ("other", t.n_other) ]
+
+let n_stores t = t.n_stores
+
+let n_clfs t = t.n_clfs
+
+let n_fences t = t.n_fences

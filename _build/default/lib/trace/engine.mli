@@ -1,0 +1,91 @@
+(** The instrumentation engine — this repository's substitute for
+    Valgrind.
+
+    PM workloads are written against this API. Every operation updates
+    the simulated PM persistency state ({!Pmem.State}) and, when
+    instrumentation is enabled, forwards the corresponding {!Event} to
+    every attached {!Sink}. Running a workload with instrumentation
+    disabled gives the "native" execution time; attaching
+    {!Sink.noop} gives the Nulgrind time; attaching a detector gives
+    that tool's debugging time.
+
+    The engine also provides the typed load/store accessors workloads
+    use to implement real data structures in the simulated pool. Loads
+    are not instrumented (the paper's tools intercept stores, CLF and
+    fences only). *)
+
+type t
+
+val create : ?initial_size:int -> unit -> t
+
+val pm : t -> Pmem.State.t
+
+val attach : t -> Sink.t -> unit
+
+val detach_all : t -> unit
+
+val set_instrumentation : t -> bool -> unit
+(** When off, events are not dispatched (PM semantics still apply). *)
+
+val seq : t -> int
+(** Number of events emitted so far (sequence counter). *)
+
+val set_tid : t -> int -> unit
+(** Thread id stamped on subsequent events (default 0). *)
+
+val emit : t -> Event.t -> unit
+(** Emit a raw event (used by annotation layers). *)
+
+(** {1 Instrumented PM operations} *)
+
+val store_bytes : t -> addr:int -> bytes -> unit
+val store_i64 : t -> addr:int -> int64 -> unit
+val store_int : t -> addr:int -> int -> unit
+val store_u8 : t -> addr:int -> int -> unit
+val store_string : t -> addr:int -> string -> unit
+
+val clwb : t -> addr:int -> unit
+(** Writeback of the cache line containing [addr]. *)
+
+val clflush : t -> addr:int -> unit
+val clflushopt : t -> addr:int -> unit
+
+val flush_range : t -> addr:int -> size:int -> unit
+(** CLWB every line of the range (one event per line, as the hardware
+    instruction stream would contain). *)
+
+val sfence : t -> unit
+
+val persist : t -> addr:int -> size:int -> unit
+(** [flush_range] followed by [sfence] — the PMDK persist idiom. *)
+
+(** {1 Unintercepted loads} *)
+
+val load_i64 : t -> addr:int -> int64
+val load_int : t -> addr:int -> int
+val load_u8 : t -> addr:int -> int
+val load_string : t -> addr:int -> len:int -> string
+val load_bytes : t -> addr:int -> len:int -> bytes
+
+(** {1 Annotations (Table 2) and markers} *)
+
+val register_pmem : t -> base:int -> size:int -> unit
+val epoch_begin : t -> unit
+val epoch_end : t -> unit
+val strand_begin : t -> strand:int -> unit
+val strand_end : t -> strand:int -> unit
+val join_strand : t -> unit
+val tx_log : t -> obj_addr:int -> size:int -> unit
+val register_var : t -> name:string -> addr:int -> size:int -> unit
+val call_marker : t -> func:string -> unit
+val annotate : t -> Event.annotation -> unit
+val program_end : t -> unit
+
+(** {1 Counters} *)
+
+val counts : t -> (string * int) list
+(** Event counts by class: stores, clfs, fences, others. *)
+
+val n_stores : t -> int
+val n_clfs : t -> int
+val n_fences : t -> int

@@ -1,0 +1,63 @@
+type clf_kind = Clwb | Clflush | Clflushopt
+
+type annotation =
+  | Assert_durable of { addr : int; size : int }
+  | Assert_ordered of { first_addr : int; first_size : int; then_addr : int; then_size : int }
+  | Assert_fresh of { addr : int; size : int }
+
+type t =
+  | Store of { addr : int; size : int; tid : int }
+  | Clf of { addr : int; size : int; kind : clf_kind; tid : int }
+  | Fence of { tid : int }
+  | Register_pmem of { base : int; size : int }
+  | Epoch_begin of { tid : int }
+  | Epoch_end of { tid : int }
+  | Strand_begin of { tid : int; strand : int }
+  | Strand_end of { tid : int; strand : int }
+  | Join_strand of { tid : int }
+  | Tx_log of { obj_addr : int; size : int; tid : int }
+  | Register_var of { name : string; addr : int; size : int }
+  | Call of { func : string; tid : int }
+  | Annotation of annotation
+  | Program_end
+
+let clf_kind_name = function Clwb -> "clwb" | Clflush -> "clflush" | Clflushopt -> "clflushopt"
+
+let pp ppf = function
+  | Store { addr; size; tid } -> Format.fprintf ppf "store[t%d] %d+%d" tid addr size
+  | Clf { addr; size; kind; tid } -> Format.fprintf ppf "%s[t%d] %d+%d" (clf_kind_name kind) tid addr size
+  | Fence { tid } -> Format.fprintf ppf "sfence[t%d]" tid
+  | Register_pmem { base; size } -> Format.fprintf ppf "register_pmem %d+%d" base size
+  | Epoch_begin { tid } -> Format.fprintf ppf "epoch_begin[t%d]" tid
+  | Epoch_end { tid } -> Format.fprintf ppf "epoch_end[t%d]" tid
+  | Strand_begin { tid; strand } -> Format.fprintf ppf "strand_begin[t%d] s%d" tid strand
+  | Strand_end { tid; strand } -> Format.fprintf ppf "strand_end[t%d] s%d" tid strand
+  | Join_strand { tid } -> Format.fprintf ppf "join_strand[t%d]" tid
+  | Tx_log { obj_addr; size; tid } -> Format.fprintf ppf "tx_log[t%d] %d+%d" tid obj_addr size
+  | Register_var { name; addr; size } -> Format.fprintf ppf "register_var %s=%d+%d" name addr size
+  | Call { func; tid } -> Format.fprintf ppf "call[t%d] %s" tid func
+  | Annotation (Assert_durable { addr; size }) -> Format.fprintf ppf "assert_durable %d+%d" addr size
+  | Annotation (Assert_ordered { first_addr; then_addr; _ }) ->
+      Format.fprintf ppf "assert_ordered %d<%d" first_addr then_addr
+  | Annotation (Assert_fresh { addr; size }) -> Format.fprintf ppf "assert_fresh %d+%d" addr size
+  | Program_end -> Format.fprintf ppf "program_end"
+
+let is_store = function Store _ -> true | _ -> false
+
+let is_clf = function Clf _ -> true | _ -> false
+
+let is_fence = function Fence _ -> true | _ -> false
+
+let tid = function
+  | Store { tid; _ }
+  | Clf { tid; _ }
+  | Fence { tid }
+  | Epoch_begin { tid }
+  | Epoch_end { tid }
+  | Strand_begin { tid; _ }
+  | Strand_end { tid; _ }
+  | Join_strand { tid }
+  | Tx_log { tid; _ }
+  | Call { tid; _ } ->
+      tid
+  | Register_pmem _ | Register_var _ | Annotation _ | Program_end -> 0

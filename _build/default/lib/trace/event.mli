@@ -1,0 +1,50 @@
+(** The instrumented event stream.
+
+    This is the exact vocabulary a Valgrind-based PMDebugger receives
+    from binary instrumentation (§6 of the paper): memory stores to
+    registered PM, cache-line writebacks, fences, the annotation events
+    of Table 2 (register_pmem, epoch and strand markers), transaction
+    log writes (for the redundant-logging rule), named-variable
+    registration and function-call markers (for the configuration-driven
+    "no order guarantee" rule), and PMTest-style assertion annotations
+    (consumed only by the PMTest baseline). *)
+
+type clf_kind = Clwb | Clflush | Clflushopt
+
+type annotation =
+  | Assert_durable of { addr : int; size : int }
+      (** PMTest TX_CHECKER-style: assert the range is persisted here. *)
+  | Assert_ordered of { first_addr : int; first_size : int; then_addr : int; then_size : int }
+      (** PMTest: assert [first] persisted before [then]. *)
+  | Assert_fresh of { addr : int; size : int }
+      (** PMTest: assert the range is not yet tracked (no prior
+          unpersisted store), catching multiple overwrites. *)
+
+type t =
+  | Store of { addr : int; size : int; tid : int }
+  | Clf of { addr : int; size : int; kind : clf_kind; tid : int }
+  | Fence of { tid : int }
+  | Register_pmem of { base : int; size : int }
+  | Epoch_begin of { tid : int }
+  | Epoch_end of { tid : int }
+  | Strand_begin of { tid : int; strand : int }
+  | Strand_end of { tid : int; strand : int }
+  | Join_strand of { tid : int }
+  | Tx_log of { obj_addr : int; size : int; tid : int }
+      (** An undo-log append covering the object at [obj_addr]. *)
+  | Register_var of { name : string; addr : int; size : int }
+      (** Maps a configuration variable name to its runtime address
+          (symbol table / intercepted allocation, §4.5). *)
+  | Call of { func : string; tid : int }
+      (** Application-function marker used by order-guarantee rules. *)
+  | Annotation of annotation
+  | Program_end
+
+val pp : Format.formatter -> t -> unit
+
+val is_store : t -> bool
+val is_clf : t -> bool
+val is_fence : t -> bool
+
+val tid : t -> int
+(** Thread id of the event; 0 for global events. *)

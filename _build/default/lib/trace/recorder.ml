@@ -1,0 +1,84 @@
+type trace = Event.t array
+
+let recording_sink () =
+  let buf = ref [] and n = ref 0 in
+  let sink =
+    Sink.make ~name:"recorder"
+      ~on_event:(fun ev ->
+        buf := ev :: !buf;
+        incr n)
+      ~finish:(fun () -> { (Bug.empty_report "recorder") with events_processed = !n })
+  in
+  let extract () =
+    let arr = Array.make !n Event.Program_end in
+    let rec fill i = function
+      | [] -> ()
+      | ev :: rest ->
+          arr.(i) <- ev;
+          fill (i - 1) rest
+    in
+    fill (!n - 1) !buf;
+    arr
+  in
+  (sink, extract)
+
+let record_on engine run =
+  let sink, extract = recording_sink () in
+  Engine.attach engine sink;
+  run engine;
+  Engine.detach_all engine;
+  extract ()
+
+let record run =
+  let engine = Engine.create () in
+  record_on engine run
+
+let replay trace sink =
+  Array.iter sink.Sink.on_event trace;
+  sink.Sink.finish ()
+
+let replay_timed ?(repeats = 1) trace mk =
+  let best = ref infinity in
+  let report = ref (Bug.empty_report "replay") in
+  for _ = 1 to max 1 repeats do
+    let sink = mk () in
+    let t0 = Unix.gettimeofday () in
+    let r = replay trace sink in
+    let dt = Unix.gettimeofday () -. t0 in
+    if dt < !best then best := dt;
+    report := r
+  done;
+  (!report, !best)
+
+let filter trace pred = Array.of_list (List.filter pred (Array.to_list trace))
+
+let interleave_round_robin traces =
+  let arrs = Array.of_list traces in
+  let idx = Array.map (fun _ -> 0) arrs in
+  let total = Array.fold_left (fun acc a -> acc + Array.length a) 0 arrs in
+  let out = Array.make total Event.Program_end in
+  let k = ref 0 in
+  let remaining () = Array.exists (fun i -> i >= 0) (Array.mapi (fun j i -> if i < Array.length arrs.(j) then i else -1) idx) in
+  while remaining () do
+    Array.iteri
+      (fun j i ->
+        if i < Array.length arrs.(j) then begin
+          out.(!k) <- arrs.(j).(i);
+          incr k;
+          idx.(j) <- i + 1
+        end)
+      idx
+  done;
+  out
+
+let stats trace =
+  let stores = ref 0 and clfs = ref 0 and fences = ref 0 and other = ref 0 in
+  Array.iter
+    (fun ev ->
+      match ev with
+      | Event.Store _ -> incr stores
+      | Event.Clf _ -> incr clfs
+      | Event.Fence _ -> incr fences
+      | _ -> incr other)
+    trace;
+  [ ("stores", !stores); ("clfs", !clfs); ("fences", !fences); ("other", !other); ("total", Array.length trace) ]

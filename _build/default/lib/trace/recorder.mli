@@ -1,0 +1,33 @@
+(** Trace recording and replay.
+
+    To compare detectors fairly (and to time them excluding workload
+    cost), a workload is run once with a recording sink; the captured
+    event array is then replayed into each detector. *)
+
+type trace = Event.t array
+
+val recording_sink : unit -> Sink.t * (unit -> trace)
+(** A sink that appends every event; the closure extracts the trace. *)
+
+val record : (Engine.t -> unit) -> trace
+(** [record run] executes [run] on a fresh engine with a recording sink
+    and returns the captured trace. *)
+
+val record_on : Engine.t -> (Engine.t -> unit) -> trace
+(** Same but on a caller-provided engine (so PM contents survive). *)
+
+val replay : trace -> Sink.t -> Bug.report
+(** Feed every event to the sink, then [finish]. *)
+
+val replay_timed : ?repeats:int -> trace -> (unit -> Sink.t) -> Bug.report * float
+(** [replay_timed trace mk] replays into fresh sinks [repeats] times
+    (default 1) and returns the last report with the minimum wall-clock
+    seconds for one replay. *)
+
+val filter : trace -> (Event.t -> bool) -> trace
+
+val interleave_round_robin : trace list -> trace
+(** Merge per-thread traces by alternating one event from each, the
+    deterministic model of a multi-threaded run under Valgrind. *)
+
+val stats : trace -> (string * int) list

@@ -1,0 +1,11 @@
+type t = { name : string; on_event : Event.t -> unit; finish : unit -> Bug.report }
+
+let make ~name ~on_event ~finish = { name; on_event; finish }
+
+let noop name =
+  let n = ref 0 in
+  {
+    name;
+    on_event = (fun _ -> incr n);
+    finish = (fun () -> { (Bug.empty_report name) with events_processed = !n });
+  }

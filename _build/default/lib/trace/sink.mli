@@ -1,0 +1,17 @@
+(** A detector attached to the instrumentation engine.
+
+    A sink receives every intercepted event in program order and
+    produces a {!Bug.report} when the run finishes. Detectors are
+    records of closures so that the dispatch cost per event is a single
+    indirect call, mirroring Valgrind's callback registration (§6). *)
+
+type t = {
+  name : string;
+  on_event : Event.t -> unit;
+  finish : unit -> Bug.report;
+}
+
+val make : name:string -> on_event:(Event.t -> unit) -> finish:(unit -> Bug.report) -> t
+
+val noop : string -> t
+(** Counts events and reports nothing — the Nulgrind model. *)

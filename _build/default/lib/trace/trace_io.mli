@@ -1,0 +1,40 @@
+(** Trace (de)serialization.
+
+    A recorded event stream can be saved to a file and replayed later —
+    the offline-debugging workflow real instrumentation tools support,
+    and a convenient interchange format for regression corpora.
+
+    The format is line-oriented text, one event per line, mirroring
+    {!Event.pp} but strictly parseable:
+
+    {v
+      store <tid> <addr> <size>
+      clf <kind> <tid> <addr> <size>
+      fence <tid>
+      register_pmem <base> <size>
+      epoch_begin <tid> | epoch_end <tid>
+      strand_begin <tid> <strand> | strand_end <tid> <strand>
+      join_strand <tid>
+      tx_log <tid> <obj_addr> <size>
+      register_var <addr> <size> <name>
+      call <tid> <func>
+      assert_durable <addr> <size>
+      assert_ordered <a> <asz> <b> <bsz>
+      assert_fresh <addr> <size>
+      program_end
+      # comments and blank lines are ignored
+    v} *)
+
+val event_to_line : Event.t -> string
+
+val event_of_line : string -> (Event.t option, string) result
+(** [Ok None] for blank/comment lines. *)
+
+val to_string : Recorder.trace -> string
+
+val of_string : string -> (Recorder.trace, string) result
+(** Fails with a line-numbered message on the first malformed line. *)
+
+val save : string -> Recorder.trace -> unit
+
+val load : string -> (Recorder.trace, string) result

@@ -1,0 +1,1 @@
+lib/workloads/array_example.ml: Bytes Engine Minipmdk Pmdebugger Pmem Pmtrace Pool Printf Prng String Tx Workload

@@ -1,0 +1,1 @@
+lib/workloads/array_example.mli: Minipmdk Workload

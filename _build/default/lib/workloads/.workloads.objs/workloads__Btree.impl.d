@@ -1,0 +1,1 @@
+lib/workloads/btree.ml: Engine Event Minipmdk Pmdebugger Pmtrace Pool Prng Tx Workload

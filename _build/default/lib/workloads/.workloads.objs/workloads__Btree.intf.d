@@ -1,0 +1,1 @@
+lib/workloads/btree.mli: Minipmdk Workload

@@ -1,0 +1,1 @@
+lib/workloads/ctree.ml: Engine Event Minipmdk Pmdebugger Pmtrace Pool Prng Tx Workload

@@ -1,0 +1,1 @@
+lib/workloads/ctree.mli: Minipmdk Workload

@@ -1,0 +1,1 @@
+lib/workloads/hashmap_atomic.ml: Atomic Bytes Engine Event Minipmdk Pmdebugger Pmtrace Pool Prng Tx Workload

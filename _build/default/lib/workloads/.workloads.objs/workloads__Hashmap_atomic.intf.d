@@ -1,0 +1,1 @@
+lib/workloads/hashmap_atomic.mli: Minipmdk Workload

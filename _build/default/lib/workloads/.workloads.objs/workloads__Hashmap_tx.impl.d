@@ -1,0 +1,1 @@
+lib/workloads/hashmap_tx.ml: Bytes Engine Event Hashtbl Minipmdk Pmdebugger Pmem Pmtrace Pool Prng Tx Workload

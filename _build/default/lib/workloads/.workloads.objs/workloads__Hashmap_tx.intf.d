@@ -1,0 +1,1 @@
+lib/workloads/hashmap_tx.mli: Minipmdk Workload

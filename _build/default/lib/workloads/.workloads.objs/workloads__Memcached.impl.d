@@ -1,0 +1,1 @@
+lib/workloads/memcached.ml: Bytes Char Engine Event Minipmdk Pmdebugger Pmtrace Pool Printf Prng String Workload Zipf

@@ -1,0 +1,1 @@
+lib/workloads/memcached.mli: Minipmdk Workload

@@ -1,0 +1,1 @@
+lib/workloads/pmfs_wl.ml: Array Engine Hashtbl Minipmfs Pmdebugger Pmtrace Printf Prng Workload

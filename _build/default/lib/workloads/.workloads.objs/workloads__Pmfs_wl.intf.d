@@ -1,0 +1,1 @@
+lib/workloads/pmfs_wl.mli: Workload

@@ -1,0 +1,1 @@
+lib/workloads/pqueue.ml: Engine Minipmdk Pmdebugger Pmtrace Pool Printf Prng String Tx Workload

@@ -1,0 +1,1 @@
+lib/workloads/pqueue.mli: Minipmdk Workload

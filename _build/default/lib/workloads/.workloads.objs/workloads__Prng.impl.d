@@ -1,0 +1,1 @@
+lib/workloads/prng.ml: Int64

@@ -1,0 +1,1 @@
+lib/workloads/rbtree.ml: Engine Event Minipmdk Pmdebugger Pmtrace Pool Prng Tx Workload

@@ -1,0 +1,1 @@
+lib/workloads/rbtree.mli: Minipmdk Workload

@@ -1,0 +1,1 @@
+lib/workloads/redis.ml: Bytes Engine Minipmdk Pmdebugger Pmtrace Pool Prng Tx Workload

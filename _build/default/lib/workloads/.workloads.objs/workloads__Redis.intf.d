@@ -1,0 +1,1 @@
+lib/workloads/redis.mli: Minipmdk Workload

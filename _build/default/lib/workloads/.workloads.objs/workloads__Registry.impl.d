@@ -1,0 +1,1 @@
+lib/workloads/registry.ml: Array_example Btree Ctree Hashmap_atomic Hashmap_tx List Memcached Pmfs_wl Pqueue Printf Rbtree Redis Rtree Synth_strand Workload Ycsb

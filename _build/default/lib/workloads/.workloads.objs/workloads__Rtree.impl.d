@@ -1,0 +1,1 @@
+lib/workloads/rtree.ml: Bytes Engine Event Minipmdk Pmdebugger Pmtrace Pool Prng Tx Workload

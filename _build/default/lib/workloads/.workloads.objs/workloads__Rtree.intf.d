@@ -1,0 +1,1 @@
+lib/workloads/rtree.mli: Minipmdk Workload

@@ -1,0 +1,1 @@
+lib/workloads/synth_strand.ml: Btree Ctree Engine Minipmdk Pmdebugger Pmtrace Pool Prng Workload

@@ -1,0 +1,1 @@
+lib/workloads/synth_strand.mli: Workload

@@ -1,0 +1,1 @@
+lib/workloads/workload.ml: Pmdebugger Pmtrace

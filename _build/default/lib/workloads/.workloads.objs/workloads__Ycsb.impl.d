@@ -1,0 +1,1 @@
+lib/workloads/ycsb.ml: Engine Memcached Minipmdk Pmdebugger Pmtrace Pool Printf Prng String Workload Zipf

@@ -1,0 +1,1 @@
+lib/workloads/zipf.ml: Float Prng

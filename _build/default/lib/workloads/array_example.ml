@@ -1,0 +1,56 @@
+open Pmtrace
+open Minipmdk
+
+(* Metadata record: [0..31] name (32 bytes), [32] size, [40] type,
+   [48] array offset. *)
+
+let info_size = 56
+
+let max_name = 32
+
+let allocate ?(fixed = false) pool ~name ~n_elems =
+  let e = Pool.engine pool in
+  let tx = Tx.begin_tx pool in
+  (* do_alloc: write the metadata fields inside the epoch section. *)
+  let info = Pool.alloc_raw pool ~size:info_size in
+  Tx.add_range tx ~addr:Pool.off_heap_top ~size:8;
+  Tx.add_range tx ~addr:info ~size:info_size;
+  let padded = Bytes.make max_name '\000' in
+  Bytes.blit_string name 0 padded 0 (min (String.length name) (max_name - 1));
+  Engine.store_bytes e ~addr:info padded;
+  Engine.store_int e ~addr:(info + 32) n_elems;
+  Engine.store_int e ~addr:(info + 40) 1 (* TYPE_INT *);
+  (* alloc_int: allocate and persist only the element array. The stock
+     example calls pmemobj_persist here — a flush plus a fence inside
+     the epoch section; the fix writes back without the extra fence and
+     lets the commit barrier drain. *)
+  let arr = Pool.alloc_raw pool ~size:(8 * n_elems) in
+  Engine.store_bytes e ~addr:arr (Bytes.make (8 * n_elems) '\000');
+  if fixed then Engine.flush_range e ~addr:arr ~size:(8 * n_elems)
+  else Engine.persist e ~addr:arr ~size:(8 * n_elems);
+  Engine.store_int e ~addr:(info + 48) arr;
+  if fixed then
+    (* The corrected example snapshots nothing extra but flushes the
+       metadata before the epoch barrier. *)
+    Engine.flush_range e ~addr:info ~size:info_size;
+  (* Stock bug: commit flushes only the snapshotted allocator ranges;
+     the metadata stores reach the epoch end unflushed because the
+     example relied on the lone pmemobj_persist above. *)
+  Tx.commit tx ~skip_flush_of:(if fixed then [] else [ Pmem.Addr.of_base_size info info_size ]);
+  info
+
+let run (p : Workload.params) engine =
+  let pool = Pool.create engine ~size:(64 lsl 20) in
+  let rng = Prng.create p.Workload.seed in
+  for i = 1 to max 1 (p.Workload.n / 16) do
+    ignore (allocate pool ~name:(Printf.sprintf "arr%d" i) ~n_elems:(1 + Prng.below rng 15))
+  done;
+  Engine.program_end engine
+
+let spec =
+  {
+    Workload.name = "array";
+    model = Pmdebugger.Detector.Epoch;
+    run;
+    description = "PMDK array example (stock path lacks durability in its epoch)";
+  }

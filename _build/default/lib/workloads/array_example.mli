@@ -1,0 +1,16 @@
+(** The PMDK [array] example: an allocation transaction that records
+    array metadata (name, size, type) and allocates the element
+    storage.
+
+    By default it reproduces the stock-PMDK "lack durability in epoch"
+    defect the paper reported to Intel (§7.4 Bug 3, Fig. 9c): inside
+    the epoch section only the freshly allocated element array is
+    persisted, while the metadata stores from do_alloc are not flushed
+    before the epoch ends. Pass [~fixed:true] for the corrected
+    behaviour. *)
+
+val allocate : ?fixed:bool -> Minipmdk.Pool.t -> name:string -> n_elems:int -> int
+(** Runs the allocation transaction and returns the offset of the
+    metadata record. *)
+
+val spec : Workload.spec

@@ -1,0 +1,232 @@
+open Pmtrace
+open Minipmdk
+
+(* Node layout (offsets in bytes from the node base):
+     0   n_keys
+     8   is_leaf
+     16  keys[max_keys]
+     16+8*max_keys          values[max_keys]
+     16+16*max_keys         children[max_keys+1]
+   Minimum degree 4: max_keys = 7, max children 8. *)
+
+let order = 8
+
+let max_keys = order - 1
+
+let min_degree = order / 2
+
+let off_nkeys = 0
+let off_leaf = 8
+let off_keys = 16
+let off_values = off_keys + (8 * max_keys)
+let off_children = off_values + (8 * max_keys)
+let node_size = off_children + (8 * (max_keys + 1))
+
+type t = { pool : Pool.t; root_off : int; annotate : bool }
+
+(* The tree root object holds a single pointer to the current root node. *)
+let root_obj_size = 8
+
+let engine t = Pool.engine t.pool
+
+let get t addr = Engine.load_int (engine t) ~addr
+let nkeys t node = get t (node + off_nkeys)
+let is_leaf t node = get t (node + off_leaf) <> 0
+let key t node i = get t (node + off_keys + (8 * i))
+let value t node i = get t (node + off_values + (8 * i))
+let child t node i = get t (node + off_children + (8 * i))
+
+let set_int tx ~addr v = Tx.store_int tx ~addr v
+
+let alloc_node t tx ~leaf =
+  let node = Pool.alloc_raw t.pool ~size:node_size in
+  Tx.add_range tx ~addr:Pool.off_heap_top ~size:8;
+  Tx.add_range tx ~addr:node ~size:node_size;
+  Engine.store_int (engine t) ~addr:(node + off_nkeys) 0;
+  Engine.store_int (engine t) ~addr:(node + off_leaf) (if leaf then 1 else 0);
+  node
+
+let create ?root_slot pool =
+  let root_off = match root_slot with Some slot -> slot | None -> Pool.root pool ~size:root_obj_size in
+  let t = { pool; root_off; annotate = false } in
+  let tx = Tx.begin_tx pool in
+  let node = alloc_node t tx ~leaf:true in
+  set_int tx ~addr:root_off node;
+  Tx.commit tx;
+  t
+
+let root_node t = get t t.root_off
+
+(* Move key [i] of [src] (with its value and right child) into slot [j]
+   of [dst] — all within the ambient transaction. *)
+let blit_entry t tx ~src ~i ~dst ~j =
+  let e = engine t in
+  Engine.store_int e ~addr:(dst + off_keys + (8 * j)) (key t src i);
+  Engine.store_int e ~addr:(dst + off_values + (8 * j)) (value t src i);
+  ignore tx
+
+(* Split the full child [c] = children[idx] of [parent]. *)
+let split_child t tx ~parent ~idx =
+  let e = engine t in
+  let c = child t parent idx in
+  let right = alloc_node t tx ~leaf:(is_leaf t c) in
+  Tx.add_range tx ~addr:c ~size:node_size;
+  Tx.add_range tx ~addr:parent ~size:node_size;
+  let mid = min_degree - 1 in
+  (* Right node takes the upper keys. *)
+  let moved = max_keys - mid - 1 in
+  for j = 0 to moved - 1 do
+    blit_entry t tx ~src:c ~i:(mid + 1 + j) ~dst:right ~j
+  done;
+  if not (is_leaf t c) then
+    for j = 0 to moved do
+      Engine.store_int e ~addr:(right + off_children + (8 * j)) (child t c (mid + 1 + j))
+    done;
+  Engine.store_int e ~addr:(right + off_nkeys) moved;
+  Engine.store_int e ~addr:(c + off_nkeys) mid;
+  (* Shift the parent's entries right of idx. *)
+  let pn = nkeys t parent in
+  for j = pn - 1 downto idx do
+    blit_entry t tx ~src:parent ~i:j ~dst:parent ~j:(j + 1)
+  done;
+  for j = pn downto idx + 1 do
+    Engine.store_int e ~addr:(parent + off_children + (8 * (j + 1))) (child t parent j)
+  done;
+  Engine.store_int e ~addr:(parent + off_keys + (8 * idx)) (key t c mid);
+  Engine.store_int e ~addr:(parent + off_values + (8 * idx)) (value t c mid);
+  Engine.store_int e ~addr:(parent + off_children + (8 * (idx + 1))) right;
+  Engine.store_int e ~addr:(parent + off_nkeys) (pn + 1)
+
+let rec insert_nonfull t tx node ~key:k ~value:v =
+  let e = engine t in
+  let n = nkeys t node in
+  (* Replace on duplicate. *)
+  let rec find_eq i = if i >= n then None else if key t node i = k then Some i else find_eq (i + 1) in
+  match find_eq 0 with
+  | Some i ->
+      Tx.add_range tx ~addr:(node + off_values + (8 * i)) ~size:8;
+      Engine.store_int e ~addr:(node + off_values + (8 * i)) v
+  | None ->
+      if is_leaf t node then begin
+        Tx.add_range tx ~addr:node ~size:node_size;
+        let rec shift j =
+          if j >= 0 && key t node j > k then begin
+            blit_entry t tx ~src:node ~i:j ~dst:node ~j:(j + 1);
+            shift (j - 1)
+          end
+          else j
+        in
+        let pos = shift (n - 1) + 1 in
+        Engine.store_int e ~addr:(node + off_keys + (8 * pos)) k;
+        Engine.store_int e ~addr:(node + off_values + (8 * pos)) v;
+        Engine.store_int e ~addr:(node + off_nkeys) (n + 1)
+      end
+      else begin
+        let rec descend_idx i = if i < n && key t node i < k then descend_idx (i + 1) else i in
+        let idx = descend_idx 0 in
+        if nkeys t (child t node idx) = max_keys then begin
+          split_child t tx ~parent:node ~idx;
+          (* The promoted median may be the key being inserted. *)
+          if key t node idx = k then begin
+            Tx.add_range tx ~addr:(node + off_values + (8 * idx)) ~size:8;
+            Engine.store_int e ~addr:(node + off_values + (8 * idx)) v
+          end
+          else begin
+            let idx = if key t node idx < k then idx + 1 else idx in
+            insert_nonfull t tx (child t node idx) ~key:k ~value:v
+          end
+        end
+        else insert_nonfull t tx (child t node idx) ~key:k ~value:v
+      end
+
+let insert t ~key:k ~value:v =
+  let e = engine t in
+  let tx = Tx.begin_tx t.pool in
+  let root = root_node t in
+  let root =
+    if nkeys t root = max_keys then begin
+      let new_root = alloc_node t tx ~leaf:false in
+      Engine.store_int e ~addr:(new_root + off_children) root;
+      Tx.add_range tx ~addr:t.root_off ~size:8;
+      Engine.store_int e ~addr:t.root_off new_root;
+      split_child t tx ~parent:new_root ~idx:0;
+      new_root
+    end
+    else root
+  in
+  insert_nonfull t tx root ~key:k ~value:v;
+  Tx.commit tx;
+  if t.annotate then
+    Engine.annotate e (Event.Assert_durable { addr = root; size = node_size })
+
+let find t ~key:k =
+  let rec go node =
+    let n = nkeys t node in
+    let rec scan i =
+      if i < n && key t node i < k then scan (i + 1)
+      else if i < n && key t node i = k then Some (value t node i)
+      else if is_leaf t node then None
+      else go (child t node i)
+    in
+    scan 0
+  in
+  go (root_node t)
+
+let iter t f =
+  let rec go node =
+    let n = nkeys t node in
+    for i = 0 to n - 1 do
+      if not (is_leaf t node) then go (child t node i);
+      f ~key:(key t node i) ~value:(value t node i)
+    done;
+    if not (is_leaf t node) then go (child t node n)
+  in
+  go (root_node t)
+
+let cardinal t =
+  let n = ref 0 in
+  iter t (fun ~key:_ ~value:_ -> incr n);
+  !n
+
+let check t =
+  let depth_of_leaf = ref None in
+  let rec go node depth ~lo ~hi ~is_root =
+    let n = nkeys t node in
+    if n > max_keys then failwith "btree: node overflow";
+    if (not is_root) && n < min_degree - 1 then failwith "btree: node underflow";
+    for i = 0 to n - 1 do
+      let k = key t node i in
+      (match lo with Some l when k <= l -> failwith "btree: key order violated (lo)" | _ -> ());
+      (match hi with Some h when k >= h -> failwith "btree: key order violated (hi)" | _ -> ());
+      if i > 0 && key t node (i - 1) >= k then failwith "btree: keys not sorted"
+    done;
+    if is_leaf t node then begin
+      match !depth_of_leaf with
+      | None -> depth_of_leaf := Some depth
+      | Some d -> if d <> depth then failwith "btree: leaves at different depths"
+    end
+    else
+      for i = 0 to n do
+        let lo = if i = 0 then lo else Some (key t node (i - 1)) in
+        let hi = if i = n then hi else Some (key t node i) in
+        go (child t node i) (depth + 1) ~lo ~hi ~is_root:false
+      done
+  in
+  go (root_node t) 0 ~lo:None ~hi:None ~is_root:true
+
+let run (p : Workload.params) engine =
+  let pool = Pool.create engine ~size:(64 lsl 20) in
+  let t = { (create pool) with annotate = p.Workload.annotate } in
+  let rng = Prng.create p.Workload.seed in
+  for _ = 1 to p.Workload.n do
+    insert t ~key:(Prng.below rng (p.Workload.n * 4)) ~value:(Prng.next rng land 0xFFFF)
+  done;
+  Engine.program_end engine
+
+let spec =
+  {
+    Workload.name = "b_tree";
+    model = Pmdebugger.Detector.Epoch;
+    run;
+    description = "PMDK-style B-tree, one transaction per insert";
+  }

@@ -1,0 +1,28 @@
+(** Persistent B-tree (the PMDK [btree] example): fixed-order nodes,
+    transactional inserts. *)
+
+type t
+
+val order : int
+(** Maximum keys per node (8, as in the PMDK example). *)
+
+val create : ?root_slot:int -> Minipmdk.Pool.t -> t
+(** [root_slot] is the 8-byte PM slot holding the root-node pointer;
+    by default the pool's root object is used. Passing distinct slots
+    lets several structures share one pool. *)
+
+val insert : t -> key:int -> value:int -> unit
+(** Transactional insert (replaces the value on duplicate key). *)
+
+val find : t -> key:int -> int option
+
+val iter : t -> (key:int -> value:int -> unit) -> unit
+(** In key order. *)
+
+val cardinal : t -> int
+
+val check : t -> unit
+(** Validates B-tree structural invariants; raises [Failure]. *)
+
+val spec : Workload.spec
+(** [n] random insertions, each in its own transaction. *)

@@ -1,0 +1,170 @@
+open Pmtrace
+open Minipmdk
+
+(* Node layout:
+     0   kind      (0 = leaf, 1 = internal)
+     8   key / bit (leaf: key, internal: critical bit index)
+     16  value / left
+     24  unused / right
+   Keys are non-negative ints (63 significant bits). *)
+
+let off_kind = 0
+let off_key = 8
+let off_a = 16
+let off_b = 24
+let node_size = 32
+
+type t = { pool : Pool.t; root_off : int; annotate : bool }
+
+let engine t = Pool.engine t.pool
+
+let get t addr = Engine.load_int (engine t) ~addr
+let kind t node = get t (node + off_kind)
+let nkey t node = get t (node + off_key)
+let left t node = get t (node + off_a)
+let right t node = get t (node + off_b)
+let leaf_value t node = get t (node + off_a)
+
+let create ?root_slot pool =
+  let root_off = match root_slot with Some slot -> slot | None -> Pool.root pool ~size:8 in
+  { pool; root_off; annotate = false }
+
+let alloc_leaf t tx ~key ~value =
+  let e = engine t in
+  let node = Pool.alloc_raw ~align:32 t.pool ~size:node_size in
+  Tx.add_range tx ~addr:Pool.off_heap_top ~size:8;
+  Tx.add_range tx ~addr:node ~size:node_size;
+  Engine.store_int e ~addr:(node + off_kind) 0;
+  Engine.store_int e ~addr:(node + off_key) key;
+  Engine.store_int e ~addr:(node + off_a) value;
+  node
+
+let highest_bit x =
+  let rec go b = if b < 0 then -1 else if x land (1 lsl b) <> 0 then b else go (b - 1) in
+  go 62
+
+let bit_set k b = k land (1 lsl b) <> 0
+
+let insert t ~key:k ~value:v =
+  let e = engine t in
+  let tx = Tx.begin_tx t.pool in
+  let root = get t t.root_off in
+  if root = 0 then begin
+    let leaf = alloc_leaf t tx ~key:k ~value:v in
+    Tx.add_range tx ~addr:t.root_off ~size:8;
+    Engine.store_int e ~addr:t.root_off leaf
+  end
+  else begin
+    (* Find the leaf the key would reach. *)
+    let rec descend node =
+      if kind t node = 0 then node
+      else begin
+        let b = nkey t node in
+        descend (if bit_set k b then right t node else left t node)
+      end
+    in
+    let reached = descend root in
+    let existing = nkey t reached in
+    if existing = k then begin
+      Tx.add_range tx ~addr:(reached + off_a) ~size:8;
+      Engine.store_int e ~addr:(reached + off_a) v
+    end
+    else begin
+      let crit = highest_bit (existing lxor k) in
+      let leaf = alloc_leaf t tx ~key:k ~value:v in
+      (* Re-descend to the insertion point: the first node whose bit is
+         below the critical bit (or a leaf). *)
+      let rec find_spot ~slot node =
+        if kind t node = 1 && nkey t node > crit then begin
+          let b = nkey t node in
+          let slot = node + if bit_set k b then off_b else off_a in
+          find_spot ~slot (get t slot)
+        end
+        else (slot, node)
+      in
+      let slot, below = find_spot ~slot:t.root_off root in
+      let inner = Pool.alloc_raw ~align:32 t.pool ~size:node_size in
+      Tx.add_range tx ~addr:Pool.off_heap_top ~size:8;
+      Tx.add_range tx ~addr:inner ~size:node_size;
+      Engine.store_int e ~addr:(inner + off_kind) 1;
+      Engine.store_int e ~addr:(inner + off_key) crit;
+      let a, b = if bit_set k crit then (below, leaf) else (leaf, below) in
+      Engine.store_int e ~addr:(inner + off_a) a;
+      Engine.store_int e ~addr:(inner + off_b) b;
+      Tx.add_range tx ~addr:slot ~size:8;
+      Engine.store_int e ~addr:slot inner
+    end
+  end;
+  Tx.commit tx;
+  if t.annotate then Engine.annotate e (Event.Assert_durable { addr = t.root_off; size = 8 })
+
+let find t ~key:k =
+  let root = get t t.root_off in
+  if root = 0 then None
+  else begin
+    let rec descend node =
+      if kind t node = 0 then if nkey t node = k then Some (leaf_value t node) else None
+      else descend (if bit_set k (nkey t node) then right t node else left t node)
+    in
+    descend root
+  end
+
+let iter t f =
+  let root = get t t.root_off in
+  let rec go node =
+    if node <> 0 then
+      if kind t node = 0 then f ~key:(nkey t node) ~value:(leaf_value t node)
+      else begin
+        go (left t node);
+        go (right t node)
+      end
+  in
+  go root
+
+let cardinal t =
+  let n = ref 0 in
+  iter t (fun ~key:_ ~value:_ -> incr n);
+  !n
+
+let check t =
+  let root = get t t.root_off in
+  let rec go node ~max_bit =
+    if node <> 0 then
+      if kind t node = 0 then ()
+      else begin
+        let b = nkey t node in
+        if b >= max_bit then failwith "ctree: bit indexes not strictly decreasing";
+        (* Every key under the right child must have bit b set; left, clear. *)
+        let rec check_leaves n expected =
+          if kind t n = 0 then begin
+            if bit_set (nkey t n) b <> expected then failwith "ctree: key disagrees with path"
+          end
+          else begin
+            check_leaves (left t n) expected;
+            check_leaves (right t n) expected
+          end
+        in
+        check_leaves (left t node) false;
+        check_leaves (right t node) true;
+        go (left t node) ~max_bit:b;
+        go (right t node) ~max_bit:b
+      end
+  in
+  go root ~max_bit:63
+
+let run (p : Workload.params) engine =
+  let pool = Pool.create engine ~size:(64 lsl 20) in
+  let t = { (create pool) with annotate = p.Workload.annotate } in
+  let rng = Prng.create p.Workload.seed in
+  for _ = 1 to p.Workload.n do
+    insert t ~key:(Prng.below rng (p.Workload.n * 4)) ~value:(Prng.next rng land 0xFFFF)
+  done;
+  Engine.program_end engine
+
+let spec =
+  {
+    Workload.name = "c_tree";
+    model = Pmdebugger.Detector.Epoch;
+    run;
+    description = "PMDK-style crit-bit tree, one transaction per insert";
+  }

@@ -1,0 +1,22 @@
+(** Persistent crit-bit tree (the PMDK [ctree] example): internal nodes
+    discriminate on the highest differing bit; leaves hold key/value.
+    Transactional inserts. *)
+
+type t
+
+val create : ?root_slot:int -> Minipmdk.Pool.t -> t
+(** See {!Btree.create} for [root_slot]. *)
+
+val insert : t -> key:int -> value:int -> unit
+
+val find : t -> key:int -> int option
+
+val iter : t -> (key:int -> value:int -> unit) -> unit
+
+val cardinal : t -> int
+
+val check : t -> unit
+(** Validates crit-bit invariants (decreasing bit indexes downwards,
+    keys agreeing with their path); raises [Failure]. *)
+
+val spec : Workload.spec

@@ -1,0 +1,79 @@
+open Pmtrace
+open Minipmdk
+
+(* Root object: [0] nbuckets, [8] count, [16] buckets_off.
+   Entry: [0] key, [8] value, [16] next. *)
+
+let entry_size = 24
+
+type t = { pool : Pool.t; root_off : int; nbuckets : int; buckets_off : int; annotate : bool }
+
+let engine t = Pool.engine t.pool
+
+let get t addr = Engine.load_int (engine t) ~addr
+
+(* The map_create path of the PMDK data_store example: a transaction
+   wraps creation, and the nested create_hashmap helper persists the
+   header with its own flush+fence — a second fence inside the epoch
+   section unless the fix is applied. *)
+let create ?(buckets = 1024) ?(fixed_create = false) pool =
+  let e = Pool.engine pool in
+  let root_off = Pool.root pool ~size:24 in
+  let tx = Tx.begin_tx pool in
+  let buckets_off = Pool.alloc_raw pool ~size:(8 * buckets) in
+  Tx.add_range tx ~addr:Pool.off_heap_top ~size:8;
+  Tx.add_range tx ~addr:buckets_off ~size:(8 * buckets);
+  Engine.store_bytes e ~addr:buckets_off (Bytes.make (8 * buckets) '\000');
+  Tx.add_range tx ~addr:root_off ~size:24;
+  Engine.store_int e ~addr:root_off buckets;
+  Engine.store_int e ~addr:(root_off + 8) 0;
+  Engine.store_int e ~addr:(root_off + 16) buckets_off;
+  if not fixed_create then
+    (* create_hashmap's pmemobj_persist(pop, hashmap, ...) *)
+    Engine.persist e ~addr:root_off ~size:24;
+  Tx.commit tx;
+  { pool; root_off; nbuckets = buckets; buckets_off; annotate = false }
+
+let hash t key = (key * 2654435761) land max_int mod t.nbuckets
+
+let insert t ~key ~value =
+  let e = engine t in
+  let slot = t.buckets_off + (8 * hash t key) in
+  let rec find_entry node = if node = 0 then None else if get t node = key then Some node else find_entry (get t (node + 16)) in
+  (match find_entry (get t slot) with
+  | Some entry -> Atomic.publish_int t.pool ~addr:(entry + 8) value
+  | None ->
+      let head = get t slot in
+      let entry =
+        Atomic.alloc t.pool ~size:entry_size ~init:(fun off ->
+            Engine.store_int e ~addr:off key;
+            Engine.store_int e ~addr:(off + 8) value;
+            Engine.store_int e ~addr:(off + 16) head)
+      in
+      Atomic.publish_int t.pool ~addr:slot entry;
+      Atomic.publish_int t.pool ~addr:(t.root_off + 8) (get t (t.root_off + 8) + 1));
+  if t.annotate then Engine.annotate e (Event.Assert_durable { addr = slot; size = 8 })
+
+let find t ~key =
+  let slot = t.buckets_off + (8 * hash t key) in
+  let rec go node = if node = 0 then None else if get t node = key then Some (get t (node + 8)) else go (get t (node + 16)) in
+  go (get t slot)
+
+let cardinal t = get t (t.root_off + 8)
+
+let run (p : Workload.params) engine =
+  let pool = Pool.create engine ~size:(64 lsl 20) in
+  let t = { (create pool) with annotate = p.Workload.annotate } in
+  let rng = Prng.create p.Workload.seed in
+  for _ = 1 to p.Workload.n do
+    insert t ~key:(Prng.below rng (p.Workload.n * 4)) ~value:(Prng.next rng land 0xFFFF)
+  done;
+  Engine.program_end engine
+
+let spec =
+  {
+    Workload.name = "hashmap_atomic";
+    model = Pmdebugger.Detector.Epoch;
+    run;
+    description = "atomic-API chained hashmap (stock create path carries the PMDK redundant-fence defect)";
+  }

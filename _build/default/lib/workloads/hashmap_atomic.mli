@@ -1,0 +1,25 @@
+(** Persistent chained hashmap using the non-transactional atomic API
+    (the PMDK [hashmap_atomic] example).
+
+    Every insert allocates and publishes with flush+fence pairs only —
+    the most collective-writeback-heavy pattern in the suite (Fig. 2b),
+    which is why hashmap_atomic shows the paper's largest PMDebugger
+    speedup over Pmemcheck.
+
+    By default, [create] faithfully reproduces the stock-PMDK
+    "redundant epoch fence" defect the paper reported to Intel (§7.4
+    Bug 2, Fig. 9b): the creation transaction calls
+    [pmemobj_persist]-style flush+fence inside the epoch section. Pass
+    [~fixed_create:true] for the corrected behaviour. *)
+
+type t
+
+val create : ?buckets:int (** default 1024 *) -> ?fixed_create:bool (** default false *) -> Minipmdk.Pool.t -> t
+
+val insert : t -> key:int -> value:int -> unit
+
+val find : t -> key:int -> int option
+
+val cardinal : t -> int
+
+val spec : Workload.spec

@@ -1,0 +1,133 @@
+open Pmtrace
+open Minipmdk
+
+(* Root object: [0] nbuckets, [8] count, [16] buckets_off, [24] counters_off.
+   Bucket: head pointer (8B each).
+   Entry: [0] key, [8] value, [16] next.
+   Counters: one 8-byte access counter per bucket, updated on every
+   insert but persisted lazily in batches. *)
+
+let entry_size = 24
+
+let counter_flush_period = 1024
+
+type t = {
+  pool : Pool.t;
+  root_off : int;
+  nbuckets : int;
+  buckets_off : int;
+  counters_off : int;
+  mutable ops_since_counter_flush : int;
+  mutable touched_counters : (int, unit) Hashtbl.t;
+  annotate : bool;
+}
+
+let engine t = Pool.engine t.pool
+
+let get t addr = Engine.load_int (engine t) ~addr
+
+let create ?(buckets = 1024) pool =
+  let e = Pool.engine pool in
+  let root_off = Pool.root pool ~size:32 in
+  let tx = Tx.begin_tx pool in
+  let buckets_off = Pool.alloc_raw pool ~size:(8 * buckets) in
+  let counters_off = Pool.alloc_raw pool ~size:(8 * buckets) in
+  Tx.add_range tx ~addr:Pool.off_heap_top ~size:8;
+  Tx.add_range tx ~addr:buckets_off ~size:(8 * buckets);
+  Engine.store_bytes e ~addr:buckets_off (Bytes.make (8 * buckets) '\000');
+  Tx.add_range tx ~addr:counters_off ~size:(8 * buckets);
+  Engine.store_bytes e ~addr:counters_off (Bytes.make (8 * buckets) '\000');
+  Tx.add_range tx ~addr:root_off ~size:32;
+  Engine.store_int e ~addr:root_off buckets;
+  Engine.store_int e ~addr:(root_off + 8) 0;
+  Engine.store_int e ~addr:(root_off + 16) buckets_off;
+  Engine.store_int e ~addr:(root_off + 24) counters_off;
+  Tx.commit tx;
+  {
+    pool;
+    root_off;
+    nbuckets = buckets;
+    buckets_off;
+    counters_off;
+    ops_since_counter_flush = 0;
+    touched_counters = Hashtbl.create 64;
+    annotate = false;
+  }
+
+let hash t key = (key * 2654435761) land max_int mod t.nbuckets
+
+(* Lazy counter maintenance: store now, flush a batch later. The store
+   survives several fences before its CLF arrives, exercising the
+   bookkeeping path where locations migrate to the AVL tree. *)
+(* Write back every touched counter, one CLWB per distinct cache line. *)
+let write_back_counters t =
+  let e = engine t in
+  let lines = Hashtbl.create 16 in
+  Hashtbl.iter
+    (fun b () -> Hashtbl.replace lines (Pmem.Addr.line_of (t.counters_off + (8 * b))) ())
+    t.touched_counters;
+  Hashtbl.iter (fun line () -> Engine.clwb e ~addr:(line * Pmem.Addr.cache_line_size)) lines;
+  Engine.sfence e;
+  Hashtbl.reset t.touched_counters;
+  t.ops_since_counter_flush <- 0
+
+let bump_counter t bucket =
+  let e = engine t in
+  let addr = t.counters_off + (8 * bucket) in
+  Engine.store_int e ~addr (Engine.load_int e ~addr + 1);
+  Hashtbl.replace t.touched_counters bucket ();
+  t.ops_since_counter_flush <- t.ops_since_counter_flush + 1;
+  if t.ops_since_counter_flush >= counter_flush_period then write_back_counters t
+
+let flush_counters t = if Hashtbl.length t.touched_counters > 0 then write_back_counters t
+
+let insert t ~key ~value =
+  let e = engine t in
+  let bucket = hash t key in
+  let slot = t.buckets_off + (8 * bucket) in
+  (* Update an existing entry in place when present. *)
+  let rec find_entry node = if node = 0 then None else if get t node = key then Some node else find_entry (get t (node + 16)) in
+  let tx = Tx.begin_tx t.pool in
+  (match find_entry (get t slot) with
+  | Some entry ->
+      Tx.add_range tx ~addr:(entry + 8) ~size:8;
+      Engine.store_int e ~addr:(entry + 8) value
+  | None ->
+      let entry = Pool.alloc_raw ~align:32 t.pool ~size:entry_size in
+      Tx.add_range tx ~addr:Pool.off_heap_top ~size:8;
+      Tx.add_range tx ~addr:entry ~size:entry_size;
+      Engine.store_int e ~addr:entry key;
+      Engine.store_int e ~addr:(entry + 8) value;
+      Engine.store_int e ~addr:(entry + 16) (get t slot);
+      Tx.add_range tx ~addr:slot ~size:8;
+      Engine.store_int e ~addr:slot entry;
+      Tx.add_range tx ~addr:(t.root_off + 8) ~size:8;
+      Engine.store_int e ~addr:(t.root_off + 8) (get t (t.root_off + 8) + 1));
+  Tx.commit tx;
+  bump_counter t bucket;
+  if t.annotate then Engine.annotate e (Event.Assert_durable { addr = slot; size = 8 })
+
+let find t ~key =
+  let slot = t.buckets_off + (8 * hash t key) in
+  let rec go node = if node = 0 then None else if get t node = key then Some (get t (node + 8)) else go (get t (node + 16)) in
+  go (get t slot)
+
+let cardinal t = get t (t.root_off + 8)
+
+let run (p : Workload.params) engine =
+  let pool = Pool.create engine ~size:(64 lsl 20) in
+  let t = { (create pool) with annotate = p.Workload.annotate } in
+  let rng = Prng.create p.Workload.seed in
+  for _ = 1 to p.Workload.n do
+    insert t ~key:(Prng.below rng (p.Workload.n * 4)) ~value:(Prng.next rng land 0xFFFF)
+  done;
+  flush_counters t;
+  Engine.program_end engine
+
+let spec =
+  {
+    Workload.name = "hashmap_tx";
+    model = Pmdebugger.Detector.Epoch;
+    run;
+    description = "transactional chained hashmap with lazily persisted per-bucket counters";
+  }

@@ -1,0 +1,24 @@
+(** Persistent chained hashmap with transactional inserts (the PMDK
+    [hashmap_tx] example).
+
+    Besides the transactional bucket updates, the map maintains a
+    per-bucket access-counter region that is stored on every insert but
+    only flushed once every [counter_flush_period] operations — outside any
+    transaction. Those late-persisted stores are what gives hashmap_tx
+    its distinctive profile in the paper: many stores whose guarding
+    fence is far away (Fig. 2a tail) and a large AVL spill tree
+    (Fig. 11: hundreds of nodes, vs tens for every other workload). *)
+
+type t
+
+val counter_flush_period : int
+
+val create : ?buckets:int (** default 1024 *) -> Minipmdk.Pool.t -> t
+
+val insert : t -> key:int -> value:int -> unit
+
+val find : t -> key:int -> int option
+
+val cardinal : t -> int
+
+val spec : Workload.spec

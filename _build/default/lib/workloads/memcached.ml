@@ -1,0 +1,433 @@
+open Pmtrace
+open Minipmdk
+
+(* Item chunk layout (256 bytes = 4 cache lines):
+     line 0 (0..63)    h_next(0) prev(8) next(16) nkey(24) nbytes(32)
+                       exptime(48)
+     line 1 (64..127)  cas(64) time(72) refcount(80) flags(88)
+                       -- metadata the port updates without persisting
+     lines 2-3 (128..255) key(128..159) data(160..255)
+
+   Service metadata block (four cache lines at meta_off):
+     line A (0..63)    buckets_off(0) slabs_off(8) nbuckets(16)
+                       max_items(24)              -- init-time, persisted
+     line B (64..127)  lru_head(64)               -- persisted on link,
+                                                     not on access bumps
+     line C (128..191) freelist_head(128)         -- never persisted
+     line D (192..255) curr_items(192) total_items(200) curr_bytes(208)
+                       cas_highwater(216) oldest_live(224)
+                       stats_evictions(232) lru_tail(240)
+                                                  -- never persisted *)
+
+let chunk_size = 256
+
+let it_h_next = 0
+let it_prev = 8
+let it_next = 16
+let it_nkey = 24
+let it_nbytes = 32
+let it_exptime = 48
+let it_cas = 64
+let it_time = 72
+let it_refcount = 80
+let it_flags = 88
+let it_key = 128
+let it_data = 160
+
+let max_key_len = 32
+let max_data_len = 96
+
+let m_buckets_off = 0
+let m_slabs_off = 8
+let m_nbuckets = 16
+let m_max_items = 24
+let m_lru_head = 64
+let m_lru_tail = 240
+let m_freelist_head = 128
+let m_curr_items = 192
+let m_total_items = 200
+let m_curr_bytes = 208
+let m_cas_highwater = 216
+let m_oldest_live = 224
+let m_stats_evictions = 232
+let meta_size = 256
+
+type t = {
+  pool : Pool.t;
+  meta_off : int;
+  buckets_off : int;
+  slabs_off : int;
+  nbuckets : int;
+  max_items : int;
+  mutable clock : int;  (** logical time for it.time / LRU *)
+  mutable next_chunk : int;  (** volatile bump cursor over the slab area *)
+  annotate : bool;
+}
+
+let engine t = Pool.engine t.pool
+
+let get_i t addr = Engine.load_int (engine t) ~addr
+let set_i t addr v = Engine.store_int (engine t) ~addr v
+
+let persist t ~addr ~size = Engine.persist (engine t) ~addr ~size
+
+let create ?(buckets = 256) ?(max_items = 4096) pool =
+  let e = Pool.engine pool in
+  let meta_off = Pool.root pool ~size:meta_size in
+  let buckets_off = Pool.alloc_raw pool ~size:(8 * buckets) in
+  Pool.persist_heap_top pool;
+  let slabs_off = Pool.alloc_raw pool ~size:(chunk_size * max_items) in
+  Pool.persist_heap_top pool;
+  Engine.store_bytes e ~addr:buckets_off (Bytes.make (8 * buckets) '\000');
+  Engine.persist e ~addr:buckets_off ~size:(8 * buckets);
+  let t =
+    { pool; meta_off; buckets_off; slabs_off; nbuckets = buckets; max_items; clock = 1; next_chunk = 0; annotate = false }
+  in
+  set_i t (meta_off + m_buckets_off) buckets_off;
+  set_i t (meta_off + m_slabs_off) slabs_off;
+  set_i t (meta_off + m_nbuckets) buckets;
+  set_i t (meta_off + m_max_items) max_items;
+  persist t ~addr:meta_off ~size:32;
+  set_i t (meta_off + m_lru_head) 0;
+  persist t ~addr:(meta_off + m_lru_head) ~size:8;
+  t
+
+let hash t key =
+  let h = ref 5381 in
+  String.iter (fun c -> h := ((!h lsl 5) + !h + Char.code c) land max_int) key;
+  !h mod t.nbuckets
+
+let bucket_slot t key = t.buckets_off + (8 * hash t key)
+
+let item_key t item =
+  let nkey = get_i t (item + it_nkey) in
+  Engine.load_string (engine t) ~addr:(item + it_key) ~len:nkey
+
+let item_value t item =
+  let nbytes = get_i t (item + it_nbytes) in
+  Engine.load_string (engine t) ~addr:(item + it_data) ~len:nbytes
+
+let find_item t key =
+  let rec go item = if item = 0 then None else if item_key t item = key then Some item else go (get_i t (item + it_h_next)) in
+  go (get_i t (bucket_slot t key))
+
+(* ---- LRU list -------------------------------------------------------- *)
+
+(* Unlink an item from the LRU list. [persist_links] distinguishes the
+   careful paths (eviction relink of neighbours) from the access-bump
+   path that leaves every pointer write unpersisted — bug sites
+   it.prev / it.next / memcached.lru_head / memcached.lru_tail. *)
+let lru_unlink t item ~persist_links =
+  let prev = get_i t (item + it_prev) and next = get_i t (item + it_next) in
+  if prev <> 0 then begin
+    set_i t (prev + it_next) next;
+    if persist_links then persist t ~addr:(prev + it_next) ~size:8
+  end
+  else begin
+    set_i t (t.meta_off + m_lru_head) next;
+    if persist_links then persist t ~addr:(t.meta_off + m_lru_head) ~size:8
+  end;
+  if next <> 0 then begin
+    set_i t (next + it_prev) prev;
+    if persist_links then persist t ~addr:(next + it_prev) ~size:8
+  end
+  else begin
+    (* BUG SITE memcached.lru_tail: the tail pointer is never persisted
+       when an unlink moves it. *)
+    set_i t (t.meta_off + m_lru_tail) prev
+  end
+
+let lru_link_head t item ~persist_links =
+  let head = get_i t (t.meta_off + m_lru_head) in
+  set_i t (item + it_prev) 0;
+  set_i t (item + it_next) head;
+  if head <> 0 then begin
+    set_i t (head + it_prev) item;
+    if persist_links then persist t ~addr:(head + it_prev) ~size:8
+  end
+  else begin
+    set_i t (t.meta_off + m_lru_tail) item;
+    if persist_links then persist t ~addr:(t.meta_off + m_lru_tail) ~size:8
+  end;
+  set_i t (t.meta_off + m_lru_head) item;
+  if persist_links then persist t ~addr:(t.meta_off + m_lru_head) ~size:8
+
+(* ---- slab allocation -------------------------------------------------- *)
+
+let unlink_from_bucket t item =
+  let key = item_key t item in
+  let slot = bucket_slot t key in
+  let rec go prev cur =
+    if cur = 0 then ()
+    else if cur = item then
+      if prev = 0 then begin
+        set_i t slot (get_i t (cur + it_h_next));
+        persist t ~addr:slot ~size:8
+      end
+      else
+        (* BUG SITE it.h_next: unlinking mid-chain rewrites the previous
+           item's chain pointer without persisting it. *)
+        set_i t (prev + it_h_next) (get_i t (cur + it_h_next))
+    else go cur (get_i t (cur + it_h_next))
+  in
+  go 0 (get_i t slot)
+
+let evict_tail t =
+  let victim = get_i t (t.meta_off + m_lru_tail) in
+  if victim <> 0 then begin
+    unlink_from_bucket t victim;
+    lru_unlink t victim ~persist_links:true;
+    (* BUG SITE memcached.stats_evictions / curr_items / curr_bytes:
+       statistics kept in PM but never flushed. *)
+    set_i t (t.meta_off + m_stats_evictions) (get_i t (t.meta_off + m_stats_evictions) + 1);
+    set_i t (t.meta_off + m_curr_items) (get_i t (t.meta_off + m_curr_items) - 1);
+    set_i t (t.meta_off + m_curr_bytes) (get_i t (t.meta_off + m_curr_bytes) - get_i t (victim + it_nbytes));
+    (* BUG SITE memcached.freelist_head: the free list is linked through
+       it.prev and published without persistence. *)
+    set_i t (victim + it_prev) (get_i t (t.meta_off + m_freelist_head));
+    set_i t (t.meta_off + m_freelist_head) victim
+  end
+
+let alloc_item t =
+  let free = get_i t (t.meta_off + m_freelist_head) in
+  if free <> 0 then begin
+    set_i t (t.meta_off + m_freelist_head) (get_i t (free + it_prev));
+    free
+  end
+  else if t.next_chunk < t.max_items then begin
+    let item = t.slabs_off + (chunk_size * t.next_chunk) in
+    t.next_chunk <- t.next_chunk + 1;
+    item
+  end
+  else begin
+    evict_tail t;
+    let free = get_i t (t.meta_off + m_freelist_head) in
+    if free = 0 then failwith "memcached: out of memory";
+    set_i t (t.meta_off + m_freelist_head) (get_i t (free + it_prev));
+    free
+  end
+
+(* ---- client operations ------------------------------------------------ *)
+
+let next_cas t =
+  (* BUG SITE memcached.cas_highwater: the CAS high-water mark lives in
+     PM but is bumped without persistence. *)
+  let cas = get_i t (t.meta_off + m_cas_highwater) + 1 in
+  set_i t (t.meta_off + m_cas_highwater) cas;
+  cas
+
+(* Link a fully written item: its header and payload are made durable
+   with one fence before any pointer to it is published, then each
+   publication store is persisted individually. Line 1 is deliberately
+   never flushed — that is where the port keeps cas/time/refcount. *)
+let do_item_link t item =
+  let e = engine t in
+  let key = item_key t item in
+  let slot = bucket_slot t key in
+  let head = get_i t (t.meta_off + m_lru_head) in
+  set_i t (item + it_h_next) (get_i t slot);
+  set_i t (item + it_prev) 0;
+  set_i t (item + it_next) head;
+  Engine.flush_range e ~addr:item ~size:64;
+  Engine.flush_range e ~addr:(item + it_key) ~size:(it_data - it_key + get_i t (item + it_nbytes));
+  Engine.sfence e;
+  (* Publication stores, each persisted before the next. *)
+  if head <> 0 then begin
+    set_i t (head + it_prev) item;
+    persist t ~addr:(head + it_prev) ~size:8
+  end
+  else begin
+    set_i t (t.meta_off + m_lru_tail) item;
+    persist t ~addr:(t.meta_off + m_lru_tail) ~size:8
+  end;
+  set_i t (t.meta_off + m_lru_head) item;
+  persist t ~addr:(t.meta_off + m_lru_head) ~size:8;
+  set_i t slot item;
+  persist t ~addr:slot ~size:8;
+  (* BUG SITE it.cas — the paper's Fig. 9a: ITEM_set_cas after linking,
+     modified but not persisted. *)
+  set_i t (item + it_cas) (next_cas t);
+  (* BUG SITES memcached.curr_items / total_items / curr_bytes. *)
+  set_i t (t.meta_off + m_curr_items) (get_i t (t.meta_off + m_curr_items) + 1);
+  set_i t (t.meta_off + m_total_items) (get_i t (t.meta_off + m_total_items) + 1);
+  set_i t (t.meta_off + m_curr_bytes) (get_i t (t.meta_off + m_curr_bytes) + get_i t (item + it_nbytes));
+  if t.annotate then Engine.annotate e (Event.Assert_durable { addr = slot; size = 8 })
+
+let set t ~key ~value =
+  if String.length key > max_key_len || String.length value > max_data_len then invalid_arg "memcached: oversized";
+  t.clock <- t.clock + 1;
+  match find_item t key with
+  | Some item ->
+      (* In-place update: data then length, each persisted; the flags
+         rewrite is not — BUG SITE it.flags. *)
+      let e = engine t in
+      Engine.store_string e ~addr:(item + it_data) value;
+      persist t ~addr:(item + it_data) ~size:(String.length value);
+      set_i t (item + it_nbytes) (String.length value);
+      persist t ~addr:(item + it_nbytes) ~size:8;
+      set_i t (item + it_flags) t.clock
+  | None ->
+      let e = engine t in
+      let item = alloc_item t in
+      set_i t (item + it_nkey) (String.length key);
+      set_i t (item + it_nbytes) (String.length value);
+      set_i t (item + it_exptime) 0;
+      Engine.store_string e ~addr:(item + it_key) key;
+      Engine.store_string e ~addr:(item + it_data) value;
+      do_item_link t item
+
+(* do_item_update's rate limit, as in real memcached (ITEM_UPDATE_INTERVAL):
+   hot items skip the bookkeeping on most accesses. *)
+let update_interval = 64
+
+let get t ~key =
+  t.clock <- t.clock + 1;
+  match find_item t key with
+  | None -> None
+  | Some item ->
+      (* do_item_update: access bookkeeping is written but never
+         persisted — BUG SITES it.time and it.refcount — and the LRU
+         bump leaves every pointer write unpersisted. *)
+      if t.clock - get_i t (item + it_time) > update_interval then begin
+        set_i t (item + it_time) t.clock;
+        set_i t (item + it_refcount) (get_i t (item + it_refcount) + 1);
+        if get_i t (t.meta_off + m_lru_head) <> item then begin
+          lru_unlink t item ~persist_links:false;
+          lru_link_head t item ~persist_links:false
+        end
+      end;
+      Some (item_value t item)
+
+let delete t ~key =
+  t.clock <- t.clock + 1;
+  match find_item t key with
+  | None -> false
+  | Some item ->
+      unlink_from_bucket t item;
+      lru_unlink t item ~persist_links:true;
+      set_i t (t.meta_off + m_curr_items) (get_i t (t.meta_off + m_curr_items) - 1);
+      set_i t (t.meta_off + m_curr_bytes) (get_i t (t.meta_off + m_curr_bytes) - get_i t (item + it_nbytes));
+      set_i t (item + it_prev) (get_i t (t.meta_off + m_freelist_head));
+      set_i t (t.meta_off + m_freelist_head) item;
+      true
+
+let touch t ~key ~exptime =
+  t.clock <- t.clock + 1;
+  match find_item t key with
+  | None -> false
+  | Some item ->
+      (* BUG SITE it.exptime: touch rewrites the expiry without
+         persisting it. *)
+      set_i t (item + it_exptime) exptime;
+      true
+
+let append t ~key ~value =
+  t.clock <- t.clock + 1;
+  match find_item t key with
+  | None -> false
+  | Some item ->
+      let nbytes = get_i t (item + it_nbytes) in
+      let grown = min max_data_len (nbytes + String.length value) in
+      let e = engine t in
+      (* BUG SITES it.data / it.nbytes: appended bytes and the new
+         length are stored but never flushed. *)
+      Engine.store_string e ~addr:(item + it_data + nbytes) (String.sub value 0 (grown - nbytes));
+      set_i t (item + it_nbytes) grown;
+      true
+
+let flush_all t =
+  t.clock <- t.clock + 1;
+  (* BUG SITE memcached.oldest_live: written once, never persisted. *)
+  set_i t (t.meta_off + m_oldest_live) t.clock
+
+let item_count t = get_i t (t.meta_off + m_curr_items)
+
+(* ---- bug-site classification ------------------------------------------ *)
+
+let bug_sites =
+  [
+    "it.cas";
+    "it.time";
+    "it.refcount";
+    "it.exptime";
+    "it.flags";
+    "it.nbytes";
+    "it.data";
+    "it.h_next";
+    "it.prev";
+    "it.next";
+    "memcached.lru_head";
+    "memcached.lru_tail";
+    "memcached.freelist_head";
+    "memcached.curr_items";
+    "memcached.total_items";
+    "memcached.curr_bytes";
+    "memcached.cas_highwater";
+    "memcached.oldest_live";
+    "memcached.stats_evictions";
+  ]
+
+let classify_addr t addr =
+  if addr >= t.meta_off && addr < t.meta_off + meta_size then begin
+    match addr - t.meta_off with
+    | o when o = m_lru_head -> Some "memcached.lru_head"
+    | o when o = m_lru_tail -> Some "memcached.lru_tail"
+    | o when o = m_freelist_head -> Some "memcached.freelist_head"
+    | o when o = m_curr_items -> Some "memcached.curr_items"
+    | o when o = m_total_items -> Some "memcached.total_items"
+    | o when o = m_curr_bytes -> Some "memcached.curr_bytes"
+    | o when o = m_cas_highwater -> Some "memcached.cas_highwater"
+    | o when o = m_oldest_live -> Some "memcached.oldest_live"
+    | o when o = m_stats_evictions -> Some "memcached.stats_evictions"
+    | _ -> None
+  end
+  else if addr >= t.slabs_off && addr < t.slabs_off + (chunk_size * t.max_items) then begin
+    match (addr - t.slabs_off) mod chunk_size with
+    | o when o = it_h_next -> Some "it.h_next"
+    | o when o = it_prev -> Some "it.prev"
+    | o when o = it_next -> Some "it.next"
+    | o when o = it_nbytes -> Some "it.nbytes"
+    | o when o = it_flags -> Some "it.flags"
+    | o when o = it_exptime -> Some "it.exptime"
+    | o when o = it_cas -> Some "it.cas"
+    | o when o = it_time -> Some "it.time"
+    | o when o = it_refcount -> Some "it.refcount"
+    | o when o >= it_data -> Some "it.data"
+    | _ -> None
+  end
+  else None
+
+(* ---- memslap driver ---------------------------------------------------- *)
+
+let run_ops t rng ~n ~key_space =
+  let zipf = Zipf.create ~n:key_space () in
+  let key_of i = Printf.sprintf "key-%06d" i in
+  let value_of i = Printf.sprintf "value-%08d-%08d" i (i * 7) in
+  for op = 1 to n do
+    let k = key_of (Zipf.sample zipf rng) in
+    let dice = Prng.below rng 100 in
+    if dice < 5 then set t ~key:k ~value:(value_of op)
+    else if dice < 93 then ignore (get t ~key:k)
+    else if dice < 96 then ignore (delete t ~key:k)
+    else if dice < 98 then ignore (touch t ~key:k ~exptime:(op + 1000))
+    else ignore (append t ~key:k ~value:"+x");
+    if op = n / 2 then flush_all t
+  done
+
+let run (p : Workload.params) engine =
+  let pool = Pool.create engine ~size:(64 lsl 20) in
+  let max_items = max 48 (p.Workload.n / 32) in
+  let t =
+    { (create pool ~buckets:(max 16 (max_items / 4)) ~max_items) with annotate = p.Workload.annotate }
+  in
+  let rng = Prng.create p.Workload.seed in
+  run_ops t rng ~n:p.Workload.n ~key_space:(max 16 (p.Workload.n / 4));
+  Engine.program_end engine
+
+let spec =
+  {
+    Workload.name = "memcached";
+    model = Pmdebugger.Detector.Strict;
+    run;
+    description = "mini memcached-pmem under a memslap-style driver (5% set)";
+  }

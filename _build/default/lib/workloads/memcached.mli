@@ -1,0 +1,36 @@
+(** Mini memcached over PM — strict persistency model (Table 4).
+
+    A faithful scale model of the Lenovo memcached-pmem port the paper
+    evaluates: chained hash table, slab-allocated fixed-size items, an
+    LRU list with eviction, CAS ids, and client operations set / get /
+    delete / touch / append / flush_all. Correct paths persist every
+    modification with flush+fence; the port's real crash-consistency
+    defects are reproduced as 19 distinct buggy code sites (§7.4: "19
+    new bugs in memcached"), including the paper's showcased
+    [ITEM_set_cas] no-durability bug (Fig. 9a).
+
+    {!classify_addr} maps a bug address back to its code site so the
+    new-bugs experiment can count sites the way a human triager
+    would. *)
+
+type t
+
+val create : ?buckets:int (** default 256 *) -> ?max_items:int (** default 4096 *) -> Minipmdk.Pool.t -> t
+
+val set : t -> key:string -> value:string -> unit
+val get : t -> key:string -> string option
+val delete : t -> key:string -> bool
+val touch : t -> key:string -> exptime:int -> bool
+val append : t -> key:string -> value:string -> bool
+val flush_all : t -> unit
+
+val item_count : t -> int
+
+val bug_sites : string list
+(** The 19 known buggy code sites, by name. *)
+
+val classify_addr : t -> int -> string option
+(** Code site owning a PM address, if it is one of the buggy sites. *)
+
+val spec : Workload.spec
+(** The memslap-driven workload (5% set mix, zipfian keys). *)

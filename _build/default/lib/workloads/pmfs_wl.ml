@@ -1,0 +1,38 @@
+open Pmtrace
+
+let run (p : Workload.params) engine =
+  let fs = Minipmfs.Pmfs.create engine ~inodes:256 ~blocks:2048 () in
+  let rng = Prng.create p.Workload.seed in
+  let root = Minipmfs.Pmfs.root_dir fs in
+  (* A handful of directories, then a file-churn phase. *)
+  let dirs = Array.init 4 (fun i -> Minipmfs.Pmfs.mkdir fs ~parent:root ~name:(Printf.sprintf "dir%d" i)) in
+  let live = Hashtbl.create 64 in
+  for op = 1 to p.Workload.n do
+    let dir = dirs.(Prng.below rng (Array.length dirs)) in
+    let name = Printf.sprintf "f%03d" (Prng.below rng 64) in
+    let key = (dir, name) in
+    match Hashtbl.find_opt live key with
+    | None ->
+        let ino = Minipmfs.Pmfs.create_file fs ~parent:dir ~name in
+        Minipmfs.Pmfs.write_file fs ~inode:ino ~off:0 (Printf.sprintf "payload-%08d" op);
+        Hashtbl.replace live key ino
+    | Some ino ->
+        if Prng.below rng 4 = 0 then begin
+          Minipmfs.Pmfs.unlink fs ~parent:dir ~name;
+          Hashtbl.remove live key
+        end
+        else begin
+          let off = Prng.below rng 4 * 16 in
+          Minipmfs.Pmfs.write_file fs ~inode:ino ~off (Printf.sprintf "update-%08d" op);
+          ignore (Minipmfs.Pmfs.read_file fs ~inode:ino ~off:0 ~len:16)
+        end
+  done;
+  Engine.program_end engine
+
+let spec =
+  {
+    Workload.name = "pmfs";
+    model = Pmdebugger.Detector.Strict;
+    run;
+    description = "journaling PM filesystem under a file-churn driver (the Yat target domain)";
+  }

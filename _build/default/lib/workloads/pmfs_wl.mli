@@ -1,0 +1,7 @@
+(** Filesystem workload over the mini PMFS: a directory tree is grown
+    with file creates, writes, reads and unlinks — the kernel-space
+    debugging scenario of §6 (the filesystem's region is registered via
+    [Register_pmem] and every metadata update is journaled with
+    flush+fence pairs, strict-model style). *)
+
+val spec : Workload.spec

@@ -1,0 +1,89 @@
+open Pmtrace
+open Minipmdk
+
+(* Root object: [0] head, [8] tail, [16] capacity, [24] ring_off.
+   Record: [0] length, [8..] payload. Head/tail are monotone counters;
+   the slot is counter mod capacity. *)
+
+let record_payload = 48
+
+let record_size = 8 + record_payload
+
+type t = { pool : Pool.t; root_off : int; capacity : int; ring_off : int }
+
+let engine t = Pool.engine t.pool
+
+let get t addr = Engine.load_int (engine t) ~addr
+
+let head t = get t t.root_off
+
+let tail t = get t (t.root_off + 8)
+
+let create ?(capacity = 256) pool =
+  let e = Pool.engine pool in
+  let root_off = Pool.root pool ~size:32 in
+  let tx = Tx.begin_tx pool in
+  let ring_off = Pool.alloc_raw ~align:64 pool ~size:(capacity * record_size) in
+  Tx.add_range tx ~addr:Pool.off_heap_top ~size:8;
+  Tx.add_range tx ~addr:root_off ~size:32;
+  Engine.store_int e ~addr:root_off 0;
+  Engine.store_int e ~addr:(root_off + 8) 0;
+  Engine.store_int e ~addr:(root_off + 16) capacity;
+  Engine.store_int e ~addr:(root_off + 24) ring_off;
+  Tx.commit tx;
+  { pool; root_off; capacity; ring_off }
+
+let length t = tail t - head t
+
+let is_empty t = length t = 0
+
+let slot_addr t counter = t.ring_off + (counter mod t.capacity * record_size)
+
+let enqueue t value =
+  if length t >= t.capacity then false
+  else begin
+    let e = engine t in
+    let addr = slot_addr t (tail t) in
+    let len = min (String.length value) record_payload in
+    let tx = Tx.begin_tx t.pool in
+    (* Record first, then the tail publication — both inside one
+       transaction so the commit barrier orders nothing incorrectly and
+       recovery rolls back a torn enqueue. *)
+    Tx.add_range tx ~addr ~size:(8 + len);
+    Engine.store_int e ~addr len;
+    Engine.store_string e ~addr:(addr + 8) (String.sub value 0 len);
+    Tx.store_int tx ~addr:(t.root_off + 8) (tail t + 1);
+    Tx.commit tx;
+    true
+  end
+
+let dequeue t =
+  if is_empty t then None
+  else begin
+    let e = engine t in
+    let addr = slot_addr t (head t) in
+    let len = get t addr in
+    let value = Engine.load_string e ~addr:(addr + 8) ~len in
+    let tx = Tx.begin_tx t.pool in
+    Tx.store_int tx ~addr:t.root_off (head t + 1);
+    Tx.commit tx;
+    Some value
+  end
+
+let run (p : Workload.params) engine =
+  let pool = Pool.create engine ~size:(16 lsl 20) in
+  let t = create pool ~capacity:128 in
+  let rng = Prng.create p.Workload.seed in
+  for op = 1 to p.Workload.n do
+    if Prng.below rng 100 < 60 then ignore (enqueue t (Printf.sprintf "message-%08d" op))
+    else ignore (dequeue t)
+  done;
+  Engine.program_end engine
+
+let spec =
+  {
+    Workload.name = "pqueue";
+    model = Pmdebugger.Detector.Epoch;
+    run;
+    description = "persistent circular FIFO log (WHISPER-style), transactional enqueue/dequeue";
+  }

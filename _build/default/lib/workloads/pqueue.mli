@@ -1,0 +1,26 @@
+(** Persistent circular FIFO queue — the append-mostly log pattern of
+    the WHISPER suite the paper's characterization draws on (§3).
+
+    Fixed-capacity ring of fixed-size records with persistent head/tail
+    indexes; enqueue persists the record before publishing the new tail,
+    dequeue publishes the new head, both transactionally (epoch
+    model). *)
+
+type t
+
+val create : ?capacity:int (** default 256 records *) -> Minipmdk.Pool.t -> t
+
+val enqueue : t -> string -> bool
+(** False when full. Values are truncated to the record payload size. *)
+
+val dequeue : t -> string option
+
+val length : t -> int
+
+val is_empty : t -> bool
+
+val record_payload : int
+(** Payload bytes per record. *)
+
+val spec : Workload.spec
+(** Producer/consumer churn: bursts of enqueues drained by dequeues. *)

@@ -1,0 +1,17 @@
+type t = { mutable s : int64 }
+
+let create seed = { s = Int64.of_int (if seed = 0 then 0x2545F491 else seed) }
+
+let next t =
+  let x = t.s in
+  let x = Int64.logxor x (Int64.shift_right_logical x 12) in
+  let x = Int64.logxor x (Int64.shift_left x 25) in
+  let x = Int64.logxor x (Int64.shift_right_logical x 27) in
+  t.s <- x;
+  Int64.to_int (Int64.shift_right_logical (Int64.mul x 0x2545F4914F6CDD1DL) 1) land max_int
+
+let below t bound =
+  if bound <= 0 then invalid_arg "Prng.below";
+  next t mod bound
+
+let float t = float_of_int (next t land 0xFFFFFF) /. float_of_int 0x1000000

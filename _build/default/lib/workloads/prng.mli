@@ -1,0 +1,16 @@
+(** Deterministic xorshift64* pseudo-random numbers, so every workload
+    trace is reproducible run to run. *)
+
+type t
+
+val create : int -> t
+(** Seeded generator (seed 0 is remapped). *)
+
+val next : t -> int
+(** Uniform non-negative int. *)
+
+val below : t -> int -> int
+(** Uniform in [\[0, bound)]. [bound] must be positive. *)
+
+val float : t -> float
+(** Uniform in [\[0, 1)]. *)

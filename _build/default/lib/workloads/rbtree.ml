@@ -1,0 +1,212 @@
+open Pmtrace
+open Minipmdk
+
+(* Node layout:
+     0   key
+     8   value
+     16  color (0 = black, 1 = red)
+     24  left
+     32  right
+     40  parent
+   A shared sentinel [nil] node (black) terminates every path. *)
+
+let off_key = 0
+let off_value = 8
+let off_color = 16
+let off_left = 24
+let off_right = 32
+let off_parent = 40
+let node_size = 48
+
+let black = 0
+let red = 1
+
+(* Root object: [0] root node pointer, [8] nil sentinel pointer. *)
+type t = { pool : Pool.t; root_off : int; nil : int; annotate : bool }
+
+let engine t = Pool.engine t.pool
+
+let get t addr = Engine.load_int (engine t) ~addr
+let key t n = get t (n + off_key)
+let value t n = get t (n + off_value)
+let color t n = get t (n + off_color)
+let left t n = get t (n + off_left)
+let right t n = get t (n + off_right)
+let parent t n = get t (n + off_parent)
+
+let set t tx node off v =
+  Tx.add_range tx ~addr:(node + off) ~size:8;
+  Engine.store_int (engine t) ~addr:(node + off) v
+
+let root_node t = get t t.root_off
+
+let create pool =
+  let root_off = Pool.root pool ~size:16 in
+  let e = Pool.engine pool in
+  let tx = Tx.begin_tx pool in
+  let nil = Pool.alloc_raw ~align:64 pool ~size:node_size in
+  Tx.add_range tx ~addr:Pool.off_heap_top ~size:8;
+  Tx.add_range tx ~addr:nil ~size:node_size;
+  Engine.store_int e ~addr:(nil + off_color) black;
+  Engine.store_int e ~addr:(nil + off_left) nil;
+  Engine.store_int e ~addr:(nil + off_right) nil;
+  Engine.store_int e ~addr:(nil + off_parent) nil;
+  Tx.add_range tx ~addr:root_off ~size:16;
+  Engine.store_int e ~addr:root_off nil;
+  Engine.store_int e ~addr:(root_off + 8) nil;
+  Tx.commit tx;
+  { pool; root_off; nil; annotate = false }
+
+let set_root t tx v = set t tx t.root_off 0 v
+
+let rotate_left t tx x =
+  let y = right t x in
+  set t tx x off_right (left t y);
+  if left t y <> t.nil then set t tx (left t y) off_parent x;
+  set t tx y off_parent (parent t x);
+  if parent t x = t.nil then set_root t tx y
+  else if x = left t (parent t x) then set t tx (parent t x) off_left y
+  else set t tx (parent t x) off_right y;
+  set t tx y off_left x;
+  set t tx x off_parent y
+
+let rotate_right t tx x =
+  let y = left t x in
+  set t tx x off_left (right t y);
+  if right t y <> t.nil then set t tx (right t y) off_parent x;
+  set t tx y off_parent (parent t x);
+  if parent t x = t.nil then set_root t tx y
+  else if x = right t (parent t x) then set t tx (parent t x) off_right y
+  else set t tx (parent t x) off_left y;
+  set t tx y off_right x;
+  set t tx x off_parent y
+
+let rec fixup t tx z =
+  if parent t z <> t.nil && color t (parent t z) = red then begin
+    let p = parent t z in
+    let g = parent t p in
+    if p = left t g then begin
+      let uncle = right t g in
+      if color t uncle = red then begin
+        set t tx p off_color black;
+        set t tx uncle off_color black;
+        set t tx g off_color red;
+        fixup t tx g
+      end
+      else begin
+        let z = if z = right t p then (rotate_left t tx p; p) else z in
+        let p = parent t z in
+        let g = parent t p in
+        set t tx p off_color black;
+        set t tx g off_color red;
+        rotate_right t tx g;
+        fixup t tx z
+      end
+    end
+    else begin
+      let uncle = left t g in
+      if color t uncle = red then begin
+        set t tx p off_color black;
+        set t tx uncle off_color black;
+        set t tx g off_color red;
+        fixup t tx g
+      end
+      else begin
+        let z = if z = left t p then (rotate_right t tx p; p) else z in
+        let p = parent t z in
+        let g = parent t p in
+        set t tx p off_color black;
+        set t tx g off_color red;
+        rotate_left t tx g;
+        fixup t tx z
+      end
+    end
+  end
+
+let insert t ~key:k ~value:v =
+  let e = engine t in
+  let tx = Tx.begin_tx t.pool in
+  (* Standard BST descent to the attachment point. *)
+  let rec descend node last =
+    if node = t.nil then (last, None)
+    else if key t node = k then (last, Some node)
+    else descend (if k < key t node then left t node else right t node) node
+  in
+  (match descend (root_node t) t.nil with
+  | _, Some existing -> set t tx existing off_value v
+  | attach, None ->
+      let z = Pool.alloc_raw ~align:64 t.pool ~size:node_size in
+      Tx.add_range tx ~addr:Pool.off_heap_top ~size:8;
+      Tx.add_range tx ~addr:z ~size:node_size;
+      Engine.store_int e ~addr:(z + off_key) k;
+      Engine.store_int e ~addr:(z + off_value) v;
+      Engine.store_int e ~addr:(z + off_color) red;
+      Engine.store_int e ~addr:(z + off_left) t.nil;
+      Engine.store_int e ~addr:(z + off_right) t.nil;
+      Engine.store_int e ~addr:(z + off_parent) attach;
+      if attach = t.nil then set_root t tx z
+      else if k < key t attach then set t tx attach off_left z
+      else set t tx attach off_right z;
+      fixup t tx z;
+      set t tx (root_node t) off_color black);
+  Tx.commit tx;
+  if t.annotate then Engine.annotate e (Event.Assert_durable { addr = t.root_off; size = 8 })
+
+let find t ~key:k =
+  let rec go node =
+    if node = t.nil then None
+    else if key t node = k then Some (value t node)
+    else go (if k < key t node then left t node else right t node)
+  in
+  go (root_node t)
+
+let iter t f =
+  let rec go node =
+    if node <> t.nil then begin
+      go (left t node);
+      f ~key:(key t node) ~value:(value t node);
+      go (right t node)
+    end
+  in
+  go (root_node t)
+
+let cardinal t =
+  let n = ref 0 in
+  iter t (fun ~key:_ ~value:_ -> incr n);
+  !n
+
+let check t =
+  let root = root_node t in
+  if root <> t.nil && color t root <> black then failwith "rbtree: red root";
+  let rec go node ~lo ~hi =
+    if node = t.nil then 1
+    else begin
+      let k = key t node in
+      (match lo with Some l when k <= l -> failwith "rbtree: BST order violated" | _ -> ());
+      (match hi with Some h when k >= h -> failwith "rbtree: BST order violated" | _ -> ());
+      if color t node = red && (color t (left t node) = red || color t (right t node) = red) then
+        failwith "rbtree: red node with red child";
+      let bl = go (left t node) ~lo ~hi:(Some k) in
+      let br = go (right t node) ~lo:(Some k) ~hi in
+      if bl <> br then failwith "rbtree: unequal black heights";
+      bl + if color t node = black then 1 else 0
+    end
+  in
+  ignore (go root ~lo:None ~hi:None)
+
+let run (p : Workload.params) engine =
+  let pool = Pool.create engine ~size:(64 lsl 20) in
+  let t = { (create pool) with annotate = p.Workload.annotate } in
+  let rng = Prng.create p.Workload.seed in
+  for _ = 1 to p.Workload.n do
+    insert t ~key:(Prng.below rng (p.Workload.n * 4)) ~value:(Prng.next rng land 0xFFFF)
+  done;
+  Engine.program_end engine
+
+let spec =
+  {
+    Workload.name = "rb_tree";
+    model = Pmdebugger.Detector.Epoch;
+    run;
+    description = "PMDK-style red-black tree, one transaction per insert";
+  }

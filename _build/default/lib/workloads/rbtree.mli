@@ -1,0 +1,21 @@
+(** Persistent red-black tree (the PMDK [rbtree] example): classic
+    sentinel-based insertion with recoloring rotations, all inside one
+    transaction per insert. *)
+
+type t
+
+val create : Minipmdk.Pool.t -> t
+
+val insert : t -> key:int -> value:int -> unit
+
+val find : t -> key:int -> int option
+
+val iter : t -> (key:int -> value:int -> unit) -> unit
+
+val cardinal : t -> int
+
+val check : t -> unit
+(** Validates binary-search ordering, red-red absence and black-height
+    balance; raises [Failure]. *)
+
+val spec : Workload.spec

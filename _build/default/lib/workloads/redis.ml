@@ -1,0 +1,175 @@
+open Pmtrace
+open Minipmdk
+
+(* Root: [0] nbuckets, [8] count, [16] buckets_off, [24] evictions.
+   Entry: [0] key, [8] value, [16] next, [24] lru_clock. *)
+
+let entry_size = 32
+
+type t = {
+  pool : Pool.t;
+  root_off : int;
+  nbuckets : int;
+  buckets_off : int;
+  maxmemory_keys : int;
+  mutable clock : int;
+  mutable freelist : int list;  (** volatile free-chunk cache, like jemalloc state *)
+  rng : Prng.t;
+}
+
+let engine t = Pool.engine t.pool
+
+let get_i t addr = Engine.load_int (engine t) ~addr
+
+let create ?(buckets = 1024) ?(maxmemory_keys = 1024) pool =
+  let e = Pool.engine pool in
+  let root_off = Pool.root pool ~size:32 in
+  let tx = Tx.begin_tx pool in
+  let buckets_off = Pool.alloc_raw pool ~size:(8 * buckets) in
+  Tx.add_range tx ~addr:Pool.off_heap_top ~size:8;
+  Tx.add_range tx ~addr:buckets_off ~size:(8 * buckets);
+  Engine.store_bytes e ~addr:buckets_off (Bytes.make (8 * buckets) '\000');
+  Tx.add_range tx ~addr:root_off ~size:32;
+  Engine.store_int e ~addr:root_off buckets;
+  Engine.store_int e ~addr:(root_off + 8) 0;
+  Engine.store_int e ~addr:(root_off + 16) buckets_off;
+  Engine.store_int e ~addr:(root_off + 24) 0;
+  Tx.commit tx;
+  { pool; root_off; nbuckets = buckets; buckets_off; maxmemory_keys; clock = 1; freelist = []; rng = Prng.create 7 }
+
+let hash t key = (key * 2654435761) land max_int mod t.nbuckets
+
+let find_entry t key =
+  let rec go node = if node = 0 then None else if get_i t node = key then Some node else go (get_i t (node + 16)) in
+  go (get_i t (t.buckets_off + (8 * hash t key)))
+
+let key_count t = get_i t (t.root_off + 8)
+
+let evictions t = get_i t (t.root_off + 24)
+
+(* Approximated LRU: sample buckets starting at a random point until a
+   few candidate entries have been seen, then evict the one with the
+   oldest lru_clock, transactionally. *)
+let evict_one t =
+  let wanted = 5 in
+  let best = ref None in
+  let seen = ref 0 in
+  let start = Prng.below t.rng t.nbuckets in
+  let scanned = ref 0 in
+  while !seen < wanted && !scanned < t.nbuckets do
+    let b = (start + !scanned) mod t.nbuckets in
+    incr scanned;
+    let rec walk node =
+      if node <> 0 then begin
+        incr seen;
+        let idle = t.clock - get_i t (node + 24) in
+        (match !best with
+        | Some (_, best_idle) when best_idle >= idle -> ()
+        | _ -> best := Some (node, idle));
+        walk (get_i t (node + 16))
+      end
+    in
+    walk (get_i t (t.buckets_off + (8 * b)))
+  done;
+  match !best with
+  | None -> ()
+  | Some (victim, _) ->
+      let e = engine t in
+      let key = get_i t victim in
+      let slot = t.buckets_off + (8 * hash t key) in
+      let tx = Tx.begin_tx t.pool in
+      let rec unlink prev node =
+        if node = 0 then ()
+        else if node = victim then begin
+          let next = get_i t (node + 16) in
+          if prev = 0 then begin
+            Tx.add_range tx ~addr:slot ~size:8;
+            Engine.store_int e ~addr:slot next
+          end
+          else begin
+            Tx.add_range tx ~addr:(prev + 16) ~size:8;
+            Engine.store_int e ~addr:(prev + 16) next
+          end
+        end
+        else unlink node (get_i t (node + 16))
+      in
+      unlink 0 (get_i t slot);
+      Tx.add_range tx ~addr:(t.root_off + 8) ~size:16;
+      Engine.store_int e ~addr:(t.root_off + 8) (key_count t - 1);
+      Engine.store_int e ~addr:(t.root_off + 24) (evictions t + 1);
+      Tx.commit tx;
+      t.freelist <- victim :: t.freelist
+
+let alloc_entry t tx =
+  match t.freelist with
+  | chunk :: rest ->
+      t.freelist <- rest;
+      Tx.add_range tx ~addr:chunk ~size:entry_size;
+      chunk
+  | [] ->
+      let chunk = Pool.alloc_raw ~align:32 t.pool ~size:entry_size in
+      Tx.add_range tx ~addr:Pool.off_heap_top ~size:8;
+      Tx.add_range tx ~addr:chunk ~size:entry_size;
+      chunk
+
+let set t ~key ~value =
+  t.clock <- t.clock + 1;
+  let e = engine t in
+  (match find_entry t key with
+  | Some entry ->
+      let tx = Tx.begin_tx t.pool in
+      Tx.add_range tx ~addr:(entry + 8) ~size:8;
+      Engine.store_int e ~addr:(entry + 8) value;
+      Tx.add_range tx ~addr:(entry + 24) ~size:8;
+      Engine.store_int e ~addr:(entry + 24) t.clock;
+      Tx.commit tx
+  | None ->
+      if key_count t >= t.maxmemory_keys then evict_one t;
+      let slot = t.buckets_off + (8 * hash t key) in
+      let tx = Tx.begin_tx t.pool in
+      let entry = alloc_entry t tx in
+      Engine.store_int e ~addr:entry key;
+      Engine.store_int e ~addr:(entry + 8) value;
+      Engine.store_int e ~addr:(entry + 16) (get_i t slot);
+      Engine.store_int e ~addr:(entry + 24) t.clock;
+      Tx.add_range tx ~addr:slot ~size:8;
+      Engine.store_int e ~addr:slot entry;
+      Tx.add_range tx ~addr:(t.root_off + 8) ~size:8;
+      Engine.store_int e ~addr:(t.root_off + 8) (key_count t + 1);
+      Tx.commit tx)
+
+let get t ~key =
+  t.clock <- t.clock + 1;
+  match find_entry t key with
+  | None -> None
+  | Some entry ->
+      (* Touch the LRU clock transactionally (pmem-redis keeps it in the
+         persistent entry). *)
+      let e = engine t in
+      let tx = Tx.begin_tx t.pool in
+      Tx.add_range tx ~addr:(entry + 24) ~size:8;
+      Engine.store_int e ~addr:(entry + 24) t.clock;
+      Tx.commit tx;
+      Some (get_i t (entry + 8))
+
+let run (p : Workload.params) engine =
+  let pool = Pool.create engine ~size:(64 lsl 20) in
+  let maxmemory = max 64 (p.Workload.n / 8) in
+  let t = create pool ~maxmemory_keys:maxmemory in
+  let rng = Prng.create p.Workload.seed in
+  let key_space = max 128 (p.Workload.n / 2) in
+  (* redis-cli LRU test: skewed gets with periodic sets over a key space
+     larger than maxmemory, driving steady-state eviction. *)
+  for op = 1 to p.Workload.n do
+    let k = Prng.below rng key_space in
+    if op land 3 = 0 then set t ~key:k ~value:op else ignore (get t ~key:k)
+  done;
+  Engine.program_end engine
+
+let spec =
+  {
+    Workload.name = "redis";
+    model = Pmdebugger.Detector.Epoch;
+    run;
+    description = "mini pmem-redis under an LRU-test driver (approximated-LRU eviction)";
+  }

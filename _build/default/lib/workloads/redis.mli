@@ -1,0 +1,19 @@
+(** Mini PM-aware redis — epoch persistency model (Table 4).
+
+    Models Intel's pmem-redis port: a chained dict in PM, per-command
+    transactions, an approximated-LRU eviction policy (sampled idle
+    times, as real redis does) driven by a logical clock, and an
+    LRU-test driver in the style of [redis-cli --lru-test]: populate up
+    to [maxmemory] keys, then issue a skewed get/set stream that forces
+    steady-state evictions. *)
+
+type t
+
+val create : ?buckets:int (** default 1024 *) -> ?maxmemory_keys:int (** default 1024 *) -> Minipmdk.Pool.t -> t
+
+val set : t -> key:int -> value:int -> unit
+val get : t -> key:int -> int option
+val key_count : t -> int
+val evictions : t -> int
+
+val spec : Workload.spec

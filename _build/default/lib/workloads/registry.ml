@@ -1,0 +1,14 @@
+let micro =
+  [ Btree.spec; Ctree.spec; Rtree.spec; Rbtree.spec; Hashmap_tx.spec; Hashmap_atomic.spec; Synth_strand.spec ]
+
+let all = micro @ [ Memcached.spec; Redis.spec; Array_example.spec; Pmfs_wl.spec; Pqueue.spec ] @ List.map Ycsb.spec Ycsb.all
+
+let characterization =
+  [ Btree.spec; Ctree.spec; Rbtree.spec; Hashmap_tx.spec; Hashmap_atomic.spec ] @ List.map Ycsb.spec Ycsb.all
+
+let find name = List.find_opt (fun (s : Workload.spec) -> s.Workload.name = name) all
+
+let find_exn name =
+  match find name with Some s -> s | None -> failwith (Printf.sprintf "unknown workload %S" name)
+
+let names () = List.map (fun (s : Workload.spec) -> s.Workload.name) all

@@ -1,0 +1,17 @@
+(** Name-indexed access to every evaluation workload. *)
+
+val all : Workload.spec list
+(** The Table 4 suite plus the YCSB loads and the PMDK array example. *)
+
+val micro : Workload.spec list
+(** The seven micro-benchmarks of Fig. 8a–g. *)
+
+val characterization : Workload.spec list
+(** The eleven programs of Fig. 2 (five PMDK structures + six YCSB
+    loads), in the figure's order. *)
+
+val find : string -> Workload.spec option
+
+val find_exn : string -> Workload.spec
+
+val names : unit -> string list

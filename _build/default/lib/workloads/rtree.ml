@@ -1,0 +1,117 @@
+open Pmtrace
+open Minipmdk
+
+(* Node layout:
+     0    has_value (0/1)
+     8    value
+     16   children[16]
+   Keys are consumed 4 bits at a time, least-significant nibble first,
+   over a fixed depth of 8 levels (32-bit key space). *)
+
+let off_has = 0
+let off_value = 8
+let off_children = 16
+let node_size = off_children + (16 * 8)
+
+let levels = 8
+
+type t = { pool : Pool.t; root_off : int; annotate : bool }
+
+let engine t = Pool.engine t.pool
+
+let get t addr = Engine.load_int (engine t) ~addr
+
+let create pool =
+  let root_off = Pool.root pool ~size:8 in
+  let e = Pool.engine pool in
+  let tx = Tx.begin_tx pool in
+  let node = Pool.alloc_raw pool ~size:node_size in
+  Tx.add_range tx ~addr:Pool.off_heap_top ~size:8;
+  Tx.add_range tx ~addr:node ~size:node_size;
+  Engine.store_bytes e ~addr:node (Bytes.make node_size '\000');
+  Tx.add_range tx ~addr:root_off ~size:8;
+  Engine.store_int e ~addr:root_off node;
+  Tx.commit tx;
+  { pool; root_off; annotate = false }
+
+let nibble key level = (key lsr (4 * level)) land 0xF
+
+let alloc_node t tx =
+  let e = engine t in
+  let node = Pool.alloc_raw t.pool ~size:node_size in
+  Tx.add_range tx ~addr:Pool.off_heap_top ~size:8;
+  Tx.add_range tx ~addr:node ~size:node_size;
+  Engine.store_bytes e ~addr:node (Bytes.make node_size '\000');
+  node
+
+let insert t ~key:k ~value:v =
+  let e = engine t in
+  let tx = Tx.begin_tx t.pool in
+  let rec go node level =
+    if level = levels then begin
+      Tx.add_range tx ~addr:(node + off_has) ~size:16;
+      Engine.store_int e ~addr:(node + off_has) 1;
+      Engine.store_int e ~addr:(node + off_value) v
+    end
+    else begin
+      let slot = node + off_children + (8 * nibble k level) in
+      let child = get t slot in
+      let child =
+        if child <> 0 then child
+        else begin
+          let fresh = alloc_node t tx in
+          Tx.add_range tx ~addr:slot ~size:8;
+          Engine.store_int e ~addr:slot fresh;
+          fresh
+        end
+      in
+      go child (level + 1)
+    end
+  in
+  go (get t t.root_off) 0;
+  Tx.commit tx;
+  if t.annotate then Engine.annotate e (Event.Assert_durable { addr = t.root_off; size = 8 })
+
+let find t ~key:k =
+  let rec go node level =
+    if node = 0 then None
+    else if level = levels then if get t (node + off_has) = 1 then Some (get t (node + off_value)) else None
+    else go (get t (node + off_children + (8 * nibble k level))) (level + 1)
+  in
+  go (get t t.root_off) 0
+
+let iter t f =
+  let rec go node level key_acc =
+    if node <> 0 then
+      if level = levels then begin
+        if get t (node + off_has) = 1 then f ~key:key_acc ~value:(get t (node + off_value))
+      end
+      else
+        for nib = 0 to 15 do
+          go (get t (node + off_children + (8 * nib))) (level + 1) (key_acc lor (nib lsl (4 * level)))
+        done
+  in
+  go (get t t.root_off) 0 0
+
+let cardinal t =
+  let n = ref 0 in
+  iter t (fun ~key:_ ~value:_ -> incr n);
+  !n
+
+let run (p : Workload.params) engine =
+  let pool = Pool.create engine ~size:(256 lsl 20) in
+  let t = { (create pool) with annotate = p.Workload.annotate } in
+  let rng = Prng.create p.Workload.seed in
+  let key_space = 1 lsl 30 in
+  for _ = 1 to p.Workload.n do
+    insert t ~key:(Prng.below rng key_space) ~value:(Prng.next rng land 0xFFFF)
+  done;
+  Engine.program_end engine
+
+let spec =
+  {
+    Workload.name = "r_tree";
+    model = Pmdebugger.Detector.Epoch;
+    run;
+    description = "PMDK-style radix tree, one transaction per insert";
+  }

@@ -1,0 +1,17 @@
+(** Persistent radix tree (the PMDK [rtree] example): 4-bit nibbles of
+    the key select one of 16 children per level; transactional
+    inserts. *)
+
+type t
+
+val create : Minipmdk.Pool.t -> t
+
+val insert : t -> key:int -> value:int -> unit
+
+val find : t -> key:int -> int option
+
+val iter : t -> (key:int -> value:int -> unit) -> unit
+
+val cardinal : t -> int
+
+val spec : Workload.spec

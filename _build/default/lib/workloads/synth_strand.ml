@@ -1,0 +1,32 @@
+open Pmtrace
+open Minipmdk
+
+let run (p : Workload.params) engine =
+  let pool = Pool.create engine ~size:(128 lsl 20) in
+  (* One shared root object with a slot per structure. *)
+  let root = Pool.root pool ~size:16 in
+  let btree = Btree.create ~root_slot:root pool in
+  let ctree = Ctree.create ~root_slot:(root + 8) pool in
+  let rng = Prng.create p.Workload.seed in
+  let per_tree = max 1 (p.Workload.n / 2) in
+  (* Alternate strand sections: each op runs in its own section of the
+     strand it belongs to; the two strands have no mutual ordering
+     until the final join. *)
+  for i = 1 to per_tree do
+    Engine.strand_begin engine ~strand:0;
+    Btree.insert btree ~key:(Prng.below rng (p.Workload.n * 4)) ~value:i;
+    Engine.strand_end engine ~strand:0;
+    Engine.strand_begin engine ~strand:1;
+    Ctree.insert ctree ~key:(Prng.below rng (p.Workload.n * 4)) ~value:i;
+    Engine.strand_end engine ~strand:1
+  done;
+  Engine.join_strand engine;
+  Engine.program_end engine
+
+let spec =
+  {
+    Workload.name = "synth_strand";
+    model = Pmdebugger.Detector.Strand;
+    run;
+    description = "b_tree and c_tree interleaved in two independent strands";
+  }

@@ -1,0 +1,7 @@
+(** The paper's synthetic strand-persistency benchmark (§7.1): a B-tree
+    and a crit-bit tree placed in two independent strands whose
+    operations interleave, joined at the end. No hardware supports
+    strand persistency, so — as in the paper — the strand markers are
+    software annotations consumed by the detector. *)
+
+val spec : Workload.spec

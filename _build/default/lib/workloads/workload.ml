@@ -1,0 +1,10 @@
+type params = { n : int; seed : int; annotate : bool }
+
+let params ?(seed = 42) ?(annotate = false) ~n () = { n; seed; annotate }
+
+type spec = {
+  name : string;
+  model : Pmdebugger.Detector.model;
+  run : params -> Pmtrace.Engine.t -> unit;
+  description : string;
+}

@@ -1,0 +1,23 @@
+(** Common shape of the evaluation workloads (Table 4).
+
+    Each workload builds its own pool on the given engine and performs
+    [n] operations (insertions for the data-structure micro-benchmarks,
+    client operations for memcached/redis). With [annotate:true] the
+    workload additionally emits the PMTest-style assertion annotations
+    its original authors added (§7.3: "the annotation in the benchmarks
+    are added by the PMTest developers"). *)
+
+type params = {
+  n : int;
+  seed : int;
+  annotate : bool;  (** emit PMTest assertions *)
+}
+
+val params : ?seed:int -> ?annotate:bool -> n:int -> unit -> params
+
+type spec = {
+  name : string;
+  model : Pmdebugger.Detector.model;
+  run : params -> Pmtrace.Engine.t -> unit;
+  description : string;
+}

@@ -1,0 +1,70 @@
+open Pmtrace
+open Minipmdk
+
+type load = A | B | C | D | E | F
+
+let all = [ A; B; C; D; E; F ]
+
+let load_name = function
+  | A -> "a_YCSB"
+  | B -> "b_YCSB"
+  | C -> "c_YCSB"
+  | D -> "d_YCSB"
+  | E -> "e_YCSB"
+  | F -> "f_YCSB"
+
+type op = Read | Update | Insert | Scan | Read_modify_write
+
+(* The standard YCSB core mixes. *)
+let pick_op load (dice : int) =
+  match load with
+  | A -> if dice < 50 then Read else Update
+  | B -> if dice < 95 then Read else Update
+  | C -> Read
+  | D -> if dice < 95 then Read else Insert
+  | E -> if dice < 95 then Scan else Insert
+  | F -> if dice < 50 then Read else Read_modify_write
+
+let run_load load (p : Workload.params) engine =
+  let pool = Pool.create engine ~size:(64 lsl 20) in
+  let cache = Memcached.create pool ~max_items:(max 64 (p.Workload.n / 4)) in
+  let rng = Prng.create p.Workload.seed in
+  let records = max 64 (p.Workload.n / 4) in
+  let zipf = Zipf.create ~n:records () in
+  let key_of i = Printf.sprintf "user%08d" i in
+  let value_of i = Printf.sprintf "field0=%016d" i in
+  (* Load phase: populate the records. *)
+  let loaded = ref 0 in
+  for i = 0 to (records / 4) - 1 do
+    Memcached.set cache ~key:(key_of i) ~value:(value_of i);
+    incr loaded
+  done;
+  (* Run phase. *)
+  for op = 1 to p.Workload.n do
+    let i = Zipf.sample zipf rng mod max 1 !loaded in
+    match pick_op load (Prng.below rng 100) with
+    | Read -> ignore (Memcached.get cache ~key:(key_of i))
+    | Update -> Memcached.set cache ~key:(key_of i) ~value:(value_of op)
+    | Insert ->
+        Memcached.set cache ~key:(key_of !loaded) ~value:(value_of op);
+        incr loaded
+    | Scan ->
+        (* memcached has no range scan; YCSB-E maps to a short multi-get. *)
+        let len = 1 + Prng.below rng 8 in
+        for j = i to min (!loaded - 1) (i + len) do
+          ignore (Memcached.get cache ~key:(key_of j))
+        done
+    | Read_modify_write -> (
+        match Memcached.get cache ~key:(key_of i) with
+        | Some v -> Memcached.set cache ~key:(key_of i) ~value:(String.sub v 0 (min 8 (String.length v)) ^ "!")
+        | None -> Memcached.set cache ~key:(key_of i) ~value:(value_of op))
+  done;
+  Engine.program_end engine
+
+let spec load =
+  {
+    Workload.name = load_name load;
+    model = Pmdebugger.Detector.Strict;
+    run = run_load load;
+    description = "YCSB load " ^ load_name load ^ " against mini memcached";
+  }

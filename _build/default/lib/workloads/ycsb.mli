@@ -1,0 +1,13 @@
+(** YCSB core-workload driver (loads A–F) against the mini memcached,
+    as the paper's characterization runs it (§3). *)
+
+type load = A | B | C | D | E | F
+
+val all : load list
+
+val load_name : load -> string
+(** "a_YCSB" ... "f_YCSB", the Fig. 2 labels. *)
+
+val run_load : load -> Workload.params -> Pmtrace.Engine.t -> unit
+
+val spec : load -> Workload.spec

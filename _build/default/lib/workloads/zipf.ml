@@ -1,0 +1,23 @@
+(* Gray/YCSB incremental zipfian generator. *)
+type t = { n : int; theta : float; alpha : float; zetan : float; eta : float; zeta2 : float }
+
+let zeta n theta =
+  let acc = ref 0.0 in
+  for i = 1 to n do
+    acc := !acc +. (1.0 /. Float.pow (float_of_int i) theta)
+  done;
+  !acc
+
+let create ?(theta = 0.99) ~n () =
+  let zetan = zeta n theta in
+  let zeta2 = zeta 2 theta in
+  let alpha = 1.0 /. (1.0 -. theta) in
+  let eta = (1.0 -. Float.pow (2.0 /. float_of_int n) (1.0 -. theta)) /. (1.0 -. (zeta2 /. zetan)) in
+  { n; theta; alpha; zetan; eta; zeta2 }
+
+let sample t rng =
+  let u = Prng.float rng in
+  let uz = u *. t.zetan in
+  if uz < 1.0 then 0
+  else if uz < 1.0 +. Float.pow 0.5 t.theta then 1
+  else int_of_float (float_of_int t.n *. Float.pow ((t.eta *. u) -. t.eta +. 1.0) t.alpha) mod t.n

@@ -1,0 +1,8 @@
+(** Zipfian key-popularity distribution, as used by YCSB. *)
+
+type t
+
+val create : ?theta:float (** default 0.99, YCSB's default skew *) -> n:int -> unit -> t
+
+val sample : t -> Prng.t -> int
+(** A key index in [\[0, n)], skewed towards low indexes. *)

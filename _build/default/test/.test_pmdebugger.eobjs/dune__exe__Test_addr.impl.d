@@ -1,0 +1,1 @@
+test/test_addr.ml: Addr Alcotest List Pmem Printf QCheck QCheck_alcotest

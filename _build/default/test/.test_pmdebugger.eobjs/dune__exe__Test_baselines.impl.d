@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Baselines Bug Engine Event List Pmdebugger Pmem Pmtrace Recorder Sink

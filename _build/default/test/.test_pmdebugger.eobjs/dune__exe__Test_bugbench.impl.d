@@ -1,0 +1,1 @@
+test/test_bugbench.ml: Alcotest Baselines Bug Bugbench Lazy List Pmtrace Printf

@@ -1,0 +1,1 @@
+test/test_charz.ml: Alcotest Array Charz Event List Pmem Pmtrace QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_detector.ml: Alcotest Bug Engine List Pmdebugger Pmem Pmtrace String

@@ -1,0 +1,1 @@
+test/test_detector_extended.ml: Alcotest Baselines Bug Bytes Engine Int64 List Pmdebugger Pmem Pmtrace QCheck QCheck_alcotest Recorder Sink

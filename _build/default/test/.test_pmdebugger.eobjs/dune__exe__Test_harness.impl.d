@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Array Fun Harness List Pmdebugger Pmtrace Sys

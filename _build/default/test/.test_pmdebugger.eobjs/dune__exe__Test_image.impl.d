@@ -1,0 +1,1 @@
+test/test_image.ml: Alcotest Image Pmem QCheck QCheck_alcotest String

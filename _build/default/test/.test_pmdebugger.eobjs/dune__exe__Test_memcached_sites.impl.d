@@ -1,0 +1,1 @@
+test/test_memcached_sites.ml: Alcotest Bug Engine Hashtbl List Minipmdk Pmdebugger Pmtrace Pool Printf Workloads

@@ -1,0 +1,1 @@
+test/test_pmdk.ml: Alcotest Atomic Bug Bytes Engine Event List Minipmdk Pmdebugger Pmem Pmtrace Pool QCheck QCheck_alcotest Sink Tx Workloads

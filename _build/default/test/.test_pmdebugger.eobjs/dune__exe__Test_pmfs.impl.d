@@ -1,0 +1,1 @@
+test/test_pmfs.ml: Alcotest Bug Char Engine Hashtbl List Minipmfs Pmdebugger Pmem Pmtrace Printf QCheck QCheck_alcotest Sink String Workloads

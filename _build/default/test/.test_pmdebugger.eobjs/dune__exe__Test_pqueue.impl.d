@@ -1,0 +1,1 @@
+test/test_pqueue.ml: Alcotest Bug Engine List Minipmdk Pmdebugger Pmem Pmtrace Pool Printf QCheck QCheck_alcotest Queue String Workloads

@@ -1,0 +1,1 @@
+test/test_rangetree.ml: Addr Alcotest List Pmem QCheck QCheck_alcotest Rangetree

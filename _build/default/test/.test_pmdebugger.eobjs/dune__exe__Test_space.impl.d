@@ -1,0 +1,1 @@
+test/test_space.ml: Alcotest Hashtbl List Pmdebugger Pmem QCheck QCheck_alcotest Space

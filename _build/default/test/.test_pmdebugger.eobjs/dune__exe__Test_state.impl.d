@@ -1,0 +1,1 @@
+test/test_state.ml: Alcotest Bytes Image Int64 List Pmem QCheck QCheck_alcotest State

@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Array Bug Engine Event List Pmdebugger Pmem Pmtrace Recorder Sink

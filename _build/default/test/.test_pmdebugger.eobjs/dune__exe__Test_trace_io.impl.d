@@ -1,0 +1,1 @@
+test/test_trace_io.ml: Alcotest Array Bug Engine Event Filename List Pmdebugger Pmtrace Printf QCheck QCheck_alcotest Recorder String Sys Trace_io

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array Bug Engine Event Hashtbl List Minipmdk Pmdebugger Pmtrace Pool Printf QCheck QCheck_alcotest Recorder Workloads

@@ -1,0 +1,74 @@
+open Pmem
+
+let check = Alcotest.(check bool)
+
+let check_int = Alcotest.(check int)
+
+let r ~lo ~hi = Addr.range ~lo ~hi
+
+let test_line_math () =
+  check_int "line_of 0" 0 (Addr.line_of 0);
+  check_int "line_of 63" 0 (Addr.line_of 63);
+  check_int "line_of 64" 1 (Addr.line_of 64);
+  check_int "line_base 127" 64 (Addr.line_base 127);
+  Alcotest.(check (list int)) "lines of [60,70)" [ 0; 1 ] (Addr.lines_of_range ~lo:60 ~hi:70);
+  Alcotest.(check (list int)) "lines of empty" [] (Addr.lines_of_range ~lo:70 ~hi:70);
+  Alcotest.(check (list int)) "lines of one byte" [ 2 ] (Addr.lines_of_range ~lo:128 ~hi:129)
+
+let test_overlap () =
+  check "overlap" true (Addr.overlaps (r ~lo:0 ~hi:10) (r ~lo:9 ~hi:20));
+  check "touching is not overlap" false (Addr.overlaps (r ~lo:0 ~hi:10) (r ~lo:10 ~hi:20));
+  check "covers" true (Addr.covers (r ~lo:0 ~hi:10) (r ~lo:2 ~hi:8));
+  check "covers self" true (Addr.covers (r ~lo:0 ~hi:10) (r ~lo:0 ~hi:10));
+  check "not covers" false (Addr.covers (r ~lo:0 ~hi:10) (r ~lo:2 ~hi:11))
+
+let test_inter_diff () =
+  (match Addr.inter (r ~lo:0 ~hi:10) (r ~lo:5 ~hi:15) with
+  | Some x -> check "inter" true (x = r ~lo:5 ~hi:10)
+  | None -> Alcotest.fail "expected intersection");
+  check "disjoint inter" true (Addr.inter (r ~lo:0 ~hi:5) (r ~lo:5 ~hi:9) = None);
+  Alcotest.(check int) "diff middle gives two" 2 (List.length (Addr.diff (r ~lo:0 ~hi:10) (r ~lo:3 ~hi:6)));
+  Alcotest.(check int) "diff cover gives zero" 0 (List.length (Addr.diff (r ~lo:3 ~hi:6) (r ~lo:0 ~hi:10)));
+  Alcotest.(check int) "diff left" 1 (List.length (Addr.diff (r ~lo:0 ~hi:10) (r ~lo:0 ~hi:6)))
+
+let test_invalid () =
+  Alcotest.check_raises "negative lo" (Invalid_argument "Addr.range: bad range [-1,3)") (fun () ->
+      ignore (Addr.range ~lo:(-1) ~hi:3))
+
+let range_gen =
+  QCheck.Gen.(
+    let* lo = int_range 0 1000 in
+    let* len = int_range 0 200 in
+    return (lo, lo + len))
+
+let arbitrary_range = QCheck.make ~print:(fun (lo, hi) -> Printf.sprintf "[%d,%d)" lo hi) range_gen
+
+let prop_diff_inter_partition =
+  QCheck.Test.make ~name:"diff+inter partition the range" ~count:500
+    (QCheck.pair arbitrary_range arbitrary_range)
+    (fun ((alo, ahi), (blo, bhi)) ->
+      QCheck.assume (ahi > alo);
+      let a = r ~lo:alo ~hi:ahi and b = r ~lo:blo ~hi:bhi in
+      let covered = match Addr.inter a b with Some x -> Addr.size x | None -> 0 in
+      let rest = List.fold_left (fun acc x -> acc + Addr.size x) 0 (Addr.diff a b) in
+      covered + rest = Addr.size a)
+
+let prop_lines_cover =
+  QCheck.Test.make ~name:"every byte belongs to a listed line" ~count:500 arbitrary_range (fun (lo, hi) ->
+      QCheck.assume (hi > lo);
+      let lines = Addr.lines_of_range ~lo ~hi in
+      let ok = ref true in
+      for b = lo to hi - 1 do
+        if not (List.mem (Addr.line_of b) lines) then ok := false
+      done;
+      !ok && List.length lines = List.length (List.sort_uniq compare lines))
+
+let suite =
+  [
+    Alcotest.test_case "line math" `Quick test_line_math;
+    Alcotest.test_case "overlap/covers" `Quick test_overlap;
+    Alcotest.test_case "inter/diff" `Quick test_inter_diff;
+    Alcotest.test_case "invalid range" `Quick test_invalid;
+    QCheck_alcotest.to_alcotest prop_diff_inter_partition;
+    QCheck_alcotest.to_alcotest prop_lines_cover;
+  ]

@@ -1,0 +1,104 @@
+open Pmtrace
+
+let st addr size = Event.Store { addr; size; tid = 0 }
+
+let clf addr = Event.Clf { addr; size = 64; kind = Event.Clwb; tid = 0 }
+
+let fence = Event.Fence { tid = 0 }
+
+let test_distance_one () =
+  (* store, clwb, fence: distance 1. *)
+  let h = Charz.distance_histogram [| st 0 8; clf 0; fence |] in
+  Alcotest.(check int) "one store counted" 1 h.Charz.total;
+  Alcotest.(check int) "distance 1" 1 h.Charz.counts.(0)
+
+let test_distance_two () =
+  (* The Fig. 3 example: a fence intervenes before the store's CLF, so
+     the guaranteeing fence is the second one. *)
+  let h = Charz.distance_histogram [| st 0 8; fence; clf 0; fence |] in
+  Alcotest.(check int) "distance 2" 1 h.Charz.counts.(1)
+
+let test_distance_beyond () =
+  let trace =
+    Array.concat
+      [ [| st 0 8 |]; Array.concat (List.init 6 (fun _ -> [| fence |])); [| clf 0; fence |] ]
+  in
+  let h = Charz.distance_histogram trace in
+  Alcotest.(check int) "beyond bucket" 1 h.Charz.beyond
+
+let test_never_persisted_excluded () =
+  let h = Charz.distance_histogram [| st 0 8; fence |] in
+  Alcotest.(check int) "no counted store" 0 h.Charz.total;
+  Alcotest.(check int) "excluded" 1 h.Charz.never_persisted;
+  (* Flushed but never fenced is also not guaranteed. *)
+  let h = Charz.distance_histogram [| st 0 8; clf 0 |] in
+  Alcotest.(check int) "flushed unfenced excluded" 1 h.Charz.never_persisted
+
+let test_partial_coverage_requires_full_flush () =
+  (* A two-line store needs both lines written back before a fence
+     guarantees it. *)
+  let h = Charz.distance_histogram [| st 60 10; clf 0; fence; clf 64; fence |] in
+  Alcotest.(check int) "distance counts the second fence" 1 h.Charz.counts.(1)
+
+let test_writeback_classes () =
+  let trace =
+    [|
+      (* interval 1: two stores, same line -> collective *)
+      st 0 8;
+      st 8 8;
+      clf 0;
+      (* interval 2: stores on two lines -> dispersed *)
+      st 64 8;
+      st 128 8;
+      clf 64;
+      (* interval 3: no stores -> empty *)
+      clf 128;
+    |]
+  in
+  let c = Charz.writeback_classes trace in
+  Alcotest.(check int) "collective" 1 c.Charz.collective;
+  Alcotest.(check int) "dispersed" 1 c.Charz.dispersed;
+  (* The trailing interval after the last CLF has no stores: empty. *)
+  Alcotest.(check int) "empty" 2 c.Charz.empty;
+  Alcotest.(check (float 0.01)) "fraction" 0.5 (Charz.collective_fraction c)
+
+let test_instruction_mix () =
+  let m = Charz.instruction_mix [| st 0 8; st 8 8; st 16 8; clf 0; fence; Event.Program_end |] in
+  Alcotest.(check int) "stores" 3 m.Charz.stores;
+  Alcotest.(check int) "writebacks" 1 m.Charz.writebacks;
+  Alcotest.(check int) "fences" 1 m.Charz.fences;
+  Alcotest.(check (float 0.01)) "store fraction" 0.6 (Charz.store_fraction m)
+
+(* Property: distance-counted stores plus exclusions account for every
+   store in the trace. *)
+let prop_conservation =
+  QCheck.Test.make ~name:"histogram conserves stores" ~count:200
+    QCheck.(small_list (int_range 0 2))
+    (fun ops ->
+      let trace =
+        Array.of_list
+          (List.concat
+             (List.mapi
+                (fun i op ->
+                  match op with
+                  | 0 -> [ st (i * 8 mod 512) 8 ]
+                  | 1 -> [ clf (Pmem.Addr.line_base (i * 8 mod 512)) ]
+                  | _ -> [ fence ])
+                ops))
+      in
+      let stores = Array.fold_left (fun acc ev -> if Event.is_store ev then acc + 1 else acc) 0 trace in
+      let h = Charz.distance_histogram trace in
+      h.Charz.total + h.Charz.never_persisted = stores
+      && Array.fold_left ( + ) 0 h.Charz.counts + h.Charz.beyond = h.Charz.total)
+
+let suite =
+  [
+    Alcotest.test_case "distance one" `Quick test_distance_one;
+    Alcotest.test_case "distance two (Fig. 3)" `Quick test_distance_two;
+    Alcotest.test_case "distance beyond" `Quick test_distance_beyond;
+    Alcotest.test_case "never persisted excluded" `Quick test_never_persisted_excluded;
+    Alcotest.test_case "partial coverage" `Quick test_partial_coverage_requires_full_flush;
+    Alcotest.test_case "writeback classes" `Quick test_writeback_classes;
+    Alcotest.test_case "instruction mix" `Quick test_instruction_mix;
+    QCheck_alcotest.to_alcotest prop_conservation;
+  ]

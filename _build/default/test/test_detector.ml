@@ -1,0 +1,327 @@
+open Pmtrace
+module D = Pmdebugger.Detector
+module OC = Pmdebugger.Order_config
+
+(* Run a program against a fresh engine with a PMDebugger instance
+   attached; returns the report. *)
+let run ?model ?config ?recovery ?(crash_every_fence = false) program =
+  let engine = Engine.create () in
+  let d =
+    D.create ?model ?config ~pm:(Engine.pm engine) ?recovery ~crash_check_every_fence:crash_every_fence ()
+  in
+  Engine.attach engine (D.sink d);
+  Engine.register_pmem engine ~base:0 ~size:65536;
+  program engine;
+  Engine.program_end engine;
+  D.report d
+
+let kinds r = Bug.kinds_found r
+
+let check_kinds name expected r = Alcotest.(check (list string)) name expected (List.map Bug.kind_name (kinds r))
+
+let test_clean_program () =
+  let r =
+    run (fun e ->
+        Engine.store_i64 e ~addr:128 1L;
+        Engine.persist e ~addr:128 ~size:8)
+  in
+  check_kinds "no bugs" [] r
+
+let test_missing_clf () =
+  let r = run (fun e -> Engine.store_i64 e ~addr:128 1L) in
+  check_kinds "missing clf" [ "no-durability-guarantee" ] r;
+  let b = List.hd r.Bug.bugs in
+  Alcotest.(check int) "address" 128 b.Bug.addr;
+  Alcotest.(check bool) "detail says missing CLF" true
+    (String.length b.Bug.detail > 0 && String.sub b.Bug.detail 0 5 = "never")
+
+let test_missing_fence () =
+  let r =
+    run (fun e ->
+        Engine.store_i64 e ~addr:128 1L;
+        Engine.clwb e ~addr:128)
+  in
+  check_kinds "missing fence" [ "no-durability-guarantee" ] r
+
+let test_multiple_overwrites_strict_only () =
+  let program e =
+    Engine.store_i64 e ~addr:128 1L;
+    Engine.store_i64 e ~addr:128 2L;
+    Engine.persist e ~addr:128 ~size:8
+  in
+  let strict = run ~model:D.Strict program in
+  Alcotest.(check bool) "strict flags overwrite" true (Bug.has_kind strict Bug.Multiple_overwrites);
+  let epoch = run ~model:D.Epoch program in
+  Alcotest.(check bool) "relaxed model does not" false (Bug.has_kind epoch Bug.Multiple_overwrites)
+
+let test_overwrite_after_durability_is_fine () =
+  let r =
+    run (fun e ->
+        Engine.store_i64 e ~addr:128 1L;
+        Engine.persist e ~addr:128 ~size:8;
+        Engine.store_i64 e ~addr:128 2L;
+        Engine.persist e ~addr:128 ~size:8)
+  in
+  check_kinds "rewrite after persist ok" [] r
+
+let test_redundant_flush () =
+  let r =
+    run (fun e ->
+        Engine.store_i64 e ~addr:128 1L;
+        Engine.clwb e ~addr:128;
+        Engine.clwb e ~addr:128;
+        Engine.sfence e)
+  in
+  Alcotest.(check bool) "redundant" true (Bug.has_kind r Bug.Redundant_flush)
+
+let test_useful_second_flush_not_redundant () =
+  let r =
+    run (fun e ->
+        (* Flush, new store to the same line, flush again: second flush
+           persists the new store — not redundant. *)
+        Engine.store_i64 e ~addr:128 1L;
+        Engine.clwb e ~addr:128;
+        Engine.store_i64 e ~addr:136 2L;
+        Engine.clwb e ~addr:128;
+        Engine.sfence e)
+  in
+  Alcotest.(check bool) "not redundant" false (Bug.has_kind r Bug.Redundant_flush)
+
+let test_flush_nothing () =
+  let r =
+    run (fun e ->
+        Engine.store_i64 e ~addr:128 1L;
+        Engine.persist e ~addr:128 ~size:8;
+        Engine.clwb e ~addr:4096;
+        Engine.sfence e)
+  in
+  Alcotest.(check bool) "flush nothing" true (Bug.has_kind r Bug.Flush_nothing)
+
+let order_cfg = OC.add OC.empty (OC.order ~first:"data" ~next:"valid" ())
+
+let with_vars program e =
+  Engine.register_var e ~name:"data" ~addr:1024 ~size:8;
+  Engine.register_var e ~name:"valid" ~addr:2048 ~size:8;
+  program e
+
+let test_order_violation () =
+  let r =
+    run ~config:order_cfg
+      (with_vars (fun e ->
+           Engine.store_i64 e ~addr:1024 1L;
+           Engine.store_i64 e ~addr:2048 1L;
+           Engine.persist e ~addr:2048 ~size:8;
+           Engine.persist e ~addr:1024 ~size:8))
+  in
+  Alcotest.(check bool) "order violated" true (Bug.has_kind r Bug.No_order_guarantee)
+
+let test_order_respected () =
+  let r =
+    run ~config:order_cfg
+      (with_vars (fun e ->
+           Engine.store_i64 e ~addr:1024 1L;
+           Engine.persist e ~addr:1024 ~size:8;
+           Engine.store_i64 e ~addr:2048 1L;
+           Engine.persist e ~addr:2048 ~size:8))
+  in
+  check_kinds "order respected" [] r
+
+let test_order_func_gate () =
+  let cfg = OC.add OC.empty (OC.order ~func:"commit" ~first:"data" ~next:"valid" ()) in
+  let violate e =
+    Engine.store_i64 e ~addr:1024 1L;
+    Engine.store_i64 e ~addr:2048 1L;
+    Engine.persist e ~addr:2048 ~size:8;
+    Engine.persist e ~addr:1024 ~size:8
+  in
+  let quiet = run ~config:cfg (with_vars violate) in
+  Alcotest.(check bool) "gate closed: silent" false (Bug.has_kind quiet Bug.No_order_guarantee);
+  let loud =
+    run ~config:cfg
+      (with_vars (fun e ->
+           Engine.call_marker e ~func:"commit";
+           violate e))
+  in
+  Alcotest.(check bool) "gate open: flagged" true (Bug.has_kind loud Bug.No_order_guarantee)
+
+let test_epoch_rules () =
+  let redundant_fence e =
+    Engine.epoch_begin e;
+    Engine.store_i64 e ~addr:128 1L;
+    Engine.persist e ~addr:128 ~size:8;
+    Engine.store_i64 e ~addr:256 2L;
+    Engine.persist e ~addr:256 ~size:8;
+    Engine.epoch_end e
+  in
+  let r = run ~model:D.Epoch redundant_fence in
+  check_kinds "two fences in epoch" [ "redundant-epoch-fence" ] r;
+  let lack_durability e =
+    Engine.epoch_begin e;
+    Engine.store_i64 e ~addr:128 1L;
+    Engine.sfence e;
+    Engine.epoch_end e;
+    Engine.persist e ~addr:128 ~size:8
+  in
+  let r = run ~model:D.Epoch lack_durability in
+  check_kinds "unpersisted at epoch end" [ "lack-durability-in-epoch" ] r;
+  let clean e =
+    Engine.epoch_begin e;
+    Engine.store_i64 e ~addr:128 1L;
+    Engine.clwb e ~addr:128;
+    Engine.sfence e;
+    Engine.epoch_end e
+  in
+  check_kinds "clean epoch" [] (run ~model:D.Epoch clean)
+
+let test_nested_epochs_collapse () =
+  let r =
+    run ~model:D.Epoch (fun e ->
+        Engine.epoch_begin e;
+        Engine.epoch_begin e;
+        Engine.store_i64 e ~addr:128 1L;
+        Engine.epoch_end e;
+        (* Still inside the outer epoch: no checks yet. *)
+        Engine.clwb e ~addr:128;
+        Engine.sfence e;
+        Engine.epoch_end e)
+  in
+  check_kinds "nested epochs are one section" [] r
+
+let test_redundant_logging () =
+  let r =
+    run ~model:D.Epoch (fun e ->
+        Engine.epoch_begin e;
+        Engine.tx_log e ~obj_addr:512 ~size:16;
+        Engine.store_i64 e ~addr:512 1L;
+        Engine.tx_log e ~obj_addr:512 ~size:16;
+        Engine.persist e ~addr:512 ~size:8;
+        Engine.epoch_end e)
+  in
+  Alcotest.(check bool) "redundant logging" true (Bug.has_kind r Bug.Redundant_logging);
+  let clean =
+    run ~model:D.Epoch (fun e ->
+        Engine.epoch_begin e;
+        Engine.tx_log e ~obj_addr:512 ~size:16;
+        Engine.store_i64 e ~addr:512 1L;
+        Engine.persist e ~addr:512 ~size:8;
+        Engine.epoch_end e;
+        Engine.epoch_begin e;
+        (* Same object logged again in a NEW transaction: legal. *)
+        Engine.tx_log e ~obj_addr:512 ~size:16;
+        Engine.store_i64 e ~addr:512 2L;
+        Engine.persist e ~addr:512 ~size:8;
+        Engine.epoch_end e)
+  in
+  Alcotest.(check bool) "fresh tx may relog" false (Bug.has_kind clean Bug.Redundant_logging)
+
+let strand_cfg = OC.add OC.empty (OC.strand_order ~first:"A" ~next:"B")
+
+let test_strand_ordering () =
+  let violate e =
+    Engine.register_var e ~name:"A" ~addr:512 ~size:8;
+    Engine.register_var e ~name:"B" ~addr:1024 ~size:8;
+    Engine.strand_begin e ~strand:0;
+    Engine.store_i64 e ~addr:512 1L;
+    Engine.store_i64 e ~addr:1024 2L;
+    Engine.clwb e ~addr:512;
+    Engine.strand_end e ~strand:0;
+    Engine.strand_begin e ~strand:1;
+    Engine.clwb e ~addr:1024;
+    Engine.sfence e;
+    Engine.strand_end e ~strand:1;
+    Engine.strand_begin e ~strand:0;
+    Engine.sfence e;
+    Engine.strand_end e ~strand:0
+  in
+  let r = run ~model:D.Strand ~config:strand_cfg violate in
+  Alcotest.(check bool) "strand order violated" true (Bug.has_kind r Bug.Lack_ordering_in_strands);
+  Alcotest.(check bool) "no spurious flush-nothing across strands" false (Bug.has_kind r Bug.Flush_nothing);
+  Alcotest.(check bool) "no spurious no-durability" false (Bug.has_kind r Bug.No_durability);
+  let respect e =
+    Engine.register_var e ~name:"A" ~addr:512 ~size:8;
+    Engine.register_var e ~name:"B" ~addr:1024 ~size:8;
+    Engine.strand_begin e ~strand:0;
+    Engine.store_i64 e ~addr:512 1L;
+    Engine.persist e ~addr:512 ~size:8;
+    Engine.strand_end e ~strand:0;
+    Engine.strand_begin e ~strand:1;
+    Engine.store_i64 e ~addr:1024 2L;
+    Engine.persist e ~addr:1024 ~size:8;
+    Engine.strand_end e ~strand:1
+  in
+  check_kinds "ordered strands clean" [] (run ~model:D.Strand ~config:strand_cfg respect)
+
+let test_cross_failure () =
+  let magic = 77L in
+  let recovery img =
+    let flag = Pmem.Image.get_i64 img 0 in
+    flag = 0L || Pmem.Image.get_i64 img 64 = magic
+  in
+  let buggy e =
+    Engine.store_i64 e ~addr:0 1L;
+    Engine.persist e ~addr:0 ~size:8;
+    Engine.store_i64 e ~addr:64 magic;
+    Engine.persist e ~addr:64 ~size:8
+  in
+  let r = run ~recovery ~crash_every_fence:true buggy in
+  Alcotest.(check bool) "cross-failure caught" true (Bug.has_kind r Bug.Cross_failure_semantic);
+  let correct e =
+    Engine.store_i64 e ~addr:64 magic;
+    Engine.persist e ~addr:64 ~size:8;
+    Engine.store_i64 e ~addr:0 1L;
+    Engine.persist e ~addr:0 ~size:8
+  in
+  check_kinds "correct order clean" [] (run ~recovery ~crash_every_fence:true correct)
+
+let test_registered_ranges_gate_tracking () =
+  let engine = Engine.create () in
+  let d = D.create () in
+  Engine.attach engine (D.sink d);
+  Engine.register_pmem engine ~base:0 ~size:1024;
+  (* A store outside the registered PM range is volatile memory. *)
+  Engine.store_i64 engine ~addr:100_000 1L;
+  Engine.program_end engine;
+  Alcotest.(check int) "volatile store ignored" 0 (List.length (D.report d).Bug.bugs)
+
+let test_rules_can_be_disabled () =
+  let rules = { (D.default_rules D.Strict) with D.no_durability = false } in
+  let engine = Engine.create () in
+  let d = D.create ~rules () in
+  Engine.attach engine (D.sink d);
+  Engine.store_i64 engine ~addr:128 1L;
+  Engine.program_end engine;
+  Alcotest.(check int) "rule disabled" 0 (List.length (D.report d).Bug.bugs)
+
+let test_bug_dedup_per_location () =
+  let r =
+    run (fun e ->
+        Engine.store_i64 e ~addr:128 1L;
+        Engine.clwb e ~addr:128;
+        Engine.clwb e ~addr:128;
+        Engine.clwb e ~addr:128;
+        Engine.sfence e)
+  in
+  Alcotest.(check int) "one redundant-flush bug per location" 1 (Bug.count_kind r Bug.Redundant_flush)
+
+let suite =
+  [
+    Alcotest.test_case "clean program" `Quick test_clean_program;
+    Alcotest.test_case "missing clf" `Quick test_missing_clf;
+    Alcotest.test_case "missing fence" `Quick test_missing_fence;
+    Alcotest.test_case "multiple overwrites strict-only" `Quick test_multiple_overwrites_strict_only;
+    Alcotest.test_case "rewrite after durability ok" `Quick test_overwrite_after_durability_is_fine;
+    Alcotest.test_case "redundant flush" `Quick test_redundant_flush;
+    Alcotest.test_case "useful re-flush not redundant" `Quick test_useful_second_flush_not_redundant;
+    Alcotest.test_case "flush nothing" `Quick test_flush_nothing;
+    Alcotest.test_case "order violation" `Quick test_order_violation;
+    Alcotest.test_case "order respected" `Quick test_order_respected;
+    Alcotest.test_case "order function gate" `Quick test_order_func_gate;
+    Alcotest.test_case "epoch rules" `Quick test_epoch_rules;
+    Alcotest.test_case "nested epochs collapse" `Quick test_nested_epochs_collapse;
+    Alcotest.test_case "redundant logging" `Quick test_redundant_logging;
+    Alcotest.test_case "strand ordering" `Quick test_strand_ordering;
+    Alcotest.test_case "cross-failure" `Quick test_cross_failure;
+    Alcotest.test_case "registered ranges gate tracking" `Quick test_registered_ranges_gate_tracking;
+    Alcotest.test_case "rules can be disabled" `Quick test_rules_can_be_disabled;
+    Alcotest.test_case "bug dedup per location" `Quick test_bug_dedup_per_location;
+  ]

@@ -1,0 +1,43 @@
+let test_median () =
+  let calls = ref 0 in
+  let t = Harness.Timing.median_of ~repeats:5 (fun () -> incr calls) in
+  Alcotest.(check int) "ran five times" 5 !calls;
+  Alcotest.(check bool) "non-negative" true (t >= 0.0)
+
+let test_time_once () =
+  let t = Harness.Timing.time_once (fun () -> ignore (Sys.opaque_identity (List.init 1000 Fun.id))) in
+  Alcotest.(check bool) "positive-ish" true (t >= 0.0)
+
+let test_measure () =
+  let run engine =
+    Pmtrace.Engine.register_pmem engine ~base:0 ~size:4096;
+    for i = 0 to 99 do
+      Pmtrace.Engine.store_i64 engine ~addr:(i * 8) 1L;
+      Pmtrace.Engine.persist engine ~addr:(i * 8) ~size:8
+    done;
+    Pmtrace.Engine.program_end engine
+  in
+  let m, trace =
+    Harness.Timing.measure ~repeats:1 ~run
+      ~detectors:[ ("pmdebugger", fun () -> Pmdebugger.Detector.sink (Pmdebugger.Detector.create ())) ]
+      ()
+  in
+  Alcotest.(check bool) "trace recorded" true (Array.length trace > 300);
+  Alcotest.(check bool) "native measured" true (m.Harness.Timing.native_s >= 0.0);
+  Alcotest.(check bool) "nulgrind >= native" true (m.Harness.Timing.nulgrind_s >= m.Harness.Timing.native_s);
+  let det = List.assoc "pmdebugger" m.Harness.Timing.detector_s in
+  Alcotest.(check bool) "detector >= native" true (det >= m.Harness.Timing.native_s);
+  Alcotest.(check bool) "slowdown >= 1" true (Harness.Timing.slowdown m det >= 1.0)
+
+let test_formatters () =
+  Alcotest.(check string) "fmt_f" "3.14" (Harness.Table.fmt_f 3.14159);
+  Alcotest.(check string) "fmt_x" "12.3x" (Harness.Table.fmt_x 12.31);
+  Alcotest.(check string) "fmt_pct" "84.5%" (Harness.Table.fmt_pct 0.845)
+
+let suite =
+  [
+    Alcotest.test_case "median_of" `Quick test_median;
+    Alcotest.test_case "time_once" `Quick test_time_once;
+    Alcotest.test_case "measure" `Quick test_measure;
+    Alcotest.test_case "formatters" `Quick test_formatters;
+  ]

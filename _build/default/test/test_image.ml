@@ -1,0 +1,58 @@
+open Pmem
+
+let test_roundtrip () =
+  let img = Image.create () in
+  Image.set_i64 img 100 0x1122334455667788L;
+  Alcotest.(check int64) "i64 roundtrip" 0x1122334455667788L (Image.get_i64 img 100);
+  Image.set_int img 200 424242;
+  Alcotest.(check int) "int roundtrip" 424242 (Image.get_int img 200);
+  Image.set_string img ~addr:300 "hello";
+  Alcotest.(check string) "string roundtrip" "hello" (Image.get_string img ~addr:300 ~len:5);
+  Image.set_u8 img 400 0x7F;
+  Alcotest.(check int) "u8 roundtrip" 0x7F (Image.get_u8 img 400)
+
+let test_growth () =
+  let img = Image.create ~initial_size:64 () in
+  Image.set_i64 img 100_000 7L;
+  Alcotest.(check int64) "write far beyond initial size" 7L (Image.get_i64 img 100_000);
+  Alcotest.(check bool) "capacity grew" true (Image.capacity img > 100_000)
+
+let test_unwritten_reads_zero () =
+  let img = Image.create () in
+  Alcotest.(check int64) "unwritten is zero" 0L (Image.get_i64 img 5000);
+  Alcotest.(check int) "read beyond capacity is zero" 0 (Image.get_u8 img 10_000_000)
+
+let test_copy_independent () =
+  let img = Image.create () in
+  Image.set_int img 0 1;
+  let snap = Image.copy img in
+  Image.set_int img 0 2;
+  Alcotest.(check int) "copy unaffected" 1 (Image.get_int snap 0);
+  Alcotest.(check int) "original changed" 2 (Image.get_int img 0)
+
+let test_blit_line () =
+  let src = Image.create () and dst = Image.create () in
+  Image.set_i64 src 128 9L;
+  Image.set_i64 src 192 10L;
+  Image.blit_line ~src ~dst ~line:2;
+  Alcotest.(check int64) "line 2 copied" 9L (Image.get_i64 dst 128);
+  Alcotest.(check int64) "line 3 untouched" 0L (Image.get_i64 dst 192);
+  Alcotest.(check bool) "equal_range on copied line" true (Image.equal_range src dst ~lo:128 ~hi:192)
+
+let prop_write_read =
+  QCheck.Test.make ~name:"write then read returns the bytes" ~count:200
+    QCheck.(pair (int_range 0 5000) (string_of_size (QCheck.Gen.int_range 1 100)))
+    (fun (addr, s) ->
+      let img = Image.create () in
+      Image.set_string img ~addr s;
+      Image.get_string img ~addr ~len:(String.length s) = s)
+
+let suite =
+  [
+    Alcotest.test_case "typed roundtrips" `Quick test_roundtrip;
+    Alcotest.test_case "growth on demand" `Quick test_growth;
+    Alcotest.test_case "unwritten reads zero" `Quick test_unwritten_reads_zero;
+    Alcotest.test_case "copy independence" `Quick test_copy_independent;
+    Alcotest.test_case "blit_line" `Quick test_blit_line;
+    QCheck_alcotest.to_alcotest prop_write_read;
+  ]

@@ -1,0 +1,113 @@
+open Pmtrace
+open Minipmdk
+
+(* Site-level checks for the Sec 7.4 memcached reproduction: each buggy
+   code path must deterministically produce a finding classified to its
+   own site, and correct paths must never be classified as buggy. *)
+
+let with_mc f =
+  let engine = Engine.create () in
+  let d = Pmdebugger.Detector.create ~model:Pmdebugger.Detector.Strict () in
+  Engine.attach engine (Pmdebugger.Detector.sink d);
+  let pool = Pool.create engine ~size:(64 lsl 20) in
+  let mc = Workloads.Memcached.create pool ~buckets:8 ~max_items:16 in
+  f mc;
+  Engine.program_end engine;
+  let report = Pmdebugger.Detector.report d in
+  let sites = Hashtbl.create 8 in
+  List.iter
+    (fun (b : Bug.t) ->
+      match Workloads.Memcached.classify_addr mc b.Bug.addr with
+      | Some s -> Hashtbl.replace sites s ()
+      | None -> Alcotest.failf "unclassified bug address %d" b.Bug.addr)
+    report.Bug.bugs;
+  (report, fun s -> Hashtbl.mem sites s)
+
+let test_set_path_sites () =
+  let _, hit = with_mc (fun mc -> Workloads.Memcached.set mc ~key:"k" ~value:"v") in
+  (* A single set leaves exactly the link-path sites pending. *)
+  List.iter
+    (fun s -> Alcotest.(check bool) (s ^ " after set") true (hit s))
+    [ "it.cas"; "memcached.cas_highwater"; "memcached.curr_items"; "memcached.total_items"; "memcached.curr_bytes" ];
+  List.iter
+    (fun s -> Alcotest.(check bool) (s ^ " untouched") false (hit s))
+    [ "it.time"; "it.exptime"; "it.data"; "memcached.oldest_live"; "memcached.stats_evictions" ]
+
+let test_touch_site () =
+  let _, hit =
+    with_mc (fun mc ->
+        Workloads.Memcached.set mc ~key:"k" ~value:"v";
+        ignore (Workloads.Memcached.touch mc ~key:"k" ~exptime:42))
+  in
+  Alcotest.(check bool) "it.exptime" true (hit "it.exptime")
+
+let test_append_sites () =
+  let _, hit =
+    with_mc (fun mc ->
+        Workloads.Memcached.set mc ~key:"k" ~value:"v";
+        ignore (Workloads.Memcached.append mc ~key:"k" ~value:"+more"))
+  in
+  Alcotest.(check bool) "it.data" true (hit "it.data");
+  Alcotest.(check bool) "it.nbytes" true (hit "it.nbytes")
+
+let test_flags_site_on_overwrite () =
+  let _, hit =
+    with_mc (fun mc ->
+        Workloads.Memcached.set mc ~key:"k" ~value:"v1";
+        Workloads.Memcached.set mc ~key:"k" ~value:"v2")
+  in
+  Alcotest.(check bool) "it.flags" true (hit "it.flags")
+
+let test_flush_all_site () =
+  let _, hit = with_mc (fun mc -> Workloads.Memcached.flush_all mc) in
+  Alcotest.(check bool) "memcached.oldest_live" true (hit "memcached.oldest_live")
+
+let test_delete_sites () =
+  let _, hit =
+    with_mc (fun mc ->
+        (* Two keys in one bucket chain so the unlink is mid-chain. *)
+        for i = 0 to 15 do
+          Workloads.Memcached.set mc ~key:(Printf.sprintf "key%02d" i) ~value:"v"
+        done;
+        for i = 0 to 15 do
+          ignore (Workloads.Memcached.delete mc ~key:(Printf.sprintf "key%02d" i))
+        done)
+  in
+  Alcotest.(check bool) "memcached.freelist_head" true (hit "memcached.freelist_head");
+  Alcotest.(check bool) "it.prev (freelist link)" true (hit "it.prev")
+
+let test_eviction_sites () =
+  let _, hit =
+    with_mc (fun mc ->
+        for i = 0 to 39 do
+          Workloads.Memcached.set mc ~key:(Printf.sprintf "key%02d" i) ~value:"v"
+        done)
+  in
+  Alcotest.(check bool) "memcached.stats_evictions" true (hit "memcached.stats_evictions");
+  Alcotest.(check bool) "memcached.lru_tail" true (hit "memcached.lru_tail");
+  Alcotest.(check bool) "it.h_next (chain unlink)" true (hit "it.h_next")
+
+let test_classification_total () =
+  Alcotest.(check int) "19 documented sites" 19 (List.length Workloads.Memcached.bug_sites);
+  Alcotest.(check int) "no duplicates" 19 (List.length (List.sort_uniq compare Workloads.Memcached.bug_sites))
+
+let test_classify_ignores_clean_addresses () =
+  let engine = Engine.create () in
+  let pool = Pool.create engine ~size:(64 lsl 20) in
+  let mc = Workloads.Memcached.create pool ~buckets:8 ~max_items:16 in
+  (* Pool header and bucket array are correct-path addresses. *)
+  Alcotest.(check (option string)) "pool header" None (Workloads.Memcached.classify_addr mc 8);
+  Alcotest.(check bool) "far heap address" true (Workloads.Memcached.classify_addr mc (63 lsl 20) = None)
+
+let suite =
+  [
+    Alcotest.test_case "set-path sites" `Quick test_set_path_sites;
+    Alcotest.test_case "touch site" `Quick test_touch_site;
+    Alcotest.test_case "append sites" `Quick test_append_sites;
+    Alcotest.test_case "flags site on overwrite" `Quick test_flags_site_on_overwrite;
+    Alcotest.test_case "flush_all site" `Quick test_flush_all_site;
+    Alcotest.test_case "delete sites" `Quick test_delete_sites;
+    Alcotest.test_case "eviction sites" `Quick test_eviction_sites;
+    Alcotest.test_case "site list well-formed" `Quick test_classification_total;
+    Alcotest.test_case "clean addresses unclassified" `Quick test_classify_ignores_clean_addresses;
+  ]

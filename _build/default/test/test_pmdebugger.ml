@@ -1,0 +1,22 @@
+let () =
+  Alcotest.run "pmdebugger"
+    [
+      ("addr", Test_addr.suite);
+      ("image", Test_image.suite);
+      ("pm-state", Test_state.suite);
+      ("rangetree", Test_rangetree.suite);
+      ("trace", Test_trace.suite);
+      ("trace-io", Test_trace_io.suite);
+      ("space", Test_space.suite);
+      ("detector", Test_detector.suite);
+      ("detector-extended", Test_detector_extended.suite);
+      ("baselines", Test_baselines.suite);
+      ("pmdk", Test_pmdk.suite);
+      ("pmfs", Test_pmfs.suite);
+      ("workloads", Test_workloads.suite);
+      ("pqueue", Test_pqueue.suite);
+      ("memcached-sites", Test_memcached_sites.suite);
+      ("charz", Test_charz.suite);
+      ("harness", Test_harness.suite);
+      ("bugbench", Test_bugbench.suite);
+    ]

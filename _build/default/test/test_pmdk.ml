@@ -1,0 +1,213 @@
+open Pmtrace
+open Minipmdk
+
+let mk_engine () =
+  let engine = Engine.create () in
+  (engine, Pool.create engine ~size:(8 lsl 20) ~log_capacity:(1 lsl 16))
+
+let test_pool_layout () =
+  let engine, pool = mk_engine () in
+  Alcotest.(check int64) "magic persisted" Pool.magic
+    (Pmem.Image.get_i64 (Pmem.State.durable (Engine.pm engine)) Pool.off_magic);
+  Alcotest.(check bool) "heap starts after log" true (Pool.heap_start pool = Pool.log_area_off + Pool.log_capacity pool)
+
+let test_alloc_alignment () =
+  let _, pool = mk_engine () in
+  let a = Pool.alloc_raw pool ~size:24 in
+  let b = Pool.alloc_raw pool ~size:24 in
+  Alcotest.(check bool) "sequential and disjoint" true (b >= a + 24);
+  let c = Pool.alloc_raw ~align:64 pool ~size:32 in
+  Alcotest.(check int) "line aligned" 0 (c mod 64)
+
+let test_root_idempotent () =
+  let _, pool = mk_engine () in
+  let r1 = Pool.root pool ~size:64 in
+  let r2 = Pool.root pool ~size:64 in
+  Alcotest.(check int) "same root" r1 r2
+
+let test_tx_commit_durability () =
+  let engine, pool = mk_engine () in
+  let obj = Pool.alloc_raw pool ~size:16 in
+  Pool.persist_heap_top pool;
+  let tx = Tx.begin_tx pool in
+  Tx.store_int tx ~addr:obj 11;
+  Tx.store_int tx ~addr:(obj + 8) 22;
+  Tx.commit tx;
+  let dur = Pmem.State.durable (Engine.pm engine) in
+  Alcotest.(check int) "field 1 durable" 11 (Pmem.Image.get_int dur obj);
+  Alcotest.(check int) "field 2 durable" 22 (Pmem.Image.get_int dur (obj + 8));
+  Alcotest.(check int) "log truncated" 0 (Pool.read_log_top dur)
+
+let test_tx_abort_restores () =
+  let engine, pool = mk_engine () in
+  let obj = Pool.alloc_raw pool ~size:8 in
+  Engine.store_int engine ~addr:obj 1;
+  Engine.persist engine ~addr:obj ~size:8;
+  let tx = Tx.begin_tx pool in
+  Tx.store_int tx ~addr:obj 99;
+  Alcotest.(check int) "volatile sees new value" 99 (Engine.load_int engine ~addr:obj);
+  Tx.abort tx;
+  Alcotest.(check int) "abort restored old value" 1 (Engine.load_int engine ~addr:obj);
+  Alcotest.(check int) "restored value durable" 1 (Pmem.Image.get_int (Pmem.State.durable (Engine.pm engine)) obj)
+
+let test_nested_tx () =
+  let engine, pool = mk_engine () in
+  let obj = Pool.alloc_raw pool ~size:8 in
+  Pool.persist_heap_top pool;
+  let outer = Tx.begin_tx pool in
+  Tx.store_int outer ~addr:obj 5;
+  let inner = Tx.begin_tx pool in
+  ignore inner;
+  Alcotest.(check bool) "still in tx" true (Pool.in_tx pool);
+  Tx.commit outer (* inner commit *);
+  Alcotest.(check bool) "inner commit keeps tx open" true (Pool.in_tx pool);
+  Tx.commit outer;
+  Alcotest.(check bool) "outer commit closes" false (Pool.in_tx pool);
+  Alcotest.(check int) "value durable" 5 (Pmem.Image.get_int (Pmem.State.durable (Engine.pm engine)) obj)
+
+let test_add_range_dedup () =
+  let engine, pool = mk_engine () in
+  let obj = Pool.alloc_raw pool ~size:16 in
+  Pool.persist_heap_top pool;
+  let recorded = ref 0 in
+  Engine.attach engine
+    (Sink.make ~name:"count"
+       ~on_event:(fun ev -> match ev with Event.Tx_log _ -> incr recorded | _ -> ())
+       ~finish:(fun () -> Bug.empty_report "count"));
+  let tx = Tx.begin_tx pool in
+  Tx.add_range tx ~addr:obj ~size:16;
+  Tx.add_range tx ~addr:obj ~size:16;
+  Tx.add_range tx ~addr:(obj + 4) ~size:4;
+  Tx.commit tx;
+  Alcotest.(check int) "covered ranges logged once" 1 !recorded
+
+let test_tx_single_fence_inside_epoch () =
+  let engine, pool = mk_engine () in
+  let obj = Pool.alloc_raw pool ~size:8 in
+  Pool.persist_heap_top pool;
+  let fences_in_epoch = ref 0 and depth = ref 0 in
+  Engine.attach engine
+    (Sink.make ~name:"count"
+       ~on_event:(fun ev ->
+         match ev with
+         | Event.Epoch_begin _ -> incr depth
+         | Event.Epoch_end _ -> decr depth
+         | Event.Fence _ when !depth > 0 -> incr fences_in_epoch
+         | _ -> ())
+       ~finish:(fun () -> Bug.empty_report "count"));
+  let tx = Tx.begin_tx pool in
+  Tx.store_int tx ~addr:obj 1;
+  Tx.commit tx;
+  Alcotest.(check int) "exactly one fence inside the epoch" 1 !fences_in_epoch
+
+(* Crash atomicity: whatever subset of cache lines survives a crash,
+   recovery restores either the pre-tx or the post-tx state. *)
+let crash_atomicity_once seed =
+  let engine, pool = mk_engine () in
+  let rng = Workloads.Prng.create seed in
+  let obj = Pool.alloc_raw pool ~size:64 in
+  for i = 0 to 7 do
+    Engine.store_int engine ~addr:(obj + (8 * i)) i
+  done;
+  Engine.persist engine ~addr:obj ~size:64;
+  let old_values = List.init 8 (fun i -> i) in
+  let new_values = List.init 8 (fun _ -> 100 + Workloads.Prng.below rng 100) in
+  let tx = Tx.begin_tx pool in
+  List.iteri (fun i v -> Tx.store_int tx ~addr:(obj + (8 * i)) v) new_values;
+  (* Crash mid-transaction (before commit). *)
+  let mid_images = Pmem.State.crash_images (Engine.pm engine) ~max_images:16 () in
+  Tx.commit tx;
+  let post_images = Pmem.State.crash_images (Engine.pm engine) ~max_images:16 () in
+  let consistent img =
+    if Tx.needs_recovery img then Tx.recover img;
+    let values = List.init 8 (fun i -> Pmem.Image.get_int img (obj + (8 * i))) in
+    values = old_values || values = new_values
+  in
+  List.for_all consistent mid_images && List.for_all consistent post_images
+
+let prop_tx_crash_atomicity =
+  QCheck.Test.make ~name:"tx crash atomicity under sampled crash images" ~count:25 QCheck.small_int (fun seed ->
+      crash_atomicity_once (seed + 1))
+
+let test_atomic_alloc () =
+  let engine, pool = mk_engine () in
+  let off =
+    Atomic.alloc pool ~size:24 ~init:(fun off ->
+        Engine.store_int engine ~addr:off 1;
+        Engine.store_int engine ~addr:(off + 8) 2;
+        Engine.store_int engine ~addr:(off + 16) 3)
+  in
+  let dur = Pmem.State.durable (Engine.pm engine) in
+  Alcotest.(check int) "object durable" 2 (Pmem.Image.get_int dur (off + 8));
+  Alcotest.(check int) "frontier durable" (Pool.read_heap_top dur) (Pool.heap_top pool)
+
+(* End-to-end property: arbitrary well-formed transactional programs
+   are bug-free under PMDebugger's epoch-model rules. *)
+let prop_random_tx_programs_clean =
+  QCheck.Test.make ~name:"random transactional programs are clean" ~count:60
+    QCheck.(small_list (pair (int_range 0 2) (int_range 0 15)))
+    (fun ops ->
+      let engine = Engine.create () in
+      let d = Pmdebugger.Detector.create ~model:Pmdebugger.Detector.Epoch () in
+      Engine.attach engine (Pmdebugger.Detector.sink d);
+      let pool = Pool.create engine ~size:(8 lsl 20) ~log_capacity:(1 lsl 16) in
+      let obj = Pool.alloc_raw pool ~size:256 in
+      Pool.persist_heap_top pool;
+      List.iter
+        (fun (op, slot) ->
+          let addr = obj + (slot * 16) in
+          match op with
+          | 0 ->
+              let tx = Tx.begin_tx pool in
+              Tx.store_int tx ~addr slot;
+              Tx.commit tx
+          | 1 ->
+              let tx = Tx.begin_tx pool in
+              Tx.store_int tx ~addr slot;
+              Tx.store_int tx ~addr:(addr + 8) (slot * 2);
+              (* Nested no-op transaction. *)
+              let inner = Tx.begin_tx pool in
+              Tx.commit inner;
+              Tx.commit tx
+          | _ -> Atomic.publish_int pool ~addr slot)
+        ops;
+      Engine.program_end engine;
+      (Pmdebugger.Detector.report d).Bug.bugs = [])
+
+let prop_aborted_tx_programs_clean =
+  QCheck.Test.make ~name:"aborted transactions are clean and restore" ~count:40
+    QCheck.(small_list (int_range 0 15))
+    (fun slots ->
+      let engine = Engine.create () in
+      let d = Pmdebugger.Detector.create ~model:Pmdebugger.Detector.Epoch () in
+      Engine.attach engine (Pmdebugger.Detector.sink d);
+      let pool = Pool.create engine ~size:(8 lsl 20) ~log_capacity:(1 lsl 16) in
+      let obj = Pool.alloc_raw pool ~size:256 in
+      Pool.persist_heap_top pool;
+      Engine.store_bytes engine ~addr:obj (Bytes.make 256 '\000');
+      Engine.persist engine ~addr:obj ~size:256;
+      List.iter
+        (fun slot ->
+          let tx = Tx.begin_tx pool in
+          Tx.store_int tx ~addr:(obj + (slot * 16)) 999;
+          Tx.abort tx)
+        slots;
+      Engine.program_end engine;
+      (Pmdebugger.Detector.report d).Bug.bugs = []
+      && List.for_all (fun slot -> Engine.load_int engine ~addr:(obj + (slot * 16)) = 0) slots)
+
+let suite =
+  [
+    Alcotest.test_case "pool layout" `Quick test_pool_layout;
+    Alcotest.test_case "alloc alignment" `Quick test_alloc_alignment;
+    Alcotest.test_case "root idempotent" `Quick test_root_idempotent;
+    Alcotest.test_case "tx commit durability" `Quick test_tx_commit_durability;
+    Alcotest.test_case "tx abort restores" `Quick test_tx_abort_restores;
+    Alcotest.test_case "nested tx" `Quick test_nested_tx;
+    Alcotest.test_case "add_range dedup" `Quick test_add_range_dedup;
+    Alcotest.test_case "tx fences once inside epoch" `Quick test_tx_single_fence_inside_epoch;
+    Alcotest.test_case "atomic alloc" `Quick test_atomic_alloc;
+    QCheck_alcotest.to_alcotest prop_tx_crash_atomicity;
+    QCheck_alcotest.to_alcotest prop_random_tx_programs_clean;
+    QCheck_alcotest.to_alcotest prop_aborted_tx_programs_clean;
+  ]

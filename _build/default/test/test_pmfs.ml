@@ -1,0 +1,207 @@
+open Pmtrace
+module Pmfs = Minipmfs.Pmfs
+module Yat = Minipmfs.Yat
+
+let fresh () =
+  let engine = Engine.create () in
+  (engine, Pmfs.create engine ())
+
+let test_mkdir_lookup () =
+  let _, fs = fresh () in
+  let root = Pmfs.root_dir fs in
+  let home = Pmfs.mkdir fs ~parent:root ~name:"home" in
+  Alcotest.(check (option int)) "lookup home" (Some home) (Pmfs.lookup fs ~parent:root ~name:"home");
+  Alcotest.(check (option int)) "lookup missing" None (Pmfs.lookup fs ~parent:root ~name:"ghost");
+  Alcotest.(check (list string)) "readdir" [ "home" ] (Pmfs.readdir fs ~inode:root)
+
+let test_file_write_read () =
+  let _, fs = fresh () in
+  let root = Pmfs.root_dir fs in
+  let f = Pmfs.create_file fs ~parent:root ~name:"a.txt" in
+  Pmfs.write_file fs ~inode:f ~off:0 "hello world";
+  Alcotest.(check string) "read back" "hello world" (Pmfs.read_file fs ~inode:f ~off:0 ~len:11);
+  Alcotest.(check string) "partial read" "world" (Pmfs.read_file fs ~inode:f ~off:6 ~len:5);
+  Alcotest.(check int) "size" 11 (Pmfs.file_size fs ~inode:f);
+  (* Overwrite in the middle and extend. *)
+  Pmfs.write_file fs ~inode:f ~off:6 "there!!";
+  Alcotest.(check string) "after overwrite" "hello there!!" (Pmfs.read_file fs ~inode:f ~off:0 ~len:13);
+  Alcotest.(check int) "extended size" 13 (Pmfs.file_size fs ~inode:f)
+
+let test_multi_block_file () =
+  let _, fs = fresh () in
+  let root = Pmfs.root_dir fs in
+  let f = Pmfs.create_file fs ~parent:root ~name:"big" in
+  let payload = String.init 1500 (fun i -> Char.chr (Char.code 'a' + (i mod 26))) in
+  Pmfs.write_file fs ~inode:f ~off:0 payload;
+  Alcotest.(check string) "multi-block roundtrip" payload (Pmfs.read_file fs ~inode:f ~off:0 ~len:1500);
+  Alcotest.(check string) "cross-block read" (String.sub payload 500 100) (Pmfs.read_file fs ~inode:f ~off:500 ~len:100)
+
+let test_unlink () =
+  let _, fs = fresh () in
+  let root = Pmfs.root_dir fs in
+  let f = Pmfs.create_file fs ~parent:root ~name:"tmp" in
+  Pmfs.write_file fs ~inode:f ~off:0 (String.make 600 'x');
+  Pmfs.unlink fs ~parent:root ~name:"tmp";
+  Alcotest.(check (option int)) "gone" None (Pmfs.lookup fs ~parent:root ~name:"tmp");
+  Alcotest.(check (list string)) "empty dir" [] (Pmfs.readdir fs ~inode:root);
+  (* Freed blocks and inode are reusable. *)
+  let g = Pmfs.create_file fs ~parent:root ~name:"tmp2" in
+  Pmfs.write_file fs ~inode:g ~off:0 "fresh";
+  Alcotest.(check string) "reuse works" "fresh" (Pmfs.read_file fs ~inode:g ~off:0 ~len:5)
+
+let test_errors () =
+  let _, fs = fresh () in
+  let root = Pmfs.root_dir fs in
+  let _ = Pmfs.create_file fs ~parent:root ~name:"dup" in
+  Alcotest.check_raises "duplicate name" (Failure "Pmfs: \"dup\" exists") (fun () ->
+      ignore (Pmfs.create_file fs ~parent:root ~name:"dup"));
+  Alcotest.check_raises "unlink missing" (Failure "Pmfs: \"nope\" not found") (fun () ->
+      Pmfs.unlink fs ~parent:root ~name:"nope");
+  let d = Pmfs.mkdir fs ~parent:root ~name:"d" in
+  let _ = Pmfs.create_file fs ~parent:d ~name:"inner" in
+  Alcotest.check_raises "non-empty dir" (Failure "Pmfs: directory not empty") (fun () ->
+      Pmfs.unlink fs ~parent:root ~name:"d")
+
+let test_fsck_on_durable_image () =
+  let engine, fs = fresh () in
+  let root = Pmfs.root_dir fs in
+  let d = Pmfs.mkdir fs ~parent:root ~name:"data" in
+  for i = 0 to 5 do
+    let f = Pmfs.create_file fs ~parent:d ~name:(Printf.sprintf "f%d" i) in
+    Pmfs.write_file fs ~inode:f ~off:0 (String.make (100 * (i + 1)) 'y')
+  done;
+  Pmfs.unlink fs ~parent:d ~name:"f3";
+  Alcotest.(check bool) "durable image consistent" true
+    (Pmfs.fsck (Pmem.Image.copy (Pmem.State.durable (Engine.pm engine))))
+
+let test_fsck_rejects_corruption () =
+  let engine, fs = fresh () in
+  let root = Pmfs.root_dir fs in
+  let f = Pmfs.create_file fs ~parent:root ~name:"x" in
+  Pmfs.write_file fs ~inode:f ~off:0 "abc";
+  let img = Pmem.Image.copy (Pmem.State.durable (Engine.pm engine)) in
+  (* Point the file's first block slot out of range. *)
+  let itable = Pmem.Image.get_int img 48 in
+  Pmem.Image.set_int img (itable + (f * 80) + 24) 999_999;
+  Alcotest.(check bool) "corruption detected" false (Pmfs.fsck img);
+  Alcotest.(check bool) "explanation given" true (Pmfs.fsck_explain img <> None)
+
+let test_unformatted_is_vacuous () =
+  Alcotest.(check bool) "empty image passes" true (Pmfs.fsck (Pmem.Image.create ()))
+
+let test_journal_recovery () =
+  (* Simulate a crash with a committed but unapplied journal record:
+     recovery must replay it. *)
+  let engine, fs = fresh () in
+  let root = Pmfs.root_dir fs in
+  let f = Pmfs.create_file fs ~parent:root ~name:"j" in
+  Pmfs.write_file fs ~inode:f ~off:0 "v1";
+  let img = Pmem.Image.copy (Pmem.State.durable (Engine.pm engine)) in
+  (* Hand-craft a committed record rewriting the file size to 1. *)
+  let itable = Pmem.Image.get_int img 48 in
+  let journal = Pmem.Image.get_int img 32 in
+  let target = itable + (f * 80) + 8 in
+  Pmem.Image.set_int img (journal + 8) target;
+  Pmem.Image.set_int img (journal + 16) 8;
+  Pmem.Image.set_int img (journal + 24) 1;
+  Pmem.Image.set_int img journal 1;
+  Pmem.Image.set_int img 72 32 (* journal head > 0 *);
+  Pmfs.recover img;
+  Alcotest.(check int) "redo applied" 1 (Pmem.Image.get_int img target);
+  Alcotest.(check int) "journal cleared" 0 (Pmem.Image.get_int img 72);
+  Alcotest.(check bool) "image consistent after recovery" true (Pmfs.fsck img)
+
+let test_detector_clean_on_fs () =
+  let engine = Engine.create () in
+  let d = Pmdebugger.Detector.create ~model:Pmdebugger.Detector.Strict () in
+  Engine.attach engine (Pmdebugger.Detector.sink d);
+  let fs = Pmfs.create engine () in
+  let root = Pmfs.root_dir fs in
+  let dir = Pmfs.mkdir fs ~parent:root ~name:"w" in
+  for i = 0 to 19 do
+    let f = Pmfs.create_file fs ~parent:dir ~name:(Printf.sprintf "f%d" i) in
+    Pmfs.write_file fs ~inode:f ~off:0 "zz";
+    if i land 1 = 0 then Pmfs.unlink fs ~parent:dir ~name:(Printf.sprintf "f%d" i)
+  done;
+  Engine.program_end engine;
+  Alcotest.(check int) "no findings on correct fs" 0 (List.length (Pmdebugger.Detector.report d).Bug.bugs)
+
+let test_yat_clean_vs_unsafe () =
+  let run ~unsafe =
+    let engine = Engine.create () in
+    let yat = Yat.create ~pm:(Engine.pm engine) () in
+    Engine.attach engine (Yat.sink yat);
+    let fs = Pmfs.create engine () in
+    Pmfs.set_unsafe_unlink fs unsafe;
+    let root = Pmfs.root_dir fs in
+    for i = 0 to 7 do
+      let name = Printf.sprintf "f%d" i in
+      let f = Pmfs.create_file fs ~parent:root ~name in
+      Pmfs.write_file fs ~inode:f ~off:0 "data";
+      Pmfs.unlink fs ~parent:root ~name
+    done;
+    Engine.program_end engine;
+    let r = (Yat.sink yat).Sink.finish () in
+    (List.length r.Bug.bugs, Yat.states_checked yat)
+  in
+  let clean_bugs, clean_states = run ~unsafe:false in
+  Alcotest.(check int) "clean fs passes every crash state" 0 clean_bugs;
+  Alcotest.(check bool) "states were actually explored" true (clean_states > 20);
+  let unsafe_bugs, _ = run ~unsafe:true in
+  Alcotest.(check bool) "unsafe unlink caught" true (unsafe_bugs > 0)
+
+let test_workload_spec_clean () =
+  let engine = Engine.create () in
+  let d = Pmdebugger.Detector.create ~model:Pmdebugger.Detector.Strict () in
+  Engine.attach engine (Pmdebugger.Detector.sink d);
+  Workloads.Pmfs_wl.spec.Workloads.Workload.run (Workloads.Workload.params ~n:300 ()) engine;
+  Alcotest.(check int) "pmfs workload clean" 0 (List.length (Pmdebugger.Detector.report d).Bug.bugs)
+
+(* Property: a random op sequence keeps the durable image fsck-clean
+   and the directory model consistent. *)
+let prop_fs_random_ops =
+  QCheck.Test.make ~name:"random fs ops keep durable image consistent" ~count:25
+    QCheck.(small_list (pair (int_range 0 2) (int_range 0 15)))
+    (fun ops ->
+      let engine, fs = fresh () in
+      let root = Pmfs.root_dir fs in
+      let model = Hashtbl.create 16 in
+      List.iter
+        (fun (op, i) ->
+          let name = Printf.sprintf "f%02d" i in
+          match op with
+          | 0 ->
+              if not (Hashtbl.mem model name) then begin
+                let f = Pmfs.create_file fs ~parent:root ~name in
+                Hashtbl.replace model name f
+              end
+          | 1 -> (
+              match Hashtbl.find_opt model name with
+              | Some f -> Pmfs.write_file fs ~inode:f ~off:0 (Printf.sprintf "v%d" i)
+              | None -> ())
+          | _ ->
+              if Hashtbl.mem model name then begin
+                Pmfs.unlink fs ~parent:root ~name;
+                Hashtbl.remove model name
+              end)
+        ops;
+      let names = List.sort compare (Pmfs.readdir fs ~inode:root) in
+      let expected = List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) model []) in
+      names = expected && Pmfs.fsck (Pmem.Image.copy (Pmem.State.durable (Engine.pm engine))))
+
+let suite =
+  [
+    Alcotest.test_case "mkdir/lookup/readdir" `Quick test_mkdir_lookup;
+    Alcotest.test_case "file write/read" `Quick test_file_write_read;
+    Alcotest.test_case "multi-block file" `Quick test_multi_block_file;
+    Alcotest.test_case "unlink and reuse" `Quick test_unlink;
+    Alcotest.test_case "error paths" `Quick test_errors;
+    Alcotest.test_case "fsck on durable image" `Quick test_fsck_on_durable_image;
+    Alcotest.test_case "fsck rejects corruption" `Quick test_fsck_rejects_corruption;
+    Alcotest.test_case "unformatted device vacuous" `Quick test_unformatted_is_vacuous;
+    Alcotest.test_case "journal recovery" `Quick test_journal_recovery;
+    Alcotest.test_case "detector clean on fs" `Quick test_detector_clean_on_fs;
+    Alcotest.test_case "yat clean vs unsafe unlink" `Quick test_yat_clean_vs_unsafe;
+    Alcotest.test_case "pmfs workload clean" `Quick test_workload_spec_clean;
+    QCheck_alcotest.to_alcotest prop_fs_random_ops;
+  ]

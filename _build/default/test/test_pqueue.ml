@@ -1,0 +1,101 @@
+open Pmtrace
+open Minipmdk
+module Q = Workloads.Pqueue
+
+let fresh ?capacity () =
+  let engine = Engine.create () in
+  let pool = Pool.create engine ~size:(16 lsl 20) in
+  (engine, Q.create ?capacity pool)
+
+let test_fifo_order () =
+  let _, q = fresh () in
+  Alcotest.(check bool) "empty" true (Q.is_empty q);
+  List.iter (fun s -> Alcotest.(check bool) "enqueue ok" true (Q.enqueue q s)) [ "a"; "b"; "c" ];
+  Alcotest.(check int) "length" 3 (Q.length q);
+  Alcotest.(check (option string)) "a first" (Some "a") (Q.dequeue q);
+  Alcotest.(check (option string)) "b next" (Some "b") (Q.dequeue q);
+  Alcotest.(check bool) "enqueue mid-drain" true (Q.enqueue q "d");
+  Alcotest.(check (option string)) "c" (Some "c") (Q.dequeue q);
+  Alcotest.(check (option string)) "d" (Some "d") (Q.dequeue q);
+  Alcotest.(check (option string)) "drained" None (Q.dequeue q)
+
+let test_capacity_and_wraparound () =
+  let _, q = fresh ~capacity:4 () in
+  for i = 0 to 3 do
+    Alcotest.(check bool) "fills" true (Q.enqueue q (string_of_int i))
+  done;
+  Alcotest.(check bool) "full rejects" false (Q.enqueue q "overflow");
+  (* Drain and refill several times to cross the ring boundary. *)
+  for round = 0 to 5 do
+    Alcotest.(check (option string)) "fifo across wrap" (Some (string_of_int round)) (Q.dequeue q);
+    Alcotest.(check bool) "refill" true (Q.enqueue q (string_of_int (round + 4)))
+  done
+
+let test_truncation () =
+  let _, q = fresh () in
+  let long = String.make 200 'z' in
+  Alcotest.(check bool) "enqueue long" true (Q.enqueue q long);
+  match Q.dequeue q with
+  | Some v -> Alcotest.(check int) "truncated to payload" Q.record_payload (String.length v)
+  | None -> Alcotest.fail "expected a record"
+
+let test_detector_clean () =
+  let engine = Engine.create () in
+  let d = Pmdebugger.Detector.create ~model:Pmdebugger.Detector.Epoch () in
+  Engine.attach engine (Pmdebugger.Detector.sink d);
+  Q.spec.Workloads.Workload.run (Workloads.Workload.params ~n:500 ()) engine;
+  Alcotest.(check int) "queue workload clean" 0 (List.length (Pmdebugger.Detector.report d).Bug.bugs)
+
+let test_crash_consistency () =
+  (* At any crash image, after undo-log recovery the queue indexes must
+     describe a prefix-consistent queue: 0 <= head <= tail. *)
+  let engine, q = fresh ~capacity:8 () in
+  for i = 0 to 5 do
+    ignore (Q.enqueue q (string_of_int i))
+  done;
+  ignore (Q.dequeue q);
+  let ok =
+    List.for_all
+      (fun img ->
+        if Minipmdk.Tx.needs_recovery img then Minipmdk.Tx.recover img;
+        (* Root object: head at root, tail at root+8. The pool root sits
+           at the heap start. *)
+        let root = Pmem.Image.get_int img Minipmdk.Pool.off_root_off in
+        let head = Pmem.Image.get_int img root and tail = Pmem.Image.get_int img (root + 8) in
+        0 <= head && head <= tail)
+      (Pmem.State.crash_images (Engine.pm engine) ~max_images:16 ())
+  in
+  Alcotest.(check bool) "indexes consistent in every crash image" true ok
+
+let prop_queue_matches_model =
+  QCheck.Test.make ~name:"queue matches list model" ~count:100
+    QCheck.(small_list (int_range 0 99))
+    (fun ops ->
+      let _, q = fresh ~capacity:16 () in
+      let model = Queue.create () in
+      List.for_all
+        (fun op ->
+          if op < 60 then begin
+            let v = Printf.sprintf "v%d" op in
+            let accepted = Q.enqueue q v in
+            let expected = Queue.length model < 16 in
+            if accepted then Queue.add v model;
+            accepted = expected
+          end
+          else begin
+            let got = Q.dequeue q in
+            let expected = Queue.take_opt model in
+            got = expected
+          end)
+        ops
+      && Q.length q = Queue.length model)
+
+let suite =
+  [
+    Alcotest.test_case "fifo order" `Quick test_fifo_order;
+    Alcotest.test_case "capacity and wraparound" `Quick test_capacity_and_wraparound;
+    Alcotest.test_case "payload truncation" `Quick test_truncation;
+    Alcotest.test_case "detector clean" `Quick test_detector_clean;
+    Alcotest.test_case "crash consistency" `Quick test_crash_consistency;
+    QCheck_alcotest.to_alcotest prop_queue_matches_model;
+  ]

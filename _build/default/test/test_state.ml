@@ -1,0 +1,109 @@
+open Pmem
+
+let store8 st addr v = State.store_i64 st ~addr v
+
+let test_store_dirty () =
+  let st = State.create () in
+  store8 st 100 1L;
+  Alcotest.(check bool) "line dirty after store" true (State.line_state st 1 = State.Dirty);
+  Alcotest.(check bool) "durable image unchanged" true (Image.get_i64 (State.durable st) 100 = 0L);
+  Alcotest.(check bool) "volatile image updated" true (Image.get_i64 (State.volatile st) 100 = 1L)
+
+let test_clf_pending_then_fence () =
+  let st = State.create () in
+  store8 st 100 1L;
+  State.clf st ~addr:100;
+  Alcotest.(check bool) "pending after clf" true (State.line_state st 1 = State.Writeback_pending);
+  Alcotest.(check bool) "not yet durable" true (Image.get_i64 (State.durable st) 100 = 0L);
+  State.fence st;
+  Alcotest.(check bool) "clean after fence" true (State.line_state st 1 = State.Clean);
+  Alcotest.(check int64) "durable after fence" 1L (Image.get_i64 (State.durable st) 100)
+
+let test_store_voids_pending () =
+  let st = State.create () in
+  store8 st 100 1L;
+  State.clf st ~addr:100;
+  store8 st 104 2L;
+  Alcotest.(check bool) "re-store re-dirties the line" true (State.line_state st 1 = State.Dirty);
+  State.fence st;
+  (* The fence drains nothing: the writeback was voided. *)
+  Alcotest.(check int64) "not durable without second clf" 0L (Image.get_i64 (State.durable st) 100)
+
+let test_fence_without_clf () =
+  let st = State.create () in
+  store8 st 100 1L;
+  State.fence st;
+  Alcotest.(check bool) "dirty survives fence" true (State.line_state st 1 = State.Dirty);
+  Alcotest.(check int64) "nothing durable" 0L (Image.get_i64 (State.durable st) 100)
+
+let test_is_durable_range () =
+  let st = State.create () in
+  State.store st ~addr:60 (Bytes.make 10 'x');
+  State.clf st ~addr:60;
+  State.fence st;
+  Alcotest.(check bool) "first line durable only" false (State.is_durable_range st ~lo:60 ~hi:70);
+  State.clf st ~addr:64;
+  State.fence st;
+  Alcotest.(check bool) "both lines durable" true (State.is_durable_range st ~lo:60 ~hi:70)
+
+let test_crash_images_exhaustive () =
+  let st = State.create () in
+  store8 st 0 1L;
+  store8 st 64 2L;
+  State.clf st ~addr:64;
+  (* 2 undrained lines: 4 possible crash images. *)
+  let images = State.crash_images st () in
+  Alcotest.(check int) "four images" 4 (List.length images);
+  let outcomes = List.map (fun img -> (Image.get_i64 img 0, Image.get_i64 img 64)) images in
+  List.iter
+    (fun o -> Alcotest.(check bool) "outcome possible" true (List.mem o outcomes))
+    [ (0L, 0L); (1L, 0L); (0L, 2L); (1L, 2L) ]
+
+let test_crash_images_after_drain () =
+  let st = State.create () in
+  store8 st 0 1L;
+  State.clf st ~addr:0;
+  State.fence st;
+  let images = State.crash_images st () in
+  Alcotest.(check int) "one deterministic image" 1 (List.length images);
+  Alcotest.(check int64) "durable value present" 1L (Image.get_i64 (List.hd images) 0)
+
+(* Property: every crash image agrees with the durable image on clean
+   lines and with either durable or volatile contents elsewhere. *)
+let prop_crash_image_bounds =
+  QCheck.Test.make ~name:"crash images bounded by durable and volatile" ~count:100
+    QCheck.(small_list (pair (int_range 0 63) (int_range 0 2)))
+    (fun ops ->
+      let st = State.create () in
+      List.iter
+        (fun (slot, op) ->
+          let addr = slot * 16 in
+          match op with
+          | 0 -> State.store_i64 st ~addr (Int64.of_int (addr + 1))
+          | 1 -> State.clf st ~addr
+          | _ -> State.fence st)
+        ops;
+      let vol = State.volatile st and dur = State.durable st in
+      List.for_all
+        (fun img ->
+          let ok = ref true in
+          for line = 0 to 16 do
+            let lo = line * 64 and hi = (line + 1) * 64 in
+            let matches_dur = Image.equal_range img dur ~lo ~hi in
+            let matches_vol = Image.equal_range img vol ~lo ~hi in
+            if not (matches_dur || matches_vol) then ok := false
+          done;
+          !ok)
+        (State.crash_images st ~max_images:32 ()))
+
+let suite =
+  [
+    Alcotest.test_case "store dirties" `Quick test_store_dirty;
+    Alcotest.test_case "clf pending, fence drains" `Quick test_clf_pending_then_fence;
+    Alcotest.test_case "store voids pending writeback" `Quick test_store_voids_pending;
+    Alcotest.test_case "fence without clf persists nothing" `Quick test_fence_without_clf;
+    Alcotest.test_case "is_durable_range per line" `Quick test_is_durable_range;
+    Alcotest.test_case "crash images exhaustive" `Quick test_crash_images_exhaustive;
+    Alcotest.test_case "crash image after drain" `Quick test_crash_images_after_drain;
+    QCheck_alcotest.to_alcotest prop_crash_image_bounds;
+  ]

@@ -1,0 +1,115 @@
+open Pmtrace
+
+let test_engine_pm_coupling () =
+  let e = Engine.create () in
+  Engine.store_i64 e ~addr:100 7L;
+  Alcotest.(check int64) "load sees store" 7L (Engine.load_i64 e ~addr:100);
+  Alcotest.(check int64) "not durable yet" 0L (Pmem.Image.get_i64 (Pmem.State.durable (Engine.pm e)) 100);
+  Engine.persist e ~addr:100 ~size:8;
+  Alcotest.(check int64) "durable after persist" 7L (Pmem.Image.get_i64 (Pmem.State.durable (Engine.pm e)) 100)
+
+let test_event_counters () =
+  let e = Engine.create () in
+  Engine.store_i64 e ~addr:0 1L;
+  Engine.store_i64 e ~addr:64 2L;
+  Engine.flush_range e ~addr:0 ~size:128;
+  Engine.sfence e;
+  Alcotest.(check int) "stores" 2 (Engine.n_stores e);
+  Alcotest.(check int) "clfs cover two lines" 2 (Engine.n_clfs e);
+  Alcotest.(check int) "fences" 1 (Engine.n_fences e)
+
+let test_instrumentation_toggle () =
+  let e = Engine.create () in
+  let seen = ref 0 in
+  Engine.attach e
+    (Sink.make ~name:"c" ~on_event:(fun _ -> incr seen) ~finish:(fun () -> Bug.empty_report "c"));
+  Engine.store_i64 e ~addr:0 1L;
+  Engine.set_instrumentation e false;
+  Engine.store_i64 e ~addr:8 2L;
+  Engine.set_instrumentation e true;
+  Engine.store_i64 e ~addr:16 3L;
+  Alcotest.(check int) "only instrumented events dispatched" 2 !seen;
+  (* PM semantics apply regardless of instrumentation. *)
+  Alcotest.(check int64) "uninstrumented store still lands" 2L (Engine.load_i64 e ~addr:8)
+
+let test_multiple_sinks () =
+  let e = Engine.create () in
+  let a = ref 0 and b = ref 0 in
+  Engine.attach e (Sink.make ~name:"a" ~on_event:(fun _ -> incr a) ~finish:(fun () -> Bug.empty_report "a"));
+  Engine.attach e (Sink.make ~name:"b" ~on_event:(fun _ -> incr b) ~finish:(fun () -> Bug.empty_report "b"));
+  Engine.store_i64 e ~addr:0 1L;
+  Alcotest.(check int) "both sinks see events" !a !b
+
+let test_record_replay_equivalence () =
+  let program e =
+    Engine.register_pmem e ~base:0 ~size:4096;
+    Engine.store_i64 e ~addr:128 1L;
+    Engine.clwb e ~addr:128;
+    Engine.clwb e ~addr:128;
+    Engine.sfence e;
+    Engine.store_i64 e ~addr:256 2L;
+    Engine.program_end e
+  in
+  (* Live detection... *)
+  let e = Engine.create () in
+  let live = Pmdebugger.Detector.create () in
+  Engine.attach e (Pmdebugger.Detector.sink live);
+  program e;
+  let live_report = Pmdebugger.Detector.report live in
+  (* ...must equal replayed detection. *)
+  let trace = Recorder.record program in
+  let replayed = Recorder.replay trace (Pmdebugger.Detector.sink (Pmdebugger.Detector.create ())) in
+  let summary (r : Bug.report) = List.map (fun (b : Bug.t) -> (Bug.kind_name b.Bug.kind, b.Bug.addr)) r.Bug.bugs in
+  Alcotest.(check (list (pair string int))) "live = replay" (summary live_report) (summary replayed)
+
+let test_interleave_round_robin () =
+  let t1 = [| Event.Fence { tid = 1 }; Event.Fence { tid = 1 } |] in
+  let t2 = [| Event.Fence { tid = 2 } |] in
+  let merged = Recorder.interleave_round_robin [ t1; t2 ] in
+  Alcotest.(check int) "all events kept" 3 (Array.length merged);
+  Alcotest.(check int) "starts with t1" 1 (Event.tid merged.(0));
+  Alcotest.(check int) "then t2" 2 (Event.tid merged.(1));
+  Alcotest.(check int) "then t1 remainder" 1 (Event.tid merged.(2))
+
+let test_trace_stats () =
+  let trace = Recorder.record (fun e ->
+      Engine.store_i64 e ~addr:0 1L;
+      Engine.persist e ~addr:0 ~size:8)
+  in
+  let stats = Recorder.stats trace in
+  Alcotest.(check int) "stores" 1 (List.assoc "stores" stats);
+  Alcotest.(check int) "clfs" 1 (List.assoc "clfs" stats);
+  Alcotest.(check int) "fences" 1 (List.assoc "fences" stats)
+
+let test_order_config_parse () =
+  let module OC = Pmdebugger.Order_config in
+  (match OC.parse "# comment\norder data before valid\nstrand-order A before B\norder x before y at commit\n" with
+  | Ok cfg ->
+      Alcotest.(check int) "three entries" 3 (List.length (OC.entries cfg));
+      let roundtrip = OC.parse_exn (OC.to_string cfg) in
+      Alcotest.(check bool) "roundtrip" true (OC.entries roundtrip = OC.entries cfg)
+  | Error msg -> Alcotest.fail msg);
+  match OC.parse "order broken line" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected parse error"
+
+let test_bug_report_helpers () =
+  let bugs = [ Bug.make ~addr:1 Bug.No_durability; Bug.make ~addr:2 Bug.No_durability; Bug.make Bug.Redundant_flush ] in
+  let r = { Bug.detector = "x"; bugs; events_processed = 10; stats = [] } in
+  Alcotest.(check int) "count_kind" 2 (Bug.count_kind r Bug.No_durability);
+  Alcotest.(check bool) "has_kind" true (Bug.has_kind r Bug.Redundant_flush);
+  Alcotest.(check int) "kinds_found" 2 (List.length (Bug.kinds_found r));
+  Alcotest.(check int) "ten kinds total" 10 (List.length Bug.all_kinds)
+
+let suite =
+  [
+    Alcotest.test_case "engine/pm coupling" `Quick test_engine_pm_coupling;
+    Alcotest.test_case "event counters" `Quick test_event_counters;
+    Alcotest.test_case "instrumentation toggle" `Quick test_instrumentation_toggle;
+    Alcotest.test_case "multiple sinks" `Quick test_multiple_sinks;
+    Alcotest.test_case "record/replay equivalence" `Quick test_record_replay_equivalence;
+    Alcotest.test_case "interleave round robin" `Quick test_interleave_round_robin;
+    Alcotest.test_case "trace stats" `Quick test_trace_stats;
+    Alcotest.test_case "order config parsing" `Quick test_order_config_parse;
+    Alcotest.test_case "bug report helpers" `Quick test_bug_report_helpers;
+  ]

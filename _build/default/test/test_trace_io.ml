@@ -1,0 +1,110 @@
+open Pmtrace
+
+let sample_trace () =
+  Recorder.record (fun e ->
+      Engine.register_pmem e ~base:0 ~size:4096;
+      Engine.register_var e ~name:"head ptr" ~addr:0 ~size:8;
+      Engine.call_marker e ~func:"main";
+      Engine.epoch_begin e;
+      Engine.store_i64 e ~addr:128 1L;
+      Engine.tx_log e ~obj_addr:128 ~size:8;
+      Engine.clflushopt e ~addr:128;
+      Engine.sfence e;
+      Engine.epoch_end e;
+      Engine.strand_begin e ~strand:2;
+      Engine.store_i64 e ~addr:256 2L;
+      Engine.persist e ~addr:256 ~size:8;
+      Engine.strand_end e ~strand:2;
+      Engine.join_strand e;
+      Engine.annotate e (Event.Assert_durable { addr = 128; size = 8 });
+      Engine.annotate e (Event.Assert_ordered { first_addr = 128; first_size = 8; then_addr = 256; then_size = 8 });
+      Engine.annotate e (Event.Assert_fresh { addr = 512; size = 8 });
+      Engine.program_end e)
+
+let test_roundtrip () =
+  let trace = sample_trace () in
+  match Trace_io.of_string (Trace_io.to_string trace) with
+  | Error msg -> Alcotest.fail msg
+  | Ok decoded ->
+      Alcotest.(check int) "same length" (Array.length trace) (Array.length decoded);
+      Array.iteri
+        (fun i ev ->
+          Alcotest.(check string)
+            (Printf.sprintf "event %d" i)
+            (Trace_io.event_to_line ev)
+            (Trace_io.event_to_line decoded.(i)))
+        trace
+
+let test_comments_and_blanks () =
+  match Trace_io.of_string "# a comment\n\nstore 0 128 8\n  \nfence 0\n" with
+  | Ok trace -> Alcotest.(check int) "two events" 2 (Array.length trace)
+  | Error msg -> Alcotest.fail msg
+
+let test_malformed () =
+  (match Trace_io.of_string "store 0 oops 8\n" with
+  | Error msg -> Alcotest.(check bool) "line number in error" true (String.length msg > 0 && String.sub msg 0 6 = "line 1")
+  | Ok _ -> Alcotest.fail "expected parse error");
+  match Trace_io.of_string "bogus_event 1 2\n" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected parse error"
+
+let test_file_roundtrip () =
+  let trace = sample_trace () in
+  let path = Filename.temp_file "pmdebugger" ".pmt" in
+  Trace_io.save path trace;
+  (match Trace_io.load path with
+  | Ok decoded -> Alcotest.(check int) "file roundtrip" (Array.length trace) (Array.length decoded)
+  | Error msg -> Alcotest.fail msg);
+  Sys.remove path
+
+let test_replay_of_decoded_trace () =
+  (* A decoded trace must drive a detector identically to the original. *)
+  let trace =
+    Recorder.record (fun e ->
+        Engine.register_pmem e ~base:0 ~size:4096;
+        Engine.store_i64 e ~addr:128 1L;
+        Engine.clwb e ~addr:128;
+        Engine.clwb e ~addr:128;
+        Engine.sfence e;
+        Engine.store_i64 e ~addr:512 1L;
+        Engine.program_end e)
+  in
+  let decoded = match Trace_io.of_string (Trace_io.to_string trace) with Ok t -> t | Error m -> Alcotest.fail m in
+  let report trace = Recorder.replay trace (Pmdebugger.Detector.sink (Pmdebugger.Detector.create ())) in
+  let summary r = List.map (fun (b : Bug.t) -> (Bug.kind_name b.Bug.kind, b.Bug.addr)) r.Bug.bugs in
+  Alcotest.(check (list (pair string int))) "identical findings" (summary (report trace)) (summary (report decoded))
+
+let prop_event_roundtrip =
+  let event_gen =
+    QCheck.Gen.(
+      let* tag = int_range 0 9 in
+      let* addr = int_range 0 100_000 in
+      let* size = int_range 1 256 in
+      let* tid = int_range 0 7 in
+      return
+        (match tag with
+        | 0 -> Event.Store { addr; size; tid }
+        | 1 -> Event.Clf { addr; size; kind = Event.Clwb; tid }
+        | 2 -> Event.Fence { tid }
+        | 3 -> Event.Register_pmem { base = addr; size }
+        | 4 -> Event.Epoch_begin { tid }
+        | 5 -> Event.Epoch_end { tid }
+        | 6 -> Event.Strand_begin { tid; strand = size }
+        | 7 -> Event.Tx_log { obj_addr = addr; size; tid }
+        | 8 -> Event.Annotation (Event.Assert_durable { addr; size })
+        | _ -> Event.Program_end))
+  in
+  QCheck.Test.make ~name:"event line roundtrip" ~count:500 (QCheck.make event_gen) (fun ev ->
+      match Trace_io.event_of_line (Trace_io.event_to_line ev) with
+      | Ok (Some ev') -> Trace_io.event_to_line ev = Trace_io.event_to_line ev'
+      | _ -> false)
+
+let suite =
+  [
+    Alcotest.test_case "roundtrip" `Quick test_roundtrip;
+    Alcotest.test_case "comments and blanks" `Quick test_comments_and_blanks;
+    Alcotest.test_case "malformed input" `Quick test_malformed;
+    Alcotest.test_case "file roundtrip" `Quick test_file_roundtrip;
+    Alcotest.test_case "decoded trace replays identically" `Quick test_replay_of_decoded_trace;
+    QCheck_alcotest.to_alcotest prop_event_roundtrip;
+  ]

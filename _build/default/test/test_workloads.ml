@@ -1,0 +1,244 @@
+open Pmtrace
+open Minipmdk
+module D = Pmdebugger.Detector
+module W = Workloads.Workload
+
+let fresh_pool () =
+  let engine = Engine.create () in
+  (engine, Pool.create engine ~size:(64 lsl 20))
+
+(* Functional correctness of each structure against Hashtbl. *)
+let insert_sequence rng n key_space = List.init n (fun _ -> (Workloads.Prng.below rng key_space, Workloads.Prng.below rng 10_000))
+
+let check_against_reference ~insert ~find pairs key_space =
+  let reference = Hashtbl.create 64 in
+  List.iter
+    (fun (k, v) ->
+      insert ~key:k ~value:v;
+      Hashtbl.replace reference k v)
+    pairs;
+  for k = 0 to key_space - 1 do
+    let expected = Hashtbl.find_opt reference k in
+    Alcotest.(check (option int)) (Printf.sprintf "lookup %d" k) expected (find ~key:k)
+  done
+
+let test_btree_reference () =
+  let _, pool = fresh_pool () in
+  let t = Workloads.Btree.create pool in
+  let rng = Workloads.Prng.create 5 in
+  check_against_reference
+    ~insert:(Workloads.Btree.insert t)
+    ~find:(Workloads.Btree.find t)
+    (insert_sequence rng 1500 300) 300;
+  Workloads.Btree.check t;
+  (* Iteration is sorted. *)
+  let keys = ref [] in
+  Workloads.Btree.iter t (fun ~key ~value:_ -> keys := key :: !keys);
+  let keys = List.rev !keys in
+  Alcotest.(check bool) "iter sorted" true (keys = List.sort_uniq compare keys);
+  Alcotest.(check int) "cardinal" (List.length keys) (Workloads.Btree.cardinal t)
+
+let test_ctree_reference () =
+  let _, pool = fresh_pool () in
+  let t = Workloads.Ctree.create pool in
+  let rng = Workloads.Prng.create 6 in
+  check_against_reference
+    ~insert:(Workloads.Ctree.insert t)
+    ~find:(Workloads.Ctree.find t)
+    (insert_sequence rng 1500 300) 300;
+  Workloads.Ctree.check t
+
+let test_rbtree_reference () =
+  let _, pool = fresh_pool () in
+  let t = Workloads.Rbtree.create pool in
+  let rng = Workloads.Prng.create 7 in
+  check_against_reference
+    ~insert:(Workloads.Rbtree.insert t)
+    ~find:(Workloads.Rbtree.find t)
+    (insert_sequence rng 1500 300) 300;
+  Workloads.Rbtree.check t
+
+let test_rtree_reference () =
+  let _, pool = fresh_pool () in
+  let t = Workloads.Rtree.create pool in
+  let rng = Workloads.Prng.create 8 in
+  check_against_reference
+    ~insert:(Workloads.Rtree.insert t)
+    ~find:(Workloads.Rtree.find t)
+    (insert_sequence rng 800 200) 200
+
+let test_hashmaps_reference () =
+  let _, pool = fresh_pool () in
+  let t = Workloads.Hashmap_tx.create pool ~buckets:64 in
+  let rng = Workloads.Prng.create 9 in
+  check_against_reference
+    ~insert:(Workloads.Hashmap_tx.insert t)
+    ~find:(Workloads.Hashmap_tx.find t)
+    (insert_sequence rng 1000 250) 250;
+  let _, pool = fresh_pool () in
+  let t = Workloads.Hashmap_atomic.create pool ~buckets:64 in
+  check_against_reference
+    ~insert:(Workloads.Hashmap_atomic.insert t)
+    ~find:(Workloads.Hashmap_atomic.find t)
+    (insert_sequence rng 1000 250) 250
+
+(* qcheck: random insert batches keep the B-tree structurally valid and
+   consistent with a map. *)
+let prop_btree_random =
+  QCheck.Test.make ~name:"btree matches map on random batches" ~count:30
+    QCheck.(small_list (pair (int_range 0 100) (int_range 0 1000)))
+    (fun pairs ->
+      let _, pool = fresh_pool () in
+      let t = Workloads.Btree.create pool in
+      let reference = Hashtbl.create 16 in
+      List.iter
+        (fun (k, v) ->
+          Workloads.Btree.insert t ~key:k ~value:v;
+          Hashtbl.replace reference k v)
+        pairs;
+      Workloads.Btree.check t;
+      Hashtbl.fold (fun k v acc -> acc && Workloads.Btree.find t ~key:k = Some v) reference true)
+
+(* Clean-run policy: the correct workloads must produce no bugs; the
+   deliberately buggy ones must produce exactly their documented kinds. *)
+let expected_kinds = function
+  | "hashmap_atomic" -> [ Bug.Redundant_epoch_fence ]
+  | "memcached" | "a_YCSB" | "b_YCSB" | "c_YCSB" | "d_YCSB" | "e_YCSB" | "f_YCSB" ->
+      [ Bug.No_durability; Bug.Multiple_overwrites ]
+  | "array" -> [ Bug.No_durability; Bug.Lack_durability_in_epoch; Bug.Redundant_epoch_fence ]
+  | _ -> []
+
+let test_workload_bug_profiles () =
+  List.iter
+    (fun (spec : W.spec) ->
+      let engine = Engine.create () in
+      let d = D.create ~model:spec.W.model () in
+      Engine.attach engine (D.sink d);
+      spec.W.run (W.params ~n:400 ()) engine;
+      let r = D.report d in
+      let found = List.sort compare (Bug.kinds_found r) in
+      let expected = List.sort compare (expected_kinds spec.W.name) in
+      Alcotest.(check (list string))
+        (spec.W.name ^ " bug profile")
+        (List.map Bug.kind_name expected) (List.map Bug.kind_name found))
+    Workloads.Registry.all
+
+let test_memcached_operations () =
+  let _, pool = fresh_pool () in
+  let mc = Workloads.Memcached.create pool ~buckets:16 ~max_items:32 in
+  Workloads.Memcached.set mc ~key:"alpha" ~value:"one";
+  Workloads.Memcached.set mc ~key:"beta" ~value:"two";
+  Alcotest.(check (option string)) "get hit" (Some "one") (Workloads.Memcached.get mc ~key:"alpha");
+  Alcotest.(check (option string)) "get miss" None (Workloads.Memcached.get mc ~key:"gamma");
+  Workloads.Memcached.set mc ~key:"alpha" ~value:"ONE";
+  Alcotest.(check (option string)) "overwrite" (Some "ONE") (Workloads.Memcached.get mc ~key:"alpha");
+  Alcotest.(check bool) "delete" true (Workloads.Memcached.delete mc ~key:"alpha");
+  Alcotest.(check (option string)) "deleted" None (Workloads.Memcached.get mc ~key:"alpha");
+  Alcotest.(check bool) "append" true (Workloads.Memcached.append mc ~key:"beta" ~value:"+");
+  Alcotest.(check (option string)) "appended" (Some "two+") (Workloads.Memcached.get mc ~key:"beta");
+  Alcotest.(check bool) "touch" true (Workloads.Memcached.touch mc ~key:"beta" ~exptime:99);
+  Alcotest.(check int) "item count" 1 (Workloads.Memcached.item_count mc)
+
+let test_memcached_eviction () =
+  let _, pool = fresh_pool () in
+  let mc = Workloads.Memcached.create pool ~buckets:8 ~max_items:8 in
+  for i = 0 to 19 do
+    Workloads.Memcached.set mc ~key:(Printf.sprintf "k%02d" i) ~value:"v"
+  done;
+  Alcotest.(check bool) "bounded by capacity" true (Workloads.Memcached.item_count mc <= 8);
+  Alcotest.(check (option string)) "most recent key survives" (Some "v") (Workloads.Memcached.get mc ~key:"k19")
+
+let test_memcached_19_sites () =
+  let engine = Engine.create () in
+  let d = D.create ~model:D.Strict () in
+  Engine.attach engine (D.sink d);
+  let pool = Pool.create engine ~size:(64 lsl 20) in
+  let mc = Workloads.Memcached.create pool ~buckets:32 ~max_items:96 in
+  let rng = Workloads.Prng.create 11 in
+  for op = 1 to 6000 do
+    let k = Printf.sprintf "key-%03d" (Workloads.Prng.below rng 400) in
+    let dice = Workloads.Prng.below rng 100 in
+    if dice < 5 then Workloads.Memcached.set mc ~key:k ~value:(Printf.sprintf "v%d" op)
+    else if dice < 93 then ignore (Workloads.Memcached.get mc ~key:k)
+    else if dice < 96 then ignore (Workloads.Memcached.delete mc ~key:k)
+    else if dice < 98 then ignore (Workloads.Memcached.touch mc ~key:k ~exptime:op)
+    else ignore (Workloads.Memcached.append mc ~key:k ~value:"+x")
+  done;
+  Workloads.Memcached.flush_all mc;
+  Engine.program_end engine;
+  let r = D.report d in
+  let sites = Hashtbl.create 32 in
+  List.iter
+    (fun (b : Bug.t) ->
+      match Workloads.Memcached.classify_addr mc b.Bug.addr with
+      | Some site -> Hashtbl.replace sites site ()
+      | None -> Alcotest.failf "bug at unclassified address %d" b.Bug.addr)
+    r.Bug.bugs;
+  Alcotest.(check int) "all 19 sites and only them (Sec 7.4)" 19 (Hashtbl.length sites)
+
+let test_redis_operations () =
+  let _, pool = fresh_pool () in
+  let t = Workloads.Redis.create pool ~maxmemory_keys:16 in
+  for k = 0 to 9 do
+    Workloads.Redis.set t ~key:k ~value:(k * 10)
+  done;
+  Alcotest.(check (option int)) "get" (Some 30) (Workloads.Redis.get t ~key:3);
+  Workloads.Redis.set t ~key:3 ~value:99;
+  Alcotest.(check (option int)) "overwrite" (Some 99) (Workloads.Redis.get t ~key:3);
+  Alcotest.(check int) "count" 10 (Workloads.Redis.key_count t)
+
+let test_redis_eviction () =
+  let _, pool = fresh_pool () in
+  let t = Workloads.Redis.create pool ~maxmemory_keys:16 in
+  for k = 0 to 63 do
+    Workloads.Redis.set t ~key:k ~value:k
+  done;
+  Alcotest.(check bool) "bounded" true (Workloads.Redis.key_count t <= 16);
+  Alcotest.(check bool) "evictions counted" true (Workloads.Redis.evictions t >= 48)
+
+let test_synth_strand_sections () =
+  let trace = Recorder.record (fun e -> Workloads.Synth_strand.spec.W.run (W.params ~n:40 ()) e) in
+  let opens = Array.fold_left (fun acc ev -> match ev with Event.Strand_begin _ -> acc + 1 | _ -> acc) 0 trace in
+  let closes = Array.fold_left (fun acc ev -> match ev with Event.Strand_end _ -> acc + 1 | _ -> acc) 0 trace in
+  Alcotest.(check int) "balanced strand sections" opens closes;
+  Alcotest.(check bool) "both strands used" true (opens >= 2)
+
+let test_zipf_skew () =
+  let z = Workloads.Zipf.create ~n:1000 () in
+  let rng = Workloads.Prng.create 3 in
+  let hits = Array.make 1000 0 in
+  for _ = 1 to 20_000 do
+    let k = Workloads.Zipf.sample z rng in
+    Alcotest.(check bool) "in range" true (k >= 0 && k < 1000);
+    hits.(k) <- hits.(k) + 1
+  done;
+  let top10 = ref 0 in
+  for i = 0 to 9 do
+    top10 := !top10 + hits.(i)
+  done;
+  Alcotest.(check bool) "top-10 keys dominate" true (float_of_int !top10 > 0.3 *. 20_000.0)
+
+let test_registry () =
+  Alcotest.(check int) "seven micro benches" 7 (List.length Workloads.Registry.micro);
+  Alcotest.(check int) "eleven characterization programs" 11 (List.length Workloads.Registry.characterization);
+  Alcotest.(check bool) "find works" true (Workloads.Registry.find "memcached" <> None);
+  Alcotest.(check bool) "unknown is None" true (Workloads.Registry.find "nope" = None)
+
+let suite =
+  [
+    Alcotest.test_case "btree vs reference" `Quick test_btree_reference;
+    Alcotest.test_case "ctree vs reference" `Quick test_ctree_reference;
+    Alcotest.test_case "rbtree vs reference" `Quick test_rbtree_reference;
+    Alcotest.test_case "rtree vs reference" `Quick test_rtree_reference;
+    Alcotest.test_case "hashmaps vs reference" `Quick test_hashmaps_reference;
+    QCheck_alcotest.to_alcotest prop_btree_random;
+    Alcotest.test_case "workload bug profiles" `Slow test_workload_bug_profiles;
+    Alcotest.test_case "memcached operations" `Quick test_memcached_operations;
+    Alcotest.test_case "memcached eviction" `Quick test_memcached_eviction;
+    Alcotest.test_case "memcached 19 bug sites" `Slow test_memcached_19_sites;
+    Alcotest.test_case "redis operations" `Quick test_redis_operations;
+    Alcotest.test_case "redis eviction" `Quick test_redis_eviction;
+    Alcotest.test_case "synth_strand sections" `Quick test_synth_strand_sections;
+    Alcotest.test_case "zipf skew" `Quick test_zipf_skew;
+    Alcotest.test_case "registry" `Quick test_registry;
+  ]
