@@ -538,6 +538,89 @@ let ablation () =
     rows
 
 (* ------------------------------------------------------------------ *)
+(* Fault injection: explorer cost and injection/replay throughput.     *)
+(* ------------------------------------------------------------------ *)
+
+let faultinject () =
+  let module FI = Faultinject in
+  let module CE = FI.Crash_explore in
+  (* Crash-image derivation copies the durable image per boundary, so
+     explorer cost is measured on short traces; n here is workload ops,
+     not events. *)
+  let sizes = [ 5; 10; 20 ] in
+  let recovery _ = true in
+  let rows =
+    List.concat_map
+      (fun n ->
+        let steps = FI.Replay.capture (run_spec Workloads.Btree.spec n) in
+        let time boundaries max_images =
+          Harness.Timing.median_of ~repeats:3 (fun () ->
+              ignore (CE.explore ~boundaries ~max_images ~recovery steps))
+        in
+        let stats boundaries max_images =
+          let r = CE.explore ~boundaries ~max_images ~recovery steps in
+          (r.CE.boundaries_checked, r.CE.images_checked)
+        in
+        List.map
+          (fun (bname, boundaries, max_images) ->
+            let t = time boundaries max_images in
+            let b, i = stats boundaries max_images in
+            [
+              "b_tree";
+              string_of_int n;
+              bname;
+              string_of_int (Array.length steps);
+              string_of_int b;
+              string_of_int i;
+              Printf.sprintf "%.1f ms" (1000.0 *. t);
+            ])
+          [ ("fences-only", CE.Fences_only, 4); ("every-op", CE.Every_op, 4); ("every-op/8img", CE.Every_op, 8) ])
+      sizes
+  in
+  T.print
+    ~title:"Crash-point explorer cost (every-op checks ~3x the boundaries of fences-only; cost scales with images)"
+    ~header:[ "bench"; "n"; "boundaries"; "steps"; "checked"; "images"; "time" ]
+    rows;
+  (* Injection + detector replay throughput on a longer trace. *)
+  let n = 2_000 in
+  let steps = FI.Replay.capture (run_spec Workloads.Btree.spec n) in
+  let inj_rows =
+    List.map
+      (fun fault ->
+        let plan = FI.Sensitivity.default_plan fault in
+        let t =
+          Harness.Timing.median_of ~repeats:3 (fun () ->
+              let mutated, _ = FI.Injector.apply plan steps in
+              ignore
+                (Recorder.replay
+                   (FI.Replay.events_of_steps mutated)
+                   (mk_pmdebugger Pmdebugger.Detector.Strict ())))
+        in
+        let _, injections = FI.Injector.apply plan steps in
+        [
+          FI.Injector.fault_name fault;
+          string_of_int (Array.length steps);
+          string_of_int (List.length injections);
+          Printf.sprintf "%.1f ms" (1000.0 *. t);
+        ])
+      FI.Injector.all_faults
+  in
+  T.print
+    ~title:(Printf.sprintf "Fault injection + detector replay (b_tree, n=%d)" n)
+    ~header:[ "fault"; "steps"; "injections"; "mutate+replay" ]
+    inj_rows;
+  (* The full sensitivity matrix, timed. *)
+  let t0 = Unix.gettimeofday () in
+  let rows = FI.Sensitivity.run_matrix () in
+  let dt = Unix.gettimeofday () -. t0 in
+  Printf.printf "  sensitivity matrix: %d workloads x %d faults in %.1f ms, %s\n"
+    (List.length rows)
+    (List.length FI.Sensitivity.core_faults)
+    (1000.0 *. dt)
+    (if FI.Sensitivity.matrix_ok rows then "all detected" else "GAPS PRESENT");
+  flush stdout
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: per-experiment kernels.                  *)
 (* ------------------------------------------------------------------ *)
 
@@ -593,6 +676,7 @@ let experiments =
     ("fig11", fig11);
     ("newbugs", newbugs);
     ("ablation", ablation);
+    ("faultinject", faultinject);
     ("bechamel", bechamel);
   ]
 

@@ -52,17 +52,7 @@ let load_config = function
       | Ok cfg -> cfg
       | Error msg -> failwith ("config: " ^ msg))
 
-let run_cmd workload n detector config annotate max_print =
-  let spec = Workloads.Registry.find_exn workload in
-  let config = load_config config in
-  let engine = Engine.create () in
-  let sink = sink_for detector spec.W.model config in
-  Engine.attach engine sink;
-  let t0 = Unix.gettimeofday () in
-  spec.W.run (W.params ~annotate ~n ()) engine;
-  let dt = Unix.gettimeofday () -. t0 in
-  let report = sink.Sink.finish () in
-  Printf.printf "%s on %s (n=%d): %d event(s) in %.3fs\n" report.Bug.detector workload n report.Bug.events_processed dt;
+let print_findings ~max_print report =
   let shown = ref 0 in
   List.iter
     (fun b ->
@@ -74,8 +64,28 @@ let run_cmd workload n detector config annotate max_print =
   let total = List.length report.Bug.bugs in
   if total > max_print then Printf.printf "  ... and %d more\n" (total - max_print);
   Printf.printf "%d finding(s); kinds: %s\n" total
-    (String.concat ", " (List.map Bug.kind_name (Bug.kinds_found report)));
-  List.iter (fun (k, v) -> Printf.printf "  stat %-28s %.2f\n" k v) report.Bug.stats
+    (String.concat ", " (List.map Bug.kind_name (Bug.kinds_found report)))
+
+let run_cmd workload n detector config annotate max_print =
+  let spec = Workloads.Registry.find_exn workload in
+  let config = load_config config in
+  let engine = Engine.create () in
+  Engine.attach engine (sink_for detector spec.W.model config);
+  let t0 = Unix.gettimeofday () in
+  spec.W.run (W.params ~annotate ~n ()) engine;
+  let dt = Unix.gettimeofday () -. t0 in
+  (* finish_all rather than finishing the sink by hand: a detector that
+     raised mid-run is quarantined and reported, not propagated. *)
+  List.iter
+    (fun report ->
+      Printf.printf "%s on %s (n=%d): %d event(s) in %.3fs\n" report.Bug.detector workload n
+        report.Bug.events_processed dt;
+      (match report.Bug.failure with
+      | Some msg -> Printf.printf "  QUARANTINED: %s\n" msg
+      | None -> ());
+      print_findings ~max_print report;
+      List.iter (fun (k, v) -> Printf.printf "  stat %-28s %.2f\n" k v) report.Bug.stats)
+    (Engine.finish_all engine)
 
 let characterize_cmd workload n =
   let spec = Workloads.Registry.find_exn workload in
@@ -111,26 +121,146 @@ let record_cmd workload n annotate out =
   Trace_io.save out trace;
   Printf.printf "recorded %d event(s) from %s (n=%d) to %s\n" (Array.length trace) workload n out
 
-let replay_cmd file detector config max_print =
-  match Trace_io.load file with
-  | Error msg -> failwith msg
-  | Ok trace ->
-      let config = load_config config in
-      (* Replays have no live PM state: the model only gates rule
-         selection, so strict covers all shared rules. *)
-      let sink = sink_for detector Pmdebugger.Detector.Strict config in
-      let report = Recorder.replay trace sink in
-      Printf.printf "%s replayed %d event(s) from %s\n" report.Bug.detector report.Bug.events_processed file;
-      let shown = ref 0 in
+let replay_cmd file detector config max_print lenient =
+  let trace =
+    if lenient then
+      match Trace_io.load_lenient file with
+      | Error msg -> failwith msg
+      | Ok l ->
+          List.iter (fun (lineno, msg) -> Printf.eprintf "warning: %s:%d: skipped: %s\n" file lineno msg) l.Trace_io.skipped;
+          if l.Trace_io.synthesized_end then
+            Printf.eprintf "warning: %s: truncated trace, synthesized program_end\n" file;
+          l.Trace_io.trace
+    else match Trace_io.load file with Error msg -> failwith msg | Ok trace -> trace
+  in
+  let config = load_config config in
+  (* Replays have no live PM state: the model only gates rule
+     selection, so strict covers all shared rules. *)
+  let sink = sink_for detector Pmdebugger.Detector.Strict config in
+  let report = Recorder.replay trace sink in
+  Printf.printf "%s replayed %d event(s) from %s\n" report.Bug.detector report.Bug.events_processed file;
+  print_findings ~max_print report
+
+(* ---------------------------------------------------------------- *)
+(* crash-explore: replay a program prefix-by-prefix and test every   *)
+(* derivable crash image against a recovery predicate.               *)
+(* ---------------------------------------------------------------- *)
+
+let find_bugbench_case id =
+  let all = Bugbench.Cases.buggy @ Bugbench.Cases.clean in
+  match List.find_opt (fun (c : Bugbench.Cases.t) -> c.Bugbench.Cases.id = id) all with
+  | None -> failwith (Printf.sprintf "unknown bugbench case %S (see `pmdb bugs`)" id)
+  | Some c -> c
+
+let crash_explore_cmd case workload n expect fences_only max_images bisect =
+  let steps, recovery =
+    match case with
+    | Some id ->
+        let c = find_bugbench_case id in
+        let recovery =
+          match c.Bugbench.Cases.recovery with
+          | Some r -> r
+          | None -> failwith (Printf.sprintf "case %S has no recovery predicate; pass --expect" id)
+        in
+        (Faultinject.Replay.capture c.Bugbench.Cases.run, recovery)
+    | None ->
+        let expect =
+          match expect with
+          | Some e -> e
+          | None -> failwith "need --case ID, or -w WORKLOAD with --expect PREDICATE"
+        in
+        let p = match Faultinject.Predicate.parse expect with Ok p -> p | Error msg -> failwith ("--expect: " ^ msg) in
+        let spec = Workloads.Registry.find_exn workload in
+        (Faultinject.Replay.capture (fun e -> spec.W.run (W.params ~n ()) e), Faultinject.Predicate.recovery p)
+  in
+  let module CE = Faultinject.Crash_explore in
+  let what = match case with Some id -> id | None -> workload in
+  if bisect then
+    match CE.bisect ~max_images ~recovery steps with
+    | None -> Printf.printf "%s: no crash image fails recovery (%d steps explored)\n" what (Array.length steps)
+    | Some f ->
+        Format.printf "%s: minimal failing prefix ends at event #%d (%a): %d/%d crash image(s) fail recovery@."
+          what f.CE.index Faultinject.Replay.pp f.CE.step f.CE.failing_images f.CE.images_checked
+  else begin
+    let boundaries = if fences_only then CE.Fences_only else CE.Every_op in
+    let r = CE.explore ~boundaries ~max_images ~recovery steps in
+    Printf.printf "%s: %d boundar%s checked, %d crash image(s) tested\n" what r.CE.boundaries_checked
+      (if r.CE.boundaries_checked = 1 then "y" else "ies")
+      r.CE.images_checked;
+    List.iter
+      (fun (f : CE.failure) ->
+        Format.printf "  event #%d (%a): %d/%d image(s) fail recovery@." f.CE.index Faultinject.Replay.pp f.CE.step
+          f.CE.failing_images f.CE.images_checked)
+      r.CE.failures;
+    if r.CE.failures = [] then Printf.printf "  all crash images satisfy recovery\n"
+    else Printf.printf "%d failing boundar%s\n" (List.length r.CE.failures)
+      (if List.length r.CE.failures = 1 then "y" else "ies")
+  end
+
+(* ---------------------------------------------------------------- *)
+(* inject: mutate a workload's trace and re-run the detector.        *)
+(* ---------------------------------------------------------------- *)
+
+let parse_target s =
+  let fail () = failwith (Printf.sprintf "bad --target %S (expected nth:K, every:K, last, all or random:P)" s) in
+  match String.split_on_char ':' s with
+  | [ "last" ] -> Faultinject.Injector.Last
+  | [ "all" ] -> Faultinject.Injector.All
+  | [ "nth"; k ] -> (try Faultinject.Injector.Nth (int_of_string k) with _ -> fail ())
+  | [ "every"; k ] -> (try Faultinject.Injector.Every (int_of_string k) with _ -> fail ())
+  | [ "random"; p ] -> (try Faultinject.Injector.Random (float_of_string p) with _ -> fail ())
+  | _ -> fail ()
+
+let print_matrix () =
+  let module S = Faultinject.Sensitivity in
+  let module I = Faultinject.Injector in
+  let rows = S.run_matrix () in
+  Printf.printf "%-14s" "workload";
+  List.iter (fun f -> Printf.printf " %-16s" (I.fault_name f)) S.core_faults;
+  print_newline ();
+  List.iter
+    (fun (r : S.row) ->
+      Printf.printf "%-14s" r.S.workload;
       List.iter
-        (fun b ->
-          if !shown < max_print then begin
-            incr shown;
-            Format.printf "  %a@." Bug.pp b
-          end)
-        report.Bug.bugs;
-      Printf.printf "%d finding(s); kinds: %s\n" (List.length report.Bug.bugs)
-        (String.concat ", " (List.map Bug.kind_name (Bug.kinds_found report)))
+        (fun (c : S.cell) ->
+          let mark =
+            if c.S.injections = 0 then "no-site"
+            else if c.S.detected_by = [] then "MISSED"
+            else String.concat "+" (List.map Bug.kind_name c.S.detected_by)
+          in
+          Printf.printf " %-16s" mark)
+        r.S.cells;
+      if r.S.baseline_kinds <> [] then Printf.printf "  (baseline dirty!)";
+      print_newline ())
+    rows;
+  Printf.printf "matrix %s\n" (if S.matrix_ok rows then "OK: every fault class detected on every workload" else "FAILED");
+  if not (S.matrix_ok rows) then exit 1
+
+let inject_cmd matrix workload n fault target seed detector config max_print =
+  if matrix then print_matrix ()
+  else begin
+    let module I = Faultinject.Injector in
+    let fault =
+      match I.fault_of_string fault with
+      | Some f -> f
+      | None ->
+          failwith
+            (Printf.sprintf "unknown --fault %S (expected one of: %s)" fault
+               (String.concat ", " (List.map I.fault_name I.all_faults)))
+    in
+    let plan = { I.fault; target = parse_target target; seed } in
+    let spec = Workloads.Registry.find_exn workload in
+    let steps = Faultinject.Replay.capture (fun e -> spec.W.run (W.params ~n ()) e) in
+    let mutated, injections = I.apply plan steps in
+    Printf.printf "%s (n=%d): %d step(s), %d injection(s) of %s\n" workload n (Array.length steps)
+      (List.length injections) (I.fault_name fault);
+    List.iter (fun inj -> Format.printf "  %a@." I.pp_injection inj) injections;
+    let config = load_config config in
+    let sink = sink_for detector spec.W.model config in
+    let report = Recorder.replay (Faultinject.Replay.events_of_steps mutated) sink in
+    Printf.printf "%s on mutated trace:\n" report.Bug.detector;
+    print_findings ~max_print report
+  end
 
 let list_cmd () =
   List.iter
@@ -156,7 +286,60 @@ let trace_file_arg =
 
 let record_term = Term.(const record_cmd $ workload_arg $ n_arg $ annotate_arg $ out_arg)
 
-let replay_term = Term.(const replay_cmd $ trace_file_arg $ detector_arg $ config_arg $ max_bugs_arg)
+let lenient_arg =
+  let doc = "Skip malformed trace lines (with a warning each) and synthesize a program_end for truncated traces." in
+  Arg.(value & flag & info [ "lenient" ] ~doc)
+
+let replay_term = Term.(const replay_cmd $ trace_file_arg $ detector_arg $ config_arg $ max_bugs_arg $ lenient_arg)
+
+let case_arg =
+  let doc = "Explore a bugbench case by id instead of a workload." in
+  Arg.(value & opt (some string) None & info [ "case" ] ~docv:"ID" ~doc)
+
+let expect_arg =
+  let doc =
+    "Recovery predicate for the workload: comma-separated clauses, e.g. 'i64\\@0=1', 'nonzero\\@64', 'le\\@8<=16', \
+     'ifset\\@0=>64'."
+  in
+  Arg.(value & opt (some string) None & info [ "expect" ] ~docv:"PRED" ~doc)
+
+let fences_only_arg =
+  let doc = "Check crash images only at fences (the legacy sampling) instead of every store/CLF/fence." in
+  Arg.(value & flag & info [ "fences-only" ] ~doc)
+
+let max_images_arg =
+  let doc = "Crash images sampled per boundary." in
+  Arg.(value & opt int 64 & info [ "max-images" ] ~docv:"K" ~doc)
+
+let bisect_arg =
+  let doc = "Report only the minimal failing prefix, found by coarse fence scan plus fine window scan." in
+  Arg.(value & flag & info [ "bisect" ] ~doc)
+
+let crash_explore_term =
+  Term.(
+    const crash_explore_cmd $ case_arg $ workload_arg $ n_arg $ expect_arg $ fences_only_arg $ max_images_arg
+    $ bisect_arg)
+
+let fault_arg =
+  let doc = "Fault class: drop-clf, drop-fence, torn-store, duplicate-flush or evict-line." in
+  Arg.(value & opt string "drop-clf" & info [ "fault" ] ~docv:"FAULT" ~doc)
+
+let target_arg =
+  let doc = "Which candidate site(s) to mutate: nth:K, every:K, last, all or random:P." in
+  Arg.(value & opt string "nth:0" & info [ "target" ] ~docv:"TARGET" ~doc)
+
+let seed_arg =
+  let doc = "Seed for random targeting (the plan is deterministic in it)." in
+  Arg.(value & opt int 0x5eed & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let matrix_arg =
+  let doc = "Run the detector sensitivity matrix (every fault class on every clean workload) and exit." in
+  Arg.(value & flag & info [ "matrix" ] ~doc)
+
+let inject_term =
+  Term.(
+    const inject_cmd $ matrix_arg $ workload_arg $ n_arg $ fault_arg $ target_arg $ seed_arg $ detector_arg
+    $ config_arg $ max_bugs_arg)
 
 let characterize_term = Term.(const characterize_cmd $ workload_arg $ n_arg)
 
@@ -171,6 +354,10 @@ let cmds =
     Cmd.v (Cmd.info "bugs" ~doc:"Run the 78-case bug dataset against all four detectors") bugs_term;
     Cmd.v (Cmd.info "record" ~doc:"Record a workload's event trace to a file") record_term;
     Cmd.v (Cmd.info "replay" ~doc:"Replay a recorded trace into a detector") replay_term;
+    Cmd.v
+      (Cmd.info "crash-explore" ~doc:"Test recovery against every derivable crash image of a trace")
+      crash_explore_term;
+    Cmd.v (Cmd.info "inject" ~doc:"Mutate a workload trace with a fault and re-run the detector") inject_term;
     Cmd.v (Cmd.info "list" ~doc:"List available workloads") list_term;
   ]
 

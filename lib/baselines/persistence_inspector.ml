@@ -115,4 +115,5 @@ let sink t =
         bugs = List.rev_map (fun key -> Hashtbl.find t.bugs key) t.bug_keys;
         events_processed = t.events;
         stats = [ ("engaged", if t.engaged then 1.0 else 0.0) ];
+        failure = None;
       })

@@ -179,4 +179,5 @@ let sink t =
             ("reorganizations", float_of_int (reorganizations t));
             ("tree_max_size", float_of_int (Rangetree.stats t.tree).Rangetree.max_size);
           ];
+        failure = None;
       })

@@ -172,4 +172,5 @@ let sink t =
         bugs = List.rev_map (fun key -> Hashtbl.find t.bugs key) t.bug_keys;
         events_processed = t.events;
         stats = [ ("annotations", float_of_int t.annotations) ];
+        failure = None;
       })

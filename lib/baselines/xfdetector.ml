@@ -273,4 +273,5 @@ let sink t =
         bugs = List.rev_map (fun key -> Hashtbl.find t.bugs key) t.bug_keys;
         events_processed = t.events;
         stats = [ ("failure_points", float_of_int t.failure_points) ];
+        failure = None;
       })

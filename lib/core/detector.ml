@@ -430,7 +430,7 @@ let stats t =
   ]
 
 let report t =
-  { Bug.detector = "pmdebugger"; bugs = bugs_in_order t; events_processed = t.events; stats = stats t }
+  { Bug.detector = "pmdebugger"; bugs = bugs_in_order t; events_processed = t.events; stats = stats t; failure = None }
 
 let avg_tree_nodes_per_fence t = Space.avg_tree_nodes_per_fence t.dspace
 

@@ -1,0 +1,96 @@
+type boundaries = Every_op | Fences_only
+
+type failure = {
+  index : int;
+  step : Replay.step;
+  failing_images : int;
+  images_checked : int;
+}
+
+type result = {
+  boundaries_checked : int;
+  images_checked : int;
+  failures : failure list;
+}
+
+let is_boundary boundaries step =
+  match boundaries with
+  | Fences_only -> Replay.is_fence step
+  | Every_op -> Replay.is_store step || Replay.is_clf step || Replay.is_fence step
+
+let check_images st ~max_images ~recovery =
+  let images = Pmem.State.crash_images st ~max_images () in
+  let failing = List.fold_left (fun acc img -> if recovery img then acc else acc + 1) 0 images in
+  (failing, List.length images)
+
+let explore ?(boundaries = Every_op) ?(max_images = 64) ?(stop_at_first = false) ~recovery steps =
+  let st = Pmem.State.create () in
+  let n = Array.length steps in
+  let boundaries_checked = ref 0 and images_checked = ref 0 and failures = ref [] in
+  let i = ref 0 and stop = ref false in
+  while (not !stop) && !i < n do
+    let step = steps.(!i) in
+    Replay.apply st step;
+    if is_boundary boundaries step then begin
+      incr boundaries_checked;
+      let failing, checked = check_images st ~max_images ~recovery in
+      images_checked := !images_checked + checked;
+      if failing > 0 then begin
+        failures := { index = !i; step; failing_images = failing; images_checked = checked } :: !failures;
+        if stop_at_first then stop := true
+      end
+    end;
+    incr i
+  done;
+  { boundaries_checked = !boundaries_checked; images_checked = !images_checked; failures = List.rev !failures }
+
+let minimal_failing_prefix ?max_images ~recovery steps =
+  match (explore ?max_images ~stop_at_first:true ~recovery steps).failures with
+  | f :: _ -> Some f
+  | [] -> None
+
+(* Two-pass search for the minimal failing prefix: a coarse pass that
+   samples crash images only at fences (cheap — this is exactly what
+   Crash_check does per fence), then a fine event-by-event pass confined
+   to the window between the last passing fence and the failing one.
+   When every fence passes but the caller knows the trace is bad (an
+   inconsistency window that closes before the next fence), fall back to
+   the full fine scan. *)
+let bisect ?(max_images = 64) ~recovery steps =
+  let n = Array.length steps in
+  let st = Pmem.State.create () in
+  let last_ok = ref (-1) in
+  let coarse_fail = ref None in
+  let i = ref 0 in
+  while !coarse_fail = None && !i < n do
+    let step = steps.(!i) in
+    Replay.apply st step;
+    if Replay.is_fence step then begin
+      let failing, checked = check_images st ~max_images ~recovery in
+      if failing > 0 then coarse_fail := Some (!i, failing, checked) else last_ok := !i
+    end;
+    incr i
+  done;
+  match !coarse_fail with
+  | None -> minimal_failing_prefix ~max_images ~recovery steps
+  | Some (fail_at, _, _) ->
+      (* Replay the known-good prefix, then check every boundary inside
+         the window. The window always contains a failing boundary: its
+         right edge is one. *)
+      let st = Pmem.State.create () in
+      for j = 0 to !last_ok do
+        Replay.apply st steps.(j)
+      done;
+      let found = ref None in
+      let j = ref (!last_ok + 1) in
+      while !found = None && !j <= fail_at do
+        let step = steps.(!j) in
+        Replay.apply st step;
+        if is_boundary Every_op step then begin
+          let failing, checked = check_images st ~max_images ~recovery in
+          if failing > 0 then
+            found := Some { index = !j; step; failing_images = failing; images_checked = checked }
+        end;
+        incr j
+      done;
+      !found

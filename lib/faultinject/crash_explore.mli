@@ -1,0 +1,53 @@
+(** Crash-point exploration.
+
+    The cross-failure rule as shipped only samples crash images at
+    fences ({!Pmdebugger.Crash_check} via [crash_check_every_fence]).
+    A machine can lose power at {e any} instruction boundary, and an
+    inconsistency window can open after a store and close again at the
+    next fence — invisible to fence-only sampling. This explorer replays
+    a step trace into a fresh {!Pmem.State}, derives the possible
+    durable images at every store/CLF/fence boundary, runs the
+    workload's recovery predicate against each, and reports the exact
+    event index of every boundary where some image fails recovery. *)
+
+type boundaries =
+  | Every_op  (** check after every store, CLF and fence *)
+  | Fences_only  (** check only after fences (the legacy sampling) *)
+
+type failure = {
+  index : int;  (** index into the step trace of the failing boundary *)
+  step : Replay.step;  (** the event just applied when the crash is taken *)
+  failing_images : int;
+  images_checked : int;
+}
+
+type result = {
+  boundaries_checked : int;
+  images_checked : int;  (** total crash images derived and tested *)
+  failures : failure list;  (** in trace order *)
+}
+
+val explore :
+  ?boundaries:boundaries ->
+  ?max_images:int ->
+  ?stop_at_first:bool ->
+  recovery:(Pmem.Image.t -> bool) ->
+  Replay.step array ->
+  result
+(** Full scan. [max_images] bounds the images sampled per boundary
+    (default 64); [stop_at_first] stops at the first failing boundary. *)
+
+val minimal_failing_prefix :
+  ?max_images:int -> recovery:(Pmem.Image.t -> bool) -> Replay.step array -> failure option
+(** First failing boundary of the [Every_op] scan — by construction the
+    minimal trace prefix after which some crash image fails recovery. *)
+
+val bisect :
+  ?max_images:int -> recovery:(Pmem.Image.t -> bool) -> Replay.step array -> failure option
+(** Cheap minimal-prefix search: a coarse fence-only pass finds the
+    first failing fence, then a fine event-by-event pass covers only the
+    window after the last passing fence — far fewer image derivations on
+    long traces. Agrees with {!minimal_failing_prefix} unless an earlier
+    inconsistency window opened and closed again before a fence
+    (transient windows are only caught by the full scan, to which this
+    falls back when every fence passes). *)

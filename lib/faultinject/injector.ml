@@ -1,0 +1,122 @@
+open Pmtrace
+
+type fault = Drop_clf | Drop_fence | Torn_store | Duplicate_flush | Evict_line
+
+let all_faults = [ Drop_clf; Drop_fence; Torn_store; Duplicate_flush; Evict_line ]
+
+let fault_name = function
+  | Drop_clf -> "drop-clf"
+  | Drop_fence -> "drop-fence"
+  | Torn_store -> "torn-store"
+  | Duplicate_flush -> "duplicate-flush"
+  | Evict_line -> "evict-line"
+
+let fault_of_string = function
+  | "drop-clf" -> Some Drop_clf
+  | "drop-fence" -> Some Drop_fence
+  | "torn-store" -> Some Torn_store
+  | "duplicate-flush" -> Some Duplicate_flush
+  | "evict-line" -> Some Evict_line
+  | _ -> None
+
+type target = Nth of int | Every of int | Last | All | Random of float
+
+type plan = { fault : fault; target : target; seed : int }
+
+let plan ?(target = Nth 0) ?(seed = 0x5eed) fault = { fault; target; seed }
+
+(* splitmix-style hash: position selection must be a pure function of
+   (seed, candidate ordinal) so a plan is reproducible regardless of
+   evaluation order. *)
+let mix seed k =
+  let z = (seed + (k * 0x9e3779b9)) land max_int in
+  let z = (z lxor (z lsr 16)) * 0x85ebca6b land max_int in
+  let z = (z lxor (z lsr 13)) * 0xc2b2ae35 land max_int in
+  z lxor (z lsr 16)
+
+let unit_float seed k = float_of_int (mix seed k land 0xfffffff) /. float_of_int 0x10000000
+
+let store_span = function
+  | Replay.Ev (Event.Store { addr; size; _ }) -> Some (addr, size)
+  | Replay.Store_data { addr; data; _ } -> Some (addr, Bytes.length data)
+  | _ -> None
+
+let is_candidate fault step =
+  match fault with
+  | Drop_clf | Duplicate_flush -> Replay.is_clf step
+  | Drop_fence -> Replay.is_fence step
+  | Torn_store -> (
+      match store_span step with Some (_, size) -> size >= 2 | None -> false)
+  | Evict_line -> Replay.is_store step
+
+type injection = { at : int; fault : fault; note : string }
+
+let selected plan ~ordinal ~is_last =
+  match plan.target with
+  | Nth k -> ordinal = k
+  | Every k -> k > 0 && ordinal mod k = 0
+  | Last -> is_last
+  | All -> true
+  | Random p -> unit_float plan.seed ordinal < p
+
+let tear_at addr size =
+  let line_end = Pmem.Addr.line_base addr + Pmem.Addr.cache_line_size in
+  if addr + size > line_end then line_end - addr else max 1 (size / 2)
+
+let torn step =
+  match step with
+  | Replay.Ev (Event.Store s) ->
+      let kept = tear_at s.addr s.size in
+      (Replay.Ev (Event.Store { s with size = kept }), kept)
+  | Replay.Store_data s ->
+      let kept = tear_at s.addr (Bytes.length s.data) in
+      (Replay.Store_data { s with data = Bytes.sub s.data 0 kept }, kept)
+  | _ -> (step, 0)
+
+let describe step = Format.asprintf "%a" Replay.pp step
+
+let apply (plan : plan) steps =
+  let n = Array.length steps in
+  (* Candidate ordinals are assigned in trace order; Last needs the
+     total count up front. *)
+  let total = ref 0 in
+  Array.iter (fun s -> if is_candidate plan.fault s then incr total) steps;
+  let out = ref [] and injections = ref [] and ordinal = ref 0 in
+  let emit s = out := s :: !out in
+  let inject at note = injections := { at; fault = plan.fault; note } :: !injections in
+  for i = 0 to n - 1 do
+    let step = steps.(i) in
+    if not (is_candidate plan.fault step) then emit step
+    else begin
+      let hit = selected plan ~ordinal:!ordinal ~is_last:(!ordinal = !total - 1) in
+      incr ordinal;
+      if not hit then emit step
+      else
+        match plan.fault with
+        | Drop_clf -> inject i (Printf.sprintf "dropped %s" (describe step))
+        | Drop_fence -> inject i (Printf.sprintf "dropped %s" (describe step))
+        | Duplicate_flush ->
+            emit step;
+            emit step;
+            inject i (Printf.sprintf "duplicated %s" (describe step))
+        | Torn_store ->
+            let step', kept = torn step in
+            emit step';
+            inject i (Printf.sprintf "tore %s: kept first %d byte(s)" (describe step) kept)
+        | Evict_line -> (
+            emit step;
+            match store_span step with
+            | Some (addr, size) ->
+                (* Evict the last line the store touched: for multi-line
+                   writes that is the line most likely to still be
+                   pending when the workload flushes front-to-back. *)
+                let line = Pmem.Addr.line_of (addr + size - 1) in
+                emit (Replay.Evict { line });
+                inject i (Printf.sprintf "evicted line %d after %s" line (describe step))
+            | None -> ())
+    end
+  done;
+  (Array.of_list (List.rev !out), List.rev !injections)
+
+let pp_injection ppf { at; fault; note } =
+  Format.fprintf ppf "@[#%d %s: %s@]" at (fault_name fault) note

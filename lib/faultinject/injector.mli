@@ -1,0 +1,47 @@
+(** Deterministic fault injection into step traces.
+
+    Mutates a recorded event stream the way buggy code or hostile
+    hardware would: lost writebacks, lost fences, torn stores, doubled
+    flushes, spontaneous evictions. A seeded {!plan} selects positions
+    as a pure function of (seed, candidate ordinal), so a given plan on
+    a given trace always produces the same mutation — the property the
+    detector sensitivity matrix and regression tests rely on. *)
+
+type fault =
+  | Drop_clf  (** remove a CLF: its store is never written back *)
+  | Drop_fence  (** remove a fence: pending writebacks are never drained *)
+  | Torn_store
+      (** truncate a store at the cache-line boundary (or half width):
+          the tail bytes never reach the cache *)
+  | Duplicate_flush  (** emit a CLF twice *)
+  | Evict_line
+      (** insert a spontaneous eviction of the store's last line —
+          invisible to detectors, visible to crash images *)
+
+val all_faults : fault list
+
+val fault_name : fault -> string
+
+val fault_of_string : string -> fault option
+
+type target =
+  | Nth of int  (** the k-th candidate occurrence (0-based) *)
+  | Every of int  (** every k-th candidate *)
+  | Last  (** the final candidate — e.g. the trace's closing fence *)
+  | All
+  | Random of float  (** each candidate independently with probability p *)
+
+type plan = { fault : fault; target : target; seed : int }
+
+val plan : ?target:target -> ?seed:int -> fault -> plan
+(** Defaults: [target = Nth 0], fixed seed. *)
+
+type injection = { at : int; fault : fault; note : string }
+(** One performed mutation; [at] indexes the {e original} trace. *)
+
+val apply : plan -> Replay.step array -> Replay.step array * injection list
+(** Pure: same plan and trace give the same mutated trace. The
+    injection list records every mutation performed (possibly empty if
+    no candidate matched the target). *)
+
+val pp_injection : Format.formatter -> injection -> unit

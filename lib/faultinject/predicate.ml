@@ -1,0 +1,95 @@
+type clause =
+  | I64_eq of int * int64
+  | U8_eq of int * int
+  | Nonzero of int
+  | Zero of int
+  | Le of int * int
+  | Implies_nonzero of int * int
+
+type t = clause list
+
+let clause_to_string = function
+  | I64_eq (a, v) -> Printf.sprintf "i64@%d=%Ld" a v
+  | U8_eq (a, v) -> Printf.sprintf "u8@%d=%d" a v
+  | Nonzero a -> Printf.sprintf "nonzero@%d" a
+  | Zero a -> Printf.sprintf "zero@%d" a
+  | Le (a, b) -> Printf.sprintf "le@%d<=%d" a b
+  | Implies_nonzero (a, b) -> Printf.sprintf "ifset@%d=>%d" a b
+
+let to_string t = String.concat "," (List.map clause_to_string t)
+
+let parse_clause s =
+  let fail () = Error (Printf.sprintf "cannot parse recovery clause %S" s) in
+  let int_of x = int_of_string_opt x in
+  match String.index_opt s '@' with
+  | None -> fail ()
+  | Some i -> (
+      let op = String.sub s 0 i in
+      let rest = String.sub s (i + 1) (String.length s - i - 1) in
+      let split_on sep =
+        match String.index_opt rest sep.[0] with
+        | Some j when String.length sep = 1 ->
+            Some (String.sub rest 0 j, String.sub rest (j + 1) (String.length rest - j - 1))
+        | _ -> (
+            (* two-char separators "<=" and "=>" *)
+            let rec find k =
+              if k + 2 > String.length rest then None
+              else if String.sub rest k 2 = sep then
+                Some (String.sub rest 0 k, String.sub rest (k + 2) (String.length rest - k - 2))
+              else find (k + 1)
+            in
+            if String.length sep = 2 then find 0 else None)
+      in
+      match op with
+      | "i64" -> (
+          match split_on "=" with
+          | Some (a, v) -> (
+              match (int_of a, Int64.of_string_opt v) with
+              | Some a, Some v -> Ok (I64_eq (a, v))
+              | _ -> fail ())
+          | None -> fail ())
+      | "u8" -> (
+          match split_on "=" with
+          | Some (a, v) -> (
+              match (int_of a, int_of v) with Some a, Some v -> Ok (U8_eq (a, v)) | _ -> fail ())
+          | None -> fail ())
+      | "nonzero" -> ( match int_of rest with Some a -> Ok (Nonzero a) | None -> fail ())
+      | "zero" -> ( match int_of rest with Some a -> Ok (Zero a) | None -> fail ())
+      | "le" -> (
+          match split_on "<=" with
+          | Some (a, b) -> (
+              match (int_of a, int_of b) with Some a, Some b -> Ok (Le (a, b)) | _ -> fail ())
+          | None -> fail ())
+      | "ifset" -> (
+          match split_on "=>" with
+          | Some (a, b) -> (
+              match (int_of a, int_of b) with
+              | Some a, Some b -> Ok (Implies_nonzero (a, b))
+              | _ -> fail ())
+          | None -> fail ())
+      | _ -> fail ())
+
+let parse s =
+  let parts = String.split_on_char ',' s |> List.map String.trim |> List.filter (fun p -> p <> "") in
+  if parts = [] then Error "empty recovery expression"
+  else
+    List.fold_left
+      (fun acc part ->
+        match (acc, parse_clause part) with
+        | Error _, _ -> acc
+        | _, Error e -> Error e
+        | Ok cs, Ok c -> Ok (c :: cs))
+      (Ok []) parts
+    |> Result.map List.rev
+
+let eval_clause img = function
+  | I64_eq (a, v) -> Pmem.Image.get_i64 img a = v
+  | U8_eq (a, v) -> Pmem.Image.get_u8 img a = v
+  | Nonzero a -> Pmem.Image.get_i64 img a <> 0L
+  | Zero a -> Pmem.Image.get_i64 img a = 0L
+  | Le (a, b) -> Int64.compare (Pmem.Image.get_i64 img a) (Pmem.Image.get_i64 img b) <= 0
+  | Implies_nonzero (a, b) -> Pmem.Image.get_i64 img a = 0L || Pmem.Image.get_i64 img b <> 0L
+
+let eval t img = List.for_all (eval_clause img) t
+
+let recovery t = fun img -> eval t img

@@ -1,0 +1,83 @@
+open Pmtrace
+
+type step =
+  | Ev of Event.t
+  | Store_data of { addr : int; data : bytes; tid : int }
+  | Evict of { line : int }
+
+let event_of_step = function
+  | Ev ev -> Some ev
+  | Store_data { addr; data; tid } -> Some (Event.Store { addr; size = Bytes.length data; tid })
+  | Evict _ -> None
+
+let events_of_steps steps =
+  Array.of_list (List.filter_map event_of_step (Array.to_list steps))
+
+let steps_of_trace trace = Array.map (fun ev -> Ev ev) trace
+
+let ends_with_program_end steps =
+  let n = Array.length steps in
+  n > 0 && (match steps.(n - 1) with Ev Event.Program_end -> true | _ -> false)
+
+let ensure_end steps =
+  if ends_with_program_end steps then steps else Array.append steps [| Ev Event.Program_end |]
+
+let capture ?(ensure_program_end = true) run =
+  let engine = Engine.create () in
+  let vol = Pmem.State.volatile (Engine.pm engine) in
+  let buf = ref [] and n = ref 0 in
+  let sink =
+    Sink.make ~name:"capture"
+      ~on_event:(fun ev ->
+        let step =
+          match ev with
+          | Event.Store { addr; size; tid } ->
+              (* The engine applies the store to the volatile image
+                 before dispatching, so the payload is readable here —
+                 this is how a trace replay reconstructs contents the
+                 plain event stream does not carry. *)
+              Store_data { addr; data = Pmem.Image.read vol ~addr ~len:size; tid }
+          | ev -> Ev ev
+        in
+        buf := step :: !buf;
+        incr n)
+      ~finish:(fun () -> Bug.empty_report "capture")
+  in
+  Engine.attach engine sink;
+  run engine;
+  Engine.detach_all engine;
+  let arr = Array.make (max !n 1) (Ev Event.Program_end) in
+  let rec fill i = function
+    | [] -> ()
+    | s :: rest ->
+        arr.(i) <- s;
+        fill (i - 1) rest
+  in
+  fill (!n - 1) !buf;
+  let steps = if !n = 0 then [||] else arr in
+  if ensure_program_end then ensure_end steps else steps
+
+(* Stores replayed from a payloadless event stream still need bytes:
+   fill with a deterministic nonzero pattern so recovery predicates of
+   the "field is nonzero" family behave sensibly. *)
+let synthetic_payload ~addr ~size =
+  Bytes.init size (fun i -> Char.chr ((((addr + i) lxor 0x5a) land 0xff) lor 1))
+
+let apply st = function
+  | Store_data { addr; data; _ } -> Pmem.State.store st ~addr data
+  | Ev (Event.Store { addr; size; _ }) -> Pmem.State.store st ~addr (synthetic_payload ~addr ~size)
+  | Ev (Event.Clf { addr; size; _ }) -> Pmem.State.clf_range st ~lo:addr ~hi:(addr + size)
+  | Ev (Event.Fence _) -> Pmem.State.fence st
+  | Evict { line } -> Pmem.State.evict st ~line
+  | Ev _ -> ()
+
+let is_store = function Ev (Event.Store _) | Store_data _ -> true | _ -> false
+
+let is_clf = function Ev (Event.Clf _) -> true | _ -> false
+
+let is_fence = function Ev (Event.Fence _) -> true | _ -> false
+
+let pp ppf = function
+  | Ev ev -> Event.pp ppf ev
+  | Store_data { addr; data; tid } -> Format.fprintf ppf "store[t%d] %d+%d (captured)" tid addr (Bytes.length data)
+  | Evict { line } -> Format.fprintf ppf "evict line %d" line

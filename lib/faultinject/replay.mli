@@ -1,0 +1,45 @@
+(** Replayable step traces.
+
+    The plain {!Pmtrace.Event.t} stream is enough for the rule-based
+    detectors, but crash-point exploration must rebuild actual PM
+    contents, which [Store] events do not carry. A [step] augments the
+    event stream with captured store payloads and with
+    environment-injected actions (spontaneous evictions) that detectors
+    must not see. *)
+
+open Pmtrace
+
+type step =
+  | Ev of Event.t  (** plain event; a payloadless [Store] replays with a synthetic fill *)
+  | Store_data of { addr : int; data : bytes; tid : int }
+      (** a store with its captured payload *)
+  | Evict of { line : int }
+      (** injected spontaneous eviction — applied to the PM state during
+          replay but invisible to detectors *)
+
+val capture : ?ensure_program_end:bool -> (Engine.t -> unit) -> step array
+(** Run a program on a fresh engine, recording every event and snapping
+    each store's payload from the volatile image. Appends a
+    [Program_end] step when the program did not emit one (default). *)
+
+val apply : Pmem.State.t -> step -> unit
+(** Apply one step to a persistency state: stores write (captured or
+    synthetic) bytes, CLFs writeback, fences drain, evictions persist a
+    line directly. Non-memory events are no-ops. *)
+
+val event_of_step : step -> Event.t option
+(** [None] only for [Evict]. *)
+
+val events_of_steps : step array -> Event.t array
+(** Project to the detector-visible event stream (evictions dropped). *)
+
+val steps_of_trace : Event.t array -> step array
+
+val ensure_end : step array -> step array
+(** Append a [Program_end] step unless the trace already ends with one. *)
+
+val is_store : step -> bool
+val is_clf : step -> bool
+val is_fence : step -> bool
+
+val pp : Format.formatter -> step -> unit

@@ -1,0 +1,46 @@
+(** Detector sensitivity self-test: a mutation-testing matrix.
+
+    The bugbench dataset shows the detector flags known-bad programs;
+    this matrix shows the opposite direction — that for each injected
+    fault class on each {e clean} program, at least one PMDebugger rule
+    fires. A detector change that silently blinds a rule turns a matrix
+    cell empty and fails the suite. *)
+
+open Pmtrace
+
+val clean_workloads : (string * (Engine.t -> unit)) list
+(** Named bug-free reference programs, each shaped so every fault class
+    has a candidate site (multi-line stores, per-line CLFs, load-bearing
+    closing fence). *)
+
+val core_faults : Injector.fault list
+(** The detector-visible fault classes: drop-CLF, drop-fence,
+    torn-store, duplicate-flush. [Evict_line] is excluded — eviction is
+    the environment's doing, and the detector must {e not} flag it. *)
+
+val default_plan : Injector.fault -> Injector.plan
+(** Per-fault default placement: the closing fence for [Drop_fence]
+    (mid-trace drops are healed by the next fence), the first candidate
+    otherwise. *)
+
+type cell = {
+  fault : Injector.fault;
+  injections : int;  (** mutations actually performed; 0 means no candidate site *)
+  detected_by : Bug.kind list;  (** PMDebugger rules that fired on the mutated trace *)
+}
+
+type row = {
+  workload : string;
+  baseline_kinds : Bug.kind list;  (** findings on the unmutated trace; must be [] *)
+  cells : cell list;
+}
+
+val run_row : ?faults:Injector.fault list -> string * (Engine.t -> unit) -> row
+
+val run_matrix : ?faults:Injector.fault list -> ?workloads:(string * (Engine.t -> unit)) list -> unit -> row list
+
+val row_ok : row -> bool
+(** Baseline clean, and every cell both injected something and was
+    detected by at least one rule. *)
+
+val matrix_ok : row list -> bool

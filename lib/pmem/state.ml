@@ -53,6 +53,27 @@ let clf t ~addr =
 let clf_range t ~lo ~hi =
   List.iter (fun line -> clf t ~addr:(line * Addr.cache_line_size)) (Addr.lines_of_range ~lo ~hi)
 
+let copy t =
+  {
+    vol = Image.copy t.vol;
+    dur = Image.copy t.dur;
+    lines = Hashtbl.copy t.lines;
+    n_stores = t.n_stores;
+    n_clfs = t.n_clfs;
+    n_fences = t.n_fences;
+    n_drained = t.n_drained;
+  }
+
+(* Spontaneous cache eviction: the line reaches the persistence domain
+   without any CLF or fence having been issued. Unlike a CLF, the write
+   is durable immediately (there is no writeback-pending window). *)
+let evict t ~line =
+  match line_state t line with
+  | Clean -> ()
+  | Dirty | Writeback_pending ->
+      Image.blit_line ~src:t.vol ~dst:t.dur ~line;
+      set_line t line Clean
+
 let fence t =
   t.n_fences <- t.n_fences + 1;
   let pending = Hashtbl.fold (fun line s acc -> if s = Writeback_pending then line :: acc else acc) t.lines [] in
@@ -87,21 +108,41 @@ let xorshift seed =
 
 let crash_images t ?(max_images = 64) () =
   let undrained =
-    Hashtbl.fold (fun line _ acc -> line :: acc) t.lines [] |> List.sort compare
+    Hashtbl.fold (fun line _ acc -> line :: acc) t.lines [] |> List.sort compare |> Array.of_list
   in
-  let n = List.length undrained in
-  let image_of_mask mask =
+  let n = Array.length undrained in
+  (* Each possible image is a subset of undrained lines persisted on top
+     of the durable image. Subsets are bool arrays, not int masks:
+     [1 lsl i] is undefined once i reaches the word size, and sampling
+     produced duplicate masks that inflated violation counts. *)
+  let image_of_subset keep =
     let img = Image.copy t.dur in
-    List.iteri (fun i line -> if mask land (1 lsl i) <> 0 then Image.blit_line ~src:t.vol ~dst:img ~line) undrained;
+    Array.iteri (fun i line -> if keep.(i) then Image.blit_line ~src:t.vol ~dst:img ~line) undrained;
     img
   in
   if n = 0 then [ Image.copy t.dur ]
   else if n <= 20 && 1 lsl n <= max_images then
-    List.init (1 lsl n) image_of_mask
+    List.init (1 lsl n) (fun mask -> image_of_subset (Array.init n (fun i -> mask land (1 lsl i) <> 0)))
   else begin
     let rand = xorshift (n * 2654435761) in
-    let sampled = List.init (max 0 (max_images - 2)) (fun _ -> image_of_mask (rand ())) in
-    image_of_mask 0 :: image_of_mask (-1) :: sampled
+    let seen = Hashtbl.create (2 * max_images) in
+    let key keep = String.init n (fun i -> if keep.(i) then '1' else '0') in
+    let images = ref [] in
+    let add keep =
+      let k = key keep in
+      if not (Hashtbl.mem seen k) then begin
+        Hashtbl.add seen k ();
+        images := image_of_subset keep :: !images
+      end
+    in
+    (* The two extremes first: nothing extra persisted / everything
+       persisted. *)
+    add (Array.make n false);
+    add (Array.make n true);
+    for _ = 1 to max 0 (max_images - 2) do
+      add (Array.init n (fun _ -> rand () land 1 = 1))
+    done;
+    List.rev !images
   end
 
 let stats t =

@@ -50,6 +50,18 @@ val clf : t -> addr:int -> unit
 val clf_range : t -> lo:int -> hi:int -> unit
 (** CLF every line touched by [\[lo,hi)]. *)
 
+val copy : t -> t
+(** Deep snapshot: images, line states and counters. The copy evolves
+    independently (used by crash-point exploration to restart from a
+    known-good prefix). *)
+
+val evict : t -> line:int -> unit
+(** Model a spontaneous cache eviction: the line's current (volatile)
+    contents reach the persistence domain and the line becomes [Clean],
+    with no CLF or fence issued. A no-op on [Clean] lines. Hardware may
+    evict any dirty line at any time; fault injection uses this to pin
+    the non-determinism to a chosen point. *)
+
 val fence : t -> unit
 (** Drain: every [Writeback_pending] line becomes durable and [Clean].
     [Dirty] lines are unaffected (their CLF has not been issued). *)
@@ -69,9 +81,10 @@ val crash_images : t -> ?max_images:int -> unit -> Image.t list
     image; each dirty/pending line is independently either lost or
     persisted. Enumerates exhaustively when there are at most
     [log2 max_images] undrained lines, otherwise samples
-    deterministically (seeded) and always includes the two extremes
-    (nothing extra persisted / everything persisted). Default
-    [max_images] is 64. *)
+    deterministically (seeded), always includes the two extremes
+    (nothing extra persisted / everything persisted), and dedupes
+    repeated samples — so fewer than [max_images] distinct images may be
+    returned. Default [max_images] is 64. *)
 
 val stats : t -> (string * int) list
 (** Counters: stores, clfs, fences, drained lines. *)

@@ -67,4 +67,5 @@ let sink t =
         events_processed = t.events;
         stats =
           [ ("failure_points", float_of_int t.failure_points); ("crash_states", float_of_int t.states) ];
+        failure = None;
       })

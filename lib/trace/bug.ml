@@ -48,9 +48,18 @@ let pp ppf b =
   if b.seq >= 0 then Format.fprintf ppf " (seq %d)" b.seq;
   if b.detail <> "" then Format.fprintf ppf ": %s" b.detail
 
-type report = { detector : string; bugs : t list; events_processed : int; stats : (string * float) list }
+type report = {
+  detector : string;
+  bugs : t list;
+  events_processed : int;
+  stats : (string * float) list;
+  failure : string option;
+      (* When the sink raised mid-run and was quarantined by the engine,
+         the exception text; the report then covers the prefix of the
+         trace the sink saw before failing. *)
+}
 
-let empty_report detector = { detector; bugs = []; events_processed = 0; stats = [] }
+let empty_report detector = { detector; bugs = []; events_processed = 0; stats = []; failure = None }
 
 let count_kind r k = List.length (List.filter (fun b -> b.kind = k) r.bugs)
 
@@ -60,5 +69,8 @@ let kinds_found r = List.filter (has_kind r) all_kinds
 
 let pp_report ppf r =
   Format.fprintf ppf "@[<v>%s: %d bug(s) in %d events@," r.detector (List.length r.bugs) r.events_processed;
+  (match r.failure with
+  | Some msg -> Format.fprintf ppf "  QUARANTINED: %s@," msg
+  | None -> ());
   List.iter (fun b -> Format.fprintf ppf "  %a@," pp b) r.bugs;
   Format.fprintf ppf "@]"

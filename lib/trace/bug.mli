@@ -37,6 +37,10 @@ type report = {
   events_processed : int;
   stats : (string * float) list;
       (** detector-specific counters, e.g. tree sizes, reorganizations *)
+  failure : string option;
+      (** [Some msg] when the sink raised mid-run and was quarantined by
+          the engine: [msg] is the exception text and the report covers
+          only the trace prefix the sink processed before failing. *)
 }
 
 val empty_report : string -> report

@@ -1,6 +1,17 @@
+(* Each attached sink lives in a slot so a sink that raises can be
+   quarantined — taken out of the dispatch path with its exception
+   recorded — without disturbing sibling sinks. *)
+type slot = {
+  sink : Sink.t;
+  mutable events_seen : int;
+  mutable failure : string option;
+}
+
 type t = {
   state : Pmem.State.t;
-  mutable sinks : Sink.t list;
+  mutable slots_rev : slot list; (* reverse attach order: O(1) attach *)
+  mutable active : slot array; (* dispatch cache, attach order, healthy only *)
+  mutable active_dirty : bool;
   mutable instrument : bool;
   mutable tid : int;
   mutable seq : int;
@@ -13,7 +24,9 @@ type t = {
 let create ?initial_size () =
   {
     state = Pmem.State.create ?initial_size ();
-    sinks = [];
+    slots_rev = [];
+    active = [||];
+    active_dirty = false;
     instrument = true;
     tid = 0;
     seq = 0;
@@ -25,9 +38,31 @@ let create ?initial_size () =
 
 let pm t = t.state
 
-let attach t sink = t.sinks <- t.sinks @ [ sink ]
+let attach t sink =
+  t.slots_rev <- { sink; events_seen = 0; failure = None } :: t.slots_rev;
+  t.active_dirty <- true
 
-let detach_all t = t.sinks <- []
+let detach_all t =
+  t.slots_rev <- [];
+  t.active <- [||];
+  t.active_dirty <- false
+
+let slots_in_order t = List.rev t.slots_rev
+
+let sinks t = List.map (fun s -> s.sink) (slots_in_order t)
+
+let refresh_active t =
+  t.active <- Array.of_list (List.filter (fun s -> s.failure = None) (slots_in_order t));
+  t.active_dirty <- false
+
+let quarantine t slot exn =
+  slot.failure <- Some (Printexc.to_string exn);
+  t.active_dirty <- true
+
+let quarantined t =
+  List.filter_map
+    (fun s -> match s.failure with Some msg -> Some (s.sink.Sink.name, msg) | None -> None)
+    (slots_in_order t)
 
 let set_instrumentation t b = t.instrument <- b
 
@@ -42,11 +77,34 @@ let dispatch t ev =
   | Event.Clf _ -> t.n_clfs <- t.n_clfs + 1
   | Event.Fence _ -> t.n_fences <- t.n_fences + 1
   | _ -> t.n_other <- t.n_other + 1);
-  if t.instrument then
-    match t.sinks with
-    | [] -> ()
-    | [ s ] -> s.Sink.on_event ev
-    | sinks -> List.iter (fun s -> s.Sink.on_event ev) sinks
+  if t.instrument then begin
+    if t.active_dirty then refresh_active t;
+    let slots = t.active in
+    for i = 0 to Array.length slots - 1 do
+      let slot = slots.(i) in
+      if slot.failure = None then begin
+        match slot.sink.Sink.on_event ev with
+        | () -> slot.events_seen <- slot.events_seen + 1
+        | exception exn -> quarantine t slot exn
+      end
+    done
+  end
+
+let finish_slot slot =
+  let base =
+    match slot.sink.Sink.finish () with
+    | report -> report
+    | exception exn ->
+        slot.failure <-
+          Some
+            (match slot.failure with
+            | None -> Printf.sprintf "finish raised: %s" (Printexc.to_string exn)
+            | Some prior -> prior);
+        { (Bug.empty_report slot.sink.Sink.name) with Bug.events_processed = slot.events_seen }
+  in
+  match slot.failure with None -> base | Some msg -> { base with Bug.failure = Some msg }
+
+let finish_all t = List.map finish_slot (slots_in_order t)
 
 let emit = dispatch
 

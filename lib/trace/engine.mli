@@ -21,8 +21,23 @@ val create : ?initial_size:int -> unit -> t
 val pm : t -> Pmem.State.t
 
 val attach : t -> Sink.t -> unit
+(** Constant-time; sinks receive events in attach order. *)
 
 val detach_all : t -> unit
+
+val sinks : t -> Sink.t list
+(** Attached sinks in attach order (including quarantined ones). *)
+
+val quarantined : t -> (string * string) list
+(** [(sink name, exception text)] for every sink that raised from
+    [on_event] or [finish] and was isolated. A quarantined sink stops
+    receiving events; sibling sinks are unaffected. *)
+
+val finish_all : t -> Bug.report list
+(** Finish every attached sink, in attach order. A sink whose [finish]
+    raises yields an empty report instead of killing the run; any sink
+    that was quarantined (during the run or at finish) gets the
+    exception recorded in its report's [failure] field. *)
 
 val set_instrumentation : t -> bool -> unit
 (** When off, events are not dispatched (PM semantics still apply). *)

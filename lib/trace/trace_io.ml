@@ -110,16 +110,57 @@ let of_string text =
   in
   go [] 1 lines
 
+type lenient = { trace : Event.t array; skipped : (int * string) list; synthesized_end : bool }
+
+let of_string_lenient ?(synthesize_end = true) text =
+  let lines = String.split_on_char '\n' text in
+  let events = ref [] and n = ref 0 and skipped = ref [] in
+  List.iteri
+    (fun i line ->
+      match event_of_line line with
+      | Ok None -> ()
+      | Ok (Some ev) ->
+          events := ev :: !events;
+          incr n
+      | Error msg -> skipped := (i + 1, msg) :: !skipped)
+    lines;
+  let truncated = match !events with Event.Program_end :: _ -> false | _ -> true in
+  let synthesized_end = synthesize_end && truncated in
+  if synthesized_end then begin
+    events := Event.Program_end :: !events;
+    incr n
+  end;
+  let trace = Array.make (max !n 1) Event.Program_end in
+  let rec fill i = function
+    | [] -> ()
+    | ev :: rest ->
+        trace.(i) <- ev;
+        fill (i - 1) rest
+  in
+  fill (!n - 1) !events;
+  let trace = if !n = 0 then [||] else trace in
+  { trace; skipped = List.rev !skipped; synthesized_end }
+
+(* All file I/O below closes its channel on any exit path: a write
+   failure or a short read must not leak the descriptor. *)
+
 let save path trace =
   let oc = open_out path in
-  output_string oc (to_string trace);
-  close_out oc
+  Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () -> output_string oc (to_string trace))
 
-let load path =
-  try
-    let ic = open_in path in
-    let n = in_channel_length ic in
-    let body = really_input_string ic n in
-    close_in ic;
-    of_string body
-  with Sys_error msg -> Error msg
+let read_file path =
+  match open_in_bin path with
+  | exception Sys_error msg -> Error msg
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          try Ok (really_input_string ic (in_channel_length ic))
+          with
+          | Sys_error msg -> Error msg
+          | End_of_file -> Error (Printf.sprintf "%s: truncated read" path))
+
+let load path = Result.bind (read_file path) of_string
+
+let load_lenient ?synthesize_end path =
+  Result.map (of_string_lenient ?synthesize_end) (read_file path)

@@ -35,6 +35,29 @@ val to_string : Recorder.trace -> string
 val of_string : string -> (Recorder.trace, string) result
 (** Fails with a line-numbered message on the first malformed line. *)
 
+type lenient = {
+  trace : Event.t array;
+  skipped : (int * string) list;  (** (line number, error) per malformed line *)
+  synthesized_end : bool;
+      (** true when the input did not end with [program_end] and one was
+          appended (unless [synthesize_end:false]). *)
+}
+
+val of_string_lenient : ?synthesize_end:bool -> string -> lenient
+(** Best-effort parse: malformed lines are skipped and collected as
+    per-line diagnostics instead of aborting, and a truncated trace
+    (one not ending in [program_end]) gets a synthesized terminator so
+    end-of-run detector rules still fire. [synthesize_end] defaults to
+    [true]. *)
+
 val save : string -> Recorder.trace -> unit
+(** Raises [Sys_error] on write failure; the channel is closed on every
+    exit path. *)
 
 val load : string -> (Recorder.trace, string) result
+(** Strict parse of a trace file. I/O failures (including short reads)
+    are reported as [Error] and never leak the input channel. *)
+
+val load_lenient : ?synthesize_end:bool -> string -> (lenient, string) result
+(** [load] with {!of_string_lenient} parsing; [Error] only for I/O
+    failures. *)

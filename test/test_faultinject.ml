@@ -1,0 +1,259 @@
+open Pmtrace
+module FI = Faultinject
+
+(* ------------------------------------------------------------------ *)
+(* Capture / replay.                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_capture_payloads () =
+  let steps =
+    FI.Replay.capture (fun e ->
+        Engine.store_string e ~addr:100 "hello";
+        Engine.persist e ~addr:100 ~size:5)
+  in
+  (* store + clf + fence + synthesized program_end *)
+  Alcotest.(check int) "step count" 4 (Array.length steps);
+  (match steps.(0) with
+  | FI.Replay.Store_data { addr; data; _ } ->
+      Alcotest.(check int) "addr" 100 addr;
+      Alcotest.(check string) "payload captured" "hello" (Bytes.to_string data)
+  | _ -> Alcotest.fail "expected captured store");
+  (* Replaying the steps reproduces the durable contents. *)
+  let st = Pmem.State.create () in
+  Array.iter (FI.Replay.apply st) steps;
+  Alcotest.(check string) "durable after replay" "hello"
+    (Pmem.Image.get_string (Pmem.State.durable st) ~addr:100 ~len:5)
+
+let test_events_projection () =
+  let steps =
+    [| FI.Replay.Ev (Event.Fence { tid = 0 }); FI.Replay.Evict { line = 3 }; FI.Replay.Ev Event.Program_end |]
+  in
+  let events = FI.Replay.events_of_steps steps in
+  Alcotest.(check int) "evictions invisible to detectors" 2 (Array.length events)
+
+(* ------------------------------------------------------------------ *)
+(* Crash-point explorer.                                               *)
+(* ------------------------------------------------------------------ *)
+
+let magic = 0xC0FFEEL
+
+(* flag persisted before the data it guards: the canonical cross-failure
+   bug. Recovery: flag set implies data = magic. *)
+let flag_before_data e =
+  Engine.register_pmem e ~base:0 ~size:4096;
+  Engine.store_i64 e ~addr:0 1L;
+  Engine.persist e ~addr:0 ~size:8;
+  Engine.store_i64 e ~addr:64 magic;
+  Engine.persist e ~addr:64 ~size:8;
+  Engine.program_end e
+
+let data_then_flag e =
+  Engine.register_pmem e ~base:0 ~size:4096;
+  Engine.store_i64 e ~addr:64 magic;
+  Engine.persist e ~addr:64 ~size:8;
+  Engine.store_i64 e ~addr:0 1L;
+  Engine.persist e ~addr:0 ~size:8;
+  Engine.program_end e
+
+let recovery_flag_data img =
+  Pmem.Image.get_i64 img 0 = 0L || Pmem.Image.get_i64 img 64 = magic
+
+let test_explorer_finds_cross_failure () =
+  let steps = FI.Replay.capture flag_before_data in
+  let result = FI.Crash_explore.explore ~recovery:recovery_flag_data steps in
+  Alcotest.(check bool) "failures found" true (result.FI.Crash_explore.failures <> []);
+  (* Every-op exploration pins the earliest exposure: right after the
+     flag store (index 1, after Register_pmem), where an eviction could
+     make the flag durable before the data exists. Fence-only sampling
+     only sees it once the fence drains the flag line (index 3). *)
+  (match FI.Crash_explore.minimal_failing_prefix ~recovery:recovery_flag_data steps with
+  | None -> Alcotest.fail "expected a minimal failing prefix"
+  | Some f ->
+      Alcotest.(check bool) "earliest exposure is the flag store" true (FI.Replay.is_store f.FI.Crash_explore.step);
+      Alcotest.(check int) "exact event index" 1 f.FI.Crash_explore.index);
+  let coarse =
+    FI.Crash_explore.explore ~boundaries:FI.Crash_explore.Fences_only ~stop_at_first:true
+      ~recovery:recovery_flag_data steps
+  in
+  match coarse.FI.Crash_explore.failures with
+  | [ f ] ->
+      Alcotest.(check bool) "fence-only failure at a fence" true (FI.Replay.is_fence f.FI.Crash_explore.step);
+      Alcotest.(check int) "fence index" 3 f.FI.Crash_explore.index
+  | _ -> Alcotest.fail "fence-only pass should report exactly one failure"
+
+let test_explorer_clean_program () =
+  let steps = FI.Replay.capture data_then_flag in
+  let result = FI.Crash_explore.explore ~recovery:recovery_flag_data steps in
+  Alcotest.(check int) "no failures on correct ordering" 0 (List.length result.FI.Crash_explore.failures);
+  Alcotest.(check bool) "boundaries were checked" true (result.FI.Crash_explore.boundaries_checked >= 6)
+
+let test_bisect_agrees_with_scan () =
+  let steps = FI.Replay.capture flag_before_data in
+  let scan = FI.Crash_explore.minimal_failing_prefix ~recovery:recovery_flag_data steps in
+  let bisect = FI.Crash_explore.bisect ~recovery:recovery_flag_data steps in
+  match (scan, bisect) with
+  | Some a, Some b ->
+      Alcotest.(check int) "same minimal index" a.FI.Crash_explore.index b.FI.Crash_explore.index
+  | _ -> Alcotest.fail "both searches must fail the trace"
+
+let test_explorer_on_bugbench_xfail () =
+  (* Every cross-failure case the fence-sampling detector already flags
+     must also be found by the explorer, with an exact event index. *)
+  let xfail =
+    List.filter (fun (c : Bugbench.Cases.t) -> c.Bugbench.Cases.recovery <> None) Bugbench.Cases.buggy
+  in
+  Alcotest.(check bool) "dataset has cross-failure cases" true (List.length xfail >= 4);
+  List.iter
+    (fun (c : Bugbench.Cases.t) ->
+      let recovery = Option.get c.Bugbench.Cases.recovery in
+      let steps = FI.Replay.capture c.Bugbench.Cases.run in
+      match FI.Crash_explore.minimal_failing_prefix ~recovery steps with
+      | None -> Alcotest.fail (Printf.sprintf "%s: explorer found no failing prefix" c.Bugbench.Cases.id)
+      | Some f ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s: failure index within trace" c.Bugbench.Cases.id)
+            true
+            (f.FI.Crash_explore.index >= 0 && f.FI.Crash_explore.index < Array.length steps))
+    xfail
+
+let test_eviction_changes_crash_images () =
+  (* Without eviction, the dirty flag line is absent from the
+     nothing-persisted crash image; an injected eviction pins it into
+     every image. *)
+  let program evict e =
+    Engine.register_pmem e ~base:0 ~size:4096;
+    Engine.store_i64 e ~addr:0 1L;
+    ignore evict;
+    Engine.program_end e
+  in
+  let steps = FI.Replay.capture (program false) in
+  let mutated, injections = FI.Injector.apply (FI.Injector.plan FI.Injector.Evict_line) steps in
+  Alcotest.(check int) "one eviction injected" 1 (List.length injections);
+  let flag_durable steps =
+    let st = Pmem.State.create () in
+    Array.iter (FI.Replay.apply st) steps;
+    Pmem.Image.get_i64 (Pmem.State.durable st) 0 = 1L
+  in
+  Alcotest.(check bool) "dirty line not durable without eviction" false (flag_durable steps);
+  Alcotest.(check bool) "evicted line durable with no flush issued" true (flag_durable mutated)
+
+(* ------------------------------------------------------------------ *)
+(* Injector.                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let kv_pair = List.assoc "kv_pair" FI.Sensitivity.clean_workloads
+
+let test_injector_deterministic () =
+  let steps = FI.Replay.capture kv_pair in
+  let plan = FI.Injector.plan ~target:(FI.Injector.Random 0.5) ~seed:7 FI.Injector.Drop_clf in
+  let t1, i1 = FI.Injector.apply plan steps in
+  let t2, i2 = FI.Injector.apply plan steps in
+  Alcotest.(check bool) "same mutated trace" true (t1 = t2);
+  Alcotest.(check bool) "same injection log" true (i1 = i2);
+  let other = FI.Injector.apply { plan with FI.Injector.seed = 8 } steps in
+  ignore other
+
+let test_injector_shapes () =
+  let steps = FI.Replay.capture kv_pair in
+  let count p arr = Array.to_list arr |> List.filter p |> List.length in
+  let clfs = count FI.Replay.is_clf steps and fences = count FI.Replay.is_fence steps in
+  let dropped, _ = FI.Injector.apply (FI.Injector.plan FI.Injector.Drop_clf) steps in
+  Alcotest.(check int) "drop-clf removes one clf" (clfs - 1) (count FI.Replay.is_clf dropped);
+  let dup, _ = FI.Injector.apply (FI.Injector.plan FI.Injector.Duplicate_flush) steps in
+  Alcotest.(check int) "duplicate-flush adds one clf" (clfs + 1) (count FI.Replay.is_clf dup);
+  let nofence, _ = FI.Injector.apply (FI.Injector.plan ~target:FI.Injector.Last FI.Injector.Drop_fence) steps in
+  Alcotest.(check int) "drop-fence removes one fence" (fences - 1) (count FI.Replay.is_fence nofence);
+  let torn, notes = FI.Injector.apply (FI.Injector.plan FI.Injector.Torn_store) steps in
+  Alcotest.(check int) "torn store count unchanged" (count FI.Replay.is_store steps) (count FI.Replay.is_store torn);
+  Alcotest.(check int) "one tear recorded" 1 (List.length notes)
+
+(* ------------------------------------------------------------------ *)
+(* Sensitivity matrix (the acceptance-criteria assertion).             *)
+(* ------------------------------------------------------------------ *)
+
+let test_sensitivity_matrix () =
+  let rows = FI.Sensitivity.run_matrix () in
+  Alcotest.(check bool) "at least 3 clean workloads" true (List.length rows >= 3);
+  List.iter
+    (fun (r : FI.Sensitivity.row) ->
+      Alcotest.(check (list string))
+        (Printf.sprintf "%s baseline clean" r.FI.Sensitivity.workload)
+        []
+        (List.map Bug.kind_name r.FI.Sensitivity.baseline_kinds);
+      Alcotest.(check int)
+        (Printf.sprintf "%s covers all four fault classes" r.FI.Sensitivity.workload)
+        4
+        (List.length r.FI.Sensitivity.cells);
+      List.iter
+        (fun (c : FI.Sensitivity.cell) ->
+          let name = FI.Injector.fault_name c.FI.Sensitivity.fault in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s/%s injected" r.FI.Sensitivity.workload name)
+            true (c.FI.Sensitivity.injections > 0);
+          Alcotest.(check bool)
+            (Printf.sprintf "%s/%s detected by some rule" r.FI.Sensitivity.workload name)
+            true
+            (c.FI.Sensitivity.detected_by <> []))
+        r.FI.Sensitivity.cells)
+    rows;
+  Alcotest.(check bool) "matrix_ok" true (FI.Sensitivity.matrix_ok rows)
+
+let test_eviction_not_flagged () =
+  (* Environmental faults must not create detector findings on clean
+     programs. *)
+  List.iter
+    (fun (name, program) ->
+      let row = FI.Sensitivity.run_row ~faults:[ FI.Injector.Evict_line ] (name, program) in
+      match row.FI.Sensitivity.cells with
+      | [ c ] ->
+          Alcotest.(check (list string))
+            (Printf.sprintf "%s: eviction invisible to rules" name)
+            []
+            (List.map Bug.kind_name c.FI.Sensitivity.detected_by)
+      | _ -> Alcotest.fail "one cell expected")
+    FI.Sensitivity.clean_workloads
+
+(* ------------------------------------------------------------------ *)
+(* Predicate DSL.                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_predicate_parse_eval () =
+  let img = Pmem.Image.create () in
+  Pmem.Image.set_i64 img 0 1L;
+  Pmem.Image.set_i64 img 64 5L;
+  (match FI.Predicate.parse "i64@0=1, nonzero@64, le@0<=64, ifset@0=>64" with
+  | Error msg -> Alcotest.fail msg
+  | Ok p ->
+      Alcotest.(check bool) "holds" true (FI.Predicate.eval p img);
+      Pmem.Image.set_i64 img 64 0L;
+      Alcotest.(check bool) "violated after zeroing data" false (FI.Predicate.eval p img));
+  (match FI.Predicate.parse "bogus@1" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected parse error");
+  match FI.Predicate.parse "" with Error _ -> () | Ok _ -> Alcotest.fail "empty must not parse"
+
+let test_predicate_with_explorer () =
+  let steps = FI.Replay.capture flag_before_data in
+  let p = Result.get_ok (FI.Predicate.parse "ifset@0=>64") in
+  (* ifset is weaker than the exact-magic predicate but catches the same
+     window: flag durable while data line is still all-zero. *)
+  match FI.Crash_explore.minimal_failing_prefix ~recovery:(FI.Predicate.recovery p) steps with
+  | Some _ -> ()
+  | None -> Alcotest.fail "DSL predicate should fail the bad ordering"
+
+let suite =
+  [
+    Alcotest.test_case "capture payloads" `Quick test_capture_payloads;
+    Alcotest.test_case "events projection hides evictions" `Quick test_events_projection;
+    Alcotest.test_case "explorer finds cross-failure" `Quick test_explorer_finds_cross_failure;
+    Alcotest.test_case "explorer passes clean program" `Quick test_explorer_clean_program;
+    Alcotest.test_case "bisect agrees with full scan" `Quick test_bisect_agrees_with_scan;
+    Alcotest.test_case "explorer finds all bugbench xfail cases" `Quick test_explorer_on_bugbench_xfail;
+    Alcotest.test_case "eviction changes crash images" `Quick test_eviction_changes_crash_images;
+    Alcotest.test_case "injector deterministic" `Quick test_injector_deterministic;
+    Alcotest.test_case "injector shapes" `Quick test_injector_shapes;
+    Alcotest.test_case "sensitivity matrix" `Quick test_sensitivity_matrix;
+    Alcotest.test_case "eviction not flagged" `Quick test_eviction_not_flagged;
+    Alcotest.test_case "predicate parse/eval" `Quick test_predicate_parse_eval;
+    Alcotest.test_case "predicate drives explorer" `Quick test_predicate_with_explorer;
+  ]

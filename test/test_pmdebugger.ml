@@ -19,4 +19,5 @@ let () =
       ("charz", Test_charz.suite);
       ("harness", Test_harness.suite);
       ("bugbench", Test_bugbench.suite);
+      ("faultinject", Test_faultinject.suite);
     ]

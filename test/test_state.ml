@@ -96,6 +96,54 @@ let prop_crash_image_bounds =
           !ok)
         (State.crash_images st ~max_images:32 ()))
 
+let test_crash_images_dedupe_and_bound () =
+  (* Way more undrained lines than the sampling budget: the result must
+     respect the budget, contain no duplicates, and not overflow [lsl]
+     (70 lines > 62 bits). *)
+  let st = State.create () in
+  for line = 0 to 69 do
+    store8 st (line * 64) (Int64.of_int (line + 1))
+  done;
+  let images = State.crash_images st ~max_images:16 () in
+  let n = List.length images in
+  Alcotest.(check bool) "within budget" true (n <= 16 && n >= 2);
+  let key img = String.init 70 (fun l -> if Image.get_i64 img (l * 64) = 0L then '0' else '1') in
+  let keys = List.map key images in
+  Alcotest.(check int) "no duplicate images" n (List.length (List.sort_uniq compare keys));
+  (* The deterministic extremes are always sampled. *)
+  Alcotest.(check bool) "nothing-persisted image present" true (List.mem (String.make 70 '0') keys);
+  Alcotest.(check bool) "everything-persisted image present" true (List.mem (String.make 70 '1') keys)
+
+let test_evict () =
+  let st = State.create () in
+  store8 st 100 7L;
+  State.evict st ~line:1;
+  Alcotest.(check bool) "line clean after evict" true (State.line_state st 1 = State.Clean);
+  Alcotest.(check int64) "contents durable without clf/fence" 7L (Image.get_i64 (State.durable st) 100);
+  (* Evicting a clean line is a no-op. *)
+  State.evict st ~line:1;
+  Alcotest.(check int64) "still durable" 7L (Image.get_i64 (State.durable st) 100);
+  (* A pending writeback is also made durable by eviction. *)
+  store8 st 200 9L;
+  State.clf st ~addr:200;
+  State.evict st ~line:3;
+  Alcotest.(check int64) "pending line durable after evict" 9L (Image.get_i64 (State.durable st) 200)
+
+let test_copy_independent () =
+  let st = State.create () in
+  store8 st 100 1L;
+  State.clf st ~addr:100;
+  let snap = State.copy st in
+  State.fence st;
+  store8 snap 200 5L;
+  (* Draining the original does not touch the copy... *)
+  Alcotest.(check bool) "copy keeps pending state" true (State.line_state snap 1 = State.Writeback_pending);
+  Alcotest.(check int64) "copy durable unchanged" 0L (Image.get_i64 (State.durable snap) 100);
+  (* ...and mutating the copy does not touch the original. *)
+  Alcotest.(check int64) "original volatile unchanged" 0L (Image.get_i64 (State.volatile st) 200);
+  State.fence snap;
+  Alcotest.(check int64) "copy drains on its own" 1L (Image.get_i64 (State.durable snap) 100)
+
 let suite =
   [
     Alcotest.test_case "store dirties" `Quick test_store_dirty;
@@ -105,5 +153,8 @@ let suite =
     Alcotest.test_case "is_durable_range per line" `Quick test_is_durable_range;
     Alcotest.test_case "crash images exhaustive" `Quick test_crash_images_exhaustive;
     Alcotest.test_case "crash image after drain" `Quick test_crash_images_after_drain;
+    Alcotest.test_case "crash images dedupe under sampling" `Quick test_crash_images_dedupe_and_bound;
+    Alcotest.test_case "evict makes a line durable" `Quick test_evict;
+    Alcotest.test_case "copy is independent" `Quick test_copy_independent;
     QCheck_alcotest.to_alcotest prop_crash_image_bounds;
   ]

@@ -95,11 +95,108 @@ let test_order_config_parse () =
 
 let test_bug_report_helpers () =
   let bugs = [ Bug.make ~addr:1 Bug.No_durability; Bug.make ~addr:2 Bug.No_durability; Bug.make Bug.Redundant_flush ] in
-  let r = { Bug.detector = "x"; bugs; events_processed = 10; stats = [] } in
+  let r = { Bug.detector = "x"; bugs; events_processed = 10; stats = []; failure = None } in
   Alcotest.(check int) "count_kind" 2 (Bug.count_kind r Bug.No_durability);
   Alcotest.(check bool) "has_kind" true (Bug.has_kind r Bug.Redundant_flush);
   Alcotest.(check int) "kinds_found" 2 (List.length (Bug.kinds_found r));
   Alcotest.(check int) "ten kinds total" 10 (List.length Bug.all_kinds)
+
+(* ------------------------------------------------------------------ *)
+(* Sink quarantine.                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let counting_sink name seen =
+  Sink.make ~name
+    ~on_event:(fun _ -> incr seen)
+    ~finish:(fun () -> { (Bug.empty_report name) with Bug.events_processed = !seen })
+
+let bomb_sink name ~after =
+  let seen = ref 0 in
+  Sink.make ~name
+    ~on_event:(fun _ ->
+      incr seen;
+      if !seen > after then failwith (name ^ " exploded"))
+    ~finish:(fun () -> Bug.empty_report name)
+
+let test_sink_quarantine_isolates_failure () =
+  let e = Engine.create () in
+  let a = ref 0 and b = ref 0 in
+  Engine.attach e (counting_sink "a" a);
+  Engine.attach e (bomb_sink "bomb" ~after:1);
+  Engine.attach e (counting_sink "b" b);
+  for i = 0 to 4 do
+    Engine.store_i64 e ~addr:(i * 8) 1L
+  done;
+  (* Siblings keep receiving every event after the bomb goes off... *)
+  Alcotest.(check int) "sink a saw all events" 5 !a;
+  Alcotest.(check int) "sink b saw all events" 5 !b;
+  (* ...and the failed sink is reported, not re-dispatched. *)
+  (match Engine.quarantined e with
+  | [ (name, msg) ] ->
+      Alcotest.(check string) "quarantined sink" "bomb" name;
+      let contains hay needle =
+        let n = String.length needle in
+        let rec go i = i + n <= String.length hay && (String.sub hay i n = needle || go (i + 1)) in
+        go 0
+      in
+      Alcotest.(check bool) "exception text kept" true (contains msg "exploded")
+  | q -> Alcotest.fail (Printf.sprintf "expected one quarantined sink, got %d" (List.length q)));
+  let reports = Engine.finish_all e in
+  Alcotest.(check int) "all sinks reported" 3 (List.length reports);
+  List.iter
+    (fun (r : Bug.report) ->
+      if r.Bug.detector = "bomb" then
+        Alcotest.(check bool) "bomb report carries the failure" true (r.Bug.failure <> None)
+      else begin
+        Alcotest.(check (option string)) (r.Bug.detector ^ " unaffected") None r.Bug.failure;
+        Alcotest.(check int) (r.Bug.detector ^ " complete") 5 r.Bug.events_processed
+      end)
+    reports
+
+let test_sink_quarantine_on_finish () =
+  let e = Engine.create () in
+  let ok = ref 0 in
+  Engine.attach e
+    (Sink.make ~name:"bad-finish" ~on_event:(fun _ -> ()) ~finish:(fun () -> failwith "finish failed"));
+  Engine.attach e (counting_sink "ok" ok);
+  Engine.store_i64 e ~addr:0 1L;
+  let reports = Engine.finish_all e in
+  Alcotest.(check int) "both reports present" 2 (List.length reports);
+  let bad = List.find (fun (r : Bug.report) -> r.Bug.detector = "bad-finish") reports in
+  Alcotest.(check bool) "finish failure recorded" true (bad.Bug.failure <> None);
+  let good = List.find (fun (r : Bug.report) -> r.Bug.detector = "ok") reports in
+  Alcotest.(check int) "sibling report complete" 1 good.Bug.events_processed
+
+let test_quarantined_sink_receives_no_more_events () =
+  let e = Engine.create () in
+  let calls = ref 0 in
+  Engine.attach e
+    (Sink.make ~name:"once"
+       ~on_event:(fun _ ->
+         incr calls;
+         failwith "boom")
+       ~finish:(fun () -> Bug.empty_report "once"));
+  Engine.store_i64 e ~addr:0 1L;
+  Engine.store_i64 e ~addr:8 1L;
+  Engine.store_i64 e ~addr:16 1L;
+  Alcotest.(check int) "dispatch stops after first raise" 1 !calls
+
+let test_attach_many_sinks () =
+  (* attach used to be a quadratic list append; make sure order is still
+     first-attached-first and a large number of sinks behaves. *)
+  let e = Engine.create () in
+  let order = ref [] in
+  for i = 0 to 99 do
+    Engine.attach e
+      (Sink.make
+         ~name:(string_of_int i)
+         ~on_event:(fun _ -> order := i :: !order)
+         ~finish:(fun () -> Bug.empty_report (string_of_int i)))
+  done;
+  Engine.store_i64 e ~addr:0 1L;
+  Alcotest.(check int) "all sinks dispatched" 100 (List.length !order);
+  Alcotest.(check (list int)) "dispatch order is attach order" (List.init 100 Fun.id) (List.rev !order);
+  Alcotest.(check int) "sinks listed" 100 (List.length (Engine.sinks e))
 
 let suite =
   [
@@ -112,4 +209,8 @@ let suite =
     Alcotest.test_case "trace stats" `Quick test_trace_stats;
     Alcotest.test_case "order config parsing" `Quick test_order_config_parse;
     Alcotest.test_case "bug report helpers" `Quick test_bug_report_helpers;
+    Alcotest.test_case "quarantine isolates a raising sink" `Quick test_sink_quarantine_isolates_failure;
+    Alcotest.test_case "quarantine catches finish failures" `Quick test_sink_quarantine_on_finish;
+    Alcotest.test_case "quarantined sink gets no more events" `Quick test_quarantined_sink_receives_no_more_events;
+    Alcotest.test_case "attach many sinks" `Quick test_attach_many_sinks;
   ]

@@ -74,30 +74,91 @@ let test_replay_of_decoded_trace () =
   let summary r = List.map (fun (b : Bug.t) -> (Bug.kind_name b.Bug.kind, b.Bug.addr)) r.Bug.bugs in
   Alcotest.(check (list (pair string int))) "identical findings" (summary (report trace)) (summary (report decoded))
 
+(* Exhaustive over the Event type: every one of the 14 constructors,
+   every clf kind and every annotation shape. Names are drawn from
+   identifier-like strings (the line format is space-separated). *)
 let prop_event_roundtrip =
   let event_gen =
     QCheck.Gen.(
-      let* tag = int_range 0 9 in
+      let* tag = int_range 0 13 in
       let* addr = int_range 0 100_000 in
       let* size = int_range 1 256 in
       let* tid = int_range 0 7 in
+      let* strand = int_range 0 15 in
+      let* kind = oneofl [ Event.Clwb; Event.Clflush; Event.Clflushopt ] in
+      let* name = oneofl [ "main"; "item_set_cas"; "do_slabs_free"; "x"; "head_ptr_1" ] in
+      let* ann =
+        oneofl
+          [
+            Event.Assert_durable { addr; size };
+            Event.Assert_ordered { first_addr = addr; first_size = size; then_addr = addr + size; then_size = size };
+            Event.Assert_fresh { addr; size };
+          ]
+      in
       return
         (match tag with
         | 0 -> Event.Store { addr; size; tid }
-        | 1 -> Event.Clf { addr; size; kind = Event.Clwb; tid }
+        | 1 -> Event.Clf { addr; size; kind; tid }
         | 2 -> Event.Fence { tid }
         | 3 -> Event.Register_pmem { base = addr; size }
         | 4 -> Event.Epoch_begin { tid }
         | 5 -> Event.Epoch_end { tid }
-        | 6 -> Event.Strand_begin { tid; strand = size }
-        | 7 -> Event.Tx_log { obj_addr = addr; size; tid }
-        | 8 -> Event.Annotation (Event.Assert_durable { addr; size })
+        | 6 -> Event.Strand_begin { tid; strand }
+        | 7 -> Event.Strand_end { tid; strand }
+        | 8 -> Event.Join_strand { tid }
+        | 9 -> Event.Tx_log { obj_addr = addr; size; tid }
+        | 10 -> Event.Register_var { name; addr; size }
+        | 11 -> Event.Call { func = name; tid }
+        | 12 -> Event.Annotation ann
         | _ -> Event.Program_end))
   in
-  QCheck.Test.make ~name:"event line roundtrip" ~count:500 (QCheck.make event_gen) (fun ev ->
+  QCheck.Test.make ~name:"event line roundtrip (all constructors)" ~count:1000 (QCheck.make event_gen) (fun ev ->
       match Trace_io.event_of_line (Trace_io.event_to_line ev) with
       | Ok (Some ev') -> Trace_io.event_to_line ev = Trace_io.event_to_line ev'
       | _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Lenient parsing.                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_lenient_skips_malformed () =
+  let text = "store 0 128 8\nnot an event\nfence 0\nstore 0 oops 8\nprogram_end\n" in
+  let l = Trace_io.of_string_lenient text in
+  Alcotest.(check int) "parsed events" 3 (Array.length l.Trace_io.trace);
+  Alcotest.(check (list int)) "skipped line numbers" [ 2; 4 ] (List.map fst l.Trace_io.skipped);
+  Alcotest.(check bool) "no synthesized end (explicit program_end)" false l.Trace_io.synthesized_end
+
+let test_lenient_synthesizes_end () =
+  let l = Trace_io.of_string_lenient "store 0 128 8\nfence 0\n" in
+  Alcotest.(check bool) "synthesized" true l.Trace_io.synthesized_end;
+  Alcotest.(check int) "end appended" 3 (Array.length l.Trace_io.trace);
+  Alcotest.(check bool) "last is program_end" true (l.Trace_io.trace.(2) = Event.Program_end)
+
+let test_lenient_strict_agree_on_clean_input () =
+  let text = Trace_io.to_string (sample_trace ()) in
+  match Trace_io.of_string text with
+  | Error _ -> Alcotest.fail "strict parser must accept clean input"
+  | Ok strict ->
+      let l = Trace_io.of_string_lenient text in
+      Alcotest.(check bool) "same trace" true (strict = l.Trace_io.trace);
+      Alcotest.(check int) "nothing skipped" 0 (List.length l.Trace_io.skipped)
+
+let test_lenient_load_truncated_file () =
+  let trace = sample_trace () in
+  let path = Filename.temp_file "pmdebugger" ".pmt" in
+  Trace_io.save path trace;
+  let text = In_channel.with_open_bin path In_channel.input_all in
+  (* Chop mid-line to model a crash while the tracer was writing. *)
+  Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc (String.sub text 0 (String.length text - 7)));
+  (match Trace_io.load path with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "strict load must reject a truncated trace");
+  (match Trace_io.load_lenient path with
+  | Error msg -> Alcotest.fail msg
+  | Ok l ->
+      Alcotest.(check bool) "synthesized end" true l.Trace_io.synthesized_end;
+      Alcotest.(check bool) "most events recovered" true (Array.length l.Trace_io.trace >= Array.length trace - 2));
+  Sys.remove path
 
 let suite =
   [
@@ -106,5 +167,9 @@ let suite =
     Alcotest.test_case "malformed input" `Quick test_malformed;
     Alcotest.test_case "file roundtrip" `Quick test_file_roundtrip;
     Alcotest.test_case "decoded trace replays identically" `Quick test_replay_of_decoded_trace;
+    Alcotest.test_case "lenient skips malformed lines" `Quick test_lenient_skips_malformed;
+    Alcotest.test_case "lenient synthesizes program_end" `Quick test_lenient_synthesizes_end;
+    Alcotest.test_case "lenient agrees with strict on clean input" `Quick test_lenient_strict_agree_on_clean_input;
+    Alcotest.test_case "lenient load of truncated file" `Quick test_lenient_load_truncated_file;
     QCheck_alcotest.to_alcotest prop_event_roundtrip;
   ]
