@@ -1,11 +1,16 @@
 (* Benchmark harness: regenerates every table and figure of the paper's
    evaluation (see DESIGN.md's per-experiment index).
 
-     dune exec bench/main.exe            -- run everything
-     dune exec bench/main.exe -- fig8    -- run one experiment
+     dune exec bench/main.exe             -- run everything
+     dune exec bench/main.exe -- fig8     -- run one experiment
+     dune exec bench/main.exe -- --quick  -- CI smoke: report only, small sizes
 
    Experiments: fig2a fig2b fig2c fig8 table5 table_sota table6 fig10
-   fig11 newbugs ablation bechamel *)
+   fig11 newbugs ablation faultinject bechamel report
+
+   The report experiment also writes BENCH_pr2.json (pmdb-bench/v1:
+   per-bench slowdowns + dispatch-latency quantiles + a telemetry
+   snapshot); validate it with `pmdb stats --check BENCH_pr2.json`. *)
 
 open Pmtrace
 module W = Workloads.Workload
@@ -661,6 +666,90 @@ let bechamel () =
   flush stdout
 
 (* ------------------------------------------------------------------ *)
+(* Machine-readable run report: BENCH_pr2.json.                        *)
+(* ------------------------------------------------------------------ *)
+
+let quick = ref false
+
+let report () =
+  let q = !quick in
+  let sizes = if q then [ 500 ] else [ 1_000; 10_000 ] in
+  let specs = if q then [ Workloads.Btree.spec ] else [ Workloads.Btree.spec; Workloads.Hashmap_tx.spec ] in
+  let repeats = if q then 1 else 3 in
+  let rows =
+    List.concat_map
+      (fun (spec : W.spec) ->
+        List.map
+          (fun n ->
+            let m, _ =
+              Harness.Timing.measure ~repeats ~run:(run_spec spec n)
+                ~detectors:[ ("pmdebugger", mk_pmdebugger spec.W.model); ("pmemcheck", mk_pmemcheck) ]
+                ()
+            in
+            (spec.W.name, n, m, List.assoc "pmdebugger" m.Harness.Timing.dispatch))
+          sizes)
+      specs
+  in
+  T.print ~title:"Run report: slowdowns + per-event dispatch latency (PMDebugger)"
+    ~header:[ "bench"; "n"; "native"; "Nulgrind"; "PMDebugger"; "Pmemcheck"; "p50 disp."; "p95 disp." ]
+    (List.map
+       (fun (name, n, m, prof) ->
+         let sd t = T.fmt_x (Harness.Timing.slowdown m t) in
+         [
+           name;
+           string_of_int n;
+           Printf.sprintf "%.1f ms" (1000.0 *. m.Harness.Timing.native_s);
+           sd m.Harness.Timing.nulgrind_s;
+           sd (List.assoc "pmdebugger" m.Harness.Timing.detector_s);
+           sd (List.assoc "pmemcheck" m.Harness.Timing.detector_s);
+           Printf.sprintf "%.0f ns" (1e9 *. prof.Harness.Timing.p50_s);
+           Printf.sprintf "%.0f ns" (1e9 *. prof.Harness.Timing.p95_s);
+         ])
+       rows);
+  (* One metrics-enabled replay supplies the bookkeeping telemetry the
+     slowdown numbers can't show (array hits vs tree spills, reorgs...). *)
+  let metrics = Obs.Metrics.create () in
+  let spec = Workloads.Btree.spec in
+  let trace = record_spec spec (if q then 500 else 1_000) in
+  let engine = Engine.create ~metrics () in
+  Engine.attach engine
+    (Pmdebugger.Detector.sink (Pmdebugger.Detector.create ~model:spec.W.model ~metrics ()));
+  Array.iter (Engine.emit engine) trace;
+  ignore (Engine.finish_all engine);
+  let open Obs.Json in
+  let row_json (name, n, m, prof) =
+    let sd t = Float (Harness.Timing.slowdown m t) in
+    Obj
+      [
+        ("bench", Str name);
+        ("n", Int n);
+        ("native_s", Float m.Harness.Timing.native_s);
+        ( "slowdowns",
+          Obj
+            [
+              ("nulgrind", sd m.Harness.Timing.nulgrind_s);
+              ("pmdebugger", sd (List.assoc "pmdebugger" m.Harness.Timing.detector_s));
+              ("pmemcheck", sd (List.assoc "pmemcheck" m.Harness.Timing.detector_s));
+            ] );
+        ("dispatch_p50_s", Float prof.Harness.Timing.p50_s);
+        ("dispatch_p95_s", Float prof.Harness.Timing.p95_s);
+        ("dispatch_samples", Int prof.Harness.Timing.samples);
+      ]
+  in
+  let json =
+    Obj
+      [
+        ("schema", Str "pmdb-bench/v1");
+        ("quick", Bool q);
+        ("rows", List (Stdlib.List.map row_json rows));
+        ("telemetry", Obs.Metrics.to_json metrics);
+      ]
+  in
+  to_file "BENCH_pr2.json" json;
+  Printf.printf "wrote BENCH_pr2.json (%d row(s), quick=%b)\n" (Stdlib.List.length rows) q;
+  flush stdout
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -678,11 +767,26 @@ let experiments =
     ("ablation", ablation);
     ("faultinject", faultinject);
     ("bechamel", bechamel);
+    ("report", report);
   ]
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
-  let selected = match args with [] -> List.map fst experiments | names -> names in
+  let names =
+    List.filter
+      (fun a ->
+        if a = "--quick" then begin
+          quick := true;
+          false
+        end
+        else true)
+      args
+  in
+  (* Quick mode with no explicit experiment is the CI smoke run: just the
+     machine-readable report at small sizes. *)
+  let selected =
+    match names with [] -> if !quick then [ "report" ] else List.map fst experiments | names -> names
+  in
   List.iter
     (fun name ->
       match List.assoc_opt name experiments with

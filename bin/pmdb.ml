@@ -2,6 +2,8 @@
 
      pmdb run -w b_tree -n 1000                 debug a workload
      pmdb run -w memcached -d pmemcheck -n 500  with another detector
+     pmdb run -w b_tree --metrics out.json      with a telemetry snapshot
+     pmdb stats -w hashmap_tx -n 1000           run + print the metric table
      pmdb characterize -w hashmap_tx -n 1000    Fig. 2 metrics for one trace
      pmdb bugs                                  run the 78-case dataset
      pmdb list                                  available workloads *)
@@ -12,14 +14,41 @@ module W = Workloads.Workload
 
 let detector_names = [ "pmdebugger"; "pmemcheck"; "pmtest"; "xfdetector"; "nulgrind" ]
 
-let sink_for name model config =
+let sink_for ?(metrics = Obs.Metrics.disabled) name model config =
   match name with
-  | "pmdebugger" -> Pmdebugger.Detector.sink (Pmdebugger.Detector.create ~model ~config ())
+  | "pmdebugger" -> Pmdebugger.Detector.sink (Pmdebugger.Detector.create ~model ~config ~metrics ())
   | "pmemcheck" -> Baselines.Pmemcheck.sink (Baselines.Pmemcheck.create ())
   | "pmtest" -> Baselines.Pmtest.sink (Baselines.Pmtest.create ())
   | "xfdetector" -> Baselines.Xfdetector.sink (Baselines.Xfdetector.create ~config ())
   | "nulgrind" -> Baselines.Nulgrind.sink ()
   | other -> failwith (Printf.sprintf "unknown detector %S (expected one of: %s)" other (String.concat ", " detector_names))
+
+(* --metrics FILE: every command records into [reg] (enabled only when
+   the flag is given) and the snapshot plus the run's spans land in FILE
+   as stable JSON. *)
+let with_metrics file f =
+  Obs.Clock.set Unix.gettimeofday;
+  let reg = match file with None -> Obs.Metrics.disabled | Some _ -> Obs.Metrics.create () in
+  let spans = match file with None -> Obs.Span.disabled | Some _ -> Obs.Span.create () in
+  let result = f reg spans in
+  (match file with
+  | None -> ()
+  | Some path ->
+      let json =
+        match Obs.Metrics.to_json reg with
+        | Obs.Json.Obj fields -> Obs.Json.Obj (fields @ [ ("spans", Obs.Span.to_json spans) ])
+        | other -> other
+      in
+      Obs.Json.to_file path json;
+      Printf.printf "metrics written to %s\n" path);
+  result
+
+let print_quarantined engine =
+  match Engine.quarantined engine with
+  | [] -> ()
+  | qs ->
+      Printf.printf "%d sink(s) quarantined:\n" (List.length qs);
+      List.iter (fun (name, msg) -> Printf.printf "  %s: %s\n" name msg) qs
 
 let workload_arg =
   let doc = "Workload to run (see `pmdb list`)." in
@@ -66,54 +95,70 @@ let print_findings ~max_print report =
   Printf.printf "%d finding(s); kinds: %s\n" total
     (String.concat ", " (List.map Bug.kind_name (Bug.kinds_found report)))
 
-let run_cmd workload n detector config annotate max_print =
+let run_workload_reports ~metrics ~spans workload n detector config annotate =
   let spec = Workloads.Registry.find_exn workload in
   let config = load_config config in
-  let engine = Engine.create () in
-  Engine.attach engine (sink_for detector spec.W.model config);
+  let engine = Engine.create ~metrics () in
+  Engine.attach engine (sink_for ~metrics detector spec.W.model config);
   let t0 = Unix.gettimeofday () in
-  spec.W.run (W.params ~annotate ~n ()) engine;
+  Obs.Span.record spans ~attrs:[ ("workload", workload) ] "run" (fun () ->
+      spec.W.run (W.params ~annotate ~n ()) engine);
   let dt = Unix.gettimeofday () -. t0 in
   (* finish_all rather than finishing the sink by hand: a detector that
      raised mid-run is quarantined and reported, not propagated. *)
-  List.iter
-    (fun report ->
-      Printf.printf "%s on %s (n=%d): %d event(s) in %.3fs\n" report.Bug.detector workload n
-        report.Bug.events_processed dt;
-      (match report.Bug.failure with
-      | Some msg -> Printf.printf "  QUARANTINED: %s\n" msg
-      | None -> ());
-      print_findings ~max_print report;
-      List.iter (fun (k, v) -> Printf.printf "  stat %-28s %.2f\n" k v) report.Bug.stats)
-    (Engine.finish_all engine)
+  let reports = Obs.Span.record spans "finish" (fun () -> Engine.finish_all engine) in
+  (engine, reports, dt)
 
-let characterize_cmd workload n =
+let run_cmd workload n detector config annotate max_print metrics_file =
+  with_metrics metrics_file (fun metrics spans ->
+      let engine, reports, dt = run_workload_reports ~metrics ~spans workload n detector config annotate in
+      List.iter
+        (fun report ->
+          Printf.printf "%s on %s (n=%d): %d event(s) in %.3fs\n" report.Bug.detector workload n
+            report.Bug.events_processed dt;
+          (match report.Bug.failure with
+          | Some msg -> Printf.printf "  QUARANTINED: %s\n" msg
+          | None -> ());
+          print_findings ~max_print report;
+          List.iter (fun (k, v) -> Printf.printf "  stat %-28s %.2f\n" k v) report.Bug.stats)
+        reports;
+      print_quarantined engine)
+
+let characterize_cmd workload n json =
   let spec = Workloads.Registry.find_exn workload in
   let trace = Recorder.record (fun e -> spec.W.run (W.params ~n ()) e) in
-  let h = Charz.distance_histogram trace in
-  let c = Charz.writeback_classes trace in
-  let m = Charz.instruction_mix trace in
-  Printf.printf "%s (n=%d): %d events\n" workload n (Array.length trace);
-  Printf.printf "  stores %d, writebacks %d, fences %d (store share %.1f%%)\n" m.Charz.stores m.Charz.writebacks
-    m.Charz.fences
-    (100.0 *. Charz.store_fraction m);
-  Printf.printf "  store-to-fence distance: d=1 %.1f%%, d<=3 %.1f%%, never persisted %d\n"
-    (100.0 *. Charz.fraction_at_most h 1)
-    (100.0 *. Charz.fraction_at_most h 3)
-    h.Charz.never_persisted;
-  Printf.printf "  CLF intervals: %.1f%% collective (%d collective / %d dispersed)\n"
-    (100.0 *. Charz.collective_fraction c)
-    c.Charz.collective c.Charz.dispersed
+  if json then print_endline (Obs.Json.to_string (Charz.characterization_json trace))
+  else begin
+    let h = Charz.distance_histogram trace in
+    let c = Charz.writeback_classes trace in
+    let m = Charz.instruction_mix trace in
+    Printf.printf "%s (n=%d): %d events\n" workload n (Array.length trace);
+    Printf.printf "  stores %d, writebacks %d, fences %d (store share %.1f%%)\n" m.Charz.stores m.Charz.writebacks
+      m.Charz.fences
+      (100.0 *. Charz.store_fraction m);
+    Printf.printf "  store-to-fence distance: d=1 %.1f%%, d<=3 %.1f%%, never persisted %d\n"
+      (100.0 *. Charz.fraction_at_most h 1)
+      (100.0 *. Charz.fraction_at_most h 3)
+      h.Charz.never_persisted;
+    Printf.printf "  CLF intervals: %.1f%% collective (%d collective / %d dispersed)\n"
+      (100.0 *. Charz.collective_fraction c)
+      c.Charz.collective c.Charz.dispersed
+  end
 
-let bugs_cmd () =
-  List.iter
-    (fun r ->
-      Printf.printf "%-12s %d/%d detected, %d kinds, FN %.1f%%, false positives %d\n"
-        (Bugbench.Eval.tool_name r.Bugbench.Eval.tool)
-        r.Bugbench.Eval.detected_total r.Bugbench.Eval.case_total r.Bugbench.Eval.kinds_covered
-        (100.0 *. r.Bugbench.Eval.false_negative_rate)
-        (List.length r.Bugbench.Eval.false_positives))
-    (Bugbench.Eval.evaluate_all ())
+let bugs_cmd metrics_file =
+  with_metrics metrics_file (fun metrics spans ->
+      let results = Obs.Span.record spans "bugbench" Bugbench.Eval.evaluate_all in
+      List.iter
+        (fun r ->
+          let tool = Bugbench.Eval.tool_name r.Bugbench.Eval.tool in
+          Obs.Metrics.inc metrics ~labels:[ ("tool", tool) ] ~by:r.Bugbench.Eval.detected_total
+            "bugbench_detected_total";
+          Obs.Metrics.inc metrics ~labels:[ ("tool", tool) ] ~by:r.Bugbench.Eval.case_total "bugbench_cases_total";
+          Printf.printf "%-12s %d/%d detected, %d kinds, FN %.1f%%, false positives %d\n" tool
+            r.Bugbench.Eval.detected_total r.Bugbench.Eval.case_total r.Bugbench.Eval.kinds_covered
+            (100.0 *. r.Bugbench.Eval.false_negative_rate)
+            (List.length r.Bugbench.Eval.false_positives))
+        results)
 
 let record_cmd workload n annotate out =
   let spec = Workloads.Registry.find_exn workload in
@@ -121,25 +166,37 @@ let record_cmd workload n annotate out =
   Trace_io.save out trace;
   Printf.printf "recorded %d event(s) from %s (n=%d) to %s\n" (Array.length trace) workload n out
 
-let replay_cmd file detector config max_print lenient =
-  let trace =
-    if lenient then
-      match Trace_io.load_lenient file with
-      | Error msg -> failwith msg
-      | Ok l ->
-          List.iter (fun (lineno, msg) -> Printf.eprintf "warning: %s:%d: skipped: %s\n" file lineno msg) l.Trace_io.skipped;
-          if l.Trace_io.synthesized_end then
-            Printf.eprintf "warning: %s: truncated trace, synthesized program_end\n" file;
-          l.Trace_io.trace
-    else match Trace_io.load file with Error msg -> failwith msg | Ok trace -> trace
-  in
-  let config = load_config config in
-  (* Replays have no live PM state: the model only gates rule
-     selection, so strict covers all shared rules. *)
-  let sink = sink_for detector Pmdebugger.Detector.Strict config in
-  let report = Recorder.replay trace sink in
-  Printf.printf "%s replayed %d event(s) from %s\n" report.Bug.detector report.Bug.events_processed file;
-  print_findings ~max_print report
+let replay_cmd file detector config max_print lenient metrics_file =
+  with_metrics metrics_file (fun metrics spans ->
+      let trace =
+        if lenient then
+          match Trace_io.load_lenient ~metrics file with
+          | Error msg -> failwith msg
+          | Ok l ->
+              List.iter (fun (lineno, msg) -> Printf.eprintf "warning: %s:%d: skipped: %s\n" file lineno msg) l.Trace_io.skipped;
+              if l.Trace_io.synthesized_end then
+                Printf.eprintf "warning: %s: truncated trace, synthesized program_end\n" file;
+              l.Trace_io.trace
+        else match Trace_io.load file with Error msg -> failwith msg | Ok trace -> trace
+      in
+      let config = load_config config in
+      (* Replays have no live PM state: the model only gates rule
+         selection, so strict covers all shared rules. Dispatching through
+         an engine (instead of calling the sink directly) keeps the
+         quarantine and telemetry behaviour of `pmdb run`. *)
+      let engine = Engine.create ~metrics () in
+      Engine.attach engine (sink_for ~metrics detector Pmdebugger.Detector.Strict config);
+      Obs.Span.record spans ~attrs:[ ("file", file) ] "replay" (fun () ->
+          Array.iter (Engine.emit engine) trace);
+      List.iter
+        (fun report ->
+          Printf.printf "%s replayed %d event(s) from %s\n" report.Bug.detector report.Bug.events_processed file;
+          (match report.Bug.failure with
+          | Some msg -> Printf.printf "  QUARANTINED: %s\n" msg
+          | None -> ());
+          print_findings ~max_print report)
+        (Engine.finish_all engine);
+      print_quarantined engine)
 
 (* ---------------------------------------------------------------- *)
 (* crash-explore: replay a program prefix-by-prefix and test every   *)
@@ -152,7 +209,8 @@ let find_bugbench_case id =
   | None -> failwith (Printf.sprintf "unknown bugbench case %S (see `pmdb bugs`)" id)
   | Some c -> c
 
-let crash_explore_cmd case workload n expect fences_only max_images bisect =
+let crash_explore_cmd case workload n expect fences_only max_images bisect metrics_file =
+  with_metrics metrics_file @@ fun metrics spans ->
   let steps, recovery =
     match case with
     | Some id ->
@@ -176,14 +234,14 @@ let crash_explore_cmd case workload n expect fences_only max_images bisect =
   let module CE = Faultinject.Crash_explore in
   let what = match case with Some id -> id | None -> workload in
   if bisect then
-    match CE.bisect ~max_images ~recovery steps with
+    match Obs.Span.record spans "bisect" (fun () -> CE.bisect ~max_images ~metrics ~recovery steps) with
     | None -> Printf.printf "%s: no crash image fails recovery (%d steps explored)\n" what (Array.length steps)
     | Some f ->
         Format.printf "%s: minimal failing prefix ends at event #%d (%a): %d/%d crash image(s) fail recovery@."
           what f.CE.index Faultinject.Replay.pp f.CE.step f.CE.failing_images f.CE.images_checked
   else begin
     let boundaries = if fences_only then CE.Fences_only else CE.Every_op in
-    let r = CE.explore ~boundaries ~max_images ~recovery steps in
+    let r = Obs.Span.record spans "explore" (fun () -> CE.explore ~boundaries ~max_images ~metrics ~recovery steps) in
     Printf.printf "%s: %d boundar%s checked, %d crash image(s) tested\n" what r.CE.boundaries_checked
       (if r.CE.boundaries_checked = 1 then "y" else "ies")
       r.CE.images_checked;
@@ -236,9 +294,10 @@ let print_matrix () =
   Printf.printf "matrix %s\n" (if S.matrix_ok rows then "OK: every fault class detected on every workload" else "FAILED");
   if not (S.matrix_ok rows) then exit 1
 
-let inject_cmd matrix workload n fault target seed detector config max_print =
+let inject_cmd matrix workload n fault target seed detector config max_print metrics_file =
   if matrix then print_matrix ()
-  else begin
+  else
+    with_metrics metrics_file @@ fun metrics spans ->
     let module I = Faultinject.Injector in
     let fault =
       match I.fault_of_string fault with
@@ -252,15 +311,113 @@ let inject_cmd matrix workload n fault target seed detector config max_print =
     let spec = Workloads.Registry.find_exn workload in
     let steps = Faultinject.Replay.capture (fun e -> spec.W.run (W.params ~n ()) e) in
     let mutated, injections = I.apply plan steps in
+    Obs.Metrics.inc metrics ~by:(List.length injections)
+      ~labels:[ ("fault", I.fault_name fault) ]
+      "inject_injections_total";
     Printf.printf "%s (n=%d): %d step(s), %d injection(s) of %s\n" workload n (Array.length steps)
       (List.length injections) (I.fault_name fault);
     List.iter (fun inj -> Format.printf "  %a@." I.pp_injection inj) injections;
     let config = load_config config in
-    let sink = sink_for detector spec.W.model config in
-    let report = Recorder.replay (Faultinject.Replay.events_of_steps mutated) sink in
+    let sink = sink_for ~metrics detector spec.W.model config in
+    let report =
+      Obs.Span.record spans "inject-replay" (fun () ->
+          Recorder.replay (Faultinject.Replay.events_of_steps mutated) sink)
+    in
     Printf.printf "%s on mutated trace:\n" report.Bug.detector;
     print_findings ~max_print report
-  end
+
+(* ---------------------------------------------------------------- *)
+(* stats: run with telemetry enabled and print the metric table; or  *)
+(* validate a previously written JSON report (--check, used by CI).  *)
+(* ---------------------------------------------------------------- *)
+
+let check_report_file path =
+  match Obs.Json.of_file path with
+  | Error msg ->
+      Printf.eprintf "%s: invalid JSON: %s\n" path msg;
+      exit 1
+  | Ok json -> (
+      match Obs.Json.member "schema" json with
+      | Some (Obs.Json.Str "pmdb-metrics/v1") -> (
+          match Obs.Metrics.validate_json json with
+          | Ok n -> Printf.printf "%s: valid pmdb-metrics/v1 report (%d series)\n" path n
+          | Error msg ->
+              Printf.eprintf "%s: invalid pmdb-metrics/v1 report: %s\n" path msg;
+              exit 1)
+      | Some (Obs.Json.Str "pmdb-bench/v1") -> (
+          let fail msg =
+            Printf.eprintf "%s: invalid pmdb-bench/v1 report: %s\n" path msg;
+            exit 1
+          in
+          match Obs.Json.member "rows" json with
+          | Some (Obs.Json.List rows) ->
+              if rows = [] then fail "empty rows";
+              List.iteri
+                (fun i row ->
+                  let str k = match Obs.Json.member k row with Some (Obs.Json.Str _) -> () | _ -> fail (Printf.sprintf "row %d: missing string %S" i k) in
+                  let num k =
+                    match Obs.Json.member k row with
+                    | Some (Obs.Json.Float _) | Some (Obs.Json.Int _) -> ()
+                    | _ -> fail (Printf.sprintf "row %d: missing number %S" i k)
+                  in
+                  str "bench";
+                  num "n";
+                  num "native_s";
+                  num "dispatch_p50_s";
+                  num "dispatch_p95_s";
+                  match Obs.Json.member "slowdowns" row with
+                  | Some (Obs.Json.Obj (_ :: _)) -> ()
+                  | _ -> fail (Printf.sprintf "row %d: missing object \"slowdowns\"" i))
+                rows;
+              (match Obs.Json.member "telemetry" json with
+              | Some telemetry -> (
+                  match Obs.Metrics.validate_json telemetry with
+                  | Ok _ -> ()
+                  | Error msg -> fail ("telemetry: " ^ msg))
+              | None -> fail "missing \"telemetry\"");
+              Printf.printf "%s: valid pmdb-bench/v1 report (%d rows)\n" path (List.length rows)
+          | _ -> fail "missing \"rows\" list")
+      | Some (Obs.Json.Str "pmdb-charz/v1") -> (
+          match Obs.Json.member "events" json with
+          | Some (Obs.Json.Int n) -> Printf.printf "%s: valid pmdb-charz/v1 report (%d events)\n" path n
+          | _ ->
+              Printf.eprintf "%s: invalid pmdb-charz/v1 report: missing integer \"events\"\n" path;
+              exit 1)
+      | Some (Obs.Json.Str other) ->
+          Printf.eprintf "%s: unknown schema %S\n" path other;
+          exit 1
+      | _ ->
+          Printf.eprintf "%s: missing \"schema\" field\n" path;
+          exit 1)
+
+let stats_cmd workload n detector config check json_file =
+  match check with
+  | Some path -> check_report_file path
+  | None ->
+      Obs.Clock.set Unix.gettimeofday;
+      let metrics = Obs.Metrics.create () in
+      let spans = Obs.Span.create () in
+      let engine, reports, _dt = run_workload_reports ~metrics ~spans workload n detector config false in
+      List.iter
+        (fun report ->
+          Printf.printf "%s on %s (n=%d): %d event(s), %d finding(s)\n" report.Bug.detector workload n
+            report.Bug.events_processed
+            (List.length report.Bug.bugs))
+        reports;
+      print_quarantined engine;
+      let snap = Obs.Metrics.snapshot metrics in
+      Harness.Table.print ~title:(Printf.sprintf "telemetry: %s -w %s -n %d" detector workload n)
+        ~header:Obs.Metrics.rows_header (Obs.Metrics.to_rows snap);
+      match json_file with
+      | None -> ()
+      | Some path ->
+          let json =
+            match Obs.Metrics.snapshot_to_json snap with
+            | Obs.Json.Obj fields -> Obs.Json.Obj (fields @ [ ("spans", Obs.Span.to_json spans) ])
+            | other -> other
+          in
+          Obs.Json.to_file path json;
+          Printf.printf "metrics written to %s\n" path
 
 let list_cmd () =
   List.iter
@@ -274,7 +431,13 @@ let list_cmd () =
       Printf.printf "%-16s %-7s %s\n" spec.W.name model spec.W.description)
     Workloads.Registry.all
 
-let run_term = Term.(const run_cmd $ workload_arg $ n_arg $ detector_arg $ config_arg $ annotate_arg $ max_bugs_arg)
+let metrics_arg =
+  let doc = "Write a pmdb-metrics/v1 JSON telemetry snapshot (metric series + spans) to $(docv)." in
+  Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
+
+let run_term =
+  Term.(
+    const run_cmd $ workload_arg $ n_arg $ detector_arg $ config_arg $ annotate_arg $ max_bugs_arg $ metrics_arg)
 
 let out_arg =
   let doc = "Output trace file." in
@@ -290,7 +453,8 @@ let lenient_arg =
   let doc = "Skip malformed trace lines (with a warning each) and synthesize a program_end for truncated traces." in
   Arg.(value & flag & info [ "lenient" ] ~doc)
 
-let replay_term = Term.(const replay_cmd $ trace_file_arg $ detector_arg $ config_arg $ max_bugs_arg $ lenient_arg)
+let replay_term =
+  Term.(const replay_cmd $ trace_file_arg $ detector_arg $ config_arg $ max_bugs_arg $ lenient_arg $ metrics_arg)
 
 let case_arg =
   let doc = "Explore a bugbench case by id instead of a workload." in
@@ -318,7 +482,7 @@ let bisect_arg =
 let crash_explore_term =
   Term.(
     const crash_explore_cmd $ case_arg $ workload_arg $ n_arg $ expect_arg $ fences_only_arg $ max_images_arg
-    $ bisect_arg)
+    $ bisect_arg $ metrics_arg)
 
 let fault_arg =
   let doc = "Fault class: drop-clf, drop-fence, torn-store, duplicate-flush or evict-line." in
@@ -339,11 +503,26 @@ let matrix_arg =
 let inject_term =
   Term.(
     const inject_cmd $ matrix_arg $ workload_arg $ n_arg $ fault_arg $ target_arg $ seed_arg $ detector_arg
-    $ config_arg $ max_bugs_arg)
+    $ config_arg $ max_bugs_arg $ metrics_arg)
 
-let characterize_term = Term.(const characterize_cmd $ workload_arg $ n_arg)
+let charz_json_arg =
+  let doc = "Print the characterization as a pmdb-charz/v1 JSON report instead of text." in
+  Arg.(value & flag & info [ "json" ] ~doc)
 
-let bugs_term = Term.(const bugs_cmd $ const ())
+let characterize_term = Term.(const characterize_cmd $ workload_arg $ n_arg $ charz_json_arg)
+
+let bugs_term = Term.(const bugs_cmd $ metrics_arg)
+
+let check_arg =
+  let doc = "Validate a JSON report written by --metrics, characterize --json or the bench (exit 1 if invalid)." in
+  Arg.(value & opt (some file) None & info [ "check" ] ~docv:"FILE" ~doc)
+
+let stats_json_arg =
+  let doc = "Also write the telemetry snapshot to $(docv) as pmdb-metrics/v1 JSON." in
+  Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+
+let stats_term =
+  Term.(const stats_cmd $ workload_arg $ n_arg $ detector_arg $ config_arg $ check_arg $ stats_json_arg)
 
 let list_term = Term.(const list_cmd $ const ())
 
@@ -358,6 +537,7 @@ let cmds =
       (Cmd.info "crash-explore" ~doc:"Test recovery against every derivable crash image of a trace")
       crash_explore_term;
     Cmd.v (Cmd.info "inject" ~doc:"Mutate a workload trace with a fault and re-run the detector") inject_term;
+    Cmd.v (Cmd.info "stats" ~doc:"Run with telemetry enabled and print the metric table, or --check a JSON report") stats_term;
     Cmd.v (Cmd.info "list" ~doc:"List available workloads") list_term;
   ]
 

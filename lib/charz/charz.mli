@@ -41,3 +41,18 @@ type instruction_mix = { stores : int; writebacks : int; fences : int }
 val instruction_mix : Pmtrace.Recorder.trace -> instruction_mix
 
 val store_fraction : instruction_mix -> float
+
+(** {1 Machine-readable export}
+
+    The same figures as stable JSON ([pmdb characterize --json]),
+    sharing the schema conventions of the metrics snapshots. *)
+
+val distance_histogram_json : distance_histogram -> Obs.Json.t
+
+val writeback_classes_json : writeback_classes -> Obs.Json.t
+
+val instruction_mix_json : instruction_mix -> Obs.Json.t
+
+val characterization_json : Pmtrace.Recorder.trace -> Obs.Json.t
+(** Top-level document: [{"schema": "pmdb-charz/v1", "events", 
+    "distance_histogram", "writeback_classes", "instruction_mix"}]. *)

@@ -99,13 +99,21 @@ type t = {
   pm : State.t option;
   recovery : (Image.t -> bool) option;
   crash_check_every_fence : bool;
+  metrics : Obs.Metrics.t;
   mutable finished : bool;
 }
 
 let create ?(model = Strict) ?rules ?(config = Order_config.empty) ?array_capacity ?merge_threshold ?mode
-    ?interval_metadata ?pm ?recovery ?(crash_check_every_fence = false) ?(max_bugs_per_kind = 1000) () =
+    ?interval_metadata ?pm ?recovery ?(crash_check_every_fence = false) ?(max_bugs_per_kind = 1000)
+    ?(metrics = Obs.Metrics.disabled) () =
   let rules = match rules with Some r -> r | None -> default_rules model in
-  let make_space () = Space.create ?array_capacity ?merge_threshold ?mode ?interval_metadata () in
+  let make_space () = Space.create ?array_capacity ?merge_threshold ?mode ?interval_metadata ~metrics () in
+  (* Declare one zero counter per rule so a run's metrics file always
+     carries the complete per-rule vector, fired or not. *)
+  if Obs.Metrics.is_on metrics then
+    List.iter
+      (fun kind -> Obs.Metrics.inc metrics ~labels:[ ("rule", Bug.kind_name kind) ] ~by:0 "detector_rule_fires_total")
+      Bug.all_kinds;
   {
     model;
     rules;
@@ -131,6 +139,7 @@ let create ?(model = Strict) ?rules ?(config = Order_config.empty) ?array_capaci
     pm;
     recovery;
     crash_check_every_fence;
+    metrics;
     finished = false;
   }
 
@@ -145,8 +154,10 @@ let report_bug t kind ~addr ?(size = 0) ~detail () =
     if n < t.max_bugs_per_kind then begin
       Hashtbl.replace t.kind_counts kind (n + 1);
       Hashtbl.replace t.bugs key (Bug.make ~addr ~size ~seq:t.seq ~detail kind);
-      t.bug_keys <- key :: t.bug_keys
+      t.bug_keys <- key :: t.bug_keys;
+      Obs.Metrics.inc t.metrics ~labels:[ ("rule", Bug.kind_name kind) ] "detector_rule_fires_total"
     end
+    else Obs.Metrics.inc t.metrics ~labels:[ ("rule", Bug.kind_name kind) ] "detector_bugs_suppressed_total"
   end
 
 let in_registered t ~lo ~hi =
@@ -231,6 +242,7 @@ let note_var_store t ~lo ~hi =
 let run_crash_check t =
   match (t.pm, t.recovery) with
   | Some pm, Some recovery when t.rules.cross_failure ->
+      Obs.Metrics.inc t.metrics "detector_crash_checks_total";
       let violations = Crash_check.violations ~pm ~recovery () in
       if violations > 0 then
         report_bug t Bug.Cross_failure_semantic ~addr:(-1)

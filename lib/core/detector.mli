@@ -41,8 +41,14 @@ val create :
   ?recovery:(Pmem.Image.t -> bool) ->
   ?crash_check_every_fence:bool (** default false: check at program end only *) ->
   ?max_bugs_per_kind:int (** default 1000 *) ->
+  ?metrics:Obs.Metrics.t ->
   unit ->
   t
+(** [metrics] (default disabled) is shared with every bookkeeping space
+    the detector creates and receives
+    [detector_rule_fires_total{rule}] (pre-declared at zero for all ten
+    rules), [detector_bugs_suppressed_total{rule}] (findings dropped by
+    [max_bugs_per_kind]) and [detector_crash_checks_total]. *)
 
 val sink : t -> Pmtrace.Sink.t
 

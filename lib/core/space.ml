@@ -7,6 +7,7 @@ type t = {
   interval_metadata : bool;
   capacity : int;
   merge_threshold : int;
+  metrics : Obs.Metrics.t;
   slots : Slot.t array;
   mutable live : int;  (* number of appended slots in the current fence interval *)
   mutable first_meta : Clf_meta.t;
@@ -22,14 +23,22 @@ type t = {
   mutable tree_size_sum : int;
 }
 
-let create ?(array_capacity = 100_000) ?(merge_threshold = 500) ?(mode = Hybrid) ?(interval_metadata = true) () =
+let create ?(array_capacity = 100_000) ?(merge_threshold = 500) ?(mode = Hybrid) ?(interval_metadata = true)
+    ?(metrics = Obs.Metrics.disabled) () =
   let capacity = match mode with Tree_only -> 0 | Hybrid | Array_only -> array_capacity in
+  (* Pre-declare the hit/spill pair so every snapshot shows both sides
+     of the hybrid, zeros included. *)
+  if Obs.Metrics.is_on metrics then begin
+    Obs.Metrics.inc metrics ~by:0 "space_array_hits_total";
+    Obs.Metrics.inc metrics ~by:0 "space_tree_spills_total"
+  end;
   let meta = Clf_meta.make ~start_idx:0 in
   {
     mode;
     interval_metadata;
     capacity;
     merge_threshold;
+    metrics;
     slots = Array.init capacity (fun _ -> Slot.fresh ());
     live = 0;
     first_meta = meta;
@@ -132,15 +141,19 @@ let unflush_overlaps t ~need_overlap ~lo ~hi =
 
 let process_store t ?(check_overlap = true) ~addr ~size ~epoch ~seq ~tid ~strand () =
   let overlapped = unflush_overlaps t ~need_overlap:check_overlap ~lo:addr ~hi:(addr + size) in
-  if t.mode = Tree_only || t.live >= t.capacity then
+  if t.mode = Tree_only || t.live >= t.capacity then begin
     (* Rare overflow path (§4.1): spill straight to the tree. *)
     tree_insert_payload t ~lo:addr ~hi:(addr + size)
-      { Slot.p_flushed = false; p_epoch = epoch; p_seq = seq; p_tid = tid; p_strand = strand }
+      { Slot.p_flushed = false; p_epoch = epoch; p_seq = seq; p_tid = tid; p_strand = strand };
+    Obs.Metrics.inc t.metrics "space_tree_spills_total"
+  end
   else begin
     let idx = t.live in
     Slot.fill t.slots.(idx) ~addr ~size ~epoch ~seq ~tid ~strand;
     t.live <- idx + 1;
-    Clf_meta.note_store t.cur_meta ~idx ~lo:addr ~hi:(addr + size)
+    Clf_meta.note_store t.cur_meta ~idx ~lo:addr ~hi:(addr + size);
+    Obs.Metrics.inc t.metrics "space_array_hits_total";
+    Obs.Metrics.max_set t.metrics "space_array_live_peak" (float_of_int t.live)
   end;
   overlapped
 
@@ -217,7 +230,8 @@ let process_clf t ~lo ~hi =
             let n = m.Clf_meta.end_idx - m.Clf_meta.start_idx + 1 in
             matched := !matched + n;
             newly := !newly + n;
-            m.Clf_meta.state <- Clf_meta.All_flushed
+            m.Clf_meta.state <- Clf_meta.All_flushed;
+            Obs.Metrics.inc t.metrics "space_collective_clf_total"
           end
           else begin
             for i = m.Clf_meta.start_idx to m.Clf_meta.end_idx do
@@ -275,16 +289,22 @@ let process_fence t =
   (* Array: per interval, All_flushed drops wholesale (metadata
      invalidation only); otherwise flushed slots drop and unflushed
      slots migrate to the tree. *)
+  let migrated = ref 0 in
   let visit_meta (m : Clf_meta.t) =
     if not (Clf_meta.is_empty m) then
       if t.interval_metadata && m.Clf_meta.state = Clf_meta.All_flushed then ()
       else
         for i = m.Clf_meta.start_idx to m.Clf_meta.end_idx do
           let s = t.slots.(i) in
-          if s.Slot.valid && not (slot_flushed t m s) then tree_insert_slot t s
+          if s.Slot.valid && not (slot_flushed t m s) then begin
+            tree_insert_slot t s;
+            incr migrated
+          end
         done
   in
   iter_metas t visit_meta;
+  Obs.Metrics.inc t.metrics ~by:!migrated "space_fence_migrations_total";
+  Obs.Metrics.max_set t.metrics "space_tree_size_peak" (float_of_int (Rangetree.size t.tree));
   t.live <- 0;
   let meta = Clf_meta.make ~start_idx:0 in
   t.first_meta <- meta;
@@ -298,6 +318,8 @@ let process_fence t =
     Rangetree.reorganize t.tree
       ~eq:(fun (a : Slot.payload) b -> a.Slot.p_flushed = b.Slot.p_flushed && a.Slot.p_epoch = b.Slot.p_epoch && a.Slot.p_strand = b.Slot.p_strand)
       ~merge:(fun a b -> if a.Slot.p_seq >= b.Slot.p_seq then a else b);
+    Obs.Metrics.inc t.metrics "space_reorganizations_total";
+    Obs.Metrics.inc t.metrics ~by:(max 0 (t.last_reorg_size - Rangetree.size t.tree)) "space_interval_merges_total";
     t.last_reorg_size <- Rangetree.size t.tree
   end
 

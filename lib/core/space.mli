@@ -21,8 +21,15 @@ val create :
   ?merge_threshold:int (** default 500 (§4.4) *) ->
   ?mode:mode ->
   ?interval_metadata:bool ->
+  ?metrics:Obs.Metrics.t ->
   unit ->
   t
+(** [metrics] (default disabled) receives the bookkeeping telemetry of
+    Figs. 10–12: [space_array_hits_total] vs [space_tree_spills_total],
+    [space_collective_clf_total] (Pattern-2 interval updates),
+    [space_fence_migrations_total], [space_reorganizations_total],
+    [space_interval_merges_total] (nodes merged away by reorganizing)
+    and the [space_array_live_peak] / [space_tree_size_peak] gauges. *)
 
 (** {1 Processing} *)
 

@@ -23,7 +23,8 @@ let check_images st ~max_images ~recovery =
   let failing = List.fold_left (fun acc img -> if recovery img then acc else acc + 1) 0 images in
   (failing, List.length images)
 
-let explore ?(boundaries = Every_op) ?(max_images = 64) ?(stop_at_first = false) ~recovery steps =
+let explore ?(boundaries = Every_op) ?(max_images = 64) ?(stop_at_first = false)
+    ?(metrics = Obs.Metrics.disabled) ~recovery steps =
   let st = Pmem.State.create () in
   let n = Array.length steps in
   let boundaries_checked = ref 0 and images_checked = ref 0 and failures = ref [] in
@@ -42,10 +43,12 @@ let explore ?(boundaries = Every_op) ?(max_images = 64) ?(stop_at_first = false)
     end;
     incr i
   done;
+  Obs.Metrics.inc metrics ~by:!boundaries_checked "crash_explore_prefixes_replayed_total";
+  Obs.Metrics.inc metrics ~by:!images_checked "crash_explore_images_tested_total";
   { boundaries_checked = !boundaries_checked; images_checked = !images_checked; failures = List.rev !failures }
 
-let minimal_failing_prefix ?max_images ~recovery steps =
-  match (explore ?max_images ~stop_at_first:true ~recovery steps).failures with
+let minimal_failing_prefix ?max_images ?metrics ~recovery steps =
+  match (explore ?max_images ?metrics ~stop_at_first:true ~recovery steps).failures with
   | f :: _ -> Some f
   | [] -> None
 
@@ -56,23 +59,28 @@ let minimal_failing_prefix ?max_images ~recovery steps =
    When every fence passes but the caller knows the trace is bad (an
    inconsistency window that closes before the next fence), fall back to
    the full fine scan. *)
-let bisect ?(max_images = 64) ~recovery steps =
+let bisect ?(max_images = 64) ?(metrics = Obs.Metrics.disabled) ~recovery steps =
   let n = Array.length steps in
   let st = Pmem.State.create () in
   let last_ok = ref (-1) in
   let coarse_fail = ref None in
   let i = ref 0 in
+  let note_check checked =
+    Obs.Metrics.inc metrics "crash_explore_prefixes_replayed_total";
+    Obs.Metrics.inc metrics ~by:checked "crash_explore_images_tested_total"
+  in
   while !coarse_fail = None && !i < n do
     let step = steps.(!i) in
     Replay.apply st step;
     if Replay.is_fence step then begin
       let failing, checked = check_images st ~max_images ~recovery in
+      note_check checked;
       if failing > 0 then coarse_fail := Some (!i, failing, checked) else last_ok := !i
     end;
     incr i
   done;
   match !coarse_fail with
-  | None -> minimal_failing_prefix ~max_images ~recovery steps
+  | None -> minimal_failing_prefix ~max_images ~metrics ~recovery steps
   | Some (fail_at, _, _) ->
       (* Replay the known-good prefix, then check every boundary inside
          the window. The window always contains a failing boundary: its
@@ -88,6 +96,7 @@ let bisect ?(max_images = 64) ~recovery steps =
         Replay.apply st step;
         if is_boundary Every_op step then begin
           let failing, checked = check_images st ~max_images ~recovery in
+          note_check checked;
           if failing > 0 then
             found := Some { index = !j; step; failing_images = failing; images_checked = checked }
         end;

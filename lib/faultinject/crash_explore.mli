@@ -31,19 +31,23 @@ val explore :
   ?boundaries:boundaries ->
   ?max_images:int ->
   ?stop_at_first:bool ->
+  ?metrics:Obs.Metrics.t ->
   recovery:(Pmem.Image.t -> bool) ->
   Replay.step array ->
   result
 (** Full scan. [max_images] bounds the images sampled per boundary
-    (default 64); [stop_at_first] stops at the first failing boundary. *)
+    (default 64); [stop_at_first] stops at the first failing boundary.
+    [metrics] (default disabled) receives
+    [crash_explore_prefixes_replayed_total] (boundaries whose crash
+    images were derived) and [crash_explore_images_tested_total]. *)
 
 val minimal_failing_prefix :
-  ?max_images:int -> recovery:(Pmem.Image.t -> bool) -> Replay.step array -> failure option
+  ?max_images:int -> ?metrics:Obs.Metrics.t -> recovery:(Pmem.Image.t -> bool) -> Replay.step array -> failure option
 (** First failing boundary of the [Every_op] scan — by construction the
     minimal trace prefix after which some crash image fails recovery. *)
 
 val bisect :
-  ?max_images:int -> recovery:(Pmem.Image.t -> bool) -> Replay.step array -> failure option
+  ?max_images:int -> ?metrics:Obs.Metrics.t -> recovery:(Pmem.Image.t -> bool) -> Replay.step array -> failure option
 (** Cheap minimal-prefix search: a coarse fence-only pass finds the
     first failing fence, then a fine event-by-event pass covers only the
     window after the last passing fence — far fewer image derivations on

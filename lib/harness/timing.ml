@@ -8,13 +8,31 @@ let median_of ?(repeats = 3) f =
   let sorted = List.sort compare samples in
   List.nth sorted (List.length sorted / 2)
 
+type dispatch_profile = { p50_s : float; p95_s : float; samples : int }
+
 type measurement = {
   native_s : float;
   nulgrind_s : float;
   detector_s : (string * float) list;
+  dispatch : (string * dispatch_profile) list;
 }
 
 let slowdown m t = if m.native_s > 0.0 then t /. m.native_s else 0.0
+
+(* One timed pass per event: the per-event dispatch latency histogram
+   behind the p50/p95 columns. Kept out of the median-timed replays so
+   the gettimeofday pair does not pollute the whole-run numbers. *)
+let dispatch_profile trace sink =
+  let h = Obs.Metrics.hist_create () in
+  Array.iter
+    (fun ev ->
+      let t0 = Unix.gettimeofday () in
+      sink.Pmtrace.Sink.on_event ev;
+      Obs.Metrics.hist_observe h (Unix.gettimeofday () -. t0))
+    trace;
+  ignore (sink.Pmtrace.Sink.finish ());
+  let v = Obs.Metrics.hist_view h in
+  { p50_s = Obs.Metrics.quantile v 0.5; p95_s = Obs.Metrics.quantile v 0.95; samples = v.Obs.Metrics.h_count }
 
 let measure ?(repeats = 3) ~run ~detectors () =
   (* Native: same workload, instrumentation disabled. *)
@@ -32,4 +50,8 @@ let measure ?(repeats = 3) ~run ~detectors () =
   let detector_s =
     List.map (fun (name, mk) -> (name, native_s +. replay_median mk)) detectors
   in
-  ({ native_s; nulgrind_s = native_s +. nulgrind_replay; detector_s }, trace)
+  let dispatch =
+    ("nulgrind", dispatch_profile trace (Pmtrace.Sink.noop "nulgrind"))
+    :: List.map (fun (name, mk) -> (name, dispatch_profile trace (mk ()))) detectors
+  in
+  ({ native_s; nulgrind_s = native_s +. nulgrind_replay; detector_s; dispatch }, trace)

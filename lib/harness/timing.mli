@@ -4,20 +4,36 @@
     program with detectors disabled. Here the "original program" is the
     workload run with instrumentation off; Nulgrind adds dispatch-only
     instrumentation; each detector adds its bookkeeping on top. Times
-    are medians of repeated runs on a recorded trace. *)
+    are medians of repeated runs on a recorded trace; {!measure} also
+    profiles per-event dispatch latency into an {!Obs.Metrics} histogram
+    and reports its p50/p95 per tool. *)
 
 val time_once : (unit -> unit) -> float
 
 val median_of : ?repeats:int (** default 3 *) -> (unit -> unit) -> float
 
+type dispatch_profile = {
+  p50_s : float;  (** median per-event dispatch latency *)
+  p95_s : float;  (** tail per-event dispatch latency *)
+  samples : int;  (** events profiled (= trace length) *)
+}
+
 type measurement = {
   native_s : float;  (** uninstrumented workload run *)
   nulgrind_s : float;  (** native + dispatch to a no-op sink *)
   detector_s : (string * float) list;  (** native + dispatch + bookkeeping *)
+  dispatch : (string * dispatch_profile) list;
+      (** per-event dispatch latency quantiles, ["nulgrind"] first then
+          one entry per detector, from a single profiled replay *)
 }
 
 val slowdown : measurement -> float -> float
 (** [slowdown m t] is [t /. m.native_s]. *)
+
+val dispatch_profile : Pmtrace.Recorder.trace -> Pmtrace.Sink.t -> dispatch_profile
+(** Replay the trace into the sink, timing every [on_event] call into a
+    fixed-bucket histogram ({!Obs.Metrics.latency_bounds}); the sink's
+    [finish] runs (its result is dropped). *)
 
 val measure :
   ?repeats:int ->
@@ -27,4 +43,5 @@ val measure :
   measurement * Pmtrace.Recorder.trace
 (** Runs the workload natively (instrumentation off) for the baseline
     time, records its trace once, then replays the trace into each
-    detector; detector total time = native + replay. *)
+    detector; detector total time = native + replay. A final profiled
+    replay per tool fills [dispatch]. *)

@@ -1,0 +1,5 @@
+let source = ref Sys.time
+
+let now () = !source ()
+
+let set f = source := f

@@ -1,0 +1,10 @@
+(** Pluggable time source.
+
+    The obs library is dependency-free, so it cannot call
+    [Unix.gettimeofday] itself; layers that link unix install it once
+    (the CLI and bench do). The default, [Sys.time], is monotone and
+    good enough for tests. *)
+
+val now : unit -> float
+
+val set : (unit -> float) -> unit

@@ -1,0 +1,43 @@
+(** Minimal JSON tree, printer and parser — the interchange format for
+    metrics snapshots, bench reports and machine-readable figures.
+
+    Deliberately dependency-free (the obs library must stay attachable
+    to every layer, including [pmem] and [pmtrace]). The printer is
+    stable: the same tree always renders to the same string, and floats
+    keep a decimal point so a round-trip preserves the Int/Float
+    distinction. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : ?indent:bool -> t -> string
+(** [indent] (default true) pretty-prints with two-space indentation;
+    [false] renders a single line. Non-finite floats render as [null]
+    (JSON has no representation for them). *)
+
+val of_string : string -> (t, string) result
+(** Parses a complete JSON document; trailing garbage is an error.
+    Numbers without [.], [e] or [E] parse as [Int]. *)
+
+val to_file : string -> t -> unit
+(** Pretty-prints to a file (trailing newline included). Raises
+    [Sys_error] on write failure; the channel never leaks. *)
+
+val of_file : string -> (t, string) result
+
+val member : string -> t -> t option
+(** Field lookup on [Obj]; [None] on missing field or non-object. *)
+
+val to_int : t -> int option
+(** [Int n] and integral [Float] both yield [Some]. *)
+
+val to_float : t -> float option
+(** [Int] and [Float] both yield [Some]. *)
+
+val to_str : t -> string option

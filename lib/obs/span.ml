@@ -1,0 +1,48 @@
+type finished = {
+  sp_name : string;
+  sp_attrs : (string * string) list;
+  sp_start_s : float;
+  sp_dur_s : float;
+}
+
+type t = { on : bool; mutable spans_rev : finished list }
+
+let create ?(enabled = true) () = { on = enabled; spans_rev = [] }
+
+let disabled = { on = false; spans_rev = [] }
+
+let is_on t = t.on
+
+let record t ?(attrs = []) name f =
+  if not t.on then f ()
+  else begin
+    let start = Clock.now () in
+    let note extra =
+      let dur = Clock.now () -. start in
+      t.spans_rev <- { sp_name = name; sp_attrs = attrs @ extra; sp_start_s = start; sp_dur_s = dur } :: t.spans_rev
+    in
+    match f () with
+    | result ->
+        note [];
+        result
+    | exception exn ->
+        note [ ("error", Printexc.to_string exn) ];
+        raise exn
+  end
+
+let finished t = List.rev t.spans_rev
+
+let clear t = t.spans_rev <- []
+
+let to_json t =
+  Json.List
+    (List.map
+       (fun s ->
+         Json.Obj
+           [
+             ("name", Json.Str s.sp_name);
+             ("start_s", Json.Float s.sp_start_s);
+             ("dur_s", Json.Float s.sp_dur_s);
+             ("attrs", Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) s.sp_attrs));
+           ])
+       (finished t))

@@ -1,0 +1,37 @@
+(** Lightweight span tracing: named, attributed wall-clock intervals.
+
+    Spans cover the coarse phases of a run (record, replay, detector
+    finish, crash exploration) where a histogram would hide the
+    sequence; the metrics registry covers the per-event hot path.
+    Timestamps come from {!Clock}. *)
+
+type t
+
+type finished = {
+  sp_name : string;
+  sp_attrs : (string * string) list;
+  sp_start_s : float;  (** {!Clock.now} at entry *)
+  sp_dur_s : float;
+}
+
+val create : ?enabled:bool (** default [true] *) -> unit -> t
+
+val disabled : t
+(** Shared always-off collector: {!record} is one branch, nothing is
+    stored. *)
+
+val is_on : t -> bool
+
+val record : t -> ?attrs:(string * string) list -> string -> (unit -> 'a) -> 'a
+(** Run the thunk inside a span. The span is recorded even when the
+    thunk raises (the exception is re-raised); attribute ["error"] is
+    added with the exception text in that case. *)
+
+val finished : t -> finished list
+(** Completed spans in start order. *)
+
+val clear : t -> unit
+
+val to_json : t -> Json.t
+(** [{"spans": [{"name", "start_s", "dur_s", "attrs"}, ...]}] member
+    list, embedded in metrics files next to the registry snapshot. *)

@@ -13,6 +13,7 @@ type t = {
   mutable active : slot array; (* dispatch cache, attach order, healthy only *)
   mutable active_dirty : bool;
   mutable instrument : bool;
+  mutable metrics : Obs.Metrics.t;
   mutable tid : int;
   mutable seq : int;
   mutable n_stores : int;
@@ -21,13 +22,14 @@ type t = {
   mutable n_other : int;
 }
 
-let create ?initial_size () =
+let create ?initial_size ?(metrics = Obs.Metrics.disabled) () =
   {
     state = Pmem.State.create ?initial_size ();
     slots_rev = [];
     active = [||];
     active_dirty = false;
     instrument = true;
+    metrics;
     tid = 0;
     seq = 0;
     n_stores = 0;
@@ -57,6 +59,7 @@ let refresh_active t =
 
 let quarantine t slot exn =
   slot.failure <- Some (Printexc.to_string exn);
+  Obs.Metrics.inc t.metrics ~labels:[ ("sink", slot.sink.Sink.name) ] "engine_sinks_quarantined_total";
   t.active_dirty <- true
 
 let quarantined t =
@@ -66,9 +69,23 @@ let quarantined t =
 
 let set_instrumentation t b = t.instrument <- b
 
+let metrics t = t.metrics
+
+let set_metrics t m = t.metrics <- m
+
 let seq t = t.seq
 
 let set_tid t tid = t.tid <- tid
+
+let run_sinks t slots ev =
+  for i = 0 to Array.length slots - 1 do
+    let slot = slots.(i) in
+    if slot.failure = None then begin
+      match slot.sink.Sink.on_event ev with
+      | () -> slot.events_seen <- slot.events_seen + 1
+      | exception exn -> quarantine t slot exn
+    end
+  done
 
 let dispatch t ev =
   t.seq <- t.seq + 1;
@@ -80,14 +97,15 @@ let dispatch t ev =
   if t.instrument then begin
     if t.active_dirty then refresh_active t;
     let slots = t.active in
-    for i = 0 to Array.length slots - 1 do
-      let slot = slots.(i) in
-      if slot.failure = None then begin
-        match slot.sink.Sink.on_event ev with
-        | () -> slot.events_seen <- slot.events_seen + 1
-        | exception exn -> quarantine t slot exn
-      end
-    done
+    (* Hot path: the disabled-metrics cost is this one branch. *)
+    if not (Obs.Metrics.is_on t.metrics) then run_sinks t slots ev
+    else begin
+      let labels = [ ("class", Event.class_name ev) ] in
+      Obs.Metrics.inc t.metrics ~labels "engine_events_total";
+      let t0 = Unix.gettimeofday () in
+      run_sinks t slots ev;
+      Obs.Metrics.observe t.metrics ~labels "engine_dispatch_seconds" (Unix.gettimeofday () -. t0)
+    end
   end
 
 let finish_slot slot =

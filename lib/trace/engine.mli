@@ -16,7 +16,13 @@
 
 type t
 
-val create : ?initial_size:int -> unit -> t
+val create : ?initial_size:int -> ?metrics:Obs.Metrics.t -> unit -> t
+(** [metrics] (default the shared disabled registry) receives
+    per-event-class dispatch counts and latencies
+    ([engine_events_total{class}], [engine_dispatch_seconds{class}])
+    and sink quarantine events
+    ([engine_sinks_quarantined_total{sink}]). With the registry
+    disabled the whole instrumentation costs one branch per event. *)
 
 val pm : t -> Pmem.State.t
 
@@ -41,6 +47,12 @@ val finish_all : t -> Bug.report list
 
 val set_instrumentation : t -> bool -> unit
 (** When off, events are not dispatched (PM semantics still apply). *)
+
+val metrics : t -> Obs.Metrics.t
+
+val set_metrics : t -> Obs.Metrics.t -> unit
+(** Swap the telemetry registry (e.g. to enable metrics after
+    {!create}). *)
 
 val seq : t -> int
 (** Number of events emitted so far (sequence counter). *)

@@ -61,3 +61,15 @@ let tid = function
   | Call { tid; _ } ->
       tid
   | Register_pmem _ | Register_var _ | Annotation _ | Program_end -> 0
+
+let class_name = function
+  | Store _ -> "store"
+  | Clf _ -> "clf"
+  | Fence _ -> "fence"
+  | Register_pmem _ | Register_var _ -> "register"
+  | Epoch_begin _ | Epoch_end _ -> "epoch"
+  | Strand_begin _ | Strand_end _ | Join_strand _ -> "strand"
+  | Tx_log _ -> "tx_log"
+  | Call _ -> "call"
+  | Annotation _ -> "annotation"
+  | Program_end -> "program_end"

@@ -48,3 +48,8 @@ val is_fence : t -> bool
 
 val tid : t -> int
 (** Thread id of the event; 0 for global events. *)
+
+val class_name : t -> string
+(** Event class for metric labels: ["store"], ["clf"], ["fence"],
+    ["register"], ["epoch"], ["strand"], ["tx_log"], ["call"],
+    ["annotation"] or ["program_end"]. *)

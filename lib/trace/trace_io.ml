@@ -112,7 +112,7 @@ let of_string text =
 
 type lenient = { trace : Event.t array; skipped : (int * string) list; synthesized_end : bool }
 
-let of_string_lenient ?(synthesize_end = true) text =
+let of_string_lenient ?(metrics = Obs.Metrics.disabled) ?(synthesize_end = true) text =
   let lines = String.split_on_char '\n' text in
   let events = ref [] and n = ref 0 and skipped = ref [] in
   List.iteri
@@ -124,6 +124,8 @@ let of_string_lenient ?(synthesize_end = true) text =
           incr n
       | Error msg -> skipped := (i + 1, msg) :: !skipped)
     lines;
+  Obs.Metrics.inc metrics ~by:!n "trace_io_lines_parsed_total";
+  Obs.Metrics.inc metrics ~by:(List.length !skipped) "trace_io_lines_skipped_total";
   let truncated = match !events with Event.Program_end :: _ -> false | _ -> true in
   let synthesized_end = synthesize_end && truncated in
   if synthesized_end then begin
@@ -162,5 +164,5 @@ let read_file path =
 
 let load path = Result.bind (read_file path) of_string
 
-let load_lenient ?synthesize_end path =
-  Result.map (of_string_lenient ?synthesize_end) (read_file path)
+let load_lenient ?metrics ?synthesize_end path =
+  Result.map (of_string_lenient ?metrics ?synthesize_end) (read_file path)

@@ -43,12 +43,13 @@ type lenient = {
           appended (unless [synthesize_end:false]). *)
 }
 
-val of_string_lenient : ?synthesize_end:bool -> string -> lenient
+val of_string_lenient : ?metrics:Obs.Metrics.t -> ?synthesize_end:bool -> string -> lenient
 (** Best-effort parse: malformed lines are skipped and collected as
     per-line diagnostics instead of aborting, and a truncated trace
     (one not ending in [program_end]) gets a synthesized terminator so
     end-of-run detector rules still fire. [synthesize_end] defaults to
-    [true]. *)
+    [true]. [metrics] (default disabled) gets
+    [trace_io_lines_parsed_total] / [trace_io_lines_skipped_total]. *)
 
 val save : string -> Recorder.trace -> unit
 (** Raises [Sys_error] on write failure; the channel is closed on every
@@ -58,6 +59,6 @@ val load : string -> (Recorder.trace, string) result
 (** Strict parse of a trace file. I/O failures (including short reads)
     are reported as [Error] and never leak the input channel. *)
 
-val load_lenient : ?synthesize_end:bool -> string -> (lenient, string) result
+val load_lenient : ?metrics:Obs.Metrics.t -> ?synthesize_end:bool -> string -> (lenient, string) result
 (** [load] with {!of_string_lenient} parsing; [Error] only for I/O
     failures. *)

@@ -27,7 +27,17 @@ let test_measure () =
   Alcotest.(check bool) "nulgrind >= native" true (m.Harness.Timing.nulgrind_s >= m.Harness.Timing.native_s);
   let det = List.assoc "pmdebugger" m.Harness.Timing.detector_s in
   Alcotest.(check bool) "detector >= native" true (det >= m.Harness.Timing.native_s);
-  Alcotest.(check bool) "slowdown >= 1" true (Harness.Timing.slowdown m det >= 1.0)
+  Alcotest.(check bool) "slowdown >= 1" true (Harness.Timing.slowdown m det >= 1.0);
+  (* Satellite: per-event dispatch-latency quantiles ride along. *)
+  Alcotest.(check (list string))
+    "dispatch profiles for every tool" [ "nulgrind"; "pmdebugger" ]
+    (List.map fst m.Harness.Timing.dispatch);
+  List.iter
+    (fun (_, p) ->
+      Alcotest.(check int) "profiled every event" (Array.length trace) p.Harness.Timing.samples;
+      Alcotest.(check bool) "p50 >= 0" true (p.Harness.Timing.p50_s >= 0.0);
+      Alcotest.(check bool) "p95 >= p50" true (p.Harness.Timing.p95_s >= p.Harness.Timing.p50_s))
+    m.Harness.Timing.dispatch
 
 let test_formatters () =
   Alcotest.(check string) "fmt_f" "3.14" (Harness.Table.fmt_f 3.14159);

@@ -1,0 +1,384 @@
+(* The obs library itself (json / metrics / spans) plus its integration
+   with the instrumented pipeline layers. *)
+
+module J = Obs.Json
+module M = Obs.Metrics
+
+(* ------------------------------------------------------------------ *)
+(* Json                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let sample_json =
+  J.Obj
+    [
+      ("schema", J.Str "x/v1");
+      ("quote\"back\\slash", J.Str "tab\there\nnewline");
+      ("int", J.Int 42);
+      ("neg", J.Int (-7));
+      ("float", J.Float 0.25);
+      ("whole_float", J.Float 3.0);
+      ("tiny", J.Float 1e-7);
+      ("yes", J.Bool true);
+      ("nothing", J.Null);
+      ("list", J.List [ J.Int 1; J.Str "two"; J.Obj [] ]);
+    ]
+
+let test_json_roundtrip () =
+  List.iter
+    (fun indent ->
+      match J.of_string (J.to_string ~indent sample_json) with
+      | Error msg -> Alcotest.fail msg
+      | Ok decoded ->
+          Alcotest.(check bool) (Printf.sprintf "roundtrip indent=%b" indent) true (decoded = sample_json))
+    [ true; false ]
+
+let test_json_int_float_distinct () =
+  (* The printer forces a "." into floats so Int/Float survives a
+     round-trip — "pmdb stats --check" relies on it. *)
+  match J.of_string (J.to_string (J.List [ J.Int 3; J.Float 3.0 ])) with
+  | Ok (J.List [ J.Int 3; J.Float 3.0 ]) -> ()
+  | Ok other -> Alcotest.failf "got %s" (J.to_string ~indent:false other)
+  | Error msg -> Alcotest.fail msg
+
+let test_json_errors () =
+  List.iter
+    (fun text ->
+      match J.of_string text with
+      | Ok _ -> Alcotest.failf "accepted %S" text
+      | Error _ -> ())
+    [ ""; "{"; "[1,]"; "{\"a\":1} trailing"; "nul"; "\"unterminated"; "{\"a\" 1}" ]
+
+let test_json_accessors () =
+  Alcotest.(check (option int)) "member+to_int" (Some 42) (Option.bind (J.member "int" sample_json) J.to_int);
+  Alcotest.(check (option int)) "missing" None (Option.bind (J.member "nope" sample_json) J.to_int);
+  Alcotest.(check bool) "to_float on int" true (J.to_float (J.Int 2) = Some 2.0);
+  Alcotest.(check (option string)) "to_str" (Some "x/v1") (Option.bind (J.member "schema" sample_json) J.to_str)
+
+(* ------------------------------------------------------------------ *)
+(* Metrics registry                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_counters_and_gauges () =
+  let t = M.create () in
+  M.inc t "a_total";
+  M.inc t ~by:4 "a_total";
+  M.set t "g" 2.0;
+  M.max_set t "peak" 1.0;
+  M.max_set t "peak" 3.0;
+  M.max_set t "peak" 2.0;
+  let snap = M.snapshot t in
+  Alcotest.(check int) "counter sums" 5 (M.counter_value snap "a_total");
+  (match M.find snap "g" with
+  | Some (M.V_gauge v) -> Alcotest.(check (float 0.0)) "gauge" 2.0 v
+  | _ -> Alcotest.fail "gauge missing");
+  match M.find snap "peak" with
+  | Some (M.V_gauge v) -> Alcotest.(check (float 0.0)) "max_set keeps the peak" 3.0 v
+  | _ -> Alcotest.fail "peak missing"
+
+let test_label_merging () =
+  let t = M.create () in
+  M.inc t ~labels:[ ("b", "2"); ("a", "1") ] "x_total";
+  M.inc t ~labels:[ ("a", "1"); ("b", "2") ] "x_total";
+  M.inc t ~labels:[ ("a", "1") ] "x_total";
+  let snap = M.snapshot t in
+  Alcotest.(check int) "orders merge" 2 (M.counter_value snap ~labels:[ ("a", "1"); ("b", "2") ] "x_total");
+  Alcotest.(check int) "query order-insensitive" 2
+    (M.counter_value snap ~labels:[ ("b", "2"); ("a", "1") ] "x_total");
+  Alcotest.(check int) "subset is a distinct series" 1 (M.counter_value snap ~labels:[ ("a", "1") ] "x_total")
+
+let test_histogram_buckets () =
+  let t = M.create () in
+  let bounds = [| 1.0; 2.0; 4.0 |] in
+  (* One observation per region: first bucket (inclusive upper bound),
+     second, third, overflow. *)
+  List.iter (fun v -> M.observe t ~bounds "h" v) [ 0.5; 1.0; 1.5; 4.0; 99.0 ];
+  match M.find (M.snapshot t) "h" with
+  | Some (M.V_hist v) ->
+      Alcotest.(check (array (float 0.0))) "bounds kept" bounds v.M.h_bounds;
+      Alcotest.(check (array int)) "bucket counts (<=1, <=2, <=4, overflow)" [| 2; 1; 1; 1 |] v.M.h_counts;
+      Alcotest.(check int) "count" 5 v.M.h_count;
+      Alcotest.(check (float 1e-9)) "sum" 106.0 v.M.h_sum;
+      Alcotest.(check bool) "overflow quantile clamps to last bound" true (M.quantile v 1.0 = 4.0)
+  | _ -> Alcotest.fail "histogram missing"
+
+let test_quantiles () =
+  let h = M.hist_create ~bounds:[| 1.0; 2.0; 3.0; 4.0 |] () in
+  for v = 1 to 4 do
+    M.hist_observe h (float_of_int v -. 0.5)
+  done;
+  let v = M.hist_view h in
+  Alcotest.(check bool) "p50 in the middle" true (M.quantile v 0.5 >= 1.0 && M.quantile v 0.5 <= 3.0);
+  Alcotest.(check bool) "monotone in q" true (M.quantile v 0.95 >= M.quantile v 0.5);
+  Alcotest.(check (float 0.0)) "empty histogram" 0.0 (M.quantile (M.hist_view (M.hist_create ())) 0.5);
+  (* The view is a copy: observing afterwards must not change it. *)
+  M.hist_observe h 100.0;
+  Alcotest.(check int) "view frozen" 4 v.M.h_count
+
+let test_snapshot_determinism () =
+  let mk order =
+    let t = M.create () in
+    List.iter
+      (fun (name, labels) -> M.inc t ~labels name)
+      (if order then
+         [ ("b_total", []); ("a_total", [ ("k", "2") ]); ("a_total", [ ("k", "1") ]) ]
+       else [ ("a_total", [ ("k", "1") ]); ("a_total", [ ("k", "2") ]); ("b_total", []) ]);
+    M.observe t "h_seconds" 0.5;
+    t
+  in
+  let j1 = J.to_string (M.to_json (mk true)) and j2 = J.to_string (M.to_json (mk false)) in
+  Alcotest.(check string) "identical JSON regardless of insertion order" j1 j2;
+  let names = List.map (fun s -> s.M.name) (M.snapshot (mk true)) in
+  Alcotest.(check (list string)) "sorted by name" [ "a_total"; "a_total"; "b_total"; "h_seconds" ] names
+
+let test_metrics_json_valid () =
+  let t = M.create () in
+  M.inc t ~labels:[ ("class", "store") ] "engine_events_total";
+  M.set t "space_array_live_peak" 12.0;
+  M.observe t "engine_dispatch_seconds" 1e-6;
+  let json = M.to_json t in
+  (match M.validate_json json with
+  | Ok n -> Alcotest.(check int) "three series" 3 n
+  | Error msg -> Alcotest.fail msg);
+  (* And the validator rejects a broken document. *)
+  match M.validate_json (J.Obj [ ("schema", J.Str "pmdb-metrics/v1"); ("metrics", J.Int 3) ]) with
+  | Ok _ -> Alcotest.fail "accepted malformed metrics"
+  | Error _ -> ()
+
+let test_disabled_noop () =
+  let t = M.create ~enabled:false () in
+  M.inc t "a_total";
+  M.set t "g" 1.0;
+  M.max_set t "g" 9.0;
+  M.observe t "h" 0.5;
+  Alcotest.(check int) "nothing recorded" 0 (List.length (M.snapshot t));
+  Alcotest.(check bool) "still off" false (M.is_on t);
+  M.set_enabled t true;
+  M.inc t "a_total";
+  Alcotest.(check int) "records after enabling" 1 (M.counter_value (M.snapshot t) "a_total");
+  Alcotest.(check bool) "shared disabled registry is off" false (M.is_on M.disabled);
+  M.inc M.disabled "x";
+  Alcotest.(check int) "shared disabled registry stays empty" 0 (List.length (M.snapshot M.disabled));
+  match M.set_enabled M.disabled true with
+  | () -> Alcotest.fail "enabling the shared disabled registry must raise"
+  | exception Invalid_argument _ -> ()
+
+let test_kind_mismatch () =
+  let t = M.create () in
+  M.inc t "x";
+  match M.set t "x" 1.0 with
+  | () -> Alcotest.fail "counter used as gauge must raise"
+  | exception Invalid_argument _ -> ()
+
+(* The ISSUE's regression guard: a disabled registry must cost one
+   branch per record call, so instrumented-but-off code stays at the
+   Nulgrind baseline. Generous absolute bound to stay CI-safe: 1M
+   disabled incs in well under a second (a non-short-circuiting
+   implementation — hashing, allocation — blows past this). *)
+let test_disabled_overhead () =
+  let t = M.disabled in
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to 1_000_000 do
+    M.inc t ~labels:[ ("class", "store") ] "engine_events_total"
+  done;
+  let dt = Unix.gettimeofday () -. t0 in
+  Alcotest.(check bool) (Printf.sprintf "1M disabled incs in %.3fs < 0.5s" dt) true (dt < 0.5)
+
+(* Engine dispatch with a disabled registry vs a metrics-free baseline:
+   the instrumented hot path may not add measurable slowdown. Ratio kept
+   lenient (3x) — CI boxes are noisy; catching an accidental
+   always-on path (10-100x) is the point. *)
+let test_nulgrind_overhead_guard () =
+  let run engine =
+    Pmtrace.Engine.register_pmem engine ~base:0 ~size:65536;
+    for i = 0 to 4999 do
+      Pmtrace.Engine.store_i64 engine ~addr:(i * 8 mod 4096) 7L;
+      if i mod 8 = 7 then Pmtrace.Engine.persist engine ~addr:(i * 8 mod 4096) ~size:8
+    done;
+    Pmtrace.Engine.program_end engine
+  in
+  let replay trace =
+    let engine = Pmtrace.Engine.create () in
+    Pmtrace.Engine.attach engine (Pmtrace.Sink.noop "nulgrind");
+    Array.iter (Pmtrace.Engine.emit engine) trace;
+    ignore (Pmtrace.Engine.finish_all engine)
+  in
+  let trace = Pmtrace.Recorder.record run in
+  ignore (Sys.opaque_identity (replay trace));
+  let t = Harness.Timing.median_of ~repeats:5 (fun () -> replay trace) in
+  Alcotest.(check bool) "baseline measurable" true (t >= 0.0);
+  let t2 = Harness.Timing.median_of ~repeats:5 (fun () -> replay trace) in
+  Alcotest.(check bool)
+    (Printf.sprintf "disabled-metrics dispatch stable (%.4fs vs %.4fs)" t t2)
+    true
+    (t2 < 0.002 || t2 < 3.0 *. (t +. 0.001))
+
+(* ------------------------------------------------------------------ *)
+(* Spans                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_spans () =
+  let t = Obs.Span.create () in
+  let r = Obs.Span.record t ~attrs:[ ("k", "v") ] "outer" (fun () -> 41 + 1) in
+  Alcotest.(check int) "value through" 42 r;
+  (match Obs.Span.record t "boom" (fun () -> failwith "kaput") with
+  | () -> Alcotest.fail "must re-raise"
+  | exception Failure _ -> ());
+  let spans = Obs.Span.finished t in
+  Alcotest.(check (list string)) "both recorded, in order" [ "outer"; "boom" ]
+    (List.map (fun s -> s.Obs.Span.sp_name) spans);
+  let boom = List.nth spans 1 in
+  Alcotest.(check bool) "error attr" true (List.mem_assoc "error" boom.Obs.Span.sp_attrs);
+  List.iter (fun s -> Alcotest.(check bool) "duration >= 0" true (s.Obs.Span.sp_dur_s >= 0.0)) spans;
+  (match Obs.Span.to_json t with
+  | Obs.Json.List [ _; _ ] -> ()
+  | other -> Alcotest.failf "span json: %s" (J.to_string ~indent:false other));
+  Obs.Span.clear t;
+  Alcotest.(check int) "cleared" 0 (List.length (Obs.Span.finished t));
+  let off = Obs.Span.disabled in
+  Alcotest.(check int) "disabled runs the thunk" 7 (Obs.Span.record off "x" (fun () -> 7));
+  Alcotest.(check int) "disabled records nothing" 0 (List.length (Obs.Span.finished off))
+
+(* ------------------------------------------------------------------ *)
+(* Pipeline integration                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_engine_telemetry () =
+  let metrics = M.create () in
+  let engine = Pmtrace.Engine.create ~metrics () in
+  Pmtrace.Engine.attach engine (Pmtrace.Sink.noop "nulgrind");
+  Pmtrace.Engine.register_pmem engine ~base:0 ~size:4096;
+  Pmtrace.Engine.store_i64 engine ~addr:0 1L;
+  Pmtrace.Engine.store_i64 engine ~addr:8 2L;
+  Pmtrace.Engine.clwb engine ~addr:0;
+  Pmtrace.Engine.sfence engine;
+  Pmtrace.Engine.program_end engine;
+  ignore (Pmtrace.Engine.finish_all engine);
+  let snap = M.snapshot metrics in
+  Alcotest.(check int) "store events" 2 (M.counter_value snap ~labels:[ ("class", "store") ] "engine_events_total");
+  Alcotest.(check int) "clf events" 1 (M.counter_value snap ~labels:[ ("class", "clf") ] "engine_events_total");
+  Alcotest.(check int) "fence events" 1 (M.counter_value snap ~labels:[ ("class", "fence") ] "engine_events_total");
+  match M.find snap ~labels:[ ("class", "store") ] "engine_dispatch_seconds" with
+  | Some (M.V_hist v) -> Alcotest.(check int) "dispatch latency per store" 2 v.M.h_count
+  | _ -> Alcotest.fail "engine_dispatch_seconds missing"
+
+let test_engine_quarantine_metric () =
+  let metrics = M.create () in
+  let engine = Pmtrace.Engine.create ~metrics () in
+  Pmtrace.Engine.attach engine
+    (Pmtrace.Sink.make ~name:"bad"
+       ~on_event:(fun _ -> failwith "kaput")
+       ~finish:(fun () -> Pmtrace.Bug.empty_report "bad"));
+  Pmtrace.Engine.register_pmem engine ~base:0 ~size:4096;
+  Pmtrace.Engine.store_i64 engine ~addr:0 1L;
+  Pmtrace.Engine.program_end engine;
+  Alcotest.(check (list string)) "sink quarantined" [ "bad" ] (List.map fst (Pmtrace.Engine.quarantined engine));
+  Alcotest.(check int) "quarantine counted" 1
+    (M.counter_value (M.snapshot metrics) ~labels:[ ("sink", "bad") ] "engine_sinks_quarantined_total")
+
+let test_detector_telemetry () =
+  let metrics = M.create () in
+  let engine = Pmtrace.Engine.create ~metrics () in
+  let d = Pmdebugger.Detector.create ~metrics () in
+  Pmtrace.Engine.attach engine (Pmdebugger.Detector.sink d);
+  Pmtrace.Engine.register_pmem engine ~base:0 ~size:4096;
+  (* An unflushed store at program end: no-durability-guarantee fires. *)
+  Pmtrace.Engine.store_i64 engine ~addr:0 1L;
+  Pmtrace.Engine.program_end engine;
+  ignore (Pmtrace.Engine.finish_all engine);
+  let snap = M.snapshot metrics in
+  Alcotest.(check bool) "no-durability-guarantee fired" true
+    (M.counter_value snap ~labels:[ ("rule", "no-durability-guarantee") ] "detector_rule_fires_total" >= 1);
+  (* Every rule is pre-declared so run reports always carry the full
+     per-rule table, zeros included. *)
+  List.iter
+    (fun kind ->
+      match M.find snap ~labels:[ ("rule", Pmtrace.Bug.kind_name kind) ] "detector_rule_fires_total" with
+      | Some (M.V_counter _) -> ()
+      | _ -> Alcotest.failf "rule %s not pre-declared" (Pmtrace.Bug.kind_name kind))
+    Pmtrace.Bug.all_kinds;
+  Alcotest.(check bool) "array hits counted" true (M.counter_value snap "space_array_hits_total" >= 1)
+
+let test_suppression_metric () =
+  let metrics = M.create () in
+  let engine = Pmtrace.Engine.create () in
+  let d = Pmdebugger.Detector.create ~max_bugs_per_kind:2 ~metrics () in
+  Pmtrace.Engine.attach engine (Pmdebugger.Detector.sink d);
+  Pmtrace.Engine.register_pmem engine ~base:0 ~size:4096;
+  (* Five back-to-back overwrites of never-flushed lines. *)
+  for i = 0 to 4 do
+    Pmtrace.Engine.store_i64 engine ~addr:(i * 64) 1L;
+    Pmtrace.Engine.store_i64 engine ~addr:(i * 64) 2L
+  done;
+  Pmtrace.Engine.program_end engine;
+  let report = List.hd (Pmtrace.Engine.finish_all engine) in
+  let snap = M.snapshot metrics in
+  let fired = M.counter_value snap ~labels:[ ("rule", "multiple-overwrites") ] "detector_rule_fires_total" in
+  let dropped = M.counter_value snap ~labels:[ ("rule", "multiple-overwrites") ] "detector_bugs_suppressed_total" in
+  Alcotest.(check int) "cap respected" 2 fired;
+  Alcotest.(check int) "suppressions counted" 3 dropped;
+  Alcotest.(check int) "report agrees with the cap" 2
+    (Pmtrace.Bug.count_kind report Pmtrace.Bug.Multiple_overwrites)
+
+let test_space_spill_metric () =
+  let metrics = M.create () in
+  (* Tiny array so stores overflow into the AVL tree. *)
+  let space = Pmdebugger.Space.create ~array_capacity:4 ~metrics () in
+  for i = 0 to 15 do
+    ignore (Pmdebugger.Space.process_store space ~addr:(i * 128) ~size:8 ~epoch:false ~seq:i ~tid:0 ~strand:0 ())
+  done;
+  let snap = M.snapshot metrics in
+  Alcotest.(check int) "array absorbed its capacity" 4 (M.counter_value snap "space_array_hits_total");
+  Alcotest.(check int) "rest spilled to the tree" 12 (M.counter_value snap "space_tree_spills_total")
+
+let test_trace_io_telemetry () =
+  let metrics = M.create () in
+  let l = Pmtrace.Trace_io.of_string_lenient ~metrics "store 0 128 8\nBOGUS LINE\nfence 0\n" in
+  Alcotest.(check int) "trace survives" 3 (Array.length l.Pmtrace.Trace_io.trace);
+  let snap = M.snapshot metrics in
+  Alcotest.(check int) "parsed lines counted" 2 (M.counter_value snap "trace_io_lines_parsed_total");
+  Alcotest.(check int) "skipped lines counted" 1 (M.counter_value snap "trace_io_lines_skipped_total")
+
+let test_crash_explore_telemetry () =
+  let metrics = M.create () in
+  let steps =
+    Faultinject.Replay.capture (fun e ->
+        Pmtrace.Engine.register_pmem e ~base:0 ~size:4096;
+        Pmtrace.Engine.store_i64 e ~addr:0 1L;
+        Pmtrace.Engine.persist e ~addr:0 ~size:8;
+        Pmtrace.Engine.store_i64 e ~addr:8 2L;
+        Pmtrace.Engine.persist e ~addr:8 ~size:8;
+        Pmtrace.Engine.program_end e)
+  in
+  let r = Faultinject.Crash_explore.explore ~metrics ~recovery:(fun _ -> true) steps in
+  let snap = M.snapshot metrics in
+  Alcotest.(check int) "prefixes counted" r.Faultinject.Crash_explore.boundaries_checked
+    (M.counter_value snap "crash_explore_prefixes_replayed_total");
+  Alcotest.(check int) "images counted" r.Faultinject.Crash_explore.images_checked
+    (M.counter_value snap "crash_explore_images_tested_total");
+  Alcotest.(check bool) "something was explored" true (r.Faultinject.Crash_explore.boundaries_checked > 0)
+
+let suite =
+  [
+    Alcotest.test_case "json-roundtrip" `Quick test_json_roundtrip;
+    Alcotest.test_case "json-int-float" `Quick test_json_int_float_distinct;
+    Alcotest.test_case "json-errors" `Quick test_json_errors;
+    Alcotest.test_case "json-accessors" `Quick test_json_accessors;
+    Alcotest.test_case "counters-gauges" `Quick test_counters_and_gauges;
+    Alcotest.test_case "label-merging" `Quick test_label_merging;
+    Alcotest.test_case "histogram-buckets" `Quick test_histogram_buckets;
+    Alcotest.test_case "quantiles" `Quick test_quantiles;
+    Alcotest.test_case "snapshot-determinism" `Quick test_snapshot_determinism;
+    Alcotest.test_case "metrics-json-valid" `Quick test_metrics_json_valid;
+    Alcotest.test_case "disabled-noop" `Quick test_disabled_noop;
+    Alcotest.test_case "kind-mismatch" `Quick test_kind_mismatch;
+    Alcotest.test_case "disabled-overhead" `Quick test_disabled_overhead;
+    Alcotest.test_case "nulgrind-overhead-guard" `Quick test_nulgrind_overhead_guard;
+    Alcotest.test_case "spans" `Quick test_spans;
+    Alcotest.test_case "engine-telemetry" `Quick test_engine_telemetry;
+    Alcotest.test_case "engine-quarantine-metric" `Quick test_engine_quarantine_metric;
+    Alcotest.test_case "detector-telemetry" `Quick test_detector_telemetry;
+    Alcotest.test_case "suppression-metric" `Quick test_suppression_metric;
+    Alcotest.test_case "space-spill-metric" `Quick test_space_spill_metric;
+    Alcotest.test_case "trace-io-telemetry" `Quick test_trace_io_telemetry;
+    Alcotest.test_case "crash-explore-telemetry" `Quick test_crash_explore_telemetry;
+  ]

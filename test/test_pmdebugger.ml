@@ -17,6 +17,7 @@ let () =
       ("pqueue", Test_pqueue.suite);
       ("memcached-sites", Test_memcached_sites.suite);
       ("charz", Test_charz.suite);
+      ("obs", Test_obs.suite);
       ("harness", Test_harness.suite);
       ("bugbench", Test_bugbench.suite);
       ("faultinject", Test_faultinject.suite);
