@@ -6,11 +6,12 @@
      dune exec bench/main.exe -- --quick  -- CI smoke: report only, small sizes
 
    Experiments: fig2a fig2b fig2c fig8 table5 table_sota table6 fig10
-   fig11 newbugs ablation faultinject bechamel report
+   fig11 newbugs ablation faultinject bechamel report streaming
 
-   The report experiment also writes BENCH_pr2.json (pmdb-bench/v1:
-   per-bench slowdowns + dispatch-latency quantiles + a telemetry
-   snapshot); validate it with `pmdb stats --check BENCH_pr2.json`. *)
+   The report experiment also writes BENCH_pr2.json and the streaming
+   experiment BENCH_pr3.json (both pmdb-bench/v1: per-bench slowdowns +
+   dispatch-latency quantiles + a telemetry snapshot); validate them
+   with `pmdb stats --check BENCH_prN.json`. *)
 
 open Pmtrace
 module W = Workloads.Workload
@@ -750,6 +751,191 @@ let report () =
   flush stdout
 
 (* ------------------------------------------------------------------ *)
+(* Streaming replay: constant-memory file replay vs materialized.      *)
+(* Writes BENCH_pr3.json.                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* A synthetic trace big enough that holding it in memory shows up in
+   Gc.stat: bursts of four stores to one cache line, one clwb and one
+   fence per burst, cycling over a bounded region. Detector state stays
+   O(region), so the only O(trace) storage candidate is the trace
+   itself — exactly what the streamed path must not hold. *)
+let generate_stream_trace path ~bursts =
+  let lines = 4096 in
+  Trace_io.save_stream path (fun emit ->
+      emit (Event.Register_pmem { base = 0; size = lines * 64 });
+      for i = 0 to bursts - 1 do
+        let addr = i mod lines * 64 in
+        for s = 0 to 3 do
+          emit (Event.Store { addr = addr + (s * 16); size = 16; tid = 0 })
+        done;
+        emit (Event.Clf { addr; size = 64; kind = Event.Clwb; tid = 0 });
+        emit (Event.Fence { tid = 0 })
+      done;
+      emit Event.Program_end)
+
+let live_words () =
+  Gc.compact ();
+  (Gc.stat ()).Gc.live_words
+
+let streaming () =
+  let q = !quick in
+  let bursts = if q then 20_000 else 170_000 in
+  let path = Filename.temp_file "pmdb_streaming" ".pmt" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+  @@ fun () ->
+  let t0 = Unix.gettimeofday () in
+  let events = generate_stream_trace path ~bursts in
+  let gen_s = Unix.gettimeofday () -. t0 in
+  let mk () = mk_pmdebugger Pmdebugger.Detector.Strict () in
+  let metrics = Obs.Metrics.create () in
+  (* Every 128th event is individually timed: enough samples for p50/p95
+     without the clock dominating the run. *)
+  let sampled_emit hist emit =
+    let k = ref 0 in
+    fun ev ->
+      incr k;
+      if !k land 127 = 0 then begin
+        let t = Unix.gettimeofday () in
+        emit ev;
+        Obs.Metrics.hist_observe hist (Unix.gettimeofday () -. t)
+      end
+      else emit ev
+  in
+  (* The detector allocates a fixed footprint up front (slot array +
+     shadow for the registered region) — measure it once so the deltas
+     below isolate storage attributable to trace LENGTH, which is what
+     streaming must keep constant. *)
+  let detector_words =
+    let before = live_words () in
+    let sink = mk () in
+    sink.Sink.on_event (Event.Register_pmem { base = 0; size = 4096 * 64 });
+    sink.Sink.on_event (Event.Store { addr = 0; size = 16; tid = 0 });
+    let dw = live_words () - before in
+    ignore (sink.Sink.finish ());
+    dw
+  in
+  let base = live_words () in
+  (* Streamed, timed. *)
+  let hist_streamed = Obs.Metrics.hist_create () in
+  let t0 = Unix.gettimeofday () in
+  let report_streamed =
+    Recorder.replay_stream
+      (fun emit ->
+        match Trace_io.iter_file ~metrics path ~f:(sampled_emit hist_streamed emit) with
+        | Ok _ -> ()
+        | Error msg -> failwith msg)
+      (mk ())
+  in
+  let streamed_s = Unix.gettimeofday () -. t0 in
+  (* Streamed, memory probe (untimed: Gc.compact mid-replay). *)
+  let streamed_peak = ref base in
+  let seen = ref 0 in
+  ignore
+    (Recorder.replay_stream
+       (fun emit ->
+         match
+           Trace_io.iter_file path ~f:(fun ev ->
+               incr seen;
+               if !seen = events / 2 then streamed_peak := live_words ();
+               emit ev)
+         with
+         | Ok _ -> ()
+         | Error msg -> failwith msg)
+       (mk ()));
+  let streamed_delta = max 0 (!streamed_peak - base - detector_words) in
+  (* Materialized: load the whole trace, then replay the array. *)
+  let base_mat = live_words () in
+  let t0 = Unix.gettimeofday () in
+  let lenient = match Trace_io.load_lenient path with Ok l -> l | Error msg -> failwith msg in
+  let load_s = Unix.gettimeofday () -. t0 in
+  let mat_delta = max 0 (live_words () - base_mat) in
+  let hist_mat = Obs.Metrics.hist_create () in
+  let t0 = Unix.gettimeofday () in
+  let report_mat =
+    Recorder.replay_stream
+      (fun emit -> Array.iter (sampled_emit hist_mat emit) lenient.Trace_io.trace)
+      (mk ())
+  in
+  let mat_s = load_s +. (Unix.gettimeofday () -. t0) in
+  let reports_match =
+    report_streamed.Bug.events_processed = report_mat.Bug.events_processed
+    && report_streamed.Bug.bugs = report_mat.Bug.bugs
+  in
+  let constant_memory = streamed_delta * 4 < mat_delta in
+  let p hist frac = Obs.Metrics.quantile (Obs.Metrics.hist_view hist) frac in
+  let eps t = float_of_int events /. t in
+  T.print
+    ~title:
+      (Printf.sprintf "Streaming replay: %d events through iter_file vs a materialized array (quick=%b)" events q)
+    ~header:[ "path"; "replay"; "events/s"; "p50 disp."; "p95 disp."; "live words held" ]
+    [
+      [
+        "streamed";
+        Printf.sprintf "%.2f s" streamed_s;
+        Printf.sprintf "%.0f" (eps streamed_s);
+        Printf.sprintf "%.0f ns" (1e9 *. p hist_streamed 0.5);
+        Printf.sprintf "%.0f ns" (1e9 *. p hist_streamed 0.95);
+        string_of_int streamed_delta;
+      ];
+      [
+        "materialized";
+        Printf.sprintf "%.2f s" mat_s;
+        Printf.sprintf "%.0f" (eps mat_s);
+        Printf.sprintf "%.0f ns" (1e9 *. p hist_mat 0.5);
+        Printf.sprintf "%.0f ns" (1e9 *. p hist_mat 0.95);
+        string_of_int mat_delta;
+      ];
+    ];
+  Printf.printf "  reports match: %b (%d event(s), %d finding(s)); streamed holds %.1fx less\n" reports_match
+    report_streamed.Bug.events_processed
+    (List.length report_streamed.Bug.bugs)
+    (float_of_int mat_delta /. float_of_int (max 1 streamed_delta));
+  let open Obs.Json in
+  let row name total_s hist delta =
+    Obj
+      [
+        ("bench", Str name);
+        ("n", Int events);
+        ("native_s", Float gen_s);
+        ("slowdowns", Obj [ ("replay_vs_generate", Float (total_s /. gen_s)) ]);
+        ("dispatch_p50_s", Float (p hist 0.5));
+        ("dispatch_p95_s", Float (p hist 0.95));
+        ("events_per_sec", Float (eps total_s));
+        ("live_words_delta", Int delta);
+      ]
+  in
+  let json =
+    Obj
+      [
+        ("schema", Str "pmdb-bench/v1");
+        ("quick", Bool q);
+        ("events", Int events);
+        ("reports_match", Bool reports_match);
+        ("constant_memory", Bool constant_memory);
+        ( "rows",
+          List
+            [
+              row "replay-streamed" streamed_s hist_streamed streamed_delta;
+              row "replay-materialized" mat_s hist_mat mat_delta;
+            ] );
+        ("telemetry", Obs.Metrics.to_json metrics);
+      ]
+  in
+  to_file "BENCH_pr3.json" json;
+  Printf.printf "wrote BENCH_pr3.json (events=%d, quick=%b)\n" events q;
+  flush stdout;
+  if not reports_match then begin
+    Printf.eprintf "streaming: FAILED — streamed and materialized replays disagree\n";
+    exit 1
+  end;
+  if not constant_memory then begin
+    Printf.eprintf "streaming: FAILED — streamed replay held %d live words (materialized: %d); not constant-memory\n"
+      streamed_delta mat_delta;
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -768,6 +954,7 @@ let experiments =
     ("faultinject", faultinject);
     ("bechamel", bechamel);
     ("report", report);
+    ("streaming", streaming);
   ]
 
 let () =

@@ -162,32 +162,43 @@ let bugs_cmd metrics_file =
 
 let record_cmd workload n annotate out =
   let spec = Workloads.Registry.find_exn workload in
-  let trace = Recorder.record (fun e -> spec.W.run (W.params ~annotate ~n ()) e) in
-  Trace_io.save out trace;
-  Printf.printf "recorded %d event(s) from %s (n=%d) to %s\n" (Array.length trace) workload n out
+  (* Events go to disk as they are emitted: recording never holds the
+     trace in memory, so -n can be as large as the disk allows. *)
+  let count =
+    Trace_io.save_stream out (fun emit ->
+        let engine = Engine.create () in
+        Engine.attach engine (Sink.make ~name:"save" ~on_event:emit ~finish:(fun () -> Bug.empty_report "save"));
+        spec.W.run (W.params ~annotate ~n ()) engine;
+        Engine.detach_all engine)
+  in
+  Printf.printf "recorded %d event(s) from %s (n=%d) to %s\n" count workload n out
 
 let replay_cmd file detector config max_print lenient metrics_file =
   with_metrics metrics_file (fun metrics spans ->
-      let trace =
-        if lenient then
-          match Trace_io.load_lenient ~metrics file with
-          | Error msg -> failwith msg
-          | Ok l ->
-              List.iter (fun (lineno, msg) -> Printf.eprintf "warning: %s:%d: skipped: %s\n" file lineno msg) l.Trace_io.skipped;
-              if l.Trace_io.synthesized_end then
-                Printf.eprintf "warning: %s: truncated trace, synthesized program_end\n" file;
-              l.Trace_io.trace
-        else match Trace_io.load file with Error msg -> failwith msg | Ok trace -> trace
-      in
       let config = load_config config in
       (* Replays have no live PM state: the model only gates rule
          selection, so strict covers all shared rules. Dispatching through
          an engine (instead of calling the sink directly) keeps the
-         quarantine and telemetry behaviour of `pmdb run`. *)
+         quarantine and telemetry behaviour of `pmdb run`. The trace
+         streams straight from disk into the engine — constant memory
+         regardless of trace size. *)
       let engine = Engine.create ~metrics () in
       Engine.attach engine (sink_for ~metrics detector Pmdebugger.Detector.Strict config);
       Obs.Span.record spans ~attrs:[ ("file", file) ] "replay" (fun () ->
-          Array.iter (Engine.emit engine) trace);
+          if lenient then (
+            match
+              Trace_io.iter_file ~metrics
+                ~on_skip:(fun lineno msg -> Printf.eprintf "warning: %s:%d: skipped: %s\n" file lineno msg)
+                file ~f:(Engine.emit engine)
+            with
+            | Error msg -> failwith msg
+            | Ok stats ->
+                if stats.Trace_io.synthesized then
+                  Printf.eprintf "warning: %s: truncated trace, synthesized program_end\n" file)
+          else
+            match Trace_io.iter_file_strict file ~f:(Engine.emit engine) with
+            | Error msg -> failwith msg
+            | Ok () -> ());
       List.iter
         (fun report ->
           Printf.printf "%s replayed %d event(s) from %s\n" report.Bug.detector report.Bug.events_processed file;
@@ -209,11 +220,21 @@ let find_bugbench_case id =
   | None -> failwith (Printf.sprintf "unknown bugbench case %S (see `pmdb bugs`)" id)
   | Some c -> c
 
-let crash_explore_cmd case workload n expect fences_only max_images bisect metrics_file =
+let crash_explore_cmd case trace_file workload n expect fences_only max_images bisect metrics_file =
   with_metrics metrics_file @@ fun metrics spans ->
+  let recovery_of_expect () =
+    let expect =
+      match expect with
+      | Some e -> e
+      | None -> failwith "need --case ID, or --trace FILE / -w WORKLOAD with --expect PREDICATE"
+    in
+    let p = match Faultinject.Predicate.parse expect with Ok p -> p | Error msg -> failwith ("--expect: " ^ msg) in
+    Faultinject.Predicate.recovery p
+  in
   let steps, recovery =
-    match case with
-    | Some id ->
+    match (case, trace_file) with
+    | Some _, Some _ -> failwith "--case and --trace are mutually exclusive"
+    | Some id, None ->
         let c = find_bugbench_case id in
         let recovery =
           match c.Bugbench.Cases.recovery with
@@ -221,18 +242,22 @@ let crash_explore_cmd case workload n expect fences_only max_images bisect metri
           | None -> failwith (Printf.sprintf "case %S has no recovery predicate; pass --expect" id)
         in
         (Faultinject.Replay.capture c.Bugbench.Cases.run, recovery)
-    | None ->
-        let expect =
-          match expect with
-          | Some e -> e
-          | None -> failwith "need --case ID, or -w WORKLOAD with --expect PREDICATE"
-        in
-        let p = match Faultinject.Predicate.parse expect with Ok p -> p | Error msg -> failwith ("--expect: " ^ msg) in
+    | None, Some path -> (
+        (* The one place a trace file is pulled into memory: bisection
+           needs random access over the steps for prefix replay. *)
+        match Faultinject.Replay.materialize_file path with
+        | Error msg -> failwith msg
+        | Ok (steps, stats) ->
+            List.iter
+              (fun (lineno, msg) -> Printf.eprintf "warning: %s:%d: skipped: %s\n" path lineno msg)
+              stats.Trace_io.skipped_lines;
+            (steps, recovery_of_expect ()))
+    | None, None ->
         let spec = Workloads.Registry.find_exn workload in
-        (Faultinject.Replay.capture (fun e -> spec.W.run (W.params ~n ()) e), Faultinject.Predicate.recovery p)
+        (Faultinject.Replay.capture (fun e -> spec.W.run (W.params ~n ()) e), recovery_of_expect ())
   in
   let module CE = Faultinject.Crash_explore in
-  let what = match case with Some id -> id | None -> workload in
+  let what = match (case, trace_file) with Some id, _ -> id | None, Some path -> path | None, None -> workload in
   if bisect then
     match Obs.Span.record spans "bisect" (fun () -> CE.bisect ~max_images ~metrics ~recovery steps) with
     | None -> Printf.printf "%s: no crash image fails recovery (%d steps explored)\n" what (Array.length steps)
@@ -479,10 +504,17 @@ let bisect_arg =
   let doc = "Report only the minimal failing prefix, found by coarse fence scan plus fine window scan." in
   Arg.(value & flag & info [ "bisect" ] ~doc)
 
+let explore_trace_arg =
+  let doc =
+    "Explore a recorded trace file (as produced by `pmdb record`) instead of a workload; requires --expect. Stores \
+     replay with a synthetic fill, since the on-disk format carries no payloads."
+  in
+  Arg.(value & opt (some file) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
 let crash_explore_term =
   Term.(
-    const crash_explore_cmd $ case_arg $ workload_arg $ n_arg $ expect_arg $ fences_only_arg $ max_images_arg
-    $ bisect_arg $ metrics_arg)
+    const crash_explore_cmd $ case_arg $ explore_trace_arg $ workload_arg $ n_arg $ expect_arg $ fences_only_arg
+    $ max_images_arg $ bisect_arg $ metrics_arg)
 
 let fault_arg =
   let doc = "Fault class: drop-clf, drop-fence, torn-store, duplicate-flush or evict-line." in

@@ -6,11 +6,12 @@ type t = {
   mutable min_addr : int;
   mutable max_addr : int;
   mutable state : fstate;
+  mutable invalidated : int;
   mutable next : t option;
 }
 
 let make ~start_idx =
-  { start_idx; end_idx = -1; min_addr = max_int; max_addr = min_int; state = Not_flushed; next = None }
+  { start_idx; end_idx = -1; min_addr = max_int; max_addr = min_int; state = Not_flushed; invalidated = 0; next = None }
 
 let is_empty t = t.end_idx < t.start_idx
 

@@ -15,6 +15,10 @@ type t = {
   mutable min_addr : int;
   mutable max_addr : int;  (** exclusive upper bound of the address range *)
   mutable state : fstate;
+  mutable invalidated : int;
+      (** slots of this interval invalidated by superseding stores —
+          keeps collective (per-interval) accounting exact without a
+          slot walk *)
   mutable next : t option;
 }
 

@@ -18,6 +18,13 @@ type t = {
      tree of never-flushed locations costs fences nothing. *)
   mutable tree_flushed_nodes : (int * int * Slot.payload) list;
   mutable last_reorg_size : int;
+  (* Bounding box over everything currently tracked (array + tree), as
+     half-open [bound_lo, bound_hi); empty when bound_lo >= bound_hi.
+     Conservative — invalidations do not shrink it — and recomputed from
+     the tree at each fence. A store or query outside the box skips the
+     interval walk and the tree probe entirely. *)
+  mutable bound_lo : int;
+  mutable bound_hi : int;
   (* Fig. 11 sampling *)
   mutable fence_samples : int;
   mutable tree_size_sum : int;
@@ -30,7 +37,8 @@ let create ?(array_capacity = 100_000) ?(merge_threshold = 500) ?(mode = Hybrid)
      of the hybrid, zeros included. *)
   if Obs.Metrics.is_on metrics then begin
     Obs.Metrics.inc metrics ~by:0 "space_array_hits_total";
-    Obs.Metrics.inc metrics ~by:0 "space_tree_spills_total"
+    Obs.Metrics.inc metrics ~by:0 "space_tree_spills_total";
+    Obs.Metrics.inc metrics ~by:0 "space_bounds_skips_total"
   end;
   let meta = Clf_meta.make ~start_idx:0 in
   {
@@ -46,9 +54,28 @@ let create ?(array_capacity = 100_000) ?(merge_threshold = 500) ?(mode = Hybrid)
     tree = Rangetree.create ();
     tree_flushed_nodes = [];
     last_reorg_size = 0;
+    bound_lo = max_int;
+    bound_hi = min_int;
     fence_samples = 0;
     tree_size_sum = 0;
   }
+
+let bounds_add t ~lo ~hi =
+  if lo < t.bound_lo then t.bound_lo <- lo;
+  if hi > t.bound_hi then t.bound_hi <- hi
+
+(* The range cannot touch anything tracked: nothing lives outside the
+   bounding box. *)
+let bounds_miss t ~lo ~hi = hi <= t.bound_lo || lo >= t.bound_hi
+
+let bounds_reset_from_tree t =
+  match Rangetree.bounds t.tree with
+  | None ->
+      t.bound_lo <- max_int;
+      t.bound_hi <- min_int
+  | Some (lo, hi) ->
+      t.bound_lo <- lo;
+      t.bound_hi <- hi
 
 let iter_metas t f =
   let rec go m =
@@ -64,7 +91,9 @@ let slot_flushed t (m : Clf_meta.t) (s : Slot.t) =
   ignore t;
   s.Slot.flushed || m.Clf_meta.state = Clf_meta.All_flushed
 
-let tree_insert_payload t ~lo ~hi (p : Slot.payload) = Rangetree.insert t.tree ~lo ~hi p
+let tree_insert_payload t ~lo ~hi (p : Slot.payload) =
+  bounds_add t ~lo ~hi;
+  Rangetree.insert t.tree ~lo ~hi p
 
 let tree_insert_slot t (s : Slot.t) = tree_insert_payload t ~lo:s.Slot.addr ~hi:(s.Slot.addr + s.Slot.size) (Slot.payload_of s)
 
@@ -74,7 +103,21 @@ let tree_insert_slot t (s : Slot.t) = tree_insert_payload t ~lo:s.Slot.addr ~hi:
    store. Returns whether any tracked location overlapped — the
    observation the multiple-overwrites rule needs, collected here so the
    store path scans the bookkeeping space once. *)
+(* Drop the pending-flush registration of a superseded tree node, so
+   the registration list stays proportional to the interval's live
+   flushed nodes even under hot addresses. Identity plus exact range
+   keeps split pieces that share a payload distinct. *)
+let purge_registration t ~lo ~hi (p : Slot.payload) =
+  if t.tree_flushed_nodes <> [] then
+    t.tree_flushed_nodes <-
+      List.filter (fun (flo, fhi, fp) -> not (fp == p && flo = lo && fhi = hi)) t.tree_flushed_nodes
+
 let unflush_overlaps t ~need_overlap ~lo ~hi =
+  if bounds_miss t ~lo ~hi then begin
+    Obs.Metrics.inc t.metrics "space_bounds_skips_total";
+    false
+  end
+  else begin
   let probe = Addr.range ~lo ~hi in
   let found = ref false in
   let visit_meta (m : Clf_meta.t) =
@@ -105,7 +148,10 @@ let unflush_overlaps t ~need_overlap ~lo ~hi =
               (* A fully covered slot is superseded outright (the new
                  store re-tracks the address); partial overlaps merely
                  lose their flushed state. *)
-              if Addr.covers probe (Slot.range s) then s.Slot.valid <- false
+              if Addr.covers probe (Slot.range s) then begin
+                s.Slot.valid <- false;
+                m.Clf_meta.invalidated <- m.Clf_meta.invalidated + 1
+              end
               else if s.Slot.flushed then s.Slot.flushed <- false
             end
           done
@@ -123,9 +169,17 @@ let unflush_overlaps t ~need_overlap ~lo ~hi =
      dirty. *)
   let visited =
     Rangetree.map_overlapping t.tree ~lo ~hi ~f:(fun r (p : Slot.payload) ->
-        if Addr.covers probe r then []
+        if Addr.covers probe r then begin
+          (* Superseded outright: its pending-flush registration (if
+             any) points at a node that no longer exists. *)
+          if p.Slot.p_flushed then purge_registration t ~lo:r.Addr.lo ~hi:r.Addr.hi p;
+          []
+        end
         else if not p.Slot.p_flushed then [ (r, p) ]
-        else
+        else begin
+          (* The original node is replaced by its pieces below, so its
+             own registration is dead too. *)
+          purge_registration t ~lo:r.Addr.lo ~hi:r.Addr.hi p;
           List.map
             (fun (piece : Addr.range) ->
               let fp = { p with Slot.p_flushed = true } in
@@ -133,10 +187,12 @@ let unflush_overlaps t ~need_overlap ~lo ~hi =
                  drops them. *)
               t.tree_flushed_nodes <- (piece.Addr.lo, piece.Addr.hi, fp) :: t.tree_flushed_nodes;
               (piece, fp))
-            (Addr.diff r probe))
+            (Addr.diff r probe)
+        end)
   in
   if visited > 0 then found := true;
   !found
+  end
   end
 
 let process_store t ?(check_overlap = true) ~addr ~size ~epoch ~seq ~tid ~strand () =
@@ -151,6 +207,7 @@ let process_store t ?(check_overlap = true) ~addr ~size ~epoch ~seq ~tid ~strand
     let idx = t.live in
     Slot.fill t.slots.(idx) ~addr ~size ~epoch ~seq ~tid ~strand;
     t.live <- idx + 1;
+    bounds_add t ~lo:addr ~hi:(addr + size);
     Clf_meta.note_store t.cur_meta ~idx ~lo:addr ~hi:(addr + size);
     Obs.Metrics.inc t.metrics "space_array_hits_total";
     Obs.Metrics.max_set t.metrics "space_array_live_peak" (float_of_int t.live)
@@ -158,6 +215,11 @@ let process_store t ?(check_overlap = true) ~addr ~size ~epoch ~seq ~tid ~strand
   overlapped
 
 let find_overlap t ~lo ~hi =
+  if bounds_miss t ~lo ~hi then begin
+    Obs.Metrics.inc t.metrics "space_bounds_skips_total";
+    None
+  end
+  else begin
   let found = ref None in
   let probe_range = Addr.range ~lo ~hi in
   let check_meta (m : Clf_meta.t) =
@@ -178,6 +240,7 @@ let find_overlap t ~lo ~hi =
      | Some (_, p) -> found := Some p.Slot.p_seq
      | None -> ());
   !found
+  end
 
 type clf_result = { matched : int; newly_flushed : int; redundant : (int * int) list }
 
@@ -198,7 +261,23 @@ let split_slot t (s : Slot.t) ~(flush : Addr.range) =
       s.Slot.size <- Addr.size covered;
       s.Slot.flushed <- true
 
+(* Close the current CLF interval and open the next (§4.3). *)
+let close_interval t =
+  if not (Clf_meta.is_empty t.cur_meta) then begin
+    let next = Clf_meta.make ~start_idx:t.live in
+    t.cur_meta.Clf_meta.next <- Some next;
+    t.cur_meta <- next
+  end
+
 let process_clf t ~lo ~hi =
+  if bounds_miss t ~lo ~hi then begin
+    (* Nothing tracked can overlap, but the CLF still ends the current
+       interval. *)
+    Obs.Metrics.inc t.metrics "space_bounds_skips_total";
+    close_interval t;
+    { matched = 0; newly_flushed = 0; redundant = [] }
+  end
+  else begin
   let flush = Addr.range ~lo ~hi in
   let matched = ref 0 in
   let newly = ref 0 in
@@ -225,9 +304,10 @@ let process_clf t ~lo ~hi =
           if not (Addr.overlaps r flush) then ()
           else if t.interval_metadata && Addr.covers flush r && m.Clf_meta.state = Clf_meta.Not_flushed then begin
             (* Collective update (Pattern 2): one metadata write covers
-               every location of the interval. Slots are still visited for
-               rule observations but need no individual state change. *)
-            let n = m.Clf_meta.end_idx - m.Clf_meta.start_idx + 1 in
+               every location of the interval. Slots need no individual
+               state change; superseded (invalidated) slots are excluded
+               from the counts — they are no longer tracked locations. *)
+            let n = m.Clf_meta.end_idx - m.Clf_meta.start_idx + 1 - m.Clf_meta.invalidated in
             matched := !matched + n;
             newly := !newly + n;
             m.Clf_meta.state <- Clf_meta.All_flushed;
@@ -270,13 +350,9 @@ let process_clf t ~lo ~hi =
   in
   matched := !matched + visited;
 
-  (* Close the current CLF interval and open the next (§4.3). *)
-  if not (Clf_meta.is_empty t.cur_meta) then begin
-    let next = Clf_meta.make ~start_idx:t.live in
-    t.cur_meta.Clf_meta.next <- Some next;
-    t.cur_meta <- next
-  end;
+  close_interval t;
   { matched = !matched; newly_flushed = !newly; redundant = List.rev !redundant }
+  end
 
 let process_fence t =
   (* Tree first (§4.4): drop the nodes this fence interval's CLFs
@@ -321,7 +397,9 @@ let process_fence t =
     Obs.Metrics.inc t.metrics "space_reorganizations_total";
     Obs.Metrics.inc t.metrics ~by:(max 0 (t.last_reorg_size - Rangetree.size t.tree)) "space_interval_merges_total";
     t.last_reorg_size <- Rangetree.size t.tree
-  end
+  end;
+  (* The array is empty again: only the tree bounds the tracked set. *)
+  bounds_reset_from_tree t
 
 let fold_pending t ~init ~f =
   let acc = ref init in
@@ -366,7 +444,15 @@ let clear t =
   let meta = Clf_meta.make ~start_idx:0 in
   t.first_meta <- meta;
   t.cur_meta <- meta;
-  Rangetree.clear t.tree
+  Rangetree.clear t.tree;
+  (* Forget everything derived from the cleared contents: pending flush
+     registrations would replay pre-clear bookkeeping into the next
+     fence, and a stale reorg baseline suppresses merging until the
+     empty tree regrows past the pre-clear high-water mark. *)
+  t.tree_flushed_nodes <- [];
+  t.last_reorg_size <- 0;
+  t.bound_lo <- max_int;
+  t.bound_hi <- min_int
 
 let tree_size t = Rangetree.size t.tree
 
@@ -384,6 +470,7 @@ let reorganizations t = (Rangetree.stats t.tree).Rangetree.reorganizations
 let stats t =
   [
     ("tree_size", float_of_int (tree_size t));
+    ("tree_flushed_nodes", float_of_int (List.length t.tree_flushed_nodes));
     ("tree_max_size", float_of_int (Rangetree.stats t.tree).Rangetree.max_size);
     ("array_live", float_of_int t.live);
     ("avg_tree_nodes_per_fence", avg_tree_nodes_per_fence t);

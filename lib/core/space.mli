@@ -28,7 +28,9 @@ val create :
     Figs. 10–12: [space_array_hits_total] vs [space_tree_spills_total],
     [space_collective_clf_total] (Pattern-2 interval updates),
     [space_fence_migrations_total], [space_reorganizations_total],
-    [space_interval_merges_total] (nodes merged away by reorganizing)
+    [space_interval_merges_total] (nodes merged away by reorganizing),
+    [space_bounds_skips_total] (stores/CLFs/queries answered from the
+    global bounding box without walking intervals or probing the tree)
     and the [space_array_live_peak] / [space_tree_size_peak] gauges. *)
 
 (** {1 Processing} *)

@@ -15,6 +15,16 @@ let events_of_steps steps =
 
 let steps_of_trace trace = Array.map (fun ev -> Ev ev) trace
 
+(* Crash-point exploration is the one trace consumer that genuinely
+   needs random access (bisection replays a known-good prefix a second
+   time), so a trace file is materialized here — explicitly — instead of
+   streamed. Everything detector-facing should prefer
+   Trace_io.iter_file. *)
+let materialize_file ?synthesize_end path =
+  Result.map
+    (fun (acc, stats) -> (Array.of_list (List.rev acc), stats))
+    (Trace_io.fold_file ?synthesize_end path ~init:[] ~f:(fun acc ev -> Ev ev :: acc))
+
 let ends_with_program_end steps =
   let n = Array.length steps in
   n > 0 && (match steps.(n - 1) with Ev Event.Program_end -> true | _ -> false)

@@ -35,6 +35,16 @@ val events_of_steps : step array -> Event.t array
 
 val steps_of_trace : Event.t array -> step array
 
+val materialize_file :
+  ?synthesize_end:bool -> string -> (step array * Trace_io.stream_stats, string) result
+(** Load a trace file into a step array (lenient parse; skipped lines
+    are reported in the stats). This is the {e explicit} materialization
+    point for crash-point exploration, which needs random access over
+    the steps for prefix replay — stream with {!Trace_io.iter_file}
+    instead wherever events can be consumed one at a time. Stores carry
+    no payload in the on-disk format, so they replay with the synthetic
+    fill. *)
+
 val ensure_end : step array -> step array
 (** Append a [Program_end] step unless the trace already ends with one. *)
 

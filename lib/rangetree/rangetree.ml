@@ -295,6 +295,13 @@ let reorganize t ~eq ~merge =
   in
   rebuild t (List.rev merged)
 
+let bounds t =
+  match t.root with
+  | None -> None
+  | Some root ->
+      let rec leftmost n = match n.left with None -> n | Some l -> leftmost l in
+      Some ((leftmost root).lo, root.max_hi)
+
 let clear t =
   t.root <- None;
   t.count <- 0

@@ -71,6 +71,11 @@ val reorganize : 'a t -> eq:('a -> 'a -> bool) -> merge:('a -> 'a -> 'a) -> unit
     into single nodes (payloads combined with [merge]), then rebuild
     balanced. Counted in {!stats}. *)
 
+val bounds : 'a t -> (int * int) option
+(** [(min lo, max hi)] over every node — the tree's bounding box — or
+    [None] when empty. O(log n): the minimum [lo] is the leftmost key
+    and the maximum [hi] is the root's augmentation. *)
+
 val clear : 'a t -> unit
 
 val check_invariants : 'a t -> unit

@@ -37,6 +37,10 @@ let replay trace sink =
   Array.iter sink.Sink.on_event trace;
   sink.Sink.finish ()
 
+let replay_stream produce sink =
+  produce sink.Sink.on_event;
+  sink.Sink.finish ()
+
 let replay_timed ?(repeats = 1) trace mk =
   let best = ref infinity in
   let report = ref (Bug.empty_report "replay") in

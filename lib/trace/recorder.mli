@@ -19,6 +19,12 @@ val record_on : Engine.t -> (Engine.t -> unit) -> trace
 val replay : trace -> Sink.t -> Bug.report
 (** Feed every event to the sink, then [finish]. *)
 
+val replay_stream : ((Event.t -> unit) -> unit) -> Sink.t -> Bug.report
+(** [replay_stream produce sink] feeds the events [produce] emits into
+    the sink as they are produced — the constant-memory dual of
+    {!replay} for event sources that never materialize a trace array
+    (e.g. {!Trace_io.iter_file}). *)
+
 val replay_timed : ?repeats:int -> trace -> (unit -> Sink.t) -> Bug.report * float
 (** [replay_timed trace mk] replays into fresh sinks [repeats] times
     (default 1) and returns the last report with the minimum wall-clock

@@ -98,71 +98,125 @@ let to_string trace =
     trace;
   Buffer.contents buf
 
-let of_string text =
-  let lines = String.split_on_char '\n' text in
-  let rec go acc lineno = function
-    | [] -> Ok (Array.of_list (List.rev acc))
-    | line :: rest -> (
+(* ------------------------------------------------------------------ *)
+(* Streaming core: both parsers fold over a pull-based line producer,  *)
+(* so a string in memory and a multi-GB file on disk go through the    *)
+(* exact same skip / error-position / synthesize-program_end logic.    *)
+(* ------------------------------------------------------------------ *)
+
+type stream_stats = {
+  events : int;
+  skipped_lines : (int * string) list;
+  synthesized : bool;
+}
+
+let fold_lines_strict next ~init ~f =
+  let rec go lineno acc =
+    match next () with
+    | None -> Ok acc
+    | Some line -> (
         match event_of_line line with
-        | Ok None -> go acc (lineno + 1) rest
-        | Ok (Some ev) -> go (ev :: acc) (lineno + 1) rest
+        | Ok None -> go (lineno + 1) acc
+        | Ok (Some ev) -> go (lineno + 1) (f acc ev)
         | Error msg -> Error (Printf.sprintf "line %d: %s" lineno msg))
   in
-  go [] 1 lines
+  go 1 init
+
+let fold_lines_lenient ~metrics ~synthesize_end ~on_skip next ~init ~f =
+  let rec go lineno acc parsed skipped nskip last_was_end =
+    match next () with
+    | None ->
+        Obs.Metrics.inc metrics ~by:parsed "trace_io_lines_parsed_total";
+        Obs.Metrics.inc metrics ~by:nskip "trace_io_lines_skipped_total";
+        let synthesized = synthesize_end && not last_was_end in
+        let acc, parsed = if synthesized then (f acc Event.Program_end, parsed + 1) else (acc, parsed) in
+        (acc, { events = parsed; skipped_lines = List.rev skipped; synthesized })
+    | Some line -> (
+        match event_of_line line with
+        | Ok None -> go (lineno + 1) acc parsed skipped nskip last_was_end
+        | Ok (Some ev) -> go (lineno + 1) (f acc ev) (parsed + 1) skipped nskip (ev = Event.Program_end)
+        | Error msg ->
+            on_skip lineno msg;
+            go (lineno + 1) acc parsed ((lineno, msg) :: skipped) (nskip + 1) last_was_end)
+  in
+  go 1 init 0 [] 0 false
+
+let lines_of_string text =
+  let len = String.length text in
+  let pos = ref 0 in
+  fun () ->
+    if !pos >= len then None
+    else
+      match String.index_from_opt text !pos '\n' with
+      | Some i ->
+          let line = String.sub text !pos (i - !pos) in
+          pos := i + 1;
+          Some line
+      | None ->
+          let line = String.sub text !pos (len - !pos) in
+          pos := len;
+          Some line
+
+let lines_of_channel ic () = match input_line ic with line -> Some line | exception End_of_file -> None
+
+let rev_array acc = Array.of_list (List.rev acc)
+
+let push acc ev = ev :: acc
+
+let of_string text = Result.map rev_array (fold_lines_strict (lines_of_string text) ~init:[] ~f:push)
 
 type lenient = { trace : Event.t array; skipped : (int * string) list; synthesized_end : bool }
 
+let lenient_of_fold (acc, stats) =
+  { trace = rev_array acc; skipped = stats.skipped_lines; synthesized_end = stats.synthesized }
+
 let of_string_lenient ?(metrics = Obs.Metrics.disabled) ?(synthesize_end = true) text =
-  let lines = String.split_on_char '\n' text in
-  let events = ref [] and n = ref 0 and skipped = ref [] in
-  List.iteri
-    (fun i line ->
-      match event_of_line line with
-      | Ok None -> ()
-      | Ok (Some ev) ->
-          events := ev :: !events;
-          incr n
-      | Error msg -> skipped := (i + 1, msg) :: !skipped)
-    lines;
-  Obs.Metrics.inc metrics ~by:!n "trace_io_lines_parsed_total";
-  Obs.Metrics.inc metrics ~by:(List.length !skipped) "trace_io_lines_skipped_total";
-  let truncated = match !events with Event.Program_end :: _ -> false | _ -> true in
-  let synthesized_end = synthesize_end && truncated in
-  if synthesized_end then begin
-    events := Event.Program_end :: !events;
-    incr n
-  end;
-  let trace = Array.make (max !n 1) Event.Program_end in
-  let rec fill i = function
-    | [] -> ()
-    | ev :: rest ->
-        trace.(i) <- ev;
-        fill (i - 1) rest
-  in
-  fill (!n - 1) !events;
-  let trace = if !n = 0 then [||] else trace in
-  { trace; skipped = List.rev !skipped; synthesized_end }
+  lenient_of_fold
+    (fold_lines_lenient ~metrics ~synthesize_end
+       ~on_skip:(fun _ _ -> ())
+       (lines_of_string text) ~init:[] ~f:push)
 
 (* All file I/O below closes its channel on any exit path: a write
-   failure or a short read must not leak the descriptor. *)
+   failure or a read error must not leak the descriptor. Files are read
+   one line at a time — memory use is bounded by the longest line, never
+   by the trace length. *)
 
-let save path trace =
-  let oc = open_out path in
-  Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () -> output_string oc (to_string trace))
-
-let read_file path =
+let with_in_file path f =
   match open_in_bin path with
   | exception Sys_error msg -> Error msg
   | ic ->
       Fun.protect
         ~finally:(fun () -> close_in_noerr ic)
-        (fun () ->
-          try Ok (really_input_string ic (in_channel_length ic))
-          with
-          | Sys_error msg -> Error msg
-          | End_of_file -> Error (Printf.sprintf "%s: truncated read" path))
+        (fun () -> try f (lines_of_channel ic) with Sys_error msg -> Error msg)
 
-let load path = Result.bind (read_file path) of_string
+let fold_file ?(metrics = Obs.Metrics.disabled) ?(synthesize_end = true) ?(on_skip = fun _ _ -> ()) path ~init ~f =
+  with_in_file path (fun next -> Ok (fold_lines_lenient ~metrics ~synthesize_end ~on_skip next ~init ~f))
+
+let iter_file ?metrics ?synthesize_end ?on_skip path ~f =
+  Result.map snd (fold_file ?metrics ?synthesize_end ?on_skip path ~init:() ~f:(fun () ev -> f ev))
+
+let fold_file_strict path ~init ~f = with_in_file path (fun next -> fold_lines_strict next ~init ~f)
+
+let iter_file_strict path ~f = fold_file_strict path ~init:() ~f:(fun () ev -> f ev)
+
+let save_stream path produce =
+  let oc = open_out_bin path in
+  let n = ref 0 in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      produce (fun ev ->
+          output_string oc (event_to_line ev);
+          output_char oc '\n';
+          incr n));
+  !n
+
+(* Binary mode, like every reader here: save/load roundtrips are
+   byte-identical cross-platform (text mode would translate newlines on
+   Windows and corrupt offsets against open_in_bin readers). *)
+let save path trace = ignore (save_stream path (fun emit -> Array.iter emit trace))
+
+let load path = Result.map rev_array (fold_file_strict path ~init:[] ~f:push)
 
 let load_lenient ?metrics ?synthesize_end path =
-  Result.map (of_string_lenient ?metrics ?synthesize_end) (read_file path)
+  Result.map lenient_of_fold (fold_file ?metrics ?synthesize_end path ~init:[] ~f:push)

@@ -53,12 +53,74 @@ val of_string_lenient : ?metrics:Obs.Metrics.t -> ?synthesize_end:bool -> string
 
 val save : string -> Recorder.trace -> unit
 (** Raises [Sys_error] on write failure; the channel is closed on every
-    exit path. *)
+    exit path. Written in binary mode so save/load roundtrips are
+    byte-identical cross-platform. *)
 
 val load : string -> (Recorder.trace, string) result
-(** Strict parse of a trace file. I/O failures (including short reads)
-    are reported as [Error] and never leak the input channel. *)
+(** Strict parse of a trace file into an array. Reads one line at a
+    time (never the whole file into a string); I/O failures are
+    reported as [Error] and never leak the input channel. *)
 
 val load_lenient : ?metrics:Obs.Metrics.t -> ?synthesize_end:bool -> string -> (lenient, string) result
-(** [load] with {!of_string_lenient} parsing; [Error] only for I/O
+(** [load] with {!of_string_lenient} semantics; [Error] only for I/O
     failures. *)
+
+(** {1 Streaming}
+
+    The [*_file] functions below parse line-by-line and hand each event
+    to a callback without ever materializing the trace: memory use is
+    bounded by the longest line, not the trace length, so multi-GB
+    traces replay in constant memory. They share the line parser — and,
+    for the lenient variants, the skip-and-report plus
+    synthesize-[program_end] semantics and per-line error positions —
+    with {!of_string} / {!of_string_lenient}. Materialize (via {!load}
+    / {!load_lenient}) only when random access over the event sequence
+    is genuinely required, e.g. crash-point prefix replay. *)
+
+type stream_stats = {
+  events : int;  (** events delivered to [f], including a synthesized end *)
+  skipped_lines : (int * string) list;  (** (line number, error) per malformed line *)
+  synthesized : bool;  (** a [program_end] was appended for a truncated trace *)
+}
+
+val fold_file :
+  ?metrics:Obs.Metrics.t ->
+  ?synthesize_end:bool ->
+  ?on_skip:(int -> string -> unit) ->
+  string ->
+  init:'a ->
+  f:('a -> Event.t -> 'a) ->
+  ('a * stream_stats, string) result
+(** Lenient streaming fold over a trace file. Malformed lines are
+    skipped, reported through [on_skip] (called with the 1-based line
+    number and error as they are encountered) and collected in the
+    returned stats; a truncated trace gets a synthesized terminator
+    event unless [synthesize_end:false]. [metrics] (default disabled)
+    gets [trace_io_lines_parsed_total] / [trace_io_lines_skipped_total].
+    [Error] only for I/O failures. *)
+
+val iter_file :
+  ?metrics:Obs.Metrics.t ->
+  ?synthesize_end:bool ->
+  ?on_skip:(int -> string -> unit) ->
+  string ->
+  f:(Event.t -> unit) ->
+  (stream_stats, string) result
+(** {!fold_file} without an accumulator. *)
+
+val fold_file_strict : string -> init:'a -> f:('a -> Event.t -> 'a) -> ('a, string) result
+(** Strict streaming fold: stops at the first malformed line with the
+    same [line N: ...] message {!of_string} produces. Events already
+    folded before the error are discarded with the accumulator. *)
+
+val iter_file_strict : string -> f:(Event.t -> unit) -> (unit, string) result
+(** {!fold_file_strict} without an accumulator. Note that [f] has
+    already observed every event preceding a malformed line when the
+    error is returned — side effects are not rolled back. *)
+
+val save_stream : string -> ((Event.t -> unit) -> unit) -> int
+(** [save_stream path produce] opens [path] (binary mode), hands
+    [produce] an emit function that appends one line per event, and
+    closes the file on every exit path. Returns the number of events
+    written. The streaming dual of {!save}: nothing is buffered, so an
+    arbitrarily long run can be recorded in constant memory. *)

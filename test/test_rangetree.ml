@@ -134,6 +134,39 @@ let prop_invariants_random =
       Rangetree.check_invariants t;
       true)
 
+let test_bounds () =
+  let t = Rangetree.create () in
+  Alcotest.(check (option (pair int int))) "empty tree has no bounds" None (Rangetree.bounds t);
+  Rangetree.insert t ~lo:100 ~hi:120 0;
+  Alcotest.(check (option (pair int int))) "single interval" (Some (100, 120)) (Rangetree.bounds t);
+  Rangetree.insert t ~lo:40 ~hi:48 1;
+  Rangetree.insert t ~lo:300 ~hi:364 2;
+  Alcotest.(check (option (pair int int))) "spans all intervals" (Some (40, 364)) (Rangetree.bounds t);
+  ignore (Rangetree.remove_exact t ~lo:300 ~hi:364);
+  (match Rangetree.bounds t with
+  | Some (lo, hi) ->
+      (* The hi bound comes from the root's max_hi augmentation, so it is
+         conservative: it may overshoot after a removal but must still
+         cover every live interval. *)
+      Alcotest.(check int) "lo exact after removal" 40 lo;
+      Alcotest.(check bool) "hi covers live intervals" true (hi >= 120)
+  | None -> Alcotest.fail "bounds must exist while intervals remain");
+  ignore (Rangetree.remove_exact t ~lo:40 ~hi:48);
+  ignore (Rangetree.remove_exact t ~lo:100 ~hi:120);
+  Alcotest.(check (option (pair int int))) "empty again" None (Rangetree.bounds t)
+
+let prop_bounds_cover =
+  QCheck.Test.make ~name:"bounds cover every live interval" ~count:300
+    QCheck.(small_list (pair (int_range 0 500) (int_range 1 40)))
+    (fun pairs ->
+      let t = Rangetree.create () in
+      List.iter (fun (lo, len) -> Rangetree.insert t ~lo ~hi:(lo + len) 0) pairs;
+      List.iteri (fun i (lo, len) -> if i land 1 = 0 then ignore (Rangetree.remove_exact t ~lo ~hi:(lo + len))) pairs;
+      match Rangetree.bounds t with
+      | None -> Rangetree.to_list t = []
+      | Some (lo, hi) ->
+          List.for_all (fun ((r : Addr.range), _) -> r.Addr.lo >= lo && r.Addr.hi <= hi) (Rangetree.to_list t))
+
 let suite =
   [
     Alcotest.test_case "insert/find" `Quick test_insert_find;
@@ -143,6 +176,8 @@ let suite =
     Alcotest.test_case "filter in place" `Quick test_filter_in_place;
     Alcotest.test_case "reorganize merges adjacents" `Quick test_reorganize_merges;
     Alcotest.test_case "height stays logarithmic" `Quick test_height_logarithmic;
+    Alcotest.test_case "bounds" `Quick test_bounds;
     QCheck_alcotest.to_alcotest prop_differential;
     QCheck_alcotest.to_alcotest prop_invariants_random;
+    QCheck_alcotest.to_alcotest prop_bounds_cover;
   ]

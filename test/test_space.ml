@@ -199,6 +199,100 @@ let prop_modes_equivalent =
       && run_mode Space.Tree_only true = reference
       && run_mode Space.Hybrid false = reference)
 
+(* Per-op differential: not just the final pending sets — every
+   intermediate observation (store-overlap verdict, CLF matched /
+   newly-flushed / redundant counts) must agree across modes, because
+   the detection rules fire on these. Stores are fixed-size and aligned
+   so every CLF and every supersede is a full cover; partial covers of
+   flushed data are intentionally asymmetric between array and tree
+   (the array unflushes the whole slot, the tree keeps uncovered
+   pieces flushed) and have their own unit tests. *)
+let prop_modes_observations_equivalent =
+  QCheck.Test.make ~name:"per-op observations agree across modes" ~count:300
+    QCheck.(small_list (pair (int_range 0 2) (int_range 0 30)))
+    (fun ops ->
+      let sps = List.map (fun mode -> mk ~mode ()) [ Space.Hybrid; Space.Array_only; Space.Tree_only ] in
+      let agree obs = List.for_all (fun o -> o = List.hd obs) obs in
+      List.for_all
+        (fun (op, slot) ->
+          let addr = slot * 16 in
+          match op with
+          | 0 -> agree (List.map (fun sp -> store sp ~addr ~size:16) sps)
+          | 1 ->
+              let lo = Pmem.Addr.line_base addr in
+              agree
+                (List.map
+                   (fun sp ->
+                     let r = Space.process_clf sp ~lo ~hi:(lo + 64) in
+                     (r.Space.matched, r.Space.newly_flushed, List.sort compare r.Space.redundant))
+                   sps)
+          | _ ->
+              List.iter Space.process_fence sps;
+              true)
+        ops
+      && agree (List.map pending sps))
+
+(* ------------------------------------------------------------------ *)
+(* Bookkeeping state-reset and accounting regressions.                 *)
+(* ------------------------------------------------------------------ *)
+
+let stat sp key = List.assoc key (Space.stats sp)
+
+(* [clear] must forget the fence interval's flush registrations: stale
+   entries replay pre-clear bookkeeping into the next fence and keep
+   dead payloads alive. *)
+let test_clear_resets_flush_registrations () =
+  let sp = mk () in
+  ignore (store sp ~addr:100 ~size:8);
+  Space.process_fence sp (* unflushed survivor migrates to the tree *);
+  ignore (Space.process_clf sp ~lo:64 ~hi:128) (* tree node flushed: registered for the next fence *);
+  Alcotest.(check (float 0.0)) "registration recorded" 1.0 (stat sp "tree_flushed_nodes");
+  Space.clear sp;
+  Alcotest.(check (float 0.0)) "clear drops flush registrations" 0.0 (stat sp "tree_flushed_nodes")
+
+(* [clear] must also reset the reorganization threshold baseline: a
+   stale last-reorg size suppresses merging until the (now empty) tree
+   regrows past the pre-clear high-water mark. *)
+let test_clear_resets_reorg_threshold () =
+  let sp = mk ~mode:Space.Tree_only ~merge_threshold:10 () in
+  for i = 0 to 99 do
+    ignore (store sp ~addr:(i * 64) ~size:8)
+  done;
+  Space.process_fence sp;
+  let before = Space.reorganizations sp in
+  Alcotest.(check bool) "baseline reorg ran" true (before > 0);
+  Space.clear sp;
+  for i = 0 to 11 do
+    ignore (store sp ~addr:(i * 64) ~size:8)
+  done;
+  Space.process_fence sp;
+  Alcotest.(check bool) "fresh growth past the threshold reorganizes again" true (Space.reorganizations sp > before)
+
+(* The collective-CLF branch must not count slots a superseding store
+   already invalidated. *)
+let test_collective_clf_counts_valid_slots_only () =
+  let sp = mk () in
+  ignore (store sp ~addr:128 ~size:8);
+  ignore (store sp ~addr:128 ~size:8) (* fully covers: first slot is invalidated *);
+  let r = Space.process_clf sp ~lo:64 ~hi:192 in
+  Alcotest.(check int) "matched counts live slots only" 1 r.Space.matched;
+  Alcotest.(check int) "newly flushed counts live slots only" 1 r.Space.newly_flushed
+
+(* A store that fully covers a flushed tree node removes the node; its
+   flush registration must go with it, or the registration list grows
+   with every store/flush pair on a hot address within one fence
+   interval. *)
+let test_superseded_tree_registrations_purged () =
+  let sp = mk ~mode:Space.Tree_only () in
+  for _ = 1 to 50 do
+    ignore (store sp ~addr:256 ~size:8);
+    ignore (Space.process_clf sp ~lo:256 ~hi:320)
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "registrations bounded (got %.0f)" (stat sp "tree_flushed_nodes"))
+    true
+    (stat sp "tree_flushed_nodes" <= 1.0)
+
 let suite =
   [
     Alcotest.test_case "store/flush/fence lifecycle" `Quick test_store_then_flush_then_fence;
@@ -213,6 +307,11 @@ let suite =
     Alcotest.test_case "has_pending_overlap" `Quick test_has_pending_overlap;
     Alcotest.test_case "modes agree" `Quick test_modes_agree_on_pending;
     Alcotest.test_case "interval metadata off agrees" `Quick test_no_interval_metadata_agrees;
+    Alcotest.test_case "clear resets flush registrations" `Quick test_clear_resets_flush_registrations;
+    Alcotest.test_case "clear resets reorg threshold baseline" `Quick test_clear_resets_reorg_threshold;
+    Alcotest.test_case "collective CLF skips invalidated slots" `Quick test_collective_clf_counts_valid_slots_only;
+    Alcotest.test_case "superseded tree registrations purged" `Quick test_superseded_tree_registrations_purged;
     QCheck_alcotest.to_alcotest prop_matches_byte_model;
     QCheck_alcotest.to_alcotest prop_modes_equivalent;
+    QCheck_alcotest.to_alcotest prop_modes_observations_equivalent;
   ]

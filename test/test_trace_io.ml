@@ -86,7 +86,9 @@ let prop_event_roundtrip =
       let* tid = int_range 0 7 in
       let* strand = int_range 0 15 in
       let* kind = oneofl [ Event.Clwb; Event.Clflush; Event.Clflushopt ] in
-      let* name = oneofl [ "main"; "item_set_cas"; "do_slabs_free"; "x"; "head_ptr_1" ] in
+      (* Multi-word names exercise the String.concat joins in the parser
+         (the line format is space-separated, name comes last). *)
+      let* name = oneofl [ "main"; "item_set_cas"; "do_slabs_free"; "x"; "head_ptr_1"; "head ptr"; "do slabs free" ] in
       let* ann =
         oneofl
           [
@@ -160,6 +162,118 @@ let test_lenient_load_truncated_file () =
       Alcotest.(check bool) "most events recovered" true (Array.length l.Trace_io.trace >= Array.length trace - 2));
   Sys.remove path
 
+(* ------------------------------------------------------------------ *)
+(* Streaming.                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let with_trace_file text f =
+  let path = Filename.temp_file "pmdebugger" ".pmt" in
+  Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc text);
+  Fun.protect ~finally:(fun () -> Sys.remove path) (fun () -> f path)
+
+let dirty_text = "store 0 128 8\nnot an event\nclf clwb 0 128 8\nstore 0 oops 8\nfence 0\n"
+
+let test_stream_matches_lenient_load () =
+  (* One dirty file through both paths: the streamed fold must see the
+     same events, the same skipped line positions and the same
+     synthesized end as the materializing loader. *)
+  with_trace_file dirty_text @@ fun path ->
+  let l = match Trace_io.load_lenient path with Ok l -> l | Error m -> Alcotest.fail m in
+  let streamed = ref [] in
+  let stats =
+    match Trace_io.iter_file path ~f:(fun ev -> streamed := ev :: !streamed) with
+    | Ok stats -> stats
+    | Error m -> Alcotest.fail m
+  in
+  Alcotest.(check bool) "same events" true (Array.of_list (List.rev !streamed) = l.Trace_io.trace);
+  Alcotest.(check int) "stats.events counts emitted events" (Array.length l.Trace_io.trace) stats.Trace_io.events;
+  Alcotest.(check (list int))
+    "same skipped lines" (List.map fst l.Trace_io.skipped)
+    (List.map fst stats.Trace_io.skipped_lines);
+  Alcotest.(check bool) "same synthesized flag" l.Trace_io.synthesized_end stats.Trace_io.synthesized
+
+let test_stream_on_skip_callback () =
+  with_trace_file dirty_text @@ fun path ->
+  let seen = ref [] in
+  (match Trace_io.iter_file ~on_skip:(fun lineno msg -> seen := (lineno, msg) :: !seen) path ~f:ignore with
+  | Ok _ -> ()
+  | Error m -> Alcotest.fail m);
+  Alcotest.(check (list int)) "on_skip fired per bad line" [ 2; 4 ] (List.rev_map fst !seen)
+
+let test_strict_stream_error_position () =
+  (* The streamed strict parser must report the same per-line error
+     position as the in-memory one. *)
+  let text = "store 0 128 8\nfence 0\nstore 0 oops 8\n" in
+  let in_memory = match Trace_io.of_string text with Error m -> m | Ok _ -> Alcotest.fail "expected error" in
+  with_trace_file text @@ fun path ->
+  match Trace_io.iter_file_strict path ~f:ignore with
+  | Error m -> Alcotest.(check string) "same error" in_memory m
+  | Ok () -> Alcotest.fail "expected error"
+
+let test_fold_file_accumulates () =
+  with_trace_file "store 0 128 8\nclf clwb 0 128 8\nfence 0\nprogram_end\n" @@ fun path ->
+  match Trace_io.fold_file path ~init:0 ~f:(fun acc _ -> acc + 1) with
+  | Ok (n, stats) ->
+      Alcotest.(check int) "fold counts events" 4 n;
+      Alcotest.(check bool) "no synthesis needed" false stats.Trace_io.synthesized
+  | Error m -> Alcotest.fail m
+
+let test_save_stream_counts_and_roundtrips () =
+  let trace = sample_trace () in
+  let path = Filename.temp_file "pmdebugger" ".pmt" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+  let n = Trace_io.save_stream path (fun emit -> Array.iter emit trace) in
+  Alcotest.(check int) "emit count returned" (Array.length trace) n;
+  match Trace_io.load path with
+  | Ok decoded -> Alcotest.(check bool) "roundtrip" true (decoded = trace)
+  | Error m -> Alcotest.fail m
+
+let test_save_is_byte_identical_to_to_string () =
+  (* save must write in binary mode: the on-disk bytes are exactly
+     to_string's, with no platform newline translation (open_out on
+     Windows would emit \r\n and desync every reader, which all use
+     open_in_bin). On Unix both modes agree, so this pins the contract
+     rather than reproducing the Windows corruption. *)
+  let trace = sample_trace () in
+  let path = Filename.temp_file "pmdebugger" ".pmt" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+  Trace_io.save path trace;
+  let bytes = In_channel.with_open_bin path In_channel.input_all in
+  Alcotest.(check string) "byte-identical" (Trace_io.to_string trace) bytes
+
+let test_replay_stream_matches_replay () =
+  let trace =
+    Recorder.record (fun e ->
+        Engine.register_pmem e ~base:0 ~size:4096;
+        Engine.store_i64 e ~addr:128 1L;
+        Engine.store_i64 e ~addr:128 2L;
+        Engine.clwb e ~addr:128;
+        Engine.sfence e;
+        Engine.store_i64 e ~addr:512 3L;
+        Engine.program_end e)
+  in
+  let mk () = Pmdebugger.Detector.sink (Pmdebugger.Detector.create ()) in
+  let summary (r : Bug.report) =
+    (r.Bug.events_processed, List.map (fun (b : Bug.t) -> (Bug.kind_name b.Bug.kind, b.Bug.addr)) r.Bug.bugs)
+  in
+  let direct = Recorder.replay trace (mk ()) in
+  let path = Filename.temp_file "pmdebugger" ".pmt" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+  Trace_io.save path trace;
+  let streamed =
+    Recorder.replay_stream
+      (fun emit ->
+        match Trace_io.iter_file path ~f:emit with Ok _ -> () | Error m -> Alcotest.fail m)
+      (mk ())
+  in
+  Alcotest.(check (pair int (list (pair string int))))
+    "streamed file replay = in-memory replay" (summary direct) (summary streamed)
+
+let test_iter_file_missing_file () =
+  match Trace_io.iter_file "/nonexistent/pmdb-no-such-trace.pmt" ~f:ignore with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected error for missing file"
+
 let suite =
   [
     Alcotest.test_case "roundtrip" `Quick test_roundtrip;
@@ -171,5 +285,13 @@ let suite =
     Alcotest.test_case "lenient synthesizes program_end" `Quick test_lenient_synthesizes_end;
     Alcotest.test_case "lenient agrees with strict on clean input" `Quick test_lenient_strict_agree_on_clean_input;
     Alcotest.test_case "lenient load of truncated file" `Quick test_lenient_load_truncated_file;
+    Alcotest.test_case "streamed fold matches lenient load" `Quick test_stream_matches_lenient_load;
+    Alcotest.test_case "on_skip callback positions" `Quick test_stream_on_skip_callback;
+    Alcotest.test_case "strict stream error position" `Quick test_strict_stream_error_position;
+    Alcotest.test_case "fold_file accumulates" `Quick test_fold_file_accumulates;
+    Alcotest.test_case "save_stream counts and roundtrips" `Quick test_save_stream_counts_and_roundtrips;
+    Alcotest.test_case "save writes to_string bytes exactly" `Quick test_save_is_byte_identical_to_to_string;
+    Alcotest.test_case "streamed file replay = in-memory replay" `Quick test_replay_stream_matches_replay;
+    Alcotest.test_case "iter_file on missing file errors" `Quick test_iter_file_missing_file;
     QCheck_alcotest.to_alcotest prop_event_roundtrip;
   ]
