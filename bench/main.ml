@@ -748,6 +748,12 @@ let report () =
   in
   to_file "BENCH_pr2.json" json;
   Printf.printf "wrote BENCH_pr2.json (%d row(s), quick=%b)\n" (Stdlib.List.length rows) q;
+  (* The same trace as a Perfetto timeline — the CI artifact a human
+     loads in ui.perfetto.dev to eyeball a regression the counters
+     flagged. *)
+  let tb = Harness.Timeline.of_trace trace in
+  Obs.Json.to_file "BENCH_timeline.json" (Obs.Perfetto.to_json tb);
+  Printf.printf "wrote BENCH_timeline.json (%d timeline event(s))\n" (Obs.Perfetto.length tb);
   flush stdout
 
 (* ------------------------------------------------------------------ *)

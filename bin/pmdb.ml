@@ -352,6 +352,77 @@ let inject_cmd matrix workload n fault target seed detector config max_print met
     print_findings ~max_print report
 
 (* ---------------------------------------------------------------- *)
+(* explain / timeline: resolve a trace from a case, a file or a      *)
+(* workload, then pretty-print causal chains or export a Perfetto    *)
+(* timeline of it.                                                   *)
+(* ---------------------------------------------------------------- *)
+
+let events_of_source ?(annotate = false) ~case ~trace_file ~workload ~n () =
+  match (case, trace_file) with
+  | Some _, Some _ -> failwith "--case and --trace are mutually exclusive"
+  | Some id, None ->
+      let c = find_bugbench_case id in
+      ( id,
+        c.Bugbench.Cases.model,
+        Faultinject.Replay.events_of_steps (Faultinject.Replay.capture c.Bugbench.Cases.run) )
+  | None, Some path -> (
+      match Faultinject.Replay.materialize_file path with
+      | Error msg -> failwith msg
+      | Ok (steps, stats) ->
+          List.iter
+            (fun (lineno, msg) -> Printf.eprintf "warning: %s:%d: skipped: %s\n" path lineno msg)
+            stats.Trace_io.skipped_lines;
+          (path, Pmdebugger.Detector.Strict, Faultinject.Replay.events_of_steps steps))
+  | None, None ->
+      let spec = Workloads.Registry.find_exn workload in
+      (workload, spec.W.model, Recorder.record (fun e -> spec.W.run (W.params ~annotate ~n ()) e))
+
+let explain_cmd case trace_file workload n config max_print =
+  let what, model, trace = events_of_source ~case ~trace_file ~workload ~n () in
+  (* A bugbench case carries its own persist-order config (the
+     order-guarantee cases need it to fire); -c overrides. *)
+  let config =
+    match (case, config) with
+    | Some id, None -> (find_bugbench_case id).Bugbench.Cases.config
+    | _ -> load_config config
+  in
+  let det = Pmdebugger.Detector.create ~model ~config () in
+  let report = Recorder.replay trace (Pmdebugger.Detector.sink det) in
+  Printf.printf "%s: %d event(s), %d finding(s)\n" what (Array.length trace)
+    (List.length report.Bug.bugs);
+  let shown = ref 0 in
+  List.iter
+    (fun b ->
+      if !shown < max_print then begin
+        incr shown;
+        Format.printf "@.%a@." Bug.pp b;
+        match b.Bug.chain with
+        | [] -> Format.printf "  (no causal history)@."
+        | chain ->
+            List.iter
+              (fun c ->
+                let resolved =
+                  if c.Bug.c_seq >= 1 && c.Bug.c_seq <= Array.length trace then
+                    Format.asprintf "%a" Event.pp trace.(c.Bug.c_seq - 1)
+                  else Format.asprintf "<%s event outside this trace>" c.Bug.c_class
+                in
+                Format.printf "  #%-5d %-26s %s@." c.Bug.c_seq resolved
+                  (if c.Bug.c_note = "" then "" else "— " ^ c.Bug.c_note))
+              chain
+      end)
+    report.Bug.bugs;
+  let total = List.length report.Bug.bugs in
+  if total > max_print then Printf.printf "... and %d more finding(s)\n" (total - max_print)
+
+let timeline_cmd case trace_file workload n annotate out max_tracks =
+  let what, _model, trace = events_of_source ~annotate ~case ~trace_file ~workload ~n () in
+  let b = Harness.Timeline.of_trace ~max_tracks trace in
+  Obs.Json.to_file out (Obs.Perfetto.to_json b);
+  Printf.printf "timeline: %d trace event(s) from %s -> %d timeline event(s) in %s\n"
+    (Array.length trace) what (Obs.Perfetto.length b) out;
+  Printf.printf "open in ui.perfetto.dev (or chrome://tracing)\n"
+
+(* ---------------------------------------------------------------- *)
 (* stats: run with telemetry enabled and print the metric table; or  *)
 (* validate a previously written JSON report (--check, used by CI).  *)
 (* ---------------------------------------------------------------- *)
@@ -415,7 +486,54 @@ let check_report_file path =
           Printf.eprintf "%s: missing \"schema\" field\n" path;
           exit 1)
 
-let stats_cmd workload n detector config check json_file =
+(* --diff: a metrics file is either a pmdb-metrics/v1 snapshot or a
+   pmdb-bench/v1 report (whose "telemetry" member is a snapshot). *)
+let load_snapshot path =
+  match Obs.Json.of_file path with
+  | Error msg ->
+      Printf.eprintf "%s: invalid JSON: %s\n" path msg;
+      exit 1
+  | Ok json -> (
+      let doc =
+        match Obs.Json.member "schema" json with
+        | Some (Obs.Json.Str "pmdb-bench/v1") -> (
+            match Obs.Json.member "telemetry" json with
+            | Some t -> t
+            | None ->
+                Printf.eprintf "%s: pmdb-bench/v1 report without \"telemetry\"\n" path;
+                exit 1)
+        | _ -> json
+      in
+      match Obs.Metrics.snapshot_of_json doc with
+      | Ok snap -> snap
+      | Error msg ->
+          Printf.eprintf "%s: %s\n" path msg;
+          exit 1)
+
+let diff_cmd files check_regressions threshold =
+  match files with
+  | [ a; b ] ->
+      let before = load_snapshot a and after = load_snapshot b in
+      let d = Obs.Diff.compute ~before ~after in
+      if Obs.Diff.is_empty d then Printf.printf "%s -> %s: no metric changes\n" a b
+      else
+        Harness.Table.print
+          ~title:(Printf.sprintf "metrics diff: %s -> %s" a b)
+          ~header:Obs.Diff.rows_header (Obs.Diff.to_rows d);
+      if check_regressions then begin
+        match Obs.Diff.regressions ~threshold d with
+        | [] -> Printf.printf "no counter regressions (threshold %+.1f%%)\n" (100.0 *. threshold)
+        | regs ->
+            Printf.printf "%d counter regression(s) over threshold %+.1f%%:\n" (List.length regs)
+              (100.0 *. threshold);
+            List.iter (fun c -> Format.printf "  %a@." Obs.Diff.pp_change c) regs;
+            exit 1
+      end
+  | _ -> failwith "--diff takes exactly two metrics files: pmdb stats --diff A.json B.json"
+
+let stats_cmd workload n detector config check diff files check_regressions threshold json_file =
+  if diff then diff_cmd files check_regressions threshold
+  else
   match check with
   | Some path -> check_report_file path
   | None ->
@@ -553,8 +671,47 @@ let stats_json_arg =
   let doc = "Also write the telemetry snapshot to $(docv) as pmdb-metrics/v1 JSON." in
   Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
 
+let diff_flag_arg =
+  let doc = "Diff two metrics files (pmdb-metrics/v1, or pmdb-bench/v1 via its telemetry section) given as positional arguments." in
+  Arg.(value & flag & info [ "diff" ] ~doc)
+
+let diff_files_arg =
+  let doc = "Metrics files for --diff (before, after)." in
+  Arg.(value & pos_all file [] & info [] ~docv:"FILE" ~doc)
+
+let check_regressions_arg =
+  let doc = "Exit 1 when a counter grew by more than --threshold between the two --diff files (the CI gate)." in
+  Arg.(value & flag & info [ "check-regressions" ] ~doc)
+
+let threshold_arg =
+  let doc = "Relative counter-growth tolerance for --check-regressions (0.05 = 5%)." in
+  Arg.(value & opt float 0.0 & info [ "threshold" ] ~docv:"REL" ~doc)
+
 let stats_term =
-  Term.(const stats_cmd $ workload_arg $ n_arg $ detector_arg $ config_arg $ check_arg $ stats_json_arg)
+  Term.(
+    const stats_cmd $ workload_arg $ n_arg $ detector_arg $ config_arg $ check_arg $ diff_flag_arg
+    $ diff_files_arg $ check_regressions_arg $ threshold_arg $ stats_json_arg)
+
+let src_trace_arg =
+  let doc = "Use a recorded trace file (as produced by `pmdb record`) instead of a workload." in
+  Arg.(value & opt (some file) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let explain_term =
+  Term.(
+    const explain_cmd $ case_arg $ src_trace_arg $ workload_arg $ n_arg $ config_arg $ max_bugs_arg)
+
+let timeline_out_arg =
+  let doc = "Output Perfetto/Chrome trace-event JSON file." in
+  Arg.(value & opt string "trace.json" & info [ "out"; "o" ] ~docv:"FILE" ~doc)
+
+let max_tracks_arg =
+  let doc = "Cap on per-cache-line persistency tracks." in
+  Arg.(value & opt int 64 & info [ "max-tracks" ] ~docv:"K" ~doc)
+
+let timeline_term =
+  Term.(
+    const timeline_cmd $ case_arg $ src_trace_arg $ workload_arg $ n_arg $ annotate_arg
+    $ timeline_out_arg $ max_tracks_arg)
 
 let list_term = Term.(const list_cmd $ const ())
 
@@ -569,7 +726,13 @@ let cmds =
       (Cmd.info "crash-explore" ~doc:"Test recovery against every derivable crash image of a trace")
       crash_explore_term;
     Cmd.v (Cmd.info "inject" ~doc:"Mutate a workload trace with a fault and re-run the detector") inject_term;
-    Cmd.v (Cmd.info "stats" ~doc:"Run with telemetry enabled and print the metric table, or --check a JSON report") stats_term;
+    Cmd.v
+      (Cmd.info "explain" ~doc:"Pretty-print each finding's causal chain, resolved against its trace")
+      explain_term;
+    Cmd.v
+      (Cmd.info "timeline" ~doc:"Export a trace as Perfetto/Chrome trace-event JSON (ui.perfetto.dev)")
+      timeline_term;
+    Cmd.v (Cmd.info "stats" ~doc:"Run with telemetry enabled and print the metric table, --check a JSON report, or --diff two of them") stats_term;
     Cmd.v (Cmd.info "list" ~doc:"List available workloads") list_term;
   ]
 

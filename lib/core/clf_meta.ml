@@ -7,11 +7,25 @@ type t = {
   mutable max_addr : int;
   mutable state : fstate;
   mutable invalidated : int;
+  mutable clf_seq : int;
+      (* Sequence number of the collective CLF that set All_flushed
+         (-1 otherwise): the shared provenance of every slot the
+         interval covers, so Pattern-2 updates stay O(1) yet causal
+         chains can still name the flush. *)
   mutable next : t option;
 }
 
 let make ~start_idx =
-  { start_idx; end_idx = -1; min_addr = max_int; max_addr = min_int; state = Not_flushed; invalidated = 0; next = None }
+  {
+    start_idx;
+    end_idx = -1;
+    min_addr = max_int;
+    max_addr = min_int;
+    state = Not_flushed;
+    invalidated = 0;
+    clf_seq = -1;
+    next = None;
+  }
 
 let is_empty t = t.end_idx < t.start_idx
 

@@ -19,6 +19,11 @@ type t = {
       (** slots of this interval invalidated by superseding stores —
           keeps collective (per-interval) accounting exact without a
           slot walk *)
+  mutable clf_seq : int;
+      (** sequence number of the collective CLF that set [All_flushed]
+          (-1 otherwise): shared flush provenance for every slot the
+          interval covers, so Pattern-2 updates stay O(1) yet causal
+          chains can still name the flush *)
   mutable next : t option;
 }
 

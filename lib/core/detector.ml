@@ -72,7 +72,10 @@ let all_rules_off =
     cross_failure = false;
   }
 
-type var_state = { mutable stored : bool; mutable persisted : int option }
+(* [persisted] carries the event (seq, class) at which durability was
+   observed — a fence or the program end — so order-rule findings can
+   cite the exact persist point in their causal chain. *)
+type var_state = { mutable stored : bool; mutable persisted : (int * string) option }
 
 type t = {
   model : model;
@@ -83,8 +86,9 @@ type t = {
   strand_spaces : (int, Space.t) Hashtbl.t;
   cur_strand : (int, int) Hashtbl.t; (* tid -> active strand section *)
   epoch_depth : (int, int) Hashtbl.t;
-  epoch_fences : (int, int) Hashtbl.t;
-  logged : (int, Addr.range list ref) Hashtbl.t; (* tid -> tx log ranges *)
+  epoch_fences : (int, int list ref) Hashtbl.t; (* tid -> fence seqs, newest first *)
+  epoch_begin_seq : (int, int) Hashtbl.t; (* tid -> seq of the outermost epoch_begin *)
+  logged : (int, (Addr.range * int) list ref) Hashtbl.t; (* tid -> (range, log seq) *)
   mutable registered : Addr.range list;
   mutable track_all : bool;
   vars : (string, Addr.range) Hashtbl.t;
@@ -96,6 +100,7 @@ type t = {
   kind_counts : (Bug.kind, int) Hashtbl.t;
   mutable events : int;
   mutable seq : int;
+  mutable cur_class : string; (* Event.class_name of the event being dispatched *)
   pm : State.t option;
   recovery : (Image.t -> bool) option;
   crash_check_every_fence : bool;
@@ -124,6 +129,7 @@ let create ?(model = Strict) ?rules ?(config = Order_config.empty) ?array_capaci
     cur_strand = Hashtbl.create 8;
     epoch_depth = Hashtbl.create 8;
     epoch_fences = Hashtbl.create 8;
+    epoch_begin_seq = Hashtbl.create 8;
     logged = Hashtbl.create 8;
     registered = [];
     track_all = true;
@@ -136,6 +142,7 @@ let create ?(model = Strict) ?rules ?(config = Order_config.empty) ?array_capaci
     kind_counts = Hashtbl.create 16;
     events = 0;
     seq = 0;
+    cur_class = "program_end";
     pm;
     recovery;
     crash_check_every_fence;
@@ -147,13 +154,27 @@ let default_space t = t.dspace
 
 let all_spaces t = t.dspace :: Hashtbl.fold (fun _ s acc -> s :: acc) t.strand_spaces []
 
-let report_bug t kind ~addr ?(size = 0) ~detail () =
+let var_name_for t addr =
+  Hashtbl.fold (fun name r acc -> if Addr.contains r addr then Some name else acc) t.vars None
+
+let report_bug t kind ~addr ?(size = 0) ?(chain = []) ~detail () =
   let key = (kind, addr) in
   if not (Hashtbl.mem t.bugs key) then begin
     let n = match Hashtbl.find_opt t.kind_counts kind with None -> 0 | Some n -> n in
     if n < t.max_bugs_per_kind then begin
       Hashtbl.replace t.kind_counts kind (n + 1);
-      Hashtbl.replace t.bugs key (Bug.make ~addr ~size ~seq:t.seq ~detail kind);
+      (* Annotation names make reports readable without a memory map:
+         every rule's message is prefixed with the registered variable
+         covering the primary address, when there is one. *)
+      let detail =
+        match if addr >= 0 then var_name_for t addr else None with
+        | Some name -> name ^ ": " ^ detail
+        | None -> detail
+      in
+      (* Every finding cites at least the event it fired at; rule code
+         prepends the bookkeeping history (stores, CLFs, fences). *)
+      let chain = Bug.cause ~addr ~size ~note:"rule fired here" ~cls:t.cur_class t.seq :: chain in
+      Hashtbl.replace t.bugs key (Bug.make ~addr ~size ~seq:t.seq ~detail ~chain kind);
       t.bug_keys <- key :: t.bug_keys;
       Obs.Metrics.inc t.metrics ~labels:[ ("rule", Bug.kind_name kind) ] "detector_rule_fires_total"
     end
@@ -176,9 +197,6 @@ let space_for t tid =
 
 let in_epoch t tid = match Hashtbl.find_opt t.epoch_depth tid with Some d when d > 0 -> true | _ -> false
 
-let var_name_for t addr =
-  Hashtbl.fold (fun name r acc -> if Addr.contains r addr then Some name else acc) t.vars None
-
 (* A variable is durable when it has been stored to and no space still
    tracks an unpersisted location overlapping it. *)
 let update_var_persistence t =
@@ -195,13 +213,16 @@ let update_var_persistence t =
       in
       if st.stored && st.persisted = None then
         if not (List.exists (fun s -> Space.has_pending_overlap s ~lo:r.Addr.lo ~hi:r.Addr.hi) spaces) then
-          st.persisted <- Some t.seq)
+          st.persisted <- Some (t.seq, t.cur_class))
     t.vars
 
 let var_persisted t name =
   match Hashtbl.find_opt t.var_state name with Some { persisted = Some _; _ } -> true | _ -> false
 
 let var_addr t name = match Hashtbl.find_opt t.vars name with Some r -> r.Addr.lo | None -> -1
+
+let var_persist_point t name =
+  match Hashtbl.find_opt t.var_state name with Some { persisted = Some p; _ } -> Some p | _ -> None
 
 let func_gate_open t = function None -> true | Some f -> Hashtbl.mem t.funcs_called f
 
@@ -219,7 +240,17 @@ let check_order_constraints t =
           | Order_config.Intra -> Bug.No_order_guarantee
           | Order_config.Cross_strand -> Bug.Lack_ordering_in_strands
         in
-        report_bug t kind ~addr:(var_addr t e.Order_config.next)
+        let chain =
+          match var_persist_point t e.Order_config.next with
+          | Some (seq, cls) ->
+              [
+                Bug.cause ~addr:(var_addr t e.Order_config.next) ~cls
+                  ~note:(e.Order_config.next ^ " became durable here, before " ^ e.Order_config.first)
+                  seq;
+              ]
+          | None -> []
+        in
+        report_bug t kind ~addr:(var_addr t e.Order_config.next) ~chain
           ~detail:(Printf.sprintf "%s persisted before %s" e.Order_config.next e.Order_config.first)
           ()
       end)
@@ -255,11 +286,15 @@ let on_store t ~addr ~size ~tid =
     let space = space_for t tid in
     let strand = match Hashtbl.find_opt t.cur_strand tid with Some s -> s | None -> -1 in
     let check_overlap = t.rules.multiple_overwrites && t.model = Strict in
-    let overlapped =
-      Space.process_store space ~check_overlap ~addr ~size ~epoch:(in_epoch t tid) ~seq:t.seq ~tid ~strand ()
-    in
-    if overlapped && check_overlap then
-      report_bug t Bug.Multiple_overwrites ~addr ~size ~detail:"overwrite before durability guaranteed" ();
+    let r = Space.process_store space ~check_overlap ~addr ~size ~epoch:(in_epoch t tid) ~seq:t.seq ~tid ~strand () in
+    if r.Space.overlapped && check_overlap then begin
+      let chain =
+        List.map
+          (fun seq -> Bug.cause ~addr ~size ~cls:"store" ~note:"earlier store, not yet durable" seq)
+          r.Space.prior_seqs
+      in
+      report_bug t Bug.Multiple_overwrites ~addr ~size ~chain ~detail:"overwrite before durability guaranteed" ()
+    end;
     note_var_store t ~lo:addr ~hi:(addr + size)
   end
 
@@ -283,7 +318,7 @@ let check_strand_order_at_clf t ~lo ~hi =
 let on_clf t ~addr ~size ~tid =
   if in_registered t ~lo:addr ~hi:(addr + size) then begin
     let primary = space_for t tid in
-    let result = Space.process_clf primary ~lo:addr ~hi:(addr + size) in
+    let result = Space.process_clf primary ~seq:t.seq ~lo:addr ~hi:(addr + size) in
     (* A CLWB acts on the physical line: under the strand extension it
        must also update any other strand's space tracking the line. *)
     let result =
@@ -293,11 +328,12 @@ let on_clf t ~addr ~size ~tid =
           (fun (acc : Space.clf_result) space ->
             if space == primary || not (Space.has_pending_overlap space ~lo:addr ~hi:(addr + size)) then acc
             else begin
-              let r = Space.process_clf space ~lo:addr ~hi:(addr + size) in
+              let r = Space.process_clf space ~seq:t.seq ~lo:addr ~hi:(addr + size) in
               {
                 Space.matched = acc.Space.matched + r.Space.matched;
                 newly_flushed = acc.Space.newly_flushed + r.Space.newly_flushed;
                 redundant = acc.Space.redundant @ r.Space.redundant;
+                redundant_prov = acc.Space.redundant_prov @ r.Space.redundant_prov;
               }
             end)
           result (all_spaces t)
@@ -310,7 +346,14 @@ let on_clf t ~addr ~size ~tid =
        the line. *)
     if t.rules.redundant_flush && result.Space.matched > 0 && result.Space.newly_flushed = 0 then begin
       let a, s = match result.Space.redundant with (a, s) :: _ -> (a, s) | [] -> (addr, size) in
-      report_bug t Bug.Redundant_flush ~addr:a ~size:s ~detail:"store flushed again before the fence" ()
+      let chain =
+        match result.Space.redundant_prov with
+        | (store_seq, prior_clf) :: _ ->
+            Bug.cause ~addr:a ~size:s ~cls:"store" ~note:"the store being re-flushed" store_seq
+            :: (if prior_clf >= 0 then [ Bug.cause ~addr:a ~size:s ~cls:"clf" ~note:"already flushed here" prior_clf ] else [])
+        | [] -> []
+      in
+      report_bug t Bug.Redundant_flush ~addr:a ~size:s ~chain ~detail:"store flushed again before the fence" ()
     end;
     if t.rules.lack_ordering_in_strands && not (Order_config.is_empty t.config) then
       check_strand_order_at_clf t ~lo:addr ~hi:(addr + size)
@@ -319,10 +362,17 @@ let on_clf t ~addr ~size ~tid =
 let on_fence t ~tid =
   let space = space_for t tid in
   Space.note_fence_sample space;
-  Space.process_fence space;
+  Space.process_fence ~seq:t.seq space;
   if in_epoch t tid then begin
-    let n = match Hashtbl.find_opt t.epoch_fences tid with None -> 0 | Some n -> n in
-    Hashtbl.replace t.epoch_fences tid (n + 1)
+    let fences =
+      match Hashtbl.find_opt t.epoch_fences tid with
+      | Some l -> l
+      | None ->
+          let l = ref [] in
+          Hashtbl.replace t.epoch_fences tid l;
+          l
+    in
+    fences := t.seq :: !fences
   end;
   if not (Order_config.is_empty t.config) then begin
     update_var_persistence t;
@@ -334,28 +384,53 @@ let on_epoch_begin t ~tid =
   let d = match Hashtbl.find_opt t.epoch_depth tid with None -> 0 | Some d -> d in
   (* Nested transactions collapse into the outermost one (§6). *)
   if d = 0 then begin
-    Hashtbl.replace t.epoch_fences tid 0;
+    Hashtbl.replace t.epoch_fences tid (ref []);
+    Hashtbl.replace t.epoch_begin_seq tid t.seq;
     Hashtbl.replace t.logged tid (ref [])
   end;
   Hashtbl.replace t.epoch_depth tid (d + 1)
+
+let epoch_begin_cause t ~tid =
+  match Hashtbl.find_opt t.epoch_begin_seq tid with
+  | Some seq -> [ Bug.cause ~cls:"epoch" ~note:"epoch section opened here" seq ]
+  | None -> []
 
 let on_epoch_end t ~tid =
   let d = match Hashtbl.find_opt t.epoch_depth tid with None -> 0 | Some d -> d in
   if d <= 1 then begin
     Hashtbl.replace t.epoch_depth tid 0;
     (* Rules at the outermost epoch end (§5.2). *)
-    let fences = match Hashtbl.find_opt t.epoch_fences tid with None -> 0 | Some n -> n in
-    if t.rules.redundant_epoch_fence && fences > 1 then
-      report_bug t Bug.Redundant_epoch_fence ~addr:(-tid - 1)
-        ~detail:(Printf.sprintf "%d fences inside one epoch section" fences)
-        ();
+    let fences = match Hashtbl.find_opt t.epoch_fences tid with None -> [] | Some l -> List.rev !l in
+    if t.rules.redundant_epoch_fence && List.length fences > 1 then begin
+      let chain =
+        epoch_begin_cause t ~tid
+        @ List.map (fun seq -> Bug.cause ~cls:"fence" ~note:"fence inside the epoch section" seq) fences
+      in
+      report_bug t Bug.Redundant_epoch_fence ~addr:(-tid - 1) ~chain
+        ~detail:(Printf.sprintf "%d fences inside one epoch section" (List.length fences))
+        ()
+    end;
     if t.rules.lack_durability_in_epoch then begin
       let space = space_for t tid in
       if Space.exists_epoch_pending space then begin
         (* Report each still-pending epoch location. *)
-        Space.iter_pending space (fun ~addr ~size ~flushed:_ ~epoch ~seq:_ ->
-            if epoch then
-              report_bug t Bug.Lack_durability_in_epoch ~addr ~size ~detail:"epoch ends with unpersisted store" ())
+        Space.iter_pending space (fun ~addr ~size ~flushed ~epoch ~seq ~clf_seq ~fence_seq ->
+            if epoch then begin
+              let chain =
+                epoch_begin_cause t ~tid
+                @ Bug.cause ~addr ~size ~cls:"store" ~note:"stored inside the epoch" seq
+                  ::
+                  (if flushed && clf_seq >= 0 then
+                     [ Bug.cause ~addr ~size ~cls:"clf" ~note:"flushed here but not fenced" clf_seq ]
+                   else [])
+                @
+                if fence_seq >= 0 then
+                  [ Bug.cause ~addr ~size ~cls:"fence" ~note:"crossed this fence unpersisted" fence_seq ]
+                else []
+              in
+              report_bug t Bug.Lack_durability_in_epoch ~addr ~size ~chain
+                ~detail:"epoch ends with unpersisted store" ()
+            end)
       end
     end;
     Hashtbl.remove t.logged tid
@@ -373,9 +448,14 @@ let on_tx_log t ~obj_addr ~size ~tid =
           r
     in
     let range = Addr.of_base_size obj_addr size in
-    if List.exists (fun r -> Addr.overlaps r range) !ranges then
-      report_bug t Bug.Redundant_logging ~addr:obj_addr ~size ~detail:"object logged more than once in one transaction" ()
-    else ranges := range :: !ranges
+    match List.find_opt (fun (r, _) -> Addr.overlaps r range) !ranges with
+    | Some (prior, log_seq) ->
+        let chain =
+          [ Bug.cause ~addr:prior.Addr.lo ~size:(Addr.size prior) ~cls:"tx_log" ~note:"object first logged here" log_seq ]
+        in
+        report_bug t Bug.Redundant_logging ~addr:obj_addr ~size ~chain
+          ~detail:"object logged more than once in one transaction" ()
+    | None -> ranges := (range, t.seq) :: !ranges
   end
 
 let on_program_end t =
@@ -384,15 +464,25 @@ let on_program_end t =
     if t.rules.no_durability then
       List.iter
         (fun space ->
-          Space.iter_pending space (fun ~addr ~size ~flushed ~epoch:_ ~seq:_ ->
+          Space.iter_pending space (fun ~addr ~size ~flushed ~epoch:_ ~seq ~clf_seq ~fence_seq ->
               let detail =
                 if flushed then "flushed but never fenced (missing fence)"
                 else "never flushed (missing CLF)"
               in
-              let detail =
-                match var_name_for t addr with None -> detail | Some name -> name ^ ": " ^ detail
+              let chain =
+                Bug.cause ~addr ~size ~cls:"store"
+                  ~note:(if flushed then "the store left unfenced" else "the store left unflushed")
+                  seq
+                ::
+                (if flushed && clf_seq >= 0 then
+                   [ Bug.cause ~addr ~size ~cls:"clf" ~note:"flushed here, awaiting a fence" clf_seq ]
+                 else [])
+                @
+                if fence_seq >= 0 then
+                  [ Bug.cause ~addr ~size ~cls:"fence" ~note:"crossed this fence unpersisted" fence_seq ]
+                else []
               in
-              report_bug t Bug.No_durability ~addr ~size ~detail ()))
+              report_bug t Bug.No_durability ~addr ~size ~chain ~detail ()))
         (all_spaces t);
     (* Order constraints where the later var persisted but the earlier
        one never did are caught here even without a closing fence. *)
@@ -406,6 +496,7 @@ let on_program_end t =
 let on_event t ev =
   t.events <- t.events + 1;
   t.seq <- t.seq + 1;
+  t.cur_class <- Event.class_name ev;
   match ev with
   | Event.Store { addr; size; tid } -> on_store t ~addr ~size ~tid
   | Event.Clf { addr; size; tid; kind = _ } -> on_clf t ~addr ~size ~tid

@@ -7,6 +7,7 @@ type t = {
   mutable tid : int;
   mutable strand : int;
   mutable valid : bool;
+  mutable clf_seq : int;
 }
 
 type payload = {
@@ -15,9 +16,22 @@ type payload = {
   p_seq : int;
   p_tid : int;
   p_strand : int;
+  mutable p_clf_seq : int;
+  mutable p_fence_seq : int;
 }
 
-let fresh () = { addr = 0; size = 0; flushed = false; epoch = false; seq = 0; tid = 0; strand = -1; valid = false }
+let fresh () =
+  {
+    addr = 0;
+    size = 0;
+    flushed = false;
+    epoch = false;
+    seq = 0;
+    tid = 0;
+    strand = -1;
+    valid = false;
+    clf_seq = -1;
+  }
 
 let fill t ~addr ~size ~epoch ~seq ~tid ~strand =
   t.addr <- addr;
@@ -27,8 +41,18 @@ let fill t ~addr ~size ~epoch ~seq ~tid ~strand =
   t.seq <- seq;
   t.tid <- tid;
   t.strand <- strand;
-  t.valid <- true
+  t.valid <- true;
+  t.clf_seq <- -1
 
-let payload_of t = { p_flushed = t.flushed; p_epoch = t.epoch; p_seq = t.seq; p_tid = t.tid; p_strand = t.strand }
+let payload_of t =
+  {
+    p_flushed = t.flushed;
+    p_epoch = t.epoch;
+    p_seq = t.seq;
+    p_tid = t.tid;
+    p_strand = t.strand;
+    p_clf_seq = t.clf_seq;
+    p_fence_seq = -1;
+  }
 
 let range t = Pmem.Addr.of_base_size t.addr t.size

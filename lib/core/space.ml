@@ -95,8 +95,6 @@ let tree_insert_payload t ~lo ~hi (p : Slot.payload) =
   bounds_add t ~lo ~hi;
   Rangetree.insert t.tree ~lo ~hi p
 
-let tree_insert_slot t (s : Slot.t) = tree_insert_payload t ~lo:s.Slot.addr ~hi:(s.Slot.addr + s.Slot.size) (Slot.payload_of s)
-
 (* A store dirties its cache line again: any tracked overlapping
    location that was flushed (but not yet fenced) loses its flushed
    state, exactly as the hardware voids a CLWB that precedes a new
@@ -112,14 +110,21 @@ let purge_registration t ~lo ~hi (p : Slot.payload) =
     t.tree_flushed_nodes <-
       List.filter (fun (flo, fhi, fp) -> not (fp == p && flo = lo && fhi = hi)) t.tree_flushed_nodes
 
+(* Cap on prior-store seqs collected per store: causal chains need the
+   earliest few overwritten stores, not an unbounded history under hot
+   addresses. *)
+let max_prior_seqs = 8
+
 let unflush_overlaps t ~need_overlap ~lo ~hi =
   if bounds_miss t ~lo ~hi then begin
     Obs.Metrics.inc t.metrics "space_bounds_skips_total";
-    false
+    (false, [])
   end
   else begin
   let probe = Addr.range ~lo ~hi in
   let found = ref false in
+  let priors = ref [] in
+  let note_prior seq = found := true; priors := seq :: !priors in
   let visit_meta (m : Clf_meta.t) =
     (* Invariant: a Not_flushed interval holds no flushed slot, so when
        the caller does not need the overlap observation (the
@@ -133,18 +138,22 @@ let unflush_overlaps t ~need_overlap ~lo ~hi =
       | Some r when Addr.overlaps r probe ->
           (* Demote a collectively-flushed interval before touching
              individual slots: the collective bit stands for every
-             slot's state. *)
+             slot's state (and the collective CLF seq for every slot's
+             flush provenance). *)
           if t.interval_metadata && m.Clf_meta.state = Clf_meta.All_flushed then begin
             for i = m.Clf_meta.start_idx to m.Clf_meta.end_idx do
               let s = t.slots.(i) in
-              if s.Slot.valid then s.Slot.flushed <- true
+              if s.Slot.valid then begin
+                s.Slot.flushed <- true;
+                if s.Slot.clf_seq < 0 then s.Slot.clf_seq <- m.Clf_meta.clf_seq
+              end
             done;
             m.Clf_meta.state <- Clf_meta.Partially_flushed
           end;
           for i = m.Clf_meta.start_idx to m.Clf_meta.end_idx do
             let s = t.slots.(i) in
             if s.Slot.valid && Addr.overlaps (Slot.range s) probe then begin
-              found := true;
+              note_prior s.Slot.seq;
               (* A fully covered slot is superseded outright (the new
                  store re-tracks the address); partial overlaps merely
                  lose their flushed state. *)
@@ -152,14 +161,17 @@ let unflush_overlaps t ~need_overlap ~lo ~hi =
                 s.Slot.valid <- false;
                 m.Clf_meta.invalidated <- m.Clf_meta.invalidated + 1
               end
-              else if s.Slot.flushed then s.Slot.flushed <- false
+              else if s.Slot.flushed then begin
+                s.Slot.flushed <- false;
+                s.Slot.clf_seq <- -1
+              end
             end
           done
       | _ -> ()
   in
   iter_metas t visit_meta;
   (* Cheap emptiness probe before the allocating overlap pass. *)
-  if Rangetree.find_first_overlap t.tree ~lo ~hi = None then !found
+  if Rangetree.find_first_overlap t.tree ~lo ~hi = None then (!found, !priors)
   else begin
   (* Tree nodes: a fully covered node is superseded outright (the new
      store re-tracks the address), preventing stale duplicates from
@@ -169,6 +181,7 @@ let unflush_overlaps t ~need_overlap ~lo ~hi =
      dirty. *)
   let visited =
     Rangetree.map_overlapping t.tree ~lo ~hi ~f:(fun r (p : Slot.payload) ->
+        note_prior p.Slot.p_seq;
         if Addr.covers probe r then begin
           (* Superseded outright: its pending-flush registration (if
              any) points at a node that no longer exists. *)
@@ -191,16 +204,22 @@ let unflush_overlaps t ~need_overlap ~lo ~hi =
         end)
   in
   if visited > 0 then found := true;
-  !found
+  (!found, !priors)
   end
   end
 
+type store_result = { overlapped : bool; prior_seqs : int list }
+
+let take n l =
+  let rec go n = function x :: rest when n > 0 -> x :: go (n - 1) rest | _ -> [] in
+  go n l
+
 let process_store t ?(check_overlap = true) ~addr ~size ~epoch ~seq ~tid ~strand () =
-  let overlapped = unflush_overlaps t ~need_overlap:check_overlap ~lo:addr ~hi:(addr + size) in
+  let overlapped, priors = unflush_overlaps t ~need_overlap:check_overlap ~lo:addr ~hi:(addr + size) in
   if t.mode = Tree_only || t.live >= t.capacity then begin
     (* Rare overflow path (§4.1): spill straight to the tree. *)
     tree_insert_payload t ~lo:addr ~hi:(addr + size)
-      { Slot.p_flushed = false; p_epoch = epoch; p_seq = seq; p_tid = tid; p_strand = strand };
+      { Slot.p_flushed = false; p_epoch = epoch; p_seq = seq; p_tid = tid; p_strand = strand; p_clf_seq = -1; p_fence_seq = -1 };
     Obs.Metrics.inc t.metrics "space_tree_spills_total"
   end
   else begin
@@ -212,7 +231,9 @@ let process_store t ?(check_overlap = true) ~addr ~size ~epoch ~seq ~tid ~strand
     Obs.Metrics.inc t.metrics "space_array_hits_total";
     Obs.Metrics.max_set t.metrics "space_array_live_peak" (float_of_int t.live)
   end;
-  overlapped
+  (* Canonical provenance: sorted, deduped, capped — independent of the
+     bookkeeping walk order (array vs tree vs hybrid). *)
+  { overlapped; prior_seqs = take max_prior_seqs (List.sort_uniq compare priors) }
 
 let find_overlap t ~lo ~hi =
   if bounds_miss t ~lo ~hi then begin
@@ -242,11 +263,16 @@ let find_overlap t ~lo ~hi =
   !found
   end
 
-type clf_result = { matched : int; newly_flushed : int; redundant : (int * int) list }
+type clf_result = {
+  matched : int;
+  newly_flushed : int;
+  redundant : (int * int) list;
+  redundant_prov : (int * int) list;
+}
 
 (* Split a partially covered slot (§4.3): the covered part stays in the
    array (flushed); uncovered remainders go to the tree, not flushed. *)
-let split_slot t (s : Slot.t) ~(flush : Addr.range) =
+let split_slot t (s : Slot.t) ~(flush : Addr.range) ~seq =
   let r = Slot.range s in
   match Addr.inter r flush with
   | None -> ()
@@ -255,11 +281,20 @@ let split_slot t (s : Slot.t) ~(flush : Addr.range) =
       List.iter
         (fun (part : Addr.range) ->
           tree_insert_payload t ~lo:part.Addr.lo ~hi:part.Addr.hi
-            { Slot.p_flushed = false; p_epoch = s.Slot.epoch; p_seq = s.Slot.seq; p_tid = s.Slot.tid; p_strand = s.Slot.strand })
+            {
+              Slot.p_flushed = false;
+              p_epoch = s.Slot.epoch;
+              p_seq = s.Slot.seq;
+              p_tid = s.Slot.tid;
+              p_strand = s.Slot.strand;
+              p_clf_seq = -1;
+              p_fence_seq = -1;
+            })
         rest;
       s.Slot.addr <- covered.Addr.lo;
       s.Slot.size <- Addr.size covered;
-      s.Slot.flushed <- true
+      s.Slot.flushed <- true;
+      s.Slot.clf_seq <- seq
 
 (* Close the current CLF interval and open the next (§4.3). *)
 let close_interval t =
@@ -269,29 +304,35 @@ let close_interval t =
     t.cur_meta <- next
   end
 
-let process_clf t ~lo ~hi =
+let process_clf ?(seq = -1) t ~lo ~hi =
   if bounds_miss t ~lo ~hi then begin
     (* Nothing tracked can overlap, but the CLF still ends the current
        interval. *)
     Obs.Metrics.inc t.metrics "space_bounds_skips_total";
     close_interval t;
-    { matched = 0; newly_flushed = 0; redundant = [] }
+    { matched = 0; newly_flushed = 0; redundant = []; redundant_prov = [] }
   end
   else begin
   let flush = Addr.range ~lo ~hi in
   let matched = ref 0 in
   let newly = ref 0 in
   let redundant = ref [] in
+  let redundant_prov = ref [] in
   let visit_slot (m : Clf_meta.t) (s : Slot.t) =
     if s.Slot.valid && Addr.overlaps (Slot.range s) flush then begin
       incr matched;
-      if slot_flushed t m s then redundant := (s.Slot.addr, s.Slot.size) :: !redundant
+      if slot_flushed t m s then begin
+        redundant := (s.Slot.addr, s.Slot.size) :: !redundant;
+        let prior = if s.Slot.clf_seq >= 0 then s.Slot.clf_seq else m.Clf_meta.clf_seq in
+        redundant_prov := (s.Slot.seq, prior) :: !redundant_prov
+      end
       else if Addr.covers flush (Slot.range s) then begin
         s.Slot.flushed <- true;
+        s.Slot.clf_seq <- seq;
         incr newly
       end
       else begin
-        split_slot t s ~flush;
+        split_slot t s ~flush ~seq;
         incr newly
       end
     end
@@ -306,11 +347,14 @@ let process_clf t ~lo ~hi =
             (* Collective update (Pattern 2): one metadata write covers
                every location of the interval. Slots need no individual
                state change; superseded (invalidated) slots are excluded
-               from the counts — they are no longer tracked locations. *)
+               from the counts — they are no longer tracked locations.
+               The interval records this CLF's seq as the shared flush
+               provenance of every slot it covers. *)
             let n = m.Clf_meta.end_idx - m.Clf_meta.start_idx + 1 - m.Clf_meta.invalidated in
             matched := !matched + n;
             newly := !newly + n;
             m.Clf_meta.state <- Clf_meta.All_flushed;
+            m.Clf_meta.clf_seq <- seq;
             Obs.Metrics.inc t.metrics "space_collective_clf_total"
           end
           else begin
@@ -329,10 +373,12 @@ let process_clf t ~lo ~hi =
     Rangetree.map_overlapping t.tree ~lo ~hi ~f:(fun r (p : Slot.payload) ->
         if p.Slot.p_flushed then begin
           redundant := (r.Addr.lo, Addr.size r) :: !redundant;
+          redundant_prov := (p.Slot.p_seq, p.Slot.p_clf_seq) :: !redundant_prov;
           [ (r, p) ]
         end
         else if Addr.covers flush r then begin
           p.Slot.p_flushed <- true;
+          p.Slot.p_clf_seq <- seq;
           incr newly;
           t.tree_flushed_nodes <- (r.Addr.lo, r.Addr.hi, p) :: t.tree_flushed_nodes;
           [ (r, p) ]
@@ -343,18 +389,23 @@ let process_clf t ~lo ~hi =
           | Some covered ->
               incr newly;
               let rest = Addr.diff r covered in
-              let fp = { p with Slot.p_flushed = true } in
+              let fp = { p with Slot.p_flushed = true; p_clf_seq = seq } in
               t.tree_flushed_nodes <- (covered.Addr.lo, covered.Addr.hi, fp) :: t.tree_flushed_nodes;
-              (covered, fp) :: List.map (fun part -> (part, { p with Slot.p_flushed = false })) rest
+              (covered, fp) :: List.map (fun part -> (part, { p with Slot.p_flushed = false; p_clf_seq = -1 })) rest
         end)
   in
   matched := !matched + visited;
 
   close_interval t;
-  { matched = !matched; newly_flushed = !newly; redundant = List.rev !redundant }
+  {
+    matched = !matched;
+    newly_flushed = !newly;
+    redundant = List.rev !redundant;
+    redundant_prov = List.rev !redundant_prov;
+  }
   end
 
-let process_fence t =
+let process_fence ?(seq = -1) t =
   (* Tree first (§4.4): drop the nodes this fence interval's CLFs
      flushed (unless a later store un-flushed or superseded them). *)
   List.iter
@@ -364,7 +415,10 @@ let process_fence t =
   t.tree_flushed_nodes <- [];
   (* Array: per interval, All_flushed drops wholesale (metadata
      invalidation only); otherwise flushed slots drop and unflushed
-     slots migrate to the tree. *)
+     slots migrate to the tree. A migrating payload is stamped with
+     this fence's seq — the first fence the location crossed without
+     persisting, which causal chains report; tree survivors keep the
+     stamp of their own first crossing (no O(tree) sweep). *)
   let migrated = ref 0 in
   let visit_meta (m : Clf_meta.t) =
     if not (Clf_meta.is_empty m) then
@@ -373,7 +427,9 @@ let process_fence t =
         for i = m.Clf_meta.start_idx to m.Clf_meta.end_idx do
           let s = t.slots.(i) in
           if s.Slot.valid && not (slot_flushed t m s) then begin
-            tree_insert_slot t s;
+            let p = Slot.payload_of s in
+            p.Slot.p_fence_seq <- seq;
+            tree_insert_payload t ~lo:s.Slot.addr ~hi:(s.Slot.addr + s.Slot.size) p;
             incr migrated
           end
         done
@@ -407,13 +463,22 @@ let fold_pending t ~init ~f =
     if not (Clf_meta.is_empty m) then
       for i = m.Clf_meta.start_idx to m.Clf_meta.end_idx do
         let s = t.slots.(i) in
-        if s.Slot.valid then
-          acc := f !acc ~addr:s.Slot.addr ~size:s.Slot.size ~flushed:(slot_flushed t m s) ~epoch:s.Slot.epoch ~seq:s.Slot.seq
+        if s.Slot.valid then begin
+          (* Individually flushed slots carry their own CLF seq; a slot
+             flushed only via the collective interval state inherits the
+             interval's. *)
+          let clf_seq = if s.Slot.clf_seq >= 0 then s.Slot.clf_seq else m.Clf_meta.clf_seq in
+          acc :=
+            f !acc ~addr:s.Slot.addr ~size:s.Slot.size ~flushed:(slot_flushed t m s) ~epoch:s.Slot.epoch
+              ~seq:s.Slot.seq ~clf_seq ~fence_seq:(-1)
+        end
       done
   in
   iter_metas t visit_meta;
   Rangetree.iter t.tree (fun r (p : Slot.payload) ->
-      acc := f !acc ~addr:r.Addr.lo ~size:(Addr.size r) ~flushed:p.Slot.p_flushed ~epoch:p.Slot.p_epoch ~seq:p.Slot.p_seq);
+      acc :=
+        f !acc ~addr:r.Addr.lo ~size:(Addr.size r) ~flushed:p.Slot.p_flushed ~epoch:p.Slot.p_epoch ~seq:p.Slot.p_seq
+          ~clf_seq:p.Slot.p_clf_seq ~fence_seq:p.Slot.p_fence_seq);
   !acc
 
 let has_pending_overlap t ~lo ~hi = find_overlap t ~lo ~hi <> None
@@ -435,9 +500,11 @@ let exists_epoch_pending t =
   with Found -> true
 
 let iter_pending t f =
-  fold_pending t ~init:() ~f:(fun () ~addr ~size ~flushed ~epoch ~seq -> f ~addr ~size ~flushed ~epoch ~seq)
+  fold_pending t ~init:() ~f:(fun () ~addr ~size ~flushed ~epoch ~seq ~clf_seq ~fence_seq ->
+      f ~addr ~size ~flushed ~epoch ~seq ~clf_seq ~fence_seq)
 
-let pending_count t = fold_pending t ~init:0 ~f:(fun acc ~addr:_ ~size:_ ~flushed:_ ~epoch:_ ~seq:_ -> acc + 1)
+let pending_count t =
+  fold_pending t ~init:0 ~f:(fun acc ~addr:_ ~size:_ ~flushed:_ ~epoch:_ ~seq:_ ~clf_seq:_ ~fence_seq:_ -> acc + 1)
 
 let clear t =
   t.live <- 0;

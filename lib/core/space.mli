@@ -35,15 +35,34 @@ val create :
 
 (** {1 Processing} *)
 
+type store_result = {
+  overlapped : bool;  (** some tracked location overlapped the store *)
+  prior_seqs : int list;
+      (** store seqs of the overlapped locations — sorted ascending,
+          deduplicated, capped at 8 (canonical regardless of bookkeeping
+          mode); the causal history of a multiple-overwrites finding.
+          Best-effort under [~check_overlap:false] (intervals skipped by
+          the Pattern-3 fast path are not walked) and after tree merges
+          (a merged node keeps only its newest store's seq). *)
+}
+
 val process_store :
-  t -> ?check_overlap:bool -> addr:int -> size:int -> epoch:bool -> seq:int -> tid:int -> strand:int -> unit -> bool
+  t ->
+  ?check_overlap:bool ->
+  addr:int ->
+  size:int ->
+  epoch:bool ->
+  seq:int ->
+  tid:int ->
+  strand:int ->
+  unit ->
+  store_result
 (** §4.2: append to the array (spilling to the tree when full) and
     update the current CLF interval's metadata. Tracked overlapping
     locations that were flushed but not fenced lose their flushed state
-    (the line is dirty again). Returns whether any tracked location
-    overlapped — the multiple-overwrites observation; pass
-    [~check_overlap:false] (when the overwrite rule is off) to let
-    stores skip intervals that cannot hold flushed slots. *)
+    (the line is dirty again). Returns the multiple-overwrites
+    observation; pass [~check_overlap:false] (when the overwrite rule is
+    off) to let stores skip intervals that cannot hold flushed slots. *)
 
 val find_overlap : t -> lo:int -> hi:int -> int option
 (** Sequence number of some tracked, still-unpersisted location
@@ -53,18 +72,28 @@ type clf_result = {
   matched : int;  (** tracked locations the flush covered (fully or partly) *)
   newly_flushed : int;  (** covered locations that were not already flushed *)
   redundant : (int * int) list;  (** (addr, size) of already-flushed hits *)
+  redundant_prov : (int * int) list;
+      (** (store seq, prior CLF seq) per redundant hit, aligned with
+          [redundant]; prior CLF seq is -1 when the earlier flush
+          predates seq stamping (e.g. a caller passing no [?seq]) *)
 }
 
-val process_clf : t -> lo:int -> hi:int -> clf_result
+val process_clf : ?seq:int -> t -> lo:int -> hi:int -> clf_result
 (** §4.3: update flushing states collectively via interval metadata,
     split partially covered locations (unflushed remainder goes to the
-    tree), then update the tree; finally open a new CLF interval. *)
+    tree), then update the tree; finally open a new CLF interval.
+    [seq] (default -1 = unstamped) is this CLF's event sequence number,
+    recorded as flush provenance on every location it newly covers —
+    individually on slots and tree nodes, collectively on an interval's
+    metadata when the Pattern-2 fast path applies. *)
 
-val process_fence : t -> unit
+val process_fence : ?seq:int -> t -> unit
 (** §4.4: tree first — drop persisted nodes; then the array — drop
     flushed entries collectively per interval, migrate survivors to the
     tree; reset the array and metadata; merge the tree when it exceeds
-    the threshold. *)
+    the threshold. [seq] (default -1) stamps payloads migrating to the
+    tree with the fence they crossed unpersisted; nodes already in the
+    tree keep the stamp of their first crossing. *)
 
 (** {1 Queries for rules} *)
 
@@ -74,8 +103,15 @@ val has_pending_overlap : t -> lo:int -> hi:int -> bool
 val exists_epoch_pending : t -> bool
 (** Any tracked location whose store came from an epoch section? *)
 
-val iter_pending : t -> (addr:int -> size:int -> flushed:bool -> epoch:bool -> seq:int -> unit) -> unit
-(** Every tracked location, with its current flushing state. *)
+val iter_pending :
+  t ->
+  (addr:int -> size:int -> flushed:bool -> epoch:bool -> seq:int -> clf_seq:int -> fence_seq:int -> unit) ->
+  unit
+(** Every tracked location, with its current flushing state and
+    provenance: [seq] of the originating store, [clf_seq] of the CLF
+    that flushed it (-1 if unflushed; collective flushes report the
+    interval's CLF), [fence_seq] of the first fence it crossed
+    unpersisted (-1 while still in the array). *)
 
 val pending_count : t -> int
 

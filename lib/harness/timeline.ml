@@ -1,0 +1,140 @@
+(* Trace -> Perfetto timeline. Virtual time: the i-th event of the
+   trace (1-based, = the detector's seq stamp) is microsecond i, so a
+   slice's extent reads directly as an event-seq interval and the
+   output is deterministic (golden-testable).
+
+   Two processes:
+   - pid 1 "engine dispatch": one thread per program tid, a unit slice
+     per event named by its class (store/clf/fence/...), epoch and
+     strand boundaries as instants.
+   - pid 2 "persistency state": one thread per touched cache line
+     (capped at [max_tracks], first-come), slices tracking the line
+     through dirty -> flushed -> durable; plus a "pending lines"
+     counter sampled at every fence. *)
+
+open Pmtrace
+
+let line_bytes = 64
+
+type line_state = Clean | Dirty | Flushed
+
+type track = { tl_tid : int; mutable tl_state : line_state; mutable tl_since : int }
+
+let state_name = function Clean -> "clean" | Dirty -> "dirty" | Flushed -> "flushed"
+
+let of_trace ?(max_tracks = 64) events =
+  let b = Obs.Perfetto.create () in
+  Obs.Perfetto.process_name ~pid:1 b "engine dispatch";
+  Obs.Perfetto.process_name ~pid:2 b "persistency state";
+  (* Variable registrations name the line tracks they cover. *)
+  let var_names : (int, string) Hashtbl.t = Hashtbl.create 16 in
+  Array.iter
+    (function
+      | Event.Register_var { name; addr; size } when size > 0 ->
+          for line = addr / line_bytes to (addr + size - 1) / line_bytes do
+            if not (Hashtbl.mem var_names line) then Hashtbl.add var_names line name
+          done
+      | _ -> ())
+    events;
+  (* Engine threads, named on first sight. *)
+  let engine_tids : (int, unit) Hashtbl.t = Hashtbl.create 4 in
+  let engine_tid tid =
+    if not (Hashtbl.mem engine_tids tid) then begin
+      Hashtbl.add engine_tids tid ();
+      Obs.Perfetto.thread_name ~pid:1 ~tid b (Printf.sprintf "thread %d" tid)
+    end;
+    tid
+  in
+  (* Cache-line tracks, allocated first-come up to the cap. *)
+  let tracks : (int, track) Hashtbl.t = Hashtbl.create 64 in
+  let next_track = ref 0 in
+  let dropped : (int, unit) Hashtbl.t = Hashtbl.create 16 in
+  let track_for line =
+    match Hashtbl.find_opt tracks line with
+    | Some t -> Some t
+    | None ->
+        if !next_track >= max_tracks then begin
+          Hashtbl.replace dropped line ();
+          None
+        end
+        else begin
+          let tl_tid = !next_track in
+          incr next_track;
+          let label =
+            match Hashtbl.find_opt var_names line with
+            | Some name -> Printf.sprintf "%s (0x%x)" name (line * line_bytes)
+            | None -> Printf.sprintf "line 0x%x" (line * line_bytes)
+          in
+          Obs.Perfetto.thread_name ~pid:2 ~tid:tl_tid b label;
+          let t = { tl_tid; tl_state = Clean; tl_since = 0 } in
+          Hashtbl.add tracks line t;
+          Some t
+        end
+  in
+  let dirty = ref 0 and flushed = ref 0 in
+  let close_slice t ~ts =
+    if t.tl_state <> Clean && ts > t.tl_since then
+      Obs.Perfetto.complete ~pid:2 ~tid:t.tl_tid b ~name:(state_name t.tl_state) ~ts:t.tl_since
+        ~dur:(ts - t.tl_since)
+  in
+  let transition t ~ts state =
+    if t.tl_state <> state then begin
+      close_slice t ~ts;
+      (match t.tl_state with Dirty -> decr dirty | Flushed -> decr flushed | Clean -> ());
+      (match state with Dirty -> incr dirty | Flushed -> incr flushed | Clean -> ());
+      t.tl_state <- state;
+      t.tl_since <- ts
+    end
+  in
+  let each_line ~addr ~size f =
+    if size > 0 then
+      for line = addr / line_bytes to (addr + size - 1) / line_bytes do
+        match track_for line with Some t -> f t | None -> ()
+      done
+  in
+  let addr_args addr size = [ ("addr", Obs.Json.Int addr); ("size", Obs.Json.Int size) ] in
+  Array.iteri
+    (fun i ev ->
+      let ts = i + 1 in
+      let cls = Event.class_name ev in
+      let dispatch ?args tid =
+        Obs.Perfetto.complete ~cat:"dispatch" ~pid:1 ~tid:(engine_tid tid) ?args b ~name:cls ~ts
+          ~dur:1
+      in
+      match ev with
+      | Event.Store { addr; size; tid } ->
+          dispatch ~args:(addr_args addr size) tid;
+          each_line ~addr ~size (fun t -> transition t ~ts Dirty)
+      | Event.Clf { addr; size; kind; tid } ->
+          dispatch
+            ~args:(("kind", Obs.Json.Str (Event.clf_kind_name kind)) :: addr_args addr size)
+            tid;
+          (* Only a dirty line becomes flushed; clean/flushed lines are
+             untouched (a redundant flush shows as no state change). *)
+          each_line ~addr ~size (fun t -> if t.tl_state = Dirty then transition t ~ts Flushed)
+      | Event.Fence { tid } ->
+          dispatch tid;
+          Hashtbl.iter
+            (fun _ t ->
+              if t.tl_state = Flushed then begin
+                transition t ~ts Clean;
+                Obs.Perfetto.instant ~cat:"state" ~pid:2 ~tid:t.tl_tid b ~name:"durable" ~ts
+              end)
+            tracks;
+          Obs.Perfetto.counter ~pid:2 b ~name:"pending lines" ~ts
+            ~series:[ ("dirty", !dirty); ("flushed", !flushed) ]
+      | Event.Epoch_begin { tid } | Event.Epoch_end { tid } ->
+          dispatch tid;
+          Obs.Perfetto.instant ~cat:"epoch" ~pid:1 ~tid:(engine_tid tid) b ~name:cls ~ts
+      | Event.Tx_log { obj_addr; size; tid } -> dispatch ~args:(addr_args obj_addr size) tid
+      | _ -> dispatch (Event.tid ev))
+    events;
+  (* Close the slices still open at the end of the trace, so unpersisted
+     lines render as running off the right edge. *)
+  let end_ts = Array.length events + 1 in
+  Hashtbl.iter (fun _ t -> close_slice t ~ts:end_ts) tracks;
+  if Hashtbl.length dropped > 0 then
+    Obs.Perfetto.instant ~pid:2 b
+      ~name:(Printf.sprintf "%d lines beyond track cap" (Hashtbl.length dropped))
+      ~ts:end_ts;
+  b

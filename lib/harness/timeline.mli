@@ -1,0 +1,19 @@
+(** Render a trace as a Perfetto/Chrome trace-event timeline
+    ([pmdb timeline]).
+
+    Virtual time: the i-th trace event (1-based — the detector's seq
+    stamp) is microsecond i, so slice extents read directly as
+    event-seq intervals and the output is deterministic.
+
+    The timeline has two processes: pid 1 "engine dispatch" (a unit
+    slice per event, one thread per program tid, epoch boundaries as
+    instants) and pid 2 "persistency state" (one thread per touched
+    cache line, slices tracking dirty → flushed, an instant at the
+    fence that makes the line durable, and a "pending lines" counter
+    sampled at every fence). Lines registered via [Register_var] label
+    their track with the variable name. *)
+
+val of_trace : ?max_tracks:int -> Pmtrace.Event.t array -> Obs.Perfetto.t
+(** [max_tracks] (default 64) caps the per-cache-line tracks;
+    first-come wins and an end-of-trace instant reports how many
+    lines were dropped. *)

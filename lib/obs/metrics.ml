@@ -210,6 +210,17 @@ let snapshot_to_json snap =
 
 let to_json t = snapshot_to_json (snapshot t)
 
+(* Labels of a JSON series entry, normalized like norm_labels so that
+   duplicate detection and parsing agree with the in-memory registry. *)
+let labels_of_entry entry =
+  match Json.member "labels" entry with
+  | Some (Json.Obj kvs) ->
+      Some
+        (norm_labels
+           (List.filter_map (fun (k, v) -> match v with Json.Str s -> Some (k, s) | _ -> None) kvs))
+  | None -> Some []
+  | Some _ -> None
+
 let validate_json json =
   let ( let* ) = Result.bind in
   let require what = function Some v -> Ok v | None -> Error ("metrics JSON: missing " ^ what) in
@@ -224,10 +235,28 @@ let validate_json json =
   let* entries =
     match metrics with Json.List l -> Ok l | _ -> Error "metrics JSON: metrics is not a list"
   in
+  let seen : (string * labels, unit) Hashtbl.t = Hashtbl.create 64 in
   let check_entry i entry =
     let ctx what = Error (Printf.sprintf "metrics JSON: series %d: %s" i what) in
     match (Json.member "name" entry, Json.member "type" entry) with
     | Some (Json.Str name), Some (Json.Str kind) -> (
+        let* () =
+          (* A snapshot holds one series per (name, labels): duplicates
+             mean a corrupt or hand-edited file, and a diff over them
+             would silently pick one of the two values. *)
+          match labels_of_entry entry with
+          | None -> ctx (name ^ ": labels is not an object of strings")
+          | Some labels ->
+              let key = (name, labels) in
+              if Hashtbl.mem seen key then
+                ctx
+                  (Printf.sprintf "duplicate series %S%s" name
+                     (match labels with [] -> "" | l -> "{" ^ labels_str l ^ "}"))
+              else begin
+                Hashtbl.replace seen key ();
+                Ok ()
+              end
+        in
         match kind with
         | "counter" -> (
             match Option.bind (Json.member "value" entry) Json.to_int with
@@ -249,3 +278,74 @@ let validate_json json =
     | e :: rest -> ( match check_entry i e with Ok () -> check (i + 1) rest | Error _ as err -> err)
   in
   check 0 entries
+
+(* ---------------------------------------------------------------- *)
+(* Snapshot parsing (the inverse of snapshot_to_json, for diffing)   *)
+(* ---------------------------------------------------------------- *)
+
+let hist_view_of_json entry =
+  let buckets = match Json.member "buckets" entry with Some (Json.List l) -> l | _ -> [] in
+  let bounds = ref [] in
+  let counts = ref [] in
+  let ok =
+    List.for_all
+      (fun b ->
+        match (Json.member "le" b, Option.bind (Json.member "count" b) Json.to_int) with
+        | Some Json.Null, Some c ->
+            counts := c :: !counts;
+            true
+        | Some le, Some c -> (
+            match Json.to_float le with
+            | Some f ->
+                bounds := f :: !bounds;
+                counts := c :: !counts;
+                true
+            | None -> false)
+        | _ -> false)
+      buckets
+  in
+  let count = match Option.bind (Json.member "count" entry) Json.to_int with Some c -> c | None -> 0 in
+  let sum = match Option.bind (Json.member "sum" entry) Json.to_float with Some s -> s | None -> 0.0 in
+  if not ok then None
+  else
+    Some
+      {
+        h_bounds = Array.of_list (List.rev !bounds);
+        h_counts = Array.of_list (List.rev !counts);
+        h_sum = sum;
+        h_count = count;
+      }
+
+let snapshot_of_json json =
+  let ( let* ) = Result.bind in
+  let* _n = validate_json json in
+  let entries = match Json.member "metrics" json with Some (Json.List l) -> l | _ -> [] in
+  let parse_entry i entry =
+    let err what = Error (Printf.sprintf "metrics JSON: series %d: %s" i what) in
+    let name = match Json.member "name" entry with Some (Json.Str s) -> s | _ -> "" in
+    let labels = match labels_of_entry entry with Some l -> l | None -> [] in
+    match Json.member "type" entry with
+    | Some (Json.Str "counter") -> (
+        match Option.bind (Json.member "value" entry) Json.to_int with
+        | Some v -> Ok { name; labels; value = V_counter v }
+        | None -> err "bad counter")
+    | Some (Json.Str "gauge") -> (
+        match Option.bind (Json.member "value" entry) Json.to_float with
+        | Some v -> Ok { name; labels; value = V_gauge v }
+        | None -> err "bad gauge")
+    | Some (Json.Str "histogram") -> (
+        match hist_view_of_json entry with
+        | Some v -> Ok { name; labels; value = V_hist v }
+        | None -> err "bad histogram buckets")
+    | _ -> err "unknown type"
+  in
+  let rec go i acc = function
+    | [] ->
+        Ok
+          (List.sort
+             (fun a b -> match compare a.name b.name with 0 -> compare a.labels b.labels | c -> c)
+             (List.rev acc))
+    | e :: rest -> (
+        match parse_entry i e with Ok s -> go (i + 1) (s :: acc) rest | Error _ as err -> err)
+  in
+  go 0 [] entries

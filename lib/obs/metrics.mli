@@ -109,6 +109,9 @@ val to_rows : snapshot -> string list list
 
 val rows_header : string list
 
+val labels_str : labels -> string
+(** ["k1=v1,k2=v2"] (empty string for no labels). *)
+
 val to_json : t -> Json.t
 (** [{"schema": "pmdb-metrics/v1", "metrics": [...]}] — the stable
     machine-readable export ([pmdb run --metrics FILE] and the bench's
@@ -118,4 +121,12 @@ val snapshot_to_json : snapshot -> Json.t
 
 val validate_json : Json.t -> (int, string) result
 (** Schema check for a {!to_json} document (or the ["telemetry"] member
-    of a bench report): returns the number of series on success. *)
+    of a bench report): returns the number of series on success.
+    Rejects duplicate (name, labels) series — a snapshot holds one
+    series per key, so duplicates mean a corrupt or hand-edited file
+    (reported as ["metrics JSON: series N: duplicate series ..."]). *)
+
+val snapshot_of_json : Json.t -> (snapshot, string) result
+(** Parse a {!to_json} document back into a snapshot (validating it
+    first) — the input side of [pmdb stats --diff]. Round-trips with
+    {!snapshot_to_json} up to float formatting. *)

@@ -38,9 +38,36 @@ let kind_name = function
 
 let pp_kind ppf k = Format.pp_print_string ppf (kind_name k)
 
-type t = { kind : kind; addr : int; size : int; seq : int; detail : string }
+type cause = { c_seq : int; c_class : string; c_addr : int; c_size : int; c_note : string }
 
-let make ?(addr = -1) ?(size = 0) ?(seq = -1) ?(detail = "") kind = { kind; addr; size; seq; detail }
+let cause ?(addr = -1) ?(size = 0) ?(note = "") ~cls seq = { c_seq = seq; c_class = cls; c_addr = addr; c_size = size; c_note = note }
+
+(* Chains are canonical by construction: ascending, one cause per seq,
+   no placeholder (negative) seqs. Rule code can therefore append causes
+   in whatever order the bookkeeping yields them. *)
+let normalize_chain chain =
+  let sorted = List.stable_sort (fun a b -> compare a.c_seq b.c_seq) (List.filter (fun c -> c.c_seq >= 0) chain) in
+  let rec dedup = function
+    | a :: (b :: _ as rest) when a.c_seq = b.c_seq -> dedup rest (* keep the later, usually richer, note *)
+    | a :: rest -> a :: dedup rest
+    | [] -> []
+  in
+  dedup sorted
+
+type t = { kind : kind; addr : int; size : int; seq : int; detail : string; chain : cause list }
+
+let make ?(addr = -1) ?(size = 0) ?(seq = -1) ?(detail = "") ?(chain = []) kind =
+  { kind; addr; size; seq; detail; chain = normalize_chain chain }
+
+let pp_cause ppf c =
+  Format.fprintf ppf "#%d %s" c.c_seq c.c_class;
+  if c.c_addr >= 0 then Format.fprintf ppf " @@%d+%d" c.c_addr c.c_size;
+  if c.c_note <> "" then Format.fprintf ppf " — %s" c.c_note
+
+let pp_chain ppf = function
+  | [] -> Format.fprintf ppf "(no causal history)"
+  | chain ->
+      Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf "@,") pp_cause ppf chain
 
 let pp ppf b =
   Format.fprintf ppf "%a" pp_kind b.kind;

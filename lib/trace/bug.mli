@@ -19,17 +19,44 @@ val kind_name : kind -> string
 
 val pp_kind : Format.formatter -> kind -> unit
 
+(** One link of a report's causal history: an engine event (by its
+    monotonically increasing dispatch sequence number) that contributed
+    to the violation — the store that created the tracked interval, the
+    CLF that covered (or redundantly re-covered) it, the fence it
+    crossed unpersisted, the event at which the rule fired. *)
+type cause = {
+  c_seq : int;  (** 1-based dispatch sequence number of the event *)
+  c_class : string;  (** {!Pmtrace.Event.class_name} of that event *)
+  c_addr : int;  (** address involved at that step, or -1 *)
+  c_size : int;
+  c_note : string;  (** human-readable role, e.g. "never flushed" *)
+}
+
+val cause : ?addr:int -> ?size:int -> ?note:string -> cls:string -> int -> cause
+
 type t = {
   kind : kind;
   addr : int;  (** primary address involved, or -1 *)
   size : int;
   seq : int;  (** event sequence number at detection time *)
   detail : string;
+  chain : cause list;
+      (** causal history, canonical: strictly increasing [c_seq], no
+          negative seqs (normalized by {!make}) *)
 }
 
-val make : ?addr:int -> ?size:int -> ?seq:int -> ?detail:string -> kind -> t
+val make : ?addr:int -> ?size:int -> ?seq:int -> ?detail:string -> ?chain:cause list -> kind -> t
+(** [chain] is normalized: causes with negative seqs are dropped, the
+    rest are sorted ascending and deduplicated by seq (later entry
+    wins), so [t.chain] is strictly increasing by construction. *)
 
 val pp : Format.formatter -> t -> unit
+
+val pp_cause : Format.formatter -> cause -> unit
+
+val pp_chain : Format.formatter -> cause list -> unit
+(** Vertical list of causes, one per line ("(no causal history)" when
+    empty) — the body of [pmdb explain]. *)
 
 type report = {
   detector : string;

@@ -42,6 +42,9 @@ type t =
 
 val pp : Format.formatter -> t -> unit
 
+val clf_kind_name : clf_kind -> string
+(** ["clwb"], ["clflush"] or ["clflushopt"]. *)
+
 val is_store : t -> bool
 val is_clf : t -> bool
 val is_fence : t -> bool

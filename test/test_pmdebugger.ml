@@ -20,5 +20,6 @@ let () =
       ("obs", Test_obs.suite);
       ("harness", Test_harness.suite);
       ("bugbench", Test_bugbench.suite);
+      ("provenance", Test_provenance.suite);
       ("faultinject", Test_faultinject.suite);
     ]

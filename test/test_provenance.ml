@@ -1,0 +1,379 @@
+(* PR 4: provenance + exporters.
+
+   - every detector rule's finding carries a non-empty, strictly
+     increasing causal chain on the bugbench dataset;
+   - QCheck: chains reference events that exist in the trace (the seq
+     stamp is the 1-based event index) and streamed/materialized
+     replays produce identical provenance;
+   - Perfetto export is golden-stable and structurally valid;
+   - the metrics diff engine: self-diff empty, injected counter bump
+     gates, duplicate series rejected;
+   - provenance stamping stays inside the disabled-metrics overhead
+     envelope (the PR 2 one-branch guard, extended to the seq path). *)
+
+open Pmtrace
+module P = Obs.Perfetto
+module M = Obs.Metrics
+
+let chain_strictly_increasing chain =
+  let rec go = function
+    | a :: (b :: _ as rest) -> a.Bug.c_seq < b.Bug.c_seq && go rest
+    | _ -> true
+  in
+  go chain
+
+(* ------------------------------------------------------------------ *)
+(* Every rule's finding carries a causal chain on bugbench.            *)
+(* ------------------------------------------------------------------ *)
+
+let test_bugbench_chains () =
+  let covered = Hashtbl.create 16 in
+  List.iter
+    (fun (case : Bugbench.Cases.t) ->
+      let report = Bugbench.Eval.run_case Bugbench.Eval.PMDebugger case in
+      List.iter
+        (fun (b : Bug.t) ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s: %s chain strictly increasing" case.Bugbench.Cases.id
+               (Bug.kind_name b.Bug.kind))
+            true
+            (chain_strictly_increasing b.Bug.chain);
+          if b.Bug.chain <> [] then Hashtbl.replace covered b.Bug.kind ())
+        report.Bug.bugs)
+    Bugbench.Cases.buggy;
+  List.iter
+    (fun kind ->
+      Alcotest.(check bool)
+        (Printf.sprintf "some bugbench case yields a non-empty %s chain" (Bug.kind_name kind))
+        true (Hashtbl.mem covered kind))
+    Bug.all_kinds
+
+(* ------------------------------------------------------------------ *)
+(* QCheck: chain validity + streamed/materialized parity.              *)
+(* ------------------------------------------------------------------ *)
+
+(* Bug-rich traces: stores/flushes/fences/log appends over two cache
+   lines of a registered region, so overwrites, redundant flushes,
+   flush-nothing, redundant logging and no-durability all fire. *)
+let gen_trace =
+  QCheck.Gen.(
+    let op =
+      let* tag = frequency [ (6, return 0); (4, return 1); (3, return 2); (1, return 3) ] in
+      let* slot = int_range 0 15 in
+      let* line = int_range 1 2 in
+      return
+        (match tag with
+        | 0 -> Event.Store { addr = 64 + (slot * 8); size = 8; tid = 0 }
+        | 1 -> Event.Clf { addr = 64 * line; size = 64; kind = Event.Clwb; tid = 0 }
+        | 2 -> Event.Fence { tid = 0 }
+        | _ -> Event.Tx_log { obj_addr = 64 + (slot * 8); size = 8; tid = 0 })
+    in
+    let* n = int_range 5 60 in
+    let* ops = list_repeat n op in
+    return
+      (Array.of_list
+         (Event.Register_pmem { base = 0; size = 4096 }
+          :: Event.Register_var { name = "head"; addr = 64; size = 8 }
+          :: (ops @ [ Event.Program_end ]))))
+
+let run_detector trace =
+  Recorder.replay trace (Pmdebugger.Detector.sink (Pmdebugger.Detector.create ()))
+
+let bug_key (b : Bug.t) =
+  ( Bug.kind_name b.Bug.kind,
+    b.Bug.addr,
+    b.Bug.seq,
+    List.map (fun c -> (c.Bug.c_seq, c.Bug.c_class, c.Bug.c_addr, c.Bug.c_note)) b.Bug.chain )
+
+let prop_chain_validity =
+  QCheck.Test.make ~name:"chains reference real trace events, streamed = materialized" ~count:200
+    (QCheck.make gen_trace) (fun trace ->
+      let n = Array.length trace in
+      let report = run_detector trace in
+      List.for_all
+        (fun (b : Bug.t) ->
+          b.Bug.chain <> []
+          && chain_strictly_increasing b.Bug.chain
+          && List.for_all
+               (fun c ->
+                 c.Bug.c_seq >= 1 && c.Bug.c_seq <= n
+                 && Event.class_name trace.(c.Bug.c_seq - 1) = c.Bug.c_class)
+               b.Bug.chain)
+        report.Bug.bugs
+      &&
+      let streamed =
+        Recorder.replay_stream
+          (fun emit -> Array.iter emit trace)
+          (Pmdebugger.Detector.sink (Pmdebugger.Detector.create ()))
+      in
+      List.map bug_key streamed.Bug.bugs = List.map bug_key report.Bug.bugs)
+
+(* File-level parity: the same provenance after a save / stream-from-disk
+   round trip (the `pmdb replay` path). *)
+let test_file_stream_parity () =
+  let trace =
+    Recorder.record (fun e ->
+        Engine.register_pmem e ~base:0 ~size:4096;
+        Engine.store_i64 e ~addr:128 1L;
+        Engine.store_i64 e ~addr:128 2L;
+        Engine.clwb e ~addr:128;
+        Engine.clwb e ~addr:128;
+        Engine.sfence e;
+        Engine.store_i64 e ~addr:256 3L;
+        Engine.program_end e)
+  in
+  let direct = run_detector trace in
+  let path = Filename.temp_file "pmdebugger" ".pmt" in
+  Trace_io.save path trace;
+  let sink = Pmdebugger.Detector.sink (Pmdebugger.Detector.create ()) in
+  let streamed =
+    Recorder.replay_stream
+      (fun emit ->
+        match Trace_io.iter_file path ~f:emit with Ok _ -> () | Error m -> Alcotest.fail m)
+      sink
+  in
+  Sys.remove path;
+  Alcotest.(check bool) "some finding with a chain" true
+    (List.exists (fun (b : Bug.t) -> b.Bug.chain <> []) direct.Bug.bugs);
+  Alcotest.(check bool) "identical provenance through the file" true
+    (List.map bug_key streamed.Bug.bugs = List.map bug_key direct.Bug.bugs)
+
+(* ------------------------------------------------------------------ *)
+(* Perfetto export.                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Golden: the builder's field order is part of the format (ui.perfetto
+   loads it; the bench artifact diffs cleanly). Update deliberately. *)
+let test_perfetto_golden () =
+  let b = P.create () in
+  P.process_name ~pid:1 b "engine";
+  P.thread_name ~pid:1 ~tid:0 b "thread 0";
+  P.complete ~cat:"dispatch" ~pid:1 ~tid:0 b ~name:"store" ~ts:1 ~dur:1;
+  P.instant ~pid:1 b ~name:"durable" ~ts:2;
+  P.counter ~pid:1 b ~name:"pending" ~ts:2 ~series:[ ("dirty", 1); ("flushed", 0) ];
+  let expected =
+    String.concat ""
+      [
+        {|{"traceEvents":[|};
+        {|{"name":"process_name","ph":"M","ts":0,"pid":1,"tid":0,"args":{"name":"engine"}},|};
+        {|{"name":"thread_name","ph":"M","ts":0,"pid":1,"tid":0,"args":{"name":"thread 0"}},|};
+        {|{"name":"store","cat":"dispatch","ph":"X","ts":1,"dur":1,"pid":1,"tid":0},|};
+        {|{"name":"durable","ph":"i","ts":2,"s":"t","pid":1,"tid":0},|};
+        {|{"name":"pending","ph":"C","ts":2,"pid":1,"tid":0,"args":{"dirty":1,"flushed":0}}|};
+        {|]}|};
+      ]
+  in
+  Alcotest.(check string) "golden trace-event JSON" expected
+    (Obs.Json.to_string ~indent:false (P.to_json b));
+  Alcotest.(check int) "event count" 5 P.(length b);
+  match P.validate_json (P.to_json b) with
+  | Ok n -> Alcotest.(check int) "validates" 5 n
+  | Error m -> Alcotest.fail m
+
+let test_perfetto_validate_rejects () =
+  let bad what json =
+    match P.validate_json json with
+    | Ok _ -> Alcotest.fail (what ^ ": must be rejected")
+    | Error msg ->
+        Alcotest.(check bool) (what ^ ": error is located") true
+          (String.length msg > 0 && String.sub msg 0 10 = "trace JSON")
+  in
+  bad "missing traceEvents" (Obs.Json.Obj []);
+  bad "event without ph" (Obs.Json.Obj [ ("traceEvents", Obs.Json.List [ Obs.Json.Obj [ ("name", Obs.Json.Str "x") ] ]) ]);
+  bad "complete without dur"
+    (Obs.Json.Obj
+       [
+         ( "traceEvents",
+           Obs.Json.List
+             [
+               Obs.Json.Obj
+                 [
+                   ("name", Obs.Json.Str "x");
+                   ("ph", Obs.Json.Str "X");
+                   ("ts", Obs.Json.Int 1);
+                   ("pid", Obs.Json.Int 0);
+                   ("tid", Obs.Json.Int 0);
+                 ];
+             ] );
+       ])
+
+(* `pmdb timeline` output is valid Chrome trace-event JSON, with the
+   persistency tracks the ISSUE describes. *)
+let test_timeline_valid () =
+  let trace =
+    Recorder.record (fun e ->
+        Engine.register_pmem e ~base:0 ~size:4096;
+        Engine.register_var e ~name:"head" ~addr:64 ~size:8;
+        Engine.store_i64 e ~addr:64 1L;
+        Engine.clwb e ~addr:64;
+        Engine.sfence e;
+        Engine.store_i64 e ~addr:128 2L;
+        Engine.program_end e)
+  in
+  let b = Harness.Timeline.of_trace trace in
+  let json = P.to_json b in
+  (match P.validate_json json with
+  | Ok n -> Alcotest.(check bool) (Printf.sprintf "valid with %d events" n) true (n > 0)
+  | Error m -> Alcotest.fail m);
+  let rendered = Obs.Json.to_string json in
+  let contains s sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "has the named line track" true (contains rendered "head (0x40)");
+  Alcotest.(check bool) "has a dirty slice" true (contains rendered "\"dirty\"");
+  Alcotest.(check bool) "has the pending counter" true (contains rendered "pending lines")
+
+let test_timeline_track_cap () =
+  let trace =
+    Recorder.record (fun e ->
+        Engine.register_pmem e ~base:0 ~size:65536;
+        for i = 0 to 9 do
+          Engine.store_i64 e ~addr:(i * 64) 1L
+        done;
+        Engine.program_end e)
+  in
+  let b = Harness.Timeline.of_trace ~max_tracks:4 trace in
+  match P.validate_json (P.to_json b) with
+  | Ok _ ->
+      let rendered = Obs.Json.to_string (P.to_json b) in
+      let contains sub =
+        let s = rendered in
+        let n = String.length s and m = String.length sub in
+        let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+        go 0
+      in
+      Alcotest.(check bool) "reports dropped lines" true (contains "6 lines beyond track cap")
+  | Error m -> Alcotest.fail m
+
+(* ------------------------------------------------------------------ *)
+(* Metrics diff engine.                                                *)
+(* ------------------------------------------------------------------ *)
+
+let snapshot_via_json reg =
+  match M.snapshot_of_json (M.to_json reg) with Ok s -> s | Error m -> Alcotest.fail m
+
+let test_diff_self_empty () =
+  let reg = M.create () in
+  M.inc reg ~by:7 "space_tree_spills_total";
+  M.set reg "space_array_live_peak" 42.0;
+  M.observe reg "engine_dispatch_seconds" 1e-6;
+  (* Through the JSON round trip, as `pmdb stats --diff` reads files. *)
+  let snap = snapshot_via_json reg in
+  let d = Obs.Diff.compute ~before:snap ~after:snap in
+  Alcotest.(check bool) "self-diff empty" true (Obs.Diff.is_empty d);
+  Alcotest.(check int) "no regressions" 0 (List.length (Obs.Diff.regressions d))
+
+let test_diff_detects_bump () =
+  let mk v =
+    let reg = M.create () in
+    M.inc reg ~by:v ~labels:[ ("class", "store") ] "engine_events_total";
+    M.inc reg ~by:3 "space_reorganizations_total";
+    M.set reg "space_array_live_peak" 42.0;
+    snapshot_via_json reg
+  in
+  let before = mk 100 and after = mk 110 in
+  let d = Obs.Diff.compute ~before ~after in
+  Alcotest.(check int) "one change" 1 (List.length d);
+  (match d with
+  | [ c ] ->
+      Alcotest.(check string) "changed series" "engine_events_total" c.Obs.Diff.d_name;
+      Alcotest.(check bool) "is a change" true (c.Obs.Diff.d_kind = Obs.Diff.Changed)
+  | _ -> Alcotest.fail "expected exactly one change");
+  Alcotest.(check int) "bump gates at threshold 0" 1 (List.length (Obs.Diff.regressions d));
+  Alcotest.(check int) "10% bump passes a 20% threshold" 0
+    (List.length (Obs.Diff.regressions ~threshold:0.2 d));
+  (* Shrinking counters and gauge moves never gate. *)
+  let d' = Obs.Diff.compute ~before:after ~after:before in
+  Alcotest.(check int) "shrink is not a regression" 0 (List.length (Obs.Diff.regressions d'))
+
+let test_diff_added_removed () =
+  let a = M.create () and b = M.create () in
+  M.inc a ~by:1 "only_before_total";
+  M.inc b ~by:1 "only_after_total";
+  let d = Obs.Diff.compute ~before:(M.snapshot a) ~after:(M.snapshot b) in
+  Alcotest.(check (list string)) "added+removed, canonical order"
+    [ "only_after_total:added"; "only_before_total:removed" ]
+    (List.map
+       (fun c -> c.Obs.Diff.d_name ^ ":" ^ (match c.Obs.Diff.d_kind with
+         | Obs.Diff.Added -> "added" | Obs.Diff.Removed -> "removed" | Obs.Diff.Changed -> "changed"))
+       d);
+  Alcotest.(check int) "appearing counter gates" 1 (List.length (Obs.Diff.regressions d))
+
+(* Satellite: duplicate (name, labels) series must be rejected with a
+   located error, like Trace_io's line-numbered ones. *)
+let test_duplicate_series_rejected () =
+  let reg = M.create () in
+  M.inc reg ~by:2 ~labels:[ ("tool", "pmdebugger") ] "bugbench_detected_total";
+  let dup =
+    match M.to_json reg with
+    | Obs.Json.Obj [ (s, schema); (m, Obs.Json.List [ entry ]) ] ->
+        Obs.Json.Obj [ (s, schema); (m, Obs.Json.List [ entry; entry ]) ]
+    | _ -> Alcotest.fail "unexpected snapshot shape"
+  in
+  (match M.validate_json dup with
+  | Ok _ -> Alcotest.fail "duplicate series must be rejected"
+  | Error msg ->
+      Alcotest.(check string) "located, named error"
+        "metrics JSON: series 1: duplicate series \"bugbench_detected_total\"{tool=pmdebugger}" msg);
+  match M.snapshot_of_json dup with
+  | Ok _ -> Alcotest.fail "snapshot_of_json must also reject duplicates"
+  | Error _ -> ()
+
+let test_same_name_different_labels_ok () =
+  let reg = M.create () in
+  M.inc reg ~labels:[ ("tool", "pmdebugger") ] "bugbench_detected_total";
+  M.inc reg ~labels:[ ("tool", "pmtest") ] "bugbench_detected_total";
+  match M.validate_json (M.to_json reg) with
+  | Ok n -> Alcotest.(check int) "two series accepted" 2 n
+  | Error m -> Alcotest.fail m
+
+(* ------------------------------------------------------------------ *)
+(* Overhead guard: the seq-stamp path with metrics disabled.           *)
+(* ------------------------------------------------------------------ *)
+
+(* PR 2's one-branch guard, extended to provenance: a full PMDebugger
+   replay with the shared disabled registry — which exercises seq
+   stamping on every store/CLF/fence — must be stable run-to-run (no
+   accidental always-on work grew onto the hot path). Same lenient 3x
+   bound as the Nulgrind guard; catching 10-100x blowups is the point. *)
+let test_seq_stamp_overhead_guard () =
+  let trace =
+    Recorder.record (fun e ->
+        Engine.register_pmem e ~base:0 ~size:65536;
+        for i = 0 to 4999 do
+          Engine.store_i64 e ~addr:(i * 8 mod 4096) 7L;
+          if i mod 8 = 7 then Engine.persist e ~addr:(i * 8 mod 4096) ~size:8
+        done;
+        Engine.program_end e)
+  in
+  let replay () =
+    let d = Pmdebugger.Detector.create ~metrics:M.disabled () in
+    ignore (Sys.opaque_identity (Recorder.replay trace (Pmdebugger.Detector.sink d)))
+  in
+  replay ();
+  let t = Harness.Timing.median_of ~repeats:5 replay in
+  Alcotest.(check bool) "baseline measurable" true (t >= 0.0);
+  let t2 = Harness.Timing.median_of ~repeats:5 replay in
+  Alcotest.(check bool)
+    (Printf.sprintf "seq-stamping dispatch stable (%.4fs vs %.4fs)" t t2)
+    true
+    (t2 < 0.005 || t2 < 3.0 *. (t +. 0.001))
+
+let suite =
+  [
+    Alcotest.test_case "bugbench-chains-all-rules" `Quick test_bugbench_chains;
+    QCheck_alcotest.to_alcotest prop_chain_validity;
+    Alcotest.test_case "file-stream-parity" `Quick test_file_stream_parity;
+    Alcotest.test_case "perfetto-golden" `Quick test_perfetto_golden;
+    Alcotest.test_case "perfetto-validate-rejects" `Quick test_perfetto_validate_rejects;
+    Alcotest.test_case "timeline-valid" `Quick test_timeline_valid;
+    Alcotest.test_case "timeline-track-cap" `Quick test_timeline_track_cap;
+    Alcotest.test_case "diff-self-empty" `Quick test_diff_self_empty;
+    Alcotest.test_case "diff-detects-bump" `Quick test_diff_detects_bump;
+    Alcotest.test_case "diff-added-removed" `Quick test_diff_added_removed;
+    Alcotest.test_case "duplicate-series-rejected" `Quick test_duplicate_series_rejected;
+    Alcotest.test_case "same-name-different-labels-ok" `Quick test_same_name_different_labels_ok;
+    Alcotest.test_case "seq-stamp-overhead-guard" `Quick test_seq_stamp_overhead_guard;
+  ]

@@ -8,7 +8,8 @@ let store ?(epoch = false) ?(seq = 0) sp ~addr ~size =
 
 let pending sp =
   let acc = ref [] in
-  Space.iter_pending sp (fun ~addr ~size ~flushed ~epoch:_ ~seq:_ -> acc := (addr, size, flushed) :: !acc);
+  Space.iter_pending sp (fun ~addr ~size ~flushed ~epoch:_ ~seq:_ ~clf_seq:_ ~fence_seq:_ ->
+      acc := (addr, size, flushed) :: !acc);
   List.sort compare !acc
 
 let test_store_then_flush_then_fence () =
@@ -59,9 +60,11 @@ let test_partial_flush_splits () =
 
 let test_overwrite_detection_and_unflush () =
   let sp = mk () in
-  Alcotest.(check bool) "fresh store has no overlap" false (store sp ~addr:100 ~size:8);
+  Alcotest.(check bool) "fresh store has no overlap" false (store sp ~addr:100 ~size:8).Space.overlapped;
   ignore (Space.process_clf sp ~lo:64 ~hi:128);
-  Alcotest.(check bool) "overwrite detected" true (store sp ~addr:100 ~size:8);
+  let r = store sp ~addr:100 ~size:8 in
+  Alcotest.(check bool) "overwrite detected" true r.Space.overlapped;
+  Alcotest.(check bool) "prior store seq carried" true (List.mem 0 r.Space.prior_seqs);
   (* The flushed state must have been voided by the new store. *)
   Space.process_fence sp;
   Alcotest.(check bool) "still pending after fence" true (Space.pending_count sp > 0)
@@ -137,7 +140,7 @@ let prop_matches_byte_model =
         ops;
       (* Compare byte coverage of the pending sets. *)
       let space_bytes = Hashtbl.create 64 in
-      Space.iter_pending sp (fun ~addr ~size ~flushed ~epoch:_ ~seq:_ ->
+      Space.iter_pending sp (fun ~addr ~size ~flushed ~epoch:_ ~seq:_ ~clf_seq:_ ~fence_seq:_ ->
           for b = addr to addr + size - 1 do
             (* Later stores shadow earlier ones; flushed state of the
                latest tracker wins, so take OR of unflushed. *)
@@ -217,7 +220,10 @@ let prop_modes_observations_equivalent =
         (fun (op, slot) ->
           let addr = slot * 16 in
           match op with
-          | 0 -> agree (List.map (fun sp -> store sp ~addr ~size:16) sps)
+          (* Overlap verdicts agree across modes; prior-seq lists are
+             deliberately excluded — tree merges coarsen them (a merged
+             node keeps only its newest store's seq). *)
+          | 0 -> agree (List.map (fun sp -> (store sp ~addr ~size:16).Space.overlapped) sps)
           | 1 ->
               let lo = Pmem.Addr.line_base addr in
               agree
