@@ -6,12 +6,13 @@
      dune exec bench/main.exe -- --quick  -- CI smoke: report only, small sizes
 
    Experiments: fig2a fig2b fig2c fig8 table5 table_sota table6 fig10
-   fig11 newbugs ablation faultinject bechamel report streaming
+   fig11 newbugs ablation faultinject bechamel report streaming sharding
 
-   The report experiment also writes BENCH_pr2.json and the streaming
-   experiment BENCH_pr3.json (both pmdb-bench/v1: per-bench slowdowns +
-   dispatch-latency quantiles + a telemetry snapshot); validate them
-   with `pmdb stats --check BENCH_prN.json`. *)
+   The report experiment also writes BENCH_pr2.json, the streaming
+   experiment BENCH_pr3.json and the sharding experiment BENCH_pr5.json
+   (all pmdb-bench/v1: per-bench slowdowns + dispatch-latency quantiles
+   + a telemetry snapshot); validate them with
+   `pmdb stats --check BENCH_prN.json`. *)
 
 open Pmtrace
 module W = Workloads.Workload
@@ -766,7 +767,11 @@ let report () =
    fence per burst, cycling over a bounded region. Detector state stays
    O(region), so the only O(trace) storage candidate is the trace
    itself — exactly what the streamed path must not hold. *)
-let generate_stream_trace path ~bursts =
+(* With [dirty], every 509th burst skips its writeback: the overwrites
+   on the next lap and the leftovers at program end give the detector
+   real findings, so a report-equality gate checks more than "both
+   empty". *)
+let generate_stream_trace ?(dirty = false) path ~bursts =
   let lines = 4096 in
   Trace_io.save_stream path (fun emit ->
       emit (Event.Register_pmem { base = 0; size = lines * 64 });
@@ -775,7 +780,7 @@ let generate_stream_trace path ~bursts =
         for s = 0 to 3 do
           emit (Event.Store { addr = addr + (s * 16); size = 16; tid = 0 })
         done;
-        emit (Event.Clf { addr; size = 64; kind = Event.Clwb; tid = 0 });
+        if not (dirty && i mod 509 = 0) then emit (Event.Clf { addr; size = 64; kind = Event.Clwb; tid = 0 });
         emit (Event.Fence { tid = 0 })
       done;
       emit Event.Program_end)
@@ -783,6 +788,19 @@ let generate_stream_trace path ~bursts =
 let live_words () =
   Gc.compact ();
   (Gc.stat ()).Gc.live_words
+
+(* Every 128th event is individually timed: enough samples for p50/p95
+   without the clock dominating the run. *)
+let sampled_emit hist emit =
+  let k = ref 0 in
+  fun ev ->
+    incr k;
+    if !k land 127 = 0 then begin
+      let t = Unix.gettimeofday () in
+      emit ev;
+      Obs.Metrics.hist_observe hist (Unix.gettimeofday () -. t)
+    end
+    else emit ev
 
 let streaming () =
   let q = !quick in
@@ -795,19 +813,6 @@ let streaming () =
   let gen_s = Unix.gettimeofday () -. t0 in
   let mk () = mk_pmdebugger Pmdebugger.Detector.Strict () in
   let metrics = Obs.Metrics.create () in
-  (* Every 128th event is individually timed: enough samples for p50/p95
-     without the clock dominating the run. *)
-  let sampled_emit hist emit =
-    let k = ref 0 in
-    fun ev ->
-      incr k;
-      if !k land 127 = 0 then begin
-        let t = Unix.gettimeofday () in
-        emit ev;
-        Obs.Metrics.hist_observe hist (Unix.gettimeofday () -. t)
-      end
-      else emit ev
-  in
   (* The detector allocates a fixed footprint up front (slot array +
      shadow for the registered region) — measure it once so the deltas
      below isolate storage attributable to trace LENGTH, which is what
@@ -942,6 +947,138 @@ let streaming () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Sharded detection: replay the streaming trace through the            *)
+(* domain-parallel Shard_router at 1/2/4/8 shards and check the merged  *)
+(* report against the plain single-detector run. Writes BENCH_pr5.json. *)
+(* ------------------------------------------------------------------ *)
+
+let sharding () =
+  let q = !quick in
+  let bursts = if q then 20_000 else 170_000 in
+  let path = Filename.temp_file "pmdb_sharding" ".pmt" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+  @@ fun () ->
+  let t0 = Unix.gettimeofday () in
+  let events = generate_stream_trace ~dirty:true path ~bursts in
+  let gen_s = Unix.gettimeofday () -. t0 in
+  (* Load once: every configuration replays the identical in-memory
+     trace, so the curve measures detection throughput, not disk. *)
+  let trace = match Trace_io.load_lenient path with Ok l -> l.Trace_io.trace | Error msg -> failwith msg in
+  let worker _shard =
+    (* Per-shard detectors run on worker domains: metrics must stay
+       disabled there; the router owns the shared registry. *)
+    Pmdebugger.Detector.worker (Pmdebugger.Detector.create ~model:Pmdebugger.Detector.Strict ~walk_dedup:false ())
+  in
+  (* The plain detector reports in discovery order, the merge in
+     canonical order; sort both before comparing. *)
+  let canon r = Bug.render_canonical { r with Bug.bugs = List.sort Bug.compare_canonical r.Bug.bugs } in
+  let run_once mk_sink =
+    let hist = Obs.Metrics.hist_create () in
+    let t0 = Unix.gettimeofday () in
+    let report = Recorder.replay_stream (fun emit -> Array.iter (sampled_emit hist emit) trace) (mk_sink ()) in
+    (report, Unix.gettimeofday () -. t0, hist)
+  in
+  let plain_report, plain_s, plain_hist = run_once (fun () -> mk_pmdebugger Pmdebugger.Detector.Strict ()) in
+  let shard_counts = [ 1; 2; 4; 8 ] in
+  let sharded =
+    List.map
+      (fun n ->
+        let reg = Obs.Metrics.create () in
+        let report, dt, hist = run_once (fun () -> Shard_router.sink ~shards:n ~metrics:reg worker) in
+        (n, report, dt, hist, reg))
+      shard_counts
+  in
+  let expected = canon plain_report in
+  let reports_match = List.for_all (fun (_, r, _, _, _) -> canon r = expected) sharded in
+  let t1 = match sharded with (_, _, dt, _, _) :: _ -> dt | [] -> plain_s in
+  let speedup_at n = match List.find_opt (fun (n', _, _, _, _) -> n' = n) sharded with
+    | Some (_, _, dt, _, _) -> t1 /. dt
+    | None -> 0.0
+  in
+  let host_cores = Domain.recommended_domain_count () in
+  let p hist frac = Obs.Metrics.quantile (Obs.Metrics.hist_view hist) frac in
+  let eps t = float_of_int events /. t in
+  let row_print name dt hist speedup =
+    [
+      name;
+      Printf.sprintf "%.2f s" dt;
+      Printf.sprintf "%.0f" (eps dt);
+      Printf.sprintf "%.0f ns" (1e9 *. p hist 0.5);
+      Printf.sprintf "%.0f ns" (1e9 *. p hist 0.95);
+      (match speedup with None -> "-" | Some s -> T.fmt_x s);
+    ]
+  in
+  T.print
+    ~title:
+      (Printf.sprintf "Sharded detection: %d events, %d host core(s) (quick=%b)" events host_cores q)
+    ~header:[ "config"; "replay"; "events/s"; "p50 disp."; "p95 disp."; "vs 1 shard" ]
+    (row_print "plain" plain_s plain_hist None
+    :: List.map (fun (n, _, dt, hist, _) -> row_print (Printf.sprintf "%d shard(s)" n) dt hist (Some (t1 /. dt)))
+         sharded);
+  Printf.printf "  reports match: %b (%d finding(s)); 4-shard speedup %.2fx over 1 shard on %d core(s)\n"
+    reports_match
+    (List.length plain_report.Bug.bugs)
+    (speedup_at 4) host_cores;
+  if host_cores < 4 then
+    Printf.printf
+      "  note: fewer than 4 cores — the curve measures correctness and overhead, not parallel speedup\n";
+  let open Obs.Json in
+  let row name total_s hist =
+    Obj
+      [
+        ("bench", Str name);
+        ("n", Int events);
+        ("native_s", Float gen_s);
+        ( "slowdowns",
+          Obj
+            [
+              ("replay_vs_generate", Float (total_s /. gen_s)); ("vs_single_shard", Float (total_s /. t1));
+            ] );
+        ("dispatch_p50_s", Float (p hist 0.5));
+        ("dispatch_p95_s", Float (p hist 0.95));
+        ("events_per_sec", Float (eps total_s));
+      ]
+  in
+  (* The 4-shard registry carries the per-shard counters
+     (shard_events_total{shard}, shard_barrier_stalls_total, queue
+     depth peaks) — that's the telemetry worth diffing in CI. *)
+  let telemetry =
+    match List.find_opt (fun (n, _, _, _, _) -> n = 4) sharded with
+    | Some (_, _, _, _, reg) -> Obs.Metrics.to_json reg
+    | None -> Obs.Metrics.to_json (Obs.Metrics.create ())
+  in
+  let json =
+    Obj
+      [
+        ("schema", Str "pmdb-bench/v1");
+        ("quick", Bool q);
+        ("events", Int events);
+        ("host_cores", Int host_cores);
+        ("reports_match", Bool reports_match);
+        ("speedup_4_over_1", Float (speedup_at 4));
+        ( "rows",
+          List
+            (row "replay-plain" plain_s plain_hist
+            :: Stdlib.List.map (fun (n, _, dt, hist, _) -> row (Printf.sprintf "replay-shards-%d" n) dt hist)
+                 sharded) );
+        ("telemetry", telemetry);
+      ]
+  in
+  to_file "BENCH_pr5.json" json;
+  Printf.printf "wrote BENCH_pr5.json (events=%d, quick=%b)\n" events q;
+  flush stdout;
+  if not reports_match then begin
+    Printf.eprintf "sharding: FAILED — sharded and single-detector replays disagree\n";
+    List.iter
+      (fun (n, r, _, _, _) ->
+        if canon r <> expected then
+          Printf.eprintf "  %d shard(s): %d finding(s) vs expected %d\n" n (List.length r.Bug.bugs)
+            (List.length plain_report.Bug.bugs))
+      sharded;
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -961,6 +1098,7 @@ let experiments =
     ("bechamel", bechamel);
     ("report", report);
     ("streaming", streaming);
+    ("sharding", sharding);
   ]
 
 let () =

@@ -13,10 +13,29 @@ open Pmtrace
 module W = Workloads.Workload
 
 let detector_names = [ "pmdebugger"; "pmemcheck"; "pmtest"; "xfdetector"; "nulgrind" ]
+let backend_names = [ "hybrid"; "flat" ]
 
-let sink_for ?(metrics = Obs.Metrics.disabled) name model config =
+(* The bookkeeping backend is a factory, so each shard gets its own
+   instance. Per-shard detectors run on worker domains where the
+   (non-thread-safe) metrics registry must stay disabled — the router
+   owns the shared registry. *)
+let backend_for ~metrics = function
+  | "hybrid" -> None
+  | "flat" -> Some (Pmdebugger.Flat_store.backend ~metrics ())
+  | other ->
+      failwith (Printf.sprintf "unknown backend %S (expected one of: %s)" other (String.concat ", " backend_names))
+
+let sink_for ?(metrics = Obs.Metrics.disabled) ?(shards = 0) ?(backend = "hybrid") name model config =
   match name with
-  | "pmdebugger" -> Pmdebugger.Detector.sink (Pmdebugger.Detector.create ~model ~config ~metrics ())
+  | "pmdebugger" when shards >= 1 ->
+      Shard_router.sink ~shards ~metrics (fun _shard ->
+          let backend = backend_for ~metrics:Obs.Metrics.disabled backend in
+          Pmdebugger.Detector.worker (Pmdebugger.Detector.create ~model ~config ?backend ~walk_dedup:false ()))
+  | "pmdebugger" ->
+      let backend = backend_for ~metrics backend in
+      Pmdebugger.Detector.sink (Pmdebugger.Detector.create ~model ~config ?backend ~metrics ())
+  | _ when shards >= 1 -> failwith (Printf.sprintf "--shards requires -d pmdebugger (got %S)" name)
+  | _ when backend <> "hybrid" -> failwith (Printf.sprintf "--backend requires -d pmdebugger (got %S)" name)
   | "pmemcheck" -> Baselines.Pmemcheck.sink (Baselines.Pmemcheck.create ())
   | "pmtest" -> Baselines.Pmtest.sink (Baselines.Pmtest.create ())
   | "xfdetector" -> Baselines.Xfdetector.sink (Baselines.Xfdetector.create ~config ())
@@ -95,11 +114,12 @@ let print_findings ~max_print report =
   Printf.printf "%d finding(s); kinds: %s\n" total
     (String.concat ", " (List.map Bug.kind_name (Bug.kinds_found report)))
 
-let run_workload_reports ~metrics ~spans workload n detector config annotate =
+let run_workload_reports ?(shards = 0) ?(backend = "hybrid") ~metrics ~spans workload n detector config annotate
+    =
   let spec = Workloads.Registry.find_exn workload in
   let config = load_config config in
   let engine = Engine.create ~metrics () in
-  Engine.attach engine (sink_for ~metrics detector spec.W.model config);
+  Engine.attach engine (sink_for ~metrics ~shards ~backend detector spec.W.model config);
   let t0 = Unix.gettimeofday () in
   Obs.Span.record spans ~attrs:[ ("workload", workload) ] "run" (fun () ->
       spec.W.run (W.params ~annotate ~n ()) engine);
@@ -109,9 +129,11 @@ let run_workload_reports ~metrics ~spans workload n detector config annotate =
   let reports = Obs.Span.record spans "finish" (fun () -> Engine.finish_all engine) in
   (engine, reports, dt)
 
-let run_cmd workload n detector config annotate max_print metrics_file =
+let run_cmd workload n detector config annotate max_print shards backend metrics_file =
   with_metrics metrics_file (fun metrics spans ->
-      let engine, reports, dt = run_workload_reports ~metrics ~spans workload n detector config annotate in
+      let engine, reports, dt =
+        run_workload_reports ~shards ~backend ~metrics ~spans workload n detector config annotate
+      in
       List.iter
         (fun report ->
           Printf.printf "%s on %s (n=%d): %d event(s) in %.3fs\n" report.Bug.detector workload n
@@ -173,7 +195,7 @@ let record_cmd workload n annotate out =
   in
   Printf.printf "recorded %d event(s) from %s (n=%d) to %s\n" count workload n out
 
-let replay_cmd file detector config max_print lenient metrics_file =
+let replay_cmd file detector config max_print lenient shards backend metrics_file =
   with_metrics metrics_file (fun metrics spans ->
       let config = load_config config in
       (* Replays have no live PM state: the model only gates rule
@@ -183,7 +205,7 @@ let replay_cmd file detector config max_print lenient metrics_file =
          streams straight from disk into the engine — constant memory
          regardless of trace size. *)
       let engine = Engine.create ~metrics () in
-      Engine.attach engine (sink_for ~metrics detector Pmdebugger.Detector.Strict config);
+      Engine.attach engine (sink_for ~metrics ~shards ~backend detector Pmdebugger.Detector.Strict config);
       Obs.Span.record spans ~attrs:[ ("file", file) ] "replay" (fun () ->
           if lenient then (
             match
@@ -510,7 +532,7 @@ let load_snapshot path =
           Printf.eprintf "%s: %s\n" path msg;
           exit 1)
 
-let diff_cmd files check_regressions threshold =
+let diff_cmd files check_regressions threshold gauge_threshold =
   match files with
   | [ a; b ] ->
       let before = load_snapshot a and after = load_snapshot b in
@@ -521,18 +543,23 @@ let diff_cmd files check_regressions threshold =
           ~title:(Printf.sprintf "metrics diff: %s -> %s" a b)
           ~header:Obs.Diff.rows_header (Obs.Diff.to_rows d);
       if check_regressions then begin
-        match Obs.Diff.regressions ~threshold d with
-        | [] -> Printf.printf "no counter regressions (threshold %+.1f%%)\n" (100.0 *. threshold)
+        let gate_desc =
+          Printf.sprintf "counter threshold %+.1f%%%s" (100.0 *. threshold)
+            (match gauge_threshold with
+            | None -> ""
+            | Some g -> Printf.sprintf ", gauge threshold %+.1f%%" (100.0 *. g))
+        in
+        match Obs.Diff.regressions ~threshold ?gauge_threshold d with
+        | [] -> Printf.printf "no regressions (%s)\n" gate_desc
         | regs ->
-            Printf.printf "%d counter regression(s) over threshold %+.1f%%:\n" (List.length regs)
-              (100.0 *. threshold);
+            Printf.printf "%d regression(s) over %s:\n" (List.length regs) gate_desc;
             List.iter (fun c -> Format.printf "  %a@." Obs.Diff.pp_change c) regs;
             exit 1
       end
   | _ -> failwith "--diff takes exactly two metrics files: pmdb stats --diff A.json B.json"
 
-let stats_cmd workload n detector config check diff files check_regressions threshold json_file =
-  if diff then diff_cmd files check_regressions threshold
+let stats_cmd workload n detector config check diff files check_regressions threshold gauge_threshold json_file =
+  if diff then diff_cmd files check_regressions threshold gauge_threshold
   else
   match check with
   | Some path -> check_report_file path
@@ -578,9 +605,24 @@ let metrics_arg =
   let doc = "Write a pmdb-metrics/v1 JSON telemetry snapshot (metric series + spans) to $(docv)." in
   Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
 
+let shards_arg =
+  let doc =
+    "Shard pmdebugger's detection across $(docv) parallel domain workers (events partitioned by cache line; the \
+     merged report is identical to a single-shard run). 0 = the plain in-process detector. Requires -d pmdebugger."
+  in
+  Arg.(value & opt int 0 & info [ "shards" ] ~docv:"N" ~doc)
+
+let backend_arg =
+  let doc =
+    "Bookkeeping backend for pmdebugger: 'hybrid' (the paper's array+tree structure) or 'flat' (linear-scan \
+     baseline used for honest backend comparisons)."
+  in
+  Arg.(value & opt string "hybrid" & info [ "backend" ] ~docv:"STORE" ~doc)
+
 let run_term =
   Term.(
-    const run_cmd $ workload_arg $ n_arg $ detector_arg $ config_arg $ annotate_arg $ max_bugs_arg $ metrics_arg)
+    const run_cmd $ workload_arg $ n_arg $ detector_arg $ config_arg $ annotate_arg $ max_bugs_arg $ shards_arg
+    $ backend_arg $ metrics_arg)
 
 let out_arg =
   let doc = "Output trace file." in
@@ -597,7 +639,9 @@ let lenient_arg =
   Arg.(value & flag & info [ "lenient" ] ~doc)
 
 let replay_term =
-  Term.(const replay_cmd $ trace_file_arg $ detector_arg $ config_arg $ max_bugs_arg $ lenient_arg $ metrics_arg)
+  Term.(
+    const replay_cmd $ trace_file_arg $ detector_arg $ config_arg $ max_bugs_arg $ lenient_arg $ shards_arg
+    $ backend_arg $ metrics_arg)
 
 let case_arg =
   let doc = "Explore a bugbench case by id instead of a workload." in
@@ -687,10 +731,18 @@ let threshold_arg =
   let doc = "Relative counter-growth tolerance for --check-regressions (0.05 = 5%)." in
   Arg.(value & opt float 0.0 & info [ "threshold" ] ~docv:"REL" ~doc)
 
+let gauge_threshold_arg =
+  let doc =
+    "Also gate gauges in --check-regressions: fail when a gauge grew by more than this relative threshold \
+     (gauges never gate without this flag — most are timing-dependent; use it for deterministic capacity \
+     peaks like the shard queue depths)."
+  in
+  Arg.(value & opt (some float) None & info [ "gauge-threshold" ] ~docv:"REL" ~doc)
+
 let stats_term =
   Term.(
     const stats_cmd $ workload_arg $ n_arg $ detector_arg $ config_arg $ check_arg $ diff_flag_arg
-    $ diff_files_arg $ check_regressions_arg $ threshold_arg $ stats_json_arg)
+    $ diff_files_arg $ check_regressions_arg $ threshold_arg $ gauge_threshold_arg $ stats_json_arg)
 
 let src_trace_arg =
   let doc = "Use a recorded trace file (as produced by `pmdb record`) instead of a workload." in

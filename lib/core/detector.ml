@@ -81,9 +81,9 @@ type t = {
   model : model;
   rules : rule_set;
   config : Order_config.t;
-  make_space : unit -> Space.t;
-  dspace : Space.t;
-  strand_spaces : (int, Space.t) Hashtbl.t;
+  make_space : Store_intf.backend;
+  dspace : Store_intf.instance;
+  strand_spaces : (int, Store_intf.instance) Hashtbl.t;
   cur_strand : (int, int) Hashtbl.t; (* tid -> active strand section *)
   epoch_depth : (int, int) Hashtbl.t;
   epoch_fences : (int, int list ref) Hashtbl.t; (* tid -> fence seqs, newest first *)
@@ -94,8 +94,9 @@ type t = {
   vars : (string, Addr.range) Hashtbl.t;
   var_state : (string, var_state) Hashtbl.t;
   funcs_called : (string, unit) Hashtbl.t;
-  bugs : (Bug.kind * int, Bug.t) Hashtbl.t;
-  mutable bug_keys : (Bug.kind * int) list; (* reverse insertion order *)
+  bugs : (Bug.kind * int, unit) Hashtbl.t; (* dedup membership *)
+  mutable bug_list : Bug.t list; (* reverse firing order *)
+  walk_dedup : bool;
   max_bugs_per_kind : int;
   kind_counts : (Bug.kind, int) Hashtbl.t;
   mutable events : int;
@@ -106,13 +107,20 @@ type t = {
   crash_check_every_fence : bool;
   metrics : Obs.Metrics.t;
   mutable finished : bool;
+  (* Shard-replica mode: run all bookkeeping but suppress findings —
+     set by the router on non-owner shards of a broadcast event. *)
+  mutable silent : bool;
 }
 
-let create ?(model = Strict) ?rules ?(config = Order_config.empty) ?array_capacity ?merge_threshold ?mode
+let create ?(model = Strict) ?rules ?(config = Order_config.empty) ?backend ?array_capacity ?merge_threshold ?mode
     ?interval_metadata ?pm ?recovery ?(crash_check_every_fence = false) ?(max_bugs_per_kind = 1000)
-    ?(metrics = Obs.Metrics.disabled) () =
+    ?(walk_dedup = true) ?(metrics = Obs.Metrics.disabled) () =
   let rules = match rules with Some r -> r | None -> default_rules model in
-  let make_space () = Space.create ?array_capacity ?merge_threshold ?mode ?interval_metadata ~metrics () in
+  let make_space =
+    match backend with
+    | Some b -> b
+    | None -> Space.backend ?array_capacity ?merge_threshold ?mode ?interval_metadata ~metrics ()
+  in
   (* Declare one zero counter per rule so a run's metrics file always
      carries the complete per-rule vector, fired or not. *)
   if Obs.Metrics.is_on metrics then
@@ -137,7 +145,8 @@ let create ?(model = Strict) ?rules ?(config = Order_config.empty) ?array_capaci
     var_state = Hashtbl.create 8;
     funcs_called = Hashtbl.create 8;
     bugs = Hashtbl.create 64;
-    bug_keys = [];
+    bug_list = [];
+    walk_dedup;
     max_bugs_per_kind;
     kind_counts = Hashtbl.create 16;
     events = 0;
@@ -148,38 +157,75 @@ let create ?(model = Strict) ?rules ?(config = Order_config.empty) ?array_capaci
     crash_check_every_fence;
     metrics;
     finished = false;
+    silent = false;
   }
 
-let default_space t = t.dspace
+(* Deterministic space order — default space first, then strand spaces
+   by strand id; a hashtable-layout-dependent order here would make
+   reports depend on which strands happened to hash where, breaking
+   shard parity. (The pending walks additionally sort their candidates
+   canonically — see [pending_walk_candidates].) *)
+let all_spaces t =
+  let strands = Hashtbl.fold (fun k s acc -> (k, s) :: acc) t.strand_spaces [] in
+  t.dspace :: List.map snd (List.sort (fun (a, _) (b, _) -> compare (a : int) b) strands)
 
-let all_spaces t = t.dspace :: Hashtbl.fold (fun _ s acc -> s :: acc) t.strand_spaces []
+(* Pending-location candidates for the walks (epoch end, program end).
+   The walks build their findings first and admit them in
+   {!Bug.compare_canonical} order rather than bookkeeping-structure
+   order: which finding wins the per-(kind, addr) dedup must not depend
+   on the backend's internal layout (array vs tree vs flat) — and the
+   shard router's merge, which re-applies the same dedup over all
+   shards' findings in the same canonical order, then reaches the same
+   decisions. *)
+let pending_walk_candidates ?(epoch_only = false) spaces =
+  let acc = ref [] in
+  List.iter
+    (fun space ->
+      Store_intf.iter_pending space (fun ~addr ~size ~flushed ~epoch ~seq ~clf_seq ~fence_seq ->
+          if epoch || not epoch_only then acc := (addr, size, flushed, seq, clf_seq, fence_seq) :: !acc))
+    spaces;
+  List.rev !acc
 
 let var_name_for t addr =
   Hashtbl.fold (fun name r acc -> if Addr.contains r addr then Some name else acc) t.vars None
 
-let report_bug t kind ~addr ?(size = 0) ?(chain = []) ~detail () =
-  let key = (kind, addr) in
-  if not (Hashtbl.mem t.bugs key) then begin
+let build_bug t kind ~addr ~size ~chain ~detail =
+  (* Annotation names make reports readable without a memory map:
+     every rule's message is prefixed with the registered variable
+     covering the primary address, when there is one. *)
+  let detail =
+    match if addr >= 0 then var_name_for t addr else None with
+    | Some name -> name ^ ": " ^ detail
+    | None -> detail
+  in
+  (* Every finding cites at least the event it fired at; rule code
+     prepends the bookkeeping history (stores, CLFs, fences). *)
+  let chain = Bug.cause ~addr ~size ~note:"rule fired here" ~cls:t.cur_class t.seq :: chain in
+  Bug.make ~addr ~size ~seq:t.seq ~detail ~chain kind
+
+(* [dedup = false] (pending walks of a sharded worker): record every
+   finding, skipping the per-(kind, addr) suppression and the per-kind
+   cap — replicated locations make a shard's local dedup and cap
+   decisions diverge from the single-shard ones; only the router's
+   merge, which sees every shard's findings, can replicate them. *)
+let admit_bug t ?(dedup = true) (bug : Bug.t) =
+  let kind = bug.Bug.kind in
+  let key = (kind, bug.Bug.addr) in
+  if (not dedup) || not (Hashtbl.mem t.bugs key) then begin
     let n = match Hashtbl.find_opt t.kind_counts kind with None -> 0 | Some n -> n in
-    if n < t.max_bugs_per_kind then begin
-      Hashtbl.replace t.kind_counts kind (n + 1);
-      (* Annotation names make reports readable without a memory map:
-         every rule's message is prefixed with the registered variable
-         covering the primary address, when there is one. *)
-      let detail =
-        match if addr >= 0 then var_name_for t addr else None with
-        | Some name -> name ^ ": " ^ detail
-        | None -> detail
-      in
-      (* Every finding cites at least the event it fired at; rule code
-         prepends the bookkeeping history (stores, CLFs, fences). *)
-      let chain = Bug.cause ~addr ~size ~note:"rule fired here" ~cls:t.cur_class t.seq :: chain in
-      Hashtbl.replace t.bugs key (Bug.make ~addr ~size ~seq:t.seq ~detail ~chain kind);
-      t.bug_keys <- key :: t.bug_keys;
+    if (not dedup) || n < t.max_bugs_per_kind then begin
+      if dedup then begin
+        Hashtbl.replace t.kind_counts kind (n + 1);
+        Hashtbl.replace t.bugs key ()
+      end;
+      t.bug_list <- bug :: t.bug_list;
       Obs.Metrics.inc t.metrics ~labels:[ ("rule", Bug.kind_name kind) ] "detector_rule_fires_total"
     end
     else Obs.Metrics.inc t.metrics ~labels:[ ("rule", Bug.kind_name kind) ] "detector_bugs_suppressed_total"
   end
+
+let report_bug t ?dedup kind ~addr ?(size = 0) ?(chain = []) ~detail () =
+  if not t.silent then admit_bug t ?dedup (build_bug t kind ~addr ~size ~chain ~detail)
 
 let in_registered t ~lo ~hi =
   t.track_all || List.exists (fun r -> Addr.overlaps r (Addr.range ~lo ~hi)) t.registered
@@ -212,7 +258,7 @@ let update_var_persistence t =
             st
       in
       if st.stored && st.persisted = None then
-        if not (List.exists (fun s -> Space.has_pending_overlap s ~lo:r.Addr.lo ~hi:r.Addr.hi) spaces) then
+        if not (List.exists (fun s -> Store_intf.has_pending_overlap s ~lo:r.Addr.lo ~hi:r.Addr.hi) spaces) then
           st.persisted <- Some (t.seq, t.cur_class))
     t.vars
 
@@ -281,21 +327,36 @@ let run_crash_check t =
           ()
   | _ -> ()
 
+(* The store path is split into a bookkeeping scan and a rule fire so
+   the shard router can scan per-line clips on several shards and fire
+   once with the merged observation; the single-shard [on_store] is the
+   composition of the two over the full range. *)
+let store_scan t ~tid ~lo ~hi =
+  let space = space_for t tid in
+  let strand = match Hashtbl.find_opt t.cur_strand tid with Some s -> s | None -> -1 in
+  let check_overlap = t.rules.multiple_overwrites && t.model = Strict in
+  let r =
+    Store_intf.process_store space ~check_overlap ~addr:lo ~size:(hi - lo) ~epoch:(in_epoch t tid) ~seq:t.seq ~tid
+      ~strand ()
+  in
+  note_var_store t ~lo ~hi;
+  { Shard_router.so_overlapped = r.Store_intf.overlapped; so_prior_seqs = r.Store_intf.prior_seqs }
+
+let store_fire t ~addr ~size (obs : Shard_router.store_obs) =
+  let check_overlap = t.rules.multiple_overwrites && t.model = Strict in
+  if obs.Shard_router.so_overlapped && check_overlap then begin
+    let chain =
+      List.map
+        (fun seq -> Bug.cause ~addr ~size ~cls:"store" ~note:"earlier store, not yet durable" seq)
+        obs.Shard_router.so_prior_seqs
+    in
+    report_bug t Bug.Multiple_overwrites ~addr ~size ~chain ~detail:"overwrite before durability guaranteed" ()
+  end
+
 let on_store t ~addr ~size ~tid =
   if in_registered t ~lo:addr ~hi:(addr + size) then begin
-    let space = space_for t tid in
-    let strand = match Hashtbl.find_opt t.cur_strand tid with Some s -> s | None -> -1 in
-    let check_overlap = t.rules.multiple_overwrites && t.model = Strict in
-    let r = Space.process_store space ~check_overlap ~addr ~size ~epoch:(in_epoch t tid) ~seq:t.seq ~tid ~strand () in
-    if r.Space.overlapped && check_overlap then begin
-      let chain =
-        List.map
-          (fun seq -> Bug.cause ~addr ~size ~cls:"store" ~note:"earlier store, not yet durable" seq)
-          r.Space.prior_seqs
-      in
-      report_bug t Bug.Multiple_overwrites ~addr ~size ~chain ~detail:"overwrite before durability guaranteed" ()
-    end;
-    note_var_store t ~lo:addr ~hi:(addr + size)
+    let obs = store_scan t ~tid ~lo:addr ~hi:(addr + size) in
+    store_fire t ~addr ~size obs
   end
 
 (* §5.2, Fig. 7b: a CLF that persists a location with a cross-strand
@@ -315,54 +376,80 @@ let check_strand_order_at_clf t ~lo ~hi =
         | _ -> ())
     (Order_config.entries t.config)
 
+(* Like the store path, the CLF path is a scan (bookkeeping over one
+   contiguous range, possibly a per-line clip) plus a fire (rules over
+   the merged observation and the event's full range). *)
+let clf_scan t ~tid ~lo ~hi =
+  let primary = space_for t tid in
+  let result = Store_intf.process_clf primary ~seq:t.seq ~lo ~hi in
+  (* A CLWB acts on the physical line: under the strand extension it
+     must also update any other strand's space tracking the line. *)
+  let result =
+    if Hashtbl.length t.strand_spaces = 0 then result
+    else
+      List.fold_left
+        (fun (acc : Store_intf.clf_result) space ->
+          if space == primary || not (Store_intf.has_pending_overlap space ~lo ~hi) then acc
+          else begin
+            let r = Store_intf.process_clf space ~seq:t.seq ~lo ~hi in
+            {
+              Store_intf.matched = acc.Store_intf.matched + r.Store_intf.matched;
+              newly_flushed = acc.Store_intf.newly_flushed + r.Store_intf.newly_flushed;
+              redundant = acc.Store_intf.redundant @ r.Store_intf.redundant;
+              redundant_prov = acc.Store_intf.redundant_prov @ r.Store_intf.redundant_prov;
+            }
+          end)
+        result (all_spaces t)
+  in
+  {
+    Shard_router.co_matched = result.Store_intf.matched;
+    co_newly = result.Store_intf.newly_flushed;
+    co_redundant =
+      List.map2
+        (fun (a, s) (store_seq, prior_clf) -> (a, s, store_seq, prior_clf))
+        result.Store_intf.redundant result.Store_intf.redundant_prov;
+  }
+
+let clf_fire t ~addr ~size (obs : Shard_router.clf_obs) =
+  if t.rules.flush_nothing && obs.Shard_router.co_matched = 0 then
+    report_bug t Bug.Flush_nothing ~addr ~size ~detail:"CLF persists no prior store" ();
+  (* A CLF is redundant only when it covers tracked locations yet
+     persists nothing new: a line writeback that also persists a fresh
+     store is useful, however many already-flushed neighbours share
+     the line. The reported hit is the canonical minimum over
+     (store seq, addr, size, prior CLF), independent of bookkeeping
+     walk order and of how shards partitioned the range. *)
+  if t.rules.redundant_flush && obs.Shard_router.co_matched > 0 && obs.Shard_router.co_newly = 0 then begin
+    let pick =
+      List.fold_left
+        (fun acc (a, s, store_seq, prior_clf) ->
+          let key = (store_seq, a, s, prior_clf) in
+          match acc with Some best when compare best key <= 0 -> acc | _ -> Some key)
+        None obs.Shard_router.co_redundant
+    in
+    match pick with
+    | Some (store_seq, a, s, prior_clf) ->
+        let chain =
+          Bug.cause ~addr:a ~size:s ~cls:"store" ~note:"the store being re-flushed" store_seq
+          :: (if prior_clf >= 0 then [ Bug.cause ~addr:a ~size:s ~cls:"clf" ~note:"already flushed here" prior_clf ] else [])
+        in
+        report_bug t Bug.Redundant_flush ~addr:a ~size:s ~chain ~detail:"store flushed again before the fence" ()
+    | None ->
+        report_bug t Bug.Redundant_flush ~addr ~size ~detail:"store flushed again before the fence" ()
+  end;
+  if t.rules.lack_ordering_in_strands && not (Order_config.is_empty t.config) then
+    check_strand_order_at_clf t ~lo:addr ~hi:(addr + size)
+
 let on_clf t ~addr ~size ~tid =
   if in_registered t ~lo:addr ~hi:(addr + size) then begin
-    let primary = space_for t tid in
-    let result = Space.process_clf primary ~seq:t.seq ~lo:addr ~hi:(addr + size) in
-    (* A CLWB acts on the physical line: under the strand extension it
-       must also update any other strand's space tracking the line. *)
-    let result =
-      if Hashtbl.length t.strand_spaces = 0 then result
-      else
-        List.fold_left
-          (fun (acc : Space.clf_result) space ->
-            if space == primary || not (Space.has_pending_overlap space ~lo:addr ~hi:(addr + size)) then acc
-            else begin
-              let r = Space.process_clf space ~seq:t.seq ~lo:addr ~hi:(addr + size) in
-              {
-                Space.matched = acc.Space.matched + r.Space.matched;
-                newly_flushed = acc.Space.newly_flushed + r.Space.newly_flushed;
-                redundant = acc.Space.redundant @ r.Space.redundant;
-                redundant_prov = acc.Space.redundant_prov @ r.Space.redundant_prov;
-              }
-            end)
-          result (all_spaces t)
-    in
-    if t.rules.flush_nothing && result.Space.matched = 0 then
-      report_bug t Bug.Flush_nothing ~addr ~size ~detail:"CLF persists no prior store" ();
-    (* A CLF is redundant only when it covers tracked locations yet
-       persists nothing new: a line writeback that also persists a fresh
-       store is useful, however many already-flushed neighbours share
-       the line. *)
-    if t.rules.redundant_flush && result.Space.matched > 0 && result.Space.newly_flushed = 0 then begin
-      let a, s = match result.Space.redundant with (a, s) :: _ -> (a, s) | [] -> (addr, size) in
-      let chain =
-        match result.Space.redundant_prov with
-        | (store_seq, prior_clf) :: _ ->
-            Bug.cause ~addr:a ~size:s ~cls:"store" ~note:"the store being re-flushed" store_seq
-            :: (if prior_clf >= 0 then [ Bug.cause ~addr:a ~size:s ~cls:"clf" ~note:"already flushed here" prior_clf ] else [])
-        | [] -> []
-      in
-      report_bug t Bug.Redundant_flush ~addr:a ~size:s ~chain ~detail:"store flushed again before the fence" ()
-    end;
-    if t.rules.lack_ordering_in_strands && not (Order_config.is_empty t.config) then
-      check_strand_order_at_clf t ~lo:addr ~hi:(addr + size)
+    let obs = clf_scan t ~tid ~lo:addr ~hi:(addr + size) in
+    clf_fire t ~addr ~size obs
   end
 
 let on_fence t ~tid =
   let space = space_for t tid in
-  Space.note_fence_sample space;
-  Space.process_fence ~seq:t.seq space;
+  Store_intf.note_fence_sample space;
+  Store_intf.process_fence ~seq:t.seq space;
   if in_epoch t tid then begin
     let fences =
       match Hashtbl.find_opt t.epoch_fences tid with
@@ -410,28 +497,30 @@ let on_epoch_end t ~tid =
         ~detail:(Printf.sprintf "%d fences inside one epoch section" (List.length fences))
         ()
     end;
-    if t.rules.lack_durability_in_epoch then begin
+    if t.rules.lack_durability_in_epoch && not t.silent then begin
       let space = space_for t tid in
-      if Space.exists_epoch_pending space then begin
-        (* Report each still-pending epoch location. *)
-        Space.iter_pending space (fun ~addr ~size ~flushed ~epoch ~seq ~clf_seq ~fence_seq ->
-            if epoch then begin
-              let chain =
-                epoch_begin_cause t ~tid
-                @ Bug.cause ~addr ~size ~cls:"store" ~note:"stored inside the epoch" seq
-                  ::
-                  (if flushed && clf_seq >= 0 then
-                     [ Bug.cause ~addr ~size ~cls:"clf" ~note:"flushed here but not fenced" clf_seq ]
-                   else [])
-                @
-                if fence_seq >= 0 then
-                  [ Bug.cause ~addr ~size ~cls:"fence" ~note:"crossed this fence unpersisted" fence_seq ]
-                else []
-              in
-              report_bug t Bug.Lack_durability_in_epoch ~addr ~size ~chain
-                ~detail:"epoch ends with unpersisted store" ()
-            end)
-      end
+      if Store_intf.exists_epoch_pending space then
+        (* Report each still-pending epoch location, in canonical order
+           — see [pending_walk_candidates]. *)
+        List.map
+          (fun (addr, size, flushed, seq, clf_seq, fence_seq) ->
+            let chain =
+              epoch_begin_cause t ~tid
+              @ Bug.cause ~addr ~size ~cls:"store" ~note:"stored inside the epoch" seq
+                ::
+                (if flushed && clf_seq >= 0 then
+                   [ Bug.cause ~addr ~size ~cls:"clf" ~note:"flushed here but not fenced" clf_seq ]
+                 else [])
+              @
+              if fence_seq >= 0 then
+                [ Bug.cause ~addr ~size ~cls:"fence" ~note:"crossed this fence unpersisted" fence_seq ]
+              else []
+            in
+            build_bug t Bug.Lack_durability_in_epoch ~addr ~size ~chain
+              ~detail:"epoch ends with unpersisted store")
+          (pending_walk_candidates ~epoch_only:true [ space ])
+        |> List.sort Bug.compare_canonical
+        |> List.iter (admit_bug t ~dedup:t.walk_dedup)
     end;
     Hashtbl.remove t.logged tid
   end
@@ -461,29 +550,30 @@ let on_tx_log t ~obj_addr ~size ~tid =
 let on_program_end t =
   if not t.finished then begin
     t.finished <- true;
-    if t.rules.no_durability then
-      List.iter
-        (fun space ->
-          Space.iter_pending space (fun ~addr ~size ~flushed ~epoch:_ ~seq ~clf_seq ~fence_seq ->
-              let detail =
-                if flushed then "flushed but never fenced (missing fence)"
-                else "never flushed (missing CLF)"
-              in
-              let chain =
-                Bug.cause ~addr ~size ~cls:"store"
-                  ~note:(if flushed then "the store left unfenced" else "the store left unflushed")
-                  seq
-                ::
-                (if flushed && clf_seq >= 0 then
-                   [ Bug.cause ~addr ~size ~cls:"clf" ~note:"flushed here, awaiting a fence" clf_seq ]
-                 else [])
-                @
-                if fence_seq >= 0 then
-                  [ Bug.cause ~addr ~size ~cls:"fence" ~note:"crossed this fence unpersisted" fence_seq ]
-                else []
-              in
-              report_bug t Bug.No_durability ~addr ~size ~chain ~detail ()))
-        (all_spaces t);
+    (if t.rules.no_durability && not t.silent then
+       List.map
+         (fun (addr, size, flushed, seq, clf_seq, fence_seq) ->
+           let detail =
+             if flushed then "flushed but never fenced (missing fence)"
+             else "never flushed (missing CLF)"
+           in
+           let chain =
+             Bug.cause ~addr ~size ~cls:"store"
+               ~note:(if flushed then "the store left unfenced" else "the store left unflushed")
+               seq
+             ::
+             (if flushed && clf_seq >= 0 then
+                [ Bug.cause ~addr ~size ~cls:"clf" ~note:"flushed here, awaiting a fence" clf_seq ]
+              else [])
+             @
+             if fence_seq >= 0 then
+               [ Bug.cause ~addr ~size ~cls:"fence" ~note:"crossed this fence unpersisted" fence_seq ]
+             else []
+           in
+           build_bug t Bug.No_durability ~addr ~size ~chain ~detail)
+         (pending_walk_candidates (all_spaces t))
+       |> List.sort Bug.compare_canonical
+       |> List.iter (admit_bug t ~dedup:t.walk_dedup));
     (* Order constraints where the later var persisted but the earlier
        one never did are caught here even without a closing fence. *)
     if not (Order_config.is_empty t.config) then begin
@@ -493,10 +583,7 @@ let on_program_end t =
     run_crash_check t
   end
 
-let on_event t ev =
-  t.events <- t.events + 1;
-  t.seq <- t.seq + 1;
-  t.cur_class <- Event.class_name ev;
+let dispatch t ev =
   match ev with
   | Event.Store { addr; size; tid } -> on_store t ~addr ~size ~tid
   | Event.Clf { addr; size; tid; kind = _ } -> on_clf t ~addr ~size ~tid
@@ -517,27 +604,40 @@ let on_event t ev =
   | Event.Annotation _ -> () (* PMTest-style annotations are not needed *)
   | Event.Program_end -> on_program_end t
 
-let bugs_in_order t = List.rev_map (fun key -> Hashtbl.find t.bugs key) t.bug_keys
+(* [seq] is the engine's dispatch sequence number. The single-shard
+   sink counts for itself ([on_event]); a shard worker is told the
+   stream position explicitly, since it only sees the subsequence of
+   events routed to it. [silent] runs all bookkeeping but reports
+   nothing — replica updates on non-owner shards. *)
+let on_event_at t ~seq ?(silent = false) ev =
+  t.events <- t.events + 1;
+  t.seq <- seq;
+  t.cur_class <- Event.class_name ev;
+  t.silent <- silent;
+  dispatch t ev;
+  t.silent <- false
+
+let on_event t ev = on_event_at t ~seq:(t.seq + 1) ev
+
+let bugs_in_order t = List.rev t.bug_list
 
 let stats t =
   let spaces = all_spaces t in
-  let samples = List.fold_left (fun acc s -> acc +. List.assoc "avg_tree_nodes_per_fence" (Space.stats s)) 0.0 spaces in
-  ignore samples;
-  let tree_nodes = List.fold_left (fun acc s -> acc + Space.tree_size s) 0 spaces in
-  let reorgs = List.fold_left (fun acc s -> acc + Space.reorganizations s) 0 spaces in
+  let tree_nodes = List.fold_left (fun acc s -> acc + Store_intf.tree_size s) 0 spaces in
+  let reorgs = List.fold_left (fun acc s -> acc + Store_intf.reorganizations s) 0 spaces in
   [
     ("tree_size", float_of_int tree_nodes);
     ("reorganizations", float_of_int reorgs);
-    ("avg_tree_nodes_per_fence", Space.avg_tree_nodes_per_fence t.dspace);
+    ("avg_tree_nodes_per_fence", Store_intf.avg_tree_nodes_per_fence t.dspace);
     ("spaces", float_of_int (List.length spaces));
   ]
 
 let report t =
   { Bug.detector = "pmdebugger"; bugs = bugs_in_order t; events_processed = t.events; stats = stats t; failure = None }
 
-let avg_tree_nodes_per_fence t = Space.avg_tree_nodes_per_fence t.dspace
+let avg_tree_nodes_per_fence t = Store_intf.avg_tree_nodes_per_fence t.dspace
 
-let reorganizations t = List.fold_left (fun acc s -> acc + Space.reorganizations s) 0 (all_spaces t)
+let reorganizations t = List.fold_left (fun acc s -> acc + Store_intf.reorganizations s) 0 (all_spaces t)
 
 let sink t =
   Sink.make ~name:"pmdebugger"
@@ -545,3 +645,38 @@ let sink t =
     ~finish:(fun () ->
       on_program_end t;
       report t)
+
+let backend_name t = Store_intf.name t.dspace
+
+(* One detector as one shard worker: the full event path for routed
+   events, and the scan/fire halves for the router's stall path. The
+   scans position the detector at the event's stream location
+   themselves, because they bypass [on_event_at]. *)
+let worker t =
+  {
+    Shard_router.w_event = (fun ~seq ~silent ev -> on_event_at t ~seq ~silent ev);
+    w_scan_store =
+      (fun ~seq ~tid ~lo ~hi ->
+        t.seq <- seq;
+        t.cur_class <- "store";
+        store_scan t ~tid ~lo ~hi);
+    w_fire_store =
+      (fun ~seq ~addr ~size obs ->
+        t.seq <- seq;
+        t.cur_class <- "store";
+        store_fire t ~addr ~size obs);
+    w_scan_clf =
+      (fun ~seq ~tid ~lo ~hi ->
+        t.seq <- seq;
+        t.cur_class <- "clf";
+        clf_scan t ~tid ~lo ~hi);
+    w_fire_clf =
+      (fun ~seq ~addr ~size obs ->
+        t.seq <- seq;
+        t.cur_class <- "clf";
+        clf_fire t ~addr ~size obs);
+    w_finish =
+      (fun () ->
+        on_program_end t;
+        report t);
+  }

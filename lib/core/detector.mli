@@ -33,6 +33,9 @@ val create :
   ?model:model (** default [Strict] *) ->
   ?rules:rule_set (** default [default_rules model] *) ->
   ?config:Order_config.t ->
+  ?backend:Store_intf.backend
+    (** bookkeeping backend factory; overrides the four knobs below.
+        Default: {!Space.backend} (the paper's hybrid structure). *) ->
   ?array_capacity:int ->
   ?merge_threshold:int ->
   ?mode:Space.mode ->
@@ -41,6 +44,13 @@ val create :
   ?recovery:(Pmem.Image.t -> bool) ->
   ?crash_check_every_fence:bool (** default false: check at program end only *) ->
   ?max_bugs_per_kind:int (** default 1000 *) ->
+  ?walk_dedup:bool
+    (** default [true]. [false] — required for shard workers — makes the
+        pending-location walks (program end, epoch end) report every
+        pending entry, bypassing the per-(kind, addr) dedup and the
+        per-kind cap: line clipping moves finding addresses, so only the
+        router's merge, which rejoins the clipped pieces, can replicate
+        the single-shard dedup decisions. *) ->
   ?metrics:Obs.Metrics.t ->
   unit ->
   t
@@ -55,8 +65,16 @@ val sink : t -> Pmtrace.Sink.t
 val report : t -> Pmtrace.Bug.report
 (** Current report (also returned by the sink's [finish]). *)
 
-val default_space : t -> Space.t
-(** The non-strand bookkeeping space (for tests and stats). *)
+val backend_name : t -> string
+(** Name of the bookkeeping backend in use ("hybrid", "flat", …). *)
+
+val worker : t -> Pmtrace.Shard_router.worker
+(** This detector as one shard of the sharded pipeline: pass
+    [fun _ -> Detector.worker (Detector.create ~walk_dedup:false ...)]
+    to {!Pmtrace.Shard_router.sink}. Each shard needs its own detector
+    (with its own backend) created with [~walk_dedup:false] — the merge
+    performs the pending-walk dedup globally; per-shard detectors must
+    use disabled [metrics] — hand the registry to the router instead. *)
 
 val avg_tree_nodes_per_fence : t -> float
 (** Fig. 11 metric, averaged over all spaces weighted by samples. *)

@@ -112,8 +112,9 @@ let purge_registration t ~lo ~hi (p : Slot.payload) =
 
 (* Cap on prior-store seqs collected per store: causal chains need the
    earliest few overwritten stores, not an unbounded history under hot
-   addresses. *)
-let max_prior_seqs = 8
+   addresses. The shared constant keeps every backend — and the
+   cross-shard merge — on the same cap. *)
+let max_prior_seqs = Store_intf.max_prior_seqs
 
 let unflush_overlaps t ~need_overlap ~lo ~hi =
   if bounds_miss t ~lo ~hi then begin
@@ -124,16 +125,20 @@ let unflush_overlaps t ~need_overlap ~lo ~hi =
   let probe = Addr.range ~lo ~hi in
   let found = ref false in
   let priors = ref [] in
-  let note_prior seq = found := true; priors := seq :: !priors in
+  let note_prior seq =
+    found := true;
+    if need_overlap then priors := seq :: !priors
+  in
   let visit_meta (m : Clf_meta.t) =
-    (* Invariant: a Not_flushed interval holds no flushed slot, so when
-       the caller does not need the overlap observation (the
-       multiple-overwrites rule is off under relaxed models) those
-       intervals can be skipped wholesale — the Pattern 3 fast path. *)
-    if
-      (not (Clf_meta.is_empty m))
-      && (need_overlap || m.Clf_meta.state <> Clf_meta.Not_flushed)
-    then
+    (* Every overlapping interval is scanned whatever its flush state:
+       superseding fully-covered slots is observable (pending walks,
+       later CLF match counts), and skipping it for all-unflushed
+       intervals — the former Pattern 3 fast path — made that outcome
+       depend on the flush state of unrelated slots sharing the
+       interval: a cross-line effect that diverged from the tree and
+       flat backends and broke shard parity. [need_overlap] now gates
+       only the prior-seq observation. *)
+    if not (Clf_meta.is_empty m) then
       match Clf_meta.addr_range m with
       | Some r when Addr.overlaps r probe ->
           (* Demote a collectively-flushed interval before touching
@@ -208,7 +213,7 @@ let unflush_overlaps t ~need_overlap ~lo ~hi =
   end
   end
 
-type store_result = { overlapped : bool; prior_seqs : int list }
+type store_result = Store_intf.store_result = { overlapped : bool; prior_seqs : int list }
 
 let take n l =
   let rec go n = function x :: rest when n > 0 -> x :: go (n - 1) rest | _ -> [] in
@@ -263,7 +268,7 @@ let find_overlap t ~lo ~hi =
   !found
   end
 
-type clf_result = {
+type clf_result = Store_intf.clf_result = {
   matched : int;
   newly_flushed : int;
   redundant : (int * int) list;
@@ -544,3 +549,30 @@ let stats t =
     ("reorganizations", float_of_int (reorganizations t));
     ("rotations", float_of_int (Rangetree.stats t.tree).Rangetree.rotations);
   ]
+
+(* The hybrid space as a pluggable bookkeeping backend. *)
+module Store = struct
+  type nonrec t = t
+
+  let name = "hybrid"
+  let process_store = process_store
+  let find_overlap = find_overlap
+  let process_clf = process_clf
+  let process_fence = process_fence
+  let has_pending_overlap = has_pending_overlap
+  let exists_epoch_pending = exists_epoch_pending
+  let iter_pending = iter_pending
+  let pending_count = pending_count
+  let clear = clear
+  let tree_size = tree_size
+  let array_live = array_live
+  let note_fence_sample = note_fence_sample
+  let avg_tree_nodes_per_fence = avg_tree_nodes_per_fence
+  let reorganizations = reorganizations
+  let stats = stats
+end
+
+let backend ?array_capacity ?merge_threshold ?mode ?interval_metadata ?metrics () : Store_intf.backend =
+ fun () ->
+  Store_intf.Instance
+    ((module Store), create ?array_capacity ?merge_threshold ?mode ?interval_metadata ?metrics ())

@@ -35,7 +35,7 @@ val create :
 
 (** {1 Processing} *)
 
-type store_result = {
+type store_result = Store_intf.store_result = {
   overlapped : bool;  (** some tracked location overlapped the store *)
   prior_seqs : int list;
       (** store seqs of the overlapped locations — sorted ascending,
@@ -68,7 +68,7 @@ val find_overlap : t -> lo:int -> hi:int -> int option
 (** Sequence number of some tracked, still-unpersisted location
     overlapping the range, if any. *)
 
-type clf_result = {
+type clf_result = Store_intf.clf_result = {
   matched : int;  (** tracked locations the flush covered (fully or partly) *)
   newly_flushed : int;  (** covered locations that were not already flushed *)
   redundant : (int * int) list;  (** (addr, size) of already-flushed hits *)
@@ -132,3 +132,22 @@ val avg_tree_nodes_per_fence : t -> float
 val reorganizations : t -> int
 
 val stats : t -> (string * float) list
+
+(** {1 Backend packaging}
+
+    The hybrid space as a {!Store_intf.LOCATION_STORE}: the reference
+    bookkeeping backend the detector uses unless an alternative (e.g.
+    {!Flat_store}) is plugged in. *)
+
+module Store : Store_intf.LOCATION_STORE with type t = t
+
+val backend :
+  ?array_capacity:int ->
+  ?merge_threshold:int ->
+  ?mode:mode ->
+  ?interval_metadata:bool ->
+  ?metrics:Obs.Metrics.t ->
+  unit ->
+  Store_intf.backend
+(** A factory closing over the given knobs; each call of the resulting
+    backend creates a fresh space. *)

@@ -67,10 +67,14 @@ let compute ~before ~after =
 
 let is_empty d = d = []
 
-(* Regression gating looks at counters only: for a seeded deterministic
-   workload they are reproducible run-to-run, while gauges and latency
-   histograms vary with machine load and would make the gate flaky. *)
-let regressions ?(threshold = 0.0) d =
+(* Regression gating looks at counters by default: for a seeded
+   deterministic workload they are reproducible run-to-run, while
+   gauges and latency histograms vary with machine load and would make
+   the gate flaky. Some gauges, however, are deterministic capacity
+   peaks (space_array_live_peak, shard_queue_depth_peak) rather than
+   timings; [gauge_threshold] opts those into the gate with their own,
+   typically looser, threshold. *)
+let regressions ?(threshold = 0.0) ?gauge_threshold d =
   List.filter
     (fun c ->
       match (c.d_kind, c.d_before, c.d_after) with
@@ -78,6 +82,12 @@ let regressions ?(threshold = 0.0) d =
           let rel = float_of_int (a - b) /. float_of_int (max 1 b) in
           rel > threshold
       | Added, None, Some (Metrics.V_counter a) -> a > 0
+      | Changed, Some (Metrics.V_gauge b), Some (Metrics.V_gauge a) -> (
+          match gauge_threshold with
+          | Some gt when a > b -> (a -. b) /. Float.max 1.0 b > gt
+          | _ -> false)
+      | Added, None, Some (Metrics.V_gauge a) -> (
+          match gauge_threshold with Some _ -> a > 0.0 | None -> false)
       | _ -> false)
     d
 

@@ -27,11 +27,18 @@ val compute : before:Metrics.snapshot -> after:Metrics.snapshot -> t
 
 val is_empty : t -> bool
 
-val regressions : ?threshold:float -> t -> change list
+val regressions : ?threshold:float -> ?gauge_threshold:float -> t -> change list
 (** Counter series whose value grew by more than [threshold] (relative,
     default 0.0 = any increase) — [(after - before) / max 1 before >
-    threshold] — plus counters added with a positive value. Gauges and
-    histograms never gate. *)
+    threshold] — plus counters added with a positive value.
+
+    Gauges never gate by default (most are timing-dependent), but
+    deterministic capacity peaks such as [space_array_live_peak] or the
+    shard queue-depth peaks can be opted in: with
+    [gauge_threshold] set, gauge series that grew by more than that
+    relative threshold — [(after - before) / max 1.0 before >
+    gauge_threshold] — and gauges added with a positive value also
+    gate. Histograms never gate. *)
 
 val to_rows : t -> string list list
 (** One row per change for {!Harness.Table}: columns

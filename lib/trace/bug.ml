@@ -24,6 +24,10 @@ let all_kinds =
     Cross_failure_semantic;
   ]
 
+let kind_rank k =
+  let rec idx i = function [] -> i | x :: rest -> if x = k then i else idx (i + 1) rest in
+  idx 0 all_kinds
+
 let kind_name = function
   | No_durability -> "no-durability-guarantee"
   | Multiple_overwrites -> "multiple-overwrites"
@@ -75,6 +79,16 @@ let pp ppf b =
   if b.seq >= 0 then Format.fprintf ppf " (seq %d)" b.seq;
   if b.detail <> "" then Format.fprintf ppf ": %s" b.detail
 
+let compare_cause a b =
+  compare (a.c_seq, a.c_class, a.c_addr, a.c_size, a.c_note) (b.c_seq, b.c_class, b.c_addr, b.c_size, b.c_note)
+
+(* Total order independent of detection-internal iteration orders
+   (hashtable layouts, fire order within one event): the shard merge
+   sorts with this, and parity tests rely on it. *)
+let compare_canonical a b =
+  let c = compare (a.seq, kind_rank a.kind, a.addr, a.size, a.detail) (b.seq, kind_rank b.kind, b.addr, b.size, b.detail) in
+  if c <> 0 then c else List.compare compare_cause a.chain b.chain
+
 type report = {
   detector : string;
   bugs : t list;
@@ -93,6 +107,27 @@ let count_kind r k = List.length (List.filter (fun b -> b.kind = k) r.bugs)
 let has_kind r k = List.exists (fun b -> b.kind = k) r.bugs
 
 let kinds_found r = List.filter (has_kind r) all_kinds
+
+(* Byte-exact rendering of everything the equality contract covers:
+   findings (with full chains), event count and failure status — but not
+   [stats], which legitimately differ between bookkeeping layouts (a
+   sharded run has N smaller trees, not one big one). *)
+let render_canonical r =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "%s events=%d failure=%s\n" r.detector r.events_processed
+                           (match r.failure with None -> "-" | Some m -> m));
+  List.iter
+    (fun b ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s addr=%d size=%d seq=%d detail=%s\n" (kind_name b.kind) b.addr b.size b.seq b.detail);
+      List.iter
+        (fun c ->
+          Buffer.add_string buf
+            (Printf.sprintf "  cause seq=%d class=%s addr=%d size=%d note=%s\n" c.c_seq c.c_class c.c_addr c.c_size
+               c.c_note))
+        b.chain)
+    r.bugs;
+  Buffer.contents buf
 
 let pp_report ppf r =
   Format.fprintf ppf "@[<v>%s: %d bug(s) in %d events@," r.detector (List.length r.bugs) r.events_processed;

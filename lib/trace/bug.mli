@@ -15,6 +15,10 @@ type kind =
 
 val all_kinds : kind list
 
+val kind_rank : kind -> int
+(** Position in {!all_kinds} — the kind component of the canonical bug
+    order used by the shard merge. *)
+
 val kind_name : kind -> string
 
 val pp_kind : Format.formatter -> kind -> unit
@@ -69,6 +73,21 @@ type report = {
           the engine: [msg] is the exception text and the report covers
           only the trace prefix the sink processed before failing. *)
 }
+
+val compare_cause : cause -> cause -> int
+
+val compare_canonical : t -> t -> int
+(** Total order on findings — (seq, kind rank, addr, size, detail,
+    chain) — independent of detection-internal iteration orders. The
+    sharded merge sorts with this; parity tests compare reports ordered
+    by it. *)
+
+val render_canonical : report -> string
+(** Byte-exact text of everything the shard-equality contract covers:
+    detector name, event count, failure status and every finding with
+    its full causal chain — excluding [stats], which legitimately
+    differ between bookkeeping layouts. Two runs are equivalent exactly
+    when their canonical renderings are equal. *)
 
 val empty_report : string -> report
 

@@ -40,10 +40,23 @@ val quarantined : t -> (string * string) list
     receiving events; sibling sinks are unaffected. *)
 
 val finish_all : t -> Bug.report list
-(** Finish every attached sink, in attach order. A sink whose [finish]
-    raises yields an empty report instead of killing the run; any sink
-    that was quarantined (during the run or at finish) gets the
-    exception recorded in its report's [failure] field. *)
+(** Finish every attached sink and return their reports.
+
+    {b Ordering guarantee.} The returned list is deterministic: one
+    report per attached sink, in attach order, regardless of which
+    sinks were quarantined or how each sink schedules its own work. In
+    particular a {!Shard_router} sink contributes exactly one merged
+    report at its own attach position, with its per-shard reports
+    already folded in canonical order (sorted by
+    {!Bug.compare_canonical}, then shard index as the tiebreak of the
+    fold) — so drivers may rely on [List.nth (finish_all e) i]
+    addressing the i-th attached sink stably. The shard merge and the
+    regression tests rely on this.
+
+    A sink whose [finish] raises yields an empty report instead of
+    killing the run; any sink that was quarantined (during the run or
+    at finish) gets the exception recorded in its report's [failure]
+    field. *)
 
 val set_instrumentation : t -> bool -> unit
 (** When off, events are not dispatched (PM semantics still apply). *)

@@ -1,0 +1,359 @@
+open Pmem
+
+(* Sharded, domain-parallel detection: one router (the engine-facing
+   sink, running on the dispatching domain) partitions the event stream
+   by cache line across N workers, each owning its own bookkeeping and
+   per-rule state. Line L belongs to shard [L mod N]; global events
+   (fences, epochs, strands, registrations, program end) are broadcast
+   to every worker, so each worker sees exactly the subsequence of the
+   trace that concerns its lines, in trace order. The merge reassembles
+   one canonical report whose findings equal the single-shard run —
+   see DESIGN.md "Sharded detection" for the equality contract. *)
+
+let max_prior_seqs = 8
+(* Must match the per-backend cap (Store_intf.max_prior_seqs references
+   this constant): the cross-shard merge keeps the 8 smallest seqs of
+   the union, which equals the single-shard cap because each shard's
+   list is itself the 8 smallest of its partition. *)
+
+type store_obs = { so_overlapped : bool; so_prior_seqs : int list }
+
+type clf_obs = {
+  co_matched : int;
+  co_newly : int;
+  co_redundant : (int * int * int * int) list;
+      (* (addr, size, store seq, prior CLF seq) per already-flushed hit *)
+}
+
+type worker = {
+  w_event : seq:int -> silent:bool -> Event.t -> unit;
+  w_scan_store : seq:int -> tid:int -> lo:int -> hi:int -> store_obs;
+  w_fire_store : seq:int -> addr:int -> size:int -> store_obs -> unit;
+  w_scan_clf : seq:int -> tid:int -> lo:int -> hi:int -> clf_obs;
+  w_fire_clf : seq:int -> addr:int -> size:int -> clf_obs -> unit;
+  w_finish : unit -> Bug.report;
+}
+
+let cap_priors priors =
+  let rec take n = function x :: rest when n > 0 -> x :: take (n - 1) rest | _ -> [] in
+  take max_prior_seqs (List.sort_uniq compare priors)
+
+let merge_store_obs obs =
+  {
+    so_overlapped = List.exists (fun o -> o.so_overlapped) obs;
+    so_prior_seqs = cap_priors (List.concat_map (fun o -> o.so_prior_seqs) obs);
+  }
+
+let merge_clf_obs obs =
+  {
+    co_matched = List.fold_left (fun acc o -> acc + o.co_matched) 0 obs;
+    co_newly = List.fold_left (fun acc o -> acc + o.co_newly) 0 obs;
+    co_redundant = List.concat_map (fun o -> o.co_redundant) obs;
+  }
+
+(* {2 Worker messages and execution} *)
+
+type msg = Ev of { seq : int; silent : bool; ev : Event.t } | Stop
+
+type t = {
+  shards : int;
+  workers : worker array;
+  queues : msg Spsc.t array;
+  pushed : int array; (* per shard, router side *)
+  processed : int Atomic.t array; (* per shard, bumped by the worker after each event *)
+  domains : Bug.report Domain.t array; (* empty in inline mode *)
+  inline_failures : string option ref array;
+  use_domains : bool;
+  mutable registered : Addr.range list;
+  mutable track_all : bool;
+  pinned : (int, unit) Hashtbl.t; (* line index -> (), lines of registered vars *)
+  mutable events : int;
+  metrics : Obs.Metrics.t;
+  max_bugs_per_kind : int;
+  mutable result : Bug.report option;
+}
+
+let shard_label i = [ ("shard", string_of_int i) ]
+
+let worker_loop w q processed =
+  let failure = ref None in
+  let rec go () =
+    match Spsc.pop q with
+    | Ev { seq; silent; ev } ->
+        (if !failure = None then
+           try w.w_event ~seq ~silent ev with exn -> failure := Some (Printexc.to_string exn));
+        Atomic.incr processed;
+        go ()
+    | Stop -> (
+        let r =
+          try w.w_finish ()
+          with exn -> { (Bug.empty_report "sharded") with Bug.failure = Some (Printexc.to_string exn) }
+        in
+        match !failure with None -> r | Some msg -> { r with Bug.failure = Some msg })
+  in
+  go ()
+
+let send t i ~seq ~silent ev =
+  t.pushed.(i) <- t.pushed.(i) + 1;
+  Obs.Metrics.inc t.metrics ~labels:(shard_label i) "shard_events_total";
+  if t.use_domains then begin
+    Spsc.push t.queues.(i) (Ev { seq; silent; ev });
+    if t.events land 63 = 0 then
+      Obs.Metrics.max_set t.metrics ~labels:(shard_label i) "shard_queue_depth_peak"
+        (float_of_int (Spsc.length t.queues.(i)))
+  end
+  else begin
+    (if !(t.inline_failures.(i)) = None then
+       try t.workers.(i).w_event ~seq ~silent ev
+       with exn -> t.inline_failures.(i) := Some (Printexc.to_string exn));
+    Atomic.incr t.processed.(i)
+  end
+
+let broadcast t ~seq ?silent_except ev =
+  for i = 0 to t.shards - 1 do
+    let silent = match silent_except with None -> false | Some owner -> i <> owner in
+    send t i ~seq ~silent ev
+  done
+
+(* Wait until every worker has consumed everything pushed so far. The
+   Atomic read of [processed] after the worker's last mutation gives the
+   router a happens-before edge: once drained, the router may touch
+   worker state directly (the workers are parked in [pop]). *)
+let drain t =
+  if t.use_domains then
+    for i = 0 to t.shards - 1 do
+      let n = ref 0 in
+      while Atomic.get t.processed.(i) < t.pushed.(i) do
+        if !n < 64 then Domain.cpu_relax () else Unix.sleepf 0.000_05;
+        incr n
+      done
+    done
+
+(* {2 Address-range decomposition} *)
+
+let owner t line = line mod t.shards
+
+let in_registered t ~lo ~hi =
+  t.track_all || List.exists (fun r -> Addr.overlaps r (Addr.range ~lo ~hi)) t.registered
+
+(* Stalled (multi-line) address event: drain everyone, pin the lines
+   when the event is a store (the spanning location it creates must be
+   replicated, and every later event on those lines broadcast to keep
+   the replicas in step), then scan the event's FULL range synchronously
+   on every shard and fire the rule exactly once, with the merged
+   observation, on the owner of the first line.
+
+   The full-range scan — never a per-line clip — is what the equality
+   contract rests on: a location's extent is observable (a partial
+   overwrite unflushes the whole slot; findings report slot extents), so
+   a clipped slot would evolve differently from the single-shard run.
+   Scanning everywhere means replicas and owner-resident locations are
+   each observed once per holding shard; the merged observation dedups
+   (priors are sorted/uniqued, counts are used as zero-tests, the
+   redundant-flush pick is a canonical minimum), so multiplicity never
+   shows. *)
+let stalled_address_event t ~seq ~tid ~lo ~hi ev =
+  Obs.Metrics.inc t.metrics "shard_barrier_stalls_total";
+  drain t;
+  let fire_shard = owner t (Addr.line_of lo) in
+  match ev with
+  | `Store ->
+      List.iter (fun l -> Hashtbl.replace t.pinned l ()) (Addr.lines_of_range ~lo ~hi);
+      let obs =
+        List.init t.shards (fun i -> t.workers.(i).w_scan_store ~seq ~tid ~lo ~hi)
+      in
+      t.workers.(fire_shard).w_fire_store ~seq ~addr:lo ~size:(hi - lo) (merge_store_obs obs)
+  | `Clf ->
+      let obs = List.init t.shards (fun i -> t.workers.(i).w_scan_clf ~seq ~tid ~lo ~hi) in
+      t.workers.(fire_shard).w_fire_clf ~seq ~addr:lo ~size:(hi - lo) (merge_clf_obs obs)
+
+let address_event t ~seq ~tid ~addr ~size ev_tag ev =
+  let lo = addr and hi = addr + size in
+  if size <= 0 || not (in_registered t ~lo ~hi) then ()
+  else
+    match Addr.lines_of_range ~lo ~hi with
+    | [ l ] when Hashtbl.mem t.pinned l ->
+        (* A pinned line is replicated: every shard applies the event to
+           its replica; only the owner reports. The owner's observation
+           is complete — every location overlapping its line lives on it
+           (its own residents plus every replica). *)
+        broadcast t ~seq ~silent_except:(owner t l) ev
+    | [ l ] -> send t (owner t l) ~seq ~silent:false ev
+    | l :: rest
+      when (not (List.exists (Hashtbl.mem t.pinned) (l :: rest)))
+           && List.for_all (fun l' -> owner t l' = owner t l) rest ->
+        (* Multi-line but single-owner and unpinned: the spanning
+           location stays whole on one shard. *)
+        send t (owner t l) ~seq ~silent:false ev
+    | _ -> stalled_address_event t ~seq ~tid ~lo ~hi ev_tag
+
+let route t ev =
+  t.events <- t.events + 1;
+  let seq = t.events in
+  match ev with
+  | Event.Store { addr; size; tid } -> address_event t ~seq ~tid ~addr ~size `Store ev
+  | Event.Clf { addr; size; tid; kind = _ } -> address_event t ~seq ~tid ~addr ~size `Clf ev
+  | Event.Tx_log _ ->
+      (* Redundant-logging state is per transaction, not per line: keep
+         the whole log view on shard 0 so overlap checks see every
+         append. Epoch begin/end (which scope the log) are broadcast,
+         so shard 0 sees them too. *)
+      send t 0 ~seq ~silent:false ev
+  | Event.Register_pmem { base; size } ->
+      t.track_all <- false;
+      t.registered <- Addr.of_base_size base size :: t.registered;
+      broadcast t ~seq ev
+  | Event.Register_var { name = _; addr; size } ->
+      (* Pin the variable's lines: every shard replicates them so the
+         broadcast order/durability rules read identical var state.
+         Contract: Register_var precedes stores to its range. *)
+      List.iter (fun l -> Hashtbl.replace t.pinned l ()) (Addr.lines_of_range ~lo:addr ~hi:(addr + size));
+      broadcast t ~seq ev
+  | Event.Fence _ | Event.Epoch_begin _ | Event.Epoch_end _ | Event.Strand_begin _ | Event.Strand_end _
+  | Event.Join_strand _ | Event.Call _ | Event.Annotation _ | Event.Program_end ->
+      broadcast t ~seq ev
+
+(* {2 Merging shard reports} *)
+
+(* Since no location is ever clipped (spanning ranges are replicated
+   whole, see [stalled_address_event]), a shard's findings are exactly a
+   subset of the single-shard run's — replicated locations just report
+   once per holding shard, byte-identically. Canonical sorting brings
+   the replicas together; dropping equal neighbours leaves the
+   single-shard multiset. *)
+let dedup_replicas bugs =
+  let rec go = function
+    | a :: b :: rest when Bug.compare_canonical a b = 0 -> go (a :: rest)
+    | a :: rest -> a :: go rest
+    | [] -> []
+  in
+  go bugs
+
+let dedup_by_kind_addr bugs =
+  let seen = Hashtbl.create 64 in
+  List.filter
+    (fun (b : Bug.t) ->
+      let key = (b.Bug.kind, b.Bug.addr) in
+      if Hashtbl.mem seen key then false
+      else begin
+        Hashtbl.add seen key ();
+        true
+      end)
+    bugs
+
+let cap_per_kind limit bugs =
+  let counts = Hashtbl.create 16 in
+  List.filter
+    (fun (b : Bug.t) ->
+      let n = match Hashtbl.find_opt counts b.Bug.kind with None -> 0 | Some n -> n in
+      Hashtbl.replace counts b.Bug.kind (n + 1);
+      n < limit)
+    bugs
+
+let merge_stats reports =
+  match reports with
+  | [] -> []
+  | first :: _ ->
+      (* Counters sum across shards; averages are taken from shard 0
+         (whose fence cadence every shard shares). *)
+      List.map
+        (fun (key, v0) ->
+          if String.length key >= 4 && String.sub key 0 4 = "avg_" then (key, v0)
+          else
+            ( key,
+              List.fold_left
+                (fun acc r -> acc +. (try List.assoc key r.Bug.stats with Not_found -> 0.0))
+                0.0 reports ))
+        first.Bug.stats
+
+let merge_reports t reports =
+  let bugs = List.concat_map (fun r -> r.Bug.bugs) reports in
+  let bugs =
+    List.sort Bug.compare_canonical bugs |> dedup_replicas |> dedup_by_kind_addr
+    |> cap_per_kind t.max_bugs_per_kind
+  in
+  let failure = List.fold_left (fun acc r -> match acc with Some _ -> acc | None -> r.Bug.failure) None reports in
+  {
+    Bug.detector = (match reports with r :: _ -> r.Bug.detector | [] -> "sharded");
+    bugs;
+    events_processed = t.events;
+    stats = merge_stats reports;
+    failure;
+  }
+
+(* {2 The sink} *)
+
+let finish t =
+  match t.result with
+  | Some r -> r
+  | None ->
+      (* Guarantee every worker observes the end of the trace even when
+         the replayed file lacks an explicit Program_end (end-of-trace
+         rules are idempotent on a second delivery). *)
+      broadcast t ~seq:t.events Event.Program_end;
+      let reports =
+        if t.use_domains then begin
+          Array.iter (fun q -> Spsc.push q Stop) t.queues;
+          Array.to_list (Array.map Domain.join t.domains)
+        end
+        else
+          Array.to_list
+            (Array.mapi
+               (fun i w ->
+                 let r = w.w_finish () in
+                 match !(t.inline_failures.(i)) with
+                 | None -> r
+                 | Some msg -> { r with Bug.failure = Some msg })
+               t.workers)
+      in
+      Array.iteri
+        (fun i q ->
+          Obs.Metrics.max_set t.metrics ~labels:(shard_label i) "shard_queue_depth_peak"
+            (float_of_int (Spsc.length q)))
+        t.queues;
+      let r = merge_reports t reports in
+      t.result <- Some r;
+      r
+
+let create ~shards ?(queue_capacity = 1024) ?(domains = true) ?(metrics = Obs.Metrics.disabled)
+    ?(max_bugs_per_kind = 1000) make_worker =
+  if shards < 1 then invalid_arg "Shard_router.create: shards must be >= 1";
+  let workers = Array.init shards make_worker in
+  let queues = Array.init shards (fun _ -> Spsc.create ~capacity:queue_capacity) in
+  let processed = Array.init shards (fun _ -> Atomic.make 0) in
+  if Obs.Metrics.is_on metrics then begin
+    for i = 0 to shards - 1 do
+      Obs.Metrics.inc metrics ~labels:(shard_label i) ~by:0 "shard_events_total"
+    done;
+    Obs.Metrics.inc metrics ~by:0 "shard_barrier_stalls_total"
+  end;
+  let t =
+    {
+      shards;
+      workers;
+      queues;
+      pushed = Array.make shards 0;
+      processed;
+      domains = [||];
+      inline_failures = Array.init shards (fun _ -> ref None);
+      use_domains = domains;
+      registered = [];
+      track_all = true;
+      pinned = Hashtbl.create 16;
+      events = 0;
+      metrics;
+      max_bugs_per_kind;
+      result = None;
+    }
+  in
+  let t =
+    if domains then
+      { t with domains = Array.init shards (fun i -> Domain.spawn (fun () -> worker_loop workers.(i) queues.(i) processed.(i))) }
+    else t
+  in
+  t
+
+let sink ?name:(sink_name = "pmdebugger-sharded") ~shards ?queue_capacity ?domains ?metrics ?max_bugs_per_kind
+    make_worker =
+  let t = create ~shards ?queue_capacity ?domains ?metrics ?max_bugs_per_kind make_worker in
+  Sink.make ~name:sink_name ~on_event:(fun ev -> route t ev) ~finish:(fun () -> finish t)

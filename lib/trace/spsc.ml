@@ -1,0 +1,88 @@
+(* Bounded single-producer / single-consumer ring on OCaml Domains.
+
+   The router (one producer) feeds each shard worker (one consumer)
+   through one of these. Publication protocol: the producer writes the
+   element into the ring plainly, then bumps [tail] with a sequentially
+   consistent atomic store — the consumer's atomic read of [tail]
+   therefore happens-after the element write. Symmetrically the
+   consumer clears the cell before bumping [head]. Each side caches the
+   other side's index and refreshes it only on apparent full/empty, so
+   the steady-state cost is two plain array accesses and one atomic
+   store per element.
+
+   Blocking uses an adaptive backoff: a bounded [cpu_relax] spin first,
+   then short sleeps. The sleep tier matters on machines with fewer
+   cores than domains (including single-core CI hosts), where a pure
+   spin would steal the timeslice the opposite side needs to make
+   progress. *)
+
+type 'a t = {
+  buf : 'a option array;
+  mask : int;
+  head : int Atomic.t; (* next index to pop; written by the consumer only *)
+  tail : int Atomic.t; (* next index to fill; written by the producer only *)
+  mutable cached_head : int; (* producer's view of [head] *)
+  mutable cached_tail : int; (* consumer's view of [tail] *)
+}
+
+let create ~capacity =
+  let cap = max 2 capacity in
+  (* Round up to a power of two so index wrap is a mask. *)
+  let rec pow2 n = if n >= cap then n else pow2 (n * 2) in
+  let n = pow2 2 in
+  {
+    buf = Array.make n None;
+    mask = n - 1;
+    head = Atomic.make 0;
+    tail = Atomic.make 0;
+    cached_head = 0;
+    cached_tail = 0;
+  }
+
+let capacity t = t.mask + 1
+
+let length t = max 0 (Atomic.get t.tail - Atomic.get t.head)
+
+let spin_limit = 64
+
+let backoff n =
+  if n < spin_limit then Domain.cpu_relax ()
+  else
+    (* Yield the core: on an oversubscribed machine the opposite side
+       cannot run until we sleep. *)
+    Unix.sleepf 0.000_05
+
+let push t v =
+  let tail = Atomic.get t.tail in
+  if tail - t.cached_head >= capacity t then begin
+    let n = ref 0 in
+    t.cached_head <- Atomic.get t.head;
+    while tail - t.cached_head >= capacity t do
+      backoff !n;
+      incr n;
+      t.cached_head <- Atomic.get t.head
+    done
+  end;
+  t.buf.(tail land t.mask) <- Some v;
+  Atomic.set t.tail (tail + 1)
+
+let try_pop t =
+  let head = Atomic.get t.head in
+  if head >= t.cached_tail then t.cached_tail <- Atomic.get t.tail;
+  if head >= t.cached_tail then None
+  else begin
+    let v = t.buf.(head land t.mask) in
+    t.buf.(head land t.mask) <- None;
+    Atomic.set t.head (head + 1);
+    v
+  end
+
+let pop t =
+  let rec go n =
+    match try_pop t with
+    | Some v -> v
+    | None ->
+        backoff n;
+        go (n + 1)
+  in
+  go 0

@@ -1,0 +1,29 @@
+(** Bounded single-producer / single-consumer queue for the sharded
+    detection pipeline: the router domain pushes, one shard worker
+    domain pops. Exactly one domain may call {!push} and exactly one
+    may call {!pop}/{!try_pop} over the queue's lifetime.
+
+    Elements are published with a release/acquire-strength protocol
+    (sequentially consistent atomics on the indices), so everything the
+    producer wrote before {!push} is visible to the consumer after the
+    matching pop. Blocking operations use a spin-then-sleep backoff
+    that stays live even when domains outnumber cores. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** Capacity is rounded up to a power of two, minimum 2. *)
+
+val capacity : 'a t -> int
+
+val length : 'a t -> int
+(** Approximate occupancy (racy but monotonic-consistent); feeds the
+    queue-depth gauges. *)
+
+val push : 'a t -> 'a -> unit
+(** Blocks (backoff) while full. *)
+
+val pop : 'a t -> 'a
+(** Blocks (backoff) while empty. *)
+
+val try_pop : 'a t -> 'a option

@@ -21,5 +21,6 @@ let () =
       ("harness", Test_harness.suite);
       ("bugbench", Test_bugbench.suite);
       ("provenance", Test_provenance.suite);
+      ("shard", Test_shard.suite);
       ("faultinject", Test_faultinject.suite);
     ]

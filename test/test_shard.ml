@@ -1,0 +1,329 @@
+(* The sharded detection pipeline: SPSC queue, router parity against
+   the single-detector run (the equality contract), cross-shard
+   prior-seq merging, finish_all ordering and the flat baseline
+   backend. *)
+
+open Pmtrace
+module D = Pmdebugger.Detector
+module SI = Pmdebugger.Store_intf
+
+(* The plain detector reports findings in discovery order, the sharded
+   merge in canonical order; sort both before comparing renders. *)
+let canon (r : Bug.report) =
+  Bug.render_canonical { r with Bug.bugs = List.sort Bug.compare_canonical r.Bug.bugs }
+
+let replay_plain ?mode ?backend ?(model = D.Strict) trace =
+  Recorder.replay trace (D.sink (D.create ~model ?mode ?backend ()))
+
+let replay_sharded ?mode ?(model = D.Strict) ?(domains = false) ~shards trace =
+  Recorder.replay trace (Shard_router.sink ~shards ~domains (fun _ -> D.worker (D.create ~model ?mode ~walk_dedup:false ())))
+
+(* ---------------------------------------------------------------- *)
+(* SPSC queue                                                        *)
+(* ---------------------------------------------------------------- *)
+
+let test_spsc_fifo () =
+  let q = Spsc.create ~capacity:5 in
+  Alcotest.(check int) "capacity rounds up to a power of two" 8 (Spsc.capacity q);
+  for i = 0 to 5 do
+    Spsc.push q i
+  done;
+  Alcotest.(check int) "length" 6 (Spsc.length q);
+  for i = 0 to 5 do
+    match Spsc.try_pop q with
+    | Some v -> Alcotest.(check int) "FIFO order" i v
+    | None -> Alcotest.fail "queue empty too early"
+  done;
+  Alcotest.(check bool) "drained" true (Spsc.try_pop q = None)
+
+let test_spsc_wraparound () =
+  let q = Spsc.create ~capacity:4 in
+  for round = 0 to 20 do
+    Spsc.push q (2 * round);
+    Spsc.push q ((2 * round) + 1);
+    Alcotest.(check int) "pop even" (2 * round) (Spsc.pop q);
+    Alcotest.(check int) "pop odd" ((2 * round) + 1) (Spsc.pop q)
+  done;
+  Alcotest.(check int) "empty" 0 (Spsc.length q)
+
+(* A queue much smaller than the payload forces both the full-queue
+   and the empty-queue backoff paths across a real domain boundary. *)
+let test_spsc_cross_domain () =
+  let n = 50_000 in
+  let q = Spsc.create ~capacity:64 in
+  let producer =
+    Domain.spawn (fun () ->
+        for i = 1 to n do
+          Spsc.push q i
+        done)
+  in
+  let ok = ref true in
+  for i = 1 to n do
+    if Spsc.pop q <> i then ok := false
+  done;
+  Domain.join producer;
+  Alcotest.(check bool) "every element, in order" true !ok;
+  Alcotest.(check bool) "empty after" true (Spsc.try_pop q = None)
+
+(* ---------------------------------------------------------------- *)
+(* Engine.finish_all ordering (regression for the documented          *)
+(* guarantee the shard merge relies on)                               *)
+(* ---------------------------------------------------------------- *)
+
+let mk_named name = Sink.make ~name ~on_event:(fun _ -> ()) ~finish:(fun () -> Bug.empty_report name)
+
+let drive_engine e =
+  Engine.register_pmem e ~base:0 ~size:4096;
+  Engine.store_int e ~addr:0 42;
+  Engine.clwb e ~addr:0;
+  Engine.sfence e;
+  Engine.program_end e
+
+let test_finish_all_attach_order () =
+  let e = Engine.create () in
+  Engine.attach e (mk_named "first");
+  Engine.attach e (Shard_router.sink ~shards:2 ~domains:false (fun _ -> D.worker (D.create ~walk_dedup:false ())));
+  Engine.attach e (mk_named "last");
+  drive_engine e;
+  let names = List.map (fun r -> r.Bug.detector) (Engine.finish_all e) in
+  Alcotest.(check (list string)) "one report per sink, in attach order" [ "first"; "pmdebugger"; "last" ] names
+
+let test_finish_all_order_survives_quarantine () =
+  let e = Engine.create () in
+  Engine.attach e (mk_named "a");
+  Engine.attach e (Sink.make ~name:"boom" ~on_event:(fun _ -> ()) ~finish:(fun () -> failwith "kaboom"));
+  Engine.attach e (mk_named "z");
+  drive_engine e;
+  let reports = Engine.finish_all e in
+  Alcotest.(check int) "still three reports" 3 (List.length reports);
+  Alcotest.(check string) "first in place" "a" (List.nth reports 0).Bug.detector;
+  Alcotest.(check string) "last in place" "z" (List.nth reports 2).Bug.detector;
+  Alcotest.(check bool) "middle carries the failure" true ((List.nth reports 1).Bug.failure <> None)
+
+(* ---------------------------------------------------------------- *)
+(* prior_seqs across shard boundaries (cap of the union = smallest 8) *)
+(* ---------------------------------------------------------------- *)
+
+let test_merge_store_obs_cap () =
+  let o1 = { Shard_router.so_overlapped = true; so_prior_seqs = [ 1; 3; 5; 7; 9; 11; 13; 15 ] } in
+  let o2 = { Shard_router.so_overlapped = false; so_prior_seqs = [ 2; 4; 6; 8; 10; 12; 14; 16 ] } in
+  let m = Shard_router.merge_store_obs [ o1; o2 ] in
+  Alcotest.(check bool) "overlap ORs" true m.Shard_router.so_overlapped;
+  Alcotest.(check (list int))
+    "cap keeps the smallest max_prior_seqs of the union" [ 1; 2; 3; 4; 5; 6; 7; 8 ]
+    m.Shard_router.so_prior_seqs;
+  Alcotest.(check int) "the cap is 8" 8 Shard_router.max_prior_seqs;
+  Alcotest.(check int) "backends share the constant" Shard_router.max_prior_seqs SI.max_prior_seqs
+
+(* A store spanning two shards' cache lines with more prior stores than
+   the cap: the merged chain must be the 8 smallest seqs of the union,
+   exactly as a single-shard run reports. *)
+let test_prior_seqs_span_two_shards () =
+  let evs = ref [] in
+  let emit e = evs := e :: !evs in
+  emit (Event.Register_pmem { base = 0; size = 1024 });
+  (* Twelve non-overlapping 4-byte stores: six on line 0, six on line 1
+     (seqs 2..13), none durable. *)
+  for i = 0 to 11 do
+    emit (Event.Store { addr = 40 + (4 * i); size = 4; tid = 0 })
+  done;
+  (* Seq 14 overwrites all twelve across the line-0/line-1 boundary. *)
+  emit (Event.Store { addr = 40; size = 48; tid = 0 });
+  emit Event.Program_end;
+  let trace = Array.of_list (List.rev !evs) in
+  let single = replay_plain trace in
+  let sharded = replay_sharded ~shards:2 trace in
+  Alcotest.(check string) "reports identical" (canon single) (canon sharded);
+  let mo =
+    match List.find_opt (fun b -> b.Bug.kind = Bug.Multiple_overwrites) sharded.Bug.bugs with
+    | Some b -> b
+    | None -> Alcotest.fail "no multiple-overwrites finding"
+  in
+  Alcotest.(check int) "full range reported" 48 mo.Bug.size;
+  let seqs =
+    (* The chain's prior-store causes, without the trailing cause for
+       the firing store itself. *)
+    List.filter_map
+      (fun c -> if c.Bug.c_class = "store" && c.Bug.c_seq <> mo.Bug.seq then Some c.Bug.c_seq else None)
+      mo.Bug.chain
+  in
+  Alcotest.(check (list int)) "chain = 8 smallest priors of the union" [ 2; 3; 4; 5; 6; 7; 8; 9 ] seqs
+
+(* ---------------------------------------------------------------- *)
+(* QCheck parity: random traces, sharded vs single                   *)
+(* ---------------------------------------------------------------- *)
+
+let lines = 8
+let region = lines * 64
+
+(* Random but contract-respecting traces: Register_pmem first, then
+   optional Register_var pins (before any store), then a mix of
+   (possibly line-crossing) stores, line-granular CLFs, fences, epoch
+   and strand markers, tx-log appends and call markers. Small address
+   space so line collisions, overwrites and cross-shard ranges are
+   common. *)
+let trace_of (vars, ops) =
+  let evs = ref [] in
+  let emit e = evs := e :: !evs in
+  emit (Event.Register_pmem { base = 0; size = region });
+  List.iter
+    (fun (line, wide) ->
+      let line = line mod lines in
+      let size = if wide then 80 else 16 in
+      let size = min size (region - (line * 64) - 8) in
+      if size > 0 then emit (Event.Register_var { name = "v"; addr = (line * 64) + 8; size }))
+    vars;
+  let strand = ref 0 in
+  List.iter
+    (fun (op, (a, s)) ->
+      match op with
+      | 0 | 1 | 2 | 3 ->
+          let addr = a land lnot 7 in
+          let size = min (8 * s) (region - addr) in
+          if size > 0 then emit (Event.Store { addr; size; tid = 0 })
+      | 4 | 5 ->
+          let addr = a / 64 * 64 in
+          let size = min (if s > 2 then 128 else 64) (region - addr) in
+          emit (Event.Clf { addr; size; kind = Event.Clwb; tid = 0 })
+      | 6 -> emit (Event.Fence { tid = 0 })
+      | 7 -> emit (if s land 1 = 0 then Event.Epoch_begin { tid = 0 } else Event.Epoch_end { tid = 0 })
+      | 8 ->
+          if s land 1 = 0 then begin
+            incr strand;
+            emit (Event.Strand_begin { tid = 0; strand = !strand land 3 })
+          end
+          else emit (Event.Join_strand { tid = 0 })
+      | 9 -> emit (Event.Tx_log { obj_addr = a land lnot 7; size = 8; tid = 0 })
+      | _ -> emit (Event.Call { func = "persist_obj"; tid = 0 })
+    )
+    ops;
+  emit Event.Program_end;
+  Array.of_list (List.rev !evs)
+
+let gen_trace =
+  QCheck.(
+    pair
+      (list_of_size Gen.(0 -- 2) (pair (int_range 0 (lines - 1)) bool))
+      (list_of_size Gen.(0 -- 60) (pair (int_range 0 10) (pair (int_range 0 (region - 1)) (int_range 1 4)))))
+
+(* Crash-image findings (cross-failure) are vacuously equal here: the
+   rule needs a live PM state, which neither the plain nor the sharded
+   replay has — so the byte-identical report comparison covers every
+   rule that can fire on a replayed trace. *)
+let parity_prop ?mode ?(model = D.Strict) ~shards input =
+  let trace = trace_of input in
+  let expected = canon (replay_plain ?mode ~model trace) in
+  canon (replay_sharded ?mode ~model ~shards trace) = expected
+
+let prop_parity_modes =
+  QCheck.Test.make ~name:"sharded report equals single run (3 modes x 2/4/8 shards, strict)" ~count:30 gen_trace
+    (fun input ->
+      List.for_all
+        (fun mode ->
+          List.for_all
+            (fun shards -> parity_prop ~mode ~shards input)
+            [ 2; 4; 8 ])
+        [ Pmdebugger.Space.Hybrid; Pmdebugger.Space.Array_only; Pmdebugger.Space.Tree_only ])
+
+let prop_parity_relaxed_models =
+  QCheck.Test.make ~name:"sharded report equals single run (epoch and strand models)" ~count:25 gen_trace
+    (fun input ->
+      List.for_all (fun model -> List.for_all (fun shards -> parity_prop ~model ~shards input) [ 2; 4 ])
+        [ D.Epoch; D.Strand ])
+
+let prop_parity_domains =
+  QCheck.Test.make ~name:"sharded report equals single run (real domains)" ~count:6 gen_trace (fun input ->
+      let trace = trace_of input in
+      let expected = canon (replay_plain trace) in
+      canon (Recorder.replay trace (Shard_router.sink ~shards:2 (fun _ -> D.worker (D.create ~walk_dedup:false ())))) = expected)
+
+let prop_flat_backend_equivalent =
+  QCheck.Test.make ~name:"flat backend produces the hybrid backend's findings" ~count:40 gen_trace (fun input ->
+      let trace = trace_of input in
+      canon (replay_plain ~backend:(Pmdebugger.Flat_store.backend ()) trace) = canon (replay_plain trace))
+
+(* ---------------------------------------------------------------- *)
+(* Flat baseline backend semantics                                   *)
+(* ---------------------------------------------------------------- *)
+
+module F = Pmdebugger.Flat_store.Store
+
+let test_flat_lifecycle () =
+  let f = Pmdebugger.Flat_store.create () in
+  ignore (F.process_store f ~addr:100 ~size:8 ~epoch:false ~seq:1 ~tid:0 ~strand:(-1) ());
+  Alcotest.(check int) "tracked" 1 (F.pending_count f);
+  let r = F.process_clf f ~lo:64 ~hi:128 in
+  Alcotest.(check int) "matched" 1 r.SI.matched;
+  Alcotest.(check int) "newly flushed" 1 r.SI.newly_flushed;
+  F.process_fence f;
+  Alcotest.(check int) "fence drains flushed" 0 (F.pending_count f)
+
+let test_flat_partial_clf_splits () =
+  let f = Pmdebugger.Flat_store.create () in
+  (* One store straddling the flush boundary: the covered half persists,
+     the remainder stays tracked unflushed. *)
+  ignore (F.process_store f ~addr:60 ~size:8 ~epoch:false ~seq:1 ~tid:0 ~strand:(-1) ());
+  ignore (F.process_clf f ~lo:0 ~hi:64);
+  F.process_fence f;
+  let remaining = ref [] in
+  F.iter_pending f (fun ~addr ~size ~flushed ~epoch:_ ~seq:_ ~clf_seq:_ ~fence_seq:_ ->
+      remaining := (addr, size, flushed) :: !remaining);
+  Alcotest.(check (list (Alcotest.triple Alcotest.int Alcotest.int Alcotest.bool)))
+    "unflushed remainder survives" [ (64, 4, false) ] !remaining
+
+let test_flat_overwrite_priors () =
+  let f = Pmdebugger.Flat_store.create () in
+  for i = 0 to 9 do
+    ignore (F.process_store f ~addr:(8 * i) ~size:8 ~epoch:false ~seq:(i + 1) ~tid:0 ~strand:(-1) ())
+  done;
+  let r = F.process_store f ~check_overlap:true ~addr:0 ~size:80 ~epoch:false ~seq:11 ~tid:0 ~strand:(-1) () in
+  Alcotest.(check bool) "overlap seen" true r.SI.overlapped;
+  Alcotest.(check (list int)) "priors sorted, capped at 8" [ 1; 2; 3; 4; 5; 6; 7; 8 ] r.SI.prior_seqs
+
+(* ---------------------------------------------------------------- *)
+(* Diff: opt-in gauge gating                                         *)
+(* ---------------------------------------------------------------- *)
+
+let snap setup =
+  let m = Obs.Metrics.create () in
+  setup m;
+  Obs.Metrics.snapshot m
+
+let test_diff_gauge_gating () =
+  let before = snap (fun m -> Obs.Metrics.set m "shard_queue_depth_peak" 10.0) in
+  let after = snap (fun m -> Obs.Metrics.set m "shard_queue_depth_peak" 30.0) in
+  let d = Obs.Diff.compute ~before ~after in
+  Alcotest.(check int) "gauges never gate by default" 0 (List.length (Obs.Diff.regressions d));
+  Alcotest.(check int) "grown gauge gates when opted in" 1
+    (List.length (Obs.Diff.regressions ~gauge_threshold:0.5 d));
+  (* (30 - 10) / 10 = 2.0 relative growth: below a looser threshold. *)
+  Alcotest.(check int) "tolerated below its own threshold" 0
+    (List.length (Obs.Diff.regressions ~gauge_threshold:3.0 d))
+
+let test_diff_gauge_added () =
+  let before = snap (fun _ -> ()) in
+  let after = snap (fun m -> Obs.Metrics.set m "g" 5.0) in
+  let d = Obs.Diff.compute ~before ~after in
+  Alcotest.(check int) "added gauge ignored by default" 0 (List.length (Obs.Diff.regressions d));
+  Alcotest.(check int) "added positive gauge gates when opted in" 1
+    (List.length (Obs.Diff.regressions ~gauge_threshold:0.1 d))
+
+let suite =
+  [
+    Alcotest.test_case "spsc: fifo and capacity" `Quick test_spsc_fifo;
+    Alcotest.test_case "spsc: ring wraparound" `Quick test_spsc_wraparound;
+    Alcotest.test_case "spsc: cross-domain ordering" `Quick test_spsc_cross_domain;
+    Alcotest.test_case "finish_all: reports in attach order" `Quick test_finish_all_attach_order;
+    Alcotest.test_case "finish_all: order survives quarantine" `Quick test_finish_all_order_survives_quarantine;
+    Alcotest.test_case "merge_store_obs: cap of union" `Quick test_merge_store_obs_cap;
+    Alcotest.test_case "prior seqs across a shard boundary" `Quick test_prior_seqs_span_two_shards;
+    QCheck_alcotest.to_alcotest prop_parity_modes;
+    QCheck_alcotest.to_alcotest prop_parity_relaxed_models;
+    QCheck_alcotest.to_alcotest prop_parity_domains;
+    QCheck_alcotest.to_alcotest prop_flat_backend_equivalent;
+    Alcotest.test_case "flat store: lifecycle" `Quick test_flat_lifecycle;
+    Alcotest.test_case "flat store: partial CLF splits" `Quick test_flat_partial_clf_splits;
+    Alcotest.test_case "flat store: overwrite priors" `Quick test_flat_overwrite_priors;
+    Alcotest.test_case "diff: gauge gating opt-in" `Quick test_diff_gauge_gating;
+    Alcotest.test_case "diff: added gauge" `Quick test_diff_gauge_added;
+  ]
