@@ -7,12 +7,13 @@
 
    Experiments: fig2a fig2b fig2c fig8 table5 table_sota table6 fig10
    fig11 newbugs ablation faultinject bechamel report streaming sharding
+   serve
 
    The report experiment also writes BENCH_pr2.json, the streaming
-   experiment BENCH_pr3.json and the sharding experiment BENCH_pr5.json
-   (all pmdb-bench/v1: per-bench slowdowns + dispatch-latency quantiles
-   + a telemetry snapshot); validate them with
-   `pmdb stats --check BENCH_prN.json`. *)
+   experiment BENCH_pr3.json, the sharding experiment BENCH_pr5.json
+   and the serve soak BENCH_pr6.json (all pmdb-bench/v1: per-bench
+   slowdowns + dispatch-latency quantiles + a telemetry snapshot);
+   validate them with `pmdb stats --check BENCH_prN.json`. *)
 
 open Pmtrace
 module W = Workloads.Workload
@@ -1079,6 +1080,177 @@ let sharding () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* pmdb serve soak: N concurrent clients streaming the same synthetic  *)
+(* trace into an in-process daemon; gates on report equality with the  *)
+(* offline replay and on flat RSS across waves. Writes BENCH_pr6.json. *)
+(* ------------------------------------------------------------------ *)
+
+let rss_kb () =
+  match In_channel.with_open_text "/proc/self/status" In_channel.input_lines with
+  | lines ->
+      List.fold_left
+        (fun acc line ->
+          match acc with
+          | Some _ -> acc
+          | None ->
+              if String.length line > 6 && String.sub line 0 6 = "VmRSS:" then
+                Scanf.sscanf (String.sub line 6 (String.length line - 6)) " %d" Option.some
+              else None)
+        None lines
+  | exception Sys_error _ -> None
+
+let serve_soak () =
+  let q = !quick in
+  let clients = if q then 4 else 16 in
+  let rounds = if q then 1 else 3 in
+  let bursts = if q then 4_000 else 20_000 in
+  let path = Filename.temp_file "pmdb_serve" ".pmt" in
+  let socket = Filename.temp_file "pmdb_serve" ".sock" in
+  Sys.remove socket;
+  Fun.protect
+    ~finally:(fun () ->
+      (try Sys.remove path with Sys_error _ -> ());
+      try Sys.remove socket with Sys_error _ -> ())
+  @@ fun () ->
+  let events = generate_stream_trace ~dirty:true path ~bursts in
+  let body = In_channel.with_open_bin path In_channel.input_all in
+  let mk () = mk_pmdebugger Pmdebugger.Detector.Strict () in
+  (* Offline ground truth: the same trace through the same sink. *)
+  let trace = match Trace_io.load_lenient path with Ok l -> l.Trace_io.trace | Error msg -> failwith msg in
+  let t0 = Unix.gettimeofday () in
+  let offline_report = Recorder.replay trace (mk ()) in
+  let offline_s = Unix.gettimeofday () -. t0 in
+  let canon r = Bug.render_canonical { r with Bug.bugs = List.sort Bug.compare_canonical r.Bug.bugs } in
+  let expected = canon offline_report in
+  let metrics = Obs.Metrics.create () in
+  let workers = min 4 (max 2 (Domain.recommended_domain_count () - 2)) in
+  let cfg = { (Serve.Daemon.default_config ~socket) with Serve.Daemon.workers; idle_timeout = 30.0 } in
+  let daemon = Serve.Daemon.create ~metrics ~make_sink:mk cfg in
+  let daemon_domain = Domain.spawn (fun () -> Serve.Daemon.run daemon) in
+  let run_wave wave n =
+    let doms =
+      List.init n (fun i ->
+          Domain.spawn (fun () ->
+              Serve.Client.replay_string ~socket ~name:(Printf.sprintf "w%d-c%d" wave i) body))
+    in
+    List.map Domain.join doms
+  in
+  let check frames =
+    List.iteri
+      (fun i frame ->
+        match frame with
+        | Error msg -> failwith (Printf.sprintf "client %d: %s" i msg)
+        | Ok f -> (
+            if f.Serve.Wire.status <> Serve.Status.Ok then
+              failwith
+                (Printf.sprintf "client %d: status %s" i (Serve.Status.name f.Serve.Wire.status));
+            match f.Serve.Wire.report with
+            | Some r when canon r = expected -> ()
+            | Some r ->
+                failwith
+                  (Printf.sprintf "client %d: report mismatch (%d finding(s) vs offline %d)" i
+                     (List.length r.Bug.bugs)
+                     (List.length offline_report.Bug.bugs))
+            | None -> failwith (Printf.sprintf "client %d: no report" i)))
+      frames
+  in
+  (* Warmup wave, then the RSS baseline, then the measured waves: any
+     per-session state the daemon leaks shows up as RSS growth across
+     identical waves. *)
+  check (run_wave 0 (min 4 clients));
+  Gc.compact ();
+  let rss_before = rss_kb () in
+  let t0 = Unix.gettimeofday () in
+  for wave = 1 to rounds do
+    check (run_wave wave clients)
+  done;
+  let wall_s = Unix.gettimeofday () -. t0 in
+  Gc.compact ();
+  let rss_after = rss_kb () in
+  let snap = match Serve.Client.stats ~socket with Ok s -> s | Error msg -> failwith msg in
+  (match Serve.Client.stop ~socket with Ok () -> () | Error msg -> failwith msg);
+  Domain.join daemon_domain;
+  let ingest =
+    match Obs.Metrics.find snap "serve_ingest_seconds" with
+    | Some (Obs.Metrics.V_hist hv) -> hv
+    | _ -> failwith "daemon stats: no serve_ingest_seconds histogram"
+  in
+  let quant frac = Obs.Metrics.quantile ingest frac in
+  let total_events = events * clients * rounds in
+  let events_per_sec = float_of_int total_events /. wall_s in
+  let rss_flat, rss_note =
+    match (rss_before, rss_after) with
+    | Some before, Some after ->
+        (* Flat = bounded growth across identical waves: slack for
+           allocator jitter, but nowhere near a per-wave leak. *)
+        let slack_kb = max (before / 2) (64 * 1024) in
+        (after - before <= slack_kb, Printf.sprintf "%d kB -> %d kB" before after)
+    | _ -> (true, "VmRSS unavailable; gate skipped")
+  in
+  T.print
+    ~title:
+      (Printf.sprintf "pmdb serve soak: %d wave(s) x %d client(s) x %d events (quick=%b)" rounds clients events q)
+    ~header:[ "metric"; "value" ]
+    [
+      [ "offline replay"; Printf.sprintf "%.2f s" offline_s ];
+      [ "soak wall clock"; Printf.sprintf "%.2f s" wall_s ];
+      [ "aggregate events/s"; Printf.sprintf "%.0f" events_per_sec ];
+      [ "ingest p50"; Printf.sprintf "%.0f ns" (1e9 *. quant 0.5) ];
+      [ "ingest p95"; Printf.sprintf "%.0f ns" (1e9 *. quant 0.95) ];
+      [ "ingest p99"; Printf.sprintf "%.0f ns" (1e9 *. quant 0.99) ];
+      [ "RSS"; rss_note ];
+    ];
+  Printf.printf "  all %d session report(s) identical to offline replay; RSS flat: %b\n"
+    ((min 4 clients) + (clients * rounds))
+    rss_flat;
+  let open Obs.Json in
+  let row =
+    Obj
+      [
+        ("bench", Str (Printf.sprintf "serve-%d-clients" clients));
+        ("n", Int total_events);
+        ("native_s", Float offline_s);
+        ( "slowdowns",
+          Obj
+            [
+              (* Wall clock for the whole soak against serial offline
+                 replays of the same load: < 1.0 means the daemon's
+                 worker parallelism is paying for the socket hop. *)
+              ("daemon_vs_offline_serial", Float (wall_s /. (offline_s *. float_of_int (clients * rounds))));
+            ] );
+        ("dispatch_p50_s", Float (quant 0.5));
+        ("dispatch_p95_s", Float (quant 0.95));
+        ("ingest_p99_s", Float (quant 0.99));
+        ("events_per_sec", Float events_per_sec);
+        ("clients", Int clients);
+        ("rounds", Int rounds);
+        ("workers", Int workers);
+      ]
+  in
+  let json =
+    Obj
+      [
+        ("schema", Str "pmdb-bench/v1");
+        ("quick", Bool q);
+        ("events", Int total_events);
+        ("reports_match", Bool true);
+        ("rss_flat", Bool rss_flat);
+        ("rss_before_kb", match rss_before with Some k -> Int k | None -> Null);
+        ("rss_after_kb", match rss_after with Some k -> Int k | None -> Null);
+        ("rows", List [ row ]);
+        ("telemetry", Obs.Metrics.snapshot_to_json snap);
+      ]
+  in
+  to_file "BENCH_pr6.json" json;
+  Printf.printf "wrote BENCH_pr6.json (events=%d, quick=%b)\n" total_events q;
+  flush stdout;
+  if not rss_flat then begin
+    Printf.eprintf "serve: FAILED — RSS grew across identical waves (%s); the daemon leaks per-session state\n"
+      rss_note;
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -1099,6 +1271,7 @@ let experiments =
     ("report", report);
     ("streaming", streaming);
     ("sharding", sharding);
+    ("serve", serve_soak);
   ]
 
 let () =

@@ -195,7 +195,57 @@ let record_cmd workload n annotate out =
   in
   Printf.printf "recorded %d event(s) from %s (n=%d) to %s\n" count workload n out
 
-let replay_cmd file detector config max_print lenient shards backend metrics_file =
+(* Session errors share one exit-code convention between offline replay
+   and the daemon (see Serve.Status): 0 ok, 2 trace/protocol error,
+   3 detector quarantined, 4 evicted, 5 idle timeout, 6 daemon
+   shutdown. *)
+let exit_for_report report =
+  match report.Bug.failure with
+  | Some _ -> exit (Serve.Status.exit_code Serve.Status.Detector_error)
+  | None -> ()
+
+let session_name_for file =
+  let base = Filename.remove_extension (Filename.basename file) in
+  let sane =
+    String.map
+      (fun c ->
+        match c with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '.' | '-' -> c | _ -> '_')
+      base
+  in
+  if Serve.Wire.name_ok sane then sane else "session"
+
+(* Replay through a running daemon. stdout is byte-identical to the
+   offline replay of the same healthy trace — the CI soak job diffs the
+   two — and the frame's status picks the exit code. *)
+let replay_daemon_cmd ~socket ~file ~max_print ~lenient =
+  match Serve.Client.replay_file ~socket ~name:(session_name_for file) ~lenient file with
+  | Error msg ->
+      Printf.eprintf "error: %s\n" msg;
+      exit 1
+  | Ok frame ->
+      (match frame.Serve.Wire.report with
+      | Some report ->
+          Printf.printf "%s replayed %d event(s) from %s\n" report.Bug.detector report.Bug.events_processed file;
+          (match report.Bug.failure with
+          | Some msg -> Printf.printf "  QUARANTINED: %s\n" msg
+          | None -> ());
+          print_findings ~max_print report
+      | None -> ());
+      if frame.Serve.Wire.skipped > 0 then
+        Printf.eprintf "warning: %s: %d malformed line(s) skipped by the daemon\n" file frame.Serve.Wire.skipped;
+      if frame.Serve.Wire.synthesized_end then
+        Printf.eprintf "warning: %s: truncated trace, synthesized program_end\n" file;
+      (match (frame.Serve.Wire.status, frame.Serve.Wire.error) with
+      | Serve.Status.Ok, _ -> ()
+      | status, error ->
+          Printf.eprintf "error: session %s: %s\n" (Serve.Status.name status)
+            (Option.value error ~default:"(no detail)"));
+      exit (Serve.Status.exit_code frame.Serve.Wire.status)
+
+let replay_cmd file detector config max_print lenient daemon shards backend metrics_file =
+  match daemon with
+  | Some socket -> replay_daemon_cmd ~socket ~file ~max_print ~lenient
+  | None ->
   with_metrics metrics_file (fun metrics spans ->
       let config = load_config config in
       (* Replays have no live PM state: the model only gates rule
@@ -213,14 +263,19 @@ let replay_cmd file detector config max_print lenient shards backend metrics_fil
                 ~on_skip:(fun lineno msg -> Printf.eprintf "warning: %s:%d: skipped: %s\n" file lineno msg)
                 file ~f:(Engine.emit engine)
             with
-            | Error msg -> failwith msg
+            | Error msg ->
+                Printf.eprintf "error: %s\n" msg;
+                exit (Serve.Status.exit_code Serve.Status.Trace_error)
             | Ok stats ->
                 if stats.Trace_io.synthesized then
                   Printf.eprintf "warning: %s: truncated trace, synthesized program_end\n" file)
           else
             match Trace_io.iter_file_strict file ~f:(Engine.emit engine) with
-            | Error msg -> failwith msg
+            | Error msg ->
+                Printf.eprintf "error: %s\n" msg;
+                exit (Serve.Status.exit_code Serve.Status.Trace_error)
             | Ok () -> ());
+      let reports = Engine.finish_all engine in
       List.iter
         (fun report ->
           Printf.printf "%s replayed %d event(s) from %s\n" report.Bug.detector report.Bug.events_processed file;
@@ -228,8 +283,9 @@ let replay_cmd file detector config max_print lenient shards backend metrics_fil
           | Some msg -> Printf.printf "  QUARANTINED: %s\n" msg
           | None -> ());
           print_findings ~max_print report)
-        (Engine.finish_all engine);
-      print_quarantined engine)
+        reports;
+      print_quarantined engine;
+      List.iter exit_for_report reports)
 
 (* ---------------------------------------------------------------- *)
 (* crash-explore: replay a program prefix-by-prefix and test every   *)
@@ -446,8 +502,19 @@ let timeline_cmd case trace_file workload n annotate out max_tracks =
 
 (* ---------------------------------------------------------------- *)
 (* stats: run with telemetry enabled and print the metric table; or  *)
-(* validate a previously written JSON report (--check, used by CI).  *)
+(* validate a previously written JSON report (--check, used by CI);  *)
+(* or fetch a running daemon's live metrics (--daemon SOCK).         *)
 (* ---------------------------------------------------------------- *)
+
+let daemon_stats_cmd socket =
+  match Serve.Client.stats ~socket with
+  | Error msg ->
+      Printf.eprintf "error: %s\n" msg;
+      exit 1
+  | Ok snap ->
+      Harness.Table.print
+        ~title:(Printf.sprintf "daemon telemetry: %s" socket)
+        ~header:Obs.Metrics.rows_header (Obs.Metrics.to_rows snap)
 
 let check_report_file path =
   match Obs.Json.of_file path with
@@ -558,7 +625,11 @@ let diff_cmd files check_regressions threshold gauge_threshold =
       end
   | _ -> failwith "--diff takes exactly two metrics files: pmdb stats --diff A.json B.json"
 
-let stats_cmd workload n detector config check diff files check_regressions threshold gauge_threshold json_file =
+let stats_cmd workload n detector config check diff files check_regressions threshold gauge_threshold json_file
+    daemon =
+  match daemon with
+  | Some socket -> daemon_stats_cmd socket
+  | None ->
   if diff then diff_cmd files check_regressions threshold gauge_threshold
   else
   match check with
@@ -588,6 +659,57 @@ let stats_cmd workload n detector config check diff files check_regressions thre
           in
           Obs.Json.to_file path json;
           Printf.printf "metrics written to %s\n" path
+
+let serve_cmd socket workers queue_capacity idle_timeout session_budget max_sessions detector config stop probe =
+  if stop then (
+    match Serve.Client.stop ~socket with
+    | Ok () -> Printf.printf "daemon at %s stopped\n" socket
+    | Error msg ->
+        Printf.eprintf "error: %s\n" msg;
+        exit 1)
+  else
+    match probe with
+    | Some kind ->
+        let kind =
+          match kind with
+          | "garbage" -> Serve.Client.Garbage
+          | "hang" -> Serve.Client.Hang
+          | other -> failwith (Printf.sprintf "unknown --probe %S (expected garbage or hang)" other)
+        in
+        (match Serve.Client.probe ~socket ~name:(Printf.sprintf "probe-%d" (Unix.getpid ())) kind with
+        | Error msg ->
+            Printf.eprintf "error: %s\n" msg;
+            exit 1
+        | Ok frame ->
+            Printf.printf "probe answered: status %s%s\n"
+              (Serve.Status.name frame.Serve.Wire.status)
+              (match frame.Serve.Wire.error with None -> "" | Some e -> Printf.sprintf " (%s)" e);
+            exit (Serve.Status.exit_code frame.Serve.Wire.status))
+    | None ->
+        let config = load_config config in
+        (* The daemon's own registry is enabled unconditionally: it lives
+           on the dispatch domain only, and `pmdb stats --daemon` reads it
+           live. Workers get disabled metrics (the registry is not
+           thread-safe). *)
+        let metrics = Obs.Metrics.create () in
+        Obs.Clock.set Unix.gettimeofday;
+        let cfg =
+          {
+            (Serve.Daemon.default_config ~socket) with
+            Serve.Daemon.workers;
+            queue_capacity;
+            idle_timeout;
+            session_budget;
+            max_sessions;
+          }
+        in
+        let make_sink () = sink_for ~metrics:Obs.Metrics.disabled detector Pmdebugger.Detector.Strict config in
+        let daemon = Serve.Daemon.create ~metrics ~make_sink cfg in
+        Serve.Daemon.install_signal_handlers daemon;
+        Printf.printf "pmdb serve: listening on %s (workers=%d, budget=%d bytes, idle-timeout=%.1fs)\n%!" socket
+          workers session_budget idle_timeout;
+        Serve.Daemon.run daemon;
+        Printf.printf "pmdb serve: stopped\n"
 
 let list_cmd () =
   List.iter
@@ -638,10 +760,54 @@ let lenient_arg =
   let doc = "Skip malformed trace lines (with a warning each) and synthesize a program_end for truncated traces." in
   Arg.(value & flag & info [ "lenient" ] ~doc)
 
+let daemon_arg =
+  let doc = "Stream the trace to the `pmdb serve` daemon at $(docv) instead of detecting in-process." in
+  Arg.(value & opt (some string) None & info [ "daemon" ] ~docv:"SOCK" ~doc)
+
 let replay_term =
   Term.(
-    const replay_cmd $ trace_file_arg $ detector_arg $ config_arg $ max_bugs_arg $ lenient_arg $ shards_arg
-    $ backend_arg $ metrics_arg)
+    const replay_cmd $ trace_file_arg $ detector_arg $ config_arg $ max_bugs_arg $ lenient_arg $ daemon_arg
+    $ shards_arg $ backend_arg $ metrics_arg)
+
+let socket_arg =
+  let doc = "Unix-domain socket path the daemon listens on." in
+  Arg.(value & opt string "pmdb.sock" & info [ "s"; "socket" ] ~docv:"SOCK" ~doc)
+
+let workers_arg =
+  let doc = "Worker domains detection is multiplexed over." in
+  Arg.(value & opt int 2 & info [ "workers" ] ~docv:"N" ~doc)
+
+let queue_capacity_arg =
+  let doc = "Per-worker event-queue capacity (the first backpressure rung)." in
+  Arg.(value & opt int 1024 & info [ "queue-capacity" ] ~docv:"N" ~doc)
+
+let idle_timeout_arg =
+  let doc = "Seconds of client silence before a session is reaped with a partial report (0 disables)." in
+  Arg.(value & opt float 30.0 & info [ "idle-timeout" ] ~docv:"SECONDS" ~doc)
+
+let session_budget_arg =
+  let doc = "Bytes a session may hold in the daemon before it is evicted with a partial report." in
+  Arg.(value & opt int (8 * 1024 * 1024) & info [ "session-budget" ] ~docv:"BYTES" ~doc)
+
+let max_sessions_arg =
+  let doc = "Concurrent connection cap." in
+  Arg.(value & opt int 64 & info [ "max-sessions" ] ~docv:"N" ~doc)
+
+let serve_stop_arg =
+  let doc = "Ask the daemon at --socket to shut down gracefully, then exit." in
+  Arg.(value & flag & info [ "stop" ] ~doc)
+
+let probe_arg =
+  let doc =
+    "Act as a deliberately misbehaving client against the daemon at --socket: 'garbage' streams unparseable lines, \
+     'hang' opens a session and goes silent (CI uses both to check fault isolation)."
+  in
+  Arg.(value & opt (some string) None & info [ "probe" ] ~docv:"KIND" ~doc)
+
+let serve_term =
+  Term.(
+    const serve_cmd $ socket_arg $ workers_arg $ queue_capacity_arg $ idle_timeout_arg $ session_budget_arg
+    $ max_sessions_arg $ detector_arg $ config_arg $ serve_stop_arg $ probe_arg)
 
 let case_arg =
   let doc = "Explore a bugbench case by id instead of a workload." in
@@ -742,7 +908,7 @@ let gauge_threshold_arg =
 let stats_term =
   Term.(
     const stats_cmd $ workload_arg $ n_arg $ detector_arg $ config_arg $ check_arg $ diff_flag_arg
-    $ diff_files_arg $ check_regressions_arg $ threshold_arg $ gauge_threshold_arg $ stats_json_arg)
+    $ diff_files_arg $ check_regressions_arg $ threshold_arg $ gauge_threshold_arg $ stats_json_arg $ daemon_arg)
 
 let src_trace_arg =
   let doc = "Use a recorded trace file (as produced by `pmdb record`) instead of a workload." in
@@ -774,6 +940,10 @@ let cmds =
     Cmd.v (Cmd.info "bugs" ~doc:"Run the 78-case bug dataset against all four detectors") bugs_term;
     Cmd.v (Cmd.info "record" ~doc:"Record a workload's event trace to a file") record_term;
     Cmd.v (Cmd.info "replay" ~doc:"Replay a recorded trace into a detector") replay_term;
+    Cmd.v
+      (Cmd.info "serve"
+         ~doc:"Run the multi-session detection daemon on a Unix socket (or --stop / --probe a running one)")
+      serve_term;
     Cmd.v
       (Cmd.info "crash-explore" ~doc:"Test recovery against every derivable crash image of a trace")
       crash_explore_term;

@@ -1,0 +1,112 @@
+let with_conn socket f =
+  match
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    match Unix.connect fd (Unix.ADDR_UNIX socket) with
+    | () -> fd
+    | exception e ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        raise e
+  with
+  | fd -> Fun.protect ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ()) (fun () -> f fd)
+  | exception Unix.Unix_error (err, _, _) ->
+      Error (Printf.sprintf "cannot connect to daemon at %s: %s" socket (Unix.error_message err))
+
+let send_all fd s =
+  let b = Bytes.of_string s in
+  let off = ref 0 in
+  while !off < Bytes.length b do
+    off := !off + Unix.write fd b !off (Bytes.length b - !off)
+  done
+
+let read_all fd =
+  let buf = Buffer.create 4096 in
+  let chunk = Bytes.create 65536 in
+  let rec go () =
+    match Unix.read fd chunk 0 (Bytes.length chunk) with
+    | 0 -> ()
+    | n ->
+        Buffer.add_subbytes buf chunk 0 n;
+        go ()
+  in
+  go ();
+  Buffer.contents buf
+
+(* The reply is one line; trailing bytes past the newline are the
+   daemon's problem, not ours — strip the frame out. *)
+let first_line s =
+  match String.index_opt s '\n' with Some i -> String.sub s 0 i | None -> s
+
+let wrap_io f =
+  try f () with Unix.Unix_error (err, _, _) -> Error (Printf.sprintf "daemon i/o error: %s" (Unix.error_message err))
+
+let half_close fd = try Unix.shutdown fd Unix.SHUTDOWN_SEND with Unix.Unix_error _ -> ()
+
+let result_of_reply raw =
+  if raw = "" then Error "daemon closed the connection without a reply"
+  else Wire.result_of_line (first_line raw)
+
+(* Send [body] after the hello for session [name], half-close, and read
+   the daemon's result frame. *)
+let run_session ~socket ~name ~lenient body =
+  with_conn socket @@ fun fd ->
+  wrap_io @@ fun () ->
+  send_all fd (Wire.hello_line (Wire.Session { name; lenient }) ^ "\n");
+  send_all fd body;
+  half_close fd;
+  result_of_reply (read_all fd)
+
+let replay_string ~socket ~name ?(lenient = false) body = run_session ~socket ~name ~lenient body
+
+let replay_file ~socket ~name ?(lenient = false) path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | body -> run_session ~socket ~name ~lenient body
+  | exception Sys_error msg -> Error msg
+
+let raw ~socket body =
+  with_conn socket @@ fun fd ->
+  wrap_io @@ fun () ->
+  send_all fd body;
+  half_close fd;
+  Ok (read_all fd)
+
+let stats ~socket =
+  with_conn socket @@ fun fd ->
+  wrap_io @@ fun () ->
+  send_all fd (Wire.hello_line Wire.Stats ^ "\n");
+  half_close fd;
+  let raw = read_all fd in
+  if raw = "" then Error "daemon closed the connection without a reply"
+  else
+    match Obs.Json.of_string (first_line raw) with
+    | Error msg -> Error (Printf.sprintf "stats reply: %s" msg)
+    | Ok json -> Obs.Metrics.snapshot_of_json json
+
+let stop ~socket =
+  with_conn socket @@ fun fd ->
+  wrap_io @@ fun () ->
+  send_all fd (Wire.hello_line Wire.Stop ^ "\n");
+  half_close fd;
+  match result_of_reply (read_all fd) with
+  | Ok frame when frame.Wire.status = Status.Ok -> Ok ()
+  | Ok frame -> Error (Printf.sprintf "daemon answered %s" (Status.name frame.Wire.status))
+  | Error _ as e -> e
+
+(* Deliberately misbehaving clients, for the CI soak job and the
+   fault-tolerance tests. *)
+type probe = Garbage | Hang
+
+let probe ~socket ~name kind =
+  match kind with
+  | Garbage ->
+      (* A stream that cannot parse: the daemon must quarantine exactly
+         this session and answer a structured trace-error frame. *)
+      run_session ~socket ~name ~lenient:false "this is not an event\nnor is this\n"
+  | Hang ->
+      (* Open a session, send a valid prefix, then go silent without
+         half-closing. The daemon must reap us at the idle timeout and
+         still send the partial report. *)
+      with_conn socket @@ fun fd ->
+      wrap_io @@ fun () ->
+      send_all fd (Wire.hello_line (Wire.Session { name; lenient = false }) ^ "\n");
+      send_all fd "store 1 256 8\n";
+      result_of_reply (read_all fd)

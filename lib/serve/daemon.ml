@@ -1,0 +1,510 @@
+open Pmtrace
+
+type config = {
+  socket_path : string;
+  workers : int;
+  queue_capacity : int;
+  session_budget : int;
+  idle_timeout : float;
+  max_sessions : int;
+  pending_watermark : int;
+  tick : float;
+}
+
+let default_config ~socket =
+  {
+    socket_path = socket;
+    workers = 2;
+    queue_capacity = 1024;
+    session_budget = 8 lsl 20;
+    idle_timeout = 30.0;
+    max_sessions = 64;
+    pending_watermark = 4096;
+    tick = 0.02;
+  }
+
+(* A connection's lifecycle. [Hello] reads the first line; a session
+   then walks Streaming -> Finishing -> Awaiting (see Session.phase for
+   the session-side view); stats/stop connections are answered and
+   closed inside the hello handler. *)
+type conn_kind =
+  | Hello of Buffer.t
+  | Streaming of Session.t * Pool.slot
+  | Finishing of Session.t * Pool.slot
+  | Awaiting of Session.t * Pool.slot
+
+type conn = {
+  fd : Unix.file_descr;
+  mutable kind : conn_kind;
+  mutable eof : bool;
+  mutable stalled : bool; (* backpressure: worker queue full this tick *)
+  mutable last_events : int; (* events/sec gauge bookkeeping *)
+  mutable last_mark : float;
+}
+
+type t = {
+  cfg : config;
+  metrics : Obs.Metrics.t;
+  listener : Unix.file_descr;
+  stop_r : Unix.file_descr;
+  stop_w : Unix.file_descr;
+  pool : Pool.t;
+  mutable conns : conn list;
+  mutable next_id : int;
+  mutable stopping : bool;
+  mutable running : bool;
+}
+
+let now () = Unix.gettimeofday ()
+
+let session_label s = [ ("session", Session.name s) ]
+
+(* {2 Socket plumbing} *)
+
+let bind_listener path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let addr = Unix.ADDR_UNIX path in
+  (try Unix.bind fd addr
+   with Unix.Unix_error (Unix.EADDRINUSE, _, _) -> (
+     (* A socket file exists. If nobody answers, it is stale — remove
+        and rebind; if a daemon answers, refuse to fight it. *)
+     let probe = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+     let alive =
+       match Unix.connect probe addr with
+       | () -> true
+       | exception Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ENOENT), _, _) -> false
+     in
+     Unix.close probe;
+     if alive then begin
+       Unix.close fd;
+       failwith (Printf.sprintf "daemon already running on %s" path)
+     end
+     else begin
+       Unix.unlink path;
+       Unix.bind fd addr
+     end));
+  Unix.listen fd 64;
+  Unix.set_nonblock fd;
+  fd
+
+let create ?(metrics = Obs.Metrics.disabled) ?(domains = true) ~make_sink cfg =
+  let listener = bind_listener cfg.socket_path in
+  let stop_r, stop_w = Unix.pipe () in
+  Unix.set_nonblock stop_r;
+  Unix.set_nonblock stop_w;
+  let pool = Pool.create ~domains ~workers:cfg.workers ~queue_capacity:cfg.queue_capacity make_sink in
+  if Obs.Metrics.is_on metrics then begin
+    (* Pre-declare the robustness counters so a snapshot shows zeros
+       rather than missing series. *)
+    List.iter
+      (Obs.Metrics.inc metrics ~by:0)
+      [
+        "serve_sessions_opened_total";
+        "serve_evictions_total";
+        "serve_timeouts_total";
+        "serve_backpressure_stalls_total";
+        "serve_protocol_errors_total";
+        "serve_conn_errors_total";
+        "serve_bytes_read_total";
+        "serve_events_total";
+      ];
+    Obs.Metrics.inc metrics ~by:0 ~labels:[ ("reason", "trace") ] "serve_quarantines_total";
+    Obs.Metrics.inc metrics ~by:0 ~labels:[ ("reason", "detector") ] "serve_quarantines_total"
+  end;
+  {
+    cfg;
+    metrics;
+    listener;
+    stop_r;
+    stop_w;
+    pool;
+    conns = [];
+    next_id = 0;
+    stopping = false;
+    running = false;
+  }
+
+let request_stop t =
+  (* Async-signal-safe enough for OCaml signal handlers (they run at
+     safe points): one byte down the self-pipe wakes the select. *)
+  try ignore (Unix.write t.stop_w (Bytes.make 1 's') 0 1) with Unix.Unix_error _ -> ()
+
+let install_signal_handlers t =
+  List.iter
+    (fun signal -> Sys.set_signal signal (Sys.Signal_handle (fun _ -> request_stop t)))
+    [ Sys.sigterm; Sys.sigint ]
+
+(* {2 Replies} *)
+
+(* Replies go out blocking with a send timeout: a client that never
+   reads cannot park the daemon (the write fails with EAGAIN after the
+   timeout and the connection is dropped). *)
+let write_all t fd payload =
+  (try Unix.clear_nonblock fd with Unix.Unix_error _ -> ());
+  (try Unix.setsockopt_float fd Unix.SO_SNDTIMEO 5.0 with Unix.Unix_error _ -> ());
+  let b = Bytes.of_string payload in
+  match
+    let off = ref 0 in
+    while !off < Bytes.length b do
+      let n = Unix.write fd b !off (Bytes.length b - !off) in
+      if n = 0 then raise Exit;
+      off := !off + n
+    done
+  with
+  | () -> true
+  | exception (Unix.Unix_error _ | Exit) ->
+      Obs.Metrics.inc t.metrics "serve_conn_errors_total";
+      false
+
+let close_fd fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+let remove_conn t conn =
+  t.conns <- List.filter (fun c -> c != conn) t.conns;
+  close_fd conn.fd
+
+let reply_frame t conn frame =
+  ignore (write_all t conn.fd (Wire.result_to_line frame ^ "\n"));
+  remove_conn t conn
+
+(* Final reply for a session connection: zero its gauges (so a closed
+   session doesn't show stale queue depths in [stats]) and account the
+   terminal status before the frame goes out. *)
+let reply_session t conn session frame =
+  List.iter
+    (fun g -> Obs.Metrics.set t.metrics ~labels:(session_label session) g 0.0)
+    [ "serve_queue_depth"; "serve_live_bytes"; "serve_events_per_sec" ];
+  Obs.Metrics.inc t.metrics
+    ~labels:[ ("status", Status.name (Session.status session)) ]
+    "serve_sessions_closed_total";
+  reply_frame t conn frame
+
+(* {2 Session termination paths} *)
+
+(* Stop ingesting and drive the session toward its final report:
+   optionally drop undelivered events, make sure the detector sees an
+   end-of-trace, then let the Finishing flusher hand the rest over. *)
+let begin_finish conn session slot ~drop =
+  if drop then Session.drop_pending session;
+  Session.ensure_end session;
+  Session.set_phase session Session.Draining;
+  conn.kind <- Finishing (session, slot)
+
+let session_result_frame session (report : Bug.report option) =
+  let events = match report with Some r -> r.Bug.events_processed | None -> Session.events_delivered session in
+  Wire.result_frame ~events ~skipped:(Session.skipped session) ~synthesized_end:(Session.synthesized_end session)
+    ?error:(Session.error session) ?report (Session.status session)
+
+(* {2 Hello handling} *)
+
+let stats_json t = Obs.Json.to_string ~indent:false (Obs.Metrics.to_json t.metrics)
+
+let protocol_error t conn msg =
+  Obs.Metrics.inc t.metrics "serve_protocol_errors_total";
+  reply_frame t conn (Wire.result_frame ~error:msg Status.Protocol_error)
+
+let handle_hello_line t conn line =
+  match Wire.parse_hello line with
+  | Error msg -> protocol_error t conn msg
+  | Ok Wire.Stats ->
+      ignore (write_all t conn.fd (stats_json t ^ "\n"));
+      remove_conn t conn
+  | Ok Wire.Stop ->
+      ignore (write_all t conn.fd (Wire.result_to_line (Wire.result_frame Status.Ok) ^ "\n"));
+      remove_conn t conn;
+      t.stopping <- true
+  | Ok (Wire.Session { name; lenient }) ->
+      if t.stopping then protocol_error t conn "daemon is shutting down"
+      else if List.length t.conns > t.cfg.max_sessions then protocol_error t conn "session limit reached"
+      else begin
+        let id = t.next_id in
+        t.next_id <- id + 1;
+        let session = Session.create ~id ~name ~lenient ~now:(now ()) in
+        let slot = Pool.open_session t.pool ~id in
+        Obs.Metrics.inc t.metrics "serve_sessions_opened_total";
+        conn.kind <- Streaming (session, slot)
+      end
+
+(* {2 Reading} *)
+
+let read_buf = Bytes.create 65536
+
+(* Strict parse failure: the session is quarantined — structured error
+   to this client, every other session untouched. Events parsed before
+   the bad line still reach the detector (matching what a strict file
+   replay has already fed its sink when it stops). *)
+let quarantine_trace t conn session slot msg =
+  Obs.Metrics.inc t.metrics ~labels:[ ("reason", "trace") ] "serve_quarantines_total";
+  Session.terminate session Status.Trace_error (Some msg);
+  begin_finish conn session slot ~drop:false
+
+let feed_session t conn session slot bytes_read =
+  Obs.Metrics.inc t.metrics ~by:bytes_read "serve_bytes_read_total";
+  let t0 = now () in
+  let r = Session.feed session ~now:t0 read_buf ~off:0 ~len:bytes_read in
+  Obs.Metrics.observe t.metrics "serve_ingest_seconds" (now () -. t0);
+  match r with Ok () -> () | Error msg -> quarantine_trace t conn session slot msg
+
+let handle_readable t conn =
+  match conn.kind with
+  | Hello buf -> (
+      match Unix.read conn.fd read_buf 0 (Bytes.length read_buf) with
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ()
+      | exception Unix.Unix_error _ -> remove_conn t conn
+      | 0 -> (
+          (* EOF mid-hello. An unterminated hello line still gets a
+             structured reply (a session so opened is empty and finishes
+             immediately); a silent client just goes away. *)
+          let s = Buffer.contents buf in
+          if s = "" then remove_conn t conn
+          else begin
+            conn.eof <- true;
+            handle_hello_line t conn s;
+            match conn.kind with
+            | Streaming (session, slot) -> begin_finish conn session slot ~drop:false
+            | _ -> ()
+          end)
+      | n -> (
+          Buffer.add_subbytes buf read_buf 0 n;
+          let s = Buffer.contents buf in
+          match String.index_opt s '\n' with
+          | None ->
+              if Buffer.length buf > 512 then protocol_error t conn "hello line too long"
+          | Some i ->
+              let line = String.sub s 0 i in
+              let rest = String.sub s (i + 1) (String.length s - i - 1) in
+              handle_hello_line t conn line;
+              (* Bytes pipelined behind the hello belong to the session. *)
+              (match conn.kind with
+              | Streaming (session, slot) when rest <> "" -> (
+                  let b = Bytes.of_string rest in
+                  Obs.Metrics.inc t.metrics ~by:(Bytes.length b) "serve_bytes_read_total";
+                  match Session.feed session ~now:(now ()) b ~off:0 ~len:(Bytes.length b) with
+                  | Ok () -> ()
+                  | Error msg -> quarantine_trace t conn session slot msg)
+              | _ -> ())))
+  | Streaming (session, slot) -> (
+      match Unix.read conn.fd read_buf 0 (Bytes.length read_buf) with
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ()
+      | exception Unix.Unix_error _ ->
+          Obs.Metrics.inc t.metrics "serve_conn_errors_total";
+          conn.eof <- true;
+          begin_finish conn session slot ~drop:false
+      | 0 -> (
+          conn.eof <- true;
+          match Session.flush_partial session with
+          | Ok () -> begin_finish conn session slot ~drop:false
+          | Error msg -> quarantine_trace t conn session slot msg)
+      | n -> feed_session t conn session slot n)
+  | Finishing _ | Awaiting _ ->
+      (* The reply is pending; ingest is over. Drain and discard
+         whatever else the client sends so its writes never block. *)
+      (match Unix.read conn.fd read_buf 0 (Bytes.length read_buf) with
+      | exception Unix.Unix_error _ -> ()
+      | 0 -> conn.eof <- true
+      | _ -> ())
+
+(* {2 Per-tick housekeeping} *)
+
+(* Hand pending events to the session's worker, non-blocking: peek,
+   offer, pop only on success. Returns [false] when the worker is dead
+   (the connection has been replied to and removed). *)
+let flush_pending t conn session slot =
+  ignore slot;
+  try
+    let continue = ref true in
+    while !continue do
+      match Session.peek_pending session with
+      | None -> continue := false
+      | Some ev ->
+          if Pool.try_submit t.pool ~id:(Session.id session) ev then begin
+            ignore (Session.pop_pending session);
+            Obs.Metrics.inc t.metrics "serve_events_total"
+          end
+          else begin
+            if not conn.stalled then begin
+              conn.stalled <- true;
+              Obs.Metrics.inc t.metrics "serve_backpressure_stalls_total"
+            end;
+            continue := false
+          end
+    done;
+    true
+  with Spsc.Closed ->
+    (* The worker died; no report will ever arrive. *)
+    Session.terminate session Status.Detector_error (Some "worker domain died");
+    reply_session t conn session (session_result_frame session None);
+    false
+
+let update_gauges t conn session =
+  let n = now () in
+  if n -. conn.last_mark >= 0.5 then begin
+    let delivered = Session.events_delivered session in
+    let rate = float_of_int (delivered - conn.last_events) /. (n -. conn.last_mark) in
+    Obs.Metrics.set t.metrics ~labels:(session_label session) "serve_events_per_sec" rate;
+    conn.last_events <- delivered;
+    conn.last_mark <- n
+  end;
+  Obs.Metrics.set t.metrics ~labels:(session_label session)
+    "serve_queue_depth"
+    (float_of_int (Session.pending_events session + Pool.queue_length t.pool ~id:(Session.id session)));
+  Obs.Metrics.set t.metrics ~labels:(session_label session) "serve_live_bytes"
+    (float_of_int (Session.live_bytes session))
+
+let tick_conn t conn =
+  match conn.kind with
+  | Hello _ -> ()
+  | Streaming (session, slot) ->
+      conn.stalled <- false;
+      (* Detector quarantine surfaces between events. *)
+      (match Pool.failed slot with
+      | Some msg ->
+          Obs.Metrics.inc t.metrics ~labels:[ ("reason", "detector") ] "serve_quarantines_total";
+          Session.terminate session Status.Detector_error (Some msg);
+          begin_finish conn session slot ~drop:true
+      | None ->
+          (* Budget: partial line + undelivered events. *)
+          if Session.live_bytes session > t.cfg.session_budget then begin
+            Obs.Metrics.inc t.metrics "serve_evictions_total";
+            Session.terminate session Status.Evicted
+              (Some
+                 (Printf.sprintf "session budget exceeded (%d bytes held > %d budget)"
+                    (Session.live_bytes session) t.cfg.session_budget));
+            begin_finish conn session slot ~drop:true
+          end
+          else if
+            (not conn.eof)
+            && t.cfg.idle_timeout > 0.0
+            && now () -. Session.last_activity session > t.cfg.idle_timeout
+          then begin
+            Obs.Metrics.inc t.metrics "serve_timeouts_total";
+            Session.terminate session Status.Timeout
+              (Some (Printf.sprintf "idle for more than %.1fs" t.cfg.idle_timeout));
+            begin_finish conn session slot ~drop:false
+          end
+          else if flush_pending t conn session slot then update_gauges t conn session)
+  | Finishing (session, slot) ->
+      if flush_pending t conn session slot && Session.pending_events session = 0 then (
+        match Pool.finish_session t.pool ~id:(Session.id session) with
+        | () ->
+            Session.set_phase session Session.Awaiting;
+            conn.kind <- Awaiting (session, slot)
+        | exception Spsc.Closed ->
+            Session.terminate session Status.Detector_error (Some "worker domain died");
+            reply_session t conn session (session_result_frame session None))
+  | Awaiting (session, slot) -> (
+      match Pool.result slot with
+      | None -> ()
+      | Some report ->
+          (* A quarantine recorded by the worker engine overrides a clean
+             session status: the client must learn the detector failed. *)
+          (if Session.status session = Status.Ok then
+             match report.Bug.failure with
+             | Some msg ->
+                 Obs.Metrics.inc t.metrics ~labels:[ ("reason", "detector") ] "serve_quarantines_total";
+                 Session.terminate session Status.Detector_error (Some msg)
+             | None -> ());
+          Session.set_phase session Session.Replied;
+          reply_session t conn session (session_result_frame session (Some report)))
+
+(* {2 Accept} *)
+
+let accept_loop t =
+  let rec go () =
+    match Unix.accept t.listener with
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ()
+    | exception Unix.Unix_error _ -> ()
+    | fd, _ ->
+        Unix.set_nonblock fd;
+        let n = now () in
+        t.conns <-
+          { fd; kind = Hello (Buffer.create 64); eof = false; stalled = false; last_events = 0; last_mark = n }
+          :: t.conns;
+        go ()
+  in
+  go ()
+
+(* {2 The main loop} *)
+
+let wants_read t conn =
+  match conn.kind with
+  | Hello _ -> true
+  | Streaming (session, _) ->
+      (* Throttle a session outrunning its worker: stop reading its fd,
+         so the kernel socket buffer fills and the client's writes
+         block — flow control for free. *)
+      (not conn.eof) && Session.pending_events session < t.cfg.pending_watermark
+  | Finishing _ | Awaiting _ -> not conn.eof
+
+let begin_shutdown t =
+  List.iter
+    (fun conn ->
+      match conn.kind with
+      | Hello _ -> protocol_error t conn "daemon is shutting down"
+      | Streaming (session, slot) ->
+          Session.terminate session Status.Shutdown (Some "daemon is shutting down");
+          begin_finish conn session slot ~drop:false
+      | Finishing _ | Awaiting _ -> ())
+    t.conns
+
+let run t =
+  t.running <- true;
+  Fun.protect
+    ~finally:(fun () ->
+      t.running <- false;
+      List.iter (fun c -> close_fd c.fd) t.conns;
+      t.conns <- [];
+      Pool.stop t.pool;
+      close_fd t.listener;
+      close_fd t.stop_r;
+      close_fd t.stop_w;
+      try Unix.unlink t.cfg.socket_path with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  let drain_stop_pipe () =
+    let b = Bytes.create 16 in
+    let rec go () = match Unix.read t.stop_r b 0 16 with 16 -> go () | _ -> () | exception Unix.Unix_error _ -> () in
+    go ()
+  in
+  let shutdown_started = ref false in
+  let continue = ref true in
+  while !continue do
+    let read_fds =
+      t.stop_r
+      :: (if t.stopping then [] else [ t.listener ])
+      @ List.filter_map (fun c -> if wants_read t c then Some c.fd else None) t.conns
+    in
+    let readable, _, _ =
+      match Unix.select read_fds [] [] t.cfg.tick with
+      | r -> r
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+      | exception Unix.Unix_error (Unix.EBADF, _, _) -> ([], [], [])
+    in
+    if List.mem t.stop_r readable then begin
+      drain_stop_pipe ();
+      t.stopping <- true
+    end;
+    if (not t.stopping) && List.mem t.listener readable then accept_loop t;
+    List.iter
+      (fun conn ->
+        if List.mem conn.fd readable then
+          try handle_readable t conn
+          with exn ->
+            (* One connection's failure never takes the daemon down. *)
+            Obs.Metrics.inc t.metrics "serve_conn_errors_total";
+            ignore exn;
+            remove_conn t conn)
+      t.conns;
+    if t.stopping && not !shutdown_started then begin
+      shutdown_started := true;
+      begin_shutdown t
+    end;
+    List.iter
+      (fun conn ->
+        try tick_conn t conn
+        with exn ->
+          Obs.Metrics.inc t.metrics "serve_conn_errors_total";
+          ignore exn;
+          remove_conn t conn)
+      t.conns;
+    Obs.Metrics.set t.metrics "serve_sessions_active" (float_of_int (List.length t.conns));
+    if t.stopping && t.conns = [] then continue := false
+  done

@@ -1,0 +1,65 @@
+(** The [pmdb serve] daemon: a fault-tolerant multi-session detection
+    server on a Unix-domain socket.
+
+    One dispatch domain owns all I/O: a [select] loop accepts
+    connections, reads hello lines and event streams, and feeds parsed
+    events to a sticky {!Pool} of worker domains (session [id] always
+    lands on worker [id mod workers], so detector state never crosses
+    domains). Robustness is layered as a backpressure ladder:
+
+    + the worker's bounded SPSC queue — full means the dispatch domain
+      stops submitting (non-blocking [try_submit]) and parks events in
+      the session's pending queue;
+    + the pending queue crossing [pending_watermark] — the daemon stops
+      [select]ing that client's fd, so the kernel socket buffer fills
+      and the client's writes block (flow control without a protocol);
+    + the session's {!Session.live_bytes} crossing [session_budget] —
+      the session is evicted: undelivered events are dropped, a
+      synthesized [program_end] runs the end-of-trace rules over what
+      {e was} delivered, and the client gets a partial report with
+      status [evicted].
+
+    Sessions idle past [idle_timeout] are reaped the same way (status
+    [timeout], nothing dropped). A malformed line (strict sessions) or
+    a detector exception quarantines only that session — the client
+    gets a structured error frame, every other session is untouched.
+    Shutdown (SIGTERM/SIGINT via {!install_signal_handlers}, a [stop]
+    hello, or {!request_stop}) drains every live session through its
+    engine's [finish_all] before the process exits. *)
+
+type config = {
+  socket_path : string;
+  workers : int;  (** worker domains (default 2) *)
+  queue_capacity : int;  (** per-worker SPSC slots (default 1024) *)
+  session_budget : int;  (** bytes a session may hold in the daemon (default 8 MiB) *)
+  idle_timeout : float;  (** seconds; [<= 0.] disables reaping (default 30) *)
+  max_sessions : int;  (** connection cap (default 64) *)
+  pending_watermark : int;  (** parked events before fd throttling (default 4096) *)
+  tick : float;  (** select timeout, the housekeeping cadence (default 20 ms) *)
+}
+
+val default_config : socket:string -> config
+
+type t
+
+val create :
+  ?metrics:Obs.Metrics.t ->
+  ?domains:bool (** default true; [false] runs workers inline, for tests *) ->
+  make_sink:(unit -> Pmtrace.Sink.t) ->
+  config ->
+  t
+(** Binds and listens on [socket_path] (a stale socket file left by a
+    dead daemon is detected and replaced; a live daemon on the path is
+    an error). [make_sink] runs once per session on the worker domain
+    and must build a fresh, unshared sink with disabled metrics. *)
+
+val run : t -> unit
+(** Serve until stopped; drains sessions, stops workers, closes and
+    unlinks the socket before returning (also on exception). *)
+
+val request_stop : t -> unit
+(** Trigger graceful shutdown from a signal handler or another domain
+    (self-pipe; safe to call repeatedly). *)
+
+val install_signal_handlers : t -> unit
+(** Route SIGTERM and SIGINT to {!request_stop}. *)

@@ -1,0 +1,121 @@
+open Pmtrace
+
+type slot = { failed : string option Atomic.t; result : Bug.report option Atomic.t }
+
+let failed slot = Atomic.get slot.failed
+
+let result slot = Atomic.get slot.result
+
+type msg = Open of int * slot | Ev of int * Event.t | Finish of int | Stop
+
+type t = {
+  workers : int;
+  queues : msg Spsc.t array;
+  mutable domains : unit Domain.t array; (* empty in inline mode *)
+  use_domains : bool;
+  make_sink : unit -> Sink.t;
+  inline_sessions : (int, Engine.t * slot) Hashtbl.t array; (* one per worker, inline mode only *)
+}
+
+(* One message step. Runs on the worker domain (or inline on the
+   caller's): every detector exception funnels through the engine's
+   quarantine — the session's report then carries the failure, exactly
+   as an offline replay through an engine would. *)
+let handle make_sink sessions msg =
+  match msg with
+  | Open (id, slot) ->
+      let engine = Engine.create () in
+      (match make_sink () with
+      | sink -> Engine.attach engine sink
+      | exception exn ->
+          Atomic.set slot.failed (Some (Printf.sprintf "sink creation raised: %s" (Printexc.to_string exn))));
+      Hashtbl.replace sessions id (engine, slot)
+  | Ev (id, ev) -> (
+      match Hashtbl.find_opt sessions id with
+      | None -> ()
+      | Some (engine, slot) ->
+          Engine.emit engine ev;
+          if Atomic.get slot.failed = None then (
+            match Engine.quarantined engine with
+            | (_, msg) :: _ -> Atomic.set slot.failed (Some msg)
+            | [] -> ()))
+  | Finish id -> (
+      match Hashtbl.find_opt sessions id with
+      | None -> ()
+      | Some (engine, slot) ->
+          Hashtbl.remove sessions id;
+          let report =
+            match Engine.finish_all engine with
+            | r :: _ -> r
+            | [] -> Bug.empty_report "serve"
+            | exception exn -> { (Bug.empty_report "serve") with Bug.failure = Some (Printexc.to_string exn) }
+          in
+          Atomic.set slot.result (Some report))
+  | Stop -> ()
+
+let worker_loop make_sink q =
+  (* Closing the queue on exit poisons it: a router push after worker
+     death raises [Spsc.Closed] instead of blocking forever. *)
+  Fun.protect ~finally:(fun () -> Spsc.close q) @@ fun () ->
+  let sessions = Hashtbl.create 16 in
+  let rec go () =
+    match Spsc.pop q with
+    | Stop -> ()
+    | msg ->
+        handle make_sink sessions msg;
+        go ()
+    | exception Spsc.Closed -> ()
+  in
+  go ()
+
+let create ?(domains = true) ~workers ~queue_capacity make_sink =
+  if workers < 1 then invalid_arg "Pool.create: workers must be >= 1";
+  let queues = Array.init workers (fun _ -> Spsc.create ~capacity:queue_capacity) in
+  let t =
+    {
+      workers;
+      queues;
+      domains = [||];
+      use_domains = domains;
+      make_sink;
+      inline_sessions = Array.init workers (fun _ -> Hashtbl.create 16);
+    }
+  in
+  if domains then
+    t.domains <- Array.init workers (fun i -> Domain.spawn (fun () -> worker_loop make_sink queues.(i)));
+  t
+
+let workers t = t.workers
+
+let worker_of t id = id mod t.workers
+
+let send t id msg =
+  if t.use_domains then Spsc.push t.queues.(worker_of t id) msg
+  else handle t.make_sink t.inline_sessions.(worker_of t id) msg
+
+let try_send t id msg =
+  if t.use_domains then Spsc.try_push t.queues.(worker_of t id) msg
+  else begin
+    handle t.make_sink t.inline_sessions.(worker_of t id) msg;
+    true
+  end
+
+let open_session t ~id =
+  let slot = { failed = Atomic.make None; result = Atomic.make None } in
+  send t id (Open (id, slot));
+  slot
+
+let submit t ~id ev = send t id (Ev (id, ev))
+
+let try_submit t ~id ev = try_send t id (Ev (id, ev))
+
+let finish_session t ~id = send t id (Finish id)
+
+let queue_length t ~id = if t.use_domains then Spsc.length t.queues.(worker_of t id) else 0
+
+let stop t =
+  if t.use_domains then begin
+    Array.iter (fun q -> try Spsc.push q Stop with Spsc.Closed -> ()) t.queues;
+    Array.iter Domain.join t.domains;
+    t.domains <- [||]
+  end

@@ -1,0 +1,69 @@
+(** Bounded worker pool multiplexing per-session detectors over OCaml
+    Domains.
+
+    Sessions are sticky: session [id] always runs on worker
+    [id mod workers], so detector state never crosses domains. The
+    daemon's single dispatch domain is the one producer of every
+    worker's SPSC queue; each worker hosts its sessions' engines
+    (one {!Pmtrace.Engine.t} + sink per session, created on the worker
+    at [open_session]) and publishes results through the session's
+    {!slot} — a pair of atomics the dispatch domain polls.
+
+    Fault containment: a detector exception is caught by the session's
+    engine (sink quarantine) and surfaces in [failed]; finishing the
+    session still yields a partial report with the failure recorded.
+    Sibling sessions on the same worker are untouched. A worker domain
+    that somehow dies closes its queue, so submissions raise
+    {!Pmtrace.Spsc.Closed} rather than wedging the daemon.
+
+    [~domains:false] runs every worker inline on the caller's domain —
+    identical logic, deterministic scheduling — for unit and fuzz
+    tests. *)
+
+open Pmtrace
+
+type t
+
+type slot
+(** Cross-domain result cell for one session. *)
+
+val failed : slot -> string option
+(** Set as soon as the session's detector raised (the engine
+    quarantined it); the daemon polls this to fail fast instead of
+    streaming the rest of the trace into a dead detector. *)
+
+val result : slot -> Bug.report option
+(** Set when the worker has finished the session (after
+    [finish_session]); the report's [failure] field carries any
+    quarantine. *)
+
+val create : ?domains:bool (** default true *) -> workers:int -> queue_capacity:int -> (unit -> Sink.t) -> t
+(** [make_sink] is called once per session {e on the worker domain};
+    it must build a fresh, unshared sink (with disabled metrics — the
+    registry is not thread-safe). *)
+
+val workers : t -> int
+
+val worker_of : t -> int -> int
+
+val open_session : t -> id:int -> slot
+(** Blocking (the Open message must land). *)
+
+val submit : t -> id:int -> Event.t -> unit
+(** Blocking while the worker's queue is full; raises
+    {!Pmtrace.Spsc.Closed} if the worker died. *)
+
+val try_submit : t -> id:int -> Event.t -> bool
+(** [false] when the worker's queue is full — the backpressure signal;
+    never blocks. *)
+
+val finish_session : t -> id:int -> unit
+(** Ask the worker to finish the session's engine ({!Pmtrace.Engine.finish_all})
+    and publish the report into the slot. Blocking push. *)
+
+val queue_length : t -> id:int -> int
+(** Occupancy of the worker queue serving [id] (0 inline). *)
+
+val stop : t -> unit
+(** Stop and join every worker. Sessions not yet finished are dropped
+    without a report — finish them first for a graceful drain. *)

@@ -1,0 +1,34 @@
+type t =
+  | Ok
+  | Trace_error
+  | Detector_error
+  | Evicted
+  | Timeout
+  | Shutdown
+  | Protocol_error
+
+let all = [ Ok; Trace_error; Detector_error; Evicted; Timeout; Shutdown; Protocol_error ]
+
+let name = function
+  | Ok -> "ok"
+  | Trace_error -> "trace-error"
+  | Detector_error -> "detector-error"
+  | Evicted -> "evicted"
+  | Timeout -> "timeout"
+  | Shutdown -> "shutdown"
+  | Protocol_error -> "protocol-error"
+
+let of_name s = List.find_opt (fun t -> name t = s) all
+
+(* The one exit-code table both `pmdb replay` and daemon sessions use
+   (see DESIGN.md "Serving"): 0 clean report, 2 the trace itself is bad,
+   3 the detector failed, 4-6 the daemon ended the session early. *)
+let exit_code = function
+  | Ok -> 0
+  | Trace_error | Protocol_error -> 2
+  | Detector_error -> 3
+  | Evicted -> 4
+  | Timeout -> 5
+  | Shutdown -> 6
+
+let pp fmt t = Format.pp_print_string fmt (name t)

@@ -1,0 +1,40 @@
+(** Session outcome vocabulary shared by the daemon, its clients and
+    the offline [pmdb replay] path, so "what went wrong" maps to the
+    same name and exit code whether a trace was checked offline or
+    streamed into a running daemon.
+
+    Exit-code convention (documented in DESIGN.md "Serving"; the tests
+    pin it):
+
+    - [Ok] → 0: a report was produced (findings do not affect the code).
+    - [Trace_error] / [Protocol_error] → 2: the input was bad — a
+      malformed trace line in strict mode, an I/O failure, or a client
+      that never spoke the hello protocol.
+    - [Detector_error] → 3: the detector raised and was quarantined;
+      the report covers the prefix processed before the failure.
+    - [Evicted] → 4: the session exceeded its memory budget and was
+      evicted with a partial report.
+    - [Timeout] → 5: the client went idle past the ingest timeout and
+      was reaped with a partial report.
+    - [Shutdown] → 6: the daemon was asked to stop while the session
+      was still streaming; the partial report covers what arrived. *)
+
+type t =
+  | Ok
+  | Trace_error
+  | Detector_error
+  | Evicted
+  | Timeout
+  | Shutdown
+  | Protocol_error
+
+val all : t list
+
+val name : t -> string
+(** Stable wire name, e.g. ["trace-error"]. *)
+
+val of_name : string -> t option
+
+val exit_code : t -> int
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,73 @@
+(** The daemon's wire protocol.
+
+    A connection opens with one newline-terminated hello line:
+
+    {v
+      pmdb-serve/1 session <name> [strict|lenient]   event-stream session
+      pmdb-serve/1 stats                             metrics snapshot, then close
+      pmdb-serve/1 stop                              graceful daemon shutdown
+    v}
+
+    A session then streams newline-framed events in the {!Trace_io}
+    line format and half-closes (shutdown of its write side); the
+    daemon answers with exactly one {!result_frame} rendered as a
+    single JSON line (schema [pmdb-serve/v1]) and closes. [stats]
+    connections receive one [pmdb-metrics/v1] JSON document. Any
+    malformed hello gets a [protocol-error] result frame.
+
+    The report embedded in a result frame round-trips every field of
+    {!Pmtrace.Bug.report} (findings, causal chains, failure), so a
+    client can render it byte-identically to an offline replay. *)
+
+open Pmtrace
+
+val protocol : string
+(** The hello-line magic, ["pmdb-serve/1"]. *)
+
+val schema : string
+(** Result-frame schema, ["pmdb-serve/v1"]. *)
+
+type hello = Session of { name : string; lenient : bool } | Stats | Stop
+
+val hello_line : hello -> string
+(** Without the trailing newline. *)
+
+val parse_hello : string -> (hello, string) result
+
+val name_ok : string -> bool
+(** Session names: 1-64 chars of [A-Za-z0-9_.-]. *)
+
+val bug_to_json : Bug.t -> Obs.Json.t
+
+val bug_of_json : Obs.Json.t -> (Bug.t, string) result
+
+val report_to_json : Bug.report -> Obs.Json.t
+
+val report_of_json : Obs.Json.t -> (Bug.report, string) result
+
+type result_frame = {
+  status : Status.t;
+  events : int;  (** events the session delivered to the detector *)
+  skipped : int;  (** malformed lines skipped (lenient sessions) *)
+  synthesized_end : bool;  (** a [program_end] was appended at EOF *)
+  error : string option;  (** e.g. ["line 3: bad event"] for trace errors *)
+  report : Bug.report option;  (** absent only for protocol errors *)
+}
+
+val result_frame :
+  ?events:int ->
+  ?skipped:int ->
+  ?synthesized_end:bool ->
+  ?error:string ->
+  ?report:Bug.report ->
+  Status.t ->
+  result_frame
+
+val result_to_json : result_frame -> Obs.Json.t
+
+val result_of_json : Obs.Json.t -> (result_frame, string) result
+
+val result_to_line : result_frame -> string
+(** Single-line JSON, no trailing newline. *)
+
+val result_of_line : string -> (result_frame, string) result

@@ -57,10 +57,12 @@ let refresh_active t =
   t.active <- Array.of_list (List.filter (fun s -> s.failure = None) (slots_in_order t));
   t.active_dirty <- false
 
-let quarantine t slot exn =
-  slot.failure <- Some (Printexc.to_string exn);
+let quarantine_msg t slot msg =
+  slot.failure <- Some msg;
   Obs.Metrics.inc t.metrics ~labels:[ ("sink", slot.sink.Sink.name) ] "engine_sinks_quarantined_total";
   t.active_dirty <- true
+
+let quarantine t slot exn = quarantine_msg t slot (Printexc.to_string exn)
 
 let quarantined t =
   List.filter_map
@@ -108,21 +110,23 @@ let dispatch t ev =
     end
   end
 
-let finish_slot slot =
+(* A sink whose [finish] raises is quarantined exactly like one whose
+   [on_event] raises — failure recorded, metric bumped, dispatch cache
+   invalidated — and yields an empty report, so one bad sink can never
+   abort the drain of its siblings. A sink already quarantined mid-run
+   keeps its original failure message. *)
+let finish_slot t slot =
   let base =
     match slot.sink.Sink.finish () with
     | report -> report
     | exception exn ->
-        slot.failure <-
-          Some
-            (match slot.failure with
-            | None -> Printf.sprintf "finish raised: %s" (Printexc.to_string exn)
-            | Some prior -> prior);
+        if slot.failure = None then
+          quarantine_msg t slot (Printf.sprintf "finish raised: %s" (Printexc.to_string exn));
         { (Bug.empty_report slot.sink.Sink.name) with Bug.events_processed = slot.events_seen }
   in
   match slot.failure with None -> base | Some msg -> { base with Bug.failure = Some msg }
 
-let finish_all t = List.map finish_slot (slots_in_order t)
+let finish_all t = List.map (finish_slot t) (slots_in_order t)
 
 let emit = dispatch
 

@@ -75,7 +75,12 @@ type t = {
 
 let shard_label i = [ ("shard", string_of_int i) ]
 
+(* The queue is closed on every exit path: if a worker domain ever dies
+   (it should not — detector exceptions are caught below), the router's
+   next push raises [Spsc.Closed] instead of blocking forever on a
+   consumer that is gone; the engine then quarantines the router sink. *)
 let worker_loop w q processed =
+  Fun.protect ~finally:(fun () -> Spsc.close q) @@ fun () ->
   let failure = ref None in
   let rec go () =
     match Spsc.pop q with

@@ -10,17 +10,28 @@
    the steady-state cost is two plain array accesses and one atomic
    store per element.
 
-   Blocking uses an adaptive backoff: a bounded [cpu_relax] spin first,
-   then short sleeps. The sleep tier matters on machines with fewer
-   cores than domains (including single-core CI hosts), where a pure
-   spin would steal the timeslice the opposite side needs to make
-   progress. *)
+   Blocking uses bounded exponential backoff: a short [cpu_relax] spin
+   first, then sleeps whose duration doubles per retry up to a 1ms cap.
+   The sleep tier matters on machines with fewer cores than domains
+   (including single-core CI hosts), where a pure spin would steal the
+   timeslice the opposite side needs to make progress; the exponential
+   growth keeps a long stall from burning a core at the minimum sleep
+   quantum while still reacting within microseconds to a short one.
+
+   Either side may [close] the queue. A closed queue never wedges the
+   other side: a producer blocked in [push] (or arriving later) gets
+   [Closed] instead of spinning forever on a dead consumer, and a
+   consumer's [pop] drains whatever was already published, then raises
+   [Closed] instead of waiting for a producer that is gone. *)
+
+exception Closed
 
 type 'a t = {
   buf : 'a option array;
   mask : int;
   head : int Atomic.t; (* next index to pop; written by the consumer only *)
   tail : int Atomic.t; (* next index to fill; written by the producer only *)
+  closed : bool Atomic.t; (* set by either side, never cleared *)
   mutable cached_head : int; (* producer's view of [head] *)
   mutable cached_tail : int; (* consumer's view of [tail] *)
 }
@@ -35,6 +46,7 @@ let create ~capacity =
     mask = n - 1;
     head = Atomic.make 0;
     tail = Atomic.make 0;
+    closed = Atomic.make false;
     cached_head = 0;
     cached_tail = 0;
   }
@@ -43,21 +55,43 @@ let capacity t = t.mask + 1
 
 let length t = max 0 (Atomic.get t.tail - Atomic.get t.head)
 
-let spin_limit = 64
+let close t = Atomic.set t.closed true
+
+let is_closed t = Atomic.get t.closed
+
+let spin_limit = 32
+
+let max_sleep = 0.001
 
 let backoff n =
   if n < spin_limit then Domain.cpu_relax ()
-  else
-    (* Yield the core: on an oversubscribed machine the opposite side
-       cannot run until we sleep. *)
-    Unix.sleepf 0.000_05
+  else begin
+    (* Exponential sleep: 1µs, 2µs, 4µs, ... capped at [max_sleep].
+       On an oversubscribed machine the opposite side cannot run until
+       we yield the core. *)
+    let k = min (n - spin_limit) 20 in
+    Unix.sleepf (min max_sleep (1e-6 *. float_of_int (1 lsl k)))
+  end
+
+let try_push t v =
+  if Atomic.get t.closed then raise Closed;
+  let tail = Atomic.get t.tail in
+  if tail - t.cached_head >= capacity t then t.cached_head <- Atomic.get t.head;
+  if tail - t.cached_head >= capacity t then false
+  else begin
+    t.buf.(tail land t.mask) <- Some v;
+    Atomic.set t.tail (tail + 1);
+    true
+  end
 
 let push t v =
+  if Atomic.get t.closed then raise Closed;
   let tail = Atomic.get t.tail in
   if tail - t.cached_head >= capacity t then begin
     let n = ref 0 in
     t.cached_head <- Atomic.get t.head;
     while tail - t.cached_head >= capacity t do
+      if Atomic.get t.closed then raise Closed;
       backoff !n;
       incr n;
       t.cached_head <- Atomic.get t.head
@@ -82,7 +116,14 @@ let pop t =
     match try_pop t with
     | Some v -> v
     | None ->
-        backoff n;
-        go (n + 1)
+        (* Re-check emptiness after observing [closed]: the producer may
+           have published elements before closing, and those must drain
+           before the consumer sees [Closed]. *)
+        if Atomic.get t.closed then (
+          match try_pop t with Some v -> v | None -> raise Closed)
+        else begin
+          backoff n;
+          go (n + 1)
+        end
   in
   go 0

@@ -1,15 +1,29 @@
 (** Bounded single-producer / single-consumer queue for the sharded
-    detection pipeline: the router domain pushes, one shard worker
-    domain pops. Exactly one domain may call {!push} and exactly one
-    may call {!pop}/{!try_pop} over the queue's lifetime.
+    detection pipeline and the serving daemon: one domain pushes, one
+    domain pops. Exactly one domain may call {!push}/{!try_push} and
+    exactly one may call {!pop}/{!try_pop} over the queue's lifetime.
 
     Elements are published with a release/acquire-strength protocol
     (sequentially consistent atomics on the indices), so everything the
     producer wrote before {!push} is visible to the consumer after the
     matching pop. Blocking operations use a spin-then-sleep backoff
-    that stays live even when domains outnumber cores. *)
+    whose sleep duration grows exponentially (1µs doubling up to 1ms),
+    staying live even when domains outnumber cores without burning a
+    core through a long stall.
+
+    Either side may {!close} the queue (poison): a producer blocked in
+    {!push} — or arriving later — raises {!Closed} instead of spinning
+    on a dead consumer, and {!pop} drains already-published elements
+    before raising {!Closed}. A consumer death can therefore never
+    wedge a producer, provided the consumer closes the queue on exit
+    (wrap the consumer loop in [Fun.protect ~finally:(fun () ->
+    Spsc.close q)]). *)
 
 type 'a t
+
+exception Closed
+(** Raised by {!push}/{!try_push} on a closed queue, and by {!pop} on a
+    closed {e and drained} queue. *)
 
 val create : capacity:int -> 'a t
 (** Capacity is rounded up to a power of two, minimum 2. *)
@@ -20,10 +34,22 @@ val length : 'a t -> int
 (** Approximate occupancy (racy but monotonic-consistent); feeds the
     queue-depth gauges. *)
 
+val close : 'a t -> unit
+(** Poison the queue. Idempotent; callable from either side (or a
+    third party). Elements already published remain poppable. *)
+
+val is_closed : 'a t -> bool
+
 val push : 'a t -> 'a -> unit
-(** Blocks (backoff) while full. *)
+(** Blocks (backoff) while full. Raises {!Closed} if the queue is — or
+    becomes, while blocked — closed. *)
+
+val try_push : 'a t -> 'a -> bool
+(** [false] when full, never blocks. Raises {!Closed} when closed. *)
 
 val pop : 'a t -> 'a
-(** Blocks (backoff) while empty. *)
+(** Blocks (backoff) while empty. Raises {!Closed} once the queue is
+    closed and drained. *)
 
 val try_pop : 'a t -> 'a option
+(** [None] when currently empty (closed or not); never raises. *)

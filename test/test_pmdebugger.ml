@@ -23,4 +23,5 @@ let () =
       ("provenance", Test_provenance.suite);
       ("shard", Test_shard.suite);
       ("faultinject", Test_faultinject.suite);
+      ("serve", Test_serve.suite);
     ]

@@ -1,0 +1,583 @@
+(* The serving daemon: Spsc close/poison semantics, Engine.finish_all
+   fault containment, the shared exit-code table, the wire protocol
+   (parse + QCheck round-trip), the socket-free session state machine,
+   the inline worker pool, the 8-client fault-tolerance gate over a
+   real Unix-domain socket, and a protocol fuzz through Client.raw. *)
+
+open Pmtrace
+module D = Pmdebugger.Detector
+
+let canon (r : Bug.report) =
+  Bug.render_canonical { r with Bug.bugs = List.sort Bug.compare_canonical r.Bug.bugs }
+
+(* ---------------------------------------------------------------- *)
+(* Spsc close / poison                                               *)
+(* ---------------------------------------------------------------- *)
+
+let test_spsc_close_poisons_producer () =
+  let q = Spsc.create ~capacity:2 in
+  Spsc.push q 1;
+  Spsc.push q 2;
+  Alcotest.(check bool) "try_push full" false (Spsc.try_push q 3);
+  Spsc.close q;
+  Alcotest.(check bool) "is_closed" true (Spsc.is_closed q);
+  Spsc.close q (* idempotent *);
+  Alcotest.(check bool) "push raises Closed" true
+    (match Spsc.push q 3 with exception Spsc.Closed -> true | () -> false);
+  Alcotest.(check bool) "try_push raises Closed" true
+    (match Spsc.try_push q 3 with exception Spsc.Closed -> true | _ -> false)
+
+let test_spsc_pop_drains_then_closed () =
+  let q = Spsc.create ~capacity:4 in
+  Spsc.push q 10;
+  Spsc.push q 11;
+  Spsc.close q;
+  Alcotest.(check int) "drain 1" 10 (Spsc.pop q);
+  Alcotest.(check int) "drain 2" 11 (Spsc.pop q);
+  Alcotest.(check bool) "try_pop on drained closed queue is None" true (Spsc.try_pop q = None);
+  Alcotest.(check bool) "pop raises Closed once drained" true
+    (match Spsc.pop q with exception Spsc.Closed -> true | _ -> false)
+
+(* A producer blocked on a full queue must be woken by close — a dead
+   consumer can never wedge the daemon's dispatch domain. *)
+let test_spsc_close_wakes_blocked_producer () =
+  let q = Spsc.create ~capacity:2 in
+  let producer =
+    Domain.spawn (fun () ->
+        match
+          for i = 0 to 4 do
+            Spsc.push q i
+          done
+        with
+        | () -> false
+        | exception Spsc.Closed -> true)
+  in
+  (* Let the producer fill the queue and block on the third push. *)
+  Unix.sleepf 0.05;
+  Spsc.close q;
+  Alcotest.(check bool) "blocked producer observed Closed" true (Domain.join producer);
+  Alcotest.(check int) "published elements survive" 0 (Spsc.pop q);
+  Alcotest.(check int) "published elements survive" 1 (Spsc.pop q)
+
+let test_spsc_close_wakes_blocked_consumer () =
+  let q : int Spsc.t = Spsc.create ~capacity:2 in
+  let consumer =
+    Domain.spawn (fun () -> match Spsc.pop q with exception Spsc.Closed -> true | _ -> false)
+  in
+  Unix.sleepf 0.05;
+  Spsc.close q;
+  Alcotest.(check bool) "blocked consumer observed Closed" true (Domain.join consumer)
+
+(* ---------------------------------------------------------------- *)
+(* Engine.finish_all survives a raising finish                       *)
+(* ---------------------------------------------------------------- *)
+
+let test_finish_all_survives_raising_finish () =
+  let metrics = Obs.Metrics.create () in
+  let e = Engine.create ~metrics () in
+  let ok name = Sink.make ~name ~on_event:(fun _ -> ()) ~finish:(fun () -> Bug.empty_report name) in
+  let bad = Sink.make ~name:"bad" ~on_event:(fun _ -> ()) ~finish:(fun () -> failwith "boom at finish") in
+  Engine.attach e (ok "left");
+  Engine.attach e bad;
+  Engine.attach e (ok "right");
+  Engine.register_pmem e ~base:0 ~size:4096;
+  Engine.program_end e;
+  let reports = Engine.finish_all e in
+  Alcotest.(check int) "one report per sink" 3 (List.length reports);
+  Alcotest.(check (list string)) "attach order preserved" [ "left"; "bad"; "right" ]
+    (List.map (fun r -> r.Bug.detector) reports);
+  let mid = List.nth reports 1 in
+  Alcotest.(check bool) "raising finish recorded as failure" true
+    (match mid.Bug.failure with Some msg -> String.length msg > 0 | None -> false);
+  Alcotest.(check bool) "siblings unharmed" true
+    ((List.nth reports 0).Bug.failure = None && (List.nth reports 2).Bug.failure = None);
+  Alcotest.(check int) "exactly one quarantine" 1 (List.length (Engine.quarantined e));
+  let snap = Obs.Metrics.snapshot metrics in
+  Alcotest.(check int) "quarantine counter" 1
+    (Obs.Metrics.counter_value snap ~labels:[ ("sink", "bad") ] "engine_sinks_quarantined_total")
+
+(* ---------------------------------------------------------------- *)
+(* Status: the shared exit-code table                                 *)
+(* ---------------------------------------------------------------- *)
+
+let test_status_exit_codes () =
+  let module S = Serve.Status in
+  List.iter
+    (fun (st, code) -> Alcotest.(check int) (S.name st) code (S.exit_code st))
+    [
+      (S.Ok, 0);
+      (S.Trace_error, 2);
+      (S.Protocol_error, 2);
+      (S.Detector_error, 3);
+      (S.Evicted, 4);
+      (S.Timeout, 5);
+      (S.Shutdown, 6);
+    ];
+  List.iter
+    (fun st ->
+      Alcotest.(check bool) ("of_name round-trip " ^ S.name st) true (S.of_name (S.name st) = Some st))
+    S.all;
+  Alcotest.(check bool) "unknown name" true (S.of_name "nope" = None)
+
+(* ---------------------------------------------------------------- *)
+(* Wire protocol                                                     *)
+(* ---------------------------------------------------------------- *)
+
+let test_wire_parse_hello () =
+  let module W = Serve.Wire in
+  (match W.parse_hello "pmdb-serve/1 session tx.log-01" with
+  | Ok (W.Session { name; lenient }) ->
+      Alcotest.(check string) "name" "tx.log-01" name;
+      Alcotest.(check bool) "strict by default" false lenient
+  | _ -> Alcotest.fail "session hello rejected");
+  (match W.parse_hello "pmdb-serve/1 session s lenient" with
+  | Ok (W.Session { lenient; _ }) -> Alcotest.(check bool) "lenient flag" true lenient
+  | _ -> Alcotest.fail "lenient hello rejected");
+  Alcotest.(check bool) "stats verb" true (W.parse_hello "pmdb-serve/1 stats" = Ok W.Stats);
+  Alcotest.(check bool) "stop verb" true (W.parse_hello "pmdb-serve/1 stop" = Ok W.Stop);
+  let rejected s = match W.parse_hello s with Error _ -> true | Ok _ -> false in
+  Alcotest.(check bool) "bad magic" true (rejected "pmdb-serve/2 session s");
+  Alcotest.(check bool) "bad verb" true (rejected "pmdb-serve/1 sessions s");
+  Alcotest.(check bool) "empty name" true (rejected "pmdb-serve/1 session ");
+  Alcotest.(check bool) "bad name chars" true (rejected "pmdb-serve/1 session a/b");
+  Alcotest.(check bool) "name too long" true
+    (rejected ("pmdb-serve/1 session " ^ String.make 65 'a'));
+  Alcotest.(check bool) "empty line" true (rejected "");
+  (* hello_line and parse_hello must agree. *)
+  List.iter
+    (fun h -> Alcotest.(check bool) "hello_line round-trip" true (W.parse_hello (W.hello_line h) = Ok h))
+    [ W.Session { name = "w1"; lenient = false }; W.Session { name = "w1"; lenient = true }; W.Stats; W.Stop ]
+
+let test_wire_malformed_json () =
+  let module W = Serve.Wire in
+  let bad s = match W.result_of_line s with Error _ -> true | Ok _ -> false in
+  Alcotest.(check bool) "not json" true (bad "not json at all");
+  Alcotest.(check bool) "wrong schema" true (bad {|{"schema":"other/v1","status":"ok"}|});
+  Alcotest.(check bool) "bad status" true (bad {|{"schema":"pmdb-serve/v1","status":"weird"}|})
+
+let prop_wire_result_roundtrip =
+  let module W = Serve.Wire in
+  let frame_gen =
+    QCheck.Gen.(
+      let cause_gen =
+        let* seq = int_range 1 10_000 in
+        let* addr = int_range 0 65536 in
+        let* size = int_range 1 64 in
+        let* cls = oneofl [ "store"; "clf"; "fence"; "program_end" ] in
+        let* note = oneofl [ "never flushed"; "crossed fence unpersisted"; ""; "re-covered" ] in
+        return (Bug.cause ~addr ~size ~note ~cls seq)
+      in
+      let bug_gen =
+        let* kind = oneofl Bug.all_kinds in
+        let* addr = int_range 0 65536 in
+        let* size = int_range 1 256 in
+        let* seq = int_range 1 10_000 in
+        let* detail = oneofl [ "store at 0x100"; "flushed twice"; ""; "a b c" ] in
+        let* chain = list_size (int_range 0 4) cause_gen in
+        return (Bug.make ~addr ~size ~seq ~detail ~chain kind)
+      in
+      let report_gen =
+        let* bugs = list_size (int_range 0 5) bug_gen in
+        let* events_processed = int_range 0 100_000 in
+        let* failure = oneofl [ None; Some "detector raised: boom"; Some "" ] in
+        let* stats = oneofl [ []; [ ("tree_size", 12.0) ]; [ ("a", 0.5); ("b", 2.25) ] ] in
+        return { Bug.detector = "pmdebugger"; bugs; events_processed; stats; failure }
+      in
+      let* status = oneofl Serve.Status.all in
+      let* events = int_range 0 100_000 in
+      let* skipped = int_range 0 50 in
+      let* synthesized_end = bool in
+      let* error = oneofl [ None; Some "line 3: cannot parse event \"zap\""; Some "evicted" ] in
+      let* report = oneof [ return None; map Option.some report_gen ] in
+      return
+        {
+          W.status;
+          events;
+          skipped;
+          synthesized_end;
+          error;
+          report;
+        })
+  in
+  QCheck.Test.make ~name:"result frame JSON line roundtrip" ~count:300 (QCheck.make frame_gen) (fun f ->
+      let line = Serve.Wire.result_to_line f in
+      (* single line: the framing invariant *)
+      (not (String.contains line '\n'))
+      &&
+      match Serve.Wire.result_of_line line with
+      | Ok f' -> Serve.Wire.result_to_line f' = line
+      | Error _ -> false)
+
+(* ---------------------------------------------------------------- *)
+(* Session: socket-free ingest state machine                          *)
+(* ---------------------------------------------------------------- *)
+
+let feed_string ?(chunk = max_int) s text =
+  let b = Bytes.of_string text in
+  let n = Bytes.length b in
+  let rec go off acc =
+    if off >= n then acc
+    else
+      let len = min chunk (n - off) in
+      match Serve.Session.feed s ~now:0.0 b ~off ~len with
+      | Ok () -> go (off + len) acc
+      | Error e -> Error e
+  in
+  go 0 (Ok ())
+
+let drain_events s =
+  let rec go acc = match Serve.Session.pop_pending s with None -> List.rev acc | Some ev -> go (ev :: acc) in
+  go []
+
+let mk_session ?(lenient = false) () = Serve.Session.create ~id:0 ~name:"s" ~lenient ~now:0.0
+
+let test_session_chunk_boundaries_invisible () =
+  let text = "register_pmem 0 4096\nstore 1 0 8\nclf clwb 1 0 8\nfence 1\nprogram_end\n" in
+  let whole = mk_session () in
+  Alcotest.(check bool) "whole feed ok" true (feed_string whole text = Ok ());
+  let bytewise = mk_session () in
+  Alcotest.(check bool) "bytewise feed ok" true (feed_string ~chunk:1 bytewise text = Ok ());
+  let evs_whole = drain_events whole and evs_byte = drain_events bytewise in
+  Alcotest.(check int) "same event count" (List.length evs_whole) (List.length evs_byte);
+  Alcotest.(check bool) "same events" true (evs_whole = evs_byte);
+  Alcotest.(check int) "same bytes_read" (Serve.Session.bytes_read whole) (Serve.Session.bytes_read bytewise)
+
+let test_session_strict_error_position () =
+  let s = mk_session () in
+  match feed_string s "store 1 0 8\nzap!\n" with
+  | Ok () -> Alcotest.fail "strict session accepted garbage"
+  | Error msg ->
+      Alcotest.(check bool) "line number in error" true
+        (String.length msg >= 7 && String.sub msg 0 7 = "line 2:");
+      Alcotest.(check bool) "status is trace-error" true (Serve.Session.status s = Serve.Status.Trace_error)
+
+let test_session_lenient_skips () =
+  let s = mk_session ~lenient:true () in
+  Alcotest.(check bool) "lenient feed ok" true
+    (feed_string s "store 1 0 8\nzap!\nfence 1\nalso bad\nprogram_end\n" = Ok ());
+  Alcotest.(check int) "skipped" 2 (Serve.Session.skipped s);
+  Alcotest.(check int) "parsed" 3 (Serve.Session.pending_events s)
+
+let test_session_ensure_end () =
+  (* Truncated stream: the final unterminated line still parses at
+     flush, and a program_end is synthesized. *)
+  let s = mk_session () in
+  Alcotest.(check bool) "feed" true (feed_string s "store 1 0 8\nfence 1" = Ok ());
+  Alcotest.(check bool) "flush_partial" true (Serve.Session.flush_partial s = Ok ());
+  Serve.Session.ensure_end s;
+  Alcotest.(check bool) "synthesized" true (Serve.Session.synthesized_end s);
+  (match List.rev (drain_events s) with
+  | Event.Program_end :: Event.Fence _ :: _ -> ()
+  | _ -> Alcotest.fail "expected fence then synthesized program_end");
+  (* A stream that carried its own program_end gets nothing added. *)
+  let s2 = mk_session () in
+  Alcotest.(check bool) "feed" true (feed_string s2 "store 1 0 8\nprogram_end\n" = Ok ());
+  Serve.Session.ensure_end s2;
+  Alcotest.(check bool) "not synthesized" false (Serve.Session.synthesized_end s2);
+  Alcotest.(check int) "no extra event" 2 (Serve.Session.pending_events s2)
+
+let test_session_live_bytes_accounting () =
+  let s = mk_session () in
+  Alcotest.(check int) "fresh session holds nothing" 0 (Serve.Session.live_bytes s);
+  Alcotest.(check bool) "feed" true (feed_string s "store 1 0 8\nstore 1 8 8\npartial-line-without-newl" = Ok ());
+  let before = Serve.Session.live_bytes s in
+  Alcotest.(check bool) "queued events + partial line cost bytes" true (before > 0);
+  ignore (Serve.Session.pop_pending s);
+  Alcotest.(check bool) "pop releases bytes" true (Serve.Session.live_bytes s < before);
+  Serve.Session.drop_pending s;
+  Alcotest.(check int) "drop releases everything" 0 (Serve.Session.live_bytes s)
+
+let test_session_terminate_first_wins () =
+  let s = mk_session () in
+  Serve.Session.terminate s Serve.Status.Trace_error (Some "line 1: bad");
+  Serve.Session.terminate s Serve.Status.Shutdown None;
+  Alcotest.(check bool) "first terminal status wins" true
+    (Serve.Session.status s = Serve.Status.Trace_error);
+  Alcotest.(check bool) "error preserved" true (Serve.Session.error s = Some "line 1: bad")
+
+(* ---------------------------------------------------------------- *)
+(* Pool, inline mode                                                  *)
+(* ---------------------------------------------------------------- *)
+
+let bug_trace_events =
+  [
+    Event.Register_pmem { base = 0; size = 4096 };
+    Event.Store { addr = 0; size = 8; tid = 1 };
+    Event.Store { addr = 0; size = 8; tid = 1 };
+    Event.Clf { addr = 0; size = 8; kind = Event.Clwb; tid = 1 };
+    Event.Fence { tid = 1 };
+    Event.Store { addr = 64; size = 8; tid = 1 };
+    Event.Program_end;
+  ]
+
+let test_pool_inline_roundtrip () =
+  let pool =
+    Serve.Pool.create ~domains:false ~workers:2 ~queue_capacity:64 (fun () ->
+        D.sink (D.create ~model:D.Strict ()))
+  in
+  let slot = Serve.Pool.open_session pool ~id:3 in
+  List.iter (fun ev -> Serve.Pool.submit pool ~id:3 ev) bug_trace_events;
+  Serve.Pool.finish_session pool ~id:3;
+  (match Serve.Pool.result slot with
+  | None -> Alcotest.fail "inline pool produced no report"
+  | Some report ->
+      Alcotest.(check bool) "found the planted bugs" true (List.length report.Bug.bugs >= 2);
+      Alcotest.(check bool) "no failure" true (report.Bug.failure = None));
+  Serve.Pool.stop pool
+
+let test_pool_inline_detector_failure () =
+  let boom = Sink.make ~name:"boom" ~on_event:(fun _ -> failwith "detector exploded") ~finish:(fun () -> Bug.empty_report "boom") in
+  let pool = Serve.Pool.create ~domains:false ~workers:1 ~queue_capacity:64 (fun () -> boom) in
+  let slot = Serve.Pool.open_session pool ~id:0 in
+  Serve.Pool.submit pool ~id:0 (Event.Store { addr = 0; size = 8; tid = 0 });
+  Alcotest.(check bool) "failure surfaces in the slot" true (Serve.Pool.failed slot <> None);
+  Serve.Pool.finish_session pool ~id:0;
+  (match Serve.Pool.result slot with
+  | Some report -> Alcotest.(check bool) "report carries the failure" true (report.Bug.failure <> None)
+  | None -> Alcotest.fail "no report after finish");
+  Serve.Pool.stop pool
+
+(* ---------------------------------------------------------------- *)
+(* The fault-tolerance gate: 8 concurrent clients over a real socket, *)
+(* 2 of them misbehaving; 6 healthy reports byte-identical to the      *)
+(* offline replay; the daemon stays up and answers stats.              *)
+(* ---------------------------------------------------------------- *)
+
+let temp_socket () =
+  let path = Filename.temp_file "pmdb-serve-test" ".sock" in
+  Sys.remove path;
+  path
+
+let trace_body =
+  String.concat "\n"
+    [
+      "register_pmem 0 4096";
+      "store 1 0 8";
+      "store 1 0 8";
+      "clf clwb 1 0 8";
+      "fence 1";
+      "store 1 64 8";
+      "program_end";
+    ]
+  ^ "\n"
+
+let offline_report body =
+  match Trace_io.of_string body with
+  | Error e -> Alcotest.fail ("offline parse failed: " ^ e)
+  | Ok trace -> Recorder.replay trace (D.sink (D.create ~model:D.Strict ()))
+
+let start_daemon ?(idle_timeout = 0.5) ?(workers = 2) ~metrics socket =
+  let cfg = { (Serve.Daemon.default_config ~socket) with Serve.Daemon.workers; idle_timeout } in
+  let daemon =
+    Serve.Daemon.create ~metrics ~make_sink:(fun () -> D.sink (D.create ~model:D.Strict ())) cfg
+  in
+  let d = Domain.spawn (fun () -> Serve.Daemon.run daemon) in
+  (* Wait for the listener to come up. *)
+  let rec wait tries =
+    if tries = 0 then Alcotest.fail "daemon never bound its socket"
+    else if Sys.file_exists socket then ()
+    else (
+      Unix.sleepf 0.02;
+      wait (tries - 1))
+  in
+  wait 250;
+  d
+
+let test_gate_eight_clients_two_misbehaving () =
+  let socket = temp_socket () in
+  let metrics = Obs.Metrics.create () in
+  let handle = start_daemon ~metrics socket in
+  let expected = canon (offline_report trace_body) in
+  let healthy =
+    List.init 6 (fun i ->
+        Domain.spawn (fun () ->
+            Serve.Client.replay_string ~socket ~name:(Printf.sprintf "healthy-%d" i) trace_body))
+  in
+  let garbage = Domain.spawn (fun () -> Serve.Client.probe ~socket ~name:"bad-garbage" Serve.Client.Garbage) in
+  let hang = Domain.spawn (fun () -> Serve.Client.probe ~socket ~name:"bad-hang" Serve.Client.Hang) in
+  List.iteri
+    (fun i d ->
+      match Domain.join d with
+      | Error e -> Alcotest.fail (Printf.sprintf "healthy client %d: %s" i e)
+      | Ok frame ->
+          Alcotest.(check bool)
+            (Printf.sprintf "healthy client %d status ok" i)
+            true
+            (frame.Serve.Wire.status = Serve.Status.Ok);
+          (match frame.Serve.Wire.report with
+          | None -> Alcotest.fail (Printf.sprintf "healthy client %d got no report" i)
+          | Some r ->
+              Alcotest.(check string)
+                (Printf.sprintf "healthy client %d byte-identical to offline replay" i)
+                expected (canon r)))
+    healthy;
+  (match Domain.join garbage with
+  | Error e -> Alcotest.fail ("garbage probe: " ^ e)
+  | Ok frame ->
+      Alcotest.(check bool) "garbage session quarantined as trace-error" true
+        (frame.Serve.Wire.status = Serve.Status.Trace_error);
+      Alcotest.(check bool) "structured parse error" true
+        (match frame.Serve.Wire.error with Some e -> String.length e > 0 | None -> false));
+  (match Domain.join hang with
+  | Error e -> Alcotest.fail ("hang probe: " ^ e)
+  | Ok frame ->
+      Alcotest.(check bool) "hung session reaped as timeout" true
+        (frame.Serve.Wire.status = Serve.Status.Timeout));
+  (* The daemon survived and its books balance. *)
+  (match Serve.Client.stats ~socket with
+  | Error e -> Alcotest.fail ("stats after the storm: " ^ e)
+  | Ok snap ->
+      let c ?labels name = Obs.Metrics.counter_value snap ?labels name in
+      Alcotest.(check int) "sessions opened" 8 (c "serve_sessions_opened_total");
+      Alcotest.(check int) "exactly one trace quarantine" 1
+        (c ~labels:[ ("reason", "trace") ] "serve_quarantines_total");
+      Alcotest.(check int) "exactly one timeout" 1 (c "serve_timeouts_total");
+      Alcotest.(check int) "no evictions" 0 (c "serve_evictions_total");
+      Alcotest.(check int) "six healthy closes" 6
+        (c ~labels:[ ("status", "ok") ] "serve_sessions_closed_total"));
+  (match Serve.Client.stop ~socket with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail ("stop: " ^ e));
+  Domain.join handle;
+  Alcotest.(check bool) "socket unlinked on shutdown" false (Sys.file_exists socket)
+
+(* A session whose detector raises mid-stream is quarantined with a
+   detector-error frame; its sibling on the same daemon is unharmed. *)
+let test_gate_detector_quarantine_isolated () =
+  let socket = temp_socket () in
+  let metrics = Obs.Metrics.create () in
+  let calls = Atomic.make 0 in
+  let cfg = { (Serve.Daemon.default_config ~socket) with Serve.Daemon.workers = 2; idle_timeout = 5.0 } in
+  (* Session ids are assigned in accept order starting at 1; worker =
+     id mod workers keeps both sessions apart, and the first session
+     created on the daemon gets the exploding sink. *)
+  let make_sink () =
+    if Atomic.fetch_and_add calls 1 = 0 then
+      Sink.make ~name:"boom"
+        ~on_event:(fun ev -> match ev with Event.Fence _ -> failwith "boom mid-stream" | _ -> ())
+        ~finish:(fun () -> Bug.empty_report "boom")
+    else D.sink (D.create ~model:D.Strict ())
+  in
+  let daemon = Serve.Daemon.create ~metrics ~make_sink cfg in
+  let handle = Domain.spawn (fun () -> Serve.Daemon.run daemon) in
+  let rec wait tries =
+    if tries = 0 then Alcotest.fail "daemon never bound its socket"
+    else if Sys.file_exists socket then ()
+    else (
+      Unix.sleepf 0.02;
+      wait (tries - 1))
+  in
+  wait 250;
+  let first = Serve.Client.replay_string ~socket ~name:"doomed" trace_body in
+  (match first with
+  | Error e -> Alcotest.fail ("doomed client: " ^ e)
+  | Ok frame ->
+      Alcotest.(check bool) "detector failure becomes detector-error" true
+        (frame.Serve.Wire.status = Serve.Status.Detector_error));
+  (match Serve.Client.replay_string ~socket ~name:"bystander" trace_body with
+  | Error e -> Alcotest.fail ("bystander client: " ^ e)
+  | Ok frame ->
+      Alcotest.(check bool) "sibling session unaffected" true (frame.Serve.Wire.status = Serve.Status.Ok));
+  (match Serve.Client.stop ~socket with Ok () -> () | Error e -> Alcotest.fail ("stop: " ^ e));
+  Domain.join handle
+
+(* ---------------------------------------------------------------- *)
+(* Protocol fuzz: whatever bytes arrive, the daemon answers every      *)
+(* non-empty connection with one parseable result frame and stays up.  *)
+(* ---------------------------------------------------------------- *)
+
+let fuzz_input_gen =
+  QCheck.Gen.(
+    let hello =
+      oneofl
+        [
+          "pmdb-serve/1 session fz";
+          "pmdb-serve/1 session fz lenient";
+          "pmdb-serve/1 session fz strict";
+          "pmdb-serve/1 session bad/name";
+          "pmdb-serve/1 bogusverb";
+          "pmdb-serve/2 session fz";
+          "not even close";
+          "pmdb-serve/1 session";
+          "pmdb-serve/1";
+        ]
+    in
+    let body_line =
+      oneofl
+        [
+          "store 1 0 8";
+          "store 1 64 8";
+          "clf clwb 1 0 8";
+          "fence 1";
+          "register_pmem 0 4096";
+          "program_end";
+          "zap!";
+          "store 1 oops 8";
+          "";
+          "   ";
+        ]
+    in
+    let* h = hello in
+    let* lines = list_size (int_range 0 8) body_line in
+    let* terminated = bool in
+    let text = String.concat "\n" (h :: lines) in
+    return (if terminated then text ^ "\n" else text))
+
+let prop_fuzz_always_structured_reply socket =
+  QCheck.Test.make ~name:"daemon answers garbage with structured frames" ~count:40
+    (QCheck.make fuzz_input_gen) (fun input ->
+      match Serve.Client.raw ~socket input with
+      | Error _ -> false (* connection refused or reset: the daemon died *)
+      | Ok reply ->
+          let line = match String.index_opt reply '\n' with
+            | Some i -> String.sub reply 0 i
+            | None -> reply
+          in
+          String.length line > 0
+          && (match Serve.Wire.result_of_line line with Ok _ -> true | Error _ -> false))
+
+let test_fuzz_protocol () =
+  let socket = temp_socket () in
+  let metrics = Obs.Metrics.create () in
+  let handle = start_daemon ~idle_timeout:5.0 ~workers:1 ~metrics socket in
+  let res =
+    try
+      QCheck.Test.check_exn (prop_fuzz_always_structured_reply socket);
+      Ok ()
+    with e -> Error (Printexc.to_string e)
+  in
+  (* The daemon must still be alive and coherent after the barrage. *)
+  (match Serve.Client.replay_string ~socket ~name:"after-fuzz" trace_body with
+  | Error e -> Alcotest.fail ("daemon dead after fuzz: " ^ e)
+  | Ok frame ->
+      Alcotest.(check bool) "healthy session still works" true
+        (frame.Serve.Wire.status = Serve.Status.Ok));
+  (match Serve.Client.stop ~socket with Ok () -> () | Error e -> Alcotest.fail ("stop: " ^ e));
+  Domain.join handle;
+  match res with Ok () -> () | Error e -> Alcotest.fail e
+
+(* ---------------------------------------------------------------- *)
+
+let suite =
+  [
+    Alcotest.test_case "spsc close poisons producer side" `Quick test_spsc_close_poisons_producer;
+    Alcotest.test_case "spsc pop drains then raises Closed" `Quick test_spsc_pop_drains_then_closed;
+    Alcotest.test_case "spsc close wakes a blocked producer" `Quick test_spsc_close_wakes_blocked_producer;
+    Alcotest.test_case "spsc close wakes a blocked consumer" `Quick test_spsc_close_wakes_blocked_consumer;
+    Alcotest.test_case "finish_all survives a raising finish" `Quick test_finish_all_survives_raising_finish;
+    Alcotest.test_case "status exit-code table" `Quick test_status_exit_codes;
+    Alcotest.test_case "wire parse_hello" `Quick test_wire_parse_hello;
+    Alcotest.test_case "wire rejects malformed frames" `Quick test_wire_malformed_json;
+    QCheck_alcotest.to_alcotest prop_wire_result_roundtrip;
+    Alcotest.test_case "session chunk boundaries invisible" `Quick test_session_chunk_boundaries_invisible;
+    Alcotest.test_case "session strict error position" `Quick test_session_strict_error_position;
+    Alcotest.test_case "session lenient skip counting" `Quick test_session_lenient_skips;
+    Alcotest.test_case "session ensure_end" `Quick test_session_ensure_end;
+    Alcotest.test_case "session live_bytes accounting" `Quick test_session_live_bytes_accounting;
+    Alcotest.test_case "session first terminal status wins" `Quick test_session_terminate_first_wins;
+    Alcotest.test_case "pool inline roundtrip" `Quick test_pool_inline_roundtrip;
+    Alcotest.test_case "pool inline detector failure" `Quick test_pool_inline_detector_failure;
+    Alcotest.test_case "gate: 8 clients, 2 misbehaving" `Quick test_gate_eight_clients_two_misbehaving;
+    Alcotest.test_case "gate: detector quarantine is isolated" `Quick test_gate_detector_quarantine_isolated;
+    Alcotest.test_case "protocol fuzz" `Quick test_fuzz_protocol;
+  ]
