@@ -694,7 +694,7 @@ let report () =
       specs
   in
   T.print ~title:"Run report: slowdowns + per-event dispatch latency (PMDebugger)"
-    ~header:[ "bench"; "n"; "native"; "Nulgrind"; "PMDebugger"; "Pmemcheck"; "p50 disp."; "p95 disp." ]
+    ~header:[ "bench"; "n"; "native"; "Nulgrind"; "PMDebugger"; "Pmemcheck"; "p50 disp."; "p95 disp."; "p99 disp." ]
     (List.map
        (fun (name, n, m, prof) ->
          let sd t = T.fmt_x (Harness.Timing.slowdown m t) in
@@ -707,6 +707,7 @@ let report () =
            sd (List.assoc "pmemcheck" m.Harness.Timing.detector_s);
            Printf.sprintf "%.0f ns" (1e9 *. prof.Harness.Timing.p50_s);
            Printf.sprintf "%.0f ns" (1e9 *. prof.Harness.Timing.p95_s);
+           Printf.sprintf "%.0f ns" (1e9 *. prof.Harness.Timing.p99_s);
          ])
        rows);
   (* One metrics-enabled replay supplies the bookkeeping telemetry the
@@ -736,6 +737,7 @@ let report () =
             ] );
         ("dispatch_p50_s", Float prof.Harness.Timing.p50_s);
         ("dispatch_p95_s", Float prof.Harness.Timing.p95_s);
+        ("dispatch_p99_s", Float prof.Harness.Timing.p99_s);
         ("dispatch_samples", Int prof.Harness.Timing.samples);
       ]
   in
@@ -913,6 +915,7 @@ let streaming () =
         ("slowdowns", Obj [ ("replay_vs_generate", Float (total_s /. gen_s)) ]);
         ("dispatch_p50_s", Float (p hist 0.5));
         ("dispatch_p95_s", Float (p hist 0.95));
+        ("dispatch_p99_s", Float (p hist 0.99));
         ("events_per_sec", Float (eps total_s));
         ("live_words_delta", Int delta);
       ]
@@ -1037,6 +1040,7 @@ let sharding () =
             ] );
         ("dispatch_p50_s", Float (p hist 0.5));
         ("dispatch_p95_s", Float (p hist 0.95));
+        ("dispatch_p99_s", Float (p hist 0.99));
         ("events_per_sec", Float (eps total_s));
       ]
   in
@@ -1176,6 +1180,24 @@ let serve_soak () =
     | _ -> failwith "daemon stats: no serve_ingest_seconds histogram"
   in
   let quant frac = Obs.Metrics.quantile ingest frac in
+  (* Domain-safe telemetry gate: the merged snapshot's per-worker
+     serve_worker_events_total{domain} series must sum to exactly the
+     events the dispatch domain submitted — every event the daemon
+     ingested is accounted for on some worker domain. *)
+  let counter_sum name =
+    List.fold_left
+      (fun acc (s : Obs.Metrics.sample) ->
+        match s.Obs.Metrics.value with
+        | Obs.Metrics.V_counter n when s.Obs.Metrics.name = name -> acc + n
+        | _ -> acc)
+      0 snap
+  in
+  let worker_events = counter_sum "serve_worker_events_total" in
+  let submitted = counter_sum "serve_events_total" in
+  if worker_events <> submitted then
+    failwith
+      (Printf.sprintf "worker telemetry mismatch: sum(serve_worker_events_total)=%d, serve_events_total=%d"
+         worker_events submitted);
   let total_events = events * clients * rounds in
   let events_per_sec = float_of_int total_events /. wall_s in
   let rss_flat, rss_note =
@@ -1203,6 +1225,8 @@ let serve_soak () =
   Printf.printf "  all %d session report(s) identical to offline replay; RSS flat: %b\n"
     ((min 4 clients) + (clients * rounds))
     rss_flat;
+  Printf.printf "  worker domains account for all %d ingested event(s) (sum of serve_worker_events_total)\n"
+    worker_events;
   let open Obs.Json in
   let row =
     Obj
@@ -1220,7 +1244,8 @@ let serve_soak () =
             ] );
         ("dispatch_p50_s", Float (quant 0.5));
         ("dispatch_p95_s", Float (quant 0.95));
-        ("ingest_p99_s", Float (quant 0.99));
+        ("dispatch_p99_s", Float (quant 0.99));
+        ("worker_events_total", Int worker_events);
         ("events_per_sec", Float events_per_sec);
         ("clients", Int clients);
         ("rounds", Int rounds);

@@ -149,7 +149,30 @@ let run_cmd workload n detector config annotate max_print shards backend metrics
 let characterize_cmd workload n json =
   let spec = Workloads.Registry.find_exn workload in
   let trace = Recorder.record (fun e -> spec.W.run (W.params ~n ()) e) in
-  if json then print_endline (Obs.Json.to_string (Charz.characterization_json trace))
+  if json then begin
+    (* The JSON report also carries the trace's raw dispatch-latency
+       profile (a noop-sink replay): p50/p95/p99 of per-event dispatch,
+       the same quantiles the bench reports per tool. *)
+    let p = Harness.Timing.dispatch_profile trace (Sink.noop "charz") in
+    let doc =
+      match Charz.characterization_json trace with
+      | Obs.Json.Obj fields ->
+          Obs.Json.Obj
+            (fields
+            @ [
+                ( "dispatch",
+                  Obs.Json.Obj
+                    [
+                      ("p50_s", Obs.Json.Float p.Harness.Timing.p50_s);
+                      ("p95_s", Obs.Json.Float p.Harness.Timing.p95_s);
+                      ("p99_s", Obs.Json.Float p.Harness.Timing.p99_s);
+                      ("samples", Obs.Json.Int p.Harness.Timing.samples);
+                    ] );
+              ])
+      | other -> other
+    in
+    print_endline (Obs.Json.to_string doc)
+  end
   else begin
     let h = Charz.distance_histogram trace in
     let c = Charz.writeback_classes trace in
@@ -506,15 +529,53 @@ let timeline_cmd case trace_file workload n annotate out max_tracks =
 (* or fetch a running daemon's live metrics (--daemon SOCK).         *)
 (* ---------------------------------------------------------------- *)
 
-let daemon_stats_cmd socket =
+(* A daemon snapshot is whole-daemon truth: the dispatch domain's
+   registry merged with every worker domain's published registry, so
+   the per-worker serve_worker_*{domain=..} series appear alongside the
+   dispatch-side counters. *)
+let print_snapshot ~title ~prometheus snap =
+  if prometheus then print_string (Obs.Prometheus.render snap)
+  else Harness.Table.print ~title ~header:Obs.Metrics.rows_header (Obs.Metrics.to_rows snap)
+
+let daemon_stats_cmd ~prometheus socket =
   match Serve.Client.stats ~socket with
   | Error msg ->
       Printf.eprintf "error: %s\n" msg;
       exit 1
-  | Ok snap ->
-      Harness.Table.print
-        ~title:(Printf.sprintf "daemon telemetry: %s" socket)
-        ~header:Obs.Metrics.rows_header (Obs.Metrics.to_rows snap)
+  | Ok snap -> print_snapshot ~title:(Printf.sprintf "daemon telemetry: %s" socket) ~prometheus snap
+
+(* --follow: subscribe to the daemon's stats_stream and print each
+   merged-snapshot frame as it lands (--frames N bounds the stream on
+   the daemon side; 0 follows until the daemon goes away). *)
+let daemon_follow_cmd ~socket ~frames ~prometheus =
+  let seen = ref 0 in
+  match
+    Serve.Client.stats_follow ~socket ~frames
+      ~on_frame:(fun snap ->
+        incr seen;
+        print_snapshot
+          ~title:(Printf.sprintf "daemon telemetry: %s (frame %d)" socket !seen)
+          ~prometheus snap;
+        flush stdout;
+        true)
+      ()
+  with
+  | Ok n -> Printf.printf "stream closed after %d frame(s)\n" n
+  | Error msg ->
+      Printf.eprintf "error: %s\n" msg;
+      exit 1
+
+let check_prometheus_file path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | exception Sys_error msg ->
+      Printf.eprintf "%s\n" msg;
+      exit 1
+  | text -> (
+      match Obs.Prometheus.validate text with
+      | Ok n -> Printf.printf "%s: valid Prometheus text exposition (%d samples)\n" path n
+      | Error msg ->
+          Printf.eprintf "%s: invalid Prometheus exposition: %s\n" path msg;
+          exit 1)
 
 let check_report_file path =
   match Obs.Json.of_file path with
@@ -550,6 +611,7 @@ let check_report_file path =
                   num "native_s";
                   num "dispatch_p50_s";
                   num "dispatch_p95_s";
+                  num "dispatch_p99_s";
                   match Obs.Json.member "slowdowns" row with
                   | Some (Obs.Json.Obj (_ :: _)) -> ()
                   | _ -> fail (Printf.sprintf "row %d: missing object \"slowdowns\"" i))
@@ -625,13 +687,19 @@ let diff_cmd files check_regressions threshold gauge_threshold =
       end
   | _ -> failwith "--diff takes exactly two metrics files: pmdb stats --diff A.json B.json"
 
-let stats_cmd workload n detector config check diff files check_regressions threshold gauge_threshold json_file
-    daemon =
+let stats_cmd workload n detector config check check_prometheus diff files check_regressions threshold
+    gauge_threshold json_file daemon follow frames prometheus =
   match daemon with
-  | Some socket -> daemon_stats_cmd socket
+  | Some socket ->
+      if follow || frames > 0 then daemon_follow_cmd ~socket ~frames ~prometheus
+      else daemon_stats_cmd ~prometheus socket
+  | None when follow || frames > 0 -> failwith "--follow/--frames requires --daemon SOCK"
   | None ->
   if diff then diff_cmd files check_regressions threshold gauge_threshold
   else
+  match check_prometheus with
+  | Some path -> check_prometheus_file path
+  | None ->
   match check with
   | Some path -> check_report_file path
   | None ->
@@ -647,8 +715,7 @@ let stats_cmd workload n detector config check diff files check_regressions thre
         reports;
       print_quarantined engine;
       let snap = Obs.Metrics.snapshot metrics in
-      Harness.Table.print ~title:(Printf.sprintf "telemetry: %s -w %s -n %d" detector workload n)
-        ~header:Obs.Metrics.rows_header (Obs.Metrics.to_rows snap);
+      print_snapshot ~title:(Printf.sprintf "telemetry: %s -w %s -n %d" detector workload n) ~prometheus snap;
       match json_file with
       | None -> ()
       | Some path ->
@@ -660,7 +727,8 @@ let stats_cmd workload n detector config check diff files check_regressions thre
           Obs.Json.to_file path json;
           Printf.printf "metrics written to %s\n" path
 
-let serve_cmd socket workers queue_capacity idle_timeout session_budget max_sessions detector config stop probe =
+let serve_cmd socket workers queue_capacity idle_timeout session_budget max_sessions detector config
+    metrics_file flightrec_dir stop probe =
   if stop then (
     match Serve.Client.stop ~socket with
     | Ok () -> Printf.printf "daemon at %s stopped\n" socket
@@ -687,10 +755,10 @@ let serve_cmd socket workers queue_capacity idle_timeout session_budget max_sess
             exit (Serve.Status.exit_code frame.Serve.Wire.status))
     | None ->
         let config = load_config config in
-        (* The daemon's own registry is enabled unconditionally: it lives
-           on the dispatch domain only, and `pmdb stats --daemon` reads it
-           live. Workers get disabled metrics (the registry is not
-           thread-safe). *)
+        (* Telemetry is always on for the daemon: the dispatch domain
+           and every worker domain record into their own registries,
+           and each stats reply merges them — `pmdb stats --daemon`
+           reports whole-daemon truth, worker series included. *)
         let metrics = Obs.Metrics.create () in
         Obs.Clock.set Unix.gettimeofday;
         let cfg =
@@ -701,6 +769,8 @@ let serve_cmd socket workers queue_capacity idle_timeout session_budget max_sess
             idle_timeout;
             session_budget;
             max_sessions;
+            metrics_file;
+            flightrec_dir;
           }
         in
         let make_sink () = sink_for ~metrics:Obs.Metrics.disabled detector Pmdebugger.Detector.Strict config in
@@ -708,6 +778,12 @@ let serve_cmd socket workers queue_capacity idle_timeout session_budget max_sess
         Serve.Daemon.install_signal_handlers daemon;
         Printf.printf "pmdb serve: listening on %s (workers=%d, budget=%d bytes, idle-timeout=%.1fs)\n%!" socket
           workers session_budget idle_timeout;
+        (match metrics_file with
+        | Some path -> Printf.printf "pmdb serve: Prometheus exposition -> %s (every %.1fs)\n%!" path cfg.Serve.Daemon.stream_interval
+        | None -> ());
+        (match flightrec_dir with
+        | Some dir -> Printf.printf "pmdb serve: flight-recorder dumps -> %s\n%!" dir
+        | None -> ());
         Serve.Daemon.run daemon;
         Printf.printf "pmdb serve: stopped\n"
 
@@ -793,6 +869,20 @@ let max_sessions_arg =
   let doc = "Concurrent connection cap." in
   Arg.(value & opt int 64 & info [ "max-sessions" ] ~docv:"N" ~doc)
 
+let metrics_file_arg =
+  let doc =
+    "Write a Prometheus text-format exposition of the daemon's merged telemetry to $(docv) atomically every stream \
+     interval (scrape it with a node_exporter textfile collector, or validate with `pmdb stats --check-prometheus`)."
+  in
+  Arg.(value & opt (some string) None & info [ "metrics-file" ] ~docv:"FILE" ~doc)
+
+let flightrec_dir_arg =
+  let doc =
+    "Directory for flight-recorder black-box dumps: on a session quarantine, an eviction or SIGQUIT the daemon \
+     writes the last events of every ring there as JSON and a Perfetto trace."
+  in
+  Arg.(value & opt (some string) None & info [ "flightrec-dir" ] ~docv:"DIR" ~doc)
+
 let serve_stop_arg =
   let doc = "Ask the daemon at --socket to shut down gracefully, then exit." in
   Arg.(value & flag & info [ "stop" ] ~doc)
@@ -807,7 +897,8 @@ let probe_arg =
 let serve_term =
   Term.(
     const serve_cmd $ socket_arg $ workers_arg $ queue_capacity_arg $ idle_timeout_arg $ session_budget_arg
-    $ max_sessions_arg $ detector_arg $ config_arg $ serve_stop_arg $ probe_arg)
+    $ max_sessions_arg $ detector_arg $ config_arg $ metrics_file_arg $ flightrec_dir_arg $ serve_stop_arg
+    $ probe_arg)
 
 let case_arg =
   let doc = "Explore a bugbench case by id instead of a workload." in
@@ -905,10 +996,27 @@ let gauge_threshold_arg =
   in
   Arg.(value & opt (some float) None & info [ "gauge-threshold" ] ~docv:"REL" ~doc)
 
+let check_prometheus_arg =
+  let doc = "Validate a Prometheus text exposition written by `pmdb serve --metrics-file` (exit 1 if invalid)." in
+  Arg.(value & opt (some file) None & info [ "check-prometheus" ] ~docv:"FILE" ~doc)
+
+let follow_arg =
+  let doc = "With --daemon: subscribe to the stats stream and print each periodic merged snapshot as it arrives." in
+  Arg.(value & flag & info [ "follow" ] ~doc)
+
+let frames_arg =
+  let doc = "With --daemon: stop following after $(docv) frames (0 = until the daemon goes away); implies --follow." in
+  Arg.(value & opt int 0 & info [ "frames" ] ~docv:"N" ~doc)
+
+let prometheus_arg =
+  let doc = "Print snapshots in Prometheus text exposition format instead of the metric table." in
+  Arg.(value & flag & info [ "prometheus" ] ~doc)
+
 let stats_term =
   Term.(
-    const stats_cmd $ workload_arg $ n_arg $ detector_arg $ config_arg $ check_arg $ diff_flag_arg
-    $ diff_files_arg $ check_regressions_arg $ threshold_arg $ gauge_threshold_arg $ stats_json_arg $ daemon_arg)
+    const stats_cmd $ workload_arg $ n_arg $ detector_arg $ config_arg $ check_arg $ check_prometheus_arg
+    $ diff_flag_arg $ diff_files_arg $ check_regressions_arg $ threshold_arg $ gauge_threshold_arg $ stats_json_arg
+    $ daemon_arg $ follow_arg $ frames_arg $ prometheus_arg)
 
 let src_trace_arg =
   let doc = "Use a recorded trace file (as produced by `pmdb record`) instead of a workload." in

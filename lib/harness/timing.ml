@@ -8,7 +8,7 @@ let median_of ?(repeats = 3) f =
   let sorted = List.sort compare samples in
   List.nth sorted (List.length sorted / 2)
 
-type dispatch_profile = { p50_s : float; p95_s : float; samples : int }
+type dispatch_profile = { p50_s : float; p95_s : float; p99_s : float; samples : int }
 
 type measurement = {
   native_s : float;
@@ -32,7 +32,12 @@ let dispatch_profile trace sink =
     trace;
   ignore (sink.Pmtrace.Sink.finish ());
   let v = Obs.Metrics.hist_view h in
-  { p50_s = Obs.Metrics.quantile v 0.5; p95_s = Obs.Metrics.quantile v 0.95; samples = v.Obs.Metrics.h_count }
+  {
+    p50_s = Obs.Metrics.quantile v 0.5;
+    p95_s = Obs.Metrics.quantile v 0.95;
+    p99_s = Obs.Metrics.quantile v 0.99;
+    samples = v.Obs.Metrics.h_count;
+  }
 
 let measure ?(repeats = 3) ~run ~detectors () =
   (* Native: same workload, instrumentation disabled. *)

@@ -6,7 +6,7 @@
     instrumentation; each detector adds its bookkeeping on top. Times
     are medians of repeated runs on a recorded trace; {!measure} also
     profiles per-event dispatch latency into an {!Obs.Metrics} histogram
-    and reports its p50/p95 per tool. *)
+    and reports its p50/p95/p99 per tool. *)
 
 val time_once : (unit -> unit) -> float
 
@@ -15,6 +15,7 @@ val median_of : ?repeats:int (** default 3 *) -> (unit -> unit) -> float
 type dispatch_profile = {
   p50_s : float;  (** median per-event dispatch latency *)
   p95_s : float;  (** tail per-event dispatch latency *)
+  p99_s : float;  (** far-tail per-event dispatch latency *)
   samples : int;  (** events profiled (= trace length) *)
 }
 

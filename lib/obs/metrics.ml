@@ -145,6 +145,85 @@ let snapshot t =
   |> List.sort (fun a b ->
          match compare a.name b.name with 0 -> compare a.labels b.labels | c -> c)
 
+(* Deterministic multi-registry merge: counters sum, gauges keep the
+   max (every gauge in the tree is a peak/high-water value), histograms
+   add bucket-wise. Mixing kinds under one (name, labels) key — or
+   histograms with different bucket bounds — means two registries
+   disagree about what the series is, which is a caller bug, not data:
+   raise instead of guessing. Sum/max/bucket-add are all commutative
+   and associative, so the merged snapshot is independent of snapshot
+   order (the QCheck suite pins this). *)
+let merge snaps =
+  let acc : (string * labels, value_view) Hashtbl.t = Hashtbl.create 64 in
+  let clash name what =
+    invalid_arg (Printf.sprintf "Obs.Metrics.merge: series %S: %s" name what)
+  in
+  let combine name a b =
+    match (a, b) with
+    | V_counter x, V_counter y -> V_counter (x + y)
+    | V_gauge x, V_gauge y -> V_gauge (Float.max x y)
+    | V_hist x, V_hist y ->
+        if x.h_bounds <> y.h_bounds then clash name "histogram bucket bounds differ"
+        else
+          V_hist
+            {
+              h_bounds = x.h_bounds;
+              h_counts = Array.init (Array.length x.h_counts) (fun i -> x.h_counts.(i) + y.h_counts.(i));
+              h_sum = x.h_sum +. y.h_sum;
+              h_count = x.h_count + y.h_count;
+            }
+    | _ -> clash name "kind differs between snapshots"
+  in
+  List.iter
+    (fun snap ->
+      List.iter
+        (fun s ->
+          let key = (s.name, s.labels) in
+          match Hashtbl.find_opt acc key with
+          | None -> Hashtbl.replace acc key s.value
+          | Some prev -> Hashtbl.replace acc key (combine s.name prev s.value))
+        snap)
+    snaps;
+  Hashtbl.fold (fun (name, labels) value l -> { name; labels; value } :: l) acc []
+  |> List.sort (fun a b ->
+         match compare a.name b.name with 0 -> compare a.labels b.labels | c -> c)
+
+(* Fold a snapshot into a live registry with the same combine rules as
+   merge. The histogram case cannot go through observe (that would lose
+   the bucket structure), so it splices counts in directly. *)
+let absorb t snap =
+  if not t.on then ()
+  else
+    List.iter
+      (fun s ->
+        match s.value with
+        | V_counter n -> inc t ~labels:s.labels ~by:n s.name
+        | V_gauge g -> max_set t ~labels:s.labels s.name g
+        | V_hist v -> (
+            let key = (s.name, norm_labels s.labels) in
+            match Hashtbl.find_opt t.series key with
+            | Some (Hist h) ->
+                if h.bounds <> v.h_bounds then
+                  invalid_arg
+                    (Printf.sprintf "Obs.Metrics.absorb: series %S: histogram bucket bounds differ"
+                       s.name)
+                else begin
+                  Array.iteri (fun i c -> h.counts.(i) <- h.counts.(i) + c) v.h_counts;
+                  h.sum <- h.sum +. v.h_sum;
+                  h.count <- h.count + v.h_count
+                end
+            | Some _ -> kind_mismatch s.name
+            | None ->
+                Hashtbl.replace t.series key
+                  (Hist
+                     {
+                       bounds = Array.copy v.h_bounds;
+                       counts = Array.copy v.h_counts;
+                       sum = v.h_sum;
+                       count = v.h_count;
+                     })))
+      snap
+
 let find snap ?(labels = []) name =
   let labels = norm_labels labels in
   List.find_map (fun s -> if s.name = name && s.labels = labels then Some s.value else None) snap

@@ -21,8 +21,12 @@
 type labels = (string * string) list
 
 type t
-(** A registry. Not thread-safe (the engine is single-threaded, as the
-    paper's Valgrind host serializes threads). *)
+(** A registry. Single-domain by design: a registry is mutated only by
+    the domain that owns it (the engine itself is single-threaded, as
+    the paper's Valgrind host serializes threads). Multi-domain
+    components give each domain its own registry and fold the
+    {!snapshot}s with {!merge} — never share one registry across
+    domains. *)
 
 val create : ?enabled:bool (** default [true] *) -> unit -> t
 
@@ -96,6 +100,25 @@ type snapshot = sample list
 (** Sorted by (name, labels); labels sorted by key. *)
 
 val snapshot : t -> snapshot
+
+val merge : snapshot list -> snapshot
+(** Deterministic multi-registry merge — how per-domain registries
+    (worker pools, shard routers) fold into one whole-process truth:
+    counters sum, gauges keep the max (all gauges here are peaks),
+    histograms add bucket-wise. Commutative and associative, so the
+    result is independent of snapshot order, and sorted like
+    {!snapshot} so it renders to identical JSON every time. Raises
+    [Invalid_argument] if one (name, labels) key appears with two
+    different kinds or with histograms whose bucket bounds differ —
+    that is a naming-contract bug between registries, not data. *)
+
+val absorb : t -> snapshot -> unit
+(** Fold a snapshot into a live registry with the same combine rules as
+    {!merge} (counters add, gauges keep the max, histograms add
+    bucket-wise) — how {!Shard_router} folds per-worker registries into
+    the router's registry after the workers join. No-op on a disabled
+    registry; raises [Invalid_argument] on a kind or bucket-bounds
+    clash, like {!merge}. *)
 
 val find : snapshot -> ?labels:labels -> string -> value_view option
 

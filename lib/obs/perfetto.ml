@@ -30,6 +30,16 @@ let complete ?cat ?pid ?tid ?(args = []) t ~name ~ts ~dur =
           ([ ("ts", Json.Int ts); ("dur", Json.Int (max 0 dur)) ]
           @ ids ?pid ?tid () @ args_field args)))
 
+let begin_slice ?cat ?pid ?tid ?(args = []) t ~name ~ts =
+  push t
+    (Json.Obj
+       (base ~name ?cat ~ph:"B" (("ts", Json.Int ts) :: (ids ?pid ?tid () @ args_field args))))
+
+let end_slice ?cat ?pid ?tid ?(args = []) t ~name ~ts =
+  push t
+    (Json.Obj
+       (base ~name ?cat ~ph:"E" (("ts", Json.Int ts) :: (ids ?pid ?tid () @ args_field args))))
+
 let instant ?cat ?pid ?tid ?(args = []) t ~name ~ts =
   push t
     (Json.Obj

@@ -39,6 +39,17 @@ val instant :
   ?cat:string -> ?pid:int -> ?tid:int -> ?args:(string * Json.t) list -> t -> name:string -> ts:int -> unit
 (** A thread-scoped instant marker (phase ["i"]). *)
 
+val begin_slice :
+  ?cat:string -> ?pid:int -> ?tid:int -> ?args:(string * Json.t) list -> t -> name:string -> ts:int -> unit
+(** Open a nested duration slice (phase ["B"]). Pair with
+    {!end_slice} on the same (pid, tid); an unmatched begin renders as
+    an open-ended slice — how the flight recorder draws a session that
+    was still in flight when the window was dumped. *)
+
+val end_slice :
+  ?cat:string -> ?pid:int -> ?tid:int -> ?args:(string * Json.t) list -> t -> name:string -> ts:int -> unit
+(** Close the innermost open slice on (pid, tid) (phase ["E"]). *)
+
 val counter : ?pid:int -> ?tid:int -> t -> name:string -> ts:int -> series:(string * int) list -> unit
 (** A counter sample (phase ["C"]); each series becomes one stacked
     band in the counter track. *)

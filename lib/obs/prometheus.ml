@@ -1,0 +1,192 @@
+(* Prometheus text exposition (version 0.0.4) for Metrics snapshots.
+   The snapshot is already sorted by (name, labels), so series of one
+   metric are adjacent and each name gets exactly one # TYPE line; the
+   same snapshot always renders to identical text. Histograms render
+   the cumulative _bucket/_sum/_count triplet Prometheus expects (our
+   JSON export keeps buckets non-cumulative; the conversion happens
+   here). *)
+
+(* Label values escape backslash, double quote and newline — the three
+   characters the exposition format reserves. Metric names and label
+   keys come from our own naming scheme and are emitted as-is. *)
+let escape_label_value s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let fmt_float f =
+  if Float.is_nan f then "NaN"
+  else if f = infinity then "+Inf"
+  else if f = neg_infinity then "-Inf"
+  else Printf.sprintf "%.12g" f
+
+let labels_body labels =
+  String.concat "," (List.map (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (escape_label_value v)) labels)
+
+let series_name name labels =
+  match labels with [] -> name | l -> Printf.sprintf "%s{%s}" name (labels_body l)
+
+let render snap =
+  let buf = Buffer.create 1024 in
+  let typed : (string, unit) Hashtbl.t = Hashtbl.create 16 in
+  let sample name labels value =
+    Buffer.add_string buf (series_name name labels);
+    Buffer.add_char buf ' ';
+    Buffer.add_string buf value;
+    Buffer.add_char buf '\n'
+  in
+  List.iter
+    (fun (s : Metrics.sample) ->
+      let kind =
+        match s.Metrics.value with
+        | Metrics.V_counter _ -> "counter"
+        | Metrics.V_gauge _ -> "gauge"
+        | Metrics.V_hist _ -> "histogram"
+      in
+      if not (Hashtbl.mem typed s.Metrics.name) then begin
+        Hashtbl.replace typed s.Metrics.name ();
+        Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" s.Metrics.name kind)
+      end;
+      let name = s.Metrics.name and labels = s.Metrics.labels in
+      match s.Metrics.value with
+      | Metrics.V_counter n -> sample name labels (string_of_int n)
+      | Metrics.V_gauge g -> sample name labels (fmt_float g)
+      | Metrics.V_hist v ->
+          let cum = ref 0 in
+          Array.iteri
+            (fun i le ->
+              cum := !cum + v.Metrics.h_counts.(i);
+              sample (name ^ "_bucket") (labels @ [ ("le", fmt_float le) ]) (string_of_int !cum))
+            v.Metrics.h_bounds;
+          sample (name ^ "_bucket") (labels @ [ ("le", "+Inf") ]) (string_of_int v.Metrics.h_count);
+          sample (name ^ "_sum") labels (fmt_float v.Metrics.h_sum);
+          sample (name ^ "_count") labels (string_of_int v.Metrics.h_count))
+    snap;
+  Buffer.contents buf
+
+(* ---------------------------------------------------------------- *)
+(* Validation (the CI gate over pmdb serve --metrics-file output)    *)
+(* ---------------------------------------------------------------- *)
+
+let is_name_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' || c = ':'
+
+let is_name_char c = is_name_start c || (c >= '0' && c <= '9')
+
+let parse_name line pos =
+  let n = String.length line in
+  if pos >= n || not (is_name_start line.[pos]) then None
+  else
+    let stop = ref pos in
+    while !stop < n && is_name_char line.[!stop] do
+      incr stop
+    done;
+    Some (String.sub line pos (!stop - pos), !stop)
+
+(* Parse [{k="v",...}] starting at [pos] (which must be '{'); returns
+   the position after the closing brace. Escapes inside values are the
+   three from escape_label_value. *)
+let parse_labels line pos =
+  let n = String.length line in
+  let rec pairs pos first =
+    if pos >= n then None
+    else if line.[pos] = '}' then Some (pos + 1)
+    else
+      let pos = if first then pos else if line.[pos] = ',' then pos + 1 else -1 in
+      if pos < 0 then None
+      else
+        match parse_name line pos with
+        | None -> None
+        | Some (_key, pos) ->
+            if pos + 1 >= n || line.[pos] <> '=' || line.[pos + 1] <> '"' then None
+            else
+              let rec value pos =
+                if pos >= n then None
+                else
+                  match line.[pos] with
+                  | '"' -> Some (pos + 1)
+                  | '\\' ->
+                      if pos + 1 < n && (line.[pos + 1] = '\\' || line.[pos + 1] = '"' || line.[pos + 1] = 'n')
+                      then value (pos + 2)
+                      else None
+                  | _ -> value (pos + 1)
+              in
+              (match value (pos + 2) with
+              | None -> None
+              | Some pos -> pairs pos false)
+  in
+  pairs (pos + 1) true
+
+let parse_value s =
+  let s = String.trim s in
+  if s = "" then None
+  else
+    match s with
+    | "+Inf" -> Some infinity
+    | "-Inf" -> Some neg_infinity
+    | "NaN" -> Some Float.nan
+    | _ -> float_of_string_opt s
+
+let validate text =
+  let lines = String.split_on_char '\n' text in
+  let declared : (string, string) Hashtbl.t = Hashtbl.create 16 in
+  let err lineno what = Error (Printf.sprintf "prometheus text: line %d: %s" lineno what) in
+  let base_declared name =
+    (* A histogram's samples carry _bucket/_sum/_count suffixes. *)
+    let histo_suffixed suffix =
+      let ls = String.length suffix in
+      let ln = String.length name in
+      ln > ls
+      && String.sub name (ln - ls) ls = suffix
+      && Hashtbl.find_opt declared (String.sub name 0 (ln - ls)) = Some "histogram"
+    in
+    Hashtbl.mem declared name || histo_suffixed "_bucket" || histo_suffixed "_sum"
+    || histo_suffixed "_count"
+  in
+  let check_sample lineno line =
+    match parse_name line 0 with
+    | None -> err lineno "sample does not start with a metric name"
+    | Some (name, pos) ->
+        let after_labels =
+          if pos < String.length line && line.[pos] = '{' then parse_labels line pos else Some pos
+        in
+        (match after_labels with
+        | None -> err lineno ("bad label syntax in sample of " ^ name)
+        | Some pos ->
+            if not (base_declared name) then err lineno ("sample of undeclared metric " ^ name)
+            else if pos >= String.length line || line.[pos] <> ' ' then
+              err lineno ("missing value after " ^ name)
+            else
+              (match parse_value (String.sub line pos (String.length line - pos)) with
+              | Some _ -> Ok ()
+              | None -> err lineno ("unparseable value for " ^ name)))
+  in
+  let rec go lineno samples = function
+    | [] -> Ok samples
+    | line :: rest ->
+        let line = String.trim line in
+        if line = "" then go (lineno + 1) samples rest
+        else if String.length line >= 7 && String.sub line 0 7 = "# TYPE " then begin
+          match String.split_on_char ' ' (String.sub line 7 (String.length line - 7)) with
+          | [ name; kind ] when List.mem kind [ "counter"; "gauge"; "histogram"; "summary"; "untyped" ]
+            ->
+              if Hashtbl.mem declared name then err lineno ("duplicate TYPE for " ^ name)
+              else begin
+                Hashtbl.replace declared name kind;
+                go (lineno + 1) samples rest
+              end
+          | _ -> err lineno "malformed TYPE line"
+        end
+        else if line.[0] = '#' then go (lineno + 1) samples rest
+        else
+          (match check_sample lineno line with
+          | Ok () -> go (lineno + 1) (samples + 1) rest
+          | Error _ as e -> e)
+  in
+  go 1 0 lines

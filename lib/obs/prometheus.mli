@@ -1,0 +1,24 @@
+(** Prometheus text exposition (format version 0.0.4) for
+    {!Metrics.snapshot}s — the scrape side of the observability layer:
+    [pmdb stats --prometheus] prints it, [pmdb serve --metrics-file]
+    writes it atomically on a timer so any Prometheus node_exporter
+    textfile collector (or plain [curl]-less file scrape) can ingest
+    daemon telemetry.
+
+    Counters and gauges render as single samples; histograms render
+    the cumulative [_bucket] series keyed by [le] (including [+Inf])
+    plus [_sum] and [_count], converted from our non-cumulative
+    internal buckets. Label values escape backslash, double quote and
+    newline per the spec. A snapshot is already sorted by
+    (name, labels), so each metric gets exactly one [# TYPE] line and
+    the same snapshot always renders to identical text. *)
+
+val render : Metrics.snapshot -> string
+
+val validate : string -> (int, string) result
+(** Structural check of an exposition document: every [# TYPE] line is
+    well-formed, every sample line parses (metric name, optional
+    brace-delimited labels with escapes, float value incl.
+    [+Inf]/[NaN]) and refers to a declared metric (histogram samples
+    may carry the [_bucket]/[_sum]/[_count] suffixes). Returns the
+    sample count — the CI gate over [--metrics-file] output. *)

@@ -81,6 +81,51 @@ let stats ~socket =
     | Error msg -> Error (Printf.sprintf "stats reply: %s" msg)
     | Ok json -> Obs.Metrics.snapshot_of_json json
 
+(* Follow a stats_stream: read newline-framed snapshot documents as
+   they arrive, handing each to [on_frame]. Bounded ([frames > 0]) the
+   daemon closes after the Nth frame; unbounded we read until the
+   daemon goes away or [on_frame] returns [false]. *)
+let stats_follow ~socket ?(frames = 0) ~on_frame () =
+  with_conn socket @@ fun fd ->
+  wrap_io @@ fun () ->
+  send_all fd (Wire.hello_line (Wire.Stats_stream { frames }) ^ "\n");
+  half_close fd;
+  let buf = Buffer.create 4096 in
+  let chunk = Bytes.create 65536 in
+  let seen = ref 0 in
+  let err = ref None in
+  let continue = ref true in
+  while !continue do
+    match Unix.read fd chunk 0 (Bytes.length chunk) with
+    | 0 -> continue := false
+    | n ->
+        Buffer.add_subbytes buf chunk 0 n;
+        let s = Buffer.contents buf in
+        Buffer.clear buf;
+        let parts = String.split_on_char '\n' s in
+        let rec feed = function
+          | [] -> ()
+          | [ tail ] -> Buffer.add_string buf tail (* incomplete line *)
+          | line :: rest ->
+              (if !continue && line <> "" then
+                 match Obs.Json.of_string line with
+                 | Error msg ->
+                     err := Some (Printf.sprintf "stats_stream frame: %s" msg);
+                     continue := false
+                 | Ok json -> (
+                     match Obs.Metrics.snapshot_of_json json with
+                     | Error msg ->
+                         err := Some (Printf.sprintf "stats_stream frame: %s" msg);
+                         continue := false
+                     | Ok snap ->
+                         incr seen;
+                         if not (on_frame snap) then continue := false));
+              feed rest
+        in
+        feed parts
+  done;
+  match !err with Some msg -> Error msg | None -> Ok !seen
+
 let stop ~socket =
   with_conn socket @@ fun fd ->
   wrap_io @@ fun () ->

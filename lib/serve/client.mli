@@ -22,6 +22,18 @@ val raw : socket:string -> string -> (string, string) result
 val stats : socket:string -> (Obs.Metrics.snapshot, string) result
 (** Fetch the daemon's live metrics snapshot. *)
 
+val stats_follow :
+  socket:string ->
+  ?frames:int ->
+  on_frame:(Obs.Metrics.snapshot -> bool) ->
+  unit ->
+  (int, string) result
+(** Subscribe to the daemon's [stats_stream]: each periodic merged
+    snapshot is handed to [on_frame], which returns [false] to
+    unsubscribe. With [frames > 0] the daemon closes the stream after
+    that many frames (default [0]: follow until the daemon goes away
+    or [on_frame] says stop). Returns the number of frames seen. *)
+
 val stop : socket:string -> (unit, string) result
 (** Ask the daemon to shut down gracefully. *)
 

@@ -9,6 +9,10 @@ type config = {
   max_sessions : int;
   pending_watermark : int;
   tick : float;
+  stream_interval : float;
+  metrics_file : string option;
+  flightrec_capacity : int;
+  flightrec_dir : string option;
 }
 
 let default_config ~socket =
@@ -21,23 +25,34 @@ let default_config ~socket =
     max_sessions = 64;
     pending_watermark = 4096;
     tick = 0.02;
+    stream_interval = 1.0;
+    metrics_file = None;
+    flightrec_capacity = 512;
+    flightrec_dir = None;
   }
+
+(* A stats_stream subscriber: [remaining] frames still owed (-1 means
+   until disconnect), [last_frame] when the previous one went out. *)
+type stream_state = { mutable remaining : int; mutable last_frame : float }
 
 (* A connection's lifecycle. [Hello] reads the first line; a session
    then walks Streaming -> Finishing -> Awaiting (see Session.phase for
    the session-side view); stats/stop connections are answered and
-   closed inside the hello handler. *)
+   closed inside the hello handler; stats_stream connections persist
+   and are fed from the tick loop. *)
 type conn_kind =
   | Hello of Buffer.t
   | Streaming of Session.t * Pool.slot
   | Finishing of Session.t * Pool.slot
   | Awaiting of Session.t * Pool.slot
+  | Stats_stream of stream_state
 
 type conn = {
   fd : Unix.file_descr;
   mutable kind : conn_kind;
   mutable eof : bool;
   mutable stalled : bool; (* backpressure: worker queue full this tick *)
+  mutable throttled : bool; (* backpressure: fd reads suspended *)
   mutable last_events : int; (* events/sec gauge bookkeeping *)
   mutable last_mark : float;
 }
@@ -45,12 +60,15 @@ type conn = {
 type t = {
   cfg : config;
   metrics : Obs.Metrics.t;
+  flightrec : Obs.Flightrec.t; (* dispatch-domain ring, wall-clock timestamps *)
   listener : Unix.file_descr;
   stop_r : Unix.file_descr;
   stop_w : Unix.file_descr;
   pool : Pool.t;
   mutable conns : conn list;
   mutable next_id : int;
+  mutable dump_seq : int;
+  mutable last_metrics_write : float;
   mutable stopping : bool;
   mutable running : bool;
 }
@@ -58,6 +76,43 @@ type t = {
 let now () = Unix.gettimeofday ()
 
 let session_label s = [ ("session", Session.name s) ]
+
+(* {2 Flight recorder} *)
+
+let record t ~cat ~name ~a ~b =
+  if Obs.Flightrec.is_on t.flightrec then Obs.Flightrec.record t.flightrec ~ts:(now ()) ~cat ~name ~a ~b
+
+(* The black-box dump: the dispatch ring plus every worker ring,
+   written as JSON and as a Perfetto trace. Best-effort by design — a
+   failing dump must never take the daemon down. *)
+let dump_flightrec t ~reason ~session =
+  match t.cfg.flightrec_dir with
+  | None -> ()
+  | Some dir when Obs.Flightrec.is_on t.flightrec ->
+      let n = t.dump_seq in
+      t.dump_seq <- n + 1;
+      let rings = ("dispatch", t.flightrec) :: Pool.flightrec_rings t.pool in
+      let meta =
+        [
+          ("reason", Obs.Json.Str reason);
+          ("session", Obs.Json.Str session);
+          ("time", Obs.Json.Float (now ()));
+        ]
+      in
+      let base = Filename.concat dir (Printf.sprintf "flightrec-%s-%s-%d" session reason n) in
+      let write path json =
+        try
+          let tmp = path ^ ".tmp" in
+          let oc = open_out tmp in
+          output_string oc (Obs.Json.to_string ~indent:true json);
+          output_char oc '\n';
+          close_out oc;
+          Sys.rename tmp path
+        with Sys_error _ -> ()
+      in
+      write (base ^ ".json") (Obs.Flightrec.dump_to_json ~meta rings);
+      write (base ^ ".perfetto.json") (Obs.Flightrec.dump_to_perfetto rings)
+  | Some _ -> ()
 
 (* {2 Socket plumbing} *)
 
@@ -92,7 +147,13 @@ let create ?(metrics = Obs.Metrics.disabled) ?(domains = true) ~make_sink cfg =
   let stop_r, stop_w = Unix.pipe () in
   Unix.set_nonblock stop_r;
   Unix.set_nonblock stop_w;
-  let pool = Pool.create ~domains ~workers:cfg.workers ~queue_capacity:cfg.queue_capacity make_sink in
+  let flightrec_on = cfg.flightrec_capacity > 0 in
+  let pool =
+    Pool.create ~domains
+      ~worker_metrics:(Obs.Metrics.is_on metrics)
+      ?flightrec_capacity:(if flightrec_on then Some cfg.flightrec_capacity else None)
+      ~workers:cfg.workers ~queue_capacity:cfg.queue_capacity make_sink
+  in
   if Obs.Metrics.is_on metrics then begin
     (* Pre-declare the robustness counters so a snapshot shows zeros
        rather than missing series. *)
@@ -114,12 +175,17 @@ let create ?(metrics = Obs.Metrics.disabled) ?(domains = true) ~make_sink cfg =
   {
     cfg;
     metrics;
+    flightrec =
+      (if flightrec_on then Obs.Flightrec.create ~capacity:cfg.flightrec_capacity ()
+       else Obs.Flightrec.disabled);
     listener;
     stop_r;
     stop_w;
     pool;
     conns = [];
     next_id = 0;
+    dump_seq = 0;
+    last_metrics_write = 0.0;
     stopping = false;
     running = false;
   }
@@ -129,10 +195,17 @@ let request_stop t =
      safe points): one byte down the self-pipe wakes the select. *)
   try ignore (Unix.write t.stop_w (Bytes.make 1 's') 0 1) with Unix.Unix_error _ -> ()
 
+let request_dump t =
+  try ignore (Unix.write t.stop_w (Bytes.make 1 'q') 0 1) with Unix.Unix_error _ -> ()
+
 let install_signal_handlers t =
   List.iter
     (fun signal -> Sys.set_signal signal (Sys.Signal_handle (fun _ -> request_stop t)))
-    [ Sys.sigterm; Sys.sigint ]
+    [ Sys.sigterm; Sys.sigint ];
+  (* SIGQUIT dumps the black box without stopping — kill -QUIT is the
+     operator's "what is it doing right now". *)
+  try Sys.set_signal Sys.sigquit (Sys.Signal_handle (fun _ -> request_dump t))
+  with Invalid_argument _ | Sys_error _ -> ()
 
 (* {2 Replies} *)
 
@@ -173,9 +246,9 @@ let reply_session t conn session frame =
   List.iter
     (fun g -> Obs.Metrics.set t.metrics ~labels:(session_label session) g 0.0)
     [ "serve_queue_depth"; "serve_live_bytes"; "serve_events_per_sec" ];
-  Obs.Metrics.inc t.metrics
-    ~labels:[ ("status", Status.name (Session.status session)) ]
-    "serve_sessions_closed_total";
+  let status = Status.name (Session.status session) in
+  Obs.Metrics.inc t.metrics ~labels:[ ("status", status) ] "serve_sessions_closed_total";
+  record t ~cat:"session" ~name:status ~a:(Session.id session) ~b:1;
   reply_frame t conn frame
 
 (* {2 Session termination paths} *)
@@ -183,10 +256,11 @@ let reply_session t conn session frame =
 (* Stop ingesting and drive the session toward its final report:
    optionally drop undelivered events, make sure the detector sees an
    end-of-trace, then let the Finishing flusher hand the rest over. *)
-let begin_finish conn session slot ~drop =
+let begin_finish t conn session slot ~drop =
   if drop then Session.drop_pending session;
   Session.ensure_end session;
   Session.set_phase session Session.Draining;
+  record t ~cat:"session" ~name:"drain" ~a:(Session.id session) ~b:0;
   conn.kind <- Finishing (session, slot)
 
 let session_result_frame session (report : Bug.report option) =
@@ -196,7 +270,11 @@ let session_result_frame session (report : Bug.report option) =
 
 (* {2 Hello handling} *)
 
-let stats_json t = Obs.Json.to_string ~indent:false (Obs.Metrics.to_json t.metrics)
+(* Whole-daemon truth: the dispatch domain's registry merged with the
+   latest published snapshot of every worker registry. *)
+let merged_snapshot t = Obs.Metrics.merge (Obs.Metrics.snapshot t.metrics :: Pool.metrics_snapshots t.pool)
+
+let stats_json t = Obs.Json.to_string ~indent:false (Obs.Metrics.snapshot_to_json (merged_snapshot t))
 
 let protocol_error t conn msg =
   Obs.Metrics.inc t.metrics "serve_protocol_errors_total";
@@ -208,6 +286,12 @@ let handle_hello_line t conn line =
   | Ok Wire.Stats ->
       ignore (write_all t conn.fd (stats_json t ^ "\n"));
       remove_conn t conn
+  | Ok (Wire.Stats_stream { frames }) ->
+      if t.stopping then protocol_error t conn "daemon is shutting down"
+      else
+        (* last_frame = 0 makes the first frame go out on the next
+           tick, so a follower sees data immediately. *)
+        conn.kind <- Stats_stream { remaining = (if frames = 0 then -1 else frames); last_frame = 0.0 }
   | Ok Wire.Stop ->
       ignore (write_all t conn.fd (Wire.result_to_line (Wire.result_frame Status.Ok) ^ "\n"));
       remove_conn t conn;
@@ -221,6 +305,7 @@ let handle_hello_line t conn line =
         let session = Session.create ~id ~name ~lenient ~now:(now ()) in
         let slot = Pool.open_session t.pool ~id in
         Obs.Metrics.inc t.metrics "serve_sessions_opened_total";
+        record t ~cat:"session" ~name:"open" ~a:id ~b:0;
         conn.kind <- Streaming (session, slot)
       end
 
@@ -235,7 +320,16 @@ let read_buf = Bytes.create 65536
 let quarantine_trace t conn session slot msg =
   Obs.Metrics.inc t.metrics ~labels:[ ("reason", "trace") ] "serve_quarantines_total";
   Session.terminate session Status.Trace_error (Some msg);
-  begin_finish conn session slot ~drop:false
+  record t ~cat:"quarantine" ~name:"trace" ~a:(Session.id session) ~b:0;
+  dump_flightrec t ~reason:"trace-quarantine" ~session:(Session.name session);
+  begin_finish t conn session slot ~drop:false
+
+let quarantine_detector t conn session slot msg ~drop =
+  Obs.Metrics.inc t.metrics ~labels:[ ("reason", "detector") ] "serve_quarantines_total";
+  Session.terminate session Status.Detector_error (Some msg);
+  record t ~cat:"quarantine" ~name:"detector" ~a:(Session.id session) ~b:0;
+  dump_flightrec t ~reason:"detector-quarantine" ~session:(Session.name session);
+  if drop then begin_finish t conn session slot ~drop:true
 
 let feed_session t conn session slot bytes_read =
   Obs.Metrics.inc t.metrics ~by:bytes_read "serve_bytes_read_total";
@@ -260,7 +354,7 @@ let handle_readable t conn =
             conn.eof <- true;
             handle_hello_line t conn s;
             match conn.kind with
-            | Streaming (session, slot) -> begin_finish conn session slot ~drop:false
+            | Streaming (session, slot) -> begin_finish t conn session slot ~drop:false
             | _ -> ()
           end)
       | n -> (
@@ -288,13 +382,22 @@ let handle_readable t conn =
       | exception Unix.Unix_error _ ->
           Obs.Metrics.inc t.metrics "serve_conn_errors_total";
           conn.eof <- true;
-          begin_finish conn session slot ~drop:false
+          begin_finish t conn session slot ~drop:false
       | 0 -> (
           conn.eof <- true;
           match Session.flush_partial session with
-          | Ok () -> begin_finish conn session slot ~drop:false
+          | Ok () -> begin_finish t conn session slot ~drop:false
           | Error msg -> quarantine_trace t conn session slot msg)
       | n -> feed_session t conn session slot n)
+  | Stats_stream _ ->
+      (* Subscribers only read; a half-close (EOF) is how one-shot
+         followers signal "send me my frames and go" — keep streaming,
+         a failed frame write reaps the connection. *)
+      (match Unix.read conn.fd read_buf 0 (Bytes.length read_buf) with
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ()
+      | exception Unix.Unix_error _ -> remove_conn t conn
+      | 0 -> conn.eof <- true
+      | _ -> ())
   | Finishing _ | Awaiting _ ->
       (* The reply is pending; ingest is over. Drain and discard
          whatever else the client sends so its writes never block. *)
@@ -323,7 +426,9 @@ let flush_pending t conn session slot =
           else begin
             if not conn.stalled then begin
               conn.stalled <- true;
-              Obs.Metrics.inc t.metrics "serve_backpressure_stalls_total"
+              Obs.Metrics.inc t.metrics "serve_backpressure_stalls_total";
+              record t ~cat:"backpressure" ~name:"stall" ~a:(Session.id session)
+                ~b:(Pool.queue_length t.pool ~id:(Session.id session))
             end;
             continue := false
           end
@@ -350,17 +455,41 @@ let update_gauges t conn session =
   Obs.Metrics.set t.metrics ~labels:(session_label session) "serve_live_bytes"
     (float_of_int (Session.live_bytes session))
 
+(* A stats_stream frame: one merged-snapshot JSON line. write_all
+   switches the fd to blocking; the subscriber stays in the select set,
+   so restore nonblock after every frame. *)
+let tick_stream t conn st =
+  let n = now () in
+  if n -. st.last_frame >= t.cfg.stream_interval then begin
+    st.last_frame <- n;
+    if not (write_all t conn.fd (stats_json t ^ "\n")) then remove_conn t conn
+    else begin
+      (try Unix.set_nonblock conn.fd with Unix.Unix_error _ -> ());
+      if st.remaining > 0 then begin
+        st.remaining <- st.remaining - 1;
+        if st.remaining = 0 then remove_conn t conn
+      end
+    end
+  end
+
 let tick_conn t conn =
   match conn.kind with
   | Hello _ -> ()
+  | Stats_stream st -> tick_stream t conn st
   | Streaming (session, slot) ->
       conn.stalled <- false;
+      (* Fd-throttling rung changes are flight-recorder events: the
+         black box shows when flow control engaged around a failure. *)
+      let throttled_now = Session.pending_events session >= t.cfg.pending_watermark in
+      if throttled_now <> conn.throttled then begin
+        conn.throttled <- throttled_now;
+        record t ~cat:"backpressure"
+          ~name:(if throttled_now then "throttle_on" else "throttle_off")
+          ~a:(Session.id session) ~b:(Session.pending_events session)
+      end;
       (* Detector quarantine surfaces between events. *)
       (match Pool.failed slot with
-      | Some msg ->
-          Obs.Metrics.inc t.metrics ~labels:[ ("reason", "detector") ] "serve_quarantines_total";
-          Session.terminate session Status.Detector_error (Some msg);
-          begin_finish conn session slot ~drop:true
+      | Some msg -> quarantine_detector t conn session slot msg ~drop:true
       | None ->
           (* Budget: partial line + undelivered events. *)
           if Session.live_bytes session > t.cfg.session_budget then begin
@@ -369,7 +498,10 @@ let tick_conn t conn =
               (Some
                  (Printf.sprintf "session budget exceeded (%d bytes held > %d budget)"
                     (Session.live_bytes session) t.cfg.session_budget));
-            begin_finish conn session slot ~drop:true
+            record t ~cat:"backpressure" ~name:"evict" ~a:(Session.id session)
+              ~b:(Session.live_bytes session);
+            dump_flightrec t ~reason:"eviction" ~session:(Session.name session);
+            begin_finish t conn session slot ~drop:true
           end
           else if
             (not conn.eof)
@@ -379,7 +511,7 @@ let tick_conn t conn =
             Obs.Metrics.inc t.metrics "serve_timeouts_total";
             Session.terminate session Status.Timeout
               (Some (Printf.sprintf "idle for more than %.1fs" t.cfg.idle_timeout));
-            begin_finish conn session slot ~drop:false
+            begin_finish t conn session slot ~drop:false
           end
           else if flush_pending t conn session slot then update_gauges t conn session)
   | Finishing (session, slot) ->
@@ -399,12 +531,26 @@ let tick_conn t conn =
              session status: the client must learn the detector failed. *)
           (if Session.status session = Status.Ok then
              match report.Bug.failure with
-             | Some msg ->
-                 Obs.Metrics.inc t.metrics ~labels:[ ("reason", "detector") ] "serve_quarantines_total";
-                 Session.terminate session Status.Detector_error (Some msg)
+             | Some msg -> quarantine_detector t conn session slot msg ~drop:false
              | None -> ());
           Session.set_phase session Session.Replied;
           reply_session t conn session (session_result_frame session (Some report)))
+
+(* {2 Prometheus metrics file} *)
+
+(* Atomic periodic exposition: render to a temp file, rename into
+   place, so a scraper never reads a half-written document. *)
+let write_metrics_file t =
+  match t.cfg.metrics_file with
+  | None -> ()
+  | Some path -> (
+      try
+        let tmp = path ^ ".tmp" in
+        let oc = open_out tmp in
+        output_string oc (Obs.Prometheus.render (merged_snapshot t));
+        close_out oc;
+        Sys.rename tmp path
+      with Sys_error _ -> ())
 
 (* {2 Accept} *)
 
@@ -417,7 +563,15 @@ let accept_loop t =
         Unix.set_nonblock fd;
         let n = now () in
         t.conns <-
-          { fd; kind = Hello (Buffer.create 64); eof = false; stalled = false; last_events = 0; last_mark = n }
+          {
+            fd;
+            kind = Hello (Buffer.create 64);
+            eof = false;
+            stalled = false;
+            throttled = false;
+            last_events = 0;
+            last_mark = n;
+          }
           :: t.conns;
         go ()
   in
@@ -433,6 +587,7 @@ let wants_read t conn =
          so the kernel socket buffer fills and the client's writes
          block — flow control for free. *)
       (not conn.eof) && Session.pending_events session < t.cfg.pending_watermark
+  | Stats_stream _ -> not conn.eof
   | Finishing _ | Awaiting _ -> not conn.eof
 
 let begin_shutdown t =
@@ -440,9 +595,13 @@ let begin_shutdown t =
     (fun conn ->
       match conn.kind with
       | Hello _ -> protocol_error t conn "daemon is shutting down"
+      | Stats_stream _ ->
+          (* One farewell frame so a follower sees the final state. *)
+          ignore (write_all t conn.fd (stats_json t ^ "\n"));
+          remove_conn t conn
       | Streaming (session, slot) ->
           Session.terminate session Status.Shutdown (Some "daemon is shutting down");
-          begin_finish conn session slot ~drop:false
+          begin_finish t conn session slot ~drop:false
       | Finishing _ | Awaiting _ -> ())
     t.conns
 
@@ -454,15 +613,30 @@ let run t =
       List.iter (fun c -> close_fd c.fd) t.conns;
       t.conns <- [];
       Pool.stop t.pool;
+      (* Workers have joined: the final exposition is exact. *)
+      write_metrics_file t;
       close_fd t.listener;
       close_fd t.stop_r;
       close_fd t.stop_w;
       try Unix.unlink t.cfg.socket_path with Unix.Unix_error _ -> ())
   @@ fun () ->
   let drain_stop_pipe () =
+    (* 's' requests shutdown, 'q' (SIGQUIT) a black-box dump. *)
     let b = Bytes.create 16 in
-    let rec go () = match Unix.read t.stop_r b 0 16 with 16 -> go () | _ -> () | exception Unix.Unix_error _ -> () in
-    go ()
+    let dump = ref false in
+    let rec go () =
+      match Unix.read t.stop_r b 0 16 with
+      | n ->
+          for i = 0 to n - 1 do
+            match Bytes.get b i with
+            | 'q' -> dump := true
+            | _ -> t.stopping <- true
+          done;
+          if n = 16 then go ()
+      | exception Unix.Unix_error _ -> ()
+    in
+    go ();
+    if !dump then dump_flightrec t ~reason:"sigquit" ~session:"daemon"
   in
   let shutdown_started = ref false in
   let continue = ref true in
@@ -478,10 +652,7 @@ let run t =
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
       | exception Unix.Unix_error (Unix.EBADF, _, _) -> ([], [], [])
     in
-    if List.mem t.stop_r readable then begin
-      drain_stop_pipe ();
-      t.stopping <- true
-    end;
+    if List.mem t.stop_r readable then drain_stop_pipe ();
     if (not t.stopping) && List.mem t.listener readable then accept_loop t;
     List.iter
       (fun conn ->
@@ -506,5 +677,11 @@ let run t =
           remove_conn t conn)
       t.conns;
     Obs.Metrics.set t.metrics "serve_sessions_active" (float_of_int (List.length t.conns));
+    (if t.cfg.metrics_file <> None then
+       let n = now () in
+       if n -. t.last_metrics_write >= t.cfg.stream_interval then begin
+         t.last_metrics_write <- n;
+         write_metrics_file t
+       end);
     if t.stopping && t.conns = [] then continue := false
   done

@@ -25,7 +25,27 @@
     gets a structured error frame, every other session is untouched.
     Shutdown (SIGTERM/SIGINT via {!install_signal_handlers}, a [stop]
     hello, or {!request_stop}) drains every live session through its
-    engine's [finish_all] before the process exits. *)
+    engine's [finish_all] before the process exits.
+
+    {2 Observability}
+
+    Telemetry is domain-safe: the dispatch domain's registry is merged
+    ({!Obs.Metrics.merge}) with the workers' atomically-published
+    snapshots for every [stats] reply, [stats_stream] frame, and
+    metrics-file write, so the numbers are whole-daemon truth — not
+    just the dispatch domain's view.
+
+    The daemon also keeps an always-on flight recorder
+    ({!Obs.Flightrec}): a fixed ring of recent session transitions,
+    quarantines, and backpressure rung changes on the dispatch domain,
+    plus one ring per worker fed by engine dispatch. On a quarantine,
+    an eviction, or SIGQUIT, the last-N window of every ring is dumped
+    into [flightrec_dir] as JSON and a Perfetto trace — a black box
+    for "what led up to this?" with no tracing enabled in advance.
+
+    When [metrics_file] is set, a Prometheus text-format rendering of
+    the merged snapshot is written atomically (temp file + rename)
+    every [stream_interval] seconds and once more at shutdown. *)
 
 type config = {
   socket_path : string;
@@ -36,6 +56,18 @@ type config = {
   max_sessions : int;  (** connection cap (default 64) *)
   pending_watermark : int;  (** parked events before fd throttling (default 4096) *)
   tick : float;  (** select timeout, the housekeeping cadence (default 20 ms) *)
+  stream_interval : float;
+      (** seconds between [stats_stream] frames and metrics-file
+          writes (default 1.0) *)
+  metrics_file : string option;
+      (** write Prometheus text exposition here periodically (default
+          [None]) *)
+  flightrec_capacity : int;
+      (** slots per flight-recorder ring; [0] disables recording
+          entirely (default 512) *)
+  flightrec_dir : string option;
+      (** where black-box dumps land; [None] records but never dumps
+          (default [None]) *)
 }
 
 val default_config : socket:string -> config
@@ -51,15 +83,25 @@ val create :
 (** Binds and listens on [socket_path] (a stale socket file left by a
     dead daemon is detected and replaced; a live daemon on the path is
     an error). [make_sink] runs once per session on the worker domain
-    and must build a fresh, unshared sink with disabled metrics. *)
+    and must build a fresh, unshared sink; when [metrics] is enabled
+    the pool gives every worker its own registry (see
+    {!Pool.create}) — worker-side telemetry never goes through the
+    sink, so reports stay byte-identical to an offline replay. *)
 
 val run : t -> unit
-(** Serve until stopped; drains sessions, stops workers, closes and
-    unlinks the socket before returning (also on exception). *)
+(** Serve until stopped; drains sessions, stops workers, writes the
+    final metrics file, closes and unlinks the socket before returning
+    (also on exception). *)
 
 val request_stop : t -> unit
 (** Trigger graceful shutdown from a signal handler or another domain
     (self-pipe; safe to call repeatedly). *)
 
+val request_dump : t -> unit
+(** Ask the dispatch loop to dump the flight recorder (reason
+    [sigquit]) without stopping; a no-op when [flightrec_dir] is
+    unset. *)
+
 val install_signal_handlers : t -> unit
-(** Route SIGTERM and SIGINT to {!request_stop}. *)
+(** Route SIGTERM and SIGINT to {!request_stop}, SIGQUIT to
+    {!request_dump}. *)

@@ -8,12 +8,36 @@ let result slot = Atomic.get slot.result
 
 type msg = Open of int * slot | Ev of int * Event.t | Finish of int | Stop
 
+(* Per-worker observability state, mutated only on the worker's domain.
+   The registry is published as an immutable snapshot through [snap]
+   (Atomic.set is a release: the dispatch domain reads a fully-built
+   value), so `pmdb stats --daemon` merges live worker truth without
+   the workers ever sharing a registry. The flight-recorder ring is
+   read directly by the dispatch domain at dump time — a benign data
+   race (every slot read sees some previously-written value; OCaml's
+   memory model keeps it memory-safe), acceptable for a black-box
+   diagnostic. *)
+type worker_state = {
+  labels : Obs.Metrics.labels; (* [("domain", "<i>")] *)
+  reg : Obs.Metrics.t;
+  ring : Obs.Flightrec.t;
+  snap : Obs.Metrics.snapshot Atomic.t;
+  mutable unpublished : int; (* Ev records since the last publish *)
+}
+
+let publish_every = 512
+
+let publish st =
+  Atomic.set st.snap (Obs.Metrics.snapshot st.reg);
+  st.unpublished <- 0
+
 type t = {
   workers : int;
   queues : msg Spsc.t array;
   mutable domains : unit Domain.t array; (* empty in inline mode *)
   use_domains : bool;
   make_sink : unit -> Sink.t;
+  states : worker_state array;
   inline_sessions : (int, Engine.t * slot) Hashtbl.t array; (* one per worker, inline mode only *)
 }
 
@@ -21,20 +45,32 @@ type t = {
    caller's): every detector exception funnels through the engine's
    quarantine — the session's report then carries the failure, exactly
    as an offline replay through an engine would. *)
-let handle make_sink sessions msg =
+let handle make_sink st sessions msg =
   match msg with
   | Open (id, slot) ->
-      let engine = Engine.create () in
+      (* The engine records dispatch into the worker's ring (virtual
+         seq timestamps); worker metrics stay out of the engine so the
+         per-session report is byte-identical to an offline replay. *)
+      let engine = Engine.create ~flightrec:st.ring () in
       (match make_sink () with
       | sink -> Engine.attach engine sink
       | exception exn ->
           Atomic.set slot.failed (Some (Printf.sprintf "sink creation raised: %s" (Printexc.to_string exn))));
-      Hashtbl.replace sessions id (engine, slot)
+      Hashtbl.replace sessions id (engine, slot);
+      if Obs.Metrics.is_on st.reg then begin
+        Obs.Metrics.inc st.reg ~labels:st.labels "serve_worker_sessions_total";
+        publish st
+      end
   | Ev (id, ev) -> (
       match Hashtbl.find_opt sessions id with
       | None -> ()
       | Some (engine, slot) ->
           Engine.emit engine ev;
+          if Obs.Metrics.is_on st.reg then begin
+            Obs.Metrics.inc st.reg ~labels:st.labels "serve_worker_events_total";
+            st.unpublished <- st.unpublished + 1;
+            if st.unpublished >= publish_every then publish st
+          end;
           if Atomic.get slot.failed = None then (
             match Engine.quarantined engine with
             | (_, msg) :: _ -> Atomic.set slot.failed (Some msg)
@@ -50,10 +86,17 @@ let handle make_sink sessions msg =
             | [] -> Bug.empty_report "serve"
             | exception exn -> { (Bug.empty_report "serve") with Bug.failure = Some (Printexc.to_string exn) }
           in
+          (* Publish before the result lands: once the dispatch domain
+             sees the report (and replies to the client), the published
+             snapshot is guaranteed to cover this whole session. *)
+          if Obs.Metrics.is_on st.reg then begin
+            Obs.Metrics.inc st.reg ~labels:st.labels "serve_worker_finishes_total";
+            publish st
+          end;
           Atomic.set slot.result (Some report))
   | Stop -> ()
 
-let worker_loop make_sink q =
+let worker_loop make_sink st q =
   (* Closing the queue on exit poisons it: a router push after worker
      death raises [Spsc.Closed] instead of blocking forever. *)
   Fun.protect ~finally:(fun () -> Spsc.close q) @@ fun () ->
@@ -62,15 +105,33 @@ let worker_loop make_sink q =
     match Spsc.pop q with
     | Stop -> ()
     | msg ->
-        handle make_sink sessions msg;
+        handle make_sink st sessions msg;
         go ()
     | exception Spsc.Closed -> ()
   in
   go ()
 
-let create ?(domains = true) ~workers ~queue_capacity make_sink =
+let create ?(domains = true) ?(worker_metrics = false) ?flightrec_capacity ~workers ~queue_capacity
+    make_sink =
   if workers < 1 then invalid_arg "Pool.create: workers must be >= 1";
   let queues = Array.init workers (fun _ -> Spsc.create ~capacity:queue_capacity) in
+  let states =
+    Array.init workers (fun i ->
+        let labels = [ ("domain", string_of_int i) ] in
+        let reg = Obs.Metrics.create ~enabled:worker_metrics () in
+        if worker_metrics then
+          (* Declare the series so every worker appears in merged
+             snapshots even before its first session. *)
+          List.iter
+            (fun name -> Obs.Metrics.inc reg ~labels ~by:0 name)
+            [ "serve_worker_sessions_total"; "serve_worker_events_total"; "serve_worker_finishes_total" ];
+        let ring =
+          match flightrec_capacity with
+          | None -> Obs.Flightrec.disabled
+          | Some capacity -> Obs.Flightrec.create ~capacity ()
+        in
+        { labels; reg; ring; snap = Atomic.make (Obs.Metrics.snapshot reg); unpublished = 0 })
+  in
   let t =
     {
       workers;
@@ -78,11 +139,13 @@ let create ?(domains = true) ~workers ~queue_capacity make_sink =
       domains = [||];
       use_domains = domains;
       make_sink;
+      states;
       inline_sessions = Array.init workers (fun _ -> Hashtbl.create 16);
     }
   in
   if domains then
-    t.domains <- Array.init workers (fun i -> Domain.spawn (fun () -> worker_loop make_sink queues.(i)));
+    t.domains <-
+      Array.init workers (fun i -> Domain.spawn (fun () -> worker_loop make_sink states.(i) queues.(i)));
   t
 
 let workers t = t.workers
@@ -90,13 +153,15 @@ let workers t = t.workers
 let worker_of t id = id mod t.workers
 
 let send t id msg =
-  if t.use_domains then Spsc.push t.queues.(worker_of t id) msg
-  else handle t.make_sink t.inline_sessions.(worker_of t id) msg
+  let w = worker_of t id in
+  if t.use_domains then Spsc.push t.queues.(w) msg
+  else handle t.make_sink t.states.(w) t.inline_sessions.(w) msg
 
 let try_send t id msg =
-  if t.use_domains then Spsc.try_push t.queues.(worker_of t id) msg
+  let w = worker_of t id in
+  if t.use_domains then Spsc.try_push t.queues.(w) msg
   else begin
-    handle t.make_sink t.inline_sessions.(worker_of t id) msg;
+    handle t.make_sink t.states.(w) t.inline_sessions.(w) msg;
     true
   end
 
@@ -113,9 +178,19 @@ let finish_session t ~id = send t id (Finish id)
 
 let queue_length t ~id = if t.use_domains then Spsc.length t.queues.(worker_of t id) else 0
 
+let metrics_snapshots t =
+  if t.use_domains then Array.to_list (Array.map (fun st -> Atomic.get st.snap) t.states)
+  else Array.to_list (Array.map (fun st -> Obs.Metrics.snapshot st.reg) t.states)
+
+let flightrec_rings t =
+  Array.to_list (Array.mapi (fun i st -> (Printf.sprintf "worker-%d" i, st.ring)) t.states)
+
 let stop t =
   if t.use_domains then begin
     Array.iter (fun q -> try Spsc.push q Stop with Spsc.Closed -> ()) t.queues;
     Array.iter Domain.join t.domains;
-    t.domains <- [||]
+    t.domains <- [||];
+    (* The workers have joined: publish their final registries so the
+       daemon's shutdown snapshot is exact. *)
+    Array.iter publish t.states
   end

@@ -37,10 +37,31 @@ val result : slot -> Bug.report option
     [finish_session]); the report's [failure] field carries any
     quarantine. *)
 
-val create : ?domains:bool (** default true *) -> workers:int -> queue_capacity:int -> (unit -> Sink.t) -> t
+val create :
+  ?domains:bool (** default true *) ->
+  ?worker_metrics:bool
+    (** default false: give each worker its own enabled
+        {!Obs.Metrics} registry recording
+        [serve_worker_sessions_total{domain}],
+        [serve_worker_events_total{domain}] and
+        [serve_worker_finishes_total{domain}]; immutable snapshots are
+        published through an atomic on every open/finish and every 512
+        events, so the dispatch domain can fold live worker truth into
+        {!Obs.Metrics.merge}d stats without sharing a registry across
+        domains. *) ->
+  ?flightrec_capacity:int
+    (** when given, each worker records into its own
+        {!Obs.Flightrec} ring of this capacity (engine dispatch with
+        virtual seq timestamps); see {!flightrec_rings}. Default:
+        disabled rings. *) ->
+  workers:int ->
+  queue_capacity:int ->
+  (unit -> Sink.t) ->
+  t
 (** [make_sink] is called once per session {e on the worker domain};
-    it must build a fresh, unshared sink (with disabled metrics — the
-    registry is not thread-safe). *)
+    it must build a fresh, unshared sink. Worker-side telemetry comes
+    from [worker_metrics], not the sink — per-session reports stay
+    byte-identical to an offline replay. *)
 
 val workers : t -> int
 
@@ -63,6 +84,20 @@ val finish_session : t -> id:int -> unit
 
 val queue_length : t -> id:int -> int
 (** Occupancy of the worker queue serving [id] (0 inline). *)
+
+val metrics_snapshots : t -> Obs.Metrics.snapshot list
+(** One snapshot per worker: the last atomically-published snapshot in
+    domain mode (at most 512 events stale; exact after {!stop}), the
+    live registry inline. Fold with {!Obs.Metrics.merge}. Empty
+    snapshots unless [worker_metrics] was set. *)
+
+val flightrec_rings : t -> (string * Obs.Flightrec.t) list
+(** The per-worker flight-recorder rings, labelled ["worker-<i>"], for
+    {!Obs.Flightrec.dump_to_json}. Reading a ring while its worker is
+    live is a benign data race (each entry read sees some
+    previously-written value — memory-safe, possibly torn across
+    fields): fine for a best-effort black-box dump, not for exact
+    accounting. *)
 
 val stop : t -> unit
 (** Stop and join every worker. Sessions not yet finished are dropped

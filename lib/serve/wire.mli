@@ -5,6 +5,7 @@
     {v
       pmdb-serve/1 session <name> [strict|lenient]   event-stream session
       pmdb-serve/1 stats                             metrics snapshot, then close
+      pmdb-serve/1 stats_stream [N]                  periodic snapshot frames
       pmdb-serve/1 stop                              graceful daemon shutdown
     v}
 
@@ -12,7 +13,10 @@
     line format and half-closes (shutdown of its write side); the
     daemon answers with exactly one {!result_frame} rendered as a
     single JSON line (schema [pmdb-serve/v1]) and closes. [stats]
-    connections receive one [pmdb-metrics/v1] JSON document. Any
+    connections receive one [pmdb-metrics/v1] JSON document;
+    [stats_stream] connections receive one such document per line at
+    the daemon's stream interval — [N] frames then close when [N > 0]
+    is given, until disconnect (or daemon shutdown) otherwise. Any
     malformed hello gets a [protocol-error] result frame.
 
     The report embedded in a result frame round-trips every field of
@@ -27,7 +31,11 @@ val protocol : string
 val schema : string
 (** Result-frame schema, ["pmdb-serve/v1"]. *)
 
-type hello = Session of { name : string; lenient : bool } | Stats | Stop
+type hello =
+  | Session of { name : string; lenient : bool }
+  | Stats
+  | Stats_stream of { frames : int }  (** [frames = 0]: stream until disconnect *)
+  | Stop
 
 val hello_line : hello -> string
 (** Without the trailing newline. *)

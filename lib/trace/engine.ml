@@ -14,6 +14,7 @@ type t = {
   mutable active_dirty : bool;
   mutable instrument : bool;
   mutable metrics : Obs.Metrics.t;
+  mutable flightrec : Obs.Flightrec.t;
   mutable tid : int;
   mutable seq : int;
   mutable n_stores : int;
@@ -22,7 +23,7 @@ type t = {
   mutable n_other : int;
 }
 
-let create ?initial_size ?(metrics = Obs.Metrics.disabled) () =
+let create ?initial_size ?(metrics = Obs.Metrics.disabled) ?(flightrec = Obs.Flightrec.disabled) () =
   {
     state = Pmem.State.create ?initial_size ();
     slots_rev = [];
@@ -30,6 +31,7 @@ let create ?initial_size ?(metrics = Obs.Metrics.disabled) () =
     active_dirty = false;
     instrument = true;
     metrics;
+    flightrec;
     tid = 0;
     seq = 0;
     n_stores = 0;
@@ -60,6 +62,9 @@ let refresh_active t =
 let quarantine_msg t slot msg =
   slot.failure <- Some msg;
   Obs.Metrics.inc t.metrics ~labels:[ ("sink", slot.sink.Sink.name) ] "engine_sinks_quarantined_total";
+  if Obs.Flightrec.is_on t.flightrec then
+    Obs.Flightrec.record t.flightrec ~ts:(float_of_int t.seq) ~cat:"quarantine"
+      ~name:slot.sink.Sink.name ~a:t.seq ~b:0;
   t.active_dirty <- true
 
 let quarantine t slot exn = quarantine_msg t slot (Printexc.to_string exn)
@@ -74,6 +79,10 @@ let set_instrumentation t b = t.instrument <- b
 let metrics t = t.metrics
 
 let set_metrics t m = t.metrics <- m
+
+let flightrec t = t.flightrec
+
+let set_flightrec t r = t.flightrec <- r
 
 let seq t = t.seq
 
@@ -99,7 +108,13 @@ let dispatch t ev =
   if t.instrument then begin
     if t.active_dirty then refresh_active t;
     let slots = t.active in
-    (* Hot path: the disabled-metrics cost is this one branch. *)
+    (* Hot path: disabled flight recorder and metrics cost one branch
+       each. The recorder timestamps with virtual seq time, so replay
+       dumps are deterministic. *)
+    if Obs.Flightrec.is_on t.flightrec then
+      Obs.Flightrec.record t.flightrec ~ts:(float_of_int t.seq) ~cat:"dispatch"
+        ~name:(Event.class_name ev) ~a:t.seq
+        ~b:(match ev with Event.Store { addr; _ } | Event.Clf { addr; _ } -> addr | _ -> 0);
     if not (Obs.Metrics.is_on t.metrics) then run_sinks t slots ev
     else begin
       let labels = [ ("class", Event.class_name ev) ] in

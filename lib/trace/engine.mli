@@ -16,13 +16,17 @@
 
 type t
 
-val create : ?initial_size:int -> ?metrics:Obs.Metrics.t -> unit -> t
+val create : ?initial_size:int -> ?metrics:Obs.Metrics.t -> ?flightrec:Obs.Flightrec.t -> unit -> t
 (** [metrics] (default the shared disabled registry) receives
     per-event-class dispatch counts and latencies
     ([engine_events_total{class}], [engine_dispatch_seconds{class}])
     and sink quarantine events
-    ([engine_sinks_quarantined_total{sink}]). With the registry
-    disabled the whole instrumentation costs one branch per event. *)
+    ([engine_sinks_quarantined_total{sink}]). [flightrec] (default the
+    shared disabled ring) records every dispatched event
+    ([cat="dispatch"], virtual seq timestamps, [b] = address for
+    stores/CLFs) and sink quarantines ([cat="quarantine"]). With both
+    disabled the whole instrumentation costs one branch each per
+    event. *)
 
 val pm : t -> Pmem.State.t
 
@@ -66,6 +70,12 @@ val metrics : t -> Obs.Metrics.t
 val set_metrics : t -> Obs.Metrics.t -> unit
 (** Swap the telemetry registry (e.g. to enable metrics after
     {!create}). *)
+
+val flightrec : t -> Obs.Flightrec.t
+
+val set_flightrec : t -> Obs.Flightrec.t -> unit
+(** Swap the flight-recorder ring — how the serve pool points a
+    worker's per-domain ring at each session's engine. *)
 
 val seq : t -> int
 (** Number of events emitted so far (sequence counter). *)

@@ -69,6 +69,9 @@ type t = {
   pinned : (int, unit) Hashtbl.t; (* line index -> (), lines of registered vars *)
   mutable events : int;
   metrics : Obs.Metrics.t;
+  worker_metrics : Obs.Metrics.t array;
+      (* one registry per worker, mutated only on that worker's domain;
+         folded into [metrics] by [finish] after the workers join *)
   max_bugs_per_kind : int;
   mutable result : Bug.report option;
 }
@@ -79,14 +82,27 @@ let shard_label i = [ ("shard", string_of_int i) ]
    (it should not — detector exceptions are caught below), the router's
    next push raises [Spsc.Closed] instead of blocking forever on a
    consumer that is gone; the engine then quarantines the router sink. *)
-let worker_loop w q processed =
+let worker_loop w q processed wreg shard =
   Fun.protect ~finally:(fun () -> Spsc.close q) @@ fun () ->
   let failure = ref None in
+  let labels = shard_label shard in
   let rec go () =
     match Spsc.pop q with
     | Ev { seq; silent; ev } ->
+        (* Worker-side telemetry lives in the worker's own registry:
+           zero cross-domain contention, folded in at finish. The
+           latency histogram is what attributes hand-off vs. detector
+           cost for the sharding regression (ROADMAP Open item 1). *)
         (if !failure = None then
-           try w.w_event ~seq ~silent ev with exn -> failure := Some (Printexc.to_string exn));
+           if not (Obs.Metrics.is_on wreg) then (
+             try w.w_event ~seq ~silent ev with exn -> failure := Some (Printexc.to_string exn))
+           else begin
+             Obs.Metrics.inc wreg ~labels "shard_worker_events_total";
+             let t0 = Unix.gettimeofday () in
+             (try w.w_event ~seq ~silent ev with exn -> failure := Some (Printexc.to_string exn));
+             Obs.Metrics.observe wreg ~labels "shard_worker_event_seconds"
+               (Unix.gettimeofday () -. t0)
+           end);
         Atomic.incr processed;
         go ()
     | Stop -> (
@@ -108,9 +124,19 @@ let send t i ~seq ~silent ev =
         (float_of_int (Spsc.length t.queues.(i)))
   end
   else begin
+    let wreg = t.worker_metrics.(i) in
     (if !(t.inline_failures.(i)) = None then
-       try t.workers.(i).w_event ~seq ~silent ev
-       with exn -> t.inline_failures.(i) := Some (Printexc.to_string exn));
+       if not (Obs.Metrics.is_on wreg) then (
+         try t.workers.(i).w_event ~seq ~silent ev
+         with exn -> t.inline_failures.(i) := Some (Printexc.to_string exn))
+       else begin
+         Obs.Metrics.inc wreg ~labels:(shard_label i) "shard_worker_events_total";
+         let t0 = Unix.gettimeofday () in
+         (try t.workers.(i).w_event ~seq ~silent ev
+          with exn -> t.inline_failures.(i) := Some (Printexc.to_string exn));
+         Obs.Metrics.observe wreg ~labels:(shard_label i) "shard_worker_event_seconds"
+           (Unix.gettimeofday () -. t0)
+       end);
     Atomic.incr t.processed.(i)
   end
 
@@ -316,6 +342,10 @@ let finish t =
           Obs.Metrics.max_set t.metrics ~labels:(shard_label i) "shard_queue_depth_peak"
             (float_of_int (Spsc.length q)))
         t.queues;
+      (* The workers have joined (or ran inline): reading their
+         registries is race-free, and absorbing them gives the router's
+         registry whole-run truth including worker-domain series. *)
+      Array.iter (fun wreg -> Obs.Metrics.absorb t.metrics (Obs.Metrics.snapshot wreg)) t.worker_metrics;
       let r = merge_reports t reports in
       t.result <- Some r;
       r
@@ -326,9 +356,13 @@ let create ~shards ?(queue_capacity = 1024) ?(domains = true) ?(metrics = Obs.Me
   let workers = Array.init shards make_worker in
   let queues = Array.init shards (fun _ -> Spsc.create ~capacity:queue_capacity) in
   let processed = Array.init shards (fun _ -> Atomic.make 0) in
+  let worker_metrics =
+    Array.init shards (fun _ -> Obs.Metrics.create ~enabled:(Obs.Metrics.is_on metrics) ())
+  in
   if Obs.Metrics.is_on metrics then begin
     for i = 0 to shards - 1 do
-      Obs.Metrics.inc metrics ~labels:(shard_label i) ~by:0 "shard_events_total"
+      Obs.Metrics.inc metrics ~labels:(shard_label i) ~by:0 "shard_events_total";
+      Obs.Metrics.inc worker_metrics.(i) ~labels:(shard_label i) ~by:0 "shard_worker_events_total"
     done;
     Obs.Metrics.inc metrics ~by:0 "shard_barrier_stalls_total"
   end;
@@ -347,13 +381,20 @@ let create ~shards ?(queue_capacity = 1024) ?(domains = true) ?(metrics = Obs.Me
       pinned = Hashtbl.create 16;
       events = 0;
       metrics;
+      worker_metrics;
       max_bugs_per_kind;
       result = None;
     }
   in
   let t =
     if domains then
-      { t with domains = Array.init shards (fun i -> Domain.spawn (fun () -> worker_loop workers.(i) queues.(i) processed.(i))) }
+      {
+        t with
+        domains =
+          Array.init shards (fun i ->
+              Domain.spawn (fun () ->
+                  worker_loop workers.(i) queues.(i) processed.(i) worker_metrics.(i) i));
+      }
     else t
   in
   t

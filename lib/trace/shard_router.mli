@@ -100,10 +100,15 @@ val sink :
         worker inline on the caller's domain — same routing and merge
         logic, deterministic scheduling, no parallelism. *) ->
   ?metrics:Obs.Metrics.t
-    (** router-side registry (workers must use disabled metrics — the
-        registry is not thread-safe): receives
-        [shard_events_total{shard}], [shard_barrier_stalls_total] and
-        [shard_queue_depth_peak{shard}]. *) ->
+    (** router-side registry: receives [shard_events_total{shard}],
+        [shard_barrier_stalls_total] and
+        [shard_queue_depth_peak{shard}] live. Each worker domain also
+        gets its own private registry (enabled iff this one is)
+        recording [shard_worker_events_total{shard}] and the
+        [shard_worker_event_seconds{shard}] latency histogram; those
+        are {!Obs.Metrics.absorb}ed into this registry when the sink
+        finishes and the workers have joined, so the final snapshot is
+        whole-run truth across domains. *) ->
   ?max_bugs_per_kind:int (** cap re-applied to the merged report, default 1000 *) ->
   (int -> worker) ->
   Sink.t

@@ -36,7 +36,8 @@ let test_measure () =
     (fun (_, p) ->
       Alcotest.(check int) "profiled every event" (Array.length trace) p.Harness.Timing.samples;
       Alcotest.(check bool) "p50 >= 0" true (p.Harness.Timing.p50_s >= 0.0);
-      Alcotest.(check bool) "p95 >= p50" true (p.Harness.Timing.p95_s >= p.Harness.Timing.p50_s))
+      Alcotest.(check bool) "p95 >= p50" true (p.Harness.Timing.p95_s >= p.Harness.Timing.p50_s);
+      Alcotest.(check bool) "p99 >= p95" true (p.Harness.Timing.p99_s >= p.Harness.Timing.p95_s))
     m.Harness.Timing.dispatch
 
 let test_formatters () =

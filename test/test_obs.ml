@@ -213,6 +213,259 @@ let test_nulgrind_overhead_guard () =
     (t2 < 0.002 || t2 < 3.0 *. (t +. 0.001))
 
 (* ------------------------------------------------------------------ *)
+(* Merge / absorb: the domain-safe aggregation laws                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Registries are built from op lists with kind-disjoint name pools
+   (c*_total counters, g* gauges, one default-bounds histogram), so any
+   two generated snapshots are merge-compatible. *)
+type mop = Op_inc of int * int * int | Op_gauge of int * float | Op_obs of float
+
+let mop_gen =
+  QCheck.Gen.(
+    oneof
+      [
+        map3 (fun n l by -> Op_inc (n, l, by)) (int_bound 2) (int_bound 2) (int_bound 5);
+        map2 (fun n v -> Op_gauge (n, v)) (int_bound 1) (float_bound_inclusive 10.0);
+        map (fun v -> Op_obs v) (float_bound_inclusive 2.0);
+      ])
+
+let apply_mops ops =
+  let t = M.create () in
+  List.iter
+    (function
+      | Op_inc (n, l, by) -> M.inc t ~labels:[ ("l", string_of_int l) ] ~by (Printf.sprintf "c%d_total" n)
+      | Op_gauge (n, v) -> M.max_set t (Printf.sprintf "g%d" n) v
+      | Op_obs v -> M.observe t "h_seconds" v)
+    ops;
+  M.snapshot t
+
+let mops_arb = QCheck.make ~print:(fun ops -> Printf.sprintf "<%d ops>" (List.length ops)) QCheck.Gen.(list_size (int_bound 20) mop_gen)
+
+let render_snap snap = J.to_string (M.snapshot_to_json snap)
+
+let prop_merge_commutative =
+  QCheck.Test.make ~name:"merge is commutative" ~count:200 (QCheck.pair mops_arb mops_arb)
+    (fun (xs, ys) ->
+      let a = apply_mops xs and b = apply_mops ys in
+      render_snap (M.merge [ a; b ]) = render_snap (M.merge [ b; a ]))
+
+let prop_merge_associative =
+  QCheck.Test.make ~name:"merge is associative" ~count:200 (QCheck.triple mops_arb mops_arb mops_arb)
+    (fun (xs, ys, zs) ->
+      let a = apply_mops xs and b = apply_mops ys and c = apply_mops zs in
+      let left = M.merge [ M.merge [ a; b ]; c ] and right = M.merge [ a; M.merge [ b; c ] ] in
+      render_snap left = render_snap right && render_snap left = render_snap (M.merge [ a; b; c ]))
+
+let prop_absorb_agrees_with_merge =
+  QCheck.Test.make ~name:"absorb-fold equals merge" ~count:200 (QCheck.pair mops_arb mops_arb)
+    (fun (xs, ys) ->
+      let a = apply_mops xs and b = apply_mops ys in
+      let t = M.create () in
+      M.absorb t a;
+      M.absorb t b;
+      render_snap (M.snapshot t) = render_snap (M.merge [ a; b ]))
+
+let test_merge_basics () =
+  let a = M.create () and b = M.create () in
+  M.inc a ~by:2 "x_total";
+  M.inc b ~by:3 "x_total";
+  M.set a "g" 1.0;
+  M.set b "g" 5.0;
+  M.observe a "h" 0.5;
+  M.observe b "h" 1.5;
+  let m = M.merge [ M.snapshot a; M.snapshot b ] in
+  Alcotest.(check int) "counters sum" 5 (M.counter_value m "x_total");
+  (match M.find m "g" with
+  | Some (M.V_gauge v) -> Alcotest.(check (float 0.0)) "gauges keep the max" 5.0 v
+  | _ -> Alcotest.fail "gauge missing");
+  (match M.find m "h" with
+  | Some (M.V_hist v) ->
+      Alcotest.(check int) "hist counts add" 2 v.M.h_count;
+      Alcotest.(check (float 1e-9)) "hist sums add" 2.0 v.M.h_sum
+  | _ -> Alcotest.fail "hist missing");
+  (* Only-in-one series survive untouched. *)
+  M.inc a ~labels:[ ("k", "v") ] "solo_total";
+  let m = M.merge [ M.snapshot a; M.snapshot b ] in
+  Alcotest.(check int) "lone series kept" 1 (M.counter_value m ~labels:[ ("k", "v") ] "solo_total")
+
+let test_merge_kind_clash () =
+  let a = M.create () and b = M.create () in
+  M.inc a "x";
+  M.set b "x" 1.0;
+  (match M.merge [ M.snapshot a; M.snapshot b ] with
+  | _ -> Alcotest.fail "kind clash must raise"
+  | exception Invalid_argument _ -> ());
+  let c = M.create () and d = M.create () in
+  M.observe c ~bounds:[| 1.0 |] "h" 0.5;
+  M.observe d ~bounds:[| 2.0 |] "h" 0.5;
+  (match M.merge [ M.snapshot c; M.snapshot d ] with
+  | _ -> Alcotest.fail "bounds clash must raise"
+  | exception Invalid_argument _ -> ());
+  (* absorb enforces the same compatibility rules. *)
+  let t = M.create () in
+  M.inc t "x";
+  match M.absorb t (M.snapshot b) with
+  | () -> Alcotest.fail "absorb kind clash must raise"
+  | exception Invalid_argument _ -> ()
+
+let test_absorb_disabled_noop () =
+  let a = M.create () in
+  M.inc a "x_total";
+  M.absorb M.disabled (M.snapshot a);
+  Alcotest.(check int) "disabled registry stays empty" 0 (List.length (M.snapshot M.disabled))
+
+(* ------------------------------------------------------------------ *)
+(* Flight recorder                                                     *)
+(* ------------------------------------------------------------------ *)
+
+module F = Obs.Flightrec
+
+let test_flightrec_wraparound () =
+  let r = F.create ~capacity:4 () in
+  for i = 0 to 9 do
+    F.record r ~ts:(float_of_int i) ~cat:"dispatch" ~name:"store" ~a:i ~b:(i * 2)
+  done;
+  Alcotest.(check int) "recorded counts everything" 10 (F.recorded r);
+  let w = F.window r in
+  Alcotest.(check int) "window capped at capacity" 4 (List.length w);
+  Alcotest.(check (list int)) "oldest-first, global seq survives wrap" [ 6; 7; 8; 9 ]
+    (List.map (fun e -> e.F.e_seq) w);
+  Alcotest.(check (list int)) "payload follows" [ 12; 14; 16; 18 ] (List.map (fun e -> e.F.e_b) w);
+  Alcotest.(check (list int)) "last-N trims from the old end" [ 8; 9 ]
+    (List.map (fun e -> e.F.e_seq) (F.window ~last:2 r));
+  F.clear r;
+  Alcotest.(check int) "clear empties the window" 0 (List.length (F.window r));
+  match F.create ~capacity:0 () with
+  | _ -> Alcotest.fail "capacity 0 must raise"
+  | exception Invalid_argument _ -> ()
+
+let test_flightrec_disabled () =
+  Alcotest.(check bool) "shared ring is off" false (F.is_on F.disabled);
+  F.record F.disabled ~ts:1.0 ~cat:"x" ~name:"y" ~a:1 ~b:2;
+  Alcotest.(check int) "disabled records nothing" 0 (F.recorded F.disabled);
+  (match F.set_enabled F.disabled true with
+  | () -> Alcotest.fail "enabling the shared disabled ring must raise"
+  | exception Invalid_argument _ -> ());
+  let r = F.create ~enabled:false () in
+  F.record r ~ts:1.0 ~cat:"x" ~name:"y" ~a:1 ~b:2;
+  F.set_enabled r true;
+  F.record r ~ts:2.0 ~cat:"x" ~name:"y" ~a:3 ~b:4;
+  Alcotest.(check int) "records only while enabled" 1 (F.recorded r)
+
+let test_flightrec_dump_json () =
+  let r = F.create ~capacity:8 () in
+  List.iteri
+    (fun i (cat, name, b) -> F.record r ~ts:(0.1 *. float_of_int i) ~cat ~name ~a:7 ~b)
+    [ ("session", "open", 0); ("dispatch", "store", 0); ("quarantine", "detector", 0); ("session", "detector-error", 1) ];
+  let doc = F.dump_to_json ~meta:[ ("reason", J.Str "test"); ("session", J.Str "s7") ] [ ("dispatch", r) ] in
+  (match F.validate_json doc with
+  | Ok n -> Alcotest.(check int) "all entries dumped" 4 n
+  | Error msg -> Alcotest.fail msg);
+  (match J.member "schema" doc with
+  | Some (J.Str s) -> Alcotest.(check string) "schema id" F.schema_id s
+  | _ -> Alcotest.fail "schema missing");
+  (match Option.bind (J.member "meta" doc) (J.member "session") with
+  | Some (J.Str "s7") -> ()
+  | _ -> Alcotest.fail "meta lost");
+  (* The window cap applies per ring. *)
+  match F.validate_json (F.dump_to_json ~last:2 [ ("dispatch", r) ]) with
+  | Ok n -> Alcotest.(check int) "last-N window" 2 n
+  | Error msg -> Alcotest.fail msg
+
+let test_flightrec_perfetto () =
+  let r = F.create ~capacity:32 () in
+  (* Two session lifecycles (one terminal, one left open) + noise. *)
+  List.iter
+    (fun (ts, cat, name, a, b) -> F.record r ~ts ~cat ~name ~a ~b)
+    [
+      (0.0, "session", "open", 1, 0);
+      (0.1, "backpressure", "stall", 1, 17);
+      (0.2, "session", "drain", 1, 0);
+      (0.3, "session", "ok", 1, 1);
+      (0.4, "session", "open", 2, 0);
+    ];
+  let doc = F.dump_to_perfetto [ ("dispatch", r) ] in
+  match Obs.Perfetto.validate_json doc with
+  | Ok n -> Alcotest.(check bool) (Printf.sprintf "%d trace events" n) true (n > 0)
+  | Error msg -> Alcotest.fail msg
+
+(* Mirror of test_disabled_overhead for the recorder: the always-on
+   hook may cost one branch when off. *)
+let test_flightrec_disabled_overhead () =
+  let r = F.disabled in
+  let t0 = Unix.gettimeofday () in
+  for i = 1 to 1_000_000 do
+    F.record r ~ts:0.0 ~cat:"dispatch" ~name:"store" ~a:i ~b:0
+  done;
+  let dt = Unix.gettimeofday () -. t0 in
+  Alcotest.(check bool) (Printf.sprintf "1M disabled records in %.3fs < 0.5s" dt) true (dt < 0.5)
+
+(* ------------------------------------------------------------------ *)
+(* Prometheus exposition                                               *)
+(* ------------------------------------------------------------------ *)
+
+module P = Obs.Prometheus
+
+let test_prometheus_render () =
+  let t = M.create () in
+  M.inc t ~by:3 ~labels:[ ("status", "ok") ] "serve_sessions_closed_total";
+  M.set t "serve_sessions_active" 2.0;
+  M.observe t ~bounds:[| 0.5; 1.0 |] "ingest_seconds" 0.25;
+  M.observe t ~bounds:[| 0.5; 1.0 |] "ingest_seconds" 2.0;
+  let text = P.render (M.snapshot t) in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (Printf.sprintf "contains %S" needle) true
+        (let nl = String.length needle and tl = String.length text in
+         let rec go i = i + nl <= tl && (String.sub text i nl = needle || go (i + 1)) in
+         go 0))
+    [
+      "# TYPE serve_sessions_closed_total counter";
+      "serve_sessions_closed_total{status=\"ok\"} 3";
+      "# TYPE serve_sessions_active gauge";
+      "# TYPE ingest_seconds histogram";
+      "ingest_seconds_bucket{le=\"0.5\"} 1";
+      "ingest_seconds_bucket{le=\"+Inf\"} 2";
+      "ingest_seconds_sum 2.25";
+      "ingest_seconds_count 2";
+    ];
+  (match P.validate text with
+  | Ok n -> Alcotest.(check bool) (Printf.sprintf "%d samples" n) true (n >= 6)
+  | Error msg -> Alcotest.fail msg);
+  (* Deterministic: the same snapshot renders to identical text. *)
+  Alcotest.(check string) "render is deterministic" text (P.render (M.snapshot t))
+
+let test_prometheus_escaping () =
+  let t = M.create () in
+  M.inc t ~labels:[ ("path", "a\\b\"c\nd") ] "weird_total";
+  let text = P.render (M.snapshot t) in
+  let contains needle =
+    let nl = String.length needle and tl = String.length text in
+    let rec go i = i + nl <= tl && (String.sub text i nl = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "backslash, quote and newline escaped" true
+    (contains "path=\"a\\\\b\\\"c\\nd\"");
+  match P.validate text with
+  | Ok n -> Alcotest.(check int) "escapes parse back" 1 n
+  | Error msg -> Alcotest.fail msg
+
+let test_prometheus_validate_rejects () =
+  List.iter
+    (fun (what, text) ->
+      match P.validate text with
+      | Ok _ -> Alcotest.failf "accepted %s" what
+      | Error _ -> ())
+    [
+      ("undeclared sample", "foo_total 3\n");
+      ("duplicate TYPE", "# TYPE x counter\n# TYPE x counter\nx 1\n");
+      ("bad value", "# TYPE x counter\nx banana\n");
+      ("unterminated labels", "# TYPE x counter\nx{a=\"1\" 3\n");
+      ("bad TYPE kind", "# TYPE x thing\nx 1\n");
+    ]
+
+(* ------------------------------------------------------------------ *)
 (* Spans                                                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -373,6 +626,20 @@ let suite =
     Alcotest.test_case "kind-mismatch" `Quick test_kind_mismatch;
     Alcotest.test_case "disabled-overhead" `Quick test_disabled_overhead;
     Alcotest.test_case "nulgrind-overhead-guard" `Quick test_nulgrind_overhead_guard;
+    QCheck_alcotest.to_alcotest prop_merge_commutative;
+    QCheck_alcotest.to_alcotest prop_merge_associative;
+    QCheck_alcotest.to_alcotest prop_absorb_agrees_with_merge;
+    Alcotest.test_case "merge-basics" `Quick test_merge_basics;
+    Alcotest.test_case "merge-kind-clash" `Quick test_merge_kind_clash;
+    Alcotest.test_case "absorb-disabled-noop" `Quick test_absorb_disabled_noop;
+    Alcotest.test_case "flightrec-wraparound" `Quick test_flightrec_wraparound;
+    Alcotest.test_case "flightrec-disabled" `Quick test_flightrec_disabled;
+    Alcotest.test_case "flightrec-dump-json" `Quick test_flightrec_dump_json;
+    Alcotest.test_case "flightrec-perfetto" `Quick test_flightrec_perfetto;
+    Alcotest.test_case "flightrec-disabled-overhead" `Quick test_flightrec_disabled_overhead;
+    Alcotest.test_case "prometheus-render" `Quick test_prometheus_render;
+    Alcotest.test_case "prometheus-escaping" `Quick test_prometheus_escaping;
+    Alcotest.test_case "prometheus-validate-rejects" `Quick test_prometheus_validate_rejects;
     Alcotest.test_case "spans" `Quick test_spans;
     Alcotest.test_case "engine-telemetry" `Quick test_engine_telemetry;
     Alcotest.test_case "engine-quarantine-metric" `Quick test_engine_quarantine_metric;

@@ -134,8 +134,15 @@ let test_wire_parse_hello () =
   | Ok (W.Session { lenient; _ }) -> Alcotest.(check bool) "lenient flag" true lenient
   | _ -> Alcotest.fail "lenient hello rejected");
   Alcotest.(check bool) "stats verb" true (W.parse_hello "pmdb-serve/1 stats" = Ok W.Stats);
+  Alcotest.(check bool) "stats_stream verb" true
+    (W.parse_hello "pmdb-serve/1 stats_stream" = Ok (W.Stats_stream { frames = 0 }));
+  Alcotest.(check bool) "bounded stats_stream" true
+    (W.parse_hello "pmdb-serve/1 stats_stream 5" = Ok (W.Stats_stream { frames = 5 }));
   Alcotest.(check bool) "stop verb" true (W.parse_hello "pmdb-serve/1 stop" = Ok W.Stop);
   let rejected s = match W.parse_hello s with Error _ -> true | Ok _ -> false in
+  Alcotest.(check bool) "zero-frame stats_stream" true (rejected "pmdb-serve/1 stats_stream 0");
+  Alcotest.(check bool) "negative stats_stream" true (rejected "pmdb-serve/1 stats_stream -3");
+  Alcotest.(check bool) "non-numeric stats_stream" true (rejected "pmdb-serve/1 stats_stream many");
   Alcotest.(check bool) "bad magic" true (rejected "pmdb-serve/2 session s");
   Alcotest.(check bool) "bad verb" true (rejected "pmdb-serve/1 sessions s");
   Alcotest.(check bool) "empty name" true (rejected "pmdb-serve/1 session ");
@@ -146,7 +153,14 @@ let test_wire_parse_hello () =
   (* hello_line and parse_hello must agree. *)
   List.iter
     (fun h -> Alcotest.(check bool) "hello_line round-trip" true (W.parse_hello (W.hello_line h) = Ok h))
-    [ W.Session { name = "w1"; lenient = false }; W.Session { name = "w1"; lenient = true }; W.Stats; W.Stop ]
+    [
+      W.Session { name = "w1"; lenient = false };
+      W.Session { name = "w1"; lenient = true };
+      W.Stats;
+      W.Stats_stream { frames = 0 };
+      W.Stats_stream { frames = 3 };
+      W.Stop;
+    ]
 
 let test_wire_malformed_json () =
   let module W = Serve.Wire in
@@ -366,8 +380,16 @@ let offline_report body =
   | Error e -> Alcotest.fail ("offline parse failed: " ^ e)
   | Ok trace -> Recorder.replay trace (D.sink (D.create ~model:D.Strict ()))
 
-let start_daemon ?(idle_timeout = 0.5) ?(workers = 2) ~metrics socket =
-  let cfg = { (Serve.Daemon.default_config ~socket) with Serve.Daemon.workers; idle_timeout } in
+let start_daemon ?(idle_timeout = 0.5) ?(workers = 2) ?(stream_interval = 1.0) ?flightrec_dir ~metrics socket =
+  let cfg =
+    {
+      (Serve.Daemon.default_config ~socket) with
+      Serve.Daemon.workers;
+      idle_timeout;
+      stream_interval;
+      flightrec_dir;
+    }
+  in
   let daemon =
     Serve.Daemon.create ~metrics ~make_sink:(fun () -> D.sink (D.create ~model:D.Strict ())) cfg
   in
@@ -434,20 +456,53 @@ let test_gate_eight_clients_two_misbehaving () =
       Alcotest.(check int) "exactly one timeout" 1 (c "serve_timeouts_total");
       Alcotest.(check int) "no evictions" 0 (c "serve_evictions_total");
       Alcotest.(check int) "six healthy closes" 6
-        (c ~labels:[ ("status", "ok") ] "serve_sessions_closed_total"));
+        (c ~labels:[ ("status", "ok") ] "serve_sessions_closed_total");
+      (* Domain-safe telemetry: the stats snapshot is merged across the
+         dispatch domain and every worker's published registry — the
+         per-domain serve_worker_events_total series must balance the
+         events the dispatch side submitted. *)
+      let sum name =
+        List.fold_left
+          (fun acc (s : Obs.Metrics.sample) ->
+            match s.Obs.Metrics.value with
+            | Obs.Metrics.V_counter n when s.Obs.Metrics.name = name -> acc + n
+            | _ -> acc)
+          0 snap
+      in
+      Alcotest.(check bool) "worker series non-zero" true (sum "serve_worker_events_total" > 0);
+      Alcotest.(check int) "worker domains account for every submitted event"
+        (sum "serve_events_total")
+        (sum "serve_worker_events_total"));
   (match Serve.Client.stop ~socket with
   | Ok () -> ()
   | Error e -> Alcotest.fail ("stop: " ^ e));
   Domain.join handle;
   Alcotest.(check bool) "socket unlinked on shutdown" false (Sys.file_exists socket)
 
+let temp_dir () =
+  let d = Filename.temp_file "pmdb-flightrec" "" in
+  Sys.remove d;
+  Unix.mkdir d 0o700;
+  d
+
 (* A session whose detector raises mid-stream is quarantined with a
-   detector-error frame; its sibling on the same daemon is unharmed. *)
+   detector-error frame; its sibling on the same daemon is unharmed.
+   The flight recorder (always on — the byte-identical report checks
+   above already run with it recording) must leave a black-box dump
+   naming the failing session. *)
 let test_gate_detector_quarantine_isolated () =
   let socket = temp_socket () in
+  let dumpdir = temp_dir () in
   let metrics = Obs.Metrics.create () in
   let calls = Atomic.make 0 in
-  let cfg = { (Serve.Daemon.default_config ~socket) with Serve.Daemon.workers = 2; idle_timeout = 5.0 } in
+  let cfg =
+    {
+      (Serve.Daemon.default_config ~socket) with
+      Serve.Daemon.workers = 2;
+      idle_timeout = 5.0;
+      flightrec_dir = Some dumpdir;
+    }
+  in
   (* Session ids are assigned in accept order starting at 1; worker =
      id mod workers keeps both sessions apart, and the first session
      created on the daemon gets the exploding sink. *)
@@ -478,6 +533,83 @@ let test_gate_detector_quarantine_isolated () =
   | Error e -> Alcotest.fail ("bystander client: " ^ e)
   | Ok frame ->
       Alcotest.(check bool) "sibling session unaffected" true (frame.Serve.Wire.status = Serve.Status.Ok));
+  (match Serve.Client.stop ~socket with Ok () -> () | Error e -> Alcotest.fail ("stop: " ^ e));
+  Domain.join handle;
+  (* The black box: the quarantine left a dump naming the failing
+     session, with recorded entries, plus a Perfetto twin. *)
+  let json_path = Filename.concat dumpdir "flightrec-doomed-detector-quarantine-0.json" in
+  Alcotest.(check bool) "dump written" true (Sys.file_exists json_path);
+  (match Obs.Json.of_file json_path with
+  | Error e -> Alcotest.fail ("dump unreadable: " ^ e)
+  | Ok doc ->
+      (match Obs.Flightrec.validate_json doc with
+      | Error e -> Alcotest.fail ("dump malformed: " ^ e)
+      | Ok entries -> Alcotest.(check bool) "dump non-empty" true (entries > 0));
+      let meta_str field =
+        Option.bind (Obs.Json.member "meta" doc) (fun m ->
+            Option.bind (Obs.Json.member field m) Obs.Json.to_str)
+      in
+      Alcotest.(check (option string)) "dump names the failing session" (Some "doomed")
+        (meta_str "session");
+      Alcotest.(check (option string)) "dump carries the reason" (Some "detector-quarantine")
+        (meta_str "reason"));
+  let perfetto_path = Filename.concat dumpdir "flightrec-doomed-detector-quarantine-0.perfetto.json" in
+  (match Obs.Json.of_file perfetto_path with
+  | Error e -> Alcotest.fail ("perfetto dump unreadable: " ^ e)
+  | Ok doc -> (
+      match Obs.Perfetto.validate_json doc with
+      | Error e -> Alcotest.fail ("perfetto dump malformed: " ^ e)
+      | Ok n -> Alcotest.(check bool) "perfetto dump non-empty" true (n > 0)))
+
+(* ---------------------------------------------------------------- *)
+(* stats_stream: live merged-snapshot frames                          *)
+(* ---------------------------------------------------------------- *)
+
+let test_stats_stream_follow () =
+  let socket = temp_socket () in
+  let metrics = Obs.Metrics.create () in
+  let handle = start_daemon ~idle_timeout:5.0 ~stream_interval:0.05 ~metrics socket in
+  (* Put a session through first so frames carry real counters. *)
+  (match Serve.Client.replay_string ~socket ~name:"warm" trace_body with
+  | Error e -> Alcotest.fail ("warm session: " ^ e)
+  | Ok frame ->
+      Alcotest.(check bool) "warm session ok" true (frame.Serve.Wire.status = Serve.Status.Ok));
+  let frames = ref [] in
+  (match
+     Serve.Client.stats_follow ~socket ~frames:3
+       ~on_frame:(fun snap ->
+         frames := snap :: !frames;
+         true)
+       ()
+   with
+  | Error e -> Alcotest.fail ("stats_follow: " ^ e)
+  | Ok n -> Alcotest.(check int) "stream closed after the requested frames" 3 n);
+  Alcotest.(check int) "every frame delivered to on_frame" 3 (List.length !frames);
+  List.iter
+    (fun snap ->
+      Alcotest.(check int) "frame sees the warm session" 1
+        (Obs.Metrics.counter_value snap "serve_sessions_opened_total");
+      Alcotest.(check bool) "frame is merged: worker series present" true
+        (List.exists
+           (fun (s : Obs.Metrics.sample) -> s.Obs.Metrics.name = "serve_worker_events_total")
+           snap))
+    !frames;
+  (* The raw wire view: a bounded stream is exactly N newline-framed
+     snapshot documents, each independently parseable. *)
+  (match Serve.Client.raw ~socket "pmdb-serve/1 stats_stream 2\n" with
+  | Error e -> Alcotest.fail ("raw stats_stream: " ^ e)
+  | Ok reply ->
+      let lines = List.filter (fun l -> l <> "") (String.split_on_char '\n' reply) in
+      Alcotest.(check int) "two frames on the wire" 2 (List.length lines);
+      List.iter
+        (fun line ->
+          match Obs.Json.of_string line with
+          | Error e -> Alcotest.fail ("frame is not JSON: " ^ e)
+          | Ok json -> (
+              match Obs.Metrics.snapshot_of_json json with
+              | Error e -> Alcotest.fail ("frame is not a snapshot: " ^ e)
+              | Ok _ -> ()))
+        lines);
   (match Serve.Client.stop ~socket with Ok () -> () | Error e -> Alcotest.fail ("stop: " ^ e));
   Domain.join handle
 
@@ -579,5 +711,6 @@ let suite =
     Alcotest.test_case "pool inline detector failure" `Quick test_pool_inline_detector_failure;
     Alcotest.test_case "gate: 8 clients, 2 misbehaving" `Quick test_gate_eight_clients_two_misbehaving;
     Alcotest.test_case "gate: detector quarantine is isolated" `Quick test_gate_detector_quarantine_isolated;
+    Alcotest.test_case "stats_stream follow" `Quick test_stats_stream_follow;
     Alcotest.test_case "protocol fuzz" `Quick test_fuzz_protocol;
   ]
