@@ -25,10 +25,11 @@ let backend_for ~metrics = function
   | other ->
       failwith (Printf.sprintf "unknown backend %S (expected one of: %s)" other (String.concat ", " backend_names))
 
-let sink_for ?(metrics = Obs.Metrics.disabled) ?(shards = 0) ?(backend = "hybrid") name model config =
+let sink_for ?(metrics = Obs.Metrics.disabled) ?(shards = 0) ?(frame_size = Shard_router.default_frame_size)
+    ?(backend = "hybrid") name model config =
   match name with
   | "pmdebugger" when shards >= 1 ->
-      Shard_router.sink ~shards ~metrics (fun _shard ->
+      Shard_router.sink ~shards ~frame_size ~metrics (fun _shard ->
           let backend = backend_for ~metrics:Obs.Metrics.disabled backend in
           Pmdebugger.Detector.worker (Pmdebugger.Detector.create ~model ~config ?backend ~walk_dedup:false ()))
   | "pmdebugger" ->
@@ -114,12 +115,12 @@ let print_findings ~max_print report =
   Printf.printf "%d finding(s); kinds: %s\n" total
     (String.concat ", " (List.map Bug.kind_name (Bug.kinds_found report)))
 
-let run_workload_reports ?(shards = 0) ?(backend = "hybrid") ~metrics ~spans workload n detector config annotate
-    =
+let run_workload_reports ?(shards = 0) ?(frame_size = Shard_router.default_frame_size) ?(backend = "hybrid")
+    ~metrics ~spans workload n detector config annotate =
   let spec = Workloads.Registry.find_exn workload in
   let config = load_config config in
   let engine = Engine.create ~metrics () in
-  Engine.attach engine (sink_for ~metrics ~shards ~backend detector spec.W.model config);
+  Engine.attach engine (sink_for ~metrics ~shards ~frame_size ~backend detector spec.W.model config);
   let t0 = Unix.gettimeofday () in
   Obs.Span.record spans ~attrs:[ ("workload", workload) ] "run" (fun () ->
       spec.W.run (W.params ~annotate ~n ()) engine);
@@ -129,10 +130,10 @@ let run_workload_reports ?(shards = 0) ?(backend = "hybrid") ~metrics ~spans wor
   let reports = Obs.Span.record spans "finish" (fun () -> Engine.finish_all engine) in
   (engine, reports, dt)
 
-let run_cmd workload n detector config annotate max_print shards backend metrics_file =
+let run_cmd workload n detector config annotate max_print shards frame_size backend metrics_file =
   with_metrics metrics_file (fun metrics spans ->
       let engine, reports, dt =
-        run_workload_reports ~shards ~backend ~metrics ~spans workload n detector config annotate
+        run_workload_reports ~shards ~frame_size ~backend ~metrics ~spans workload n detector config annotate
       in
       List.iter
         (fun report ->
@@ -265,7 +266,7 @@ let replay_daemon_cmd ~socket ~file ~max_print ~lenient =
             (Option.value error ~default:"(no detail)"));
       exit (Serve.Status.exit_code frame.Serve.Wire.status)
 
-let replay_cmd file detector config max_print lenient daemon shards backend metrics_file =
+let replay_cmd file detector config max_print lenient daemon shards frame_size backend metrics_file =
   match daemon with
   | Some socket -> replay_daemon_cmd ~socket ~file ~max_print ~lenient
   | None ->
@@ -278,7 +279,7 @@ let replay_cmd file detector config max_print lenient daemon shards backend metr
          streams straight from disk into the engine — constant memory
          regardless of trace size. *)
       let engine = Engine.create ~metrics () in
-      Engine.attach engine (sink_for ~metrics ~shards ~backend detector Pmdebugger.Detector.Strict config);
+      Engine.attach engine (sink_for ~metrics ~shards ~frame_size ~backend detector Pmdebugger.Detector.Strict config);
       Obs.Span.record spans ~attrs:[ ("file", file) ] "replay" (fun () ->
           if lenient then (
             match
@@ -727,8 +728,8 @@ let stats_cmd workload n detector config check check_prometheus diff files check
           Obs.Json.to_file path json;
           Printf.printf "metrics written to %s\n" path
 
-let serve_cmd socket workers queue_capacity idle_timeout session_budget max_sessions detector config
-    metrics_file flightrec_dir stop probe =
+let serve_cmd socket workers queue_capacity idle_timeout session_budget max_sessions detector config shards
+    frame_size metrics_file flightrec_dir stop probe =
   if stop then (
     match Serve.Client.stop ~socket with
     | Ok () -> Printf.printf "daemon at %s stopped\n" socket
@@ -773,7 +774,14 @@ let serve_cmd socket workers queue_capacity idle_timeout session_budget max_sess
             flightrec_dir;
           }
         in
-        let make_sink () = sink_for ~metrics:Obs.Metrics.disabled detector Pmdebugger.Detector.Strict config in
+        (* Each session's sink may itself shard across domains: worker
+           domains then act as routers feeding shard domains, so budget
+           [workers * shards] cores. The sharded path keeps per-session
+           registries disabled like the plain one — the daemon's merged
+           telemetry comes from the dispatch/worker registries. *)
+        let make_sink () =
+          sink_for ~metrics:Obs.Metrics.disabled ~shards ~frame_size detector Pmdebugger.Detector.Strict config
+        in
         let daemon = Serve.Daemon.create ~metrics ~make_sink cfg in
         Serve.Daemon.install_signal_handlers daemon;
         Printf.printf "pmdb serve: listening on %s (workers=%d, budget=%d bytes, idle-timeout=%.1fs)\n%!" socket
@@ -810,6 +818,15 @@ let shards_arg =
   in
   Arg.(value & opt int 0 & info [ "shards" ] ~docv:"N" ~doc)
 
+let frame_size_arg =
+  let doc =
+    "Events per published frame on the sharded hand-off: the router batches each shard's events into flat byte \
+     frames and publishes a whole frame at a time, amortizing the per-event synchronization that capped sharded \
+     throughput. 0 = the per-event transport (one boxed message per event; the measured baseline). Only meaningful \
+     with --shards >= 1."
+  in
+  Arg.(value & opt int Shard_router.default_frame_size & info [ "frame-size" ] ~docv:"EVENTS" ~doc)
+
 let backend_arg =
   let doc =
     "Bookkeeping backend for pmdebugger: 'hybrid' (the paper's array+tree structure) or 'flat' (linear-scan \
@@ -820,7 +837,7 @@ let backend_arg =
 let run_term =
   Term.(
     const run_cmd $ workload_arg $ n_arg $ detector_arg $ config_arg $ annotate_arg $ max_bugs_arg $ shards_arg
-    $ backend_arg $ metrics_arg)
+    $ frame_size_arg $ backend_arg $ metrics_arg)
 
 let out_arg =
   let doc = "Output trace file." in
@@ -843,7 +860,7 @@ let daemon_arg =
 let replay_term =
   Term.(
     const replay_cmd $ trace_file_arg $ detector_arg $ config_arg $ max_bugs_arg $ lenient_arg $ daemon_arg
-    $ shards_arg $ backend_arg $ metrics_arg)
+    $ shards_arg $ frame_size_arg $ backend_arg $ metrics_arg)
 
 let socket_arg =
   let doc = "Unix-domain socket path the daemon listens on." in
@@ -897,8 +914,8 @@ let probe_arg =
 let serve_term =
   Term.(
     const serve_cmd $ socket_arg $ workers_arg $ queue_capacity_arg $ idle_timeout_arg $ session_budget_arg
-    $ max_sessions_arg $ detector_arg $ config_arg $ metrics_file_arg $ flightrec_dir_arg $ serve_stop_arg
-    $ probe_arg)
+    $ max_sessions_arg $ detector_arg $ config_arg $ shards_arg $ frame_size_arg $ metrics_file_arg
+    $ flightrec_dir_arg $ serve_stop_arg $ probe_arg)
 
 let case_arg =
   let doc = "Explore a bugbench case by id instead of a workload." in

@@ -1,0 +1,104 @@
+(** Bounded single-producer / single-consumer ring of {e frames} — flat
+    [Bytes] buffers each packing a batch of encoded events — the
+    batched transport behind {!Shard_router}.
+
+    Motivation: the per-event {!Spsc} hand-off allocates a boxed
+    message per event and pays one sequentially consistent store per
+    element, which dominates detection work (~70ns/event dispatch cost
+    became ~740ns sharded in BENCH_pr5). Here the producer encodes
+    events back to back into a preallocated staging slot with plain
+    writes ({e no allocation per event}) and publishes a whole frame —
+    up to [frame_events] records — with a single atomic store;
+    the consumer decodes a frame at a time.
+
+    Exactly one domain may call the producer operations
+    ({!push}/{!flush}/{!push_stop}) and exactly one the consumer
+    operations ({!wait}/{!try_consume}/{!consume}).
+
+    {b Record format} (stable only within a process): a tag byte
+    (constructor, with the replica-silence flag in bit 7), the event's
+    stream seq as int64 LE, then the fields — ints as int64 LE, strings
+    as int32 LE length + bytes, CLF kinds as one byte. A record larger
+    than the slot (a long registered-variable name) grows that slot;
+    nothing is ever truncated.
+
+    {b Close semantics.} Either side may {!close}; blocked operations
+    wake with {!Closed}; the consumer drains already-published frames
+    before raising. The producer re-checks [closed] immediately before
+    {e and} after the publishing store, which (under seq-cst atomics)
+    makes delivery exact: a {!push}/{!flush}/{!push_stop} that returns
+    normally is guaranteed visible to any consumer that drains after
+    observing the close, so a publish racing [close] raises rather than
+    losing events silently. Events still {e staged} when the ring is
+    abandoned are lost — flush before walking away. *)
+
+type t
+
+exception Closed
+
+val create : ?frame_bytes:int -> slots:int -> frame_events:int -> unit -> t
+(** [create ~slots ~frame_events ()] — a ring of [slots] (rounded up to
+    a power of two, min 2) frame buffers, each published once it holds
+    [frame_events] events (or earlier via {!flush}/{!push_stop}).
+    [frame_bytes] presizes each slot; the default fits [frame_events]
+    fixed-size records, and slots grow on demand. *)
+
+val capacity : t -> int
+(** Ring capacity in frames. *)
+
+val frame_events : t -> int
+
+val length : t -> int
+(** Published-but-unconsumed frames. The two index reads can tear
+    against concurrent publish/consume, so the result is clamped to
+    [0..capacity] — approximate, monotonic-consistent; feeds the
+    queue-depth gauges (in {e frames}, not events). *)
+
+val staged : t -> int
+(** Events encoded but not yet published (producer side only). *)
+
+val close : t -> unit
+(** Poison the ring. Idempotent, callable from either side. Published
+    frames remain consumable; staged events are lost. *)
+
+val is_closed : t -> bool
+
+(** {1 Producer} *)
+
+val push : t -> seq:int -> silent:bool -> Event.t -> int
+(** Encode one event into the staging frame. Returns the number of
+    events published by this call: [0] while staging, or the frame's
+    event count when this push filled it. Blocks (backoff) while the
+    ring is full of unconsumed frames. Raises {!Closed} if the ring is
+    — or becomes, while blocked or publishing — closed; on a raise
+    {e after} the publishing store the frame is still delivered to a
+    draining consumer (see close semantics above). *)
+
+val flush : t -> int
+(** Publish the staged partial frame, if any; returns its event count
+    (0 when nothing was staged). The barrier-flush rule: callers must
+    flush before waiting on consumer progress, or the staged tail can
+    never drain. *)
+
+val push_stop : t -> unit
+(** Publish the staged partial frame (possibly empty) marked
+    end-of-stream: the consumer decodes its events, then learns the
+    stream is over. *)
+
+(** {1 Consumer} *)
+
+val wait : t -> unit
+(** Block (backoff) until at least one published frame is available.
+    Raises {!Closed} once the ring is closed and drained. *)
+
+val try_consume :
+  t -> f:(seq:int -> silent:bool -> Event.t -> unit) -> [ `Empty | `Frame of int | `Stop of int ]
+(** Decode the head frame, calling [f] per event in order, then free
+    the slot. [`Frame n] delivered [n] events; [`Stop n] delivered [n]
+    events and the stream is over; [`Empty] means no published frame
+    (closed or not) — never blocks, never raises {!Closed}. *)
+
+val consume :
+  t -> f:(seq:int -> silent:bool -> Event.t -> unit) -> [ `Frame of int | `Stop of int ]
+(** Blocking {!try_consume}: {!wait} then decode. Raises {!Closed} once
+    closed and drained. *)

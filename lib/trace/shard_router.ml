@@ -8,13 +8,24 @@ open Pmem
    to every worker, so each worker sees exactly the subsequence of the
    trace that concerns its lines, in trace order. The merge reassembles
    one canonical report whose findings equal the single-shard run —
-   see DESIGN.md "Sharded detection" for the equality contract. *)
+   see DESIGN.md "Sharded detection" for the equality contract.
+
+   Transport: by default events are batched into frames ([Frame_ring]):
+   the router encodes each event into the destination shard's staging
+   buffer (no per-event allocation) and publishes a whole frame every
+   [frame_size] events; workers decode and dispatch a frame at a time
+   and bump [processed] once per frame. The drain barrier flushes
+   partial frames first, so cross-shard stalls see every routed event.
+   [frame_size = 0] selects the legacy per-event SPSC hand-off, kept as
+   the honest baseline for the frames-vs-per-event bench curve. *)
 
 let max_prior_seqs = 8
 (* Must match the per-backend cap (Store_intf.max_prior_seqs references
    this constant): the cross-shard merge keeps the 8 smallest seqs of
    the union, which equals the single-shard cap because each shard's
    list is itself the 8 smallest of its partition. *)
+
+let default_frame_size = 256
 
 type store_obs = { so_overlapped : bool; so_prior_seqs : int list }
 
@@ -55,12 +66,19 @@ let merge_clf_obs obs =
 
 type msg = Ev of { seq : int; silent : bool; ev : Event.t } | Stop
 
+type transport =
+  | Per_event of msg Spsc.t array (* one boxed message + one atomic store per event *)
+  | Framed of Frame_ring.t array (* flat byte frames, published every [frame_size] events *)
+
 type t = {
   shards : int;
   workers : worker array;
-  queues : msg Spsc.t array;
+  transport : transport;
   pushed : int array; (* per shard, router side *)
-  processed : int Atomic.t array; (* per shard, bumped by the worker after each event *)
+  processed : int Atomic.t array;
+      (* per shard: bumped by the worker after each event (per-event
+         transport) or once per decoded frame, by its event count
+         (framed transport) *)
   domains : Bug.report Domain.t array; (* empty in inline mode *)
   inline_failures : string option ref array;
   use_domains : bool;
@@ -72,16 +90,20 @@ type t = {
   worker_metrics : Obs.Metrics.t array;
       (* one registry per worker, mutated only on that worker's domain;
          folded into [metrics] by [finish] after the workers join *)
+  labels : (string * string) list array;
+      (* per-shard label lists, preallocated — the send path must not
+         allocate a label list per event *)
   max_bugs_per_kind : int;
   mutable result : Bug.report option;
 }
 
 let shard_label i = [ ("shard", string_of_int i) ]
 
-(* The queue is closed on every exit path: if a worker domain ever dies
-   (it should not — detector exceptions are caught below), the router's
-   next push raises [Spsc.Closed] instead of blocking forever on a
-   consumer that is gone; the engine then quarantines the router sink. *)
+(* The transport is closed on every exit path: if a worker domain ever
+   dies (it should not — detector exceptions are caught below), the
+   router's next push raises [Spsc.Closed]/[Frame_ring.Closed] instead
+   of blocking forever on a consumer that is gone; the engine then
+   quarantines the router sink. *)
 let worker_loop w q processed wreg shard =
   Fun.protect ~finally:(fun () -> Spsc.close q) @@ fun () ->
   let failure = ref None in
@@ -114,31 +136,127 @@ let worker_loop w q processed wreg shard =
   in
   go ()
 
+(* Framed twin of [worker_loop]: decode a published frame, dispatch its
+   events, then account the whole batch — one [processed] bump and one
+   histogram observation per frame, which is the point of batching. *)
+let framed_worker_loop w ring processed wreg shard =
+  Fun.protect ~finally:(fun () -> Frame_ring.close ring) @@ fun () ->
+  let failure = ref None in
+  let labels = shard_label shard in
+  let on_event ~seq ~silent ev =
+    if !failure = None then
+      try w.w_event ~seq ~silent ev with exn -> failure := Some (Printexc.to_string exn)
+  in
+  let finish () =
+    let r =
+      try w.w_finish ()
+      with exn -> { (Bug.empty_report "sharded") with Bug.failure = Some (Printexc.to_string exn) }
+    in
+    match !failure with None -> r | Some msg -> { r with Bug.failure = Some msg }
+  in
+  let metrics_on = Obs.Metrics.is_on wreg in
+  let account n t0 =
+    if n > 0 then begin
+      if metrics_on then begin
+        Obs.Metrics.inc wreg ~labels ~by:n "shard_worker_events_total";
+        Obs.Metrics.observe wreg ~labels "shard_worker_frame_seconds" (Unix.gettimeofday () -. t0)
+      end;
+      ignore (Atomic.fetch_and_add processed n)
+    end
+  in
+  let rec go () =
+    Frame_ring.wait ring;
+    let t0 = if metrics_on then Unix.gettimeofday () else 0.0 in
+    match Frame_ring.try_consume ring ~f:on_event with
+    | `Empty -> go ()
+    | `Frame n ->
+        account n t0;
+        go ()
+    | `Stop n ->
+        account n t0;
+        finish ()
+  in
+  go ()
+
+(* Inline dispatch of one event to worker [i] on the router's domain,
+   with the same failure capture as the domain loops. *)
+let inline_event t i ~seq ~silent ev =
+  if !(t.inline_failures.(i)) = None then
+    try t.workers.(i).w_event ~seq ~silent ev
+    with exn -> t.inline_failures.(i) := Some (Printexc.to_string exn)
+
+(* Inline framed mode decodes published frames synchronously right
+   after publishing them — same encode/decode path and frame boundaries
+   as the domain mode, deterministic scheduling. *)
+let consume_inline t i ring =
+  let wreg = t.worker_metrics.(i) in
+  let labels = t.labels.(i) in
+  let metrics_on = Obs.Metrics.is_on wreg in
+  let rec go () =
+    let t0 = if metrics_on then Unix.gettimeofday () else 0.0 in
+    match Frame_ring.try_consume ring ~f:(fun ~seq ~silent ev -> inline_event t i ~seq ~silent ev) with
+    | `Empty -> ()
+    | `Frame n | `Stop n ->
+        if n > 0 then begin
+          if metrics_on then begin
+            Obs.Metrics.inc wreg ~labels ~by:n "shard_worker_events_total";
+            Obs.Metrics.observe wreg ~labels "shard_worker_frame_seconds" (Unix.gettimeofday () -. t0)
+          end;
+          ignore (Atomic.fetch_and_add t.processed.(i) n)
+        end;
+        go ()
+  in
+  go ()
+
+(* Router-side accounting for a just-published frame of [n] events.
+   [shard_events_total] is bumped per frame (by the frame's count), not
+   per event — totals are exact once the stream is flushed, and the
+   queue-depth gauge samples on the shard's own publish cadence. *)
+let on_publish t i ring n =
+  if Obs.Metrics.is_on t.metrics then begin
+    Obs.Metrics.inc t.metrics ~labels:t.labels.(i) ~by:n "shard_events_total";
+    Obs.Metrics.max_set t.metrics ~labels:t.labels.(i) "shard_queue_depth_peak"
+      (float_of_int (Frame_ring.length ring))
+  end;
+  if not t.use_domains then consume_inline t i ring
+
+(* Per-event transport: sample the depth gauge on the shard's own push
+   count — every shard gets an early sample (first push) and then one
+   every 64 of *its* pushes, instead of all shards sampling on the same
+   global tick (which left shards with <64 routed events unsampled). *)
+let sample_depth t i q =
+  if Obs.Metrics.is_on t.metrics then begin
+    let p = t.pushed.(i) in
+    if p = 1 || p land 63 = 0 then
+      Obs.Metrics.max_set t.metrics ~labels:t.labels.(i) "shard_queue_depth_peak"
+        (float_of_int (Spsc.length q))
+  end
+
 let send t i ~seq ~silent ev =
   t.pushed.(i) <- t.pushed.(i) + 1;
-  Obs.Metrics.inc t.metrics ~labels:(shard_label i) "shard_events_total";
-  if t.use_domains then begin
-    Spsc.push t.queues.(i) (Ev { seq; silent; ev });
-    if t.events land 63 = 0 then
-      Obs.Metrics.max_set t.metrics ~labels:(shard_label i) "shard_queue_depth_peak"
-        (float_of_int (Spsc.length t.queues.(i)))
-  end
-  else begin
-    let wreg = t.worker_metrics.(i) in
-    (if !(t.inline_failures.(i)) = None then
-       if not (Obs.Metrics.is_on wreg) then (
-         try t.workers.(i).w_event ~seq ~silent ev
-         with exn -> t.inline_failures.(i) := Some (Printexc.to_string exn))
-       else begin
-         Obs.Metrics.inc wreg ~labels:(shard_label i) "shard_worker_events_total";
-         let t0 = Unix.gettimeofday () in
-         (try t.workers.(i).w_event ~seq ~silent ev
-          with exn -> t.inline_failures.(i) := Some (Printexc.to_string exn));
-         Obs.Metrics.observe wreg ~labels:(shard_label i) "shard_worker_event_seconds"
-           (Unix.gettimeofday () -. t0)
-       end);
-    Atomic.incr t.processed.(i)
-  end
+  match t.transport with
+  | Per_event queues ->
+      Obs.Metrics.inc t.metrics ~labels:t.labels.(i) "shard_events_total";
+      if t.use_domains then begin
+        Spsc.push queues.(i) (Ev { seq; silent; ev });
+        sample_depth t i queues.(i)
+      end
+      else begin
+        let wreg = t.worker_metrics.(i) in
+        (if !(t.inline_failures.(i)) = None then
+           if not (Obs.Metrics.is_on wreg) then inline_event t i ~seq ~silent ev
+           else begin
+             Obs.Metrics.inc wreg ~labels:t.labels.(i) "shard_worker_events_total";
+             let t0 = Unix.gettimeofday () in
+             inline_event t i ~seq ~silent ev;
+             Obs.Metrics.observe wreg ~labels:t.labels.(i) "shard_worker_event_seconds"
+               (Unix.gettimeofday () -. t0)
+           end);
+        Atomic.incr t.processed.(i)
+      end
+  | Framed rings ->
+      let n = Frame_ring.push rings.(i) ~seq ~silent ev in
+      if n > 0 then on_publish t i rings.(i) n
 
 let broadcast t ~seq ?silent_except ev =
   for i = 0 to t.shards - 1 do
@@ -146,11 +264,24 @@ let broadcast t ~seq ?silent_except ev =
     send t i ~seq ~silent ev
   done
 
+(* Publish every shard's staged partial frame. Part of the barrier
+   protocol: a drain that did not flush first would spin forever on
+   events parked in staging buffers no worker can see. *)
+let flush_frames t =
+  match t.transport with
+  | Per_event _ -> ()
+  | Framed rings ->
+      for i = 0 to t.shards - 1 do
+        let n = Frame_ring.flush rings.(i) in
+        if n > 0 then on_publish t i rings.(i) n
+      done
+
 (* Wait until every worker has consumed everything pushed so far. The
    Atomic read of [processed] after the worker's last mutation gives the
    router a happens-before edge: once drained, the router may touch
-   worker state directly (the workers are parked in [pop]). *)
+   worker state directly (the workers are parked in [pop]/[wait]). *)
 let drain t =
+  flush_frames t;
   if t.use_domains then
     for i = 0 to t.shards - 1 do
       let n = ref 0 in
@@ -281,21 +412,45 @@ let cap_per_kind limit bugs =
       n < limit)
     bugs
 
+(* Merge over the *union* of stat keys: a key present only in shards
+   1..N-1 (a backend counter that never tripped on shard 0's partition,
+   say) must not vanish from the merged report. Keys keep first-
+   appearance order across the shard list — shard 0's order first, then
+   later shards' extras — so the merged list is deterministic. Counters
+   sum across shards; [avg_*] stats are taken from the first shard that
+   carries them (shard 0 when present, whose fence cadence every shard
+   shares). *)
 let merge_stats reports =
   match reports with
   | [] -> []
-  | first :: _ ->
-      (* Counters sum across shards; averages are taken from shard 0
-         (whose fence cadence every shard shares). *)
-      List.map
-        (fun (key, v0) ->
-          if String.length key >= 4 && String.sub key 0 4 = "avg_" then (key, v0)
+  | _ ->
+      let order = ref [] in
+      let seen = Hashtbl.create 16 in
+      List.iter
+        (fun r ->
+          List.iter
+            (fun (key, _) ->
+              if not (Hashtbl.mem seen key) then begin
+                Hashtbl.add seen key ();
+                order := key :: !order
+              end)
+            r.Bug.stats)
+        reports;
+      List.rev_map
+        (fun key ->
+          if String.length key >= 4 && String.sub key 0 4 = "avg_" then
+            let v =
+              List.fold_left
+                (fun acc r -> match acc with Some _ -> acc | None -> List.assoc_opt key r.Bug.stats)
+                None reports
+            in
+            (key, match v with Some v -> v | None -> 0.0)
           else
             ( key,
               List.fold_left
                 (fun acc r -> acc +. (try List.assoc key r.Bug.stats with Not_found -> 0.0))
                 0.0 reports ))
-        first.Bug.stats
+        !order
 
 let merge_reports t reports =
   let bugs = List.concat_map (fun r -> r.Bug.bugs) reports in
@@ -324,10 +479,32 @@ let finish t =
       broadcast t ~seq:t.events Event.Program_end;
       let reports =
         if t.use_domains then begin
-          Array.iter (fun q -> Spsc.push q Stop) t.queues;
+          (* Final transport sample + stop, per shard: the depth gauge
+             is read before the stop lands (after the join it would
+             always read an empty, drained queue). *)
+          (match t.transport with
+          | Per_event queues ->
+              Array.iteri
+                (fun i q ->
+                  if Obs.Metrics.is_on t.metrics then
+                    Obs.Metrics.max_set t.metrics ~labels:t.labels.(i) "shard_queue_depth_peak"
+                      (float_of_int (Spsc.length q));
+                  Spsc.push q Stop)
+                queues
+          | Framed rings ->
+              Array.iteri
+                (fun i ring ->
+                  let n = Frame_ring.flush ring in
+                  if n > 0 then on_publish t i ring n;
+                  if Obs.Metrics.is_on t.metrics then
+                    Obs.Metrics.max_set t.metrics ~labels:t.labels.(i) "shard_queue_depth_peak"
+                      (float_of_int (Frame_ring.length ring));
+                  Frame_ring.push_stop ring)
+                rings);
           Array.to_list (Array.map Domain.join t.domains)
         end
-        else
+        else begin
+          flush_frames t;
           Array.to_list
             (Array.mapi
                (fun i w ->
@@ -336,12 +513,8 @@ let finish t =
                  | None -> r
                  | Some msg -> { r with Bug.failure = Some msg })
                t.workers)
+        end
       in
-      Array.iteri
-        (fun i q ->
-          Obs.Metrics.max_set t.metrics ~labels:(shard_label i) "shard_queue_depth_peak"
-            (float_of_int (Spsc.length q)))
-        t.queues;
       (* The workers have joined (or ran inline): reading their
          registries is race-free, and absorbing them gives the router's
          registry whole-run truth including worker-domain series. *)
@@ -350,11 +523,21 @@ let finish t =
       t.result <- Some r;
       r
 
-let create ~shards ?(queue_capacity = 1024) ?(domains = true) ?(metrics = Obs.Metrics.disabled)
-    ?(max_bugs_per_kind = 1000) make_worker =
+let create ~shards ?(queue_capacity = 1024) ?(frame_size = default_frame_size) ?(domains = true)
+    ?(metrics = Obs.Metrics.disabled) ?(max_bugs_per_kind = 1000) make_worker =
   if shards < 1 then invalid_arg "Shard_router.create: shards must be >= 1";
+  if frame_size < 0 then invalid_arg "Shard_router.create: frame_size must be >= 0";
   let workers = Array.init shards make_worker in
-  let queues = Array.init shards (fun _ -> Spsc.create ~capacity:queue_capacity) in
+  let transport =
+    if frame_size = 0 then
+      Per_event (Array.init shards (fun _ -> Spsc.create ~capacity:queue_capacity))
+    else begin
+      (* [queue_capacity] stays denominated in events: the ring holds
+         roughly that many in-flight events, split into frames. *)
+      let slots = max 2 ((queue_capacity + frame_size - 1) / frame_size) in
+      Framed (Array.init shards (fun _ -> Frame_ring.create ~slots ~frame_events:frame_size ()))
+    end
+  in
   let processed = Array.init shards (fun _ -> Atomic.make 0) in
   let worker_metrics =
     Array.init shards (fun _ -> Obs.Metrics.create ~enabled:(Obs.Metrics.is_on metrics) ())
@@ -370,7 +553,7 @@ let create ~shards ?(queue_capacity = 1024) ?(domains = true) ?(metrics = Obs.Me
     {
       shards;
       workers;
-      queues;
+      transport;
       pushed = Array.make shards 0;
       processed;
       domains = [||];
@@ -382,6 +565,7 @@ let create ~shards ?(queue_capacity = 1024) ?(domains = true) ?(metrics = Obs.Me
       events = 0;
       metrics;
       worker_metrics;
+      labels = Array.init shards shard_label;
       max_bugs_per_kind;
       result = None;
     }
@@ -392,14 +576,19 @@ let create ~shards ?(queue_capacity = 1024) ?(domains = true) ?(metrics = Obs.Me
         t with
         domains =
           Array.init shards (fun i ->
-              Domain.spawn (fun () ->
-                  worker_loop workers.(i) queues.(i) processed.(i) worker_metrics.(i) i));
+              match transport with
+              | Per_event queues ->
+                  Domain.spawn (fun () ->
+                      worker_loop workers.(i) queues.(i) processed.(i) worker_metrics.(i) i)
+              | Framed rings ->
+                  Domain.spawn (fun () ->
+                      framed_worker_loop workers.(i) rings.(i) processed.(i) worker_metrics.(i) i));
       }
     else t
   in
   t
 
-let sink ?name:(sink_name = "pmdebugger-sharded") ~shards ?queue_capacity ?domains ?metrics ?max_bugs_per_kind
-    make_worker =
-  let t = create ~shards ?queue_capacity ?domains ?metrics ?max_bugs_per_kind make_worker in
+let sink ?name:(sink_name = "pmdebugger-sharded") ~shards ?queue_capacity ?frame_size ?domains ?metrics
+    ?max_bugs_per_kind make_worker =
+  let t = create ~shards ?queue_capacity ?frame_size ?domains ?metrics ?max_bugs_per_kind make_worker in
   Sink.make ~name:sink_name ~on_event:(fun ev -> route t ev) ~finish:(fun () -> finish t)

@@ -2,12 +2,26 @@
 
     A {!sink} fans the event stream out across [shards] workers, each
     owning its own bookkeeping and rule state, fed through bounded SPSC
-    queues on OCaml Domains (or run inline for deterministic
+    transports on OCaml Domains (or run inline for deterministic
     single-domain execution). Cache line [L] belongs to shard
     [L mod shards]; global events — fences, epochs, strands,
     registrations, program end — are broadcast to every worker in
     stream order, so shard [s] observes exactly the subsequence of the
     trace touching its lines, in trace order.
+
+    {b Transport.} By default the hand-off is {e frame-batched}
+    ({!Frame_ring}): the router encodes each routed event into the
+    destination shard's flat staging buffer — no per-event allocation —
+    and publishes a whole frame of [frame_size] events with one atomic
+    store; the worker decodes and dispatches a frame at a time, bumping
+    its progress counter once per frame. [frame_size = 0] selects the
+    legacy per-event {!Spsc} hand-off (one boxed message and one
+    sequentially consistent store per event), kept as the measured
+    baseline: BENCH_pr5 showed it capping 4-shard throughput at 0.63×
+    the single-shard run on a 4-core host. Cross-shard barriers flush
+    every shard's partial frame before waiting on worker progress, so a
+    stall observes every event routed before it; [finish] flushes the
+    final partial frames before delivering the stop marker.
 
     Routing paths for an address event (store / CLF):
     - {b fast}: a single unpinned line (or several lines, all one
@@ -17,10 +31,10 @@
       stays current but the rules fire once, on the one shard holding
       every location overlapping that line;
     - {b stall}: lines spanning owners, or touching a pinned line — a
-      cross-shard barrier: the router drains every queue, pins the
-      lines (stores only: the spanning location it creates is
-      replicated on every shard from here on), scans the event's
-      {e full} range synchronously on every shard, merges the
+      cross-shard barrier: the router flushes partial frames, drains
+      every queue, pins the lines (stores only: the spanning location
+      it creates is replicated on every shard from here on), scans the
+      event's {e full} range synchronously on every shard, merges the
       observations and fires the rule exactly once
       ([shard_barrier_stalls_total] counts these).
 
@@ -38,14 +52,15 @@
 
     {b Equality contract.} The merged report's findings, causal chains
     and failure status are byte-identical (per
-    {!Bug.render_canonical}) to the [shards = 1] run, provided workers
-    are created with [~walk_dedup:false] (the merge performs the
-    pending-walk dedup globally), bookkeeping stays below the
-    spill-tree merge threshold and the array capacity (reorganization
-    coarsens provenance), and per-kind finding counts stay below
-    [max_bugs_per_kind]. The QCheck parity suite enforces this.
-    [stats] are merged (summed per key, [avg_*] from shard 0) rather
-    than compared.
+    {!Bug.render_canonical}) to the [shards = 1] run — for {e every}
+    transport and frame size, which the QCheck parity suites enforce —
+    provided workers are created with [~walk_dedup:false] (the merge
+    performs the pending-walk dedup globally), bookkeeping stays below
+    the spill-tree merge threshold and the array capacity
+    (reorganization coarsens provenance), and per-kind finding counts
+    stay below [max_bugs_per_kind]. [stats] are merged over the union
+    of keys across shards (summed per key; [avg_*] taken from the
+    first shard carrying the key) rather than compared.
 
     The detector side of the contract is a {!worker} record
     ({!Pmdebugger.Detector.worker} builds one); this module has no
@@ -87,6 +102,9 @@ val max_prior_seqs : int
     location is held by at least one shard, and replicas only
     contribute duplicate seqs, which the union drops. *)
 
+val default_frame_size : int
+(** Events per published frame when [frame_size] is not given (256). *)
+
 val merge_store_obs : store_obs list -> store_obs
 
 val merge_clf_obs : clf_obs list -> clf_obs
@@ -94,26 +112,41 @@ val merge_clf_obs : clf_obs list -> clf_obs
 val sink :
   ?name:string ->
   shards:int ->
-  ?queue_capacity:int (** per-shard queue slots, default 1024 *) ->
+  ?queue_capacity:int
+    (** per-shard in-flight events, default 1024. With the framed
+        transport this sizes the ring at
+        [queue_capacity / frame_size] frame slots (min 2). *) ->
+  ?frame_size:int
+    (** events per published frame, default {!default_frame_size};
+        [0] selects the per-event transport. *) ->
   ?domains:bool
     (** default true: one OCaml Domain per shard. [false] runs every
-        worker inline on the caller's domain — same routing and merge
-        logic, deterministic scheduling, no parallelism. *) ->
+        worker inline on the caller's domain — the framed transport
+        still encodes, publishes and decodes through the ring (frames
+        are consumed synchronously at each publish), so frame
+        boundaries match the domain run while scheduling stays
+        deterministic. *) ->
   ?metrics:Obs.Metrics.t
-    (** router-side registry: receives [shard_events_total{shard}],
+    (** router-side registry: receives [shard_events_total{shard}]
+        (bumped per event, or per published frame by its event count),
         [shard_barrier_stalls_total] and
-        [shard_queue_depth_peak{shard}] live. Each worker domain also
+        [shard_queue_depth_peak{shard}] — sampled on each shard's own
+        push cadence (first push, then every 64th; per published frame
+        under the framed transport, in {e frames}), plus a final
+        sample before the stop is delivered. Each worker domain also
         gets its own private registry (enabled iff this one is)
-        recording [shard_worker_events_total{shard}] and the
-        [shard_worker_event_seconds{shard}] latency histogram; those
-        are {!Obs.Metrics.absorb}ed into this registry when the sink
-        finishes and the workers have joined, so the final snapshot is
-        whole-run truth across domains. *) ->
+        recording [shard_worker_events_total{shard}] and a latency
+        histogram — [shard_worker_event_seconds{shard}] per event, or
+        [shard_worker_frame_seconds{shard}] per decoded frame under
+        the framed transport; those are {!Obs.Metrics.absorb}ed into
+        this registry when the sink finishes and the workers have
+        joined, so the final snapshot is whole-run truth across
+        domains. *) ->
   ?max_bugs_per_kind:int (** cap re-applied to the merged report, default 1000 *) ->
   (int -> worker) ->
   Sink.t
 (** [sink ~shards make_worker] spawns the pipeline; [make_worker i] is
     called once per shard on the caller's domain. The sink's [finish]
     delivers an end-of-trace to every worker (idempotent when the trace
-    already carried [Program_end]), stops and joins the domains, and
-    returns the merged canonical report. *)
+    already carried [Program_end]), flushes partial frames, stops and
+    joins the domains, and returns the merged canonical report. *)

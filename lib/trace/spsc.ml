@@ -22,7 +22,23 @@
    other side: a producer blocked in [push] (or arriving later) gets
    [Closed] instead of spinning forever on a dead consumer, and a
    consumer's [pop] drains whatever was already published, then raises
-   [Closed] instead of waiting for a producer that is gone. *)
+   [Closed] instead of waiting for a producer that is gone.
+
+   Exact delivery under a close race: [push]/[try_push] re-check
+   [closed] immediately before the publishing [tail] store (cheap early
+   exit) and once more immediately after it. The post-publish check is
+   what makes the guarantee exact rather than best-effort: with
+   sequentially consistent atomics, a push that returns normally read
+   [closed = false] *after* its [tail] store, so that store precedes
+   the close in the SC total order — and any consumer that observes
+   the close and then does a final drain (as [pop] does before raising
+   [Closed]) is guaranteed to see the element. Conversely a push that
+   races a consumer-side close raises [Closed]; delivery of that
+   in-flight element is indeterminate (the closer may or may not have
+   drained it), but it is never lost *silently* — before this check, a
+   producer racing a close on a non-full ring would publish an element
+   nobody would ever pop, and a router counting pushed-vs-processed
+   events would stall forever on the phantom. *)
 
 exception Closed
 
@@ -53,7 +69,14 @@ let create ~capacity =
 
 let capacity t = t.mask + 1
 
-let length t = max 0 (Atomic.get t.tail - Atomic.get t.head)
+(* The two index reads can tear against a concurrent push/pop (tail
+   read, then the consumer advances head past it, or vice versa), so
+   clamp to the only occupancies a bounded ring can hold: [0..capacity].
+   Approximate by design — this feeds gauges, never control flow. *)
+let length t =
+  let tail = Atomic.get t.tail in
+  let head = Atomic.get t.head in
+  min (capacity t) (max 0 (tail - head))
 
 let close t = Atomic.set t.closed true
 
@@ -80,7 +103,10 @@ let try_push t v =
   if tail - t.cached_head >= capacity t then false
   else begin
     t.buf.(tail land t.mask) <- Some v;
+    if Atomic.get t.closed then raise Closed;
     Atomic.set t.tail (tail + 1);
+    (* Post-publish re-check: see the close-race note in the header. *)
+    if Atomic.get t.closed then raise Closed;
     true
   end
 
@@ -98,7 +124,12 @@ let push t v =
     done
   end;
   t.buf.(tail land t.mask) <- Some v;
-  Atomic.set t.tail (tail + 1)
+  (* Re-check immediately before the publishing store — the full-queue
+     wait above is not the only window where the consumer can close. *)
+  if Atomic.get t.closed then raise Closed;
+  Atomic.set t.tail (tail + 1);
+  (* And immediately after: see the close-race note in the header. *)
+  if Atomic.get t.closed then raise Closed
 
 let try_pop t =
   let head = Atomic.get t.head in

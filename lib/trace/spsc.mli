@@ -17,7 +17,17 @@
     before raising {!Closed}. A consumer death can therefore never
     wedge a producer, provided the consumer closes the queue on exit
     (wrap the consumer loop in [Fun.protect ~finally:(fun () ->
-    Spsc.close q)]). *)
+    Spsc.close q)]).
+
+    Delivery under a close race is exact: {!push}/{!try_push} re-check
+    the closed flag immediately before and after the publishing store,
+    so a push that returns normally is guaranteed observable by a
+    consumer that drains after closing (as {!pop} does before raising),
+    and a push racing the close raises {!Closed} instead of publishing
+    an element nobody will ever pop. On such a raise the in-flight
+    element's delivery is indeterminate — callers must treat {!Closed}
+    as "the stream is torn down", not "exactly my element was
+    dropped". *)
 
 type 'a t
 
@@ -31,8 +41,11 @@ val create : capacity:int -> 'a t
 val capacity : 'a t -> int
 
 val length : 'a t -> int
-(** Approximate occupancy (racy but monotonic-consistent); feeds the
-    queue-depth gauges. *)
+(** Approximate occupancy, clamped to [0..capacity] — the head/tail
+    index pair is read non-atomically and can tear against a concurrent
+    push or pop, so transient values outside the ring's possible
+    occupancy are clipped rather than reported. Feeds the queue-depth
+    gauges; never use it for control flow. *)
 
 val close : 'a t -> unit
 (** Poison the queue. Idempotent; callable from either side (or a
@@ -42,10 +55,11 @@ val is_closed : 'a t -> bool
 
 val push : 'a t -> 'a -> unit
 (** Blocks (backoff) while full. Raises {!Closed} if the queue is — or
-    becomes, while blocked — closed. *)
+    becomes, at any point up to and including the publish — closed. *)
 
 val try_push : 'a t -> 'a -> bool
-(** [false] when full, never blocks. Raises {!Closed} when closed. *)
+(** [false] when full, never blocks. Raises {!Closed} when closed, with
+    the same pre/post-publish re-checks as {!push}. *)
 
 val pop : 'a t -> 'a
 (** Blocks (backoff) while empty. Raises {!Closed} once the queue is

@@ -15,8 +15,9 @@ let canon (r : Bug.report) =
 let replay_plain ?mode ?backend ?(model = D.Strict) trace =
   Recorder.replay trace (D.sink (D.create ~model ?mode ?backend ()))
 
-let replay_sharded ?mode ?(model = D.Strict) ?(domains = false) ~shards trace =
-  Recorder.replay trace (Shard_router.sink ~shards ~domains (fun _ -> D.worker (D.create ~model ?mode ~walk_dedup:false ())))
+let replay_sharded ?mode ?(model = D.Strict) ?(domains = false) ?frame_size ~shards trace =
+  Recorder.replay trace
+    (Shard_router.sink ~shards ~domains ?frame_size (fun _ -> D.worker (D.create ~model ?mode ~walk_dedup:false ())))
 
 (* ---------------------------------------------------------------- *)
 (* SPSC queue                                                        *)
@@ -64,6 +65,180 @@ let test_spsc_cross_domain () =
   Domain.join producer;
   Alcotest.(check bool) "every element, in order" true !ok;
   Alcotest.(check bool) "empty after" true (Spsc.try_pop q = None)
+
+(* Close-race exact delivery (regression): the producer's push used to
+   re-check [closed] only while the ring was full, so a push racing a
+   consumer-side close on a non-full ring could return normally yet
+   publish an element no drain would ever see — the router then counts
+   a pushed event its worker never processed. Now a push that returns
+   normally is guaranteed visible to a closer's final drain (pop drains
+   before raising Closed), so the consumer's tally can never fall short
+   of the producer's success count; it can exceed it by at most the one
+   in-flight push that raised after its publishing store. *)
+let test_spsc_close_race_exact_delivery () =
+  for _round = 1 to 50 do
+    let q = Spsc.create ~capacity:4 in
+    let producer =
+      Domain.spawn (fun () ->
+          let successes = ref 0 in
+          (try
+             while true do
+               Spsc.push q !successes;
+               incr successes
+             done
+           with Spsc.Closed -> ());
+          !successes)
+    in
+    let consumed = ref 0 in
+    (try
+       (* A worker-style consumer: pop a while, then tear the stream
+          down mid-flight and keep popping — [pop] drains what was
+          published before raising [Closed]. *)
+       while !consumed < 100 do
+         ignore (Spsc.pop q);
+         incr consumed
+       done;
+       Spsc.close q;
+       while true do
+         ignore (Spsc.pop q);
+         incr consumed
+       done
+     with Spsc.Closed -> ());
+    let successes = Domain.join producer in
+    if !consumed < successes then
+      Alcotest.failf "silent loss: producer delivered %d but consumer saw only %d" successes !consumed;
+    if !consumed > successes + 1 then
+      Alcotest.failf "over-delivery: producer delivered %d but consumer saw %d" successes !consumed
+  done
+
+(* ---------------------------------------------------------------- *)
+(* Frame_ring: the batched transport                                 *)
+(* ---------------------------------------------------------------- *)
+
+(* One event of every constructor (plus each annotation), so the
+   encoder/decoder pair is exercised over the whole Event.t surface. *)
+let every_event =
+  [
+    Event.Store { addr = 40; size = 16; tid = 1 };
+    Event.Clf { addr = 0; size = 64; kind = Event.Clwb; tid = 2 };
+    Event.Clf { addr = 64; size = 64; kind = Event.Clflush; tid = 0 };
+    Event.Clf { addr = 128; size = 64; kind = Event.Clflushopt; tid = 0 };
+    Event.Fence { tid = 3 };
+    Event.Register_pmem { base = 0; size = 4096 };
+    Event.Epoch_begin { tid = 0 };
+    Event.Epoch_end { tid = 0 };
+    Event.Strand_begin { tid = 0; strand = 2 };
+    Event.Strand_end { tid = 0; strand = 2 };
+    Event.Join_strand { tid = 0 };
+    Event.Tx_log { obj_addr = 96; size = 24; tid = 1 };
+    Event.Register_var { name = "head_ptr"; addr = 8; size = 8 };
+    Event.Register_var { name = ""; addr = 16; size = 8 };
+    Event.Call { func = "persist_obj"; tid = 1 };
+    Event.Annotation (Event.Assert_durable { addr = 0; size = 8 });
+    Event.Annotation (Event.Assert_ordered { first_addr = 0; first_size = 8; then_addr = 8; then_size = 16 });
+    Event.Annotation (Event.Assert_fresh { addr = 24; size = 8 });
+    Event.Program_end;
+  ]
+
+let test_frame_roundtrip () =
+  let ring = Frame_ring.create ~slots:4 ~frame_events:64 () in
+  List.iteri (fun i ev -> ignore (Frame_ring.push ring ~seq:(i + 1) ~silent:(i land 1 = 0) ev)) every_event;
+  Alcotest.(check int) "all staged below the threshold" (List.length every_event) (Frame_ring.staged ring);
+  let n = Frame_ring.flush ring in
+  Alcotest.(check int) "flush publishes the partial frame" (List.length every_event) n;
+  let got = ref [] in
+  (match Frame_ring.try_consume ring ~f:(fun ~seq ~silent ev -> got := (seq, silent, ev) :: !got) with
+  | `Frame n' -> Alcotest.(check int) "consumed count" n n'
+  | `Stop _ | `Empty -> Alcotest.fail "expected a plain frame");
+  let expected = List.mapi (fun i ev -> (i + 1, i land 1 = 0, ev)) every_event in
+  Alcotest.(check bool) "every constructor roundtrips with seq and silent bit" true (List.rev !got = expected)
+
+let test_frame_boundary_and_stop_partial () =
+  let ring = Frame_ring.create ~slots:4 ~frame_events:4 () in
+  let published = ref [] in
+  for i = 1 to 10 do
+    let n = Frame_ring.push ring ~seq:i ~silent:false (Event.Fence { tid = i }) in
+    if n > 0 then published := n :: !published
+  done;
+  Alcotest.(check (list int)) "publishes exactly at the frame boundary" [ 4; 4 ] (List.rev !published);
+  Alcotest.(check int) "two events staged" 2 (Frame_ring.staged ring);
+  Frame_ring.push_stop ring;
+  Alcotest.(check int) "stop published the partial frame" 0 (Frame_ring.staged ring);
+  let seqs = ref [] in
+  let finished = ref false in
+  while not !finished do
+    match Frame_ring.try_consume ring ~f:(fun ~seq ~silent:_ _ -> seqs := seq :: !seqs) with
+    | `Frame _ -> ()
+    | `Stop n ->
+        Alcotest.(check int) "stop frame carried the partial tail" 2 n;
+        finished := true
+    | `Empty -> Alcotest.fail "ring empty before the stop frame"
+  done;
+  Alcotest.(check (list int)) "every event exactly once, in order" (List.init 10 (fun i -> i + 1))
+    (List.rev !seqs)
+
+let test_frame_oversized_record_grows_slot () =
+  (* A record bigger than the whole slot: the staging buffer must grow
+     rather than truncate or loop. *)
+  let ring = Frame_ring.create ~frame_bytes:32 ~slots:2 ~frame_events:8 () in
+  let long = String.make 600 'x' in
+  ignore (Frame_ring.push ring ~seq:1 ~silent:false (Event.Store { addr = 0; size = 8; tid = 0 }));
+  ignore (Frame_ring.push ring ~seq:2 ~silent:false (Event.Register_var { name = long; addr = 0; size = 8 }));
+  ignore (Frame_ring.flush ring);
+  let got = ref [] in
+  let rec drain () =
+    match Frame_ring.try_consume ring ~f:(fun ~seq:_ ~silent:_ ev -> got := ev :: !got) with
+    | `Frame _ | `Stop _ -> drain ()
+    | `Empty -> ()
+  in
+  drain ();
+  match List.rev !got with
+  | [ Event.Store _; Event.Register_var { name; _ } ] ->
+      Alcotest.(check string) "long name intact" long name
+  | evs -> Alcotest.failf "expected store + register_var, got %d event(s)" (List.length evs)
+
+let test_frame_wraparound () =
+  let ring = Frame_ring.create ~slots:2 ~frame_events:3 () in
+  for round = 0 to 40 do
+    for i = 0 to 2 do
+      ignore (Frame_ring.push ring ~seq:((round * 3) + i) ~silent:false (Event.Fence { tid = i }))
+    done;
+    let got = ref [] in
+    (match Frame_ring.try_consume ring ~f:(fun ~seq ~silent:_ _ -> got := seq :: !got) with
+    | `Frame 3 -> ()
+    | _ -> Alcotest.fail "expected a full frame each round");
+    Alcotest.(check (list int)) "frame contents in order"
+      [ round * 3; (round * 3) + 1; (round * 3) + 2 ]
+      (List.rev !got)
+  done
+
+let test_frame_cross_domain () =
+  let n = 50_000 in
+  let ring = Frame_ring.create ~slots:4 ~frame_events:7 () in
+  let producer =
+    Domain.spawn (fun () ->
+        for i = 1 to n do
+          ignore (Frame_ring.push ring ~seq:i ~silent:false (Event.Fence { tid = i land 7 }))
+        done;
+        Frame_ring.push_stop ring)
+  in
+  let next = ref 1 in
+  let ok = ref true in
+  let total = ref 0 in
+  let finished = ref false in
+  while not !finished do
+    match
+      Frame_ring.consume ring ~f:(fun ~seq ~silent:_ _ ->
+          if seq <> !next then ok := false;
+          incr next;
+          incr total)
+    with
+    | `Frame _ -> ()
+    | `Stop _ -> finished := true
+  done;
+  Domain.join producer;
+  Alcotest.(check bool) "every event, in order" true !ok;
+  Alcotest.(check int) "exactly n events" n !total
 
 (* ---------------------------------------------------------------- *)
 (* Engine.finish_all ordering (regression for the documented          *)
@@ -148,6 +323,77 @@ let test_prior_seqs_span_two_shards () =
       mo.Bug.chain
   in
   Alcotest.(check (list int)) "chain = 8 smallest priors of the union" [ 2; 3; 4; 5; 6; 7; 8; 9 ] seqs
+
+(* ---------------------------------------------------------------- *)
+(* merge_stats: union of keys (regression)                           *)
+(* ---------------------------------------------------------------- *)
+
+(* The merge used to map over shard 0's stat list only, silently
+   dropping any key that first appears on a later shard (a backend
+   counter that never tripped on shard 0's partition). *)
+let mk_stat_worker stats shard =
+  {
+    Shard_router.w_event = (fun ~seq:_ ~silent:_ _ -> ());
+    w_scan_store = (fun ~seq:_ ~tid:_ ~lo:_ ~hi:_ -> { Shard_router.so_overlapped = false; so_prior_seqs = [] });
+    w_fire_store = (fun ~seq:_ ~addr:_ ~size:_ _ -> ());
+    w_scan_clf = (fun ~seq:_ ~tid:_ ~lo:_ ~hi:_ -> { Shard_router.co_matched = 0; co_newly = 0; co_redundant = [] });
+    w_fire_clf = (fun ~seq:_ ~addr:_ ~size:_ _ -> ());
+    w_finish = (fun () -> { (Bug.empty_report "stats-worker") with Bug.stats = stats shard });
+  }
+
+let test_merge_stats_union () =
+  let stats = function
+    | 0 -> [ ("shared", 1.0); ("avg_everywhere", 4.0) ]
+    | _ -> [ ("shared", 2.0); ("only_on_shard_1", 5.0); ("avg_only_on_shard_1", 7.0) ]
+  in
+  let report =
+    Recorder.replay [| Event.Program_end |]
+      (Shard_router.sink ~shards:2 ~domains:false (mk_stat_worker stats))
+  in
+  let get key =
+    match List.assoc_opt key report.Bug.stats with
+    | Some v -> v
+    | None -> Alcotest.failf "stat %S missing from the merged report" key
+  in
+  Alcotest.(check (float 0.0)) "shared counters sum across shards" 3.0 (get "shared");
+  Alcotest.(check (float 0.0)) "key present only on shard 1 survives the merge" 5.0 (get "only_on_shard_1");
+  Alcotest.(check (float 0.0)) "avg_ key from the first shard carrying it" 7.0 (get "avg_only_on_shard_1");
+  Alcotest.(check (float 0.0)) "avg_ key on shard 0 stays shard 0's" 4.0 (get "avg_everywhere");
+  Alcotest.(check (list string)) "first-appearance key order"
+    [ "shared"; "avg_everywhere"; "only_on_shard_1"; "avg_only_on_shard_1" ]
+    (List.map fst report.Bug.stats)
+
+(* ---------------------------------------------------------------- *)
+(* Queue-depth gauge sampling (regression)                           *)
+(* ---------------------------------------------------------------- *)
+
+(* Sampling used to gate on the router's global event tick (every 64th
+   event, nothing before event 64): a short run with real domains ended
+   with no depth series at all. Now each shard samples on its own push
+   cadence plus a final pre-stop sample, so even a tiny run records a
+   peak for every shard that saw traffic. *)
+let test_depth_gauge_on_small_runs () =
+  List.iter
+    (fun frame_size ->
+      let reg = Obs.Metrics.create () in
+      let evs = ref [ Event.Register_pmem { base = 0; size = 512 } ] in
+      for i = 1 to 10 do
+        evs := Event.Store { addr = (i mod 2 * 64) + 8; size = 8; tid = 0 } :: !evs
+      done;
+      evs := Event.Program_end :: !evs;
+      let trace = Array.of_list (List.rev !evs) in
+      ignore
+        (Recorder.replay trace
+           (Shard_router.sink ~shards:2 ~frame_size ~metrics:reg (fun _ ->
+                D.worker (D.create ~walk_dedup:false ()))));
+      let snap = Obs.Metrics.snapshot reg in
+      List.iter
+        (fun shard ->
+          if Obs.Metrics.find snap ~labels:[ ("shard", shard) ] "shard_queue_depth_peak" = None then
+            Alcotest.failf "no depth peak for shard %s under frame_size %d (<64 events routed)" shard
+              frame_size)
+        [ "0"; "1" ])
+    [ 0; Shard_router.default_frame_size ]
 
 (* ---------------------------------------------------------------- *)
 (* QCheck parity: random traces, sharded vs single                   *)
@@ -237,6 +483,58 @@ let prop_parity_domains =
       let expected = canon (replay_plain trace) in
       canon (Recorder.replay trace (Shard_router.sink ~shards:2 (fun _ -> D.worker (D.create ~walk_dedup:false ())))) = expected)
 
+(* Frame-transport parity: the batched hand-off must stay byte-identical
+   to the per-event transport and the single-shard run for every frame
+   size — including fs 1 (a frame per event) and fs 4096 (the whole
+   trace staged until a barrier or finish flushes it). fs 0 is the
+   per-event transport itself, pinning the two transports to the same
+   contract. *)
+let prop_parity_frame_sizes =
+  QCheck.Test.make ~name:"framed transport parity (frame sizes 0/1/7/64/4096 x 2/4/8 shards)" ~count:15
+    gen_trace (fun input ->
+      let trace = trace_of input in
+      let expected = canon (replay_plain trace) in
+      List.for_all
+        (fun frame_size ->
+          List.for_all
+            (fun shards -> canon (replay_sharded ~frame_size ~shards trace) = expected)
+            [ 2; 4; 8 ])
+        [ 0; 1; 7; 64; 4096 ])
+
+let prop_parity_frames_domains =
+  QCheck.Test.make ~name:"framed transport parity (real domains, frame sizes 7 and 4096)" ~count:4 gen_trace
+    (fun input ->
+      let trace = trace_of input in
+      let expected = canon (replay_plain trace) in
+      List.for_all
+        (fun frame_size -> canon (replay_sharded ~domains:true ~frame_size ~shards:2 trace) = expected)
+        [ 7; 4096 ])
+
+(* Deterministic frame-boundary edge case: a cross-shard store arrives
+   while both shards hold partially staged frames. The barrier must
+   flush them before scanning (inline and with real domains), or the
+   scans would run against workers that have not seen the preceding
+   stores — and with domains the drain would spin on staged events no
+   worker can see. *)
+let test_barrier_mid_frame () =
+  let trace =
+    [|
+      Event.Register_pmem { base = 0; size = region };
+      Event.Store { addr = 0; size = 8; tid = 0 };
+      Event.Store { addr = 64; size = 8; tid = 0 };
+      Event.Store { addr = 56; size = 16; tid = 0 };
+      Event.Clf { addr = 0; size = 128; kind = Event.Clwb; tid = 0 };
+      Event.Fence { tid = 0 };
+      Event.Program_end;
+    |]
+  in
+  let expected = canon (replay_plain trace) in
+  List.iter
+    (fun domains ->
+      Alcotest.(check string) "report survives a mid-frame barrier" expected
+        (canon (replay_sharded ~domains ~frame_size:4096 ~shards:2 trace)))
+    [ false; true ]
+
 let prop_flat_backend_equivalent =
   QCheck.Test.make ~name:"flat backend produces the hybrid backend's findings" ~count:40 gen_trace (fun input ->
       let trace = trace_of input in
@@ -313,13 +611,26 @@ let suite =
     Alcotest.test_case "spsc: fifo and capacity" `Quick test_spsc_fifo;
     Alcotest.test_case "spsc: ring wraparound" `Quick test_spsc_wraparound;
     Alcotest.test_case "spsc: cross-domain ordering" `Quick test_spsc_cross_domain;
+    Alcotest.test_case "spsc: close race loses nothing" `Quick test_spsc_close_race_exact_delivery;
+    Alcotest.test_case "frame ring: all constructors roundtrip" `Quick test_frame_roundtrip;
+    Alcotest.test_case "frame ring: boundary publish and stop with partial frame" `Quick
+      test_frame_boundary_and_stop_partial;
+    Alcotest.test_case "frame ring: oversized record grows the slot" `Quick
+      test_frame_oversized_record_grows_slot;
+    Alcotest.test_case "frame ring: wraparound" `Quick test_frame_wraparound;
+    Alcotest.test_case "frame ring: cross-domain ordering" `Quick test_frame_cross_domain;
     Alcotest.test_case "finish_all: reports in attach order" `Quick test_finish_all_attach_order;
     Alcotest.test_case "finish_all: order survives quarantine" `Quick test_finish_all_order_survives_quarantine;
     Alcotest.test_case "merge_store_obs: cap of union" `Quick test_merge_store_obs_cap;
     Alcotest.test_case "prior seqs across a shard boundary" `Quick test_prior_seqs_span_two_shards;
+    Alcotest.test_case "merge_stats: union of keys" `Quick test_merge_stats_union;
+    Alcotest.test_case "depth gauge sampled on small runs" `Quick test_depth_gauge_on_small_runs;
+    Alcotest.test_case "barrier with partial frames staged" `Quick test_barrier_mid_frame;
     QCheck_alcotest.to_alcotest prop_parity_modes;
     QCheck_alcotest.to_alcotest prop_parity_relaxed_models;
     QCheck_alcotest.to_alcotest prop_parity_domains;
+    QCheck_alcotest.to_alcotest prop_parity_frame_sizes;
+    QCheck_alcotest.to_alcotest prop_parity_frames_domains;
     QCheck_alcotest.to_alcotest prop_flat_backend_equivalent;
     Alcotest.test_case "flat store: lifecycle" `Quick test_flat_lifecycle;
     Alcotest.test_case "flat store: partial CLF splits" `Quick test_flat_partial_clf_splits;
