@@ -435,7 +435,10 @@ let flush_pending t conn session slot =
     done;
     true
   with Spsc.Closed ->
-    (* The worker died; no report will ever arrive. *)
+    (* The worker died; no report will ever arrive. Per the Spsc close
+       contract, [try_push] can raise after its element was already
+       published, so delivery of the in-flight event is indeterminate —
+       irrelevant here, since the session is torn down either way. *)
     Session.terminate session Status.Detector_error (Some "worker domain died");
     reply_session t conn session (session_result_frame session None);
     false

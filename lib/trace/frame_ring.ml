@@ -355,11 +355,16 @@ let push t ~seq ~silent ev =
   let sz = need ev in
   let idx = Atomic.get t.tail land t.mask in
   let buf = t.slots.(idx) in
+  let published = ref 0 in
   let buf =
     if t.st_used + sz <= Bytes.length buf then buf
     else if t.st_count > 0 then begin
-      (* Frame full by bytes: publish it and start a new one. *)
-      ignore (publish t ~stop:false);
+      (* Frame full by bytes: publish it and start a new one. The count
+         goes into this call's return value — a caller that only
+         consumes on a positive return (Shard_router's inline mode)
+         must learn about byte-full frames too, or nothing ever frees
+         the ring and the full-ring wait above spins forever. *)
+      published := publish t ~stop:false;
       claim t;
       let idx = Atomic.get t.tail land t.mask in
       let buf = t.slots.(idx) in
@@ -382,7 +387,7 @@ let push t ~seq ~silent ev =
   encode buf t.st_used ~seq ~silent ev;
   t.st_used <- t.st_used + sz;
   t.st_count <- t.st_count + 1;
-  if t.st_count >= t.frame_events then publish t ~stop:false else 0
+  if t.st_count >= t.frame_events then !published + publish t ~stop:false else !published
 
 let push_stop t =
   if Atomic.get t.closed then raise Closed;

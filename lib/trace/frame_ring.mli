@@ -66,10 +66,15 @@ val is_closed : t -> bool
 (** {1 Producer} *)
 
 val push : t -> seq:int -> silent:bool -> Event.t -> int
-(** Encode one event into the staging frame. Returns the number of
-    events published by this call: [0] while staging, or the frame's
-    event count when this push filled it. Blocks (backoff) while the
-    ring is full of unconsumed frames. Raises {!Closed} if the ring is
+(** Encode one event into the staging frame. Returns the {e total}
+    number of events published by this call: [0] while staging,
+    otherwise the event count of the frame(s) it published — because
+    this push filled the frame to [frame_events], or because the
+    staging slot ran out of bytes (the prior events publish and this
+    event starts a fresh frame). Every published frame is accounted in
+    some call's return value, so a caller that consumes only on a
+    positive return sees every frame. Blocks (backoff) while the ring
+    is full of unconsumed frames. Raises {!Closed} if the ring is
     — or becomes, while blocked or publishing — closed; on a raise
     {e after} the publishing store the frame is still delivered to a
     draining consumer (see close semantics above). *)

@@ -197,6 +197,36 @@ let test_frame_oversized_record_grows_slot () =
       Alcotest.(check string) "long name intact" long name
   | evs -> Alcotest.failf "expected store + register_var, got %d event(s)" (List.length evs)
 
+(* A push that fills the frame by *bytes* (string-carrying records
+   bigger than the per-event estimate) used to discard the published
+   count, returning 0: in Shard_router's inline framed mode nothing
+   consumed those frames — after [slots] of them the full-ring wait
+   deadlocked the router — and in domain mode shard_events_total
+   undercounted. Every published frame must be accounted in some
+   push/flush return value. *)
+let test_frame_byte_full_publish_counted () =
+  (* 69-byte Call records against 140-byte slots: every frame fills by
+     bytes after two events, far below the 256-event threshold. *)
+  let ring = Frame_ring.create ~frame_bytes:140 ~slots:8 ~frame_events:256 () in
+  let long = String.make 48 'f' in
+  let n = 10 in
+  let published = ref 0 in
+  for i = 1 to n do
+    published := !published + Frame_ring.push ring ~seq:i ~silent:false (Event.Call { func = long; tid = 0 })
+  done;
+  Alcotest.(check bool) "byte-full frames were published" true (Frame_ring.length ring > 0);
+  published := !published + Frame_ring.flush ring;
+  Alcotest.(check int) "every event accounted in a push/flush return" n !published;
+  let seqs = ref [] in
+  let rec drain () =
+    match Frame_ring.try_consume ring ~f:(fun ~seq ~silent:_ _ -> seqs := seq :: !seqs) with
+    | `Frame _ | `Stop _ -> drain ()
+    | `Empty -> ()
+  in
+  drain ();
+  Alcotest.(check (list int)) "every event exactly once, in order" (List.init n (fun i -> i + 1))
+    (List.rev !seqs)
+
 let test_frame_wraparound () =
   let ring = Frame_ring.create ~slots:2 ~frame_events:3 () in
   for round = 0 to 40 do
@@ -440,7 +470,13 @@ let trace_of (vars, ops) =
           end
           else emit (Event.Join_strand { tid = 0 })
       | 9 -> emit (Event.Tx_log { obj_addr = a land lnot 7; size = 8; tid = 0 })
-      | _ -> emit (Event.Call { func = "persist_obj"; tid = 0 })
+      | _ ->
+          (* Alternate short and long names so framed transports hit the
+             byte-full publish path (a frame that runs out of slot bytes
+             before the event-count threshold) — a long-record stream
+             used to wedge the router. *)
+          let func = if s land 1 = 0 then "persist_obj" else String.make 60 'p' in
+          emit (Event.Call { func; tid = 0 })
     )
     ops;
   emit Event.Program_end;
@@ -535,6 +571,39 @@ let test_barrier_mid_frame () =
         (canon (replay_sharded ~domains ~frame_size:4096 ~shards:2 trace)))
     [ false; true ]
 
+(* Router-level regression for the byte-full publish bug: long Call
+   names make every frame fill by bytes (81-byte records, frame_size 16
+   → 704-byte slots → byte-full at 8 events) while the event-count
+   threshold is never reached. The router used to learn nothing about
+   these frames (push returned 0): inline mode hung forever once the
+   ring's [slots] (4 here) filled, and shard_events_total missed their
+   event counts. *)
+let test_framed_byte_full_inline () =
+  let reg = Obs.Metrics.create () in
+  let long = String.make 60 'f' in
+  let evs = ref [ Event.Register_pmem { base = 0; size = region } ] in
+  for i = 1 to 200 do
+    evs := Event.Call { func = long; tid = i land 3 } :: !evs
+  done;
+  evs := Event.Store { addr = 8; size = 8; tid = 0 } :: !evs;
+  evs := Event.Program_end :: !evs;
+  let trace = Array.of_list (List.rev !evs) in
+  let expected = canon (replay_plain trace) in
+  let got =
+    Recorder.replay trace
+      (Shard_router.sink ~shards:2 ~domains:false ~frame_size:16 ~queue_capacity:64 ~metrics:reg
+         (fun _ -> D.worker (D.create ~walk_dedup:false ())))
+  in
+  Alcotest.(check string) "report identical to the single run" expected (canon got);
+  (* Shard 0 sees every event: 202 broadcasts (Register_pmem, 200
+     Calls, Program_end), the line-0 store, and the finish-time
+     Program_end broadcast — 204 total; shard 1 sees the 203
+     broadcasts. Exactness requires byte-full frames to be counted. *)
+  let snap = Obs.Metrics.snapshot reg in
+  let total shard = Obs.Metrics.counter_value snap ~labels:[ ("shard", shard) ] "shard_events_total" in
+  Alcotest.(check int) "shard 0 total exact" 204 (total "0");
+  Alcotest.(check int) "shard 1 total exact" 203 (total "1")
+
 let prop_flat_backend_equivalent =
   QCheck.Test.make ~name:"flat backend produces the hybrid backend's findings" ~count:40 gen_trace (fun input ->
       let trace = trace_of input in
@@ -617,7 +686,10 @@ let suite =
       test_frame_boundary_and_stop_partial;
     Alcotest.test_case "frame ring: oversized record grows the slot" `Quick
       test_frame_oversized_record_grows_slot;
+    Alcotest.test_case "frame ring: byte-full publishes are counted" `Quick
+      test_frame_byte_full_publish_counted;
     Alcotest.test_case "frame ring: wraparound" `Quick test_frame_wraparound;
+    Alcotest.test_case "framed routing: byte-full frames inline" `Quick test_framed_byte_full_inline;
     Alcotest.test_case "frame ring: cross-domain ordering" `Quick test_frame_cross_domain;
     Alcotest.test_case "finish_all: reports in attach order" `Quick test_finish_all_attach_order;
     Alcotest.test_case "finish_all: order survives quarantine" `Quick test_finish_all_order_survives_quarantine;
