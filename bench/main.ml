@@ -10,7 +10,7 @@
    serve
 
    The report experiment also writes BENCH_pr2.json, the streaming
-   experiment BENCH_pr3.json, the sharding experiment BENCH_pr8.json
+   experiment BENCH_pr3.json, the sharding experiment BENCH_pr9.json
    (frames-vs-per-event transport curve) and the serve soak
    BENCH_pr6.json (all pmdb-bench/v1: per-bench
    slowdowns + dispatch-latency quantiles + a telemetry snapshot);
@@ -956,7 +956,7 @@ let streaming () =
 (* domain-parallel Shard_router over both transports — the frame-       *)
 (* batched default at 1/2/4/8 shards plus a frame-size sweep, and the   *)
 (* per-event baseline at 1/2/4 — and check every merged report against  *)
-(* the plain single-detector run. Writes BENCH_pr8.json.                *)
+(* the plain single-detector run. Writes BENCH_pr9.json.                *)
 (* ------------------------------------------------------------------ *)
 
 let sharding () =
@@ -1057,7 +1057,34 @@ let sharding () =
     Printf.printf
       "  note: fewer than 4 cores — the curve measures correctness and overhead, not parallel speedup\n";
   let open Obs.Json in
-  let row name total_s hist =
+  (* Stage attribution per row: the per-shard residency/decode
+     histograms folded bucket-wise across labels (the worker registries
+     are absorbed into the router's at finish), p50 interpolated. The
+     plain run has no hand-off, so its stage fields are null. *)
+  let stage_p50 reg name =
+    let folded =
+      List.fold_left
+        (fun acc (s : Obs.Metrics.sample) ->
+          match (s.Obs.Metrics.value, acc) with
+          | Obs.Metrics.V_hist h, None when s.Obs.Metrics.name = name -> Some h
+          | Obs.Metrics.V_hist h, Some t when s.Obs.Metrics.name = name && h.Obs.Metrics.h_bounds = t.Obs.Metrics.h_bounds ->
+              Array.iteri (fun i c -> t.Obs.Metrics.h_counts.(i) <- t.Obs.Metrics.h_counts.(i) + c) h.Obs.Metrics.h_counts;
+              Some
+                {
+                  t with
+                  Obs.Metrics.h_sum = t.Obs.Metrics.h_sum +. h.Obs.Metrics.h_sum;
+                  h_count = t.Obs.Metrics.h_count + h.Obs.Metrics.h_count;
+                  h_max = Float.max t.Obs.Metrics.h_max h.Obs.Metrics.h_max;
+                }
+          | _ -> acc)
+        None (Obs.Metrics.snapshot reg)
+    in
+    match folded with
+    | Some h when h.Obs.Metrics.h_count > 0 -> Float (Obs.Metrics.quantile h 0.5)
+    | _ -> Null
+  in
+  let row ?reg name total_s hist =
+    let stage name = match reg with Some r -> stage_p50 r name | None -> Null in
     Obj
       [
         ("bench", Str name);
@@ -1072,6 +1099,8 @@ let sharding () =
         ("dispatch_p50_s", Float (p hist 0.5));
         ("dispatch_p95_s", Float (p hist 0.95));
         ("dispatch_p99_s", Float (p hist 0.99));
+        ("residency_p50_s", stage "shard_frame_residency_seconds");
+        ("decode_p50_s", stage "shard_frame_decode_seconds");
         ("events_per_sec", Float (eps total_s));
       ]
   in
@@ -1099,13 +1128,13 @@ let sharding () =
           List
             (row "replay-plain" plain_s plain_hist
             :: Stdlib.List.map
-                 (fun (name, _, dt, hist, _) -> row (Printf.sprintf "replay-%s" name) dt hist)
+                 (fun (name, _, dt, hist, reg) -> row ~reg (Printf.sprintf "replay-%s" name) dt hist)
                  sharded) );
         ("telemetry", telemetry);
       ]
   in
-  to_file "BENCH_pr8.json" json;
-  Printf.printf "wrote BENCH_pr8.json (events=%d, quick=%b)\n" events q;
+  to_file "BENCH_pr9.json" json;
+  Printf.printf "wrote BENCH_pr9.json (events=%d, quick=%b)\n" events q;
   flush stdout;
   if not reports_match then begin
     Printf.eprintf "sharding: FAILED — sharded and single-detector replays disagree\n";
@@ -1171,7 +1200,7 @@ let serve_soak () =
   let metrics = Obs.Metrics.create () in
   let workers = min 4 (max 2 (Domain.recommended_domain_count () - 2)) in
   let cfg = { (Serve.Daemon.default_config ~socket) with Serve.Daemon.workers; idle_timeout = 30.0 } in
-  let daemon = Serve.Daemon.create ~metrics ~make_sink:mk cfg in
+  let daemon = Serve.Daemon.create ~metrics ~make_sink:(fun ~heatmap:_ -> mk ()) cfg in
   let daemon_domain = Domain.spawn (fun () -> Serve.Daemon.run daemon) in
   let run_wave wave n =
     let doms =
@@ -1342,6 +1371,10 @@ let experiments =
   ]
 
 let () =
+  (* Frame publish stamps (and thus residency) must be wall clock, not
+     the Sys.time default — the producer and consumer are on different
+     domains. *)
+  Obs.Clock.set Unix.gettimeofday;
   let args = List.tl (Array.to_list Sys.argv) in
   let names =
     List.filter

@@ -25,16 +25,19 @@ let backend_for ~metrics = function
   | other ->
       failwith (Printf.sprintf "unknown backend %S (expected one of: %s)" other (String.concat ", " backend_names))
 
-let sink_for ?(metrics = Obs.Metrics.disabled) ?(shards = 0) ?(frame_size = Shard_router.default_frame_size)
-    ?(backend = "hybrid") name model config =
+(* [heatmap] feeds the plain pmdebugger path only: shard detectors run
+   on worker domains where a shared single-domain table would race. *)
+let sink_for ?(metrics = Obs.Metrics.disabled) ?(heatmap = Obs.Heatmap.disabled) ?flightrec
+    ?worker_flightrecs ?(shards = 0) ?(frame_size = Shard_router.default_frame_size) ?(backend = "hybrid")
+    name model config =
   match name with
   | "pmdebugger" when shards >= 1 ->
-      Shard_router.sink ~shards ~frame_size ~metrics (fun _shard ->
+      Shard_router.sink ~shards ~frame_size ~metrics ?flightrec ?worker_flightrecs (fun _shard ->
           let backend = backend_for ~metrics:Obs.Metrics.disabled backend in
           Pmdebugger.Detector.worker (Pmdebugger.Detector.create ~model ~config ?backend ~walk_dedup:false ()))
   | "pmdebugger" ->
       let backend = backend_for ~metrics backend in
-      Pmdebugger.Detector.sink (Pmdebugger.Detector.create ~model ~config ?backend ~metrics ())
+      Pmdebugger.Detector.sink (Pmdebugger.Detector.create ~model ~config ?backend ~metrics ~heatmap ())
   | _ when shards >= 1 -> failwith (Printf.sprintf "--shards requires -d pmdebugger (got %S)" name)
   | _ when backend <> "hybrid" -> failwith (Printf.sprintf "--backend requires -d pmdebugger (got %S)" name)
   | "pmemcheck" -> Baselines.Pmemcheck.sink (Baselines.Pmemcheck.create ())
@@ -45,11 +48,13 @@ let sink_for ?(metrics = Obs.Metrics.disabled) ?(shards = 0) ?(frame_size = Shar
 
 (* --metrics FILE: every command records into [reg] (enabled only when
    the flag is given) and the snapshot plus the run's spans land in FILE
-   as stable JSON. *)
-let with_metrics file f =
+   as stable JSON — or on stdout when FILE is "-". [spans_on] forces
+   span recording without a metrics file (--trace-out needs the phases
+   even when no snapshot is written). *)
+let with_metrics ?(spans_on = false) file f =
   Obs.Clock.set Unix.gettimeofday;
   let reg = match file with None -> Obs.Metrics.disabled | Some _ -> Obs.Metrics.create () in
-  let spans = match file with None -> Obs.Span.disabled | Some _ -> Obs.Span.create () in
+  let spans = if file <> None || spans_on then Obs.Span.create () else Obs.Span.disabled in
   let result = f reg spans in
   (match file with
   | None -> ()
@@ -59,8 +64,11 @@ let with_metrics file f =
         | Obs.Json.Obj fields -> Obs.Json.Obj (fields @ [ ("spans", Obs.Span.to_json spans) ])
         | other -> other
       in
-      Obs.Json.to_file path json;
-      Printf.printf "metrics written to %s\n" path);
+      if path = "-" then print_endline (Obs.Json.to_string ~indent:true json)
+      else begin
+        Obs.Json.to_file path json;
+        Printf.printf "metrics written to %s\n" path
+      end);
   result
 
 let print_quarantined engine =
@@ -116,11 +124,12 @@ let print_findings ~max_print report =
     (String.concat ", " (List.map Bug.kind_name (Bug.kinds_found report)))
 
 let run_workload_reports ?(shards = 0) ?(frame_size = Shard_router.default_frame_size) ?(backend = "hybrid")
-    ~metrics ~spans workload n detector config annotate =
+    ?flightrec ?worker_flightrecs ~metrics ~spans workload n detector config annotate =
   let spec = Workloads.Registry.find_exn workload in
   let config = load_config config in
   let engine = Engine.create ~metrics () in
-  Engine.attach engine (sink_for ~metrics ~shards ~frame_size ~backend detector spec.W.model config);
+  Engine.attach engine
+    (sink_for ~metrics ?flightrec ?worker_flightrecs ~shards ~frame_size ~backend detector spec.W.model config);
   let t0 = Unix.gettimeofday () in
   Obs.Span.record spans ~attrs:[ ("workload", workload) ] "run" (fun () ->
       spec.W.run (W.params ~annotate ~n ()) engine);
@@ -130,11 +139,40 @@ let run_workload_reports ?(shards = 0) ?(frame_size = Shard_router.default_frame
   let reports = Obs.Span.record spans "finish" (fun () -> Engine.finish_all engine) in
   (engine, reports, dt)
 
-let run_cmd workload n detector config annotate max_print shards frame_size backend metrics_file =
-  with_metrics metrics_file (fun metrics spans ->
-      let engine, reports, dt =
-        run_workload_reports ~shards ~frame_size ~backend ~metrics ~spans workload n detector config annotate
+(* --trace-out FILE: flight-recorder rings for the router and each
+   shard worker; after the run they merge with the CLI's coarse spans
+   into one causal Perfetto document (Obs.Tracecat). With --shards 0
+   there is no pipeline to record — the dump still carries the phase
+   spans on a "phases" track. *)
+let trace_rings ~trace_out ~shards =
+  match trace_out with
+  | None -> (None, None)
+  | Some _ ->
+      ( Some (Obs.Flightrec.create ~capacity:8192 ()),
+        Some (Array.init (max shards 0) (fun _ -> Obs.Flightrec.create ~capacity:8192 ())) )
+
+let dump_causal_trace ~trace_out ~spans ~flightrec ~worker_flightrecs =
+  match trace_out with
+  | None -> ()
+  | Some path ->
+      let rings =
+        (match flightrec with Some r -> [ ("router", r) ] | None -> [])
+        @
+        match worker_flightrecs with
+        | Some rs -> Array.to_list (Array.mapi (fun i r -> (Printf.sprintf "shard-%d" i, r)) rs)
+        | None -> []
       in
+      Obs.Json.to_file path (Obs.Tracecat.merge ~spans:(Obs.Span.finished spans) rings);
+      Printf.printf "causal trace written to %s (open in ui.perfetto.dev)\n" path
+
+let run_cmd workload n detector config annotate max_print shards frame_size backend metrics_file trace_out =
+  with_metrics ~spans_on:(trace_out <> None) metrics_file (fun metrics spans ->
+      let flightrec, worker_flightrecs = trace_rings ~trace_out ~shards in
+      let engine, reports, dt =
+        run_workload_reports ?flightrec ?worker_flightrecs ~shards ~frame_size ~backend ~metrics ~spans
+          workload n detector config annotate
+      in
+      dump_causal_trace ~trace_out ~spans ~flightrec ~worker_flightrecs;
       List.iter
         (fun report ->
           Printf.printf "%s on %s (n=%d): %d event(s) in %.3fs\n" report.Bug.detector workload n
@@ -266,12 +304,16 @@ let replay_daemon_cmd ~socket ~file ~max_print ~lenient =
             (Option.value error ~default:"(no detail)"));
       exit (Serve.Status.exit_code frame.Serve.Wire.status)
 
-let replay_cmd file detector config max_print lenient daemon shards frame_size backend metrics_file =
+let replay_cmd file detector config max_print lenient daemon shards frame_size backend metrics_file trace_out =
   match daemon with
+  | Some _ when trace_out <> None ->
+      Printf.eprintf "error: --trace-out needs a local replay (the daemon dumps its own via serve --trace-out)\n";
+      exit 1
   | Some socket -> replay_daemon_cmd ~socket ~file ~max_print ~lenient
   | None ->
-  with_metrics metrics_file (fun metrics spans ->
+  with_metrics ~spans_on:(trace_out <> None) metrics_file (fun metrics spans ->
       let config = load_config config in
+      let flightrec, worker_flightrecs = trace_rings ~trace_out ~shards in
       (* Replays have no live PM state: the model only gates rule
          selection, so strict covers all shared rules. Dispatching through
          an engine (instead of calling the sink directly) keeps the
@@ -279,7 +321,9 @@ let replay_cmd file detector config max_print lenient daemon shards frame_size b
          streams straight from disk into the engine — constant memory
          regardless of trace size. *)
       let engine = Engine.create ~metrics () in
-      Engine.attach engine (sink_for ~metrics ~shards ~frame_size ~backend detector Pmdebugger.Detector.Strict config);
+      Engine.attach engine
+        (sink_for ~metrics ?flightrec ?worker_flightrecs ~shards ~frame_size ~backend detector
+           Pmdebugger.Detector.Strict config);
       Obs.Span.record spans ~attrs:[ ("file", file) ] "replay" (fun () ->
           if lenient then (
             match
@@ -299,7 +343,8 @@ let replay_cmd file detector config max_print lenient daemon shards frame_size b
                 Printf.eprintf "error: %s\n" msg;
                 exit (Serve.Status.exit_code Serve.Status.Trace_error)
             | Ok () -> ());
-      let reports = Engine.finish_all engine in
+      let reports = Obs.Span.record spans "finish" (fun () -> Engine.finish_all engine) in
+      dump_causal_trace ~trace_out ~spans ~flightrec ~worker_flightrecs;
       List.iter
         (fun report ->
           Printf.printf "%s replayed %d event(s) from %s\n" report.Bug.detector report.Bug.events_processed file;
@@ -517,8 +562,21 @@ let explain_cmd case trace_file workload n config max_print =
   if total > max_print then Printf.printf "... and %d more finding(s)\n" (total - max_print)
 
 let timeline_cmd case trace_file workload n annotate out max_tracks =
-  let what, _model, trace = events_of_source ~annotate ~case ~trace_file ~workload ~n () in
-  let b = Harness.Timeline.of_trace ~max_tracks trace in
+  (* Coarse phases (source the trace, build the timeline) overlay the
+     per-line tracks as a third process. The line tracks run in virtual
+     time (1 event = 1µs) while the spans are wall-clock from 0 — the
+     phases read as proportions, not as aligned timestamps. *)
+  Obs.Clock.set Unix.gettimeofday;
+  let spans = Obs.Span.create () in
+  let what, _model, trace =
+    Obs.Span.record spans
+      ~attrs:[ ("workload", workload) ]
+      (match (case, trace_file) with Some _, _ -> "case" | None, Some _ -> "load" | None, None -> "record")
+      (fun () -> events_of_source ~annotate ~case ~trace_file ~workload ~n ())
+  in
+  let b = Obs.Span.record spans "build" (fun () -> Harness.Timeline.of_trace ~max_tracks trace) in
+  Obs.Perfetto.process_name ~pid:3 b "phases";
+  Obs.Span.render ~pid:3 b (Obs.Span.finished spans);
   Obs.Json.to_file out (Obs.Perfetto.to_json b);
   Printf.printf "timeline: %d trace event(s) from %s -> %d timeline event(s) in %s\n"
     (Array.length trace) what (Obs.Perfetto.length b) out;
@@ -583,6 +641,14 @@ let check_report_file path =
   | Error msg ->
       Printf.eprintf "%s: invalid JSON: %s\n" path msg;
       exit 1
+  | Ok json when Obs.Json.member "traceEvents" json <> None -> (
+      (* A Perfetto/Chrome trace-event document (pmdb timeline,
+         --trace-out, the daemon's causal dumps) — structural check. *)
+      match Obs.Perfetto.validate_json json with
+      | Ok n -> Printf.printf "%s: valid trace-event document (%d events)\n" path n
+      | Error msg ->
+          Printf.eprintf "%s: invalid trace-event document: %s\n" path msg;
+          exit 1)
   | Ok json -> (
       match Obs.Json.member "schema" json with
       | Some (Obs.Json.Str "pmdb-metrics/v1") -> (
@@ -729,7 +795,7 @@ let stats_cmd workload n detector config check check_prometheus diff files check
           Printf.printf "metrics written to %s\n" path
 
 let serve_cmd socket workers queue_capacity idle_timeout session_budget max_sessions detector config shards
-    frame_size metrics_file flightrec_dir stop probe =
+    frame_size metrics_file flightrec_dir heatmap_cap trace_out stop probe =
   if stop then (
     match Serve.Client.stop ~socket with
     | Ok () -> Printf.printf "daemon at %s stopped\n" socket
@@ -772,6 +838,8 @@ let serve_cmd socket workers queue_capacity idle_timeout session_budget max_sess
             max_sessions;
             metrics_file;
             flightrec_dir;
+            heatmap_cap;
+            trace_out;
           }
         in
         (* Each session's sink may itself shard across domains: worker
@@ -779,8 +847,9 @@ let serve_cmd socket workers queue_capacity idle_timeout session_budget max_sess
            [workers * shards] cores. The sharded path keeps per-session
            registries disabled like the plain one — the daemon's merged
            telemetry comes from the dispatch/worker registries. *)
-        let make_sink () =
-          sink_for ~metrics:Obs.Metrics.disabled ~shards ~frame_size detector Pmdebugger.Detector.Strict config
+        let make_sink ~heatmap =
+          sink_for ~metrics:Obs.Metrics.disabled ~heatmap ~shards ~frame_size detector
+            Pmdebugger.Detector.Strict config
         in
         let daemon = Serve.Daemon.create ~metrics ~make_sink cfg in
         Serve.Daemon.install_signal_handlers daemon;
@@ -792,8 +861,97 @@ let serve_cmd socket workers queue_capacity idle_timeout session_budget max_sess
         (match flightrec_dir with
         | Some dir -> Printf.printf "pmdb serve: flight-recorder dumps -> %s\n%!" dir
         | None -> ());
+        (match trace_out with
+        | Some dir -> Printf.printf "pmdb serve: causal Perfetto traces -> %s (SIGQUIT or shutdown)\n%!" dir
+        | None -> ());
+        if heatmap_cap > 0 then
+          Printf.printf "pmdb serve: hot-line heatmap on (cap %d lines/worker; query with `pmdb heatmap --daemon %s`)\n%!"
+            heatmap_cap socket;
         Serve.Daemon.run daemon;
         Printf.printf "pmdb serve: stopped\n"
+
+(* ---------------------------------------------------------------- *)
+(* heatmap: the hot-line table, from a local run or a live daemon;   *)
+(* top: the refreshing dashboard over the daemon's stats_stream.     *)
+(* ---------------------------------------------------------------- *)
+
+let line_bytes = 64
+
+let print_heatmap ~what ~top ~json (snap : Obs.Heatmap.snapshot) =
+  let snap = { snap with Obs.Heatmap.s_rows = List.filteri (fun i _ -> i < top) snap.Obs.Heatmap.s_rows } in
+  if json then print_endline (Obs.Json.to_string ~indent:true (Obs.Heatmap.snapshot_to_json snap))
+  else if snap.Obs.Heatmap.s_rows = [] then
+    Printf.printf "no lines tracked for %s (daemon started without --heatmap-cap, or no PM traffic yet)\n" what
+  else
+    Harness.Table.print
+      ~title:
+        (Printf.sprintf "hot lines: %s (%d tracked%s)" what snap.Obs.Heatmap.s_tracked
+           (if snap.Obs.Heatmap.s_dropped > 0 then
+              Printf.sprintf ", %d event(s) on lines past the cap" snap.Obs.Heatmap.s_dropped
+            else ""))
+      ~header:[ "line"; "variable"; "stores"; "clfs"; "bugs"; "dirty seqs" ]
+      (List.map
+         (fun (r : Obs.Heatmap.row) ->
+           [
+             Printf.sprintf "0x%x" (r.Obs.Heatmap.r_line * line_bytes);
+             (match r.Obs.Heatmap.r_name with Some n -> n | None -> "");
+             string_of_int r.Obs.Heatmap.r_stores;
+             string_of_int r.Obs.Heatmap.r_clfs;
+             string_of_int r.Obs.Heatmap.r_bugs;
+             string_of_int r.Obs.Heatmap.r_dirty;
+           ])
+         snap.Obs.Heatmap.s_rows)
+
+let heatmap_cmd case trace_file workload n config cap top json daemon =
+  match daemon with
+  | Some socket -> (
+      (* The daemon's merged per-worker tables, over the wire. *)
+      match Serve.Client.heatmap ~socket with
+      | Error msg ->
+          Printf.eprintf "error: %s\n" msg;
+          exit 1
+      | Ok snap -> print_heatmap ~what:socket ~top ~json snap)
+  | None ->
+      (* Annotations on: Register_var events give the hot lines names. *)
+      let what, model, trace = events_of_source ~annotate:true ~case ~trace_file ~workload ~n () in
+      let config =
+        match (case, config) with
+        | Some id, None -> (find_bugbench_case id).Bugbench.Cases.config
+        | _ -> load_config config
+      in
+      let heatmap = Obs.Heatmap.create ~cap () in
+      let det = Pmdebugger.Detector.create ~model ~config ~heatmap () in
+      ignore (Recorder.replay trace (Pmdebugger.Detector.sink det));
+      print_heatmap ~what ~top ~json (Obs.Heatmap.snapshot heatmap)
+
+let top_cmd socket once =
+  (* --once asks the daemon for exactly one stats frame (CI smoke and
+     scripting); otherwise follow the stream, clear + redraw per frame
+     when stdout is a terminal. *)
+  let frames = if once then 1 else 0 in
+  let interactive = (not once) && Unix.isatty Unix.stdout in
+  let prev = ref None in
+  let last = ref (Unix.gettimeofday ()) in
+  match
+    Serve.Client.stats_follow ~socket ~frames
+      ~on_frame:(fun snap ->
+        let t = Unix.gettimeofday () in
+        let dt = t -. !last in
+        last := t;
+        if interactive then print_string "\027[2J\027[H";
+        print_string (Harness.Top.render ~prev:!prev ~cur:snap ~dt);
+        flush stdout;
+        prev := Some snap;
+        true)
+      ()
+  with
+  | Ok 0 ->
+      Printf.eprintf "error: daemon closed the stream without a stats frame\n";
+      exit 1
+  | Ok n -> if not interactive then Printf.printf "stream closed after %d frame(s)\n" n
+  | Error msg ->
+      Printf.eprintf "error: %s\n" msg;
+      exit 1
 
 let list_cmd () =
   List.iter
@@ -834,10 +992,18 @@ let backend_arg =
   in
   Arg.(value & opt string "hybrid" & info [ "backend" ] ~docv:"STORE" ~doc)
 
+let trace_out_arg =
+  let doc =
+    "Write a causal Perfetto trace of the run to $(docv): the router's and every shard worker's flight-recorder \
+     rings merged onto one time base (frame publish->pop as flow arrows) plus the run's coarse phase spans. Open \
+     in ui.perfetto.dev; validate with `pmdb stats --check`."
+  in
+  Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE" ~doc)
+
 let run_term =
   Term.(
     const run_cmd $ workload_arg $ n_arg $ detector_arg $ config_arg $ annotate_arg $ max_bugs_arg $ shards_arg
-    $ frame_size_arg $ backend_arg $ metrics_arg)
+    $ frame_size_arg $ backend_arg $ metrics_arg $ trace_out_arg)
 
 let out_arg =
   let doc = "Output trace file." in
@@ -860,7 +1026,7 @@ let daemon_arg =
 let replay_term =
   Term.(
     const replay_cmd $ trace_file_arg $ detector_arg $ config_arg $ max_bugs_arg $ lenient_arg $ daemon_arg
-    $ shards_arg $ frame_size_arg $ backend_arg $ metrics_arg)
+    $ shards_arg $ frame_size_arg $ backend_arg $ metrics_arg $ trace_out_arg)
 
 let socket_arg =
   let doc = "Unix-domain socket path the daemon listens on." in
@@ -900,6 +1066,21 @@ let flightrec_dir_arg =
   in
   Arg.(value & opt (some string) None & info [ "flightrec-dir" ] ~docv:"DIR" ~doc)
 
+let heatmap_cap_arg =
+  let doc =
+    "Track the $(docv) hottest cache lines per worker (traffic, dirty virtual time, bug density); query the merged \
+     table with `pmdb heatmap --daemon`. 0 (the default) disables tracking — the per-event cost is one branch."
+  in
+  Arg.(value & opt int 0 & info [ "heatmap-cap" ] ~docv:"LINES" ~doc)
+
+let serve_trace_out_arg =
+  let doc =
+    "Directory for daemon-wide causal Perfetto traces: on SIGQUIT and at shutdown the dispatch domain's and every \
+     worker's flight-recorder rings are merged onto one time base (frame publish->pop flow arrows included) and \
+     written there. Requires flight recording, which is always on in the daemon."
+  in
+  Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"DIR" ~doc)
+
 let serve_stop_arg =
   let doc = "Ask the daemon at --socket to shut down gracefully, then exit." in
   Arg.(value & flag & info [ "stop" ] ~doc)
@@ -915,7 +1096,7 @@ let serve_term =
   Term.(
     const serve_cmd $ socket_arg $ workers_arg $ queue_capacity_arg $ idle_timeout_arg $ session_budget_arg
     $ max_sessions_arg $ detector_arg $ config_arg $ shards_arg $ frame_size_arg $ metrics_file_arg
-    $ flightrec_dir_arg $ serve_stop_arg $ probe_arg)
+    $ flightrec_dir_arg $ heatmap_cap_arg $ serve_trace_out_arg $ serve_stop_arg $ probe_arg)
 
 let case_arg =
   let doc = "Explore a bugbench case by id instead of a workload." in
@@ -1056,6 +1237,29 @@ let timeline_term =
     const timeline_cmd $ case_arg $ src_trace_arg $ workload_arg $ n_arg $ annotate_arg
     $ timeline_out_arg $ max_tracks_arg)
 
+let heatmap_local_cap_arg =
+  let doc = "Hottest-line table capacity for a local (non --daemon) run." in
+  Arg.(value & opt int 1024 & info [ "cap" ] ~docv:"LINES" ~doc)
+
+let heatmap_top_arg =
+  let doc = "Print only the $(docv) hottest lines." in
+  Arg.(value & opt int 20 & info [ "top" ] ~docv:"K" ~doc)
+
+let heatmap_json_arg =
+  let doc = "Print the table as a pmdb-heatmap/v1 JSON document instead of text." in
+  Arg.(value & flag & info [ "json" ] ~doc)
+
+let heatmap_term =
+  Term.(
+    const heatmap_cmd $ case_arg $ src_trace_arg $ workload_arg $ n_arg $ config_arg $ heatmap_local_cap_arg
+    $ heatmap_top_arg $ heatmap_json_arg $ daemon_arg)
+
+let once_arg =
+  let doc = "Print one dashboard frame and exit (CI smoke and scripting)." in
+  Arg.(value & flag & info [ "once" ] ~doc)
+
+let top_term = Term.(const top_cmd $ socket_arg $ once_arg)
+
 let list_term = Term.(const list_cmd $ const ())
 
 let cmds =
@@ -1080,6 +1284,11 @@ let cmds =
       (Cmd.info "timeline" ~doc:"Export a trace as Perfetto/Chrome trace-event JSON (ui.perfetto.dev)")
       timeline_term;
     Cmd.v (Cmd.info "stats" ~doc:"Run with telemetry enabled and print the metric table, --check a JSON report, or --diff two of them") stats_term;
+    Cmd.v
+      (Cmd.info "heatmap"
+         ~doc:"Print the hottest cache lines (traffic, dirty time, bug density) of a run or a live daemon")
+      heatmap_term;
+    Cmd.v (Cmd.info "top" ~doc:"Live dashboard over a running daemon's stats stream (throughput, latency, sessions)") top_term;
     Cmd.v (Cmd.info "list" ~doc:"List available workloads") list_term;
   ]
 

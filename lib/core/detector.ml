@@ -106,6 +106,7 @@ type t = {
   recovery : (Image.t -> bool) option;
   crash_check_every_fence : bool;
   metrics : Obs.Metrics.t;
+  heatmap : Obs.Heatmap.t;
   mutable finished : bool;
   (* Shard-replica mode: run all bookkeeping but suppress findings —
      set by the router on non-owner shards of a broadcast event. *)
@@ -114,7 +115,7 @@ type t = {
 
 let create ?(model = Strict) ?rules ?(config = Order_config.empty) ?backend ?array_capacity ?merge_threshold ?mode
     ?interval_metadata ?pm ?recovery ?(crash_check_every_fence = false) ?(max_bugs_per_kind = 1000)
-    ?(walk_dedup = true) ?(metrics = Obs.Metrics.disabled) () =
+    ?(walk_dedup = true) ?(metrics = Obs.Metrics.disabled) ?(heatmap = Obs.Heatmap.disabled) () =
   let rules = match rules with Some r -> r | None -> default_rules model in
   let make_space =
     match backend with
@@ -156,6 +157,7 @@ let create ?(model = Strict) ?rules ?(config = Order_config.empty) ?backend ?arr
     recovery;
     crash_check_every_fence;
     metrics;
+    heatmap;
     finished = false;
     silent = false;
   }
@@ -219,6 +221,8 @@ let admit_bug t ?(dedup = true) (bug : Bug.t) =
         Hashtbl.replace t.bugs key ()
       end;
       t.bug_list <- bug :: t.bug_list;
+      if Obs.Heatmap.is_on t.heatmap && bug.Bug.addr >= 0 then
+        Obs.Heatmap.on_bug t.heatmap ~line:(Addr.line_of bug.Bug.addr);
       Obs.Metrics.inc t.metrics ~labels:[ ("rule", Bug.kind_name kind) ] "detector_rule_fires_total"
     end
     else Obs.Metrics.inc t.metrics ~labels:[ ("rule", Bug.kind_name kind) ] "detector_bugs_suppressed_total"
@@ -340,6 +344,15 @@ let store_scan t ~tid ~lo ~hi =
       ~strand ()
   in
   note_var_store t ~lo ~hi;
+  (* Per-line traffic/dirty accounting, owner events only ([silent]
+     replica updates would double-count a broadcast line once per
+     shard). An allocation-free line loop: the heatmap hook must not
+     cost a list per store when enabled, and costs one branch when
+     not. *)
+  if Obs.Heatmap.is_on t.heatmap && (not t.silent) && hi > lo then
+    for line = Addr.line_of lo to Addr.line_of (hi - 1) do
+      Obs.Heatmap.on_store t.heatmap ~seq:t.seq ~line
+    done;
   { Shard_router.so_overlapped = r.Store_intf.overlapped; so_prior_seqs = r.Store_intf.prior_seqs }
 
 let store_fire t ~addr ~size (obs : Shard_router.store_obs) =
@@ -401,6 +414,10 @@ let clf_scan t ~tid ~lo ~hi =
           end)
         result (all_spaces t)
   in
+  if Obs.Heatmap.is_on t.heatmap && (not t.silent) && hi > lo then
+    for line = Addr.line_of lo to Addr.line_of (hi - 1) do
+      Obs.Heatmap.on_clf t.heatmap ~seq:t.seq ~line
+    done;
   {
     Shard_router.co_matched = result.Store_intf.matched;
     co_newly = result.Store_intf.newly_flushed;
@@ -599,6 +616,10 @@ let dispatch t ev =
   | Event.Tx_log { obj_addr; size; tid } -> on_tx_log t ~obj_addr ~size ~tid
   | Event.Register_var { name; addr; size } ->
       Hashtbl.replace t.vars name (Addr.of_base_size addr size);
+      if Obs.Heatmap.is_on t.heatmap && size > 0 then
+        for line = Addr.line_of addr to Addr.line_of (addr + size - 1) do
+          Obs.Heatmap.set_name t.heatmap ~line name
+        done;
       if not (Hashtbl.mem t.var_state name) then Hashtbl.replace t.var_state name { stored = false; persisted = None }
   | Event.Call { func; tid = _ } -> Hashtbl.replace t.funcs_called func ()
   | Event.Annotation _ -> () (* PMTest-style annotations are not needed *)

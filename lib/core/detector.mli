@@ -52,13 +52,23 @@ val create :
         router's merge, which rejoins the clipped pieces, can replicate
         the single-shard dedup decisions. *) ->
   ?metrics:Obs.Metrics.t ->
+  ?heatmap:Obs.Heatmap.t ->
   unit ->
   t
 (** [metrics] (default disabled) is shared with every bookkeeping space
     the detector creates and receives
     [detector_rule_fires_total{rule}] (pre-declared at zero for all ten
     rules), [detector_bugs_suppressed_total{rule}] (findings dropped by
-    [max_bugs_per_kind]) and [detector_crash_checks_total]. *)
+    [max_bugs_per_kind]) and [detector_crash_checks_total].
+
+    [heatmap] (default disabled) receives per-cache-line accounting:
+    one {!Obs.Heatmap.on_store}/[on_clf] per line an owner (non-silent)
+    store/CLF touches, one [on_bug] per admitted finding with a real
+    address, and line names from [Register_var] events. One branch per
+    event when disabled; an allocation-free line loop when enabled.
+    Sharded runs (silent replicas skipped) count owner traffic only —
+    stall-path scans may count a spanning event once per scanning
+    shard, so sharded heatmaps are approximate on barrier events. *)
 
 val sink : t -> Pmtrace.Sink.t
 

@@ -202,6 +202,36 @@ let validate_json json =
    ([b] = 1, named after the exit status) and an open begin_slice when
    the session was still in flight at dump time. Everything else
    renders as instants carrying a/b as args. *)
+let render_entries p ~tid ~us entries =
+  let sessions = Hashtbl.create 8 in
+  List.iter
+    (fun e ->
+      if e.e_cat = "session" then
+        Hashtbl.replace sessions e.e_a (e :: (Option.value ~default:[] (Hashtbl.find_opt sessions e.e_a)))
+      else
+        Perfetto.instant ~cat:e.e_cat ~tid p ~name:e.e_name ~ts:(us e.e_ts)
+          ~args:[ ("a", Json.Int e.e_a); ("b", Json.Int e.e_b) ])
+    entries;
+  (* Deterministic session order: by id. *)
+  Hashtbl.fold (fun id es acc -> (id, List.rev es) :: acc) sessions []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+  |> List.iter (fun (id, es) ->
+         let args = [ ("session", Json.Int id) ] in
+         let rec slices = function
+           | [] -> ()
+           | [ final ] ->
+               if final.e_b = 1 then
+                 Perfetto.instant ~cat:"session" ~tid p ~name:final.e_name ~ts:(us final.e_ts) ~args
+               else
+                 Perfetto.begin_slice ~cat:"session" ~tid p ~name:final.e_name ~ts:(us final.e_ts)
+                   ~args
+           | a :: (b :: _ as rest) ->
+               Perfetto.complete ~cat:"session" ~tid p ~name:a.e_name ~ts:(us a.e_ts)
+                 ~dur:(us b.e_ts - us a.e_ts) ~args;
+               slices rest
+         in
+         slices es)
+
 let dump_to_perfetto ?last rings =
   let windows = List.map (fun (label, t) -> (label, window ?last t)) rings in
   let tmin =
@@ -209,39 +239,13 @@ let dump_to_perfetto ?last rings =
       (fun acc (_, es) -> List.fold_left (fun acc e -> Float.min acc e.e_ts) acc es)
       infinity windows
   in
-  let us e = max 0 (int_of_float ((e.e_ts -. tmin) *. 1e6)) in
+  let tmin = if tmin = infinity then 0.0 else tmin in
+  let us ts = max 0 (int_of_float ((ts -. tmin) *. 1e6)) in
   let p = Perfetto.create () in
   Perfetto.process_name p "pmdb flight recorder";
   List.iteri
     (fun tid (label, entries) ->
       Perfetto.thread_name ~tid p label;
-      let sessions = Hashtbl.create 8 in
-      List.iter
-        (fun e ->
-          if e.e_cat = "session" then
-            Hashtbl.replace sessions e.e_a (e :: (Option.value ~default:[] (Hashtbl.find_opt sessions e.e_a)))
-          else
-            Perfetto.instant ~cat:e.e_cat ~tid p ~name:e.e_name ~ts:(us e)
-              ~args:[ ("a", Json.Int e.e_a); ("b", Json.Int e.e_b) ])
-        entries;
-      (* Deterministic session order: by id. *)
-      Hashtbl.fold (fun id es acc -> (id, List.rev es) :: acc) sessions []
-      |> List.sort (fun (a, _) (b, _) -> compare a b)
-      |> List.iter (fun (id, es) ->
-             let args = [ ("session", Json.Int id) ] in
-             let rec slices = function
-               | [] -> ()
-               | [ final ] ->
-                   if final.e_b = 1 then
-                     Perfetto.instant ~cat:"session" ~tid p ~name:final.e_name ~ts:(us final) ~args
-                   else
-                     Perfetto.begin_slice ~cat:"session" ~tid p ~name:final.e_name ~ts:(us final)
-                       ~args
-               | a :: (b :: _ as rest) ->
-                   Perfetto.complete ~cat:"session" ~tid p ~name:a.e_name ~ts:(us a)
-                     ~dur:(us b - us a) ~args;
-                   slices rest
-             in
-             slices es))
+      render_entries p ~tid ~us entries)
     windows;
   Perfetto.to_json p

@@ -91,3 +91,10 @@ val dump_to_perfetto : ?last:int -> (string * t) list -> Json.t
     entry ([b] = 1) an instant, a non-terminal final entry an open
     {!Perfetto.begin_slice}. Other categories render as instants
     carrying [a]/[b] as args. *)
+
+val render_entries : Perfetto.t -> tid:int -> us:(float -> int) -> entry list -> unit
+(** The per-ring rendering core of {!dump_to_perfetto} (session
+    lifecycle slices, everything else as instants), exposed so
+    {!Tracecat} can fold many rings into one document with a shared
+    time base — [us] converts an entry timestamp to trace
+    microseconds. *)

@@ -6,10 +6,16 @@ let latency_bounds =
     5e-3; 1e-2; 2.5e-2; 5e-2; 0.1; 0.25; 0.5; 1.0;
   |]
 
-type hist = { bounds : float array; counts : int array; mutable sum : float; mutable count : int }
+type hist = {
+  bounds : float array;
+  counts : int array;
+  mutable sum : float;
+  mutable count : int;
+  mutable max_v : float;
+}
 
 let hist_create ?(bounds = latency_bounds) () =
-  { bounds; counts = Array.make (Array.length bounds + 1) 0; sum = 0.0; count = 0 }
+  { bounds; counts = Array.make (Array.length bounds + 1) 0; sum = 0.0; count = 0; max_v = 0.0 }
 
 let hist_observe h v =
   (* First bucket whose upper bound covers v; past the last bound is the
@@ -21,30 +27,47 @@ let hist_observe h v =
   done;
   h.counts.(!i) <- h.counts.(!i) + 1;
   h.sum <- h.sum +. v;
-  h.count <- h.count + 1
+  h.count <- h.count + 1;
+  if v > h.max_v then h.max_v <- v
 
-type hist_view = { h_bounds : float array; h_counts : int array; h_sum : float; h_count : int }
+type hist_view = {
+  h_bounds : float array;
+  h_counts : int array;
+  h_sum : float;
+  h_count : int;
+  h_max : float;
+}
 
 let hist_view h =
-  { h_bounds = Array.copy h.bounds; h_counts = Array.copy h.counts; h_sum = h.sum; h_count = h.count }
+  {
+    h_bounds = Array.copy h.bounds;
+    h_counts = Array.copy h.counts;
+    h_sum = h.sum;
+    h_count = h.count;
+    h_max = h.max_v;
+  }
 
 let quantile v q =
   if v.h_count = 0 then 0.0
   else begin
     let target = q *. float_of_int v.h_count in
     let nbounds = Array.length v.h_bounds in
+    (* Interpolation edge for the overflow bucket: the observed max when
+       it is known (> last bound), else the last bound — a quantile
+       landing past every bound no longer snaps to the bound verbatim. *)
+    let overflow_hi =
+      if nbounds = 0 then v.h_max else Float.max v.h_max v.h_bounds.(nbounds - 1)
+    in
     let rec go i cum =
-      if i >= Array.length v.h_counts then (if nbounds = 0 then 0.0 else v.h_bounds.(nbounds - 1))
+      if i >= Array.length v.h_counts then (if nbounds = 0 then overflow_hi else v.h_bounds.(nbounds - 1))
       else
         let cum' = cum +. float_of_int v.h_counts.(i) in
-        if cum' >= target && v.h_counts.(i) > 0 then
-          if i >= nbounds then v.h_bounds.(nbounds - 1)
-          else begin
-            let lo = if i = 0 then 0.0 else v.h_bounds.(i - 1) in
-            let hi = v.h_bounds.(i) in
-            let frac = (target -. cum) /. float_of_int v.h_counts.(i) in
-            lo +. ((hi -. lo) *. (Float.min 1.0 (Float.max 0.0 frac)))
-          end
+        if cum' >= target && v.h_counts.(i) > 0 then begin
+          let lo = if i = 0 then 0.0 else v.h_bounds.(i - 1) in
+          let hi = if i >= nbounds then overflow_hi else v.h_bounds.(i) in
+          let frac = (target -. cum) /. float_of_int v.h_counts.(i) in
+          lo +. ((hi -. lo) *. Float.min 1.0 (Float.max 0.0 frac))
+        end
         else go (i + 1) cum'
     in
     go 0 0.0
@@ -171,6 +194,7 @@ let merge snaps =
               h_counts = Array.init (Array.length x.h_counts) (fun i -> x.h_counts.(i) + y.h_counts.(i));
               h_sum = x.h_sum +. y.h_sum;
               h_count = x.h_count + y.h_count;
+              h_max = Float.max x.h_max y.h_max;
             }
     | _ -> clash name "kind differs between snapshots"
   in
@@ -210,7 +234,8 @@ let absorb t snap =
                 else begin
                   Array.iteri (fun i c -> h.counts.(i) <- h.counts.(i) + c) v.h_counts;
                   h.sum <- h.sum +. v.h_sum;
-                  h.count <- h.count + v.h_count
+                  h.count <- h.count + v.h_count;
+                  if v.h_max > h.max_v then h.max_v <- v.h_max
                 end
             | Some _ -> kind_mismatch s.name
             | None ->
@@ -221,6 +246,7 @@ let absorb t snap =
                        counts = Array.copy v.h_counts;
                        sum = v.h_sum;
                        count = v.h_count;
+                       max_v = v.h_max;
                      })))
       snap
 
@@ -265,6 +291,7 @@ let hist_json v =
   [
     ("count", Json.Int v.h_count);
     ("sum", Json.Float v.h_sum);
+    ("max", Json.Float v.h_max);
     ("p50", Json.Float (quantile v 0.5));
     ("p95", Json.Float (quantile v 0.95));
     ("buckets", Json.List buckets);
@@ -385,14 +412,24 @@ let hist_view_of_json entry =
   in
   let count = match Option.bind (Json.member "count" entry) Json.to_int with Some c -> c | None -> 0 in
   let sum = match Option.bind (Json.member "sum" entry) Json.to_float with Some s -> s | None -> 0.0 in
+  let h_bounds = Array.of_list (List.rev !bounds) in
+  (* Files written before "max" existed fall back to the last bound —
+     exactly the old overflow-quantile edge, so old reports diff
+     cleanly against themselves. *)
+  let max_v =
+    match Option.bind (Json.member "max" entry) Json.to_float with
+    | Some m -> m
+    | None -> if Array.length h_bounds = 0 then 0.0 else h_bounds.(Array.length h_bounds - 1)
+  in
   if not ok then None
   else
     Some
       {
-        h_bounds = Array.of_list (List.rev !bounds);
+        h_bounds;
         h_counts = Array.of_list (List.rev !counts);
         h_sum = sum;
         h_count = count;
+        h_max = max_v;
       }
 
 let snapshot_of_json json =

@@ -80,6 +80,7 @@ type hist_view = {
   h_counts : int array;  (** length [Array.length h_bounds + 1]; last is overflow *)
   h_sum : float;
   h_count : int;
+  h_max : float;  (** largest observation (0.0 when empty) *)
 }
 
 val hist_view : hist -> hist_view
@@ -87,8 +88,9 @@ val hist_view : hist -> hist_view
 
 val quantile : hist_view -> float -> float
 (** [quantile v q] for [q] in [0,1], linearly interpolated inside the
-    bucket; observations in the overflow bucket report the last bound.
-    [0.0] on an empty histogram. *)
+    winning bucket — including the overflow bucket, whose upper edge is
+    the observed max ([h_max]), so a p99 past the last bound no longer
+    snaps to the bound verbatim. [0.0] on an empty histogram. *)
 
 (** {1 Snapshots} *)
 

@@ -46,6 +46,21 @@ let instant ?cat ?pid ?tid ?(args = []) t ~name ~ts =
        (base ~name ?cat ~ph:"i"
           (("ts", Json.Int ts) :: ("s", Json.Str "t") :: (ids ?pid ?tid () @ args_field args))))
 
+(* Flow events pair across tracks by [id]; Chrome binds each end to the
+   enclosing slice on its (pid, tid), so emitters put a slice under
+   every flow endpoint. ["bp": "e"] on the finish makes the arrow land
+   at the enclosing slice rather than the next one. *)
+let flow_start ?cat ?pid ?tid t ~name ~id ~ts =
+  push t
+    (Json.Obj
+       (base ~name ?cat ~ph:"s" (("ts", Json.Int ts) :: ("id", Json.Int id) :: ids ?pid ?tid ())))
+
+let flow_finish ?cat ?pid ?tid t ~name ~id ~ts =
+  push t
+    (Json.Obj
+       (base ~name ?cat ~ph:"f"
+          (("ts", Json.Int ts) :: ("id", Json.Int id) :: ("bp", Json.Str "e") :: ids ?pid ?tid ())))
+
 let counter ?pid ?tid t ~name ~ts ~series =
   push t
     (Json.Obj
@@ -65,13 +80,16 @@ let process_name ?pid t label = name_meta t ~meta:"process_name" ?pid label
 
 let thread_name ?pid ?tid t label = name_meta t ~meta:"thread_name" ?pid ?tid label
 
-let to_json t = Json.Obj [ ("traceEvents", Json.List (List.rev t.rev_events)) ]
+let to_json ?(metadata = []) t =
+  ("traceEvents", Json.List (List.rev t.rev_events))
+  :: (match metadata with [] -> [] | m -> [ ("metadata", Json.Obj m) ])
+  |> fun fields -> Json.Obj fields
 
 (* ---------------------------------------------------------------- *)
 (* Structural validation                                             *)
 (* ---------------------------------------------------------------- *)
 
-let phases = [ "X"; "i"; "C"; "M"; "B"; "E" ]
+let phases = [ "X"; "i"; "C"; "M"; "B"; "E"; "s"; "f" ]
 
 let validate_json json =
   let ( let* ) = Result.bind in
@@ -106,6 +124,13 @@ let validate_json json =
             match (int_member "pid", int_member "tid") with
             | Some _, Some _ -> Ok ()
             | _ -> ctx "missing integer pid/tid"
+          in
+          let* () =
+            if ph <> "s" && ph <> "f" then Ok ()
+            else
+              match int_member "id" with
+              | Some _ -> Ok ()
+              | None -> ctx "flow event without integer id"
           in
           let* () =
             match (ph, Json.member "args" ev) with

@@ -54,14 +54,26 @@ val counter : ?pid:int -> ?tid:int -> t -> name:string -> ts:int -> series:(stri
 (** A counter sample (phase ["C"]); each series becomes one stacked
     band in the counter track. *)
 
+val flow_start : ?cat:string -> ?pid:int -> ?tid:int -> t -> name:string -> id:int -> ts:int -> unit
+(** Open a flow arrow (phase ["s"]). Flows pair across tracks by [id];
+    each endpoint binds to the enclosing slice on its (pid, tid), so
+    put a slice under it — how the causal trace draws frame
+    publish→pop arrows from the router to a worker track. *)
+
+val flow_finish : ?cat:string -> ?pid:int -> ?tid:int -> t -> name:string -> id:int -> ts:int -> unit
+(** Close a flow arrow (phase ["f"], binding point ["e"]: the arrow
+    lands at the enclosing slice). *)
+
 val process_name : ?pid:int -> t -> string -> unit
 (** Metadata event naming a process (top-level track group). *)
 
 val thread_name : ?pid:int -> ?tid:int -> t -> string -> unit
 (** Metadata event naming a thread (one track). *)
 
-val to_json : t -> Json.t
-(** [{"traceEvents": [...]}] in emit order. *)
+val to_json : ?metadata:(string * Json.t) list -> t -> Json.t
+(** [{"traceEvents": [...]}] in emit order, plus a ["metadata"] object
+    when [metadata] is non-empty (ignored by viewers and by
+    {!validate_json}, which only checks [traceEvents]). *)
 
 val validate_json : Json.t -> (int, string) result
 (** Structural check of a trace-event document: every event has a

@@ -34,6 +34,26 @@ let finished t = List.rev t.spans_rev
 
 let clear t = t.spans_rev <- []
 
+(* Spans as Perfetto slices: µs relative to [t0] (default the earliest
+   start), so phases land on a shared time base with whatever else the
+   caller drew — Tracecat's domain tracks, or a timeline's own clock. *)
+let render ?(pid = 0) ?(tid = 0) ?t0 p spans =
+  match spans with
+  | [] -> ()
+  | spans ->
+      let t0 =
+        match t0 with
+        | Some t -> t
+        | None -> List.fold_left (fun acc s -> Float.min acc s.sp_start_s) infinity spans
+      in
+      List.iter
+        (fun s ->
+          Perfetto.complete ~cat:"span" ~pid ~tid p ~name:s.sp_name
+            ~ts:(max 0 (int_of_float ((s.sp_start_s -. t0) *. 1e6)))
+            ~dur:(max 1 (int_of_float (s.sp_dur_s *. 1e6)))
+            ~args:(List.map (fun (k, v) -> (k, Json.Str v)) s.sp_attrs))
+        spans
+
 let to_json t =
   Json.List
     (List.map

@@ -32,6 +32,13 @@ val finished : t -> finished list
 
 val clear : t -> unit
 
+val render : ?pid:int -> ?tid:int -> ?t0:float -> Perfetto.t -> finished list -> unit
+(** Append the spans to a Perfetto build as complete slices
+    ([cat="span"], attrs as args) on track [(pid, tid)], timestamped in
+    µs relative to [t0] (default: the earliest span start). Lets
+    [pmdb timeline] overlay coarse phases and {!Tracecat} draw them
+    against the per-domain tracks. *)
+
 val to_json : t -> Json.t
 (** [{"spans": [{"name", "start_s", "dur_s", "attrs"}, ...]}] member
     list, embedded in metrics files next to the registry snapshot. *)

@@ -1,0 +1,37 @@
+(** Daemon-wide causal Perfetto trace: every per-domain
+    {!Flightrec} ring plus the coarse {!Span} phases folded into {e
+    one} Chrome trace-event document on a shared time base.
+
+    Per-ring dumps ({!Flightrec.dump_to_perfetto}) each normalize their
+    own clock, so causality {e between} domains is invisible. Here all
+    rings share one origin (the earliest entry or span across
+    everything), each ring gets one thread track in list order, and
+    frame hand-offs render as flow arrows:
+
+    - a router records [cat="frame", name="publish", a=shard, b=index]
+      at each {!Frame_ring} publish, the consuming worker records
+      [cat="frame", name="pop"] with the same [(a, b)];
+    - the ring is FIFO, so [(shard, index)] names one frame end to end;
+      each matched pair becomes a 1µs slice on both tracks joined by a
+      Chrome flow arrow ([ph="s"]/[ph="f"]) from the publishing track
+      to the consuming track. Unmatched records (the other end fell out
+      of its bounded ring, or the frame was still in flight) stay plain
+      instants — arrows are only drawn when both ends survive.
+
+    Everything else renders exactly as the per-ring dump does
+    ({!Flightrec.render_entries}): session lifecycle slices, instants
+    with [a]/[b] args. [spans] (e.g. {!Span.finished} of the CLI's
+    run/finish/replay phases) draw on a final ["phases"] track as
+    complete slices, so fine-grained domain activity reads against the
+    overall timeline. *)
+
+val merge :
+  ?last:int ->
+  ?spans:Span.finished list ->
+  ?metadata:(string * Json.t) list ->
+  (string * Flightrec.t) list ->
+  Json.t
+(** [merge rings] — one labelled track per ring, in order; passes
+    {!Perfetto.validate_json}. [last] bounds the window taken from each
+    ring; [metadata] lands in the document's ["metadata"] object
+    (dump reason, time). *)

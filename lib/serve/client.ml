@@ -81,6 +81,18 @@ let stats ~socket =
     | Error msg -> Error (Printf.sprintf "stats reply: %s" msg)
     | Ok json -> Obs.Metrics.snapshot_of_json json
 
+let heatmap ~socket =
+  with_conn socket @@ fun fd ->
+  wrap_io @@ fun () ->
+  send_all fd (Wire.hello_line Wire.Heatmap ^ "\n");
+  half_close fd;
+  let raw = read_all fd in
+  if raw = "" then Error "daemon closed the connection without a reply"
+  else
+    match Obs.Json.of_string (first_line raw) with
+    | Error msg -> Error (Printf.sprintf "heatmap reply: %s" msg)
+    | Ok json -> Obs.Heatmap.snapshot_of_json json
+
 (* Follow a stats_stream: read newline-framed snapshot documents as
    they arrive, handing each to [on_frame]. Bounded ([frames > 0]) the
    daemon closes after the Nth frame; unbounded we read until the

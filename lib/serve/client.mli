@@ -22,6 +22,11 @@ val raw : socket:string -> string -> (string, string) result
 val stats : socket:string -> (Obs.Metrics.snapshot, string) result
 (** Fetch the daemon's live metrics snapshot. *)
 
+val heatmap : socket:string -> (Obs.Heatmap.snapshot, string) result
+(** Fetch the daemon's merged hot-line table (the per-worker tables
+    folded with {!Obs.Heatmap.merge}). Rows are empty unless the daemon
+    was started with a heatmap cap. *)
+
 val stats_follow :
   socket:string ->
   ?frames:int ->

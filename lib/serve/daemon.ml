@@ -13,6 +13,8 @@ type config = {
   metrics_file : string option;
   flightrec_capacity : int;
   flightrec_dir : string option;
+  heatmap_cap : int;
+  trace_out : string option;
 }
 
 let default_config ~socket =
@@ -29,6 +31,8 @@ let default_config ~socket =
     metrics_file = None;
     flightrec_capacity = 512;
     flightrec_dir = None;
+    heatmap_cap = 0;
+    trace_out = None;
   }
 
 (* A stats_stream subscriber: [remaining] frames still owed (-1 means
@@ -114,6 +118,28 @@ let dump_flightrec t ~reason ~session =
       write (base ^ ".perfetto.json") (Obs.Flightrec.dump_to_perfetto rings)
   | Some _ -> ()
 
+(* The daemon-wide causal trace: every ring merged into one Perfetto
+   document (one track per domain, flow arrows pairing frame
+   publish/pop). Same best-effort discipline as dump_flightrec. *)
+let dump_trace t ~reason =
+  match t.cfg.trace_out with
+  | None -> ()
+  | Some dir when Obs.Flightrec.is_on t.flightrec ->
+      let n = t.dump_seq in
+      t.dump_seq <- n + 1;
+      let rings = ("dispatch", t.flightrec) :: Pool.flightrec_rings t.pool in
+      let metadata = [ ("reason", Obs.Json.Str reason); ("time", Obs.Json.Float (now ())) ] in
+      let path = Filename.concat dir (Printf.sprintf "trace-%s-%d.perfetto.json" reason n) in
+      (try
+         let tmp = path ^ ".tmp" in
+         let oc = open_out tmp in
+         output_string oc (Obs.Json.to_string ~indent:true (Obs.Tracecat.merge ~metadata rings));
+         output_char oc '\n';
+         close_out oc;
+         Sys.rename tmp path
+       with Sys_error _ -> ())
+  | Some _ -> ()
+
 (* {2 Socket plumbing} *)
 
 let bind_listener path =
@@ -152,6 +178,7 @@ let create ?(metrics = Obs.Metrics.disabled) ?(domains = true) ~make_sink cfg =
     Pool.create ~domains
       ~worker_metrics:(Obs.Metrics.is_on metrics)
       ?flightrec_capacity:(if flightrec_on then Some cfg.flightrec_capacity else None)
+      ?heatmap_cap:(if cfg.heatmap_cap > 0 then Some cfg.heatmap_cap else None)
       ~workers:cfg.workers ~queue_capacity:cfg.queue_capacity make_sink
   in
   if Obs.Metrics.is_on metrics then begin
@@ -242,10 +269,16 @@ let reply_frame t conn frame =
 (* Final reply for a session connection: zero its gauges (so a closed
    session doesn't show stale queue depths in [stats]) and account the
    terminal status before the frame goes out. *)
+let e2e_bounds = [| 0.001; 0.005; 0.02; 0.1; 0.5; 2.0; 10.0; 60.0 |]
+
 let reply_session t conn session frame =
   List.iter
     (fun g -> Obs.Metrics.set t.metrics ~labels:(session_label session) g 0.0)
     [ "serve_queue_depth"; "serve_live_bytes"; "serve_events_per_sec" ];
+  (* Submit -> result: accept-time to result-frame-write, the whole
+     session life through ingest, drain and detector finish. *)
+  Obs.Metrics.observe t.metrics ~bounds:e2e_bounds "serve_session_e2e_seconds"
+    (Float.max 0.0 (now () -. Session.created session));
   let status = Status.name (Session.status session) in
   Obs.Metrics.inc t.metrics ~labels:[ ("status", status) ] "serve_sessions_closed_total";
   record t ~cat:"session" ~name:status ~a:(Session.id session) ~b:1;
@@ -276,6 +309,10 @@ let merged_snapshot t = Obs.Metrics.merge (Obs.Metrics.snapshot t.metrics :: Poo
 
 let stats_json t = Obs.Json.to_string ~indent:false (Obs.Metrics.snapshot_to_json (merged_snapshot t))
 
+let heatmap_json t =
+  Obs.Json.to_string ~indent:false
+    (Obs.Heatmap.snapshot_to_json (Obs.Heatmap.merge (Pool.heatmap_snapshots t.pool)))
+
 let protocol_error t conn msg =
   Obs.Metrics.inc t.metrics "serve_protocol_errors_total";
   reply_frame t conn (Wire.result_frame ~error:msg Status.Protocol_error)
@@ -292,6 +329,9 @@ let handle_hello_line t conn line =
         (* last_frame = 0 makes the first frame go out on the next
            tick, so a follower sees data immediately. *)
         conn.kind <- Stats_stream { remaining = (if frames = 0 then -1 else frames); last_frame = 0.0 }
+  | Ok Wire.Heatmap ->
+      ignore (write_all t conn.fd (heatmap_json t ^ "\n"));
+      remove_conn t conn
   | Ok Wire.Stop ->
       ignore (write_all t conn.fd (Wire.result_to_line (Wire.result_frame Status.Ok) ^ "\n"));
       remove_conn t conn;
@@ -618,6 +658,7 @@ let run t =
       Pool.stop t.pool;
       (* Workers have joined: the final exposition is exact. *)
       write_metrics_file t;
+      dump_trace t ~reason:"shutdown";
       close_fd t.listener;
       close_fd t.stop_r;
       close_fd t.stop_w;
@@ -639,7 +680,10 @@ let run t =
       | exception Unix.Unix_error _ -> ()
     in
     go ();
-    if !dump then dump_flightrec t ~reason:"sigquit" ~session:"daemon"
+    if !dump then begin
+      dump_flightrec t ~reason:"sigquit" ~session:"daemon";
+      dump_trace t ~reason:"sigquit"
+    end
   in
   let shutdown_started = ref false in
   let continue = ref true in

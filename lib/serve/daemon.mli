@@ -68,6 +68,15 @@ type config = {
   flightrec_dir : string option;
       (** where black-box dumps land; [None] records but never dumps
           (default [None]) *)
+  heatmap_cap : int;
+      (** distinct cache lines each worker's hot-line table tracks;
+          [0] disables the heatmap entirely (default 0) *)
+  trace_out : string option;
+      (** where daemon-wide causal Perfetto traces land
+          ({!Obs.Tracecat}: every flight-recorder ring merged, one
+          track per domain, flow arrows pairing frame publish/pop),
+          dumped on SIGQUIT and at shutdown; [None] never dumps
+          (default [None]) *)
 }
 
 val default_config : socket:string -> config
@@ -77,16 +86,18 @@ type t
 val create :
   ?metrics:Obs.Metrics.t ->
   ?domains:bool (** default true; [false] runs workers inline, for tests *) ->
-  make_sink:(unit -> Pmtrace.Sink.t) ->
+  make_sink:(heatmap:Obs.Heatmap.t -> Pmtrace.Sink.t) ->
   config ->
   t
 (** Binds and listens on [socket_path] (a stale socket file left by a
     dead daemon is detected and replaced; a live daemon on the path is
-    an error). [make_sink] runs once per session on the worker domain
-    and must build a fresh, unshared sink; when [metrics] is enabled
-    the pool gives every worker its own registry (see
-    {!Pool.create}) — worker-side telemetry never goes through the
-    sink, so reports stay byte-identical to an offline replay. *)
+    an error). [make_sink ~heatmap] runs once per session on the worker
+    domain and must build a fresh, unshared sink; [heatmap] is the
+    worker's hot-line table (disabled unless [heatmap_cap] > 0) — hand
+    it to the detector or ignore it. When [metrics] is enabled the pool
+    gives every worker its own registry (see {!Pool.create}) —
+    worker-side telemetry never goes through the sink, so reports stay
+    byte-identical to an offline replay. *)
 
 val run : t -> unit
 (** Serve until stopped; drains sessions, stops workers, writes the

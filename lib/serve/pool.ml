@@ -21,7 +21,12 @@ type worker_state = {
   labels : Obs.Metrics.labels; (* [("domain", "<i>")] *)
   reg : Obs.Metrics.t;
   ring : Obs.Flightrec.t;
+  heatmap : Obs.Heatmap.t;
+      (* shared by every session's detector on this worker — hot lines
+         are a whole-daemon property, so per-session tables would just
+         be merged again anyway *)
   snap : Obs.Metrics.snapshot Atomic.t;
+  hm_snap : Obs.Heatmap.snapshot Atomic.t;
   mutable unpublished : int; (* Ev records since the last publish *)
 }
 
@@ -29,6 +34,7 @@ let publish_every = 512
 
 let publish st =
   Atomic.set st.snap (Obs.Metrics.snapshot st.reg);
+  if Obs.Heatmap.is_on st.heatmap then Atomic.set st.hm_snap (Obs.Heatmap.snapshot st.heatmap);
   st.unpublished <- 0
 
 type t = {
@@ -36,7 +42,7 @@ type t = {
   queues : msg Spsc.t array;
   mutable domains : unit Domain.t array; (* empty in inline mode *)
   use_domains : bool;
-  make_sink : unit -> Sink.t;
+  make_sink : heatmap:Obs.Heatmap.t -> Sink.t;
   states : worker_state array;
   inline_sessions : (int, Engine.t * slot) Hashtbl.t array; (* one per worker, inline mode only *)
 }
@@ -52,7 +58,7 @@ let handle make_sink st sessions msg =
          seq timestamps); worker metrics stay out of the engine so the
          per-session report is byte-identical to an offline replay. *)
       let engine = Engine.create ~flightrec:st.ring () in
-      (match make_sink () with
+      (match make_sink ~heatmap:st.heatmap with
       | sink -> Engine.attach engine sink
       | exception exn ->
           Atomic.set slot.failed (Some (Printf.sprintf "sink creation raised: %s" (Printexc.to_string exn))));
@@ -111,8 +117,8 @@ let worker_loop make_sink st q =
   in
   go ()
 
-let create ?(domains = true) ?(worker_metrics = false) ?flightrec_capacity ~workers ~queue_capacity
-    make_sink =
+let create ?(domains = true) ?(worker_metrics = false) ?flightrec_capacity ?heatmap_cap ~workers
+    ~queue_capacity make_sink =
   if workers < 1 then invalid_arg "Pool.create: workers must be >= 1";
   let queues = Array.init workers (fun _ -> Spsc.create ~capacity:queue_capacity) in
   let states =
@@ -130,7 +136,20 @@ let create ?(domains = true) ?(worker_metrics = false) ?flightrec_capacity ~work
           | None -> Obs.Flightrec.disabled
           | Some capacity -> Obs.Flightrec.create ~capacity ()
         in
-        { labels; reg; ring; snap = Atomic.make (Obs.Metrics.snapshot reg); unpublished = 0 })
+        let heatmap =
+          match heatmap_cap with
+          | None -> Obs.Heatmap.disabled
+          | Some cap -> Obs.Heatmap.create ~cap ()
+        in
+        {
+          labels;
+          reg;
+          ring;
+          heatmap;
+          snap = Atomic.make (Obs.Metrics.snapshot reg);
+          hm_snap = Atomic.make (Obs.Heatmap.snapshot heatmap);
+          unpublished = 0;
+        })
   in
   let t =
     {
@@ -181,6 +200,10 @@ let queue_length t ~id = if t.use_domains then Spsc.length t.queues.(worker_of t
 let metrics_snapshots t =
   if t.use_domains then Array.to_list (Array.map (fun st -> Atomic.get st.snap) t.states)
   else Array.to_list (Array.map (fun st -> Obs.Metrics.snapshot st.reg) t.states)
+
+let heatmap_snapshots t =
+  if t.use_domains then Array.to_list (Array.map (fun st -> Atomic.get st.hm_snap) t.states)
+  else Array.to_list (Array.map (fun st -> Obs.Heatmap.snapshot st.heatmap) t.states)
 
 let flightrec_rings t =
   Array.to_list (Array.mapi (fun i st -> (Printf.sprintf "worker-%d" i, st.ring)) t.states)

@@ -54,13 +54,22 @@ val create :
         {!Obs.Flightrec} ring of this capacity (engine dispatch with
         virtual seq timestamps); see {!flightrec_rings}. Default:
         disabled rings. *) ->
+  ?heatmap_cap:int
+    (** when given, each worker owns an enabled {!Obs.Heatmap} of this
+        cap, handed to [make_sink] so the session detectors feed it;
+        see {!heatmap_snapshots}. Default: the disabled table. *) ->
   workers:int ->
   queue_capacity:int ->
-  (unit -> Sink.t) ->
+  (heatmap:Obs.Heatmap.t -> Sink.t) ->
   t
-(** [make_sink] is called once per session {e on the worker domain};
-    it must build a fresh, unshared sink. Worker-side telemetry comes
-    from [worker_metrics], not the sink — per-session reports stay
+(** [make_sink ~heatmap] is called once per session {e on the worker
+    domain}; it must build a fresh, unshared sink. [heatmap] is the
+    worker's hot-line table (the disabled singleton unless
+    [heatmap_cap] was given) — pass it to the detector, or ignore it.
+    It is shared by every session on that worker: hot lines are a
+    whole-daemon property, and the table is only ever mutated on the
+    worker's own domain. Worker-side telemetry comes from
+    [worker_metrics], not the sink — per-session reports stay
     byte-identical to an offline replay. *)
 
 val workers : t -> int
@@ -90,6 +99,11 @@ val metrics_snapshots : t -> Obs.Metrics.snapshot list
     domain mode (at most 512 events stale; exact after {!stop}), the
     live registry inline. Fold with {!Obs.Metrics.merge}. Empty
     snapshots unless [worker_metrics] was set. *)
+
+val heatmap_snapshots : t -> Obs.Heatmap.snapshot list
+(** One snapshot per worker, published on the same cadence as
+    {!metrics_snapshots} (live inline). Fold with {!Obs.Heatmap.merge}.
+    Empty snapshots unless [heatmap_cap] was given. *)
 
 val flightrec_rings : t -> (string * Obs.Flightrec.t) list
 (** The per-worker flight-recorder rings, labelled ["worker-<i>"], for

@@ -6,6 +6,7 @@ type t = {
   id : int;
   name : string;
   lenient : bool;
+  created : float; (* daemon clock at accept, for submit->result latency *)
   partial : Buffer.t;
   pending : (Event.t * int) Queue.t;
   mutable pending_bytes : int;
@@ -27,6 +28,7 @@ let create ~id ~name ~lenient ~now =
     id;
     name;
     lenient;
+    created = now;
     partial = Buffer.create 256;
     pending = Queue.create ();
     pending_bytes = 0;
@@ -64,6 +66,8 @@ let bytes_read t = t.bytes_read
 let synthesized_end t = t.synthesized_end
 
 let last_activity t = t.last_activity
+
+let created t = t.created
 
 let pending_events t = Queue.length t.pending
 

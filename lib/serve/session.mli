@@ -78,3 +78,8 @@ val skipped : t -> int
 val bytes_read : t -> int
 val synthesized_end : t -> bool
 val last_activity : t -> float
+
+val created : t -> float
+(** The [now] given to {!create} — the daemon clock at accept. The
+    daemon observes [now - created] into [serve_session_e2e_seconds]
+    when the result frame is written (submit → result latency). *)

@@ -8,6 +8,7 @@ type hello =
   | Session of { name : string; lenient : bool }
   | Stats
   | Stats_stream of { frames : int }
+  | Heatmap
   | Stop
 
 let name_ok name =
@@ -24,6 +25,7 @@ let hello_line = function
   | Stats_stream { frames } ->
       if frames = 0 then protocol ^ " stats_stream"
       else Printf.sprintf "%s stats_stream %d" protocol frames
+  | Heatmap -> protocol ^ " heatmap"
   | Stop -> protocol ^ " stop"
 
 let parse_hello line =
@@ -35,6 +37,7 @@ let parse_hello line =
       match int_of_string_opt n with
       | Some frames when frames > 0 -> Ok (Stats_stream { frames })
       | _ -> Error (Printf.sprintf "bad stats_stream frame count %S" n))
+  | [ _; "heatmap" ] -> Ok Heatmap
   | [ _; "stop" ] -> Ok Stop
   | [ _; "session"; name ] | [ _; "session"; name; "strict" ] ->
       if name_ok name then Ok (Session { name; lenient = false })

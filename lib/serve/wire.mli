@@ -6,6 +6,7 @@
       pmdb-serve/1 session <name> [strict|lenient]   event-stream session
       pmdb-serve/1 stats                             metrics snapshot, then close
       pmdb-serve/1 stats_stream [N]                  periodic snapshot frames
+      pmdb-serve/1 heatmap                           hot-line table, then close
       pmdb-serve/1 stop                              graceful daemon shutdown
     v}
 
@@ -35,6 +36,7 @@ type hello =
   | Session of { name : string; lenient : bool }
   | Stats
   | Stats_stream of { frames : int }  (** [frames = 0]: stream until disconnect *)
+  | Heatmap  (** merged hot-line table, one [pmdb-heatmap/v1] JSON line *)
   | Stop
 
 val hello_line : hello -> string

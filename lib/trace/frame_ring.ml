@@ -48,6 +48,7 @@ type t = {
   used : int array; (* valid payload bytes per published slot *)
   counts : int array; (* events per published slot *)
   stops : bool array; (* end-of-stream marker per published slot *)
+  pub_ts : float array; (* Obs.Clock publish timestamp per published slot *)
   mask : int;
   head : int Atomic.t; (* next frame to consume; written by the consumer only *)
   tail : int Atomic.t; (* next frame to publish; written by the producer only *)
@@ -58,6 +59,7 @@ type t = {
   mutable st_used : int; (* staging bytes in slot [tail land mask] *)
   mutable st_count : int; (* staged events *)
   mutable st_claimed : bool; (* staging slot checked free of the consumer *)
+  mutable last_pub_ts : float; (* consumer's copy of the last decoded frame's stamp *)
 }
 
 let create ?(frame_bytes = 0) ~slots:want ~frame_events () =
@@ -73,6 +75,7 @@ let create ?(frame_bytes = 0) ~slots:want ~frame_events () =
     used = Array.make n 0;
     counts = Array.make n 0;
     stops = Array.make n false;
+    pub_ts = Array.make n 0.0;
     mask = n - 1;
     head = Atomic.make 0;
     tail = Atomic.make 0;
@@ -83,6 +86,7 @@ let create ?(frame_bytes = 0) ~slots:want ~frame_events () =
     st_used = 0;
     st_count = 0;
     st_claimed = false;
+    last_pub_ts = 0.0;
   }
 
 let capacity t = t.mask + 1
@@ -99,6 +103,14 @@ let length t =
   min (capacity t) (max 0 (tail - head))
 
 let staged t = t.st_count
+
+(* Monotone frame counters for the causal trace: the producer has
+   published frames [0 .. published_frames - 1]; the consumer has
+   decoded frames [0 .. consumed_frames - 1]. Indices line up because
+   the ring is FIFO, so (ring, index) names one frame on both sides. *)
+let published_frames t = Atomic.get t.tail
+
+let consumed_frames t = Atomic.get t.head
 
 let close t = Atomic.set t.closed true
 
@@ -334,6 +346,11 @@ let publish t ~stop =
   t.used.(idx) <- t.st_used;
   t.counts.(idx) <- n;
   t.stops.(idx) <- stop;
+  (* One clock read per frame (amortized over up to [frame_events]
+     events): the consumer derives queue residency from it. The plain
+     write is published by the seq-cst [tail] store below, like the
+     frame bytes. *)
+  t.pub_ts.(idx) <- Obs.Clock.now ();
   t.st_used <- 0;
   t.st_count <- 0;
   t.st_claimed <- false;
@@ -426,6 +443,10 @@ let try_consume t ~f =
     let limit = t.used.(idx) in
     let n = t.counts.(idx) in
     let stop = t.stops.(idx) in
+    (* Copy the stamp before the [head] bump frees the slot for the
+       producer to overwrite; single consumer, so the field is private
+       to this side. *)
+    t.last_pub_ts <- t.pub_ts.(idx);
     let off = ref 0 in
     for _ = 1 to n do
       off := decode buf !off ~f
@@ -438,3 +459,5 @@ let try_consume t ~f =
 let rec consume t ~f =
   wait t;
   match try_consume t ~f with `Empty -> consume t ~f | (`Frame _ | `Stop _) as r -> r
+
+let last_frame_ts t = t.last_pub_ts

@@ -57,6 +57,15 @@ val length : t -> int
 val staged : t -> int
 (** Events encoded but not yet published (producer side only). *)
 
+val published_frames : t -> int
+(** Frames published so far (producer side). Because the ring is FIFO,
+    frame [k] on the producer is frame [k] on the consumer — the pair
+    (ring, index) names one frame end to end, which is how the causal
+    trace draws publish→pop flow arrows. *)
+
+val consumed_frames : t -> int
+(** Frames fully decoded so far (consumer side). *)
+
 val close : t -> unit
 (** Poison the ring. Idempotent, callable from either side. Published
     frames remain consumable; staged events are lost. *)
@@ -107,3 +116,12 @@ val consume :
   t -> f:(seq:int -> silent:bool -> Event.t -> unit) -> [ `Frame of int | `Stop of int ]
 (** Blocking {!try_consume}: {!wait} then decode. Raises {!Closed} once
     closed and drained. *)
+
+val last_frame_ts : t -> float
+(** Publish timestamp ({!Obs.Clock.now} at the producer's publishing
+    store) of the most recently consumed frame; [0.0] before the first
+    {!try_consume} that returns a frame. Consumer side only. Workers
+    derive queue residency from it ([now - last_frame_ts] right after a
+    consume), and the stamps of successive frames of one ring are
+    non-decreasing (the QCheck law pins this across wraparound and
+    stop-with-partial-frame). *)

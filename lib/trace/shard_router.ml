@@ -93,6 +93,12 @@ type t = {
   labels : (string * string) list array;
       (* per-shard label lists, preallocated — the send path must not
          allocate a label list per event *)
+  enc_acc : float array;
+      (* per shard, router side: seconds spent encoding/publishing into
+         the staging frame since its last publish; observed as
+         [shard_encode_seconds] when the frame goes out *)
+  flightrec : Obs.Flightrec.t; (* router-side ring: frame publishes, barrier stalls *)
+  worker_flightrecs : Obs.Flightrec.t array; (* one per worker domain: frame pops *)
   max_bugs_per_kind : int;
   mutable result : Bug.report option;
 }
@@ -138,14 +144,34 @@ let worker_loop w q processed wreg shard =
 
 (* Framed twin of [worker_loop]: decode a published frame, dispatch its
    events, then account the whole batch — one [processed] bump and one
-   histogram observation per frame, which is the point of batching. *)
-let framed_worker_loop w ring processed wreg shard =
+   histogram observation per stage per frame, which is the point of
+   batching. Stage attribution (all against [Obs.Clock], the clock the
+   producer stamps frames with):
+
+     residency = consume start - frame publish stamp   (time in queue)
+     dispatch  = sum of the per-event detector calls
+     decode    = frame total - dispatch                (byte decoding)
+
+   When metrics are off the whole attribution path is behind one branch
+   per frame plus the plain dispatch closure — the overhead guard test
+   pins it. *)
+let framed_worker_loop w ring processed wreg fring shard =
   Fun.protect ~finally:(fun () -> Frame_ring.close ring) @@ fun () ->
   let failure = ref None in
   let labels = shard_label shard in
-  let on_event ~seq ~silent ev =
+  let on_event_plain ~seq ~silent ev =
     if !failure = None then
       try w.w_event ~seq ~silent ev with exn -> failure := Some (Printexc.to_string exn)
+  in
+  let metrics_on = Obs.Metrics.is_on wreg in
+  let fr_on = Obs.Flightrec.is_on fring in
+  let disp_acc = ref 0.0 in
+  let on_event =
+    if not metrics_on then on_event_plain
+    else fun ~seq ~silent ev ->
+      let t0 = Obs.Clock.now () in
+      on_event_plain ~seq ~silent ev;
+      disp_acc := !disp_acc +. (Obs.Clock.now () -. t0)
   in
   let finish () =
     let r =
@@ -154,19 +180,29 @@ let framed_worker_loop w ring processed wreg shard =
     in
     match !failure with None -> r | Some msg -> { r with Bug.failure = Some msg }
   in
-  let metrics_on = Obs.Metrics.is_on wreg in
   let account n t0 =
     if n > 0 then begin
       if metrics_on then begin
+        let total = Obs.Clock.now () -. t0 in
+        let dispatch = !disp_acc in
         Obs.Metrics.inc wreg ~labels ~by:n "shard_worker_events_total";
-        Obs.Metrics.observe wreg ~labels "shard_worker_frame_seconds" (Unix.gettimeofday () -. t0)
+        Obs.Metrics.observe wreg ~labels "shard_worker_frame_seconds" total;
+        Obs.Metrics.observe wreg ~labels "shard_frame_residency_seconds"
+          (Float.max 0.0 (t0 -. Frame_ring.last_frame_ts ring));
+        Obs.Metrics.observe wreg ~labels "shard_frame_dispatch_seconds" dispatch;
+        Obs.Metrics.observe wreg ~labels "shard_frame_decode_seconds"
+          (Float.max 0.0 (total -. dispatch))
       end;
       ignore (Atomic.fetch_and_add processed n)
-    end
+    end;
+    disp_acc := 0.0;
+    if fr_on then
+      Obs.Flightrec.record fring ~ts:(Obs.Clock.now ()) ~cat:"frame" ~name:"pop" ~a:shard
+        ~b:(Frame_ring.consumed_frames ring - 1)
   in
   let rec go () =
     Frame_ring.wait ring;
-    let t0 = if metrics_on then Unix.gettimeofday () else 0.0 in
+    let t0 = if metrics_on then Obs.Clock.now () else 0.0 in
     match Frame_ring.try_consume ring ~f:on_event with
     | `Empty -> go ()
     | `Frame n ->
@@ -192,18 +228,39 @@ let consume_inline t i ring =
   let wreg = t.worker_metrics.(i) in
   let labels = t.labels.(i) in
   let metrics_on = Obs.Metrics.is_on wreg in
+  let fring = t.worker_flightrecs.(i) in
+  let fr_on = Obs.Flightrec.is_on fring in
+  let disp_acc = ref 0.0 in
+  let on_event =
+    if not metrics_on then fun ~seq ~silent ev -> inline_event t i ~seq ~silent ev
+    else fun ~seq ~silent ev ->
+      let t0 = Obs.Clock.now () in
+      inline_event t i ~seq ~silent ev;
+      disp_acc := !disp_acc +. (Obs.Clock.now () -. t0)
+  in
   let rec go () =
-    let t0 = if metrics_on then Unix.gettimeofday () else 0.0 in
-    match Frame_ring.try_consume ring ~f:(fun ~seq ~silent ev -> inline_event t i ~seq ~silent ev) with
+    let t0 = if metrics_on then Obs.Clock.now () else 0.0 in
+    match Frame_ring.try_consume ring ~f:on_event with
     | `Empty -> ()
     | `Frame n | `Stop n ->
         if n > 0 then begin
           if metrics_on then begin
+            let total = Obs.Clock.now () -. t0 in
+            let dispatch = !disp_acc in
             Obs.Metrics.inc wreg ~labels ~by:n "shard_worker_events_total";
-            Obs.Metrics.observe wreg ~labels "shard_worker_frame_seconds" (Unix.gettimeofday () -. t0)
+            Obs.Metrics.observe wreg ~labels "shard_worker_frame_seconds" total;
+            Obs.Metrics.observe wreg ~labels "shard_frame_residency_seconds"
+              (Float.max 0.0 (t0 -. Frame_ring.last_frame_ts ring));
+            Obs.Metrics.observe wreg ~labels "shard_frame_dispatch_seconds" dispatch;
+            Obs.Metrics.observe wreg ~labels "shard_frame_decode_seconds"
+              (Float.max 0.0 (total -. dispatch))
           end;
           ignore (Atomic.fetch_and_add t.processed.(i) n)
         end;
+        disp_acc := 0.0;
+        if fr_on then
+          Obs.Flightrec.record fring ~ts:(Obs.Clock.now ()) ~cat:"frame" ~name:"pop" ~a:i
+            ~b:(Frame_ring.consumed_frames ring - 1);
         go ()
   in
   go ()
@@ -216,8 +273,16 @@ let on_publish t i ring n =
   if Obs.Metrics.is_on t.metrics then begin
     Obs.Metrics.inc t.metrics ~labels:t.labels.(i) ~by:n "shard_events_total";
     Obs.Metrics.max_set t.metrics ~labels:t.labels.(i) "shard_queue_depth_peak"
-      (float_of_int (Frame_ring.length ring))
+      (float_of_int (Frame_ring.length ring));
+    (* The encode stage: accumulated per-event push time (including any
+       full-ring wait — honest backpressure) since this shard's previous
+       publish, attributed to the frame that just went out. *)
+    Obs.Metrics.observe t.metrics ~labels:t.labels.(i) "shard_encode_seconds" t.enc_acc.(i);
+    t.enc_acc.(i) <- 0.0
   end;
+  if Obs.Flightrec.is_on t.flightrec then
+    Obs.Flightrec.record t.flightrec ~ts:(Obs.Clock.now ()) ~cat:"frame" ~name:"publish" ~a:i
+      ~b:(Frame_ring.published_frames ring - 1);
   if not t.use_domains then consume_inline t i ring
 
 (* Per-event transport: sample the depth gauge on the shard's own push
@@ -255,8 +320,16 @@ let send t i ~seq ~silent ev =
         Atomic.incr t.processed.(i)
       end
   | Framed rings ->
-      let n = Frame_ring.push rings.(i) ~seq ~silent ev in
-      if n > 0 then on_publish t i rings.(i) n
+      if Obs.Metrics.is_on t.metrics then begin
+        let t0 = Obs.Clock.now () in
+        let n = Frame_ring.push rings.(i) ~seq ~silent ev in
+        t.enc_acc.(i) <- t.enc_acc.(i) +. (Obs.Clock.now () -. t0);
+        if n > 0 then on_publish t i rings.(i) n
+      end
+      else begin
+        let n = Frame_ring.push rings.(i) ~seq ~silent ev in
+        if n > 0 then on_publish t i rings.(i) n
+      end
 
 let broadcast t ~seq ?silent_except ev =
   for i = 0 to t.shards - 1 do
@@ -316,7 +389,16 @@ let in_registered t ~lo ~hi =
    shows. *)
 let stalled_address_event t ~seq ~tid ~lo ~hi ev =
   Obs.Metrics.inc t.metrics "shard_barrier_stalls_total";
-  drain t;
+  if Obs.Metrics.is_on t.metrics then begin
+    let t0 = Obs.Clock.now () in
+    drain t;
+    let dt = Obs.Clock.now () -. t0 in
+    Obs.Metrics.observe t.metrics "shard_barrier_stall_seconds" dt;
+    if Obs.Flightrec.is_on t.flightrec then
+      Obs.Flightrec.record t.flightrec ~ts:t0 ~cat:"barrier" ~name:"stall" ~a:seq
+        ~b:(int_of_float (dt *. 1e9))
+  end
+  else drain t;
   let fire_shard = owner t (Addr.line_of lo) in
   match ev with
   | `Store ->
@@ -524,9 +606,18 @@ let finish t =
       r
 
 let create ~shards ?(queue_capacity = 1024) ?(frame_size = default_frame_size) ?(domains = true)
-    ?(metrics = Obs.Metrics.disabled) ?(max_bugs_per_kind = 1000) make_worker =
+    ?(metrics = Obs.Metrics.disabled) ?(flightrec = Obs.Flightrec.disabled) ?worker_flightrecs
+    ?(max_bugs_per_kind = 1000) make_worker =
   if shards < 1 then invalid_arg "Shard_router.create: shards must be >= 1";
   if frame_size < 0 then invalid_arg "Shard_router.create: frame_size must be >= 0";
+  let worker_flightrecs =
+    match worker_flightrecs with
+    | None -> Array.init shards (fun _ -> Obs.Flightrec.disabled)
+    | Some a ->
+        if Array.length a <> shards then
+          invalid_arg "Shard_router.create: worker_flightrecs must have one ring per shard";
+        a
+  in
   let workers = Array.init shards make_worker in
   let transport =
     if frame_size = 0 then
@@ -566,6 +657,9 @@ let create ~shards ?(queue_capacity = 1024) ?(frame_size = default_frame_size) ?
       metrics;
       worker_metrics;
       labels = Array.init shards shard_label;
+      enc_acc = Array.make shards 0.0;
+      flightrec;
+      worker_flightrecs;
       max_bugs_per_kind;
       result = None;
     }
@@ -582,13 +676,17 @@ let create ~shards ?(queue_capacity = 1024) ?(frame_size = default_frame_size) ?
                       worker_loop workers.(i) queues.(i) processed.(i) worker_metrics.(i) i)
               | Framed rings ->
                   Domain.spawn (fun () ->
-                      framed_worker_loop workers.(i) rings.(i) processed.(i) worker_metrics.(i) i));
+                      framed_worker_loop workers.(i) rings.(i) processed.(i) worker_metrics.(i)
+                        worker_flightrecs.(i) i));
       }
     else t
   in
   t
 
 let sink ?name:(sink_name = "pmdebugger-sharded") ~shards ?queue_capacity ?frame_size ?domains ?metrics
-    ?max_bugs_per_kind make_worker =
-  let t = create ~shards ?queue_capacity ?frame_size ?domains ?metrics ?max_bugs_per_kind make_worker in
+    ?flightrec ?worker_flightrecs ?max_bugs_per_kind make_worker =
+  let t =
+    create ~shards ?queue_capacity ?frame_size ?domains ?metrics ?flightrec ?worker_flightrecs
+      ?max_bugs_per_kind make_worker
+  in
   Sink.make ~name:sink_name ~on_event:(fun ev -> route t ev) ~finish:(fun () -> finish t)

@@ -141,7 +141,36 @@ val sink :
         the framed transport; those are {!Obs.Metrics.absorb}ed into
         this registry when the sink finishes and the workers have
         joined, so the final snapshot is whole-run truth across
-        domains. *) ->
+        domains.
+
+        Under the framed transport the registries also attribute each
+        frame's life to stages, all timed against {!Obs.Clock} (the
+        clock {!Frame_ring} stamps frames with at publish):
+        [shard_encode_seconds{shard}] (router side: per-event push time
+        accumulated since the shard's previous publish, including any
+        full-ring wait), [shard_frame_residency_seconds{shard}] (publish
+        stamp → consume start: time in queue),
+        [shard_frame_decode_seconds{shard}] and
+        [shard_frame_dispatch_seconds{shard}] (frame total split into
+        byte decoding vs. summed detector calls), and
+        [shard_barrier_stall_seconds] (router side, per cross-shard
+        barrier drain). All allocation-free on the hot path; with
+        metrics disabled the entire attribution path is one branch per
+        frame. *) ->
+  ?flightrec:Obs.Flightrec.t
+    (** router-side flight recorder: records a ["frame"/"publish"]
+        instant per published frame ([a] = shard, [b] = frame index)
+        and a ["barrier"/"stall"] instant per cross-shard barrier
+        (metrics must be on for barriers). Default
+        {!Obs.Flightrec.disabled}. *) ->
+  ?worker_flightrecs:Obs.Flightrec.t array
+    (** one ring per shard, mutated only on that worker's domain:
+        records a ["frame"/"pop"] instant per consumed frame
+        ([a] = shard, [b] = frame index). Because {!Frame_ring} is
+        FIFO, (shard, index) names one frame end to end — the causal
+        trace ({!Obs.Tracecat}) pairs publish/pop records into flow
+        arrows. Length must equal [shards]. The caller retains the
+        array for dumping after [finish]. *) ->
   ?max_bugs_per_kind:int (** cap re-applied to the merged report, default 1000 *) ->
   (int -> worker) ->
   Sink.t

@@ -98,8 +98,41 @@ let test_histogram_buckets () =
       Alcotest.(check (array int)) "bucket counts (<=1, <=2, <=4, overflow)" [| 2; 1; 1; 1 |] v.M.h_counts;
       Alcotest.(check int) "count" 5 v.M.h_count;
       Alcotest.(check (float 1e-9)) "sum" 106.0 v.M.h_sum;
-      Alcotest.(check bool) "overflow quantile clamps to last bound" true (M.quantile v 1.0 = 4.0)
+      Alcotest.(check (float 1e-9)) "observed max tracked" 99.0 v.M.h_max;
+      Alcotest.(check bool) "overflow quantile reaches the observed max" true (M.quantile v 1.0 = 99.0)
   | _ -> Alcotest.fail "histogram missing"
+
+(* Pin p50/p99 on a known synthetic distribution. Interior buckets
+   interpolate linearly; the overflow bucket used to report the last
+   bound verbatim for every q (so a p99 past the bounds snapped to a
+   bucket edge) — it now interpolates toward the observed max. *)
+let test_quantile_interpolation_pinned () =
+  (* Uniform 1..40 over bounds 10/20/30/40: quantiles are exact. *)
+  let h = M.hist_create ~bounds:[| 10.0; 20.0; 30.0; 40.0 |] () in
+  for i = 1 to 40 do
+    M.hist_observe h (float_of_int i)
+  done;
+  let v = M.hist_view h in
+  Alcotest.(check (float 1e-9)) "p50 pinned" 20.0 (M.quantile v 0.5);
+  Alcotest.(check (float 1e-9)) "p99 pinned" 39.6 (M.quantile v 0.99);
+  (* All mass past the last bound: the pre-fix code returned 1.0 for
+     every q here. *)
+  let o = M.hist_create ~bounds:[| 1.0 |] () in
+  List.iter (M.hist_observe o) [ 2.0; 4.0; 6.0; 8.0 ];
+  let ov = M.hist_view o in
+  Alcotest.(check (float 1e-9)) "overflow p50 interpolates" 4.5 (M.quantile ov 0.5);
+  Alcotest.(check (float 1e-9)) "overflow p100 is the max" 8.0 (M.quantile ov 1.0);
+  Alcotest.(check bool) "overflow p99 off the bucket edge" true (M.quantile ov 0.99 > 1.0);
+  (* The max survives the JSON round-trip, so --diff'd reports keep
+     interpolating identically. *)
+  let t = M.create () in
+  M.observe t ~bounds:[| 1.0 |] "h_seconds" 5.0;
+  match M.snapshot_of_json (M.to_json t) with
+  | Ok snap -> (
+      match M.find snap "h_seconds" with
+      | Some (M.V_hist r) -> Alcotest.(check (float 1e-9)) "max round-trips" 5.0 r.M.h_max
+      | _ -> Alcotest.fail "histogram lost in round-trip")
+  | Error msg -> Alcotest.fail msg
 
 let test_quantiles () =
   let h = M.hist_create ~bounds:[| 1.0; 2.0; 3.0; 4.0 |] () in
@@ -402,6 +435,131 @@ let test_flightrec_disabled_overhead () =
   Alcotest.(check bool) (Printf.sprintf "1M disabled records in %.3fs < 0.5s" dt) true (dt < 0.5)
 
 (* ------------------------------------------------------------------ *)
+(* Heatmap: capped per-line accounting                                 *)
+(* ------------------------------------------------------------------ *)
+
+module H = Obs.Heatmap
+
+let test_heatmap_counting_and_dirty () =
+  let h = H.create ~cap:8 () in
+  H.on_store h ~seq:10 ~line:1;
+  H.on_store h ~seq:12 ~line:1;
+  (* Already dirty: the second store extends the same interval. *)
+  H.on_clf h ~seq:15 ~line:1;
+  H.on_bug h ~line:1;
+  H.set_name h ~line:1 "head";
+  H.set_name h ~line:1 "late";
+  (* Line 2 stays dirty: charged up to the latest seq seen (20). *)
+  H.on_store h ~seq:18 ~line:2;
+  H.on_store h ~seq:20 ~line:1;
+  let s = H.snapshot h in
+  Alcotest.(check int) "two lines tracked" 2 s.H.s_tracked;
+  let row line = List.find (fun r -> r.H.r_line = line) s.H.s_rows in
+  let r1 = row 1 and r2 = row 2 in
+  Alcotest.(check int) "stores" 3 r1.H.r_stores;
+  Alcotest.(check int) "clfs" 1 r1.H.r_clfs;
+  Alcotest.(check int) "bugs" 1 r1.H.r_bugs;
+  Alcotest.(check (option string)) "first name wins" (Some "head") r1.H.r_name;
+  Alcotest.(check bool) "closed interval charged" true (r1.H.r_dirty >= 5);
+  Alcotest.(check int) "open interval charged to latest seq" 2 r2.H.r_dirty;
+  (* Hottest first: line 1 carries more traffic. *)
+  Alcotest.(check int) "rank by traffic" 1 (List.hd s.H.s_rows).H.r_line
+
+let test_heatmap_cap_and_dropped () =
+  let h = H.create ~cap:2 () in
+  H.on_store h ~seq:1 ~line:1;
+  H.on_store h ~seq:2 ~line:2;
+  H.on_store h ~seq:3 ~line:3;
+  H.on_clf h ~seq:4 ~line:4;
+  H.on_store h ~seq:5 ~line:1;
+  let s = H.snapshot h in
+  Alcotest.(check int) "cap respected" 2 s.H.s_tracked;
+  Alcotest.(check int) "overflow counted" 2 s.H.s_dropped;
+  Alcotest.(check int) "tracked lines keep counting" 2 (List.find (fun r -> r.H.r_line = 1) s.H.s_rows).H.r_stores
+
+let test_heatmap_merge_and_json_roundtrip () =
+  let mk f = let h = H.create ~cap:8 () in f h; H.snapshot h in
+  let a = mk (fun h -> H.on_store h ~seq:1 ~line:7; H.set_name h ~line:7 "log") in
+  let b = mk (fun h -> H.on_store h ~seq:2 ~line:7; H.on_bug h ~line:7; H.on_clf h ~seq:3 ~line:9) in
+  let m = H.merge [ a; b ] in
+  Alcotest.(check int) "union of lines" 2 (List.length m.H.s_rows);
+  let r7 = List.find (fun r -> r.H.r_line = 7) m.H.s_rows in
+  Alcotest.(check int) "counters sum" 2 r7.H.r_stores;
+  Alcotest.(check int) "bugs sum" 1 r7.H.r_bugs;
+  Alcotest.(check (option string)) "name survives the merge" (Some "log") r7.H.r_name;
+  match H.snapshot_of_json (H.snapshot_to_json m) with
+  | Error e -> Alcotest.fail e
+  | Ok back ->
+      Alcotest.(check bool) "round-trips" true (back = m);
+      Alcotest.(check string) "schema id" "pmdb-heatmap/v1" H.schema_id
+
+let test_heatmap_disabled_noop () =
+  let h = H.disabled in
+  H.on_store h ~seq:1 ~line:1;
+  H.on_clf h ~seq:2 ~line:1;
+  H.on_bug h ~line:1;
+  H.set_name h ~line:1 "x";
+  Alcotest.(check bool) "off" false (H.is_on h);
+  Alcotest.(check int) "nothing tracked" 0 (H.snapshot h).H.s_tracked
+
+(* ------------------------------------------------------------------ *)
+(* Tracecat: the merged causal trace                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_tracecat_flow_arrows () =
+  let router = F.create ~capacity:64 () in
+  let worker = F.create ~capacity:64 () in
+  (* Frame (0,0) survives on both rings -> one flow arrow; frame (0,1)
+     has a publish with no pop -> stays an instant, no arrow. *)
+  F.record router ~ts:1.0 ~cat:"frame" ~name:"publish" ~a:0 ~b:0;
+  F.record worker ~ts:1.5 ~cat:"frame" ~name:"pop" ~a:0 ~b:0;
+  F.record router ~ts:2.0 ~cat:"frame" ~name:"publish" ~a:0 ~b:1;
+  let spans = [ { Obs.Span.sp_name = "replay"; sp_attrs = [ ("k", "v") ]; sp_start_s = 0.5; sp_dur_s = 3.0 } ] in
+  let doc = Obs.Tracecat.merge ~spans ~metadata:[ ("reason", Obs.Json.Str "test") ] [ ("router", router); ("shard-0", worker) ] in
+  (match Obs.Perfetto.validate_json doc with
+  | Ok n -> Alcotest.(check bool) (Printf.sprintf "%d events validate" n) true (n > 0)
+  | Error e -> Alcotest.fail e);
+  let evs = match Obs.Json.member "traceEvents" doc with Some (Obs.Json.List l) -> l | _ -> [] in
+  let with_ph p = List.filter (fun e -> Obs.Json.member "ph" e = Some (Obs.Json.Str p)) evs in
+  Alcotest.(check int) "one flow start" 1 (List.length (with_ph "s"));
+  Alcotest.(check int) "one flow finish" 1 (List.length (with_ph "f"));
+  let pub_pop =
+    List.filter
+      (fun e ->
+        Obs.Json.member "ph" e = Some (Obs.Json.Str "X")
+        && Obs.Json.member "cat" e = Some (Obs.Json.Str "frame"))
+      evs
+  in
+  Alcotest.(check int) "matched pair renders two slices" 2 (List.length pub_pop);
+  let instants = with_ph "i" in
+  Alcotest.(check int) "unmatched publish stays an instant" 1 (List.length instants);
+  let span_slices =
+    List.filter (fun e -> Obs.Json.member "cat" e = Some (Obs.Json.Str "span")) evs
+  in
+  Alcotest.(check int) "phase track carries the span" 1 (List.length span_slices)
+
+let test_tracecat_pop_clamped_to_publish () =
+  (* Skewed clocks: the pop stamp precedes the publish stamp; the arrow
+     must still point forward in the rendered trace. *)
+  let router = F.create ~capacity:8 () in
+  let worker = F.create ~capacity:8 () in
+  F.record router ~ts:5.0 ~cat:"frame" ~name:"publish" ~a:1 ~b:0;
+  F.record worker ~ts:4.9 ~cat:"frame" ~name:"pop" ~a:1 ~b:0;
+  let doc = Obs.Tracecat.merge [ ("router", router); ("shard-1", worker) ] in
+  let evs = match Obs.Json.member "traceEvents" doc with Some (Obs.Json.List l) -> l | _ -> [] in
+  let ts_of name =
+    List.filter_map
+      (fun e ->
+        match (Obs.Json.member "name" e, Obs.Json.member "ph" e, Obs.Json.member "ts" e) with
+        | Some (Obs.Json.Str n), Some (Obs.Json.Str "X"), Some (Obs.Json.Int ts) when n = name -> Some ts
+        | _ -> None)
+      evs
+  in
+  match (ts_of "publish", ts_of "pop") with
+  | [ pub ], [ pop ] -> Alcotest.(check bool) "pop not before publish" true (pop >= pub)
+  | _ -> Alcotest.fail "expected one publish and one pop slice"
+
+(* ------------------------------------------------------------------ *)
 (* Prometheus exposition                                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -620,6 +778,7 @@ let suite =
     Alcotest.test_case "label-merging" `Quick test_label_merging;
     Alcotest.test_case "histogram-buckets" `Quick test_histogram_buckets;
     Alcotest.test_case "quantiles" `Quick test_quantiles;
+    Alcotest.test_case "quantile-interpolation-pinned" `Quick test_quantile_interpolation_pinned;
     Alcotest.test_case "snapshot-determinism" `Quick test_snapshot_determinism;
     Alcotest.test_case "metrics-json-valid" `Quick test_metrics_json_valid;
     Alcotest.test_case "disabled-noop" `Quick test_disabled_noop;
@@ -637,6 +796,12 @@ let suite =
     Alcotest.test_case "flightrec-dump-json" `Quick test_flightrec_dump_json;
     Alcotest.test_case "flightrec-perfetto" `Quick test_flightrec_perfetto;
     Alcotest.test_case "flightrec-disabled-overhead" `Quick test_flightrec_disabled_overhead;
+    Alcotest.test_case "heatmap-counting-dirty" `Quick test_heatmap_counting_and_dirty;
+    Alcotest.test_case "heatmap-cap-dropped" `Quick test_heatmap_cap_and_dropped;
+    Alcotest.test_case "heatmap-merge-json" `Quick test_heatmap_merge_and_json_roundtrip;
+    Alcotest.test_case "heatmap-disabled" `Quick test_heatmap_disabled_noop;
+    Alcotest.test_case "tracecat-flow-arrows" `Quick test_tracecat_flow_arrows;
+    Alcotest.test_case "tracecat-skew-clamped" `Quick test_tracecat_pop_clamped_to_publish;
     Alcotest.test_case "prometheus-render" `Quick test_prometheus_render;
     Alcotest.test_case "prometheus-escaping" `Quick test_prometheus_escaping;
     Alcotest.test_case "prometheus-validate-rejects" `Quick test_prometheus_validate_rejects;

@@ -326,7 +326,7 @@ let bug_trace_events =
 
 let test_pool_inline_roundtrip () =
   let pool =
-    Serve.Pool.create ~domains:false ~workers:2 ~queue_capacity:64 (fun () ->
+    Serve.Pool.create ~domains:false ~workers:2 ~queue_capacity:64 (fun ~heatmap:_ ->
         D.sink (D.create ~model:D.Strict ()))
   in
   let slot = Serve.Pool.open_session pool ~id:3 in
@@ -341,7 +341,7 @@ let test_pool_inline_roundtrip () =
 
 let test_pool_inline_detector_failure () =
   let boom = Sink.make ~name:"boom" ~on_event:(fun _ -> failwith "detector exploded") ~finish:(fun () -> Bug.empty_report "boom") in
-  let pool = Serve.Pool.create ~domains:false ~workers:1 ~queue_capacity:64 (fun () -> boom) in
+  let pool = Serve.Pool.create ~domains:false ~workers:1 ~queue_capacity:64 (fun ~heatmap:_ -> boom) in
   let slot = Serve.Pool.open_session pool ~id:0 in
   Serve.Pool.submit pool ~id:0 (Event.Store { addr = 0; size = 8; tid = 0 });
   Alcotest.(check bool) "failure surfaces in the slot" true (Serve.Pool.failed slot <> None);
@@ -391,7 +391,7 @@ let start_daemon ?(idle_timeout = 0.5) ?(workers = 2) ?(stream_interval = 1.0) ?
     }
   in
   let daemon =
-    Serve.Daemon.create ~metrics ~make_sink:(fun () -> D.sink (D.create ~model:D.Strict ())) cfg
+    Serve.Daemon.create ~metrics ~make_sink:(fun ~heatmap -> D.sink (D.create ~model:D.Strict ~heatmap ())) cfg
   in
   let d = Domain.spawn (fun () -> Serve.Daemon.run daemon) in
   (* Wait for the listener to come up. *)
@@ -506,7 +506,7 @@ let test_gate_detector_quarantine_isolated () =
   (* Session ids are assigned in accept order starting at 1; worker =
      id mod workers keeps both sessions apart, and the first session
      created on the daemon gets the exploding sink. *)
-  let make_sink () =
+  let make_sink ~heatmap:_ =
     if Atomic.fetch_and_add calls 1 = 0 then
       Sink.make ~name:"boom"
         ~on_event:(fun ev -> match ev with Event.Fence _ -> failwith "boom mid-stream" | _ -> ())
@@ -613,6 +613,69 @@ let test_stats_stream_follow () =
   (match Serve.Client.stop ~socket with Ok () -> () | Error e -> Alcotest.fail ("stop: " ^ e));
   Domain.join handle
 
+(* The observability verbs end to end: a daemon with the heatmap on
+   and a trace-out directory serves the merged hot-line table over the
+   wire, observes session end-to-end latency, and leaves a valid
+   causal Perfetto dump at shutdown. *)
+let test_heatmap_verb_and_shutdown_trace () =
+  let socket = temp_socket () in
+  let tracedir = temp_dir () in
+  let metrics = Obs.Metrics.create () in
+  let cfg =
+    {
+      (Serve.Daemon.default_config ~socket) with
+      Serve.Daemon.workers = 2;
+      idle_timeout = 5.0;
+      heatmap_cap = 64;
+      trace_out = Some tracedir;
+    }
+  in
+  let daemon =
+    Serve.Daemon.create ~metrics ~make_sink:(fun ~heatmap -> D.sink (D.create ~model:D.Strict ~heatmap ())) cfg
+  in
+  let handle = Domain.spawn (fun () -> Serve.Daemon.run daemon) in
+  let rec wait tries =
+    if tries = 0 then Alcotest.fail "daemon never bound its socket"
+    else if Sys.file_exists socket then ()
+    else (
+      Unix.sleepf 0.02;
+      wait (tries - 1))
+  in
+  wait 250;
+  (match Serve.Client.replay_string ~socket ~name:"hot" trace_body with
+  | Error e -> Alcotest.fail ("session: " ^ e)
+  | Ok frame -> Alcotest.(check bool) "session ok" true (frame.Serve.Wire.status = Serve.Status.Ok));
+  (* The heatmap verb returns the merged per-worker tables: trace_body
+     touches lines 0 and 1, stores dominating line 0. *)
+  (match Serve.Client.heatmap ~socket with
+  | Error e -> Alcotest.fail ("heatmap verb: " ^ e)
+  | Ok snap ->
+      Alcotest.(check int) "both touched lines tracked" 2 snap.Obs.Heatmap.s_tracked;
+      let r0 = List.find (fun r -> r.Obs.Heatmap.r_line = 0) snap.Obs.Heatmap.s_rows in
+      Alcotest.(check int) "line 0 stores" 2 r0.Obs.Heatmap.r_stores;
+      Alcotest.(check int) "line 0 clfs" 1 r0.Obs.Heatmap.r_clfs);
+  (* Stage attribution reaches the daemon's registry: the session's
+     end-to-end histogram observed exactly one session. *)
+  (match Serve.Client.stats ~socket with
+  | Error e -> Alcotest.fail ("stats: " ^ e)
+  | Ok snap -> (
+      match Obs.Metrics.find snap "serve_session_e2e_seconds" with
+      | Some (Obs.Metrics.V_hist h) -> Alcotest.(check int) "one e2e observation" 1 h.Obs.Metrics.h_count
+      | _ -> Alcotest.fail "serve_session_e2e_seconds histogram missing"));
+  (match Serve.Client.stop ~socket with Ok () -> () | Error e -> Alcotest.fail ("stop: " ^ e));
+  Domain.join handle;
+  (* Shutdown leaves one merged causal trace, and it validates. *)
+  let dumps = Sys.readdir tracedir |> Array.to_list |> List.filter (fun f -> Filename.check_suffix f ".json") in
+  (match dumps with
+  | [ f ] -> (
+      match Obs.Json.of_file (Filename.concat tracedir f) with
+      | Error e -> Alcotest.fail ("trace dump unreadable: " ^ e)
+      | Ok doc -> (
+          match Obs.Perfetto.validate_json doc with
+          | Ok n -> Alcotest.(check bool) (Printf.sprintf "%d trace events" n) true (n > 0)
+          | Error e -> Alcotest.fail ("trace dump invalid: " ^ e)))
+  | files -> Alcotest.fail (Printf.sprintf "expected one shutdown dump, found %d" (List.length files)))
+
 (* ---------------------------------------------------------------- *)
 (* Protocol fuzz: whatever bytes arrive, the daemon answers every      *)
 (* non-empty connection with one parseable result frame and stays up.  *)
@@ -712,5 +775,6 @@ let suite =
     Alcotest.test_case "gate: 8 clients, 2 misbehaving" `Quick test_gate_eight_clients_two_misbehaving;
     Alcotest.test_case "gate: detector quarantine is isolated" `Quick test_gate_detector_quarantine_isolated;
     Alcotest.test_case "stats_stream follow" `Quick test_stats_stream_follow;
+    Alcotest.test_case "heatmap verb and shutdown trace" `Quick test_heatmap_verb_and_shutdown_trace;
     Alcotest.test_case "protocol fuzz" `Quick test_fuzz_protocol;
   ]

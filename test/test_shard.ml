@@ -271,6 +271,109 @@ let test_frame_cross_domain () =
   Alcotest.(check int) "exactly n events" n !total
 
 (* ---------------------------------------------------------------- *)
+(* Stage latency: the publish-stamp law and the disabled-path cost    *)
+(* ---------------------------------------------------------------- *)
+
+(* QCheck law pinned in frame_ring.mli: the publish stamps of
+   successive frames of one ring are non-decreasing at the consumer —
+   across slot wraparound, random flush points and a stop carrying a
+   partial frame. Residency attribution (now - last_frame_ts) relies
+   on it. Ops: 0 = flush, k > 0 = push k events. slots = 2 forces
+   wraparound constantly; draining at each publish keeps the inline
+   producer from blocking on a full ring. *)
+let prop_pub_ts_nondecreasing =
+  QCheck.Test.make ~name:"frame ring: publish stamps non-decreasing (wraparound, flush, partial stop)"
+    ~count:100
+    QCheck.(list_of_size Gen.(1 -- 60) (int_bound 4))
+    (fun ops ->
+      let ring = Frame_ring.create ~slots:2 ~frame_events:3 () in
+      let last = ref 0.0 in
+      let ok = ref true in
+      let note () =
+        let ts = Frame_ring.last_frame_ts ring in
+        if ts < !last then ok := false;
+        last := ts
+      in
+      let drain () =
+        let continue = ref true in
+        while !continue do
+          match Frame_ring.try_consume ring ~f:(fun ~seq:_ ~silent:_ _ -> ()) with
+          | `Frame _ -> note ()
+          | `Stop _ ->
+              note ();
+              continue := false
+          | `Empty -> continue := false
+        done
+      in
+      List.iteri
+        (fun i op ->
+          if op = 0 then (if Frame_ring.flush ring > 0 then drain ())
+          else
+            for _ = 1 to op do
+              if Frame_ring.push ring ~seq:i ~silent:false (Event.Fence { tid = i }) > 0 then drain ()
+            done)
+        ops;
+      Frame_ring.push_stop ring;
+      drain ();
+      !ok)
+
+(* The same law with the producer on a real domain: wall-clock stamps
+   taken on one domain, read on another, still non-decreasing in
+   consume order (the ring's FIFO + the publishing store's ordering). *)
+let test_frame_pub_ts_cross_domain () =
+  let n = 20_000 in
+  let ring = Frame_ring.create ~slots:4 ~frame_events:7 () in
+  let producer =
+    Domain.spawn (fun () ->
+        for i = 1 to n do
+          ignore (Frame_ring.push ring ~seq:i ~silent:false (Event.Fence { tid = i land 7 }));
+          if i mod 613 = 0 then ignore (Frame_ring.flush ring)
+        done;
+        Frame_ring.push_stop ring)
+  in
+  let last = ref 0.0 in
+  let ok = ref true in
+  let frames = ref 0 in
+  let finished = ref false in
+  while not !finished do
+    (match Frame_ring.consume ring ~f:(fun ~seq:_ ~silent:_ _ -> ()) with
+    | `Frame _ -> incr frames
+    | `Stop _ -> finished := true);
+    let ts = Frame_ring.last_frame_ts ring in
+    if ts < !last then ok := false;
+    last := ts
+  done;
+  Domain.join producer;
+  Alcotest.(check bool) "stamps non-decreasing across domains" true !ok;
+  Alcotest.(check bool) "saw many frames" true (!frames > 100)
+
+(* Overhead guard for the stage-attribution path: with metrics
+   disabled, routing through the framed transport pays one branch per
+   frame and zero timing calls — an absolute bound on 200k events
+   through a no-op worker catches an accidentally always-on path
+   (10-100x), not CI noise. *)
+let noop_worker _ =
+  {
+    Shard_router.w_event = (fun ~seq:_ ~silent:_ _ -> ());
+    w_scan_store = (fun ~seq:_ ~tid:_ ~lo:_ ~hi:_ -> { Shard_router.so_overlapped = false; so_prior_seqs = [] });
+    w_fire_store = (fun ~seq:_ ~addr:_ ~size:_ _ -> ());
+    w_scan_clf = (fun ~seq:_ ~tid:_ ~lo:_ ~hi:_ -> { Shard_router.co_matched = 0; co_newly = 0; co_redundant = [] });
+    w_fire_clf = (fun ~seq:_ ~addr:_ ~size:_ _ -> ());
+    w_finish = (fun () -> Bug.empty_report "noop");
+  }
+
+let test_stage_latency_disabled_overhead () =
+  let n = 200_000 in
+  let sink = Shard_router.sink ~shards:2 ~domains:false ~frame_size:64 noop_worker in
+  let t0 = Unix.gettimeofday () in
+  for i = 1 to n do
+    sink.Sink.on_event (Event.Store { addr = (i land 1023) * 8; size = 8; tid = 0 })
+  done;
+  ignore (sink.Sink.finish ());
+  let dt = Unix.gettimeofday () -. t0 in
+  Alcotest.(check bool) (Printf.sprintf "200k framed events with metrics off in %.3fs < 2s" dt) true (dt < 2.0)
+
+(* ---------------------------------------------------------------- *)
 (* Engine.finish_all ordering (regression for the documented          *)
 (* guarantee the shard merge relies on)                               *)
 (* ---------------------------------------------------------------- *)
@@ -691,6 +794,9 @@ let suite =
     Alcotest.test_case "frame ring: wraparound" `Quick test_frame_wraparound;
     Alcotest.test_case "framed routing: byte-full frames inline" `Quick test_framed_byte_full_inline;
     Alcotest.test_case "frame ring: cross-domain ordering" `Quick test_frame_cross_domain;
+    QCheck_alcotest.to_alcotest prop_pub_ts_nondecreasing;
+    Alcotest.test_case "frame ring: publish stamps across domains" `Quick test_frame_pub_ts_cross_domain;
+    Alcotest.test_case "stage latency: disabled path overhead" `Quick test_stage_latency_disabled_overhead;
     Alcotest.test_case "finish_all: reports in attach order" `Quick test_finish_all_attach_order;
     Alcotest.test_case "finish_all: order survives quarantine" `Quick test_finish_all_order_survives_quarantine;
     Alcotest.test_case "merge_store_obs: cap of union" `Quick test_merge_store_obs_cap;
