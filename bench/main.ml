@@ -1347,6 +1347,216 @@ let serve_soak () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Invariant-guided crash-state exploration: bugs-found-per-N-images    *)
+(* curves for guided/sampled vs the exhaustive scan, on a long          *)
+(* commit-rounds trace with a sparse planted ordering bug plus the      *)
+(* cross-failure bugbench cases. Writes BENCH_pr10.json and gates on    *)
+(* (a) every strategy's failure set being a subset of exhaustive's,     *)
+(* (b) unbounded guided finding exactly the exhaustive set, and         *)
+(* (c) guided recovering >= 90% of exhaustive's bugs within 25% of its  *)
+(* image spend.                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let crashexplore () =
+  let module FI = Faultinject in
+  let module CE = FI.Crash_explore in
+  let q = !quick in
+  (* The rounds trace: R backup/counter commit rounds on two shared
+     lines. Correct rounds persist the backup before the counter that
+     must never exceed it; the planted rounds run the counter ahead —
+     the xfail_counter_before_backup shape, but buried in a long
+     otherwise-correct trace so risk ranking has something to rank. *)
+  (* A planted round also reverses the persist cycle, so the round after
+     it opens a spurious "echo" window of similar rank; the budget floor
+     that matters is true + echo windows (~34 images), which 25% clears
+     at these sizes with margin. *)
+  let rounds = if q then 16 else 40 in
+  let planted = [ (rounds / 3) + 1; (2 * rounds / 3) + 1 ] in
+  let backup_addr = 0 and counter_addr = 64 in
+  let run e =
+    Engine.register_pmem e ~base:0 ~size:4096;
+    for r = 1 to rounds do
+      let v = Int64.of_int r in
+      let commit ~addr = Engine.store_i64 e ~addr v; Engine.persist e ~addr ~size:8 in
+      if List.mem r planted then begin
+        commit ~addr:counter_addr;
+        commit ~addr:backup_addr
+      end
+      else begin
+        commit ~addr:backup_addr;
+        commit ~addr:counter_addr
+      end
+    done
+  in
+  let recovery img =
+    Int64.compare (Pmem.Image.get_i64 img counter_addr) (Pmem.Image.get_i64 img backup_addr) <= 0
+  in
+  let t0 = Unix.gettimeofday () in
+  let steps = FI.Replay.capture run in
+  let gen_s = Unix.gettimeofday () -. t0 in
+  let max_images = 4 in
+  let indexes_of (o : CE.outcome) = List.map (fun f -> f.CE.index) o.result.CE.failures in
+  (* Per-image recovery-check latency feeds the dispatch percentiles. *)
+  let run_strategy ?budget ?metrics strat =
+    let hist = Obs.Metrics.hist_create () in
+    let timed img =
+      let t0 = Unix.gettimeofday () in
+      let ok = recovery img in
+      Obs.Metrics.hist_observe hist (Unix.gettimeofday () -. t0);
+      ok
+    in
+    let plan = CE.make_plan ~max_images ?budget steps in
+    let t0 = Unix.gettimeofday () in
+    let o = CE.run ?metrics ~recovery:timed plan strat in
+    (o, Unix.gettimeofday () -. t0, hist)
+  in
+  let ex, ex_s, ex_hist = run_strategy CE.exhaustive in
+  let ex_set = indexes_of ex in
+  let ex_bugs = List.length ex_set and ex_images = ex.CE.result.CE.images_checked in
+  let guided_reg = Obs.Metrics.create () in
+  let fractions = [ 5; 10; 25; 50; 100 ] in
+  let curve =
+    List.concat_map
+      (fun (sname, strat) ->
+        List.map
+          (fun pct ->
+            let budget = max 1 (ex_images * pct / 100) in
+            let metrics = if sname = "guided" && pct = 25 then Some guided_reg else None in
+            let o, dt, hist = run_strategy ~budget ?metrics strat in
+            (sname, pct, budget, o, dt, hist))
+          fractions)
+      [ ("guided", CE.guided); ("sampled", CE.sampled) ]
+  in
+  let guided_unbounded, _, _ = run_strategy CE.guided in
+  (* Gates on the bugbench cross-failure cases: sound (subset) bounded
+     runs, and unbounded guided finding exactly the exhaustive set. *)
+  let case_gates =
+    List.filter_map
+      (fun (c : Bugbench.Cases.t) ->
+        match c.Bugbench.Cases.recovery with
+        | None -> None
+        | Some recovery ->
+            let steps = FI.Replay.capture c.Bugbench.Cases.run in
+            let explore ?budget strat =
+              indexes_of (CE.run ~recovery (CE.make_plan ~max_images ?budget steps) strat)
+            in
+            let full = explore CE.exhaustive in
+            let g = explore CE.guided in
+            let gb = explore ~budget:8 CE.guided in
+            let sb = explore ~budget:8 CE.sampled in
+            let subset l = List.for_all (fun i -> List.mem i full) l in
+            Some (c.Bugbench.Cases.id, g = full, subset gb && subset sb))
+      Bugbench.Cases.buggy
+  in
+  let sound_cases = List.for_all (fun (_, _, s) -> s) case_gates in
+  let complete_cases = List.for_all (fun (_, eq, _) -> eq) case_gates in
+  let sound_curve =
+    List.for_all (fun (_, _, _, o, _, _) -> List.for_all (fun i -> List.mem i ex_set) (indexes_of o)) curve
+  in
+  let guided_complete = indexes_of guided_unbounded = ex_set in
+  let bugs_at sname pct =
+    match List.find_opt (fun (s, p, _, _, _, _) -> s = sname && p = pct) curve with
+    | Some (_, _, _, o, _, _) -> List.length (indexes_of o)
+    | None -> 0
+  in
+  let images_at sname pct =
+    match List.find_opt (fun (s, p, _, _, _, _) -> s = sname && p = pct) curve with
+    | Some (_, _, _, o, _, _) -> o.CE.result.CE.images_checked
+    | None -> 0
+  in
+  let guided_25 = bugs_at "guided" 25 in
+  let guided_25_images = images_at "guided" 25 in
+  let hit_rate = float_of_int guided_25 /. float_of_int (max 1 ex_bugs) in
+  let per_100 images bugs = if images = 0 then 0.0 else 100.0 *. float_of_int bugs /. float_of_int images in
+  let p hist frac = Obs.Metrics.quantile (Obs.Metrics.hist_view hist) frac in
+  T.print
+    ~title:
+      (Printf.sprintf
+         "Invariant-guided exploration: %d rounds, %d planted; exhaustive %d bug(s) / %d image(s) (quick=%b)"
+         rounds (List.length planted) ex_bugs ex_images q)
+    ~header:[ "strategy"; "budget"; "images"; "bugs"; "bugs/100img"; "time" ]
+    ([ "exhaustive"; "-"; string_of_int ex_images; string_of_int ex_bugs;
+       Printf.sprintf "%.1f" (per_100 ex_images ex_bugs); Printf.sprintf "%.1f ms" (1000.0 *. ex_s) ]
+    :: List.map
+         (fun (sname, pct, budget, o, dt, _) ->
+           let bugs = List.length (indexes_of o) in
+           [ sname; Printf.sprintf "%d%% (%d)" pct budget;
+             string_of_int o.CE.result.CE.images_checked; string_of_int bugs;
+             Printf.sprintf "%.1f" (per_100 o.CE.result.CE.images_checked bugs);
+             Printf.sprintf "%.1f ms" (1000.0 *. dt) ])
+         curve);
+  Printf.printf
+    "  guided@25%%: %d/%d bug(s) in %d/%d image(s) (%.0f%% of bugs at %.0f%% of images); soundness %b, guided-complete %b\n"
+    guided_25 ex_bugs guided_25_images ex_images (100.0 *. hit_rate)
+    (100.0 *. float_of_int guided_25_images /. float_of_int (max 1 ex_images))
+    (sound_curve && sound_cases) (guided_complete && complete_cases);
+  let open Obs.Json in
+  let row name images bugs dt hist =
+    Obj
+      [
+        ("bench", Str name);
+        ("n", Int images);
+        ("native_s", Float gen_s);
+        ( "slowdowns",
+          Obj
+            [
+              ("images_vs_exhaustive", Float (float_of_int images /. float_of_int (max 1 ex_images)));
+              ("bugs_vs_exhaustive", Float (float_of_int bugs /. float_of_int (max 1 ex_bugs)));
+              ("wall_vs_exhaustive", Float (dt /. ex_s));
+            ] );
+        ("dispatch_p50_s", Float (p hist 0.5));
+        ("dispatch_p95_s", Float (p hist 0.95));
+        ("dispatch_p99_s", Float (p hist 0.99));
+        ("bugs", Int bugs);
+        ("bugs_per_100_images", Float (per_100 images bugs));
+      ]
+  in
+  let json =
+    Obj
+      [
+        ("schema", Str "pmdb-bench/v1");
+        ("quick", Bool q);
+        ("rounds", Int rounds);
+        ("planted_rounds", Int (List.length planted));
+        ("exhaustive_bugs", Int ex_bugs);
+        ("exhaustive_images", Int ex_images);
+        ("guided_bugs_at_25pct", Int guided_25);
+        ("guided_images_at_25pct", Int guided_25_images);
+        ("guided_hit_rate_at_25pct", Float hit_rate);
+        ("sound", Bool (sound_curve && sound_cases));
+        ("guided_complete_unbounded", Bool (guided_complete && complete_cases));
+        ( "rows",
+          List
+            (row "crashexplore-exhaustive" ex_images ex_bugs ex_s ex_hist
+            :: Stdlib.List.map
+                 (fun (sname, pct, _, o, dt, hist) ->
+                   row
+                     (Printf.sprintf "crashexplore-%s-b%d" sname pct)
+                     o.CE.result.CE.images_checked
+                     (List.length (indexes_of o))
+                     dt hist)
+                 curve) );
+        ("telemetry", Obs.Metrics.to_json guided_reg);
+      ]
+  in
+  to_file "BENCH_pr10.json" json;
+  Printf.printf "wrote BENCH_pr10.json (rounds=%d, quick=%b)\n" rounds q;
+  flush stdout;
+  if not (sound_curve && sound_cases) then begin
+    Printf.eprintf "crashexplore: FAILED — a bounded strategy reported a failure exhaustive did not\n";
+    exit 1
+  end;
+  if not (guided_complete && complete_cases) then begin
+    Printf.eprintf "crashexplore: FAILED — unbounded guided missed part of the exhaustive failure set\n";
+    exit 1
+  end;
+  if hit_rate < 0.9 then begin
+    Printf.eprintf "crashexplore: FAILED — guided found %.0f%% of exhaustive's bugs at a 25%% image budget (need >= 90%%)\n"
+      (100.0 *. hit_rate);
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -1368,6 +1578,7 @@ let experiments =
     ("streaming", streaming);
     ("sharding", sharding);
     ("serve", serve_soak);
+    ("crashexplore", crashexplore);
   ]
 
 let () =

@@ -367,7 +367,8 @@ let find_bugbench_case id =
   | None -> failwith (Printf.sprintf "unknown bugbench case %S (see `pmdb bugs`)" id)
   | Some c -> c
 
-let crash_explore_cmd case trace_file workload n expect fences_only max_images bisect metrics_file =
+let crash_explore_cmd case trace_file workload n expect fences_only max_images bisect strategy budget
+    invariants_out seed metrics_file =
   with_metrics metrics_file @@ fun metrics spans ->
   let recovery_of_expect () =
     let expect =
@@ -405,18 +406,51 @@ let crash_explore_cmd case trace_file workload n expect fences_only max_images b
   in
   let module CE = Faultinject.Crash_explore in
   let what = match (case, trace_file) with Some id, _ -> id | None, Some path -> path | None, None -> workload in
-  if bisect then
-    match Obs.Span.record spans "bisect" (fun () -> CE.bisect ~max_images ~metrics ~recovery steps) with
+  let strategy_name = strategy in
+  let strategy =
+    match CE.strategy_of_string strategy with Ok s -> s | Error msg -> failwith ("--strategy: " ^ msg)
+  in
+  let budget = if budget <= 0 then None else Some budget in
+  let boundaries = if fences_only then CE.Fences_only else CE.Every_op in
+  let write_invariants plan used =
+    match invariants_out with
+    | None -> ()
+    | Some path ->
+        let rep = match used with Some r -> r | None -> CE.plan_invariants plan in
+        Obs.Json.to_file path (Infer.Invariant.to_json rep);
+        Printf.printf "invariants: %d candidate(s) -> %s\n"
+          (List.length rep.Infer.Invariant.invariants)
+          path
+  in
+  if bisect then begin
+    let f =
+      Obs.Span.record spans "bisect" (fun () ->
+          if strategy_name = "exhaustive" then CE.bisect ~max_images ~metrics ~recovery steps
+          else CE.bisect ~max_images ~metrics ~strategy ~recovery steps)
+    in
+    (match f with
     | None -> Printf.printf "%s: no crash image fails recovery (%d steps explored)\n" what (Array.length steps)
     | Some f ->
         Format.printf "%s: minimal failing prefix ends at event #%d (%a): %d/%d crash image(s) fail recovery@."
-          what f.CE.index Faultinject.Replay.pp f.CE.step f.CE.failing_images f.CE.images_checked
+          what f.CE.index Faultinject.Replay.pp f.CE.step f.CE.failing_images f.CE.images_checked);
+    if invariants_out <> None then
+      write_invariants (CE.make_plan ~boundaries ~max_images ?budget ~seed steps) None
+  end
   else begin
-    let boundaries = if fences_only then CE.Fences_only else CE.Every_op in
-    let r = Obs.Span.record spans "explore" (fun () -> CE.explore ~boundaries ~max_images ~metrics ~recovery steps) in
+    let plan = CE.make_plan ~boundaries ~max_images ?budget ~seed steps in
+    let o = Obs.Span.record spans "explore" (fun () -> CE.run ~metrics ~recovery plan strategy) in
+    let r = o.CE.result in
     Printf.printf "%s: %d boundar%s checked, %d crash image(s) tested\n" what r.CE.boundaries_checked
       (if r.CE.boundaries_checked = 1 then "y" else "ies")
       r.CE.images_checked;
+    (* The strategy line only appears for non-default runs: the default
+       exhaustive report stays byte-identical to the pre-strategy CLI. *)
+    if strategy_name <> "exhaustive" || budget <> None then
+      Printf.printf "  strategy %s: %d/%d scheduled boundar%s explored, %d skipped%s\n" o.CE.strategy
+        o.CE.explored o.CE.scheduled
+        (if o.CE.scheduled = 1 then "y" else "ies")
+        o.CE.skipped
+        (match budget with None -> "" | Some b -> Printf.sprintf " (budget %d images)" b);
     List.iter
       (fun (f : CE.failure) ->
         Format.printf "  event #%d (%a): %d/%d image(s) fail recovery@." f.CE.index Faultinject.Replay.pp f.CE.step
@@ -424,7 +458,8 @@ let crash_explore_cmd case trace_file workload n expect fences_only max_images b
       r.CE.failures;
     if r.CE.failures = [] then Printf.printf "  all crash images satisfy recovery\n"
     else Printf.printf "%d failing boundar%s\n" (List.length r.CE.failures)
-      (if List.length r.CE.failures = 1 then "y" else "ies")
+      (if List.length r.CE.failures = 1 then "y" else "ies");
+    write_invariants plan o.CE.invariants_used
   end
 
 (* ---------------------------------------------------------------- *)
@@ -523,6 +558,55 @@ let events_of_source ?(annotate = false) ~case ~trace_file ~workload ~n () =
   | None, None ->
       let spec = Workloads.Registry.find_exn workload in
       (workload, spec.W.model, Recorder.record (fun e -> spec.W.run (W.params ~annotate ~n ()) e))
+
+(* ---------------------------------------------------------------- *)
+(* infer: run the invariant-inference pass over a trace and print    *)
+(* (or check) the pmdb-invariants/v1 report.                         *)
+(* ---------------------------------------------------------------- *)
+
+let infer_cmd case trace_file workload n config check json_file max_print =
+  match check with
+  | Some path -> (
+      match Obs.Json.of_file path with
+      | Error msg ->
+          Printf.eprintf "%s: invalid JSON: %s\n" path msg;
+          exit 1
+      | Ok json -> (
+          match Infer.Invariant.of_json json with
+          | Ok r ->
+              Printf.printf "%s: valid %s report (%d invariants over %d events)\n" path
+                Infer.Invariant.schema
+                (List.length r.Infer.Invariant.invariants)
+                r.Infer.Invariant.events
+          | Error msg ->
+              Printf.eprintf "%s: invalid %s report: %s\n" path Infer.Invariant.schema msg;
+              exit 1))
+  | None ->
+      let what, model, trace = events_of_source ~case ~trace_file ~workload ~n () in
+      let config =
+        match (case, config) with
+        | Some id, None -> (find_bugbench_case id).Bugbench.Cases.config
+        | _ -> load_config config
+      in
+      (* The detector pass supplies Bug.t provenance chains — inference
+         folds them in as evidence on top of the trace scan. *)
+      let det = Pmdebugger.Detector.create ~model ~config () in
+      let report = Recorder.replay trace (Pmdebugger.Detector.sink det) in
+      let inv = Infer.Analyze.infer ~report trace in
+      Printf.printf "%s: %d event(s) (%d stores, %d fences), %d candidate invariant(s)\n" what
+        inv.Infer.Invariant.events inv.Infer.Invariant.stores inv.Infer.Invariant.fences
+        (List.length inv.Infer.Invariant.invariants);
+      List.iteri
+        (fun i cand ->
+          if i < max_print then Format.printf "  %a@." Infer.Invariant.pp cand)
+        inv.Infer.Invariant.invariants;
+      if List.length inv.Infer.Invariant.invariants > max_print then
+        Printf.printf "  ... (%d more)\n" (List.length inv.Infer.Invariant.invariants - max_print);
+      match json_file with
+      | None -> ()
+      | Some path ->
+          Obs.Json.to_file path (Infer.Invariant.to_json inv);
+          Printf.printf "report -> %s\n" path
 
 let explain_cmd case trace_file workload n config max_print =
   let what, model, trace = events_of_source ~case ~trace_file ~workload ~n () in
@@ -691,6 +775,14 @@ let check_report_file path =
               | None -> fail "missing \"telemetry\"");
               Printf.printf "%s: valid pmdb-bench/v1 report (%d rows)\n" path (List.length rows)
           | _ -> fail "missing \"rows\" list")
+      | Some (Obs.Json.Str "pmdb-invariants/v1") -> (
+          match Infer.Invariant.of_json json with
+          | Ok r ->
+              Printf.printf "%s: valid pmdb-invariants/v1 report (%d invariants)\n" path
+                (List.length r.Infer.Invariant.invariants)
+          | Error msg ->
+              Printf.eprintf "%s: invalid pmdb-invariants/v1 report: %s\n" path msg;
+              exit 1)
       | Some (Obs.Json.Str "pmdb-charz/v1") -> (
           match Obs.Json.member "events" json with
           | Some (Obs.Json.Int n) -> Printf.printf "%s: valid pmdb-charz/v1 report (%d events)\n" path n
@@ -1128,10 +1220,37 @@ let explore_trace_arg =
   in
   Arg.(value & opt (some file) None & info [ "trace" ] ~docv:"FILE" ~doc)
 
+let strategy_arg =
+  let doc =
+    "Crash-point exploration strategy: 'exhaustive' (every boundary in trace order), 'guided' (boundaries ranked by \
+     inferred-invariant risk, highest first — pair with --budget) or 'sampled' (seeded reservoir over the \
+     boundaries, sized by --budget / --max-images)."
+  in
+  Arg.(value & opt string "exhaustive" & info [ "strategy" ] ~docv:"STRATEGY" ~doc)
+
+let budget_arg =
+  let doc =
+    "Total crash-image budget for the whole exploration: stop once $(docv) images have been derived and tested \
+     (0 = unbounded). The last boundary's sample is truncated to the remainder, so the run never exceeds the budget."
+  in
+  Arg.(value & opt int 0 & info [ "budget" ] ~docv:"N" ~doc)
+
+let invariants_out_arg =
+  let doc =
+    "Write the pmdb-invariants/v1 report the run inferred (or would infer) to $(docv); validate with `pmdb infer \
+     --check` or `pmdb stats --check`."
+  in
+  Arg.(value & opt (some string) None & info [ "invariants-out" ] ~docv:"FILE" ~doc)
+
+let explore_seed_arg =
+  let doc = "Seed for the sampled strategy's reservoir (deterministic in it)." in
+  Arg.(value & opt int 0x5eed & info [ "seed" ] ~docv:"SEED" ~doc)
+
 let crash_explore_term =
   Term.(
     const crash_explore_cmd $ case_arg $ explore_trace_arg $ workload_arg $ n_arg $ expect_arg $ fences_only_arg
-    $ max_images_arg $ bisect_arg $ metrics_arg)
+    $ max_images_arg $ bisect_arg $ strategy_arg $ budget_arg $ invariants_out_arg $ explore_seed_arg
+    $ metrics_arg)
 
 let fault_arg =
   let doc = "Fault class: drop-clf, drop-fence, torn-store, duplicate-flush or evict-line." in
@@ -1224,6 +1343,23 @@ let explain_term =
   Term.(
     const explain_cmd $ case_arg $ src_trace_arg $ workload_arg $ n_arg $ config_arg $ max_bugs_arg)
 
+let infer_check_arg =
+  let doc = "Validate a pmdb-invariants/v1 JSON report and exit (exit 1 if invalid)." in
+  Arg.(value & opt (some file) None & info [ "check" ] ~docv:"FILE" ~doc)
+
+let infer_json_arg =
+  let doc = "Also write the invariant report to $(docv) as pmdb-invariants/v1 JSON." in
+  Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+
+let infer_max_print_arg =
+  let doc = "Print at most $(docv) invariants." in
+  Arg.(value & opt int 20 & info [ "max-print" ] ~docv:"K" ~doc)
+
+let infer_term =
+  Term.(
+    const infer_cmd $ case_arg $ src_trace_arg $ workload_arg $ n_arg $ config_arg $ infer_check_arg
+    $ infer_json_arg $ infer_max_print_arg)
+
 let timeline_out_arg =
   let doc = "Output Perfetto/Chrome trace-event JSON file." in
   Arg.(value & opt string "trace.json" & info [ "out"; "o" ] ~docv:"FILE" ~doc)
@@ -1277,6 +1413,10 @@ let cmds =
       (Cmd.info "crash-explore" ~doc:"Test recovery against every derivable crash image of a trace")
       crash_explore_term;
     Cmd.v (Cmd.info "inject" ~doc:"Mutate a workload trace with a fault and re-run the detector") inject_term;
+    Cmd.v
+      (Cmd.info "infer"
+         ~doc:"Infer ordering/atomicity/durability invariants from a trace (prints or checks pmdb-invariants/v1)")
+      infer_term;
     Cmd.v
       (Cmd.info "explain" ~doc:"Pretty-print each finding's causal chain, resolved against its trace")
       explain_term;

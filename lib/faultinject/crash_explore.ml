@@ -20,37 +20,299 @@ let is_boundary boundaries step =
 
 let check_images st ~max_images ~recovery =
   let images = Pmem.State.crash_images st ~max_images () in
+  (* [crash_images] floors at the two extreme images; a budget remainder
+     of one must still be a hard cap. *)
+  let images = if max_images < 2 then List.filteri (fun i _ -> i < max_images) images else images in
   let failing = List.fold_left (fun acc img -> if recovery img then acc else acc + 1) 0 images in
   (failing, List.length images)
 
-let explore ?(boundaries = Every_op) ?(max_images = 64) ?(stop_at_first = false)
-    ?(metrics = Obs.Metrics.disabled) ~recovery steps =
-  let st = Pmem.State.create () in
-  let n = Array.length steps in
+(* ------------------------------------------------------------------ *)
+(* Exploration plans                                                   *)
+(* ------------------------------------------------------------------ *)
+
+type plan = {
+  steps : Replay.step array;
+  boundary_kind : boundaries;
+  boundary_indexes : int array;
+  boundary_events : int array;
+  max_images : int;
+  budget : int option;
+  seed : int;
+  invariants : Infer.Invariant.report option;
+}
+
+let make_plan ?(boundaries = Every_op) ?(max_images = 64) ?budget ?(seed = 0x5eed) ?invariants steps =
+  let idx = ref [] and evs = ref [] in
+  let event_count = ref 0 in
+  Array.iteri
+    (fun i step ->
+      if Replay.event_of_step step <> None then incr event_count;
+      if is_boundary boundaries step then begin
+        idx := i :: !idx;
+        (* Every boundary step (store/CLF/fence) projects to an event,
+           so the running event count is >= 1 here. *)
+        evs := (!event_count - 1) :: !evs
+      end)
+    steps;
+  {
+    steps;
+    boundary_kind = boundaries;
+    boundary_indexes = Array.of_list (List.rev !idx);
+    boundary_events = Array.of_list (List.rev !evs);
+    max_images;
+    budget;
+    seed;
+    invariants;
+  }
+
+let plan_events plan = Replay.events_of_steps plan.steps
+
+let plan_invariants plan =
+  match plan.invariants with Some r -> r | None -> Infer.Analyze.infer (plan_events plan)
+
+(* ------------------------------------------------------------------ *)
+(* Strategies                                                          *)
+(* ------------------------------------------------------------------ *)
+
+module type STRATEGY = sig
+  type t
+
+  val name : string
+  val create : plan -> t
+  val schedule : t -> int array
+  val dropped : t -> int
+  val invariants : t -> Infer.Invariant.report option
+end
+
+type instance = Instance : (module STRATEGY with type t = 'a) * 'a -> instance
+type strategy = plan -> instance
+
+let strategy_name (Instance ((module S), _)) = S.name
+let strategy_schedule (Instance ((module S), t)) = S.schedule t
+let strategy_dropped (Instance ((module S), t)) = S.dropped t
+let strategy_invariants (Instance ((module S), t)) = S.invariants t
+
+module Exhaustive = struct
+  type t = int array
+
+  let name = "exhaustive"
+  let create plan = Array.init (Array.length plan.boundary_indexes) Fun.id
+  let schedule t = t
+  let dropped _ = 0
+  let invariants _ = None
+end
+
+module Guided = struct
+  type t = { order : int array; report : Infer.Invariant.report }
+
+  let name = "guided"
+
+  let create plan =
+    let report = plan_invariants plan in
+    let risks = Infer.Risk.scores report (plan_events plan) in
+    let n = Array.length plan.boundary_indexes in
+    let order = Array.init n Fun.id in
+    let risk_of pos =
+      let ev = plan.boundary_events.(pos) in
+      if ev >= 0 && ev < Array.length risks then risks.(ev) else 0.0
+    in
+    (* Highest risk first; trace order breaks ties, so an unbounded
+       guided run visits every boundary exhaustive does. *)
+    let cmp a b =
+      let c = compare (risk_of b) (risk_of a) in
+      if c <> 0 then c else compare a b
+    in
+    Array.sort cmp order;
+    { order; report }
+
+  let schedule t = t.order
+  let dropped _ = 0
+  let invariants t = Some t.report
+end
+
+module Sampled = struct
+  type t = { order : int array; dropped : int }
+
+  let name = "sampled"
+
+  let create plan =
+    let n = Array.length plan.boundary_indexes in
+    let k =
+      match plan.budget with
+      | None -> n
+      | Some b -> min n (max 1 (b / max 1 plan.max_images))
+    in
+    if k >= n then { order = Array.init n Fun.id; dropped = 0 }
+    else begin
+      (* Classic reservoir over boundary positions, seeded — a uniform
+         k-subset kept in trace order. *)
+      let rng = Random.State.make [| plan.seed; n; k |] in
+      let res = Array.init k Fun.id in
+      for i = k to n - 1 do
+        let j = Random.State.int rng (i + 1) in
+        if j < k then res.(j) <- i
+      done;
+      Array.sort compare res;
+      { order = res; dropped = n - k }
+    end
+
+  let schedule t = t.order
+  let dropped t = t.dropped
+  let invariants _ = None
+end
+
+let exhaustive plan = Instance ((module Exhaustive), Exhaustive.create plan)
+let guided plan = Instance ((module Guided), Guided.create plan)
+let sampled plan = Instance ((module Sampled), Sampled.create plan)
+
+let strategy_of_string = function
+  | "exhaustive" -> Ok exhaustive
+  | "guided" -> Ok guided
+  | "sampled" -> Ok sampled
+  | s -> Error (Printf.sprintf "unknown strategy %S (expected exhaustive|guided|sampled)" s)
+
+(* ------------------------------------------------------------------ *)
+(* The driver                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type outcome = {
+  result : result;
+  strategy : string;
+  scheduled : int;
+  explored : int;
+  skipped : int;
+  invariants_used : Infer.Invariant.report option;
+}
+
+let is_monotone order =
+  let ok = ref true in
+  for i = 1 to Array.length order - 1 do
+    if order.(i) <= order.(i - 1) then ok := false
+  done;
+  !ok
+
+let run ?(stop_at_first = false) ?(metrics = Obs.Metrics.disabled) ~recovery plan strategy =
+  let inst = strategy plan in
+  let order = strategy_schedule inst in
+  let name = strategy_name inst in
   let boundaries_checked = ref 0 and images_checked = ref 0 and failures = ref [] in
-  let i = ref 0 and stop = ref false in
-  while (not !stop) && !i < n do
-    let step = steps.(!i) in
-    Replay.apply st step;
-    if is_boundary boundaries step then begin
+  let explored = ref 0 and stop = ref false in
+  let budget_left () = match plan.budget with None -> max_int | Some b -> b - !images_checked in
+  (* Checks one boundary against the image budget; flips [stop] when the
+     budget is exhausted (before spending anything) or on a failure
+     under [stop_at_first]. *)
+  let check_at st index =
+    if budget_left () <= 0 then stop := true
+    else begin
+      let allowance = min plan.max_images (budget_left ()) in
       incr boundaries_checked;
-      let failing, checked = check_images st ~max_images ~recovery in
+      incr explored;
+      let failing, checked = check_images st ~max_images:allowance ~recovery in
       images_checked := !images_checked + checked;
       if failing > 0 then begin
-        failures := { index = !i; step; failing_images = failing; images_checked = checked } :: !failures;
+        failures :=
+          { index; step = plan.steps.(index); failing_images = failing; images_checked = checked }
+          :: !failures;
         if stop_at_first then stop := true
       end
-    end;
-    incr i
-  done;
+    end
+  in
+  if is_monotone order then begin
+    (* Trace-ordered schedules (exhaustive, sampled) run as one forward
+       replay — the pre-strategy explorer loop. *)
+    let st = Pmem.State.create () in
+    let m = Array.length order in
+    let next = ref 0 and i = ref 0 in
+    let n = Array.length plan.steps in
+    while (not !stop) && !i < n && !next < m do
+      Replay.apply st plan.steps.(!i);
+      if plan.boundary_indexes.(order.(!next)) = !i then begin
+        check_at st !i;
+        incr next
+      end;
+      incr i
+    done
+  end
+  else begin
+    (* Risk-ordered schedules jump around the trace: each boundary gets
+       its own prefix replay into a fresh state. Costlier per boundary,
+       but guided runs exist to check far fewer boundaries. *)
+    let m = Array.length order in
+    let k = ref 0 in
+    while (not !stop) && !k < m do
+      let index = plan.boundary_indexes.(order.(!k)) in
+      if budget_left () <= 0 then stop := true
+      else begin
+        let st = Pmem.State.create () in
+        for j = 0 to index do
+          Replay.apply st plan.steps.(j)
+        done;
+        check_at st index
+      end;
+      incr k
+    done
+  end;
+  let failures = List.sort (fun a b -> compare a.index b.index) !failures in
+  let skipped = strategy_dropped inst + (Array.length order - !explored) in
   Obs.Metrics.inc metrics ~by:!boundaries_checked "crash_explore_prefixes_replayed_total";
   Obs.Metrics.inc metrics ~by:!images_checked "crash_explore_images_tested_total";
-  { boundaries_checked = !boundaries_checked; images_checked = !images_checked; failures = List.rev !failures }
+  Obs.Metrics.inc metrics ~by:!images_checked ~labels:[ ("strategy", name) ] "explore_images_total";
+  Obs.Metrics.inc metrics ~by:(List.length failures) "explore_bugs_found_total";
+  Obs.Metrics.inc metrics ~by:skipped "explore_skipped_low_risk_total";
+  {
+    result =
+      {
+        boundaries_checked = !boundaries_checked;
+        images_checked = !images_checked;
+        failures;
+      };
+    strategy = name;
+    scheduled = Array.length order;
+    explored = !explored;
+    skipped;
+    invariants_used = strategy_invariants inst;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Legacy entry points, now thin wrappers over the driver              *)
+(* ------------------------------------------------------------------ *)
+
+let explore ?(boundaries = Every_op) ?(max_images = 64) ?(stop_at_first = false)
+    ?(metrics = Obs.Metrics.disabled) ~recovery steps =
+  let plan = make_plan ~boundaries ~max_images steps in
+  (run ~stop_at_first ~metrics ~recovery plan exhaustive).result
 
 let minimal_failing_prefix ?max_images ?metrics ~recovery steps =
   match (explore ?max_images ?metrics ~stop_at_first:true ~recovery steps).failures with
   | f :: _ -> Some f
   | [] -> None
+
+(* Fine pass shared by both bisection flavours: replay the known-good
+   prefix [0, from], then check every Every_op boundary in
+   (from, upto]; first failure wins. *)
+let scan_window ~max_images ~metrics ~recovery steps ~from ~upto =
+  let st = Pmem.State.create () in
+  for j = 0 to from do
+    Replay.apply st steps.(j)
+  done;
+  let note_check checked =
+    Obs.Metrics.inc metrics "crash_explore_prefixes_replayed_total";
+    Obs.Metrics.inc metrics ~by:checked "crash_explore_images_tested_total"
+  in
+  let found = ref None in
+  let j = ref (from + 1) in
+  while !found = None && !j <= upto do
+    let step = steps.(!j) in
+    Replay.apply st step;
+    if is_boundary Every_op step then begin
+      let failing, checked = check_images st ~max_images ~recovery in
+      note_check checked;
+      if failing > 0 then
+        found := Some { index = !j; step; failing_images = failing; images_checked = checked }
+    end;
+    incr j
+  done;
+  !found
 
 (* Two-pass search for the minimal failing prefix: a coarse pass that
    samples crash images only at fences (cheap — this is exactly what
@@ -58,48 +320,52 @@ let minimal_failing_prefix ?max_images ?metrics ~recovery steps =
    to the window between the last passing fence and the failing one.
    When every fence passes but the caller knows the trace is bad (an
    inconsistency window that closes before the next fence), fall back to
-   the full fine scan. *)
-let bisect ?(max_images = 64) ?(metrics = Obs.Metrics.disabled) ~recovery steps =
-  let n = Array.length steps in
-  let st = Pmem.State.create () in
-  let last_ok = ref (-1) in
-  let coarse_fail = ref None in
-  let i = ref 0 in
-  let note_check checked =
-    Obs.Metrics.inc metrics "crash_explore_prefixes_replayed_total";
-    Obs.Metrics.inc metrics ~by:checked "crash_explore_images_tested_total"
-  in
-  while !coarse_fail = None && !i < n do
-    let step = steps.(!i) in
-    Replay.apply st step;
-    if Replay.is_fence step then begin
-      let failing, checked = check_images st ~max_images ~recovery in
-      note_check checked;
-      if failing > 0 then coarse_fail := Some (!i, failing, checked) else last_ok := !i
-    end;
-    incr i
-  done;
-  match !coarse_fail with
-  | None -> minimal_failing_prefix ~max_images ~metrics ~recovery steps
-  | Some (fail_at, _, _) ->
-      (* Replay the known-good prefix, then check every boundary inside
-         the window. The window always contains a failing boundary: its
-         right edge is one. *)
+   the full fine scan.
+
+   With [strategy], the coarse pass is replaced by the strategy's own
+   exploration order (risk-first for guided): the first failing boundary
+   it reaches caps the search window, and the fine pass verifies no
+   earlier boundary fails — so any strategy whose unbounded schedule
+   covers all boundaries converges to the same minimal prefix as the
+   exhaustive order. *)
+let bisect ?(max_images = 64) ?(metrics = Obs.Metrics.disabled) ?strategy ~recovery steps =
+  match strategy with
+  | Some strategy -> (
+      let plan = make_plan ~boundaries:Every_op ~max_images steps in
+      let first =
+        match (run ~stop_at_first:true ~metrics ~recovery plan strategy).result.failures with
+        | f :: _ -> Some f
+        | [] -> None
+      in
+      match first with
+      | None -> None
+      | Some f -> (
+          match scan_window ~max_images ~metrics ~recovery steps ~from:(-1) ~upto:(f.index - 1) with
+          | Some earlier -> Some earlier
+          | None -> Some f))
+  | None -> (
+      let n = Array.length steps in
       let st = Pmem.State.create () in
-      for j = 0 to !last_ok do
-        Replay.apply st steps.(j)
-      done;
-      let found = ref None in
-      let j = ref (!last_ok + 1) in
-      while !found = None && !j <= fail_at do
-        let step = steps.(!j) in
+      let last_ok = ref (-1) in
+      let coarse_fail = ref None in
+      let i = ref 0 in
+      let note_check checked =
+        Obs.Metrics.inc metrics "crash_explore_prefixes_replayed_total";
+        Obs.Metrics.inc metrics ~by:checked "crash_explore_images_tested_total"
+      in
+      while !coarse_fail = None && !i < n do
+        let step = steps.(!i) in
         Replay.apply st step;
-        if is_boundary Every_op step then begin
+        if Replay.is_fence step then begin
           let failing, checked = check_images st ~max_images ~recovery in
           note_check checked;
-          if failing > 0 then
-            found := Some { index = !j; step; failing_images = failing; images_checked = checked }
+          if failing > 0 then coarse_fail := Some (!i, failing, checked) else last_ok := !i
         end;
-        incr j
+        incr i
       done;
-      !found
+      match !coarse_fail with
+      | None -> minimal_failing_prefix ~max_images ~metrics ~recovery steps
+      | Some (fail_at, _, _) ->
+          (* The window always contains a failing boundary: its right
+             edge is one. *)
+          scan_window ~max_images ~metrics ~recovery steps ~from:!last_ok ~upto:fail_at)

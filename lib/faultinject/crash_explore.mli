@@ -1,4 +1,4 @@
-(** Crash-point exploration.
+(** Crash-point exploration behind a pluggable strategy layer.
 
     The cross-failure rule as shipped only samples crash images at
     fences ({!Pmdebugger.Crash_check} via [crash_check_every_fence]).
@@ -6,9 +6,19 @@
     inconsistency window can open after a store and close again at the
     next fence — invisible to fence-only sampling. This explorer replays
     a step trace into a fresh {!Pmem.State}, derives the possible
-    durable images at every store/CLF/fence boundary, runs the
-    workload's recovery predicate against each, and reports the exact
-    event index of every boundary where some image fails recovery. *)
+    durable images at store/CLF/fence boundaries, runs the workload's
+    recovery predicate against each, and reports the exact event index
+    of every boundary where some image fails recovery.
+
+    Which boundaries are visited, and in what order, is delegated to a
+    {!STRATEGY} (first-class module, mirroring
+    [Store_intf.LOCATION_STORE]): {!exhaustive} visits every boundary in
+    trace order (the pre-strategy behavior, byte-identical reports),
+    {!guided} ranks boundaries by inferred-invariant risk
+    ({!Infer.Risk}) and visits highest-risk first, {!sampled} draws a
+    seeded reservoir over the boundaries. An image budget on the
+    {!plan} caps total exploration cost for the non-exhaustive
+    strategies. *)
 
 type boundaries =
   | Every_op  (** check after every store, CLF and fence *)
@@ -27,6 +37,111 @@ type result = {
   failures : failure list;  (** in trace order *)
 }
 
+(** {1 Plans} *)
+
+type plan = {
+  steps : Replay.step array;
+  boundary_kind : boundaries;
+  boundary_indexes : int array;  (** step indexes of eligible boundaries, ascending *)
+  boundary_events : int array;  (** event index of each boundary (for risk lookup) *)
+  max_images : int;  (** images sampled per boundary *)
+  budget : int option;  (** total image cap across the whole run *)
+  seed : int;  (** seed for {!sampled} *)
+  invariants : Infer.Invariant.report option;  (** pre-computed invariants for {!guided} *)
+}
+
+val make_plan :
+  ?boundaries:boundaries ->
+  ?max_images:int ->
+  ?budget:int ->
+  ?seed:int ->
+  ?invariants:Infer.Invariant.report ->
+  Replay.step array ->
+  plan
+
+val plan_events : plan -> Pmtrace.Event.t array
+(** The event projection of the plan's steps. *)
+
+val plan_invariants : plan -> Infer.Invariant.report
+(** The plan's invariant report, inferring one from the steps' event
+    projection when none was supplied. *)
+
+(** {1 Strategies} *)
+
+module type STRATEGY = sig
+  type t
+
+  val name : string
+  val create : plan -> t
+
+  val schedule : t -> int array
+  (** Positions into [plan.boundary_indexes] in exploration order — a
+      subsequence (possibly a permutation) of [0 .. n-1]. *)
+
+  val dropped : t -> int
+  (** Boundaries excluded from the schedule up front (reservoir cuts). *)
+
+  val invariants : t -> Infer.Invariant.report option
+  (** The invariant report the strategy ranked with, if any. *)
+end
+
+type instance = Instance : (module STRATEGY with type t = 'a) * 'a -> instance
+
+type strategy = plan -> instance
+(** A strategy factory: builds a packed instance for a plan. *)
+
+val exhaustive : strategy
+(** Every boundary, trace order — the pre-strategy explorer. *)
+
+val guided : strategy
+(** Boundaries ordered by descending invariant risk (inferring
+    invariants from the plan when it carries none); ties and zero-risk
+    boundaries keep trace order, so an unbounded guided run covers
+    exactly the exhaustive boundary set. *)
+
+val sampled : strategy
+(** Seeded reservoir sample of [budget / max_images] boundaries (all of
+    them when the plan has no budget), visited in trace order. *)
+
+val strategy_of_string : string -> (strategy, string) Stdlib.result
+(** ["exhaustive" | "guided" | "sampled"]. *)
+
+val strategy_name : instance -> string
+val strategy_schedule : instance -> int array
+val strategy_dropped : instance -> int
+val strategy_invariants : instance -> Infer.Invariant.report option
+
+(** {1 Driver} *)
+
+type outcome = {
+  result : result;
+  strategy : string;
+  scheduled : int;  (** boundaries in the strategy's schedule *)
+  explored : int;  (** boundaries actually checked *)
+  skipped : int;  (** dropped up front + cut by the image budget *)
+  invariants_used : Infer.Invariant.report option;
+}
+
+val run :
+  ?stop_at_first:bool ->
+  ?metrics:Obs.Metrics.t ->
+  recovery:(Pmem.Image.t -> bool) ->
+  plan ->
+  strategy ->
+  outcome
+(** Runs the plan under the strategy. Trace-ordered schedules execute as
+    a single forward replay (the original explorer loop); risk-ordered
+    schedules replay a fresh prefix per boundary. The plan's [budget]
+    bounds total images derived across the run (the last boundary's
+    sample is truncated to the remainder, so a budget of [N] never
+    derives more than [N] images). [result.failures] is always in trace
+    order. [metrics] receives [crash_explore_prefixes_replayed_total]
+    and [crash_explore_images_tested_total] (as before) plus
+    [explore_images_total{strategy}], [explore_bugs_found_total] and
+    [explore_skipped_low_risk_total]. *)
+
+(** {1 Trace-order entry points} *)
+
 val explore :
   ?boundaries:boundaries ->
   ?max_images:int ->
@@ -35,11 +150,9 @@ val explore :
   recovery:(Pmem.Image.t -> bool) ->
   Replay.step array ->
   result
-(** Full scan. [max_images] bounds the images sampled per boundary
-    (default 64); [stop_at_first] stops at the first failing boundary.
-    [metrics] (default disabled) receives
-    [crash_explore_prefixes_replayed_total] (boundaries whose crash
-    images were derived) and [crash_explore_images_tested_total]. *)
+(** Full exhaustive scan — [run] with {!exhaustive} and no budget.
+    [max_images] bounds the images sampled per boundary (default 64);
+    [stop_at_first] stops at the first failing boundary. *)
 
 val minimal_failing_prefix :
   ?max_images:int -> ?metrics:Obs.Metrics.t -> recovery:(Pmem.Image.t -> bool) -> Replay.step array -> failure option
@@ -47,11 +160,18 @@ val minimal_failing_prefix :
     minimal trace prefix after which some crash image fails recovery. *)
 
 val bisect :
-  ?max_images:int -> ?metrics:Obs.Metrics.t -> recovery:(Pmem.Image.t -> bool) -> Replay.step array -> failure option
-(** Cheap minimal-prefix search: a coarse fence-only pass finds the
-    first failing fence, then a fine event-by-event pass covers only the
-    window after the last passing fence — far fewer image derivations on
-    long traces. Agrees with {!minimal_failing_prefix} unless an earlier
-    inconsistency window opened and closed again before a fence
-    (transient windows are only caught by the full scan, to which this
-    falls back when every fence passes). *)
+  ?max_images:int ->
+  ?metrics:Obs.Metrics.t ->
+  ?strategy:strategy ->
+  recovery:(Pmem.Image.t -> bool) ->
+  Replay.step array ->
+  failure option
+(** Cheap minimal-prefix search. Without [strategy]: a coarse fence-only
+    pass finds the first failing fence, then a fine event-by-event pass
+    covers only the window after the last passing fence — far fewer
+    image derivations on long traces; falls back to the full scan when
+    every fence passes (transient windows). With [strategy]: the
+    strategy's own order (risk-first for {!guided}) finds a first
+    failing boundary, and the fine pass verifies the prefix before it —
+    converging to the same minimal failing prefix as the exhaustive
+    order for any strategy whose schedule covers all boundaries. *)

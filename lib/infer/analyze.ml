@@ -1,0 +1,208 @@
+open Pmtrace
+
+type lstate = Lclean | Ldirty | Lpending
+
+type line_info = {
+  mutable st : lstate;
+  mutable episodes : int;
+  mutable dur_support : int;
+  mutable dur_violations : int;
+  mutable last_persist : int;  (* event index of the fence that last drained this line *)
+}
+
+type pair_counts = { mutable p_support : int; mutable p_violations : int }
+
+let recent_cap = 8
+let pattern_group_cap = 8
+let max_invariants = 512
+
+let lines_of ~addr ~size = Pmem.Addr.lines_of_range ~lo:addr ~hi:(addr + size)
+
+let infer ?report events =
+  let lines : (int, line_info) Hashtbl.t = Hashtbl.create 64 in
+  let info l =
+    match Hashtbl.find_opt lines l with
+    | Some i -> i
+    | None ->
+        let i = { st = Lclean; episodes = 0; dur_support = 0; dur_violations = 0; last_persist = -1 } in
+        Hashtbl.add lines l i;
+        i
+  in
+  let pairs : (int * int, pair_counts) Hashtbl.t = Hashtbl.create 64 in
+  let pair a b =
+    match Hashtbl.find_opt pairs (a, b) with
+    | Some p -> p
+    | None ->
+        let p = { p_support = 0; p_violations = 0 } in
+        Hashtbl.add pairs (a, b) p;
+        p
+  in
+  (* Most-recently-stored distinct lines, newest first, capped. *)
+  let recent = ref [] in
+  let touch_recent l =
+    let rest = List.filter (fun x -> x <> l) !recent in
+    let rec take n = function [] -> [] | x :: tl -> if n = 0 then [] else x :: take (n - 1) tl in
+    recent := l :: take (recent_cap - 1) rest
+  in
+  (* Fence-interval bookkeeping: the set of lines stored in the current
+     interval, and any tx-logged lines. Closed at every fence (and at
+     end of trace); each closed interval's store set feeds atomicity
+     support/violation counting in a second pass. *)
+  let interval_stores : (int, unit) Hashtbl.t = Hashtbl.create 16 in
+  let interval_tx : (int, unit) Hashtbl.t = Hashtbl.create 16 in
+  let closed_intervals = ref [] in
+  let tx_groups : (int list, int) Hashtbl.t = Hashtbl.create 8 in
+  let var_groups : (int list, unit) Hashtbl.t = Hashtbl.create 8 in
+  let sorted_keys tbl = List.sort compare (Hashtbl.fold (fun k () acc -> k :: acc) tbl []) in
+  let close_interval () =
+    let stored = sorted_keys interval_stores in
+    if stored <> [] then closed_intervals := stored :: !closed_intervals;
+    let logged = sorted_keys interval_tx in
+    if List.length logged >= 2 then
+      Hashtbl.replace tx_groups logged (1 + Option.value ~default:0 (Hashtbl.find_opt tx_groups logged));
+    Hashtbl.reset interval_stores;
+    Hashtbl.reset interval_tx
+  in
+  let stores = ref 0 and fences = ref 0 in
+  Array.iteri
+    (fun idx ev ->
+      match ev with
+      | Event.Store { addr; size; _ } ->
+          incr stores;
+          List.iter
+            (fun l ->
+              (* Ordering template: every line recently persisted (or
+                 mid-episode) when [l] is stored votes on "that line
+                 persists before [l] is stored". A clean line supports
+                 the pair only when its persist is {e fresh} — newer
+                 than [l]'s own last persist. A stale guard (persisted
+                 before [l]'s previous episode, i.e. [l] has lapped it)
+                 is exactly the counter-ahead-of-backup shape, so it
+                 votes against the pair instead. *)
+              let il = info l in
+              List.iter
+                (fun a ->
+                  if a <> l then begin
+                    let ia = info a in
+                    match ia.st with
+                    | Lclean ->
+                        if ia.episodes > 0 then
+                          if ia.last_persist > il.last_persist then
+                            (pair a l).p_support <- (pair a l).p_support + 1
+                          else (pair a l).p_violations <- (pair a l).p_violations + 1
+                    | Ldirty | Lpending -> (pair a l).p_violations <- (pair a l).p_violations + 1
+                  end)
+                !recent;
+              let i = info l in
+              i.st <- Ldirty;
+              Hashtbl.replace interval_stores l ();
+              touch_recent l)
+            (lines_of ~addr ~size)
+      | Event.Clf { addr; size; _ } ->
+          List.iter
+            (fun l ->
+              let i = info l in
+              if i.st = Ldirty then i.st <- Lpending)
+            (lines_of ~addr ~size)
+      | Event.Fence _ ->
+          incr fences;
+          Hashtbl.iter
+            (fun _ i ->
+              if i.st = Lpending then begin
+                i.st <- Lclean;
+                i.episodes <- i.episodes + 1;
+                i.dur_support <- i.dur_support + 1;
+                i.last_persist <- idx
+              end)
+            lines;
+          close_interval ()
+      | Event.Tx_log { obj_addr; size; _ } ->
+          List.iter (fun l -> Hashtbl.replace interval_tx l ()) (lines_of ~addr:obj_addr ~size)
+      | Event.Register_var { addr; size; _ } ->
+          let ls = lines_of ~addr ~size in
+          if List.length ls >= 2 then Hashtbl.replace var_groups (List.sort compare ls) ()
+      | Event.Program_end ->
+          close_interval ();
+          Hashtbl.iter (fun _ i -> if i.st <> Lclean then i.dur_violations <- i.dur_violations + 1) lines
+      | _ -> ())
+    events;
+  close_interval ();
+  (* Provenance boost: a bug's causal chain is detector-grade evidence
+     of intended persistence relationships on the lines it names. *)
+  (match report with
+  | None -> ()
+  | Some (r : Bug.report) ->
+      List.iter
+        (fun (bug : Bug.t) ->
+          if bug.Bug.addr >= 0 then begin
+            let i = info (Pmem.Addr.line_of bug.Bug.addr) in
+            i.dur_support <- i.dur_support + 1
+          end;
+          let rec chain_pairs = function
+            | a :: (b :: _ as rest) ->
+                (if a.Bug.c_addr >= 0 && b.Bug.c_addr >= 0 then
+                   let la = Pmem.Addr.line_of a.Bug.c_addr and lb = Pmem.Addr.line_of b.Bug.c_addr in
+                   if la <> lb then (pair la lb).p_support <- (pair la lb).p_support + 1);
+                chain_pairs rest
+            | _ -> []
+          in
+          ignore (chain_pairs bug.Bug.chain))
+        r.Bug.bugs);
+  (* Atomicity candidates: tx-logged groups, registered multi-line vars,
+     and store-set patterns recurring across fence intervals. Support and
+     violations are counted uniformly against the closed intervals:
+     covering the whole group supports it, touching a proper subset
+     violates it. *)
+  let intervals = !closed_intervals in
+  let pattern_counts : (int list, int) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun s ->
+      let n = List.length s in
+      if n >= 2 && n <= pattern_group_cap then
+        Hashtbl.replace pattern_counts s (1 + Option.value ~default:0 (Hashtbl.find_opt pattern_counts s)))
+    intervals;
+  let groups : (int list, string) Hashtbl.t = Hashtbl.create 16 in
+  Hashtbl.iter (fun g c -> if c >= 2 then Hashtbl.replace groups g "pattern") pattern_counts;
+  Hashtbl.iter (fun g () -> Hashtbl.replace groups g "var") var_groups;
+  Hashtbl.iter (fun g _ -> Hashtbl.replace groups g "tx-log") tx_groups;
+  let atomicity =
+    Hashtbl.fold
+      (fun g origin acc ->
+        let support = ref 0 and violations = ref 0 in
+        List.iter
+          (fun s ->
+            let inter = List.filter (fun l -> List.mem l s) g in
+            if inter <> [] then
+              if List.length inter = List.length g then incr support else incr violations)
+          intervals;
+        (* A tx-logged group is intent even if no interval covered it. *)
+        (if !support = 0 && origin = "tx-log" then
+           match Hashtbl.find_opt tx_groups g with Some c -> support := c | None -> ());
+        if !support > 0 || !violations > 0 then
+          { Invariant.kind = Invariant.Atomicity { lines = g; origin }; support = !support; violations = !violations }
+          :: acc
+        else acc)
+      groups []
+  in
+  let durability =
+    Hashtbl.fold
+      (fun l i acc ->
+        if i.dur_support > 0 || i.dur_violations > 0 then
+          { Invariant.kind = Invariant.Durability { line = l }; support = i.dur_support; violations = i.dur_violations }
+          :: acc
+        else acc)
+      lines []
+  in
+  let ordering =
+    Hashtbl.fold
+      (fun (a, b) p acc ->
+        { Invariant.kind = Invariant.Ordering { first_line = a; then_line = b }; support = p.p_support; violations = p.p_violations }
+        :: acc)
+      pairs []
+  in
+  let invariants = List.sort Invariant.compare (durability @ ordering @ atomicity) in
+  let invariants =
+    if List.length invariants <= max_invariants then invariants
+    else List.filteri (fun i _ -> i < max_invariants) invariants
+  in
+  { Invariant.events = Array.length events; stores = !stores; fences = !fences; invariants }

@@ -1,0 +1,13 @@
+(** The dependency-analysis pass: one linear scan over a seq-stamped
+    event trace tracking per-cache-line persistence state (clean →
+    dirty → pending → clean across store/CLF/fence), fence-interval
+    store sets and recently-active lines, emitting candidate
+    {!Invariant.t}s with support/violation counts.
+
+    [report], when given, folds {!Pmtrace.Bug.t} provenance chains into
+    the evidence: a bug's primary line boosts its durability invariant,
+    and consecutive chain causes on distinct lines boost the
+    corresponding ordering pair — the detector's causal history names
+    exactly the relationships worth exploring around. *)
+
+val infer : ?report:Pmtrace.Bug.report -> Pmtrace.Event.t array -> Invariant.report

@@ -1,0 +1,171 @@
+type kind =
+  | Durability of { line : int }
+  | Ordering of { first_line : int; then_line : int }
+  | Atomicity of { lines : int list; origin : string }
+
+type t = { kind : kind; support : int; violations : int }
+
+type report = {
+  events : int;
+  stores : int;
+  fences : int;
+  invariants : t list;
+}
+
+let confidence inv =
+  let total = inv.support + inv.violations in
+  if total = 0 then 0.0 else float_of_int inv.support /. float_of_int total
+
+let kind_tag = function Durability _ -> 0 | Ordering _ -> 1 | Atomicity _ -> 2
+
+let compare_kind a b =
+  match (a, b) with
+  | Durability { line = la }, Durability { line = lb } -> compare la lb
+  | Ordering { first_line = fa; then_line = ta }, Ordering { first_line = fb; then_line = tb } ->
+      let c = compare fa fb in
+      if c <> 0 then c else compare ta tb
+  | Atomicity { lines = la; origin = oa }, Atomicity { lines = lb; origin = ob } ->
+      let c = compare la lb in
+      if c <> 0 then c else compare oa ob
+  | a, b -> compare (kind_tag a) (kind_tag b)
+
+(* Highest-value invariants first: confidence, then weight of evidence,
+   then a deterministic structural tiebreak so reports are stable. *)
+let compare a b =
+  let c = compare (confidence b) (confidence a) in
+  if c <> 0 then c
+  else
+    let c = compare b.support a.support in
+    if c <> 0 then c else compare_kind a.kind b.kind
+
+let kind_name = function
+  | Durability _ -> "durability"
+  | Ordering _ -> "ordering"
+  | Atomicity _ -> "atomicity"
+
+let pp ppf inv =
+  (match inv.kind with
+  | Durability { line } -> Format.fprintf ppf "durability line=%d" line
+  | Ordering { first_line; then_line } ->
+      Format.fprintf ppf "ordering line %d persists before line %d is stored" first_line then_line
+  | Atomicity { lines; origin } ->
+      Format.fprintf ppf "atomicity(%s) lines={%a}" origin
+        (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.pp_print_char ppf ',') Format.pp_print_int)
+        lines);
+  Format.fprintf ppf " support=%d violations=%d confidence=%.2f" inv.support inv.violations (confidence inv)
+
+let schema = "pmdb-invariants/v1"
+
+let json_of_invariant inv =
+  let open Obs.Json in
+  let base =
+    match inv.kind with
+    | Durability { line } -> [ ("kind", Str "durability"); ("line", Int line) ]
+    | Ordering { first_line; then_line } ->
+        [ ("kind", Str "ordering"); ("first_line", Int first_line); ("then_line", Int then_line) ]
+    | Atomicity { lines; origin } ->
+        [
+          ("kind", Str "atomicity");
+          ("lines", List (List.map (fun l -> Int l) lines));
+          ("origin", Str origin);
+        ]
+  in
+  Obj
+    (base
+    @ [
+        ("support", Int inv.support);
+        ("violations", Int inv.violations);
+        ("confidence", Float (confidence inv));
+      ])
+
+let to_json r =
+  let open Obs.Json in
+  Obj
+    [
+      ("schema", Str schema);
+      ("events", Int r.events);
+      ("stores", Int r.stores);
+      ("fences", Int r.fences);
+      ("invariants", List (List.map json_of_invariant r.invariants));
+    ]
+
+let invariant_of_json j =
+  let open Obs.Json in
+  let int_field name =
+    match Option.bind (member name j) to_int with
+    | Some n -> Ok n
+    | None -> Error (Printf.sprintf "invariant: missing or non-integer %S" name)
+  in
+  let ( let* ) = Result.bind in
+  let* support = int_field "support" in
+  let* violations = int_field "violations" in
+  if support < 0 || violations < 0 then Error "invariant: negative counts"
+  else
+    let* kind =
+      match Option.bind (member "kind" j) to_str with
+      | Some "durability" ->
+          let* line = int_field "line" in
+          Ok (Durability { line })
+      | Some "ordering" ->
+          let* first_line = int_field "first_line" in
+          let* then_line = int_field "then_line" in
+          Ok (Ordering { first_line; then_line })
+      | Some "atomicity" ->
+          let* origin =
+            match Option.bind (member "origin" j) to_str with
+            | Some o -> Ok o
+            | None -> Error "invariant: atomicity without origin"
+          in
+          let* lines =
+            match member "lines" j with
+            | Some (List items) ->
+                let rec go acc = function
+                  | [] -> Ok (List.rev acc)
+                  | it :: rest -> (
+                      match to_int it with
+                      | Some n -> go (n :: acc) rest
+                      | None -> Error "invariant: non-integer line in atomicity group")
+                in
+                go [] items
+            | _ -> Error "invariant: atomicity without lines array"
+          in
+          if List.length lines < 2 then Error "invariant: atomicity group needs >= 2 lines"
+          else Ok (Atomicity { lines; origin })
+      | Some k -> Error (Printf.sprintf "invariant: unknown kind %S" k)
+      | None -> Error "invariant: missing kind"
+    in
+    Ok { kind; support; violations }
+
+let of_json j =
+  let open Obs.Json in
+  let ( let* ) = Result.bind in
+  let* () =
+    match Option.bind (member "schema" j) to_str with
+    | Some s when s = schema -> Ok ()
+    | Some s -> Error (Printf.sprintf "expected schema %S, got %S" schema s)
+    | None -> Error "missing schema"
+  in
+  let int_field name =
+    match Option.bind (member name j) to_int with
+    | Some n when n >= 0 -> Ok n
+    | Some _ -> Error (Printf.sprintf "negative %S" name)
+    | None -> Error (Printf.sprintf "missing or non-integer %S" name)
+  in
+  let* events = int_field "events" in
+  let* stores = int_field "stores" in
+  let* fences = int_field "fences" in
+  let* invariants =
+    match member "invariants" j with
+    | Some (List items) ->
+        let rec go acc = function
+          | [] -> Ok (List.rev acc)
+          | it :: rest ->
+              let* inv = invariant_of_json it in
+              go (inv :: acc) rest
+        in
+        go [] items
+    | _ -> Error "missing invariants array"
+  in
+  Ok { events; stores; fences; invariants }
+
+let validate_json j = Result.map (fun (_ : report) -> ()) (of_json j)

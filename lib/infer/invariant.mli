@@ -1,0 +1,51 @@
+(** Candidate persistence invariants inferred from a trace.
+
+    Three WITCHER-style templates, each counted over the whole trace:
+
+    - {b Durability}: stores to [line] follow the store→flush→fence
+      discipline (every store episode on the line reaches a fence while
+      flushed). Support counts completed episodes; a store left dirty or
+      pending at program end is a violation.
+    - {b Ordering}: [first_line] is fully persisted before [then_line]
+      is stored — the flag-guards-data idiom. Counted at every store to
+      [then_line] against the persistence state of [first_line].
+    - {b Atomicity}: the [lines] are updated as a unit between fences.
+      Groups come from [Tx_log] object ranges ([origin = "tx-log"]),
+      multi-line [Register_var] spans ([origin = "var"]), or repeated
+      co-stored line sets ([origin = "pattern"]). Support counts fence
+      intervals updating the whole group; intervals touching a proper
+      subset are violations.
+
+    Confidence is [support / (support + violations)] — an invariant the
+    trace never contradicts scores 1.0. *)
+
+type kind =
+  | Durability of { line : int }
+  | Ordering of { first_line : int; then_line : int }
+  | Atomicity of { lines : int list; origin : string }
+
+type t = { kind : kind; support : int; violations : int }
+
+type report = {
+  events : int;  (** events analyzed *)
+  stores : int;
+  fences : int;
+  invariants : t list;  (** sorted by {!compare} (best first) *)
+}
+
+val confidence : t -> float
+(** [support / (support + violations)]; 0.0 when both are zero. *)
+
+val compare : t -> t -> int
+(** Confidence descending, then support descending, then a deterministic
+    structural tiebreak — report order is stable across runs. *)
+
+val kind_name : kind -> string
+val pp : Format.formatter -> t -> unit
+
+val schema : string
+(** ["pmdb-invariants/v1"] *)
+
+val to_json : report -> Obs.Json.t
+val of_json : Obs.Json.t -> (report, string) result
+val validate_json : Obs.Json.t -> (unit, string) result

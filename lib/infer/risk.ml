@@ -1,0 +1,130 @@
+open Pmtrace
+
+type lstate = Sclean | Sdirty | Spending
+
+type line_dyn = {
+  mutable dst : lstate;
+  mutable stored_ever : bool;
+  mutable persisted_ever : bool;
+  mutable last_persist : int;  (* event index of the fence that last drained this line *)
+}
+
+let base_weight = 0.0625
+let base_cap = 16
+
+let unlicensed_weight = 4.0
+(** Weight multiplier for an ordering pair whose [then_line] was stored
+    {e unlicensed} — without a fresh persist of [first_line] since the
+    line's own last persist. That store is a violation in progress: the
+    window stays maximally risky (including across [then_line]'s own
+    fence, where the durable state itself is already torn) until
+    [first_line] catches up with a persist of its own. *)
+
+let scores (report : Invariant.report) events =
+  let dur : (int, float) Hashtbl.t = Hashtbl.create 32 in
+  let ord = ref [] and atom = ref [] in
+  List.iter
+    (fun inv ->
+      let c = Invariant.confidence inv in
+      if c > 0.0 then
+        match inv.Invariant.kind with
+        | Invariant.Durability { line } ->
+            Hashtbl.replace dur line (max c (Option.value ~default:0.0 (Hashtbl.find_opt dur line)))
+        | Invariant.Ordering { first_line; then_line } -> ord := (first_line, then_line, c) :: !ord
+        | Invariant.Atomicity { lines; _ } -> atom := (lines, c) :: !atom)
+    report.Invariant.invariants;
+  let ord = Array.of_list !ord and atom = !atom in
+  (* Per-pair flag: an unlicensed store to [then_line] has happened and
+     [first_line] has not persisted since. *)
+  let unlicensed = Array.make (Array.length ord) false in
+  let lines : (int, line_dyn) Hashtbl.t = Hashtbl.create 64 in
+  let dyn l =
+    match Hashtbl.find_opt lines l with
+    | Some d -> d
+    | None ->
+        let d = { dst = Sclean; stored_ever = false; persisted_ever = false; last_persist = -1 } in
+        Hashtbl.add lines l d;
+        d
+  in
+  let unpersisted l = match (dyn l).dst with Sdirty | Spending -> true | Sclean -> false in
+  let n = Array.length events in
+  let out = Array.make n 0.0 in
+  for i = 0 to n - 1 do
+    (match events.(i) with
+    | Event.Store { addr; size; _ } ->
+        let stored = Pmem.Addr.lines_of_range ~lo:addr ~hi:(addr + size) in
+        Array.iteri
+          (fun j (a, b, _) ->
+            if List.mem b stored then begin
+              let da = dyn a and db = dyn b in
+              (* Licensed iff [a] persisted more recently than [b]: the
+                 guard is fresh for this episode. A store to a line that
+                 has lapped its guard opens the violation window. *)
+              if db.last_persist >= 0 && da.last_persist <= db.last_persist then unlicensed.(j) <- true
+            end)
+          ord;
+        List.iter
+          (fun l ->
+            let d = dyn l in
+            d.dst <- Sdirty;
+            d.stored_ever <- true)
+          stored
+    | Event.Clf { addr; size; _ } ->
+        List.iter
+          (fun l ->
+            let d = dyn l in
+            if d.dst = Sdirty then d.dst <- Spending)
+          (Pmem.Addr.lines_of_range ~lo:addr ~hi:(addr + size))
+    | Event.Fence _ ->
+        Hashtbl.iter
+          (fun _ d ->
+            if d.dst = Spending then begin
+              d.dst <- Sclean;
+              d.persisted_ever <- true;
+              d.last_persist <- i
+            end)
+          lines;
+        Array.iteri
+          (fun j (a, _, _) -> if (dyn a).last_persist = i then unlicensed.(j) <- false)
+          ord
+    | _ -> ());
+    (* Risk of crashing right after event [i]: how much invariant-bearing
+       state a crash image could tear here. *)
+    let s = ref 0.0 in
+    let unp = ref 0 in
+    Hashtbl.iter
+      (fun l d ->
+        match d.dst with
+        | Sdirty | Spending ->
+            incr unp;
+            (match Hashtbl.find_opt dur l with Some c -> s := !s +. c | None -> ())
+        | Sclean -> ())
+      lines;
+    s := !s +. (base_weight *. float_of_int (min base_cap !unp));
+    Array.iteri
+      (fun j (a, b, c) ->
+        (* The [a before b] window: once [a]'s new value is durable and
+           [b] has not durably landed, a crash here yields exactly the
+           torn image the invariant forbids — full weight. While [a] is
+           merely in flight the tear needs the image to pick [a] too, so
+           the window is live but cheaper — half weight. An unlicensed
+           store to [b] dominates both: the violation is in progress
+           until [a] persists again. *)
+        let da = dyn a and db = dyn b in
+        let b_complete = db.persisted_ever && not (unpersisted b) in
+        if not b_complete then
+          if da.persisted_ever then s := !s +. c
+          else if da.stored_ever then s := !s +. (0.5 *. c);
+        if unlicensed.(j) then s := !s +. (unlicensed_weight *. c))
+      ord;
+    List.iter
+      (fun (g, c) ->
+        let started = List.exists (fun l -> (dyn l).stored_ever) g in
+        let complete =
+          List.for_all (fun l -> (dyn l).persisted_ever && not (unpersisted l)) g
+        in
+        if started && not complete then s := !s +. c)
+      atom;
+    out.(i) <- !s
+  done;
+  out

@@ -1,0 +1,14 @@
+(** Per-boundary crash risk under a set of inferred invariants.
+
+    [scores report events] replays the per-line persistence automaton
+    over [events] and returns one score per event position: the risk
+    that a crash taken {e right after} that event yields an image
+    violating some invariant in [report]. Durability invariants
+    contribute while their line is unpersisted; ordering invariants
+    while the [first before then] window is open (guard stored, data
+    not yet durable); atomicity groups while partially persisted. A
+    small base term ranks any boundary with unpersisted state above
+    fully-quiescent ones, so guided exploration degrades gracefully
+    when no invariant applies. Scores are deterministic. *)
+
+val scores : Invariant.report -> Pmtrace.Event.t array -> float array

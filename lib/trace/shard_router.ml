@@ -457,6 +457,80 @@ let route t ev =
   | Event.Join_strand _ | Event.Call _ | Event.Annotation _ | Event.Program_end ->
       broadcast t ~seq ev
 
+(* {2 Vectorized batch routing}
+
+   Framed mode stages incoming events into a batch and routes the batch
+   in two passes: pass 1 classifies every event into an int target code
+   (single shard, broadcast, pinned-broadcast, drop), pass 2 appends to
+   the per-shard frames driven by the codes alone — no per-event
+   constructor dispatch on the append path. Classification only depends
+   on router state ([registered], [track_all], [pinned]) that fast
+   events never mutate, so a classified run makes decisions identical
+   to the scalar [route] loop; events that DO mutate routing state
+   (registrations, and stores that stall and pin lines) end the run and
+   take the scalar path at their exact stream position. *)
+
+let code_broadcast = -1
+let code_drop = -2
+let code_slow = -3
+
+(* Target code for [ev], or [code_slow] when the event needs the scalar
+   path. Codes [0..shards-1] send to that shard; [shards + i] broadcasts
+   silently except at shard [i] (single pinned line). Mirrors [route] /
+   [address_event] case for case. *)
+let classify t ev =
+  match ev with
+  | Event.Store { addr; size; _ } | Event.Clf { addr; size; _ } -> (
+      let lo = addr and hi = addr + size in
+      if size <= 0 || not (in_registered t ~lo ~hi) then code_drop
+      else
+        match Addr.lines_of_range ~lo ~hi with
+        | [ l ] -> if Hashtbl.mem t.pinned l then t.shards + owner t l else owner t l
+        | l :: rest
+          when (not (List.exists (Hashtbl.mem t.pinned) (l :: rest)))
+               && List.for_all (fun l' -> owner t l' = owner t l) rest ->
+            owner t l
+        | _ -> code_slow)
+  | Event.Tx_log _ -> 0
+  | Event.Register_pmem _ | Event.Register_var _ -> code_slow
+  | Event.Fence _ | Event.Epoch_begin _ | Event.Epoch_end _ | Event.Strand_begin _ | Event.Strand_end _
+  | Event.Join_strand _ | Event.Call _ | Event.Annotation _ | Event.Program_end ->
+      code_broadcast
+
+let route_batch t evs codes n =
+  let i = ref 0 in
+  while !i < n do
+    (* Pass 1: classify a run of fast events. *)
+    let s = !i in
+    let stop = ref (-1) in
+    let k = ref s in
+    while !stop < 0 && !k < n do
+      let c = classify t evs.(!k) in
+      if c = code_slow then stop := !k
+      else begin
+        codes.(!k) <- c;
+        incr k
+      end
+    done;
+    (* Pass 2: append the run to the per-shard frames, dispatching on
+       the precomputed codes only. *)
+    for j = s to !k - 1 do
+      t.events <- t.events + 1;
+      let seq = t.events in
+      let c = codes.(j) in
+      if c >= t.shards then broadcast t ~seq ~silent_except:(c - t.shards) evs.(j)
+      else if c >= 0 then send t c ~seq ~silent:false evs.(j)
+      else if c = code_broadcast then broadcast t ~seq evs.(j)
+      (* [code_drop]: the event consumes a seq but is routed nowhere,
+         exactly like the scalar unregistered/empty-range path. *)
+    done;
+    if !stop >= 0 then begin
+      route t evs.(!stop);
+      i := !stop + 1
+    end
+    else i := !k
+  done
+
 (* {2 Merging shard reports} *)
 
 (* Since no location is ever clipped (spanning ranges are replicated
@@ -689,4 +763,35 @@ let sink ?name:(sink_name = "pmdebugger-sharded") ~shards ?queue_capacity ?frame
     create ~shards ?queue_capacity ?frame_size ?domains ?metrics ?flightrec ?worker_flightrecs
       ?max_bugs_per_kind make_worker
   in
-  Sink.make ~name:sink_name ~on_event:(fun ev -> route t ev) ~finish:(fun () -> finish t)
+  match t.transport with
+  | Per_event _ ->
+      (* The per-event transport is the measured baseline: route each
+         event as it arrives, no staging. *)
+      Sink.make ~name:sink_name ~on_event:(fun ev -> route t ev) ~finish:(fun () -> finish t)
+  | Framed _ ->
+      (* Framed mode stages one frame's worth of events and routes the
+         whole batch with the two-pass classify/append loop. Staged
+         events are only parked between sink calls — the flush in
+         [finish] runs before the end-of-trace broadcast, so workers
+         still see the complete stream. *)
+      let cap =
+        match frame_size with Some n when n > 0 -> n | _ -> default_frame_size
+      in
+      let buf = Array.make cap Event.Program_end in
+      let codes = Array.make cap 0 in
+      let fill = ref 0 in
+      let flush_batch () =
+        if !fill > 0 then begin
+          let n = !fill in
+          fill := 0;
+          route_batch t buf codes n
+        end
+      in
+      Sink.make ~name:sink_name
+        ~on_event:(fun ev ->
+          buf.(!fill) <- ev;
+          incr fill;
+          if !fill = cap then flush_batch ())
+        ~finish:(fun () ->
+          flush_batch ();
+          finish t)

@@ -21,7 +21,13 @@
     the single-shard run on a 4-core host. Cross-shard barriers flush
     every shard's partial frame before waiting on worker progress, so a
     stall observes every event routed before it; [finish] flushes the
-    final partial frames before delivering the stop marker.
+    final partial frames before delivering the stop marker. Routing
+    itself is vectorized over the staged batch: one classification pass
+    turns a run of events into int target codes (shard id, broadcast,
+    drop, pinned-broadcast) and a second pass dispatches the run
+    without the per-event routing branch, stopping only at
+    state-mutating events (registrations, pinning multi-line stores)
+    that must go through the scalar path.
 
     Routing paths for an address event (store / CLF):
     - {b fast}: a single unpinned line (or several lines, all one

@@ -138,6 +138,144 @@ let test_eviction_changes_crash_images () =
   Alcotest.(check bool) "evicted line durable with no flush issued" true (flag_durable mutated)
 
 (* ------------------------------------------------------------------ *)
+(* Exploration strategies.                                             *)
+(* ------------------------------------------------------------------ *)
+
+module CE = FI.Crash_explore
+
+let xfail_cases =
+  lazy
+    (List.filter_map
+       (fun (c : Bugbench.Cases.t) ->
+         match c.Bugbench.Cases.recovery with
+         | Some recovery -> Some (c.Bugbench.Cases.id, FI.Replay.capture c.Bugbench.Cases.run, recovery)
+         | None -> None)
+       Bugbench.Cases.buggy)
+
+let failure_indexes (o : CE.outcome) = List.map (fun f -> f.CE.index) o.result.CE.failures
+
+let test_exhaustive_strategy_is_explore () =
+  (* The strategy driver with [exhaustive] must reproduce the legacy
+     entry point exactly: same boundaries, images and failures. *)
+  List.iter
+    (fun (id, steps, recovery) ->
+      let legacy = CE.explore ~recovery steps in
+      let o = CE.run ~recovery (CE.make_plan steps) CE.exhaustive in
+      Alcotest.(check int) (id ^ ": boundaries") legacy.CE.boundaries_checked o.CE.result.CE.boundaries_checked;
+      Alcotest.(check int) (id ^ ": images") legacy.CE.images_checked o.CE.result.CE.images_checked;
+      Alcotest.(check (list int))
+        (id ^ ": failure indexes")
+        (List.map (fun f -> f.CE.index) legacy.CE.failures)
+        (failure_indexes o))
+    (Lazy.force xfail_cases)
+
+let test_guided_unbounded_matches_exhaustive () =
+  List.iter
+    (fun (id, steps, recovery) ->
+      let full = failure_indexes (CE.run ~recovery (CE.make_plan steps) CE.exhaustive) in
+      let g = failure_indexes (CE.run ~recovery (CE.make_plan steps) CE.guided) in
+      Alcotest.(check (list int)) (id ^ ": guided covers the exhaustive set") full g)
+    (Lazy.force xfail_cases)
+
+let test_budget_caps_images () =
+  List.iter
+    (fun (id, steps, recovery) ->
+      List.iter
+        (fun budget ->
+          List.iter
+            (fun strat ->
+              let o = CE.run ~recovery (CE.make_plan ~budget steps) strat in
+              Alcotest.(check bool)
+                (Printf.sprintf "%s: <= %d images (got %d)" id budget o.CE.result.CE.images_checked)
+                true
+                (o.CE.result.CE.images_checked <= budget);
+              Alcotest.(check int)
+                (id ^ ": skipped accounts for schedule cuts")
+                (o.CE.scheduled - o.CE.explored + CE.strategy_dropped (strat (CE.make_plan ~budget steps)))
+                o.CE.skipped)
+            [ CE.guided; CE.sampled ])
+        [ 1; 3; 8 ])
+    (Lazy.force xfail_cases)
+
+let test_strategy_metrics () =
+  let _, steps, recovery = List.hd (Lazy.force xfail_cases) in
+  let metrics = Obs.Metrics.create () in
+  let o = CE.run ~metrics ~recovery (CE.make_plan ~budget:8 steps) CE.guided in
+  let value name =
+    List.fold_left
+      (fun acc (s : Obs.Metrics.sample) ->
+        match s.Obs.Metrics.value with
+        | Obs.Metrics.V_counter v when s.Obs.Metrics.name = name -> acc + v
+        | _ -> acc)
+      0 (Obs.Metrics.snapshot metrics)
+  in
+  Alcotest.(check int) "images counter" o.CE.result.CE.images_checked (value "explore_images_total");
+  Alcotest.(check int) "bugs counter" (List.length o.CE.result.CE.failures) (value "explore_bugs_found_total");
+  Alcotest.(check int) "skipped counter" o.CE.skipped (value "explore_skipped_low_risk_total")
+
+let test_guided_bisect_converges () =
+  (* Risk-first search plus the fine window pass must land on the same
+     minimal failing prefix as the trace-order scans. *)
+  List.iter
+    (fun (id, steps, recovery) ->
+      let scan = FI.Crash_explore.minimal_failing_prefix ~recovery steps in
+      let plain = CE.bisect ~recovery steps in
+      let guided = CE.bisect ~strategy:CE.guided ~recovery steps in
+      match (scan, plain, guided) with
+      | Some a, Some b, Some c ->
+          Alcotest.(check int) (id ^ ": bisect = scan") a.CE.index b.CE.index;
+          Alcotest.(check int) (id ^ ": guided bisect = scan") a.CE.index c.CE.index
+      | _ -> Alcotest.fail (id ^ ": all searches must fail the trace"))
+    (Lazy.force xfail_cases)
+
+(* QCheck soundness harness: on random small traces over four lines, any
+   bounded strategy's verdicts are a subset of the exhaustive scan's,
+   and unbounded guided reports exactly the exhaustive failure set. Ops:
+   (0..2 = store to line with that op as value-salt, 3 = persist line,
+   4 = flush line only, 5 = fence). *)
+let gen_program = QCheck.(list_of_size Gen.(1 -- 24) (pair (int_bound 5) (int_range 0 3)))
+
+let steps_of_program ops =
+  FI.Replay.capture (fun e ->
+      Engine.register_pmem e ~base:0 ~size:4096;
+      List.iter
+        (fun (op, line) ->
+          let addr = line * 64 in
+          match op with
+          | 0 | 1 | 2 -> Engine.store_i64 e ~addr (Int64.of_int (op + 1))
+          | 3 -> Engine.persist e ~addr ~size:8
+          | 4 -> Engine.flush_range e ~addr ~size:8
+          | _ -> Engine.sfence e)
+        ops;
+      Engine.program_end e)
+
+(* ifset-style recovery: a non-zero guard on line 0 requires line 1 to
+   be non-zero too — random programs violate it often. *)
+let qc_recovery img = Pmem.Image.get_i64 img 0 = 0L || Pmem.Image.get_i64 img 64 <> 0L
+
+let prop_strategies_sound =
+  QCheck.Test.make ~name:"bounded guided/sampled verdicts are a subset of exhaustive" ~count:120 gen_program
+    (fun ops ->
+      let steps = steps_of_program ops in
+      let full = failure_indexes (CE.run ~recovery:qc_recovery (CE.make_plan steps) CE.exhaustive) in
+      List.for_all
+        (fun strat ->
+          List.for_all
+            (fun budget ->
+              let o = CE.run ~recovery:qc_recovery (CE.make_plan ~budget steps) strat in
+              o.CE.result.CE.images_checked <= budget
+              && List.for_all (fun i -> List.mem i full) (failure_indexes o))
+            [ 2; 6; 16 ])
+        [ CE.guided; CE.sampled ])
+
+let prop_guided_complete =
+  QCheck.Test.make ~name:"unbounded guided equals the exhaustive failure set" ~count:120 gen_program
+    (fun ops ->
+      let steps = steps_of_program ops in
+      let full = failure_indexes (CE.run ~recovery:qc_recovery (CE.make_plan steps) CE.exhaustive) in
+      failure_indexes (CE.run ~recovery:qc_recovery (CE.make_plan steps) CE.guided) = full)
+
+(* ------------------------------------------------------------------ *)
 (* Injector.                                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -249,6 +387,13 @@ let suite =
     Alcotest.test_case "explorer passes clean program" `Quick test_explorer_clean_program;
     Alcotest.test_case "bisect agrees with full scan" `Quick test_bisect_agrees_with_scan;
     Alcotest.test_case "explorer finds all bugbench xfail cases" `Quick test_explorer_on_bugbench_xfail;
+    Alcotest.test_case "exhaustive strategy reproduces explore" `Quick test_exhaustive_strategy_is_explore;
+    Alcotest.test_case "guided unbounded matches exhaustive" `Quick test_guided_unbounded_matches_exhaustive;
+    Alcotest.test_case "image budget is a hard cap" `Quick test_budget_caps_images;
+    Alcotest.test_case "strategy metrics counters" `Quick test_strategy_metrics;
+    Alcotest.test_case "guided bisect converges to minimal prefix" `Quick test_guided_bisect_converges;
+    QCheck_alcotest.to_alcotest prop_strategies_sound;
+    QCheck_alcotest.to_alcotest prop_guided_complete;
     Alcotest.test_case "eviction changes crash images" `Quick test_eviction_changes_crash_images;
     Alcotest.test_case "injector deterministic" `Quick test_injector_deterministic;
     Alcotest.test_case "injector shapes" `Quick test_injector_shapes;

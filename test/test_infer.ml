@@ -1,0 +1,188 @@
+open Pmtrace
+
+let magic = 0xC0FFEEL
+
+let record = Recorder.record
+
+(* flag persisted before the data it guards — two lines, one ordering
+   pair, everything durable by program end. *)
+let flag_before_data e =
+  Engine.register_pmem e ~base:0 ~size:4096;
+  Engine.store_i64 e ~addr:0 1L;
+  Engine.persist e ~addr:0 ~size:8;
+  Engine.store_i64 e ~addr:64 magic;
+  Engine.persist e ~addr:64 ~size:8;
+  Engine.program_end e
+
+(* Alternating backup/counter commit rounds with one planted round that
+   runs the counter ahead — the bench trace in miniature. *)
+let rounds_trace ?(rounds = 8) ?(planted = [ 4 ]) () e =
+  Engine.register_pmem e ~base:0 ~size:4096;
+  for r = 1 to rounds do
+    let v = Int64.of_int r in
+    let commit ~addr =
+      Engine.store_i64 e ~addr v;
+      Engine.persist e ~addr ~size:8
+    in
+    if List.mem r planted then begin
+      commit ~addr:64;
+      commit ~addr:0
+    end
+    else begin
+      commit ~addr:0;
+      commit ~addr:64
+    end
+  done;
+  Engine.program_end e
+
+let find_ordering ~first ~then_ (rep : Infer.Invariant.report) =
+  List.find_opt
+    (fun (i : Infer.Invariant.t) ->
+      match i.Infer.Invariant.kind with
+      | Infer.Invariant.Ordering { first_line; then_line } -> first_line = first && then_line = then_
+      | _ -> false)
+    rep.Infer.Invariant.invariants
+
+let find_durability ~line (rep : Infer.Invariant.report) =
+  List.find_opt
+    (fun (i : Infer.Invariant.t) ->
+      match i.Infer.Invariant.kind with
+      | Infer.Invariant.Durability { line = l } -> l = line
+      | _ -> false)
+    rep.Infer.Invariant.invariants
+
+let test_templates_on_guarded_pair () =
+  let rep = Infer.Analyze.infer (record flag_before_data) in
+  Alcotest.(check int) "stores counted" 2 rep.Infer.Invariant.stores;
+  Alcotest.(check int) "fences counted" 2 rep.Infer.Invariant.fences;
+  (match find_durability ~line:0 rep with
+  | Some i ->
+      Alcotest.(check int) "flag line: one completed episode" 1 i.Infer.Invariant.support;
+      Alcotest.(check (float 1e-9)) "flag line durable" 1.0 (Infer.Invariant.confidence i)
+  | None -> Alcotest.fail "expected a durability invariant for line 0");
+  (match find_ordering ~first:0 ~then_:1 rep with
+  | Some i ->
+      Alcotest.(check int) "flag-before-data supported once" 1 i.Infer.Invariant.support;
+      Alcotest.(check int) "never contradicted" 0 i.Infer.Invariant.violations
+  | None -> Alcotest.fail "expected ordering line0 -> line1");
+  Alcotest.(check bool) "no reverse pair from a single run" true (find_ordering ~first:1 ~then_:0 rep = None)
+
+let test_durability_violation_at_end () =
+  let rep =
+    Infer.Analyze.infer
+      (record (fun e ->
+           Engine.register_pmem e ~base:0 ~size:4096;
+           Engine.store_i64 e ~addr:0 1L;
+           Engine.persist e ~addr:0 ~size:8;
+           Engine.store_i64 e ~addr:0 2L;
+           Engine.program_end e))
+  in
+  match find_durability ~line:0 rep with
+  | Some i ->
+      Alcotest.(check int) "one completed episode" 1 i.Infer.Invariant.support;
+      Alcotest.(check int) "dirty at end is a violation" 1 i.Infer.Invariant.violations;
+      Alcotest.(check (float 1e-9)) "confidence halves" 0.5 (Infer.Invariant.confidence i)
+  | None -> Alcotest.fail "expected a durability invariant"
+
+let test_stale_guard_votes_against () =
+  (* The planted round stores the counter while the backup's persist is
+     stale (the counter's own persist is fresher): that store must count
+     against backup-before-counter, not for it. *)
+  let rep = Infer.Analyze.infer (record (rounds_trace ())) in
+  match find_ordering ~first:0 ~then_:1 rep with
+  | Some i ->
+      Alcotest.(check int) "correct rounds support the pair" 7 i.Infer.Invariant.support;
+      Alcotest.(check int) "planted round votes against" 1 i.Infer.Invariant.violations
+  | None -> Alcotest.fail "expected ordering line0 -> line1"
+
+let test_atomicity_groups () =
+  let rep =
+    Infer.Analyze.infer
+      (record (fun e ->
+           Engine.register_pmem e ~base:0 ~size:4096;
+           Engine.register_var e ~name:"pair" ~addr:0 ~size:128;
+           Engine.store_i64 e ~addr:0 1L;
+           Engine.store_i64 e ~addr:64 2L;
+           Engine.flush_range e ~addr:0 ~size:128;
+           Engine.sfence e;
+           (* A second interval touching only half the group violates it. *)
+           Engine.store_i64 e ~addr:0 3L;
+           Engine.persist e ~addr:0 ~size:8;
+           Engine.program_end e))
+  in
+  let atom =
+    List.find_opt
+      (fun (i : Infer.Invariant.t) ->
+        match i.Infer.Invariant.kind with
+        | Infer.Invariant.Atomicity { lines; origin } -> lines = [ 0; 1 ] && origin = "var"
+        | _ -> false)
+      rep.Infer.Invariant.invariants
+  in
+  match atom with
+  | Some i ->
+      Alcotest.(check int) "full-group interval supports" 1 i.Infer.Invariant.support;
+      Alcotest.(check int) "partial interval violates" 1 i.Infer.Invariant.violations
+  | None -> Alcotest.fail "expected a var-origin atomicity group over lines 0,1"
+
+let test_json_roundtrip () =
+  let rep = Infer.Analyze.infer (record (rounds_trace ())) in
+  let json = Infer.Invariant.to_json rep in
+  (match Infer.Invariant.validate_json json with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail ("self-produced report must validate: " ^ msg));
+  (match Infer.Invariant.of_json json with
+  | Ok back ->
+      Alcotest.(check bool) "round-trip preserves the report" true (back = rep)
+  | Error msg -> Alcotest.fail ("round-trip failed: " ^ msg));
+  match Infer.Invariant.of_json (Obs.Json.Obj [ ("schema", Obs.Json.Str "bogus/v1") ]) with
+  | Ok _ -> Alcotest.fail "wrong schema must be rejected"
+  | Error _ -> ()
+
+let test_risk_ranks_planted_round () =
+  let trace = record (rounds_trace ~rounds:8 ~planted:[ 4 ] ()) in
+  let rep = Infer.Analyze.infer trace in
+  let scores = Infer.Risk.scores rep trace in
+  Alcotest.(check int) "one score per event" (Array.length trace) (Array.length scores);
+  (* Each round is 6 events after the Register_pmem: the planted round
+     (4) leads with its counter store; a correct round (6) stores the
+     counter third. The violation-in-progress window must rank the
+     planted one strictly higher. *)
+  let round_start r = 1 + ((r - 1) * 6) in
+  let planted = round_start 4 and correct = round_start 6 + 3 in
+  (match (trace.(planted), trace.(correct)) with
+  | Event.Store { addr = 64; _ }, Event.Store { addr = 64; _ } -> ()
+  | _ -> Alcotest.fail "round layout changed: expected counter stores at both indexes");
+  Alcotest.(check bool)
+    (Printf.sprintf "planted store risk %.3f > correct store risk %.3f" scores.(planted) scores.(correct))
+    true
+    (scores.(planted) > scores.(correct));
+  (* The torn fence after the planted counter persist keeps non-zero
+     risk even though nothing is in flight there. *)
+  let torn_fence = ref (-1) in
+  Array.iteri (fun i ev -> if !torn_fence < 0 && i > planted then match ev with Event.Fence _ -> torn_fence := i | _ -> ()) trace;
+  Alcotest.(check bool) "torn durable state stays risky across the fence" true (scores.(!torn_fence) > 0.0)
+
+let test_provenance_boosts_support () =
+  let trace = record flag_before_data in
+  let plain = Infer.Analyze.infer trace in
+  let report =
+    Recorder.replay trace (Pmdebugger.Detector.sink (Pmdebugger.Detector.create ~model:Pmdebugger.Detector.Strict ()))
+  in
+  let boosted = Infer.Analyze.infer ~report trace in
+  let support rep line =
+    match find_durability ~line rep with Some i -> i.Infer.Invariant.support | None -> 0
+  in
+  Alcotest.(check bool)
+    "detector findings only add support" true
+    (support boosted 0 >= support plain 0 && support boosted 1 >= support plain 1)
+
+let suite =
+  [
+    Alcotest.test_case "templates on a guarded pair" `Quick test_templates_on_guarded_pair;
+    Alcotest.test_case "durability violation at program end" `Quick test_durability_violation_at_end;
+    Alcotest.test_case "stale guard votes against ordering" `Quick test_stale_guard_votes_against;
+    Alcotest.test_case "atomicity groups from register_var" `Quick test_atomicity_groups;
+    Alcotest.test_case "invariants JSON round-trip" `Quick test_json_roundtrip;
+    Alcotest.test_case "risk ranks the planted round" `Quick test_risk_ranks_planted_round;
+    Alcotest.test_case "provenance boosts support" `Quick test_provenance_boosts_support;
+  ]

@@ -23,5 +23,6 @@ let () =
       ("provenance", Test_provenance.suite);
       ("shard", Test_shard.suite);
       ("faultinject", Test_faultinject.suite);
+      ("infer", Test_infer.suite);
       ("serve", Test_serve.suite);
     ]
